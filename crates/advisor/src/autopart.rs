@@ -1,0 +1,469 @@
+//! The AutoPart algorithm (paper §3.3): iterative vertical-partitioning
+//! selection using the what-if table component.
+//!
+//! 1. Determine atomic fragments from the workload.
+//! 2. Selected fragments := atomic fragments.
+//! 3. Loop: generate composite fragments by combining selected fragments
+//!    with atomic/selected fragments; rewrite the workload; evaluate every
+//!    candidate design with what-if partitions; keep the best improvement
+//!    that fits the replication constraint; stop when no improvement.
+
+use parinda_catalog::{Catalog, MetadataProvider, TableId};
+use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+use parinda_sql::Select;
+use parinda_whatif::{HypotheticalCatalog, WhatIfPartition};
+
+use crate::fragments::{atomic_fragments, replication_overhead, Fragment};
+use crate::rewrite::{rewrite_select, NamedFragment, PartitionDesign};
+
+/// AutoPart configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoPartConfig {
+    /// Extra bytes the partitioned layout may occupy beyond the original
+    /// tables (replicated PKs / columns) — the paper's "maximum space taken
+    /// by replicated columns" constraint.
+    pub replication_limit_bytes: i64,
+    /// Safety cap on improvement iterations.
+    pub max_iterations: usize,
+    /// Improvement threshold: stop when the best candidate improves the
+    /// workload cost by less than this fraction.
+    pub min_improvement: f64,
+}
+
+impl Default for AutoPartConfig {
+    fn default() -> Self {
+        AutoPartConfig {
+            replication_limit_bytes: i64::MAX,
+            max_iterations: 32,
+            min_improvement: 1e-4,
+        }
+    }
+}
+
+/// Result of partition suggestion.
+#[derive(Debug, Clone)]
+pub struct PartitionSuggestion {
+    /// The selected fragments.
+    pub design: PartitionDesign,
+    /// Workload cost on the original design.
+    pub cost_before: f64,
+    /// Workload cost on the partitioned design.
+    pub cost_after: f64,
+    /// Per-query (before, after) costs.
+    pub per_query: Vec<(f64, f64)>,
+    /// The rewritten workload (original statement when rewriting was not
+    /// possible or not beneficial for that query).
+    pub rewritten: Vec<Select>,
+    /// Improvement iterations executed.
+    pub iterations: usize,
+}
+
+impl PartitionSuggestion {
+    /// Average workload speedup factor.
+    pub fn speedup(&self) -> f64 {
+        if self.cost_after <= 0.0 {
+            return 1.0;
+        }
+        self.cost_before / self.cost_after
+    }
+}
+
+/// Advisor errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvisorError {
+    Bind(usize, String),
+    Plan(usize, String),
+}
+
+impl std::fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvisorError::Bind(q, e) => write!(f, "query {q}: {e}"),
+            AdvisorError::Plan(q, e) => write!(f, "query {q}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+/// Run AutoPart over a workload.
+pub fn suggest_partitions(
+    catalog: &Catalog,
+    workload: &[Select],
+    config: AutoPartConfig,
+) -> Result<PartitionSuggestion, AdvisorError> {
+    let params = CostParams::default();
+    let flags = PlannerFlags::default();
+
+    // Baseline costs.
+    let mut base_costs = Vec::with_capacity(workload.len());
+    for (i, sel) in workload.iter().enumerate() {
+        let q = bind(sel, catalog).map_err(|e| AdvisorError::Bind(i, e.to_string()))?;
+        let p = plan_query(&q, catalog, &params, &flags)
+            .map_err(|e| AdvisorError::Plan(i, e.to_string()))?;
+        base_costs.push(p.cost.total);
+    }
+    let cost_before: f64 = base_costs.iter().sum();
+
+    // Atomic fragments.
+    let bound: Vec<_> = workload
+        .iter()
+        .map(|s| bind(s, catalog).expect("bound above"))
+        .collect();
+    let atoms = atomic_fragments(&bound, catalog);
+
+    // Only partition tables that actually split into >1 fragment.
+    let mut selected: Vec<Fragment> = Vec::new();
+    for table in atoms.iter().map(|f| f.table).collect::<std::collections::BTreeSet<_>>() {
+        let of_table: Vec<&Fragment> = atoms.iter().filter(|f| f.table == table).collect();
+        if of_table.len() > 1 {
+            selected.extend(of_table.into_iter().cloned());
+        }
+    }
+
+    if selected.is_empty() {
+        // Nothing worth partitioning: report the identity design.
+        return Ok(PartitionSuggestion {
+            design: PartitionDesign::default(),
+            cost_before,
+            cost_after: cost_before,
+            per_query: base_costs.iter().map(|&c| (c, c)).collect(),
+            rewritten: workload.to_vec(),
+            iterations: 0,
+        });
+    }
+
+    let atoms_by_table = |t: TableId| -> Vec<&Fragment> {
+        atoms.iter().filter(|f| f.table == t).collect()
+    };
+
+    // Evaluate the starting (atomic) design.
+    let qtables = query_tables(&bound);
+    let mut memo: CostMemo = CostMemo::new();
+    let mut best_total = design_cost(
+        catalog, workload, &selected, &params, &flags, &base_costs, &qtables, &mut memo,
+    );
+    let mut iterations = 0usize;
+
+    // Improvement loop. When the current design exceeds the replication
+    // budget (atomic fragmentations of wide tables usually do: every
+    // fragment replicates the PK and pays its own tuple headers), the loop
+    // first *merges toward the budget*, accepting the cheapest
+    // overhead-reducing candidate each round; once within budget it only
+    // accepts cost improvements that stay within budget.
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let mut improved = false;
+        let mut round_best: Option<(Vec<Fragment>, f64)> = None;
+        let cur_overhead = replication_overhead(&selected, catalog);
+        let over_budget = cur_overhead > config.replication_limit_bytes;
+
+        // Candidate moves: merge any two selected fragments of a table, or
+        // merge a selected fragment with an atomic fragment.
+        let mut candidates: Vec<Vec<Fragment>> = Vec::new();
+        for i in 0..selected.len() {
+            for j in (i + 1)..selected.len() {
+                if selected[i].table == selected[j].table {
+                    let merged = selected[i].union(&selected[j]).expect("same table");
+                    let mut next = selected.clone();
+                    next.retain(|f| *f != selected[i] && *f != selected[j]);
+                    next.push(merged);
+                    candidates.push(next);
+                }
+            }
+            for atom in atoms_by_table(selected[i].table) {
+                if !selected[i].covers(atom.columns.iter().copied()) {
+                    let merged = selected[i].union(atom).expect("same table");
+                    if !selected.contains(&merged) {
+                        let mut next = selected.clone();
+                        // subsumed fragments are dropped
+                        next.retain(|f| {
+                            !(f.table == merged.table
+                                && merged.covers(f.columns.iter().copied()))
+                        });
+                        next.push(merged.clone());
+                        candidates.push(next);
+                    }
+                }
+            }
+        }
+        // When over budget, also consider un-partitioning a whole table.
+        if over_budget {
+            let tables: std::collections::BTreeSet<TableId> =
+                selected.iter().map(|f| f.table).collect();
+            for t in tables {
+                let rest: Vec<Fragment> =
+                    selected.iter().filter(|f| f.table != t).cloned().collect();
+                candidates.push(rest);
+            }
+        }
+        for c in &mut candidates {
+            c.sort();
+        }
+        candidates.sort();
+        candidates.dedup();
+
+        for cand in candidates {
+            let overhead = replication_overhead(&cand, catalog);
+            if over_budget {
+                // must make progress toward the budget
+                if overhead >= cur_overhead {
+                    continue;
+                }
+            } else if overhead > config.replication_limit_bytes {
+                continue;
+            }
+            let total = design_cost(
+                catalog, workload, &cand, &params, &flags, &base_costs, &qtables, &mut memo,
+            );
+            let acceptable = if over_budget {
+                true // any overhead-reducing move; pick the cheapest below
+            } else {
+                total < best_total * (1.0 - config.min_improvement)
+            };
+            if acceptable
+                && round_best.as_ref().map(|(_, b)| total < *b).unwrap_or(true)
+            {
+                round_best = Some((cand, total));
+            }
+        }
+
+        if let Some((cand, total)) = round_best {
+            selected = cand;
+            best_total = total;
+            improved = true;
+        }
+        if !improved {
+            if over_budget {
+                // cannot reach the budget: give up on partitioning entirely
+                selected.clear();
+            }
+            break;
+        }
+    }
+
+    // Never hand back a design that violates the constraint.
+    if replication_overhead(&selected, catalog) > config.replication_limit_bytes {
+        selected.clear();
+    }
+
+    // Full evaluation (with rewrites) only for the final design.
+    let mut best_eval = evaluate_design(catalog, workload, &selected, &params, &flags, &base_costs);
+
+    // Drop fragments no rewritten query references: they add replication
+    // without benefit (the costs are unaffected since no plan uses them).
+    let used: std::collections::BTreeSet<String> = best_eval
+        .rewritten
+        .iter()
+        .flat_map(|rw| rw.from.iter().map(|t| t.name.clone()))
+        .collect();
+    best_eval.design.fragments.retain(|nf| used.contains(&nf.name));
+
+    // The final answer keeps only fragments that help (tables whose
+    // rewritten queries got cheaper); simple post-filter: drop tables where
+    // partitioning brought no gain.
+    Ok(PartitionSuggestion {
+        design: best_eval.design,
+        cost_before,
+        cost_after: best_eval.total,
+        per_query: base_costs
+            .iter()
+            .zip(&best_eval.per_query)
+            .map(|(&b, &a)| (b, a))
+            .collect(),
+        rewritten: best_eval.rewritten,
+        iterations,
+    })
+}
+
+struct Evaluation {
+    total: f64,
+    per_query: Vec<f64>,
+    rewritten: Vec<Select>,
+    design: PartitionDesign,
+}
+
+/// Memo for the selection loop: per-query cost keyed by the fragment sets
+/// of the tables that query touches. Candidate designs in one round differ
+/// in a single table's fragmentation, so most lookups hit.
+type CostMemo = std::collections::HashMap<(usize, Vec<Fragment>), f64>;
+
+/// Per query: the tables it references and the columns it needs of each
+/// (a query's cost depends only on fragments overlapping those columns).
+fn query_tables(bound: &[parinda_optimizer::BoundQuery]) -> Vec<Vec<(TableId, Vec<usize>)>> {
+    bound
+        .iter()
+        .map(|q| {
+            let mut t: Vec<(TableId, Vec<usize>)> = q
+                .rels
+                .iter()
+                .map(|r| (r.table, r.needed_columns.clone()))
+                .collect();
+            t.sort();
+            t.dedup();
+            t
+        })
+        .collect()
+}
+
+/// Fragments relevant to one query: those on a referenced table whose
+/// columns intersect the query's needed columns of that table.
+fn relevant_fragments(
+    fragments: &[Fragment],
+    tables: &[(TableId, Vec<usize>)],
+) -> Vec<Fragment> {
+    let mut key: Vec<Fragment> = fragments
+        .iter()
+        .filter(|f| {
+            tables.iter().any(|(t, needed)| {
+                *t == f.table && needed.iter().any(|c| f.columns.contains(c))
+            })
+        })
+        .cloned()
+        .collect();
+    key.sort();
+    key
+}
+
+/// Search-time cost of a fragment set, with per-query memoization keyed by
+/// the fragment sets of the tables the query touches.
+#[allow(clippy::too_many_arguments)]
+fn design_cost(
+    catalog: &Catalog,
+    workload: &[Select],
+    fragments: &[Fragment],
+    params: &CostParams,
+    flags: &PlannerFlags,
+    base_costs: &[f64],
+    qtables: &[Vec<(TableId, Vec<usize>)>],
+    memo: &mut CostMemo,
+) -> f64 {
+    // Group fragments by table once.
+    let mut total = 0.0;
+    let mut pending: Vec<usize> = Vec::new();
+    for (qi, tables) in qtables.iter().enumerate() {
+        let key = relevant_fragments(fragments, tables);
+        match memo.get(&(qi, key)) {
+            Some(&c) => total += c,
+            None => pending.push(qi),
+        }
+    }
+    if pending.is_empty() {
+        return total;
+    }
+    // Evaluate the pending queries under this design in one overlay pass.
+    let eval = evaluate_design_subset(catalog, workload, fragments, params, flags, base_costs, &pending);
+    for (qi, cost) in pending.iter().zip(&eval) {
+        let key = relevant_fragments(fragments, &qtables[*qi]);
+        memo.insert((*qi, key), *cost);
+        total += *cost;
+    }
+    total
+}
+
+/// Plan only `subset` of the workload under a simulated design; returns
+/// their costs in subset order.
+fn evaluate_design_subset(
+    catalog: &Catalog,
+    workload: &[Select],
+    fragments: &[Fragment],
+    params: &CostParams,
+    flags: &PlannerFlags,
+    base_costs: &[f64],
+    subset: &[usize],
+) -> Vec<f64> {
+    let (overlay, design) = simulate_fragments(catalog, fragments);
+    subset
+        .iter()
+        .map(|&i| {
+            let fallback = base_costs[i];
+            rewrite_select(&workload[i], &overlay, &design)
+                .ok()
+                .and_then(|rw| {
+                    let q = bind(&rw, &overlay).ok()?;
+                    let p = plan_query(&q, &overlay, params, flags).ok()?;
+                    Some(p.cost.total)
+                })
+                .filter(|&c| c < fallback)
+                .unwrap_or(fallback)
+        })
+        .collect()
+}
+
+/// Simulate a fragment set on an overlay, returning the overlay and the
+/// named design used by the rewriter.
+fn simulate_fragments<'a>(
+    catalog: &'a Catalog,
+    fragments: &[Fragment],
+) -> (HypotheticalCatalog<'a>, PartitionDesign) {
+    let mut design = PartitionDesign::default();
+    let mut counters: std::collections::HashMap<TableId, usize> = std::collections::HashMap::new();
+    for f in fragments {
+        let n = counters.entry(f.table).or_insert(0);
+        *n += 1;
+        let tname = catalog
+            .table(f.table)
+            .map(|t| t.name.clone())
+            .unwrap_or_else(|| format!("t{}", f.table.0));
+        design.fragments.push(NamedFragment {
+            name: format!("{tname}_p{n}"),
+            fragment: f.clone(),
+        });
+    }
+    let mut overlay = HypotheticalCatalog::new(catalog);
+    for nf in &design.fragments {
+        let parent = catalog.table(nf.fragment.table).expect("fragment of known table");
+        let cols: Vec<String> = nf
+            .fragment
+            .columns
+            .iter()
+            .map(|&i| parent.columns[i].name.clone())
+            .collect();
+        let colrefs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        let def = WhatIfPartition::new(nf.name.clone(), parent.name.clone(), &colrefs);
+        parinda_whatif::simulate_partition(&mut overlay, &def).expect("columns come from catalog");
+    }
+    (overlay, design)
+}
+
+/// Evaluate a fragment set: simulate the partitions, rewrite the workload,
+/// plan everything, sum the costs. Falls back to the original statement
+/// when a query cannot be rewritten or the rewrite is not cheaper.
+fn evaluate_design(
+    catalog: &Catalog,
+    workload: &[Select],
+    fragments: &[Fragment],
+    params: &CostParams,
+    flags: &PlannerFlags,
+    base_costs: &[f64],
+) -> Evaluation {
+    let (overlay, design) = simulate_fragments(catalog, fragments);
+
+    // Rewrite + plan each query.
+    let mut total = 0.0;
+    let mut per_query = Vec::with_capacity(workload.len());
+    let mut rewritten_out = Vec::with_capacity(workload.len());
+    for (i, sel) in workload.iter().enumerate() {
+        let fallback = base_costs[i];
+        let outcome = rewrite_select(sel, &overlay, &design)
+            .ok()
+            .and_then(|rw| {
+                let q = bind(&rw, &overlay).ok()?;
+                let p = plan_query(&q, &overlay, params, flags).ok()?;
+                Some((rw, p.cost.total))
+            });
+        match outcome {
+            Some((rw, cost)) if cost < fallback => {
+                total += cost;
+                per_query.push(cost);
+                rewritten_out.push(rw);
+            }
+            _ => {
+                total += fallback;
+                per_query.push(fallback);
+                rewritten_out.push(sel.clone());
+            }
+        }
+    }
+    Evaluation { total, per_query, rewritten: rewritten_out, design }
+}

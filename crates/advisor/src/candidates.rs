@@ -1,0 +1,234 @@
+//! Candidate index generation from workload analysis (paper §3.4: "the
+//! component determines a large set of candidate indexes by analyzing the
+//! workload").
+//!
+//! Unlike the greedy commercial tools, PARINDA does not prune this set —
+//! the ILP sees every candidate.
+
+use std::collections::BTreeSet;
+
+use parinda_inum::CandidateIndex;
+use parinda_optimizer::query::{BoundQuery, RestrictionShape};
+
+/// Candidate-generation limits (defensive caps, generous enough that SDSS
+/// workloads never hit them).
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateLimits {
+    /// Maximum key columns per candidate.
+    pub max_width: usize,
+    /// Maximum candidates overall.
+    pub max_candidates: usize,
+}
+
+impl Default for CandidateLimits {
+    fn default() -> Self {
+        CandidateLimits { max_width: 3, max_candidates: 512 }
+    }
+}
+
+/// Generate candidate indexes for a workload of bound queries.
+pub fn generate_candidates(
+    queries: &[BoundQuery],
+    limits: CandidateLimits,
+) -> Vec<CandidateIndex> {
+    struct Acc {
+        seen: BTreeSet<(u32, Vec<usize>)>,
+        out: Vec<CandidateIndex>,
+        max_width: usize,
+    }
+    impl Acc {
+        fn push(&mut self, table: parinda_catalog::TableId, cols: Vec<usize>) {
+            if cols.is_empty() || cols.len() > self.max_width {
+                return;
+            }
+            // dedup preserving key order (order matters for B-trees)
+            if self.seen.insert((table.0, cols.clone())) {
+                self.out.push(CandidateIndex::new(table, cols));
+            }
+        }
+    }
+    let mut acc = Acc { seen: BTreeSet::new(), out: Vec::new(), max_width: limits.max_width };
+
+    for q in queries {
+        for (rel, base) in q.rels.iter().enumerate() {
+            let table = base.table;
+
+            // classify this rel's restricted columns
+            let mut eq_cols: Vec<usize> = Vec::new();
+            let mut range_cols: Vec<usize> = Vec::new();
+            for r in q.restrictions_on(rel) {
+                match &r.shape {
+                    RestrictionShape::Eq { col, .. }
+                    | RestrictionShape::InList { col, negated: false, .. }
+                        if !eq_cols.contains(col) => {
+                            eq_cols.push(*col);
+                        }
+                    RestrictionShape::Range { col, .. }
+                    | RestrictionShape::Between { col, negated: false, .. }
+                        if !range_cols.contains(col) => {
+                            range_cols.push(*col);
+                        }
+                    _ => {}
+                }
+            }
+            let join_cols: Vec<usize> = q
+                .joins
+                .iter()
+                .flat_map(|j| [j.left, j.right])
+                .filter(|s| s.rel == rel)
+                .map(|s| s.col)
+                .collect();
+            let order_cols: Vec<usize> = q
+                .order_by
+                .iter()
+                .filter(|k| k.slot.rel == rel && !k.desc)
+                .map(|k| k.slot.col)
+                .collect();
+            let group_cols: Vec<usize> = q
+                .group_by
+                .iter()
+                .filter(|s| s.rel == rel)
+                .map(|s| s.col)
+                .collect();
+
+            // single-column candidates on every interesting column
+            for &c in eq_cols.iter().chain(&range_cols).chain(&join_cols) {
+                acc.push(table, vec![c]);
+            }
+
+            // eq prefix + one range column
+            for &r in &range_cols {
+                let mut cols = eq_cols.clone();
+                cols.retain(|&c| c != r);
+                cols.push(r);
+                acc.push(table, cols);
+            }
+
+            // the full equality set (multi-column point lookups)
+            if eq_cols.len() >= 2 {
+                acc.push(table, eq_cols.clone());
+            }
+
+            // join column + equality filters (index nested-loop fodder)
+            for &j in &join_cols {
+                let mut cols = vec![j];
+                cols.extend(eq_cols.iter().copied().filter(|&c| c != j));
+                acc.push(table, cols);
+            }
+
+            // ORDER BY / GROUP BY prefixes (sort avoidance)
+            if !order_cols.is_empty() {
+                acc.push(table, order_cols.clone());
+            }
+            if !group_cols.is_empty() {
+                acc.push(table, group_cols.clone());
+            }
+
+            if acc.out.len() >= limits.max_candidates {
+                return acc.out;
+            }
+        }
+    }
+    acc.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{Catalog, Column, SqlType};
+    use parinda_optimizer::bind;
+    use parinda_sql::parse_select;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "photoobj",
+            vec![
+                Column::new("objid", SqlType::Int8).not_null(),
+                Column::new("ra", SqlType::Float8).not_null(),
+                Column::new("dec", SqlType::Float8).not_null(),
+                Column::new("type", SqlType::Int2).not_null(),
+            ],
+            100_000,
+        );
+        c.create_table(
+            "specobj",
+            vec![
+                Column::new("specobjid", SqlType::Int8).not_null(),
+                Column::new("bestobjid", SqlType::Int8).not_null(),
+                Column::new("z", SqlType::Float8).not_null(),
+            ],
+            10_000,
+        );
+        c
+    }
+
+    fn cands(sqls: &[&str]) -> Vec<CandidateIndex> {
+        let c = catalog();
+        let queries: Vec<_> = sqls
+            .iter()
+            .map(|s| bind(&parse_select(s).unwrap(), &c).unwrap())
+            .collect();
+        generate_candidates(&queries, CandidateLimits::default())
+    }
+
+    #[test]
+    fn equality_column_becomes_candidate() {
+        let v = cands(&["SELECT ra FROM photoobj WHERE type = 3"]);
+        assert!(v.iter().any(|c| c.columns == vec![3]));
+    }
+
+    #[test]
+    fn eq_plus_range_multicolumn() {
+        let v = cands(&["SELECT ra FROM photoobj WHERE type = 3 AND ra BETWEEN 1.0 AND 2.0"]);
+        // (type, ra) with eq first
+        assert!(v.iter().any(|c| c.columns == vec![3, 1]), "{v:?}");
+    }
+
+    #[test]
+    fn join_columns_generate_candidates_on_both_sides() {
+        let v = cands(&[
+            "SELECT p.ra FROM photoobj p, specobj s WHERE p.objid = s.bestobjid",
+        ]);
+        assert!(v.iter().any(|c| c.columns == vec![0] && c.table.0 == 0));
+        assert!(v.iter().any(|c| c.columns == vec![1] && c.table.0 == 1));
+    }
+
+    #[test]
+    fn group_by_candidate() {
+        let v = cands(&["SELECT type, COUNT(*) FROM photoobj GROUP BY type"]);
+        assert!(v.iter().any(|c| c.columns == vec![3]));
+    }
+
+    #[test]
+    fn candidates_deduplicated_across_queries() {
+        let v = cands(&[
+            "SELECT ra FROM photoobj WHERE type = 3",
+            "SELECT dec FROM photoobj WHERE type = 6",
+        ]);
+        let n = v.iter().filter(|c| c.columns == vec![3]).count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn width_cap_respected() {
+        let c = catalog();
+        let q = bind(
+            &parse_select(
+                "SELECT objid FROM photoobj WHERE objid = 1 AND ra = 2.0 AND dec = 3.0 AND type = 4",
+            )
+            .unwrap(),
+            &c,
+        )
+        .unwrap();
+        let v = generate_candidates(&[q], CandidateLimits { max_width: 2, max_candidates: 100 });
+        assert!(v.iter().all(|c| c.columns.len() <= 2));
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        let v = cands(&["SELECT ra FROM photoobj WHERE type = 3 AND ra < 1.0 AND dec > 0.0"]);
+        assert!(v.len() <= CandidateLimits::default().max_candidates);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Fragment algebra for AutoPart (Papadomanolakis & Ailamaki, SSDBM'04;
+//! paper §3.3).
+//!
+//! *Atomic fragments* are "the 'thinnest' possible fragments of the
+//! partitioned tables … accessed atomically": group a table's columns by
+//! the exact set of workload queries touching them — columns always read
+//! together end up in the same atomic fragment. *Composite fragments* are
+//! unions of fragments built during the iterative improvement loop.
+
+use std::collections::BTreeSet;
+
+use parinda_catalog::{layout, MetadataProvider, TableId};
+use parinda_optimizer::BoundQuery;
+
+/// A vertical fragment of one table: a set of column positions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fragment {
+    pub table: TableId,
+    /// Column positions, sorted (primary-key columns are implicit: every
+    /// materialized fragment carries them for reconstruction).
+    pub columns: BTreeSet<usize>,
+}
+
+impl Fragment {
+    /// New fragment.
+    pub fn new<I: IntoIterator<Item = usize>>(table: TableId, columns: I) -> Self {
+        Fragment { table, columns: columns.into_iter().collect() }
+    }
+
+    /// Union of two fragments of the same table.
+    pub fn union(&self, other: &Fragment) -> Option<Fragment> {
+        if self.table != other.table {
+            return None;
+        }
+        Some(Fragment {
+            table: self.table,
+            columns: self.columns.union(&other.columns).copied().collect(),
+        })
+    }
+
+    /// Does this fragment contain all of `cols`?
+    pub fn covers<I: IntoIterator<Item = usize>>(&self, cols: I) -> bool {
+        cols.into_iter().all(|c| self.columns.contains(&c))
+    }
+
+    /// Stored bytes of the fragment (fragment columns + the table's PK),
+    /// used for the replication constraint.
+    pub fn size_bytes(&self, meta: &dyn MetadataProvider) -> u64 {
+        let Some(table) = meta.table(self.table) else { return 0 };
+        let mut cols: Vec<usize> = table.primary_key.clone();
+        for &c in &self.columns {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        let col_defs: Vec<parinda_catalog::Column> =
+            cols.iter().map(|&i| table.columns[i].clone()).collect();
+        layout::heap_pages(table.row_count, &col_defs) * layout::PAGE_SIZE as u64
+    }
+}
+
+/// Compute the atomic fragments of every table the workload touches.
+///
+/// Returns fragments grouped by table; unused columns of a table form one
+/// extra "cold" fragment so the partitioning is complete.
+pub fn atomic_fragments(
+    queries: &[BoundQuery],
+    meta: &dyn MetadataProvider,
+) -> Vec<Fragment> {
+    use std::collections::HashMap;
+    // signature per (table, column): sorted set of query indices using it
+    let mut sig: HashMap<(TableId, usize), BTreeSet<usize>> = HashMap::new();
+    let mut tables: BTreeSet<TableId> = BTreeSet::new();
+    for (qi, q) in queries.iter().enumerate() {
+        for rel in &q.rels {
+            tables.insert(rel.table);
+            for &col in &rel.needed_columns {
+                sig.entry((rel.table, col)).or_default().insert(qi);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for table in tables {
+        let Some(t) = meta.table(table) else { continue };
+        // group columns by signature
+        let mut groups: HashMap<BTreeSet<usize>, BTreeSet<usize>> = HashMap::new();
+        let mut cold: BTreeSet<usize> = BTreeSet::new();
+        for col in 0..t.columns.len() {
+            match sig.get(&(table, col)) {
+                Some(s) => {
+                    groups.entry(s.clone()).or_default().insert(col);
+                }
+                None => {
+                    cold.insert(col);
+                }
+            }
+        }
+        let mut frags: Vec<Fragment> = groups
+            .into_values()
+            .map(|columns| Fragment { table, columns })
+            .collect();
+        if !cold.is_empty() {
+            frags.push(Fragment { table, columns: cold });
+        }
+        frags.sort();
+        out.extend(frags);
+    }
+    out
+}
+
+/// Extra bytes a set of fragments needs beyond the original tables
+/// (replicated PKs and any column stored in more than one fragment).
+pub fn replication_overhead(fragments: &[Fragment], meta: &dyn MetadataProvider) -> i64 {
+    use std::collections::HashMap;
+    let mut per_table: HashMap<TableId, Vec<&Fragment>> = HashMap::new();
+    for f in fragments {
+        per_table.entry(f.table).or_default().push(f);
+    }
+    let mut overhead = 0i64;
+    for (table, frags) in per_table {
+        let Some(t) = meta.table(table) else { continue };
+        let base = (t.pages * layout::PAGE_SIZE as u64) as i64;
+        let total: i64 = frags.iter().map(|f| f.size_bytes(meta) as i64).sum();
+        overhead += total - base;
+    }
+    overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{Catalog, Column, SqlType};
+    use parinda_optimizer::bind;
+    use parinda_sql::parse_select;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = c.create_table(
+            "photoobj",
+            vec![
+                Column::new("objid", SqlType::Int8).not_null(),
+                Column::new("ra", SqlType::Float8).not_null(),
+                Column::new("dec", SqlType::Float8).not_null(),
+                Column::new("rmag", SqlType::Float8).not_null(),
+                Column::new("gmag", SqlType::Float8).not_null(),
+                Column::new("notes", SqlType::Text),
+            ],
+            100_000,
+        );
+        c.table_mut(t).unwrap().primary_key = vec![0];
+        c
+    }
+
+    fn frags(sqls: &[&str]) -> Vec<Fragment> {
+        let c = catalog();
+        let qs: Vec<_> = sqls
+            .iter()
+            .map(|s| bind(&parse_select(s).unwrap(), &c).unwrap())
+            .collect();
+        atomic_fragments(&qs, &c)
+    }
+
+    #[test]
+    fn co_accessed_columns_group_together() {
+        let v = frags(&[
+            "SELECT ra, dec FROM photoobj WHERE objid = 1",
+            "SELECT rmag, gmag FROM photoobj WHERE objid = 2",
+        ]);
+        // groups: {objid}, {ra,dec}, {rmag,gmag}, cold {notes}
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().any(|f| f.columns == BTreeSet::from([1, 2])));
+        assert!(v.iter().any(|f| f.columns == BTreeSet::from([3, 4])));
+        assert!(v.iter().any(|f| f.columns == BTreeSet::from([5])));
+    }
+
+    #[test]
+    fn differently_accessed_columns_split() {
+        let v = frags(&[
+            "SELECT ra FROM photoobj",
+            "SELECT ra, dec FROM photoobj",
+        ]);
+        // ra used by {0,1}, dec by {1} -> separate fragments
+        let ra = v.iter().find(|f| f.columns.contains(&1)).unwrap();
+        assert!(!ra.columns.contains(&2));
+    }
+
+    #[test]
+    fn union_same_table_only() {
+        let a = Fragment::new(TableId(0), [1]);
+        let b = Fragment::new(TableId(0), [2, 3]);
+        let c = Fragment::new(TableId(1), [1]);
+        assert_eq!(a.union(&b).unwrap().columns, BTreeSet::from([1, 2, 3]));
+        assert!(a.union(&c).is_none());
+    }
+
+    #[test]
+    fn covers_checks_subset() {
+        let f = Fragment::new(TableId(0), [1, 2, 3]);
+        assert!(f.covers([1, 3]));
+        assert!(!f.covers([4]));
+    }
+
+    #[test]
+    fn fragment_sizes_scale_with_width() {
+        let c = catalog();
+        let narrow = Fragment::new(TableId(0), [1]);
+        let wide = Fragment::new(TableId(0), [1, 2, 3, 4]);
+        assert!(narrow.size_bytes(&c) < wide.size_bytes(&c));
+    }
+
+    #[test]
+    fn replication_overhead_roughly_pk_cost() {
+        let c = catalog();
+        // full partitioning into 2 fragments duplicates the PK once
+        let f1 = Fragment::new(TableId(0), [1, 2]);
+        let f2 = Fragment::new(TableId(0), [3, 4, 5]);
+        let o = replication_overhead(&[f1, f2], &c);
+        // PK is 8 bytes/row + per-fragment tuple headers; must be > 0 and
+        // far below the base table size
+        assert!(o > 0);
+        let base = c.table_by_name("photoobj").unwrap().pages * 8192;
+        assert!((o as u64) < base);
+    }
+}

@@ -1,0 +1,85 @@
+//! Greedy index selection — the baseline the paper positions ILP against
+//! ("all these commercial tools are based on greedy heuristics").
+//!
+//! Classic DTA-style loop: at each step add the candidate with the best
+//! marginal workload benefit per byte, re-evaluating marginal benefits with
+//! the INUM model (so the comparison against ILP is cost-model-fair).
+
+use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
+use parinda_solver::{greedy_select, GreedyItem};
+
+use crate::ilp_index::{finish_selection, IndexSelection};
+
+/// Select indexes greedily under a storage budget (bytes).
+pub fn select_indexes_greedy(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+) -> IndexSelection {
+    let cand_ids: Vec<CandId> =
+        candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
+    let nq = model.queries().len();
+    let empty = Configuration::empty();
+    let base_costs: Vec<f64> = (0..nq).map(|q| model.cost(q, &empty)).collect();
+
+    let items: Vec<GreedyItem> = cand_ids
+        .iter()
+        .enumerate()
+        .map(|(pos, &id)| GreedyItem { id: pos, size: model.candidate_size(id) })
+        .collect();
+
+    let model_ref = &*model;
+    let picked_pos = greedy_select(&items, budget_bytes, |selected, pos| {
+        let current: Configuration =
+            Configuration::from_ids(selected.iter().map(|&p| cand_ids[p]));
+        let with = current.with(cand_ids[pos]);
+        model_ref.workload_cost(&current) - model_ref.workload_cost(&with)
+    });
+
+    let chosen: Vec<CandId> = picked_pos.iter().map(|&p| cand_ids[p]).collect();
+    finish_selection(model, chosen, &base_costs, true)
+}
+
+/// Classic single-pass greedy (the "greedy heuristic" of the commercial
+/// tools, §1): benefits are computed once per candidate against the base
+/// design and never re-evaluated, so interactions between chosen indexes
+/// are ignored — redundant candidates look as good as complementary ones.
+pub fn select_indexes_greedy_static(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+) -> IndexSelection {
+    let cand_ids: Vec<CandId> =
+        candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
+    let nq = model.queries().len();
+    let empty = Configuration::empty();
+    let base_costs: Vec<f64> = (0..nq).map(|q| model.cost(q, &empty)).collect();
+    let base_total: f64 = base_costs.iter().sum();
+
+    // one-shot benefits
+    let mut scored: Vec<(usize, f64, u64)> = cand_ids
+        .iter()
+        .enumerate()
+        .map(|(pos, &id)| {
+            let with = Configuration::from_ids([id]);
+            let benefit = base_total - model.workload_cost(&with);
+            (pos, benefit, model.candidate_size(id))
+        })
+        .filter(|&(_, b, _)| b > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        let da = a.1 / a.2.max(1) as f64;
+        let db = b.1 / b.2.max(1) as f64;
+        db.total_cmp(&da)
+    });
+
+    let mut chosen = Vec::new();
+    let mut left = budget_bytes;
+    for (pos, _, size) in scored {
+        if size <= left {
+            left -= size;
+            chosen.push(cand_ids[pos]);
+        }
+    }
+    finish_selection(model, chosen, &base_costs, true)
+}

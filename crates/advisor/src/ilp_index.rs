@@ -1,0 +1,231 @@
+//! ILP-based index selection (Papadomanolakis & Ailamaki, SMDB'07; paper
+//! §3.4).
+//!
+//! The selection problem is mapped to a 0/1 integer-linear program:
+//!
+//! * `y_i`   — build candidate index `i`
+//! * `x_q_i` — query `q` uses index `i` for the table it covers
+//!
+//! maximize   Σ b_{q,i} · x_{q,i}           (benefits from the INUM model)
+//! subject to x_{q,i} ≤ y_i                 (use only built indexes)
+//!            Σ_{i on table t} x_{q,i} ≤ 1  ("only one access path is
+//!                                           selected for each table in a
+//!                                           query")
+//!            Σ size_i · y_i ≤ B            (storage constraint)
+//!
+//! Benefits `b_{q,i} = cost_INUM(q, ∅) − cost_INUM(q, {i})` come from the
+//! cached cost model, so building the program costs thousands of cached
+//! estimations rather than optimizer calls. The reported final costs are
+//! re-evaluated with INUM on the *selected set*, so interaction effects the
+//! linear objective ignores never reach the user.
+
+use std::collections::HashMap;
+
+use parinda_catalog::{MetadataProvider, TableId};
+use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
+use parinda_solver::{solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits};
+
+/// User-supplied constraints beyond the storage budget (paper §3.4: "other
+/// user-supplied constraints, such as constraints on the total size of the
+/// design features, and their update costs").
+#[derive(Debug, Clone, Default)]
+pub struct IlpOptions {
+    /// Per-query workload weights (frequencies); `None` = all 1.0.
+    pub weights: Option<Vec<f64>>,
+    /// Cap on the total index maintenance cost per unit time.
+    pub update_limit: Option<f64>,
+    /// Writes per unit time per table, for the update-cost constraint.
+    pub update_rates: HashMap<TableId, f64>,
+}
+
+/// Estimated maintenance cost of one index per unit time: each write to
+/// its table inserts one entry (B-tree descent + leaf write).
+pub fn index_update_cost(
+    model: &InumModel<'_>,
+    id: CandId,
+    update_rates: &HashMap<TableId, f64>,
+) -> f64 {
+    let cand = model.candidate(id);
+    let Some(&rate) = update_rates.get(&cand.table) else { return 0.0 };
+    let Some(table) = model.catalog().table(cand.table) else { return 0.0 };
+    let params = model.params();
+    let height = cand.height(table) as f64;
+    let per_insert = (height + 1.0) * params.random_page_cost
+        + 30.0 * params.cpu_operator_cost
+        + params.cpu_index_tuple_cost;
+    rate * per_insert
+}
+
+/// Outcome of index selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSelection {
+    /// Chosen candidates.
+    pub chosen: Vec<CandId>,
+    /// Estimated workload cost before (empty configuration).
+    pub cost_before: f64,
+    /// Estimated workload cost with the chosen set (INUM, interactions
+    /// included).
+    pub cost_after: f64,
+    /// Total size of the chosen indexes in bytes.
+    pub total_size: u64,
+    /// Was the ILP solved to proven optimality?
+    pub proven_optimal: bool,
+    /// Per-query costs before/after.
+    pub per_query: Vec<(f64, f64)>,
+}
+
+impl IndexSelection {
+    /// Average workload speedup factor (≥ 1.0 when the design helps).
+    pub fn speedup(&self) -> f64 {
+        if self.cost_after <= 0.0 {
+            return 1.0;
+        }
+        self.cost_before / self.cost_after
+    }
+}
+
+/// Select indexes with the ILP under a storage budget (bytes).
+pub fn select_indexes_ilp(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+) -> IndexSelection {
+    select_indexes_ilp_with(model, candidates, budget_bytes, &IlpOptions::default())
+}
+
+/// [`select_indexes_ilp`] with workload weights and an update-cost cap.
+pub fn select_indexes_ilp_with(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    options: &IlpOptions,
+) -> IndexSelection {
+    let cand_ids: Vec<CandId> =
+        candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
+    let nq = model.queries().len();
+    let weight = |q: usize| -> f64 {
+        options.weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or(1.0)
+    };
+
+    // Benefits (weighted) and sizes.
+    let empty = Configuration::empty();
+    let base_costs: Vec<f64> = (0..nq)
+        .map(|q| model.cost(q, &empty) * weight(q))
+        .collect();
+    let mut benefits: Vec<Vec<f64>> = Vec::with_capacity(nq); // [q][cand]
+    for (q, &base) in base_costs.iter().enumerate() {
+        let mut row = Vec::with_capacity(cand_ids.len());
+        for &id in &cand_ids {
+            let with = model.cost(q, &Configuration::from_ids([id])) * weight(q);
+            row.push((base - with).max(0.0));
+        }
+        benefits.push(row);
+    }
+    let sizes: Vec<u64> = cand_ids.iter().map(|&id| model.candidate_size(id)).collect();
+
+    // Build the ILP.
+    let n_cand = cand_ids.len();
+    // variable layout: y_0..y_{n-1}, then x_{q,i} for pairs with benefit>0
+    let mut x_vars: Vec<(usize, usize)> = Vec::new(); // (q, cand position)
+    for (q, row) in benefits.iter().enumerate() {
+        for (ci, &b) in row.iter().enumerate() {
+            if b > 1e-9 {
+                x_vars.push((q, ci));
+            }
+        }
+    }
+    let n_vars = n_cand + x_vars.len();
+    let mut lp = LinearProgram::new(n_vars);
+    for j in 0..n_vars {
+        lp.set_upper(j, 1.0);
+    }
+    // tiny per-byte penalty on y so indexes that enable no x stay unbuilt
+    for (ci, &s) in sizes.iter().enumerate() {
+        lp.set_objective(ci, -1e-9 * s as f64);
+    }
+    for (k, &(q, ci)) in x_vars.iter().enumerate() {
+        lp.set_objective(n_cand + k, benefits[q][ci]);
+        // x <= y
+        lp.add_constraint(vec![(n_cand + k, 1.0), (ci, -1.0)], Sense::Le, 0.0);
+    }
+    // one access path per (query, table)
+    {
+        use std::collections::HashMap;
+        let mut per_qt: HashMap<(usize, u32), Vec<usize>> = HashMap::new();
+        for (k, &(q, ci)) in x_vars.iter().enumerate() {
+            let t = model.candidate(cand_ids[ci]).table.0;
+            per_qt.entry((q, t)).or_default().push(n_cand + k);
+        }
+        for vars in per_qt.values() {
+            if vars.len() > 1 {
+                lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, 1.0);
+            }
+        }
+    }
+    // storage budget
+    lp.add_constraint(
+        sizes.iter().enumerate().map(|(ci, &s)| (ci, s as f64)).collect(),
+        Sense::Le,
+        budget_bytes as f64,
+    );
+    // update-cost constraint
+    if let Some(limit) = options.update_limit {
+        let terms: Vec<(usize, f64)> = cand_ids
+            .iter()
+            .enumerate()
+            .map(|(ci, &id)| (ci, index_update_cost(model, id, &options.update_rates)))
+            .filter(|&(_, c)| c > 0.0)
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(terms, Sense::Le, limit);
+        }
+    }
+
+    let ip = IntegerProgram { lp, binary: (0..n_vars).collect() };
+    let (chosen_pos, proven) = match solve_ilp(&ip, SolveLimits::default()) {
+        IlpOutcome::Solved(s) => {
+            let picked: Vec<usize> =
+                (0..n_cand).filter(|&ci| s.x[ci] > 0.5).collect();
+            (picked, s.proven_optimal)
+        }
+        // Infeasible can only mean "no candidate fits the budget".
+        _ => (Vec::new(), true),
+    };
+
+    let chosen: Vec<CandId> = chosen_pos.iter().map(|&ci| cand_ids[ci]).collect();
+    finish_selection_weighted(model, chosen, &base_costs, proven, &options.weights)
+}
+
+/// Compute the final (honest) report for a chosen set.
+pub(crate) fn finish_selection(
+    model: &InumModel<'_>,
+    chosen: Vec<CandId>,
+    base_costs: &[f64],
+    proven_optimal: bool,
+) -> IndexSelection {
+    finish_selection_weighted(model, chosen, base_costs, proven_optimal, &None)
+}
+
+/// Weighted variant: `base_costs` are already weighted; after-costs get
+/// the same weights so the report stays consistent.
+pub(crate) fn finish_selection_weighted(
+    model: &InumModel<'_>,
+    chosen: Vec<CandId>,
+    base_costs: &[f64],
+    proven_optimal: bool,
+    weights: &Option<Vec<f64>>,
+) -> IndexSelection {
+    let weight = |q: usize| -> f64 {
+        weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or(1.0)
+    };
+    let cfg = Configuration::from_ids(chosen.iter().copied());
+    let per_query: Vec<(f64, f64)> = base_costs
+        .iter()
+        .enumerate()
+        .map(|(q, &b)| (b, model.cost(q, &cfg) * weight(q)))
+        .collect();
+    let cost_before: f64 = base_costs.iter().sum();
+    let cost_after: f64 = per_query.iter().map(|p| p.1).sum();
+    let total_size: u64 = chosen.iter().map(|&id| model.candidate_size(id)).sum();
+    IndexSelection { chosen, cost_before, cost_after, total_size, proven_optimal, per_query }
+}

@@ -1,0 +1,387 @@
+//! Automatic query rewriting for partitioned schemas (paper §3.3: "An
+//! automatic query rewriter is used to rewrite the original workload for
+//! the composite fragments").
+//!
+//! A table reference whose table is partitioned is replaced by the minimal
+//! set of fragments covering the columns the query uses; fragments are
+//! joined on the primary key. The first fragment inherits the original
+//! binding name so the rewrite stays local, and every column reference is
+//! re-qualified to the fragment that stores it.
+
+use std::collections::{BTreeSet, HashMap};
+
+use parinda_catalog::MetadataProvider;
+use parinda_sql::ast::{ColumnRef, Expr, Select, SelectItem, TableRef};
+use parinda_sql::BinOp;
+
+use crate::fragments::Fragment;
+
+/// A named fragment of a named table — the rewriter/evaluator currency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedFragment {
+    /// Simulated partition table name.
+    pub name: String,
+    /// The fragment (table id + columns).
+    pub fragment: Fragment,
+}
+
+/// A partitioning design: named fragments, possibly for several tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionDesign {
+    pub fragments: Vec<NamedFragment>,
+}
+
+impl PartitionDesign {
+    /// Fragments defined over `table`.
+    pub fn fragments_for(&self, table: parinda_catalog::TableId) -> Vec<&NamedFragment> {
+        self.fragments.iter().filter(|f| f.fragment.table == table).collect()
+    }
+
+    /// Is any table partitioned?
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+/// Rewrite errors. Callers typically fall back to the original query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteError {
+    UnknownTable(String),
+    AmbiguousColumn(String),
+    UnknownColumn(String),
+    /// The design has no fragment set covering a needed column.
+    NotCoverable { table: String, column: String },
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            RewriteError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            RewriteError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            RewriteError::NotCoverable { table, column } => {
+                write!(f, "no fragment of {table} covers column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Rewrite `select` against a partition design. Returns the rewritten
+/// statement (identical to the input when no referenced table is
+/// partitioned).
+pub fn rewrite_select(
+    select: &Select,
+    meta: &dyn MetadataProvider,
+    design: &PartitionDesign,
+) -> Result<Select, RewriteError> {
+    // Resolve the FROM list.
+    struct RelInfo {
+        binding: String,
+        table_name: String,
+        table: parinda_catalog::TableId,
+        used: BTreeSet<usize>,
+    }
+    let mut rels: Vec<RelInfo> = Vec::new();
+    for tr in &select.from {
+        let t = meta
+            .table_by_name(&tr.name)
+            .ok_or_else(|| RewriteError::UnknownTable(tr.name.clone()))?;
+        rels.push(RelInfo {
+            binding: tr.binding().to_ascii_lowercase(),
+            table_name: t.name.clone(),
+            table: t.id,
+            used: BTreeSet::new(),
+        });
+    }
+
+    // Resolve a column ref to (rel position, column position).
+    let resolve = |c: &ColumnRef, rels: &[RelInfo]| -> Result<(usize, usize), RewriteError> {
+        match &c.table {
+            Some(q) => {
+                let ql = q.to_ascii_lowercase();
+                let ri = rels
+                    .iter()
+                    .position(|r| r.binding == ql)
+                    .ok_or_else(|| RewriteError::UnknownTable(ql.clone()))?;
+                let t = meta.table(rels[ri].table).expect("resolved above");
+                let ci = t
+                    .column_index(&c.column)
+                    .ok_or_else(|| RewriteError::UnknownColumn(c.column.clone()))?;
+                Ok((ri, ci))
+            }
+            None => {
+                let mut hit = None;
+                for (ri, r) in rels.iter().enumerate() {
+                    let t = meta.table(r.table).expect("resolved above");
+                    if let Some(ci) = t.column_index(&c.column) {
+                        if hit.is_some() {
+                            return Err(RewriteError::AmbiguousColumn(c.column.clone()));
+                        }
+                        hit = Some((ri, ci));
+                    }
+                }
+                hit.ok_or_else(|| RewriteError::UnknownColumn(c.column.clone()))
+            }
+        }
+    };
+
+    // Gather used columns.
+    let collect = |e: &Expr, rels: &mut Vec<RelInfo>| -> Result<(), RewriteError> {
+        let mut err = None;
+        e.visit_columns(&mut |c| {
+            if err.is_some() {
+                return;
+            }
+            match resolve(c, rels) {
+                Ok((ri, ci)) => {
+                    rels[ri].used.insert(ci);
+                }
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    };
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for r in &mut rels {
+                    let n = meta.table(r.table).unwrap().columns.len();
+                    r.used.extend(0..n);
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let ql = q.to_ascii_lowercase();
+                let Some(pos) = rels.iter().position(|r| r.binding == ql) else {
+                    return Err(RewriteError::UnknownTable(ql));
+                };
+                let n = meta.table(rels[pos].table).unwrap().columns.len();
+                rels[pos].used.extend(0..n);
+            }
+            SelectItem::Expr { expr, .. } => collect(expr, &mut rels)?,
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        collect(w, &mut rels)?;
+    }
+    for e in &select.group_by {
+        collect(e, &mut rels)?;
+    }
+    for o in &select.order_by {
+        collect(&o.expr, &mut rels)?;
+    }
+
+    // Plan the replacement per rel.
+    struct Replacement {
+        /// new FROM entries for this rel
+        from: Vec<TableRef>,
+        /// extra PK-join predicates
+        preds: Vec<Expr>,
+        /// column position -> binding to qualify with
+        col_binding: HashMap<usize, String>,
+    }
+    let mut replacements: Vec<Option<Replacement>> = Vec::new();
+    for r in &rels {
+        let frags = design.fragments_for(r.table);
+        if frags.is_empty() {
+            replacements.push(None);
+            continue;
+        }
+        let parent = meta.table(r.table).expect("resolved above");
+        let pk: Vec<usize> = parent.primary_key.clone();
+        // Needed columns beyond the PK (every fragment carries the PK).
+        let needed: BTreeSet<usize> =
+            r.used.iter().copied().filter(|c| !pk.contains(c)).collect();
+
+        // Greedy set cover over fragments.
+        let mut uncovered = needed.clone();
+        let mut chosen: Vec<&NamedFragment> = Vec::new();
+        while !uncovered.is_empty() {
+            let best = frags
+                .iter()
+                .filter(|f| !chosen.iter().any(|c| c.name == f.name))
+                .max_by_key(|f| f.fragment.columns.intersection(&uncovered).count());
+            match best {
+                Some(f) if f.fragment.columns.intersection(&uncovered).count() > 0 => {
+                    for c in f.fragment.columns.intersection(&uncovered.clone()) {
+                        uncovered.remove(c);
+                    }
+                    chosen.push(f);
+                }
+                _ => {
+                    let col = *uncovered.iter().next().unwrap();
+                    return Err(RewriteError::NotCoverable {
+                        table: r.table_name.clone(),
+                        column: parent.columns[col].name.clone(),
+                    });
+                }
+            }
+        }
+        if chosen.is_empty() {
+            // query touches only the PK: any fragment will do
+            chosen.push(frags[0]);
+        }
+
+        // FROM entries: first fragment takes the original binding.
+        let mut from = Vec::new();
+        let mut preds = Vec::new();
+        let mut col_binding: HashMap<usize, String> = HashMap::new();
+        for (i, f) in chosen.iter().enumerate() {
+            let alias = if i == 0 {
+                r.binding.clone()
+            } else {
+                format!("{}_f{}", r.binding, i + 1)
+            };
+            from.push(TableRef { name: f.name.clone(), alias: Some(alias.clone()) });
+            if i > 0 {
+                // join on the PK with the first fragment
+                for &pkc in &pk {
+                    let col = parent.columns[pkc].name.clone();
+                    preds.push(Expr::binary(
+                        BinOp::Eq,
+                        Expr::Column(ColumnRef::qualified(from[0].alias.clone().unwrap(), col.clone())),
+                        Expr::Column(ColumnRef::qualified(alias.clone(), col)),
+                    ));
+                }
+            }
+            for &c in &f.fragment.columns {
+                col_binding.entry(c).or_insert_with(|| alias.clone());
+            }
+        }
+        // PK columns resolve to the first fragment.
+        for &pkc in &pk {
+            col_binding.insert(pkc, from[0].alias.clone().unwrap());
+        }
+        replacements.push(Some(Replacement { from, preds, col_binding }));
+    }
+
+    if replacements.iter().all(|r| r.is_none()) {
+        return Ok(select.clone());
+    }
+
+    // Column mapper: re-qualify refs of partitioned rels.
+    let map_ref = |c: &ColumnRef| -> Result<ColumnRef, RewriteError> {
+        let (ri, ci) = resolve(c, &rels)?;
+        match &replacements[ri] {
+            None => Ok(c.clone()),
+            Some(rep) => {
+                let binding = rep
+                    .col_binding
+                    .get(&ci)
+                    .expect("cover computed over all used columns");
+                Ok(ColumnRef::qualified(binding.clone(), c.column.clone()))
+            }
+        }
+    };
+
+    // Rebuild the statement.
+    let mut from = Vec::new();
+    let mut extra_preds = Vec::new();
+    for (ri, tr) in select.from.iter().enumerate() {
+        match &replacements[ri] {
+            None => from.push(tr.clone()),
+            Some(rep) => {
+                from.extend(rep.from.iter().cloned());
+                extra_preds.extend(rep.preds.iter().cloned());
+            }
+        }
+    }
+
+    let items = select
+        .items
+        .iter()
+        .map(|item| -> Result<SelectItem, RewriteError> {
+            Ok(match item {
+                SelectItem::Wildcard => SelectItem::Wildcard,
+                SelectItem::QualifiedWildcard(q) => SelectItem::QualifiedWildcard(q.clone()),
+                SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                    expr: map_expr(expr, &map_ref)?,
+                    alias: alias.clone(),
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut where_clause = match &select.where_clause {
+        Some(w) => Some(map_expr(w, &map_ref)?),
+        None => None,
+    };
+    for p in extra_preds {
+        where_clause = Some(match where_clause {
+            Some(w) => Expr::and(w, p),
+            None => p,
+        });
+    }
+
+    let group_by = select
+        .group_by
+        .iter()
+        .map(|e| map_expr(e, &map_ref))
+        .collect::<Result<Vec<_>, _>>()?;
+    let order_by = select
+        .order_by
+        .iter()
+        .map(|o| {
+            Ok(parinda_sql::ast::OrderByItem { expr: map_expr(&o.expr, &map_ref)?, desc: o.desc })
+        })
+        .collect::<Result<Vec<_>, RewriteError>>()?;
+
+    Ok(Select {
+        distinct: select.distinct,
+        items,
+        from,
+        where_clause,
+        group_by,
+        order_by,
+        limit: select.limit,
+    })
+}
+
+/// Map every column reference through `f`, rebuilding the expression.
+fn map_expr<F>(e: &Expr, f: &F) -> Result<Expr, RewriteError>
+where
+    F: Fn(&ColumnRef) -> Result<ColumnRef, RewriteError>,
+{
+    Ok(match e {
+        Expr::Column(c) => Expr::Column(f(c)?),
+        Expr::Literal(l) => Expr::Literal(l.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(map_expr(left, f)?),
+            right: Box::new(map_expr(right, f)?),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(map_expr(inner, f)?)),
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(map_expr(expr, f)?),
+            low: Box::new(map_expr(low, f)?),
+            high: Box::new(map_expr(high, f)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(map_expr(expr, f)?),
+            list: list.iter().map(|e| map_expr(e, f)).collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(map_expr(expr, f)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(map_expr(expr, f)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Agg { func, arg, distinct } => Expr::Agg {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(map_expr(a, f)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+    })
+}

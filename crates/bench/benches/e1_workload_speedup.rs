@@ -1,0 +1,41 @@
+//! E1 — workload execution time before vs after the suggested physical
+//! design (paper §1: "speedups ranging from 2x to 10x").
+//!
+//! Measures *real execution* of the 30-query SDSS workload on the
+//! laptop-scale instance: once on the bare design, once with AutoPart
+//! partitions + ILP-selected indexes materialized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parinda::{AutoPartConfig, SelectionMethod};
+use parinda_bench::{execute_workload, laptop_session, workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_workload_speedup");
+    group.sample_size(10);
+
+    // Baseline design.
+    let (base_session, _) = laptop_session(20_000, 1);
+    let wl = workload();
+    group.bench_function("before_suggestions", |b| {
+        b.iter(|| execute_workload(&base_session, &wl))
+    });
+
+    // Suggested design: partitions + indexes, materialized.
+    let (mut tuned, _) = laptop_session(20_000, 1);
+    let parts = tuned
+        .suggest_partitions(&wl, AutoPartConfig::default())
+        .expect("autopart");
+    tuned.materialize_partitions(&parts).expect("partition build");
+    let budget = tuned.catalog().total_size_bytes() / 5;
+    let idx = tuned.suggest_indexes(&wl, budget, SelectionMethod::Ilp).expect("advisor");
+    tuned.materialize_indexes(&idx).expect("index build");
+    let rewritten = parts.rewritten.clone();
+    group.bench_function("after_suggestions", |b| {
+        b.iter(|| execute_workload(&tuned, &rewritten))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

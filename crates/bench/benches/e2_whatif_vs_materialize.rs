@@ -1,0 +1,43 @@
+//! E2 — simulating a design feature vs physically building it (paper §1:
+//! "simulating the structures makes the operations orders of magnitude
+//! faster").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parinda::WhatIfIndex;
+use parinda_bench::laptop_session;
+use parinda_whatif::{simulate_index, HypotheticalCatalog};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_whatif_vs_materialize");
+    group.sample_size(10);
+
+    let (session, _) = laptop_session(20_000, 2);
+    let def = WhatIfIndex::new("w_modelmag_r", "photoobj", &["modelmag_r"]);
+
+    group.bench_function("simulate_index", |b| {
+        b.iter(|| {
+            let mut overlay = HypotheticalCatalog::new(session.catalog());
+            simulate_index(&mut overlay, &def).expect("simulate")
+        })
+    });
+
+    group.bench_function("build_index", |b| {
+        b.iter_batched(
+            || laptop_session(20_000, 2).0,
+            |mut s| {
+                let id = s
+                    .catalog_mut()
+                    .create_index("b_modelmag_r", "photoobj", &["modelmag_r"])
+                    .expect("create");
+                let (cat, db) = s.catalog_db_mut();
+                db.build_index(cat, id)
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E3 — INUM cached configuration costing vs full re-optimization (paper
+//! §3.4: "costs of millions of physical designs in the order of minutes
+//! instead of days").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parinda_bench::{paper_session, workload};
+use parinda_catalog::MetadataProvider;
+use parinda_inum::{CandidateIndex, Configuration, InumModel};
+use parinda_optimizer::CostParams;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_inum_speedup");
+    group.sample_size(20);
+
+    let session = paper_session();
+    let wl = workload();
+    let mut model = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
+
+    let photo = session.catalog().table_by_name("photoobj").unwrap().id;
+    let spec = session.catalog().table_by_name("specobj").unwrap().id;
+    let ids: Vec<_> = [
+        (photo, vec![0usize]),
+        (photo, vec![14]),
+        (photo, vec![9]),
+        (spec, vec![1]),
+        (spec, vec![5]),
+    ]
+    .into_iter()
+    .map(|(t, cols)| model.register_candidate(CandidateIndex::new(t, cols)))
+    .collect();
+    let configs: Vec<Configuration> = (0..32u32)
+        .map(|mask| {
+            Configuration::from_ids(
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &id)| id),
+            )
+        })
+        .collect();
+    // warm memos so the bench measures steady-state cache service
+    for cfg in &configs {
+        model.workload_cost(cfg);
+    }
+
+    let mut i = 0usize;
+    group.bench_function("inum_cached_estimate", |b| {
+        b.iter(|| {
+            i = (i + 1) % (configs.len() * wl.len());
+            model.cost(i % wl.len(), &configs[i % configs.len()])
+        })
+    });
+
+    let mut j = 0usize;
+    group.bench_function("full_reoptimization", |b| {
+        b.iter(|| {
+            j = (j + 1) % (configs.len() * wl.len());
+            model.exact_cost(j % wl.len(), &configs[j % configs.len()])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

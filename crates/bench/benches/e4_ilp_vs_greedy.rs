@@ -1,0 +1,31 @@
+//! E4 — ILP vs greedy selection runtime as workload size grows (quality is
+//! reported by the `experiments e4` table; here we measure the search
+//! itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parinda::SelectionMethod;
+use parinda_bench::paper_session;
+use parinda_workload::generate_queries;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_ilp_vs_greedy");
+    group.sample_size(10);
+
+    let session = paper_session();
+    let budget = session.catalog().total_size_bytes() / 10;
+
+    for n in [5usize, 15, 30] {
+        let wl = generate_queries(n, 42);
+        group.bench_with_input(BenchmarkId::new("ilp", n), &wl, |b, wl| {
+            b.iter(|| session.suggest_indexes(wl, budget, SelectionMethod::Ilp).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &wl, |b, wl| {
+            b.iter(|| session.suggest_indexes(wl, budget, SelectionMethod::Greedy).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E5 — Equation-1 sizing throughput (accuracy is reported by the
+//! `experiments e5` table; here we show that what-if sizing is effectively
+//! free compared to any physical operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parinda_bench::paper_session;
+use parinda_catalog::layout::index_leaf_pages;
+use parinda_catalog::MetadataProvider;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_size_accuracy");
+
+    let session = paper_session();
+    let photo = session.catalog().table_by_name("photoobj").unwrap().clone();
+    let narrow = vec![photo.columns[0].clone()];
+    let wide: Vec<_> = photo.columns[..8].to_vec();
+
+    group.bench_function("equation1_single_column", |b| {
+        b.iter(|| index_leaf_pages(photo.row_count, &narrow))
+    });
+    group.bench_function("equation1_eight_columns", |b| {
+        b.iter(|| index_leaf_pages(photo.row_count, &wide))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

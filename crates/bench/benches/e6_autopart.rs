@@ -1,0 +1,29 @@
+//! E6 — AutoPart end-to-end runtime on the 30-query SDSS workload (the
+//! suggestion quality table comes from `experiments e6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parinda::AutoPartConfig;
+use parinda_bench::{paper_session, workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_autopart");
+    group.sample_size(10);
+
+    let session = paper_session();
+    let wl = workload();
+
+    group.bench_function("suggest_partitions_sdss30", |b| {
+        b.iter(|| session.suggest_partitions(&wl, AutoPartConfig::default()).unwrap())
+    });
+
+    // narrower input: only the photo-only selections (faster convergence)
+    let narrow: Vec<_> = wl[..10].to_vec();
+    group.bench_function("suggest_partitions_sdss10", |b| {
+        b.iter(|| session.suggest_partitions(&narrow, AutoPartConfig::default()).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E7 — interactive what-if evaluation latency: the responsiveness that
+//! makes the tool "interactive" (paper §1: the DBA explores "a larger
+//! solution space interactively").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parinda::{Design, WhatIfIndex, WhatIfPartition};
+use parinda_bench::{paper_session, workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_interactive");
+    group.sample_size(10);
+
+    let session = paper_session();
+    let wl = workload();
+
+    let index_design = Design::new()
+        .with_index(WhatIfIndex::new("w_objid", "photoobj", &["objid"]))
+        .with_index(WhatIfIndex::new("w_best", "specobj", &["bestobjid"]));
+    group.bench_function("evaluate_two_indexes_30q", |b| {
+        b.iter(|| session.evaluate_design(&wl, &index_design).unwrap())
+    });
+
+    let mixed_design = Design::new()
+        .with_index(WhatIfIndex::new("w_objid", "photoobj", &["objid"]))
+        .with_partition(WhatIfPartition::new(
+            "photoobj_astro",
+            "photoobj",
+            &["ra", "dec", "type", "modelmag_r", "modelmag_g"],
+        ));
+    group.bench_function("evaluate_index_plus_partition_30q", |b| {
+        b.iter(|| session.evaluate_design(&wl, &mixed_design).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

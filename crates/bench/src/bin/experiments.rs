@@ -1,0 +1,524 @@
+//! Experiment harness: regenerates every quantitative artifact of the
+//! paper (DESIGN.md experiment index E1–E7). Each experiment prints the
+//! paper's claim next to the measured/simulated result.
+//!
+//! ```text
+//! cargo run --release -p parinda-bench --bin experiments -- all
+//! cargo run --release -p parinda-bench --bin experiments -- e3
+//! ```
+
+use std::time::Instant;
+
+use parinda::{
+    verify_whatif_index, AutoPartConfig, Design, SelectionMethod, WhatIfIndex, WhatIfPartition,
+};
+use parinda_bench::{execute_workload, laptop_session, paper_session, workload, Table};
+use parinda_catalog::MetadataProvider;
+use parinda_inum::{CandidateIndex, Configuration, InumModel};
+use parinda_optimizer::CostParams;
+use parinda_whatif::{simulate_index, HypotheticalCatalog};
+use parinda_workload::generate_queries;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "e1" => e1_workload_speedup(),
+        "e2" => e2_whatif_vs_materialize(),
+        "e3" => e3_inum_speedup(),
+        "e4" => e4_ilp_vs_greedy(),
+        "e5" => e5_size_accuracy(),
+        "e6" => e6_autopart(),
+        "e7" => e7_interactive(),
+        "a1" => a1_inum_ablation(),
+        "all" => {
+            e1_workload_speedup();
+            e2_whatif_vs_materialize();
+            e3_inum_speedup();
+            e4_ilp_vs_greedy();
+            e5_size_accuracy();
+            e6_autopart();
+            e7_interactive();
+            a1_inum_ablation();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use e1..e7, a1, or all");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn banner(id: &str, claim: &str) {
+    println!("\n==========================================================================");
+    println!("{id}");
+    println!("paper claim: {claim}");
+    println!("==========================================================================");
+}
+
+/// E1 — "Using these techniques on analytical queries, we achieve speedups
+/// ranging from 2x to 10x" (§1). Suggested partitions + indexes, estimated
+/// at paper scale and *measured by execution* at laptop scale.
+fn e1_workload_speedup() {
+    banner("E1  workload speedup from suggested design features", "2x to 10x");
+
+    // --- estimated, paper scale, per budget ---
+    let session = paper_session();
+    let wl = workload();
+    let base_bytes = session.catalog().total_size_bytes();
+    let mut t = Table::new(&["budget (frac of db)", "indexes", "partitions", "est. speedup"]);
+    for frac in [0.05f64, 0.1, 0.2, 0.4] {
+        let budget = (base_bytes as f64 * frac) as u64;
+        let idx = session.suggest_indexes(&wl, budget, SelectionMethod::Ilp).expect("advisor");
+        let parts = session
+            .suggest_partitions(&wl, AutoPartConfig::default())
+            .expect("autopart");
+        // combined: apply partitions via interactive design + chosen indexes
+        let mut design = Design::new();
+        for p in &parts.partitions {
+            let cols: Vec<&str> = p.columns.iter().map(|s| s.as_str()).collect();
+            design = design.with_partition(WhatIfPartition::new(&p.name, &p.table, &cols));
+        }
+        for i in &idx.indexes {
+            let cols: Vec<&str> = i.columns.iter().map(|s| s.as_str()).collect();
+            design = design.with_index(WhatIfIndex::new(&i.name, &i.table, &cols));
+        }
+        let (report, _) = session.evaluate_design(&wl, &design).expect("evaluation");
+        t.row(&[
+            format!("{:.0}%", frac * 100.0),
+            idx.indexes.len().to_string(),
+            parts.partitions.len().to_string(),
+            format!("{:.2}x", report.speedup()),
+        ]);
+    }
+    println!("\nestimated (optimizer cost, paper-scale statistics):\n{}", t.render());
+
+    // --- measured, laptop scale ---
+    let (mut session, _) = laptop_session(20_000, 1);
+    let wl = workload();
+    let before = {
+        let t0 = Instant::now();
+        let rows = execute_workload(&session, &wl);
+        (t0.elapsed(), rows)
+    };
+    let parts = session
+        .suggest_partitions(&wl, AutoPartConfig::default())
+        .expect("autopart");
+    session.materialize_partitions(&parts).expect("partition build");
+    let budget = session.catalog().total_size_bytes() / 5;
+    let idx = session.suggest_indexes(&wl, budget, SelectionMethod::Ilp).expect("advisor");
+    session.materialize_indexes(&idx).expect("index build");
+    // execute the rewritten workload (queries now target fragments where
+    // beneficial) against the new design
+    let after = {
+        let t0 = Instant::now();
+        let rows = execute_workload(&session, &parts.rewritten);
+        (t0.elapsed(), rows)
+    };
+    println!("measured (real execution, 20k-row laptop instance):");
+    println!("  before: {:?} ({} rows)", before.0, before.1);
+    println!("  after:  {:?} ({} rows)", after.0, after.1);
+    println!(
+        "  measured speedup: {:.2}x   [paper: 2x-10x]",
+        before.0.as_secs_f64() / after.0.as_secs_f64()
+    );
+}
+
+/// E2 — what-if simulation is "orders of magnitude faster" than building
+/// the features (§1, §3.2).
+fn e2_whatif_vs_materialize() {
+    banner(
+        "E2  what-if simulation vs physically building design features",
+        "simulation is orders of magnitude faster",
+    );
+    let mut t = Table::new(&["# indexes", "simulate", "build", "ratio"]);
+    for n in [1usize, 4, 16] {
+        let (mut session, _) = laptop_session(20_000, 2);
+        let photo = session.catalog().table_by_name("photoobj").unwrap().clone();
+        // n distinct single-column indexes over photometric columns
+        let cols: Vec<String> = photo
+            .columns
+            .iter()
+            .skip(30)
+            .take(n)
+            .map(|c| c.name.clone())
+            .collect();
+
+        let t0 = Instant::now();
+        let mut overlay = HypotheticalCatalog::new(session.catalog());
+        for c in &cols {
+            simulate_index(&mut overlay, &WhatIfIndex::new(format!("w_{c}"), "photoobj", &[c]))
+                .expect("simulation");
+        }
+        let sim = t0.elapsed();
+        drop(overlay);
+
+        let t0 = Instant::now();
+        for c in &cols {
+            let id = session
+                .catalog_mut()
+                .create_index(&format!("b_{c}"), "photoobj", &[c])
+                .expect("create");
+            let (cat, db) = session.catalog_db_mut();
+            db.build_index(cat, id);
+        }
+        let build = t0.elapsed();
+
+        t.row(&[
+            n.to_string(),
+            format!("{sim:?}"),
+            format!("{build:?}"),
+            format!("{:.0}x", build.as_secs_f64() / sim.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    println!("\n{}", t.render());
+}
+
+/// E3 — INUM estimates "costs of millions of physical designs in the order
+/// of minutes instead of days" (§3.4).
+fn e3_inum_speedup() {
+    banner(
+        "E3  INUM cached cost model vs full re-optimization",
+        "millions of estimations in minutes instead of days",
+    );
+    let session = paper_session();
+    let wl = workload();
+
+    let t0 = Instant::now();
+    let mut model = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
+    let build_time = t0.elapsed();
+
+    // register a candidate pool and pre-warm memos
+    let photo = session.catalog().table_by_name("photoobj").unwrap().id;
+    let spec = session.catalog().table_by_name("specobj").unwrap().id;
+    let cands: Vec<_> = [
+        (photo, vec![0]),
+        (photo, vec![14]),
+        (photo, vec![9]),
+        (photo, vec![27]),
+        (spec, vec![1]),
+        (spec, vec![5]),
+    ]
+    .into_iter()
+    .map(|(t, c)| model.register_candidate(CandidateIndex::new(t, c)))
+    .collect();
+    let configs: Vec<Configuration> = (0..64u32)
+        .map(|mask| {
+            Configuration::from_ids(
+                cands
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &id)| id),
+            )
+        })
+        .collect();
+    for cfg in &configs {
+        model.workload_cost(cfg); // warm memoization
+    }
+
+    const N_CACHED: usize = 100_000;
+    let t0 = Instant::now();
+    let mut guard = 0.0f64;
+    for i in 0..N_CACHED {
+        let cfg = &configs[i % configs.len()];
+        guard += model.cost(i % wl.len(), cfg);
+    }
+    let cached = t0.elapsed();
+    assert!(guard.is_finite());
+
+    const N_FULL: usize = 200;
+    let t0 = Instant::now();
+    for i in 0..N_FULL {
+        let cfg = &configs[i % configs.len()];
+        model.exact_cost(i % wl.len(), cfg);
+    }
+    let full = t0.elapsed();
+
+    let per_cached = cached.as_secs_f64() / N_CACHED as f64;
+    let per_full = full.as_secs_f64() / N_FULL as f64;
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["cache build (30 queries)".into(), format!("{build_time:?}")]);
+    t.row(&["per-estimate, INUM cached".into(), format!("{:.2} µs", per_cached * 1e6)]);
+    t.row(&["per-estimate, full optimizer".into(), format!("{:.2} µs", per_full * 1e6)]);
+    t.row(&["speedup per estimate".into(), format!("{:.0}x", per_full / per_cached)]);
+    t.row(&[
+        "1M estimations, INUM".into(),
+        format!("{:.1} s", per_cached * 1e6),
+    ]);
+    t.row(&[
+        "1M estimations, full optimizer".into(),
+        format!("{:.1} min", per_full * 1e6 / 60.0),
+    ]);
+    println!("\n{}", t.render());
+}
+
+/// E4 — "Typically ILP outperforms the greedy algorithms on workloads
+/// containing a large number of queries" (§3.4).
+///
+/// Two baselines: the classic single-pass greedy ("greedy heuristic" of
+/// the commercial tools — benefits computed once, interactions ignored)
+/// and a stronger adaptive greedy that re-evaluates marginal benefits.
+/// The ILP beats the classic greedy by ~10% at tight budgets and edges
+/// out even the adaptive one at budget boundaries, while additionally
+/// *proving* optimality.
+fn e4_ilp_vs_greedy() {
+    banner(
+        "E4  ILP vs greedy index selection",
+        "ILP outperforms greedy on large workloads",
+    );
+    use parinda_advisor::{
+        generate_candidates, select_indexes_greedy, select_indexes_greedy_static,
+        select_indexes_ilp, CandidateLimits,
+    };
+    let session = paper_session();
+    let wl = workload();
+    let cands = {
+        let m = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
+        generate_candidates(m.queries(), CandidateLimits::default())
+    };
+
+    // (a) budget sweep on the 30-query SDSS workload
+    let mut t = Table::new(&[
+        "budget",
+        "ilp cost",
+        "greedy(adaptive)",
+        "greedy(classic)",
+        "ilp vs adaptive",
+        "ilp vs classic",
+    ]);
+    for mb in [400u64, 800, 1200, 1800, 2120] {
+        let budget = mb * 1024 * 1024;
+        let mut m1 = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
+        let ilp = select_indexes_ilp(&mut m1, &cands, budget);
+        let mut m2 = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
+        let ga = select_indexes_greedy(&mut m2, &cands, budget);
+        let mut m3 = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
+        let gc = select_indexes_greedy_static(&mut m3, &cands, budget);
+        let gap = |g: f64| (g - ilp.cost_after) / g * 100.0;
+        t.row(&[
+            format!("{mb} MB"),
+            format!("{:.0}", ilp.cost_after),
+            format!("{:.0}", ga.cost_after),
+            format!("{:.0}", gc.cost_after),
+            format!("+{:.2}%", gap(ga.cost_after)),
+            format!("+{:.2}%", gap(gc.cost_after)),
+        ]);
+    }
+    println!("\nquality, SDSS-30 (lower cost is better; +x% = greedy worse than ILP):");
+    println!("{}", t.render());
+
+    // (b) workload-size sweep: selection runtime
+    let mut t = Table::new(&["queries", "ilp time", "greedy time", "ilp proven optimal"]);
+    for n in [5usize, 15, 30, 60, 120] {
+        let wl = generate_queries(n, 42);
+        let budget = session.catalog().total_size_bytes() / 10;
+        let t0 = Instant::now();
+        let sel = session.suggest_indexes(&wl, budget, SelectionMethod::Ilp).expect("ilp");
+        let ilp_t = t0.elapsed();
+        let t0 = Instant::now();
+        session
+            .suggest_indexes(&wl, budget, SelectionMethod::Greedy)
+            .expect("greedy");
+        let greedy_t = t0.elapsed();
+        t.row(&[
+            n.to_string(),
+            format!("{ilp_t:.2?}"),
+            format!("{greedy_t:.2?}"),
+            if sel.proven_optimal { "yes".into() } else { "no".into() },
+        ]);
+    }
+    println!("search runtime, generated workloads:");
+    println!("{}", t.render());
+}
+
+/// E5 — Equation 1 accuracy: estimated vs measured index leaf pages.
+fn e5_size_accuracy() {
+    banner(
+        "E5  Equation-1 index sizing vs built B-trees",
+        "o=24, B=8192, leaf pages only; accurate enough for relative sizes",
+    );
+    let (mut session, _) = laptop_session(30_000, 3);
+    let shapes: Vec<(&str, Vec<&str>)> = vec![
+        ("photoobj", vec!["objid"]),
+        ("photoobj", vec!["ra"]),
+        ("photoobj", vec!["type"]),
+        ("photoobj", vec!["run", "camcol", "field"]),
+        ("photoobj", vec!["type", "modelmag_r"]),
+        ("specobj", vec!["bestobjid"]),
+        ("specobj", vec!["z"]),
+        ("neighbors", vec!["objid", "distance"]),
+    ];
+    let mut t = Table::new(&["index", "estimated pages", "measured pages", "error"]);
+    for (i, (table, cols)) in shapes.iter().enumerate() {
+        let mut overlay = HypotheticalCatalog::new(session.catalog());
+        let def = WhatIfIndex::new(format!("w{i}"), *table, cols);
+        let id = simulate_index(&mut overlay, &def).expect("simulate");
+        let est = overlay.hypo_index(id).unwrap().pages;
+        drop(overlay);
+
+        let rid = session
+            .catalog_mut()
+            .create_index(&format!("m{i}"), table, cols)
+            .expect("create");
+        let (cat, db) = session.catalog_db_mut();
+        db.build_index(cat, rid);
+        let measured = session.catalog().index(rid).unwrap().pages;
+        let err = (est as f64 - measured as f64) / measured as f64 * 100.0;
+        t.row(&[
+            format!("{table}({})", cols.join(",")),
+            est.to_string(),
+            measured.to_string(),
+            format!("{err:+.1}%"),
+        ]);
+    }
+    println!("\n{}", t.render());
+}
+
+/// E6 — AutoPart improves workload cost under replication constraints and
+/// converges (§3.3).
+fn e6_autopart() {
+    banner(
+        "E6  AutoPart partition suggestion vs replication budget",
+        "optimal partitions under DBA space constraints; queries rewritten",
+    );
+    let session = paper_session();
+    let wl = workload();
+    let base = session.catalog().total_size_bytes();
+    let mut t = Table::new(&["replication budget", "fragments", "iterations", "est. speedup", "rewritten queries"]);
+    for frac in [0.0f64, 0.1, 0.25, 0.5] {
+        let cfg = AutoPartConfig {
+            replication_limit_bytes: (base as f64 * frac) as i64,
+            ..Default::default()
+        };
+        let sugg = session.suggest_partitions(&wl, cfg).expect("autopart");
+        let rewritten = wl
+            .iter()
+            .zip(&sugg.rewritten)
+            .filter(|(a, b)| a != b)
+            .count();
+        t.row(&[
+            format!("{:.0}%", frac * 100.0),
+            sugg.partitions.len().to_string(),
+            sugg.iterations.to_string(),
+            format!("{:.2}x", sugg.report.speedup()),
+            format!("{rewritten}/30"),
+        ]);
+    }
+    println!("\n{}", t.render());
+}
+
+/// E7 — scenario 1 verification: what-if estimates vs materialized reality.
+fn e7_interactive() {
+    banner(
+        "E7  interactive what-if accuracy verification",
+        "what-if plan matches the materialized plan; simulation verified",
+    );
+    let (mut session, _) = laptop_session(20_000, 4);
+    let probes = [
+        ("SELECT ra, dec FROM photoobj WHERE objid = 777", ("photoobj", vec!["objid"])),
+        (
+            "SELECT objid FROM photoobj WHERE ra BETWEEN 10.0 AND 10.4",
+            ("photoobj", vec!["ra"]),
+        ),
+        (
+            "SELECT specobjid FROM specobj WHERE z BETWEEN 0.1 AND 0.11",
+            ("specobj", vec!["z"]),
+        ),
+    ];
+    let mut t = Table::new(&[
+        "query",
+        "what-if cost",
+        "real cost",
+        "same plan",
+        "size error",
+    ]);
+    for (i, (sql, (table, cols))) in probes.iter().enumerate() {
+        let sel = parinda::parse_select(sql).unwrap();
+        let def = WhatIfIndex::new(format!("w{i}"), *table, cols);
+        let v = verify_whatif_index(&mut session, &sel, &def).expect("verify");
+        t.row(&[
+            format!("Q{}", i + 1),
+            format!("{:.2}", v.whatif_cost),
+            format!("{:.2}", v.materialized_cost),
+            if v.same_access_path { "yes".into() } else { "NO".into() },
+            format!("{:.1}%", v.size_error() * 100.0),
+        ]);
+    }
+    println!("\n{}", t.render());
+}
+
+/// A1 — ablation: how much of INUM's accuracy comes from caching multiple
+/// interesting-order cases and the nested-loop on/off pair (§3.2/§3.4)?
+/// A one-case cache is faster to build but over-estimates configuration
+/// costs whenever the optimal plan shape changes with the configuration.
+fn a1_inum_ablation() {
+    banner(
+        "A1  ablation: INUM cache richness vs estimate accuracy",
+        "(design-choice ablation; no direct paper table)",
+    );
+    use parinda_inum::InumOptions;
+    let session = paper_session();
+    let wl = workload();
+    let photo = session.catalog().table_by_name("photoobj").unwrap().id;
+    let spec = session.catalog().table_by_name("specobj").unwrap().id;
+
+    let variants: [(&str, InumOptions); 3] = [
+        ("full cache (orders × NL pair)", InumOptions::default()),
+        (
+            "no NL pair",
+            InumOptions { join_scenario_pairs: false, ..Default::default() },
+        ),
+        (
+            "single case (no orders, no pair)",
+            InumOptions { max_cases_per_query: 1, join_scenario_pairs: false },
+        ),
+    ];
+
+    let mut t = Table::new(&["variant", "build time", "mean err", "worst err"]);
+    for (name, opts) in variants {
+        let t0 = Instant::now();
+        let mut model =
+            InumModel::build_with(session.catalog(), &wl, CostParams::default(), opts).unwrap();
+        let build = t0.elapsed();
+
+        let cands: Vec<_> = [
+            (photo, vec![0usize]),
+            (photo, vec![14]),
+            (photo, vec![9]),
+            (spec, vec![1]),
+            (spec, vec![5]),
+        ]
+        .into_iter()
+        .map(|(tb, cols)| model.register_candidate(CandidateIndex::new(tb, cols)))
+        .collect();
+
+        let mut worst = 1.0f64;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for mask in 0..32u32 {
+            let cfg = Configuration::from_ids(
+                cands
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &id)| id),
+            );
+            for qi in 0..wl.len() {
+                let est = model.cost(qi, &cfg);
+                let exact = model.exact_cost(qi, &cfg);
+                if exact > 0.0 && est.is_finite() {
+                    let ratio = (est / exact).max(exact / est);
+                    worst = worst.max(ratio);
+                    sum += ratio;
+                    count += 1;
+                }
+            }
+        }
+        t.row(&[
+            name.to_string(),
+            format!("{build:.2?}"),
+            format!("{:.3}x", sum / count as f64),
+            format!("{worst:.2}x"),
+        ]);
+    }
+    println!("\n{}", t.render());
+}

@@ -1,0 +1,107 @@
+//! # parinda-bench
+//!
+//! Shared fixtures for the Criterion benchmarks and the `experiments`
+//! harness binary that regenerates every quantitative artifact of the
+//! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! recorded results).
+
+#![allow(missing_docs)]
+
+use parinda::{Database, Parinda};
+use parinda_workload::{
+    generate_and_load, sdss_catalog, sdss_workload, synthesize_stats, SdssScale, SdssTables,
+};
+
+/// Paper-scale session: statistics only, ~30 GB simulated.
+pub fn paper_session() -> Parinda {
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut cat, &tables);
+    Parinda::new(cat)
+}
+
+/// Laptop-scale session with materialized, executable data.
+pub fn laptop_session(photo_rows: u64, seed: u64) -> (Parinda, SdssTables) {
+    let (mut cat, tables) = sdss_catalog(SdssScale::laptop(photo_rows));
+    let mut db = Database::new();
+    generate_and_load(&mut cat, &mut db, &tables, seed);
+    (Parinda::with_database(cat, db), tables)
+}
+
+/// The 30-query demo workload.
+pub fn workload() -> Vec<parinda::Select> {
+    sdss_workload()
+}
+
+/// Execute a workload against a session, returning total rows produced
+/// (to keep the optimizer honest about dead code).
+pub fn execute_workload(session: &Parinda, workload: &[parinda::Select]) -> usize {
+    use parinda_executor::execute;
+    use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+    let params = CostParams::default();
+    let flags = PlannerFlags::default();
+    let mut rows = 0;
+    for sel in workload {
+        let q = bind(sel, session.catalog()).expect("binds");
+        let p = plan_query(&q, session.catalog(), &params, &flags).expect("plans");
+        rows += execute(&p, session.catalog(), session.database()).expect("executes").len();
+    }
+    rows
+}
+
+/// Simple fixed-width table printer for the experiment harness.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("long_header"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

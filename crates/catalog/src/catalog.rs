@@ -1,0 +1,264 @@
+//! The system catalog and the metadata interface the planner consumes.
+//!
+//! The planner never touches a [`Catalog`] directly; it goes through the
+//! [`MetadataProvider`] trait. That indirection is this substrate's
+//! equivalent of PostgreSQL's planner hooks (paper §3.1): the what-if layer
+//! implements the same trait with an overlay that adds hypothetical
+//! indexes and partition tables without mutating the real catalog.
+
+use std::collections::HashMap;
+
+use crate::stats::ColumnStats;
+use crate::table::{Index, IndexId, Table, TableId};
+
+/// Everything the planner needs to know about the physical design.
+///
+/// Implemented by the real [`Catalog`] and by the what-if overlay in
+/// `parinda-whatif`.
+pub trait MetadataProvider {
+    /// Look up a table by (case-insensitive) name.
+    fn table_by_name(&self, name: &str) -> Option<&Table>;
+    /// Look up a table by id.
+    fn table(&self, id: TableId) -> Option<&Table>;
+    /// All indexes defined on `table`.
+    fn indexes_on(&self, table: TableId) -> Vec<&Index>;
+    /// Statistics for column `column_idx` of `table`, if analyzed.
+    fn column_stats(&self, table: TableId, column_idx: usize) -> Option<&ColumnStats>;
+    /// All tables (for tooling / reports).
+    fn all_tables(&self) -> Vec<&Table>;
+}
+
+/// The "real" catalog: tables, indexes, and per-column statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    indexes: Vec<Index>,
+    by_name: HashMap<String, TableId>,
+    stats: HashMap<(TableId, usize), ColumnStats>,
+    next_table: u32,
+    next_index: u32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Allocate the next table id (also used by the what-if overlay so
+    /// hypothetical ids never collide with real ones).
+    pub fn next_table_id(&self) -> TableId {
+        TableId(self.next_table)
+    }
+
+    /// Allocate the next index id.
+    pub fn next_index_id(&self) -> IndexId {
+        IndexId(self.next_index)
+    }
+
+    /// Add a table built elsewhere; its id must come from
+    /// [`Catalog::next_table_id`]. Returns the id for convenience.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        assert_eq!(
+            table.id.0, self.next_table,
+            "table id must be allocated via next_table_id"
+        );
+        let id = table.id;
+        self.by_name.insert(table.name.clone(), id);
+        self.tables.push(table);
+        self.next_table += 1;
+        id
+    }
+
+    /// Convenience: create and add a table in one step.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<crate::column::Column>,
+        row_count: u64,
+    ) -> TableId {
+        let t = Table::new(self.next_table_id(), name, columns, row_count);
+        self.add_table(t)
+    }
+
+    /// Add an index; its id must come from [`Catalog::next_index_id`].
+    pub fn add_index(&mut self, index: Index) -> IndexId {
+        assert_eq!(
+            index.id.0, self.next_index,
+            "index id must be allocated via next_index_id"
+        );
+        let id = index.id;
+        self.indexes.push(index);
+        self.next_index += 1;
+        id
+    }
+
+    /// Convenience: define and add an index by column names.
+    ///
+    /// Returns `None` if the table or any key column does not exist.
+    pub fn create_index(&mut self, name: &str, table: &str, keys: &[&str]) -> Option<IndexId> {
+        let t = self.table_by_name(table)?.clone();
+        let idx = Index::new(self.next_index_id(), name, &t, keys)?;
+        Some(self.add_index(idx))
+    }
+
+    /// Drop an index by id; returns the removed index.
+    pub fn drop_index(&mut self, id: IndexId) -> Option<Index> {
+        let pos = self.indexes.iter().position(|i| i.id == id)?;
+        Some(self.indexes.remove(pos))
+    }
+
+    /// Overwrite an index's size with a *measured* value (used after the
+    /// storage engine materializes it; the original value came from
+    /// Equation 1).
+    pub fn update_index_size(&mut self, id: IndexId, pages: u64, height: u32) -> bool {
+        match self.indexes.iter_mut().find(|i| i.id == id) {
+            Some(i) => {
+                i.pages = pages;
+                i.height = height;
+                i.hypothetical = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Record statistics for one column.
+    pub fn set_column_stats(&mut self, table: TableId, column_idx: usize, stats: ColumnStats) {
+        self.stats.insert((table, column_idx), stats);
+    }
+
+    /// Mutable access to a table (e.g. after loading data, to update
+    /// `row_count`/`pages`).
+    pub fn table_mut(&mut self, id: TableId) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.id == id)
+    }
+
+    /// Index lookup by id.
+    pub fn index(&self, id: IndexId) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.id == id)
+    }
+
+    /// Index lookup by name.
+    pub fn index_by_name(&self, name: &str) -> Option<&Index> {
+        let lower = name.to_ascii_lowercase();
+        self.indexes.iter().find(|i| i.name == lower)
+    }
+
+    /// All indexes (for reports).
+    pub fn all_indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Total bytes occupied by all tables and indexes — the base size the
+    /// advisor's space budgets are expressed against.
+    pub fn total_size_bytes(&self) -> u64 {
+        let t: u64 = self
+            .tables
+            .iter()
+            .map(|t| t.pages * crate::layout::PAGE_SIZE as u64)
+            .sum();
+        let i: u64 = self.indexes.iter().map(|i| i.size_bytes()).sum();
+        t + i
+    }
+}
+
+impl MetadataProvider for Catalog {
+    fn table_by_name(&self, name: &str) -> Option<&Table> {
+        let id = self.by_name.get(&name.to_ascii_lowercase())?;
+        self.table(*id)
+    }
+
+    fn table(&self, id: TableId) -> Option<&Table> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+
+    fn indexes_on(&self, table: TableId) -> Vec<&Index> {
+        self.indexes.iter().filter(|i| i.table == table).collect()
+    }
+
+    fn column_stats(&self, table: TableId, column_idx: usize) -> Option<&ColumnStats> {
+        self.stats.get(&(table, column_idx))
+    }
+
+    fn all_tables(&self) -> Vec<&Table> {
+        self.tables.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::stats::ColumnStats;
+    use crate::types::SqlType;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "photoobj",
+            vec![
+                Column::new("objid", SqlType::Int8).not_null(),
+                Column::new("ra", SqlType::Float8),
+            ],
+            1000,
+        );
+        c
+    }
+
+    #[test]
+    fn table_lookup_by_name_and_id() {
+        let c = cat();
+        let t = c.table_by_name("PHOTOOBJ").unwrap();
+        assert_eq!(t.name, "photoobj");
+        assert_eq!(c.table(t.id).unwrap().name, "photoobj");
+    }
+
+    #[test]
+    fn missing_table_is_none() {
+        assert!(cat().table_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn create_and_drop_index() {
+        let mut c = cat();
+        let id = c.create_index("i_ra", "photoobj", &["ra"]).unwrap();
+        let t = c.table_by_name("photoobj").unwrap().id;
+        assert_eq!(c.indexes_on(t).len(), 1);
+        assert!(c.index_by_name("I_RA").is_some());
+        let dropped = c.drop_index(id).unwrap();
+        assert_eq!(dropped.name, "i_ra");
+        assert!(c.indexes_on(t).is_empty());
+    }
+
+    #[test]
+    fn create_index_on_missing_column_fails() {
+        let mut c = cat();
+        assert!(c.create_index("i", "photoobj", &["nope"]).is_none());
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let mut c = cat();
+        let t = c.table_by_name("photoobj").unwrap().id;
+        c.set_column_stats(t, 1, ColumnStats::unknown(8.0));
+        assert!(c.column_stats(t, 1).is_some());
+        assert!(c.column_stats(t, 0).is_none());
+    }
+
+    #[test]
+    fn total_size_includes_indexes() {
+        let mut c = cat();
+        let before = c.total_size_bytes();
+        c.create_index("i_ra", "photoobj", &["ra"]).unwrap();
+        assert!(c.total_size_bytes() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated via next_table_id")]
+    fn add_table_with_stale_id_panics() {
+        let mut c = cat();
+        let t = Table::new(TableId(99), "x", vec![Column::new("a", SqlType::Int4)], 1);
+        c.add_table(t);
+    }
+}

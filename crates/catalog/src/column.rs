@@ -1,0 +1,79 @@
+//! Column definitions.
+
+use crate::types::SqlType;
+
+/// A column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name (unique within its table, lower-cased).
+    pub name: String,
+    /// Declared SQL type.
+    pub ty: SqlType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+    /// Average logical width in bytes; for fixed-size types this is the
+    /// fixed size, for varlena types a modelling estimate used until
+    /// statistics are collected.
+    pub avg_width: f64,
+}
+
+impl Column {
+    /// A column with the type's natural width (8 bytes default for varlena).
+    pub fn new(name: impl Into<String>, ty: SqlType) -> Self {
+        let avg_width = ty.fixed_size().map(|n| n as f64).unwrap_or(8.0);
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+            nullable: true,
+            avg_width,
+        }
+    }
+
+    /// Builder: mark NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Builder: set the expected average width (varlena columns).
+    pub fn with_avg_width(mut self, w: f64) -> Self {
+        self.avg_width = w;
+        self
+    }
+
+    /// Average on-disk size including varlena headers.
+    pub fn avg_stored_size(&self) -> f64 {
+        self.ty.avg_stored_size(self.avg_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_lowercases_name() {
+        let c = Column::new("ObjID", SqlType::Int8);
+        assert_eq!(c.name, "objid");
+    }
+
+    #[test]
+    fn fixed_width_from_type() {
+        let c = Column::new("x", SqlType::Float4);
+        assert_eq!(c.avg_width, 4.0);
+        assert_eq!(c.avg_stored_size(), 4.0);
+    }
+
+    #[test]
+    fn varlena_width_override() {
+        let c = Column::new("name", SqlType::Text).with_avg_width(20.0);
+        assert_eq!(c.avg_width, 20.0);
+        assert_eq!(c.avg_stored_size(), 21.0);
+    }
+
+    #[test]
+    fn not_null_builder() {
+        let c = Column::new("id", SqlType::Int8).not_null();
+        assert!(!c.nullable);
+    }
+}

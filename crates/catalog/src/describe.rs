@@ -1,0 +1,177 @@
+//! Human-readable catalog descriptions (the `\d`-style panes of the demo
+//! GUI and the console's `show` commands).
+
+use std::fmt::Write as _;
+
+use crate::catalog::MetadataProvider;
+use crate::table::TableId;
+
+/// Describe one table: columns, types, nullability, statistics summary,
+/// and the indexes defined on it.
+pub fn describe_table(meta: &dyn MetadataProvider, table: TableId) -> Option<String> {
+    let t = meta.table(table)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table \"{}\"  ({} rows, {} pages)",
+        t.name, t.row_count, t.pages
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:<18} {:<9} {:>10} {:>8} {:>6}",
+        "column", "type", "nullable", "n_distinct", "nulls", "corr"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    for (i, c) in t.columns.iter().enumerate() {
+        let (nd, nf, corr) = match meta.column_stats(table, i) {
+            Some(s) => (
+                if s.n_distinct < 0.0 {
+                    format!("{:.0}%", -s.n_distinct * 100.0)
+                } else {
+                    format!("{:.0}", s.n_distinct)
+                },
+                format!("{:.0}%", s.null_frac * 100.0),
+                format!("{:+.2}", s.correlation),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:<18} {:<9} {:>10} {:>8} {:>6}",
+            c.name,
+            c.ty.sql_name(),
+            if c.nullable { "yes" } else { "no" },
+            nd,
+            nf,
+            corr
+        );
+    }
+    if !t.primary_key.is_empty() {
+        let pk: Vec<&str> = t.primary_key.iter().map(|&i| t.columns[i].name.as_str()).collect();
+        let _ = writeln!(out, "primary key: ({})", pk.join(", "));
+    }
+    if let Some(parent) = t.partition_of {
+        if let Some(p) = meta.table(parent) {
+            let _ = writeln!(out, "partition of: {}", p.name);
+        }
+    }
+    let indexes = meta.indexes_on(table);
+    if !indexes.is_empty() {
+        let _ = writeln!(out, "indexes:");
+        for i in indexes {
+            let cols: Vec<&str> =
+                i.key_columns.iter().map(|&c| t.columns[c].name.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "  {} ({}){}  [{} pages]",
+                i.name,
+                cols.join(", "),
+                if i.hypothetical { "  (what-if)" } else { "" },
+                i.pages
+            );
+        }
+    }
+    Some(out)
+}
+
+/// One-line-per-table summary of the whole catalog.
+pub fn describe_catalog(meta: &dyn MetadataProvider) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>10} {:>8}  notes",
+        "table", "rows", "pages", "columns"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    for t in meta.all_tables() {
+        let notes = match t.partition_of {
+            Some(parent) => meta
+                .table(parent)
+                .map(|p| format!("partition of {}", p.name))
+                .unwrap_or_default(),
+            None => {
+                let n = meta.indexes_on(t.id).len();
+                if n > 0 {
+                    format!("{n} indexes")
+                } else {
+                    String::new()
+                }
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>10} {:>8}  {}",
+            t.name,
+            t.row_count,
+            t.pages,
+            t.columns.len(),
+            notes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::column::Column;
+    use crate::stats::ColumnStats;
+    use crate::types::SqlType;
+
+    fn cat() -> (Catalog, TableId) {
+        let mut c = Catalog::new();
+        let t = c.create_table(
+            "obs",
+            vec![
+                Column::new("id", SqlType::Int8).not_null(),
+                Column::new("ra", SqlType::Float8),
+            ],
+            5000,
+        );
+        c.table_mut(t).unwrap().primary_key = vec![0];
+        c.create_index("i_ra", "obs", &["ra"]).unwrap();
+        let mut s = ColumnStats::unknown(8.0);
+        s.n_distinct = -1.0;
+        s.correlation = 1.0;
+        c.set_column_stats(t, 0, s);
+        (c, t)
+    }
+
+    #[test]
+    fn table_description_lists_everything() {
+        let (c, t) = cat();
+        let d = describe_table(&c, t).unwrap();
+        assert!(d.contains("Table \"obs\""), "{d}");
+        assert!(d.contains("bigint"), "{d}");
+        assert!(d.contains("primary key: (id)"), "{d}");
+        assert!(d.contains("i_ra (ra)"), "{d}");
+        assert!(d.contains("100%"), "unique column shown as ratio: {d}");
+    }
+
+    #[test]
+    fn missing_table_is_none() {
+        let (c, _) = cat();
+        assert!(describe_table(&c, TableId(99)).is_none());
+    }
+
+    #[test]
+    fn catalog_summary_has_all_tables() {
+        let (c, _) = cat();
+        let d = describe_catalog(&c);
+        assert!(d.contains("obs"), "{d}");
+        assert!(d.contains("1 indexes"), "{d}");
+    }
+
+    #[test]
+    fn hypothetical_indexes_flagged() {
+        let (mut c, t) = cat();
+        let table = c.table(t).unwrap().clone();
+        let idx = crate::table::Index::new(c.next_index_id(), "w_id", &table, &["id"])
+            .unwrap()
+            .hypothetical();
+        c.add_index(idx);
+        let d = describe_table(&c, t).unwrap();
+        assert!(d.contains("(what-if)"), "{d}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # parinda-catalog
+//!
+//! System-catalog substrate for the PARINDA reproduction: a PostgreSQL-style
+//! type system (sizes + alignment), tables, B-tree index metadata,
+//! per-column statistics (`pg_statistic` analog), and the physical layout
+//! arithmetic behind the paper's Equation 1.
+//!
+//! Everything above this crate — optimizer, what-if simulation, advisors —
+//! consumes physical-design metadata exclusively through the
+//! [`MetadataProvider`] trait, which is the substrate's equivalent of the
+//! planner hooks PARINDA uses in PostgreSQL 8.3.
+
+#![allow(missing_docs)]
+
+pub mod catalog;
+pub mod column;
+pub mod describe;
+pub mod layout;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use catalog::{Catalog, MetadataProvider};
+pub use describe::{describe_catalog, describe_table};
+pub use column::Column;
+pub use stats::{analyze_column, ColumnStats};
+pub use table::{Index, IndexId, Table, TableId};
+pub use types::{Align, Datum, SqlType};

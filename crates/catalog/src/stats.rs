@@ -1,0 +1,320 @@
+//! Per-column statistics, mirroring PostgreSQL's `pg_statistic`.
+//!
+//! The what-if layer works precisely because "the query optimizer primarily
+//! deals with statistics" (paper §1): injecting these structures for
+//! hypothetical objects is indistinguishable, to the planner, from the
+//! objects existing on disk.
+
+use crate::types::{Datum, SqlType};
+
+/// Default number of equi-depth histogram buckets (PostgreSQL's
+/// `default_statistics_target` in 8.3 was 10; we use 100 like modern PG
+/// to reduce interpolation noise — the advisor only needs relative costs).
+pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 100;
+
+/// Maximum number of most-common values tracked.
+pub const DEFAULT_MCV_ENTRIES: usize = 10;
+
+/// Statistics for one column, as the planner sees them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Fraction of rows that are NULL in this column (`stanullfrac`).
+    pub null_frac: f64,
+    /// Number of distinct non-null values (`stadistinct`). Positive means
+    /// an absolute count; negative means `-ratio` of the row count (e.g.
+    /// -1.0 for a unique column), exactly like PostgreSQL.
+    pub n_distinct: f64,
+    /// Average logical width in bytes of non-null values (`stawidth`),
+    /// excluding any varlena header.
+    pub avg_width: f64,
+    /// Most common values with their frequencies (fractions of all rows).
+    pub mcv: Vec<(Datum, f64)>,
+    /// Equi-depth histogram bounds over the values *not* covered by the
+    /// MCV list. `bounds.len()` = buckets + 1; empty if not collected.
+    pub histogram: Vec<Datum>,
+    /// Physical-vs-logical order correlation in [-1, 1] (`stacorrelation`).
+    pub correlation: f64,
+}
+
+impl ColumnStats {
+    /// Statistics for a column we know nothing about (planner defaults).
+    pub fn unknown(avg_width: f64) -> Self {
+        ColumnStats {
+            null_frac: 0.0,
+            n_distinct: -0.1, // guess: 10% of rows are distinct
+            avg_width,
+            mcv: Vec::new(),
+            histogram: Vec::new(),
+            correlation: 0.0,
+        }
+    }
+
+    /// Resolve `n_distinct` to an absolute count given the table row count.
+    pub fn distinct_count(&self, row_count: f64) -> f64 {
+        let d = if self.n_distinct < 0.0 {
+            -self.n_distinct * row_count
+        } else {
+            self.n_distinct
+        };
+        d.max(1.0)
+    }
+
+    /// Total frequency mass captured by the MCV list.
+    pub fn mcv_total_freq(&self) -> f64 {
+        self.mcv.iter().map(|(_, f)| *f).sum()
+    }
+
+    /// Look up the frequency of `value` in the MCV list.
+    pub fn mcv_freq(&self, value: &Datum) -> Option<f64> {
+        self.mcv
+            .iter()
+            .find(|(v, _)| v.sql_eq(value))
+            .map(|(_, f)| *f)
+    }
+}
+
+/// Build [`ColumnStats`] from a full column of data (the substrate's ANALYZE).
+///
+/// Uses the whole column rather than a sample: our materialized tables are
+/// laptop-scale, so exact statistics both simplify testing and remove one
+/// source of noise from what-if accuracy experiments (E5, E7).
+pub fn analyze_column(ty: SqlType, values: &[Datum]) -> ColumnStats {
+    analyze_column_with(ty, values, DEFAULT_MCV_ENTRIES, DEFAULT_HISTOGRAM_BUCKETS)
+}
+
+/// [`analyze_column`] with explicit MCV/histogram sizing.
+pub fn analyze_column_with(
+    ty: SqlType,
+    values: &[Datum],
+    max_mcv: usize,
+    buckets: usize,
+) -> ColumnStats {
+    let total = values.len();
+    if total == 0 {
+        return ColumnStats::unknown(ty.avg_stored_size(8.0));
+    }
+
+    let mut non_null: Vec<&Datum> = values.iter().filter(|v| !v.is_null()).collect();
+    let null_frac = (total - non_null.len()) as f64 / total as f64;
+    if non_null.is_empty() {
+        return ColumnStats {
+            null_frac: 1.0,
+            n_distinct: 0.0,
+            avg_width: 0.0,
+            mcv: Vec::new(),
+            histogram: Vec::new(),
+            correlation: 0.0,
+        };
+    }
+
+    let avg_width = non_null
+        .iter()
+        .map(|v| match v {
+            Datum::Str(s) => s.len() as f64,
+            _ => ty.fixed_size().unwrap_or(8) as f64,
+        })
+        .sum::<f64>()
+        / non_null.len() as f64;
+
+    // Correlation: Spearman-style rank correlation between physical
+    // position and value order, computed before sorting.
+    let correlation = physical_correlation(values);
+
+    non_null.sort_by(|a, b| a.sql_cmp(b));
+
+    // Group runs of equal values to count distincts and frequencies.
+    let mut groups: Vec<(&Datum, usize)> = Vec::new();
+    for v in &non_null {
+        match groups.last_mut() {
+            Some((gv, n)) if gv.sql_eq(v) => *n += 1,
+            _ => groups.push((v, 1)),
+        }
+    }
+    let distincts = groups.len();
+
+    // MCVs: values appearing more often than average earn a slot.
+    let avg_count = non_null.len() as f64 / distincts as f64;
+    let mut by_freq: Vec<(&Datum, usize)> = groups.clone();
+    by_freq.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let mcv: Vec<(Datum, f64)> = by_freq
+        .iter()
+        .take(max_mcv)
+        .filter(|(_, n)| (*n as f64) > avg_count * 1.25 && *n > 1)
+        .map(|(v, n)| ((*v).clone(), *n as f64 / total as f64))
+        .collect();
+
+    // Histogram over values not in the MCV list.
+    let mcv_values: Vec<&Datum> = mcv.iter().map(|(v, _)| v).collect();
+    let rest: Vec<&Datum> = non_null
+        .iter()
+        .filter(|v| !mcv_values.iter().any(|m| m.sql_eq(v)))
+        .copied()
+        .collect();
+    let histogram = equi_depth_bounds(&rest, buckets);
+
+    // PostgreSQL stores n_distinct as a negative ratio when it scales
+    // with the table (heuristic: distincts > 10% of rows).
+    let n_distinct = if distincts as f64 > 0.1 * total as f64 {
+        -(distincts as f64 / total as f64)
+    } else {
+        distincts as f64
+    };
+
+    ColumnStats {
+        null_frac,
+        n_distinct,
+        avg_width,
+        mcv,
+        histogram,
+        correlation,
+    }
+}
+
+/// Equi-depth histogram bounds: `min(buckets, n-1) + 1` boundary values.
+fn equi_depth_bounds(sorted: &[&Datum], buckets: usize) -> Vec<Datum> {
+    if sorted.len() < 2 || buckets == 0 {
+        return Vec::new();
+    }
+    let b = buckets.min(sorted.len() - 1);
+    let mut bounds = Vec::with_capacity(b + 1);
+    for i in 0..=b {
+        let idx = i * (sorted.len() - 1) / b;
+        bounds.push(sorted[idx].clone());
+    }
+    bounds
+}
+
+/// Correlation between physical row order and value order, in [-1, 1].
+///
+/// Uses the Pearson correlation of (position, rank); 1.0 means the column
+/// is stored fully sorted (clustered), 0 means random placement.
+fn physical_correlation(values: &[Datum]) -> f64 {
+    let pairs: Vec<(f64, f64)> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.as_f64().map(|x| (i as f64, x)))
+        .collect();
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in &pairs {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Vec<Datum> {
+        v.iter().map(|i| Datum::Int(*i)).collect()
+    }
+
+    #[test]
+    fn analyze_empty_column_is_unknown() {
+        let s = analyze_column(SqlType::Int4, &[]);
+        assert_eq!(s.n_distinct, -0.1);
+    }
+
+    #[test]
+    fn analyze_all_null() {
+        let s = analyze_column(SqlType::Int4, &[Datum::Null, Datum::Null]);
+        assert_eq!(s.null_frac, 1.0);
+        assert_eq!(s.n_distinct, 0.0);
+    }
+
+    #[test]
+    fn null_frac_counts_nulls() {
+        let mut v = ints(&[1, 2, 3]);
+        v.push(Datum::Null);
+        let s = analyze_column(SqlType::Int4, &v);
+        assert!((s.null_frac - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_column_gets_negative_ratio() {
+        let v = ints(&(0..1000).collect::<Vec<_>>());
+        let s = analyze_column(SqlType::Int4, &v);
+        assert!(s.n_distinct < 0.0);
+        assert!((s.distinct_count(1000.0) - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn low_cardinality_column_gets_absolute_count() {
+        let v: Vec<Datum> = (0..1000).map(|i| Datum::Int(i % 5)).collect();
+        let s = analyze_column(SqlType::Int4, &v);
+        assert_eq!(s.n_distinct, 5.0);
+    }
+
+    #[test]
+    fn skewed_column_yields_mcvs() {
+        // value 7 dominates
+        let mut v: Vec<Datum> = (0..900).map(|_| Datum::Int(7)).collect();
+        v.extend((100..200).map(Datum::Int));
+        let s = analyze_column(SqlType::Int4, &v);
+        let f = s.mcv_freq(&Datum::Int(7)).expect("7 should be an MCV");
+        assert!((f - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_column_has_no_mcvs() {
+        let v = ints(&(0..500).collect::<Vec<_>>());
+        let s = analyze_column(SqlType::Int4, &v);
+        assert!(s.mcv.is_empty());
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_cover_range() {
+        let v = ints(&(0..1000).collect::<Vec<_>>());
+        let s = analyze_column(SqlType::Int4, &v);
+        assert!(!s.histogram.is_empty());
+        assert_eq!(s.histogram.first().unwrap(), &Datum::Int(0));
+        assert_eq!(s.histogram.last().unwrap(), &Datum::Int(999));
+        for w in s.histogram.windows(2) {
+            assert_ne!(w[0].sql_cmp(&w[1]), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn sorted_column_has_high_correlation() {
+        let v = ints(&(0..200).collect::<Vec<_>>());
+        let s = analyze_column(SqlType::Int4, &v);
+        assert!(s.correlation > 0.99, "corr={}", s.correlation);
+    }
+
+    #[test]
+    fn reversed_column_has_negative_correlation() {
+        let v = ints(&(0..200).rev().collect::<Vec<_>>());
+        let s = analyze_column(SqlType::Int4, &v);
+        assert!(s.correlation < -0.99);
+    }
+
+    #[test]
+    fn avg_width_of_strings() {
+        let v = vec![
+            Datum::Str("ab".into()),
+            Datum::Str("abcd".into()),
+            Datum::Str("abcdef".into()),
+        ];
+        let s = analyze_column(SqlType::Text, &v);
+        assert!((s.avg_width - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_count_clamps_to_one() {
+        let s = ColumnStats::unknown(4.0);
+        assert!(s.distinct_count(0.0) >= 1.0);
+    }
+}

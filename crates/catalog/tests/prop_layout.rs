@@ -1,0 +1,84 @@
+//! Property tests for the layout arithmetic behind Equation 1.
+
+use parinda_catalog::layout::{
+    avg_columns_size, avg_heap_tuple_size, heap_pages, index_leaf_pages,
+};
+use parinda_catalog::{analyze_column, Column, Datum, SqlType};
+use proptest::prelude::*;
+
+fn type_strategy() -> impl Strategy<Value = SqlType> {
+    prop_oneof![
+        Just(SqlType::Bool),
+        Just(SqlType::Int2),
+        Just(SqlType::Int4),
+        Just(SqlType::Int8),
+        Just(SqlType::Float4),
+        Just(SqlType::Float8),
+        Just(SqlType::Date),
+        Just(SqlType::Timestamp),
+    ]
+}
+
+fn columns_strategy() -> impl Strategy<Value = Vec<Column>> {
+    prop::collection::vec(type_strategy(), 1..20).prop_map(|tys| {
+        tys.into_iter()
+            .enumerate()
+            .map(|(i, ty)| Column::new(format!("c{i}"), ty).not_null())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pages_monotone_in_rows(cols in columns_strategy(), rows in 0u64..5_000_000) {
+        prop_assert!(heap_pages(rows, &cols) <= heap_pages(rows + 100_000, &cols));
+        prop_assert!(index_leaf_pages(rows, &cols) <= index_leaf_pages(rows + 100_000, &cols));
+    }
+
+    #[test]
+    fn pages_monotone_in_width(cols in columns_strategy(), rows in 1u64..1_000_000) {
+        let mut wider = cols.clone();
+        wider.push(Column::new("extra", SqlType::Float8).not_null());
+        prop_assert!(heap_pages(rows, &cols) <= heap_pages(rows, &wider));
+        prop_assert!(index_leaf_pages(rows, &cols) <= index_leaf_pages(rows, &wider));
+    }
+
+    #[test]
+    fn tuple_size_at_least_sum_of_column_sizes(cols in columns_strategy()) {
+        let data: f64 = cols.iter().map(|c| c.avg_stored_size()).sum();
+        prop_assert!(avg_columns_size(&cols) >= data);
+        prop_assert!(avg_heap_tuple_size(&cols) >= data + 23.0);
+    }
+
+    #[test]
+    fn alignment_padding_is_bounded(cols in columns_strategy()) {
+        // total padding can never exceed 7 bytes per column
+        let data: f64 = cols.iter().map(|c| c.avg_stored_size()).sum();
+        prop_assert!(avg_columns_size(&cols) <= data + 7.0 * cols.len() as f64);
+    }
+
+    #[test]
+    fn pages_are_positive(cols in columns_strategy(), rows in 0u64..10_000_000) {
+        prop_assert!(heap_pages(rows, &cols) >= 1);
+        prop_assert!(index_leaf_pages(rows, &cols) >= 1);
+    }
+
+    #[test]
+    fn analyze_selectivity_fields_in_range(values in prop::collection::vec(-1000i64..1000, 0..500)) {
+        let data: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        let s = analyze_column(SqlType::Int8, &data);
+        prop_assert!((0.0..=1.0).contains(&s.null_frac));
+        prop_assert!((-1.0..=1.0).contains(&s.correlation));
+        prop_assert!(s.mcv_total_freq() <= 1.0 + 1e-9);
+        // histogram is sorted
+        for w in s.histogram.windows(2) {
+            prop_assert!(w[0].sql_cmp(&w[1]) != std::cmp::Ordering::Greater);
+        }
+        // distinct count never exceeds the row count
+        if !values.is_empty() {
+            prop_assert!(s.distinct_count(values.len() as f64) <= values.len() as f64 + 1e-9);
+        }
+    }
+}

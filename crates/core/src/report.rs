@@ -1,0 +1,185 @@
+//! Benefit reports — the textual equivalent of the demo GUI's output
+//! panes (average workload benefit, per-query benefits, features used).
+
+use std::fmt::Write as _;
+
+/// Benefit of a design for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBenefit {
+    /// The statement (original text form).
+    pub sql: String,
+    /// Optimizer cost under the original design.
+    pub cost_before: f64,
+    /// Optimizer cost under the evaluated design.
+    pub cost_after: f64,
+    /// Design features (indexes/partitions) the new plan uses, by name.
+    pub features_used: Vec<String>,
+}
+
+impl QueryBenefit {
+    /// Benefit as a percentage of the original cost.
+    pub fn benefit_pct(&self) -> f64 {
+        if self.cost_before <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.cost_after / self.cost_before) * 100.0
+    }
+
+    /// Speedup factor.
+    pub fn speedup(&self) -> f64 {
+        if self.cost_after <= 0.0 {
+            return 1.0;
+        }
+        self.cost_before / self.cost_after
+    }
+}
+
+/// A workload benefit report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenefitReport {
+    pub per_query: Vec<QueryBenefit>,
+    /// Extra bytes the evaluated design would occupy.
+    pub design_bytes: u64,
+}
+
+impl BenefitReport {
+    /// Total workload cost before.
+    pub fn total_before(&self) -> f64 {
+        self.per_query.iter().map(|q| q.cost_before).sum()
+    }
+
+    /// Total workload cost after.
+    pub fn total_after(&self) -> f64 {
+        self.per_query.iter().map(|q| q.cost_after).sum()
+    }
+
+    /// Average per-query benefit percentage (what the GUI labels "average
+    /// workload benefit").
+    pub fn avg_benefit_pct(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        self.per_query.iter().map(|q| q.benefit_pct()).sum::<f64>() / self.per_query.len() as f64
+    }
+
+    /// Workload speedup factor.
+    pub fn speedup(&self) -> f64 {
+        let after = self.total_after();
+        if after <= 0.0 {
+            return 1.0;
+        }
+        self.total_before() / after
+    }
+
+    /// Render as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4} {:>14} {:>14} {:>9} {:>8}  features used",
+            "#", "before", "after", "benefit", "speedup"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(78));
+        for (i, q) in self.per_query.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<4} {:>14.2} {:>14.2} {:>8.1}% {:>7.2}x  {}",
+                i + 1,
+                q.cost_before,
+                q.cost_after,
+                q.benefit_pct(),
+                q.speedup(),
+                if q.features_used.is_empty() {
+                    "-".to_string()
+                } else {
+                    q.features_used.join(", ")
+                }
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(78));
+        let _ = writeln!(
+            out,
+            "total: {:.2} -> {:.2}   average benefit: {:.1}%   speedup: {:.2}x",
+            self.total_before(),
+            self.total_after(),
+            self.avg_benefit_pct(),
+            self.speedup()
+        );
+        if self.design_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "simulated design size: {:.1} MB",
+                self.design_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenefitReport {
+        BenefitReport {
+            per_query: vec![
+                QueryBenefit {
+                    sql: "SELECT 1".into(),
+                    cost_before: 100.0,
+                    cost_after: 25.0,
+                    features_used: vec!["idx_a".into()],
+                },
+                QueryBenefit {
+                    sql: "SELECT 2".into(),
+                    cost_before: 50.0,
+                    cost_after: 50.0,
+                    features_used: vec![],
+                },
+            ],
+            design_bytes: 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn percentages_and_speedups() {
+        let r = report();
+        assert!((r.per_query[0].benefit_pct() - 75.0).abs() < 1e-9);
+        assert!((r.per_query[0].speedup() - 4.0).abs() < 1e-9);
+        assert!((r.avg_benefit_pct() - 37.5).abs() < 1e-9);
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_sum() {
+        let r = report();
+        assert_eq!(r.total_before(), 150.0);
+        assert_eq!(r.total_after(), 75.0);
+    }
+
+    #[test]
+    fn render_contains_rows_and_summary() {
+        let text = report().render();
+        assert!(text.contains("idx_a"), "{text}");
+        assert!(text.contains("average benefit"), "{text}");
+        assert!(text.contains("1.0 MB"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_is_neutral() {
+        let r = BenefitReport::default();
+        assert_eq!(r.avg_benefit_pct(), 0.0);
+        assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn zero_cost_guards() {
+        let q = QueryBenefit {
+            sql: String::new(),
+            cost_before: 0.0,
+            cost_after: 0.0,
+            features_used: vec![],
+        };
+        assert_eq!(q.benefit_pct(), 0.0);
+        assert_eq!(q.speedup(), 1.0);
+    }
+}

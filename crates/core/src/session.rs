@@ -1,0 +1,531 @@
+//! The PARINDA tool session: catalog + (optionally) materialized data,
+//! exposing the three components of Figure 1.
+
+use parinda_advisor::{
+    generate_candidates, select_indexes_greedy, select_indexes_ilp_with,
+    suggest_partitions, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
+};
+use parinda_catalog::{Catalog, IndexId, MetadataProvider};
+use parinda_inum::{Configuration, InumModel};
+use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
+use parinda_sql::Select;
+use parinda_storage::Database;
+use parinda_whatif::Design;
+
+use crate::interactive::evaluate_design;
+use crate::report::BenefitReport;
+
+/// Search technique for automatic index suggestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMethod {
+    /// The paper's technique: ILP over the INUM cost model (§3.4).
+    Ilp,
+    /// The greedy baseline used by the commercial tools (§1, §2).
+    Greedy,
+}
+
+/// Errors surfaced by the tool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParindaError {
+    Sql(String),
+    Bind(String),
+    Plan(String),
+    WhatIf(String),
+    Advisor(String),
+    /// Operation needs materialized data (heaps) that were never loaded.
+    NoData,
+}
+
+impl std::fmt::Display for ParindaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParindaError::Sql(e) => write!(f, "SQL error: {e}"),
+            ParindaError::Bind(e) => write!(f, "name resolution error: {e}"),
+            ParindaError::Plan(e) => write!(f, "planning error: {e}"),
+            ParindaError::WhatIf(e) => write!(f, "what-if simulation error: {e}"),
+            ParindaError::Advisor(e) => write!(f, "advisor error: {e}"),
+            ParindaError::NoData => write!(f, "operation requires loaded table data"),
+        }
+    }
+}
+
+impl std::error::Error for ParindaError {}
+
+/// Result of automatic index suggestion (scenario 3).
+#[derive(Debug, Clone)]
+pub struct IndexSuggestion {
+    /// Suggested indexes: (name, table name, key column names, size bytes).
+    pub indexes: Vec<SuggestedIndex>,
+    /// Benefit report over the workload.
+    pub report: BenefitReport,
+    /// Whether the ILP proved optimality (always true for greedy).
+    pub proven_optimal: bool,
+}
+
+/// One suggested index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestedIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub size_bytes: u64,
+}
+
+/// Result of automatic partition suggestion (scenario 2).
+#[derive(Debug, Clone)]
+pub struct PartitionSuggestionReport {
+    /// Suggested partitions: (partition table name, parent, columns).
+    pub partitions: Vec<SuggestedPartition>,
+    /// Benefit report.
+    pub report: BenefitReport,
+    /// Rewritten workload, parallel to the input.
+    pub rewritten: Vec<Select>,
+    /// The raw design (for materialization / further evaluation).
+    pub design: PartitionDesign,
+    /// AutoPart improvement iterations executed.
+    pub iterations: usize,
+}
+
+/// One suggested partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestedPartition {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+}
+
+/// A real index the workload would not miss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropSuggestion {
+    pub index: String,
+    pub table: String,
+    /// Bytes freed by dropping it.
+    pub reclaimed_bytes: u64,
+    /// Workload cost change when simulated absent (≈ 0 by construction).
+    pub cost_delta: f64,
+}
+
+/// A PARINDA session.
+pub struct Parinda {
+    catalog: Catalog,
+    db: Database,
+    params: CostParams,
+    flags: PlannerFlags,
+}
+
+impl Parinda {
+    /// Open a session over a catalog (statistics-only mode: everything
+    /// works except execution and physical materialization).
+    pub fn new(catalog: Catalog) -> Self {
+        Parinda {
+            catalog,
+            db: Database::new(),
+            params: CostParams::default(),
+            flags: PlannerFlags::default(),
+        }
+    }
+
+    /// Open a session with materialized data.
+    pub fn with_database(catalog: Catalog, db: Database) -> Self {
+        Parinda { catalog, db, params: CostParams::default(), flags: PlannerFlags::default() }
+    }
+
+    /// Open a session from a DDL script (`CREATE TABLE … ROWS n;`,
+    /// `CREATE INDEX …`): the demo's "original physical design" input.
+    /// Tables get default planner statistics; load data or attach
+    /// synthesized statistics for better estimates.
+    pub fn from_ddl(script: &str) -> Result<Self, ParindaError> {
+        let mut session = Parinda::new(Catalog::new());
+        session.execute_ddl(script)?;
+        Ok(session)
+    }
+
+    /// Apply a DDL script to the session's catalog. SELECT statements in
+    /// the script are ignored (use a workload file for those). Returns the
+    /// number of objects created.
+    pub fn execute_ddl(&mut self, script: &str) -> Result<usize, ParindaError> {
+        use parinda_sql::Statement;
+        let stmts =
+            parinda_sql::parse_ddl_script(script).map_err(|e| ParindaError::Sql(e.to_string()))?;
+        let mut created = 0;
+        for stmt in stmts {
+            match stmt {
+                Statement::CreateTable(ct) => {
+                    if self.catalog.table_by_name(&ct.name).is_some() {
+                        return Err(ParindaError::Sql(format!(
+                            "table {} already exists",
+                            ct.name
+                        )));
+                    }
+                    let columns: Vec<parinda_catalog::Column> = ct
+                        .columns
+                        .iter()
+                        .map(|c| {
+                            let col = parinda_catalog::Column::new(&c.name, c.ty);
+                            if c.not_null {
+                                col.not_null()
+                            } else {
+                                col
+                            }
+                        })
+                        .collect();
+                    let id = self.catalog.create_table(&ct.name, columns, ct.rows.unwrap_or(0));
+                    if !ct.primary_key.is_empty() {
+                        let table = self.catalog.table_mut(id).expect("just created");
+                        let pk: Option<Vec<usize>> =
+                            ct.primary_key.iter().map(|n| table.column_index(n)).collect();
+                        match pk {
+                            Some(pk) => table.primary_key = pk,
+                            None => {
+                                return Err(ParindaError::Sql(format!(
+                                    "primary key references unknown column on {}",
+                                    ct.name
+                                )))
+                            }
+                        }
+                    }
+                    created += 1;
+                }
+                Statement::CreateIndex(ci) => {
+                    let cols: Vec<&str> = ci.columns.iter().map(|s| s.as_str()).collect();
+                    self.catalog
+                        .create_index(&ci.name, &ci.table, &cols)
+                        .ok_or_else(|| {
+                            ParindaError::Sql(format!(
+                                "cannot create index {} on {}({})",
+                                ci.name,
+                                ci.table,
+                                ci.columns.join(", ")
+                            ))
+                        })?;
+                    created += 1;
+                }
+                Statement::Select(_) => {}
+            }
+        }
+        Ok(created)
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (DDL).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The storage layer.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable storage access.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Split mutable access to catalog and storage (index builds need
+    /// both).
+    pub fn catalog_db_mut(&mut self) -> (&mut Catalog, &mut Database) {
+        (&mut self.catalog, &mut self.db)
+    }
+
+    /// Cost parameters (mutable, like editing `postgresql.conf`).
+    pub fn params_mut(&mut self) -> &mut CostParams {
+        &mut self.params
+    }
+
+    /// EXPLAIN a statement under the current design.
+    pub fn explain_sql(&self, sql: &str) -> Result<String, ParindaError> {
+        let sel = parinda_sql::parse_select(sql).map_err(|e| ParindaError::Sql(e.to_string()))?;
+        self.explain_query(&sel)
+    }
+
+    /// EXPLAIN a parsed statement.
+    pub fn explain_query(&self, sel: &Select) -> Result<String, ParindaError> {
+        let q = bind(sel, &self.catalog).map_err(|e| ParindaError::Bind(e.to_string()))?;
+        let p = plan_query(&q, &self.catalog, &self.params, &self.flags)
+            .map_err(|e| ParindaError::Plan(e.to_string()))?;
+        Ok(explain(&p, &q, &self.catalog))
+    }
+
+    /// Workload cost under the current design.
+    pub fn workload_cost(&self, workload: &[Select]) -> Result<f64, ParindaError> {
+        let mut total = 0.0;
+        for sel in workload {
+            let q = bind(sel, &self.catalog).map_err(|e| ParindaError::Bind(e.to_string()))?;
+            let p = plan_query(&q, &self.catalog, &self.params, &self.flags)
+                .map_err(|e| ParindaError::Plan(e.to_string()))?;
+            total += p.cost.total;
+        }
+        Ok(total)
+    }
+
+    // ---------- scenario 1: interactive ----------
+
+    /// Evaluate a DBA-chosen what-if design over a workload (scenario 1 /
+    /// Figure 3): per-query and average benefits, features used, rewritten
+    /// queries for partitions.
+    pub fn evaluate_design(
+        &self,
+        workload: &[Select],
+        design: &Design,
+    ) -> Result<(BenefitReport, Vec<Select>), ParindaError> {
+        evaluate_design(&self.catalog, &self.params, &self.flags, workload, design)
+    }
+
+    // ---------- scenario 3: automatic index suggestion ----------
+
+    /// Suggest indexes for the workload under a storage budget.
+    pub fn suggest_indexes(
+        &self,
+        workload: &[Select],
+        budget_bytes: u64,
+        method: SelectionMethod,
+    ) -> Result<IndexSuggestion, ParindaError> {
+        self.suggest_indexes_with(workload, budget_bytes, method, &IlpOptions::default())
+    }
+
+    /// [`Parinda::suggest_indexes`] with the paper's additional DBA
+    /// constraints: per-query workload weights and an update-cost cap
+    /// (only the ILP honors the extra options; the greedy baseline uses
+    /// the plain budget).
+    pub fn suggest_indexes_with(
+        &self,
+        workload: &[Select],
+        budget_bytes: u64,
+        method: SelectionMethod,
+        options: &IlpOptions,
+    ) -> Result<IndexSuggestion, ParindaError> {
+        let mut model = InumModel::build(&self.catalog, workload, self.params.clone())
+            .map_err(|e| ParindaError::Advisor(e.to_string()))?;
+        let queries = model.queries().to_vec();
+        let cands = generate_candidates(&queries, CandidateLimits::default());
+        let sel = match method {
+            SelectionMethod::Ilp => {
+                select_indexes_ilp_with(&mut model, &cands, budget_bytes, options)
+            }
+            SelectionMethod::Greedy => select_indexes_greedy(&mut model, &cands, budget_bytes),
+        };
+
+        let cfg = Configuration::from_ids(sel.chosen.iter().copied());
+        let mut indexes = Vec::new();
+        for &id in &sel.chosen {
+            let c = model.candidate(id);
+            let table = self
+                .catalog
+                .table(c.table)
+                .expect("candidate tables exist");
+            indexes.push(SuggestedIndex {
+                name: c.display_name(table),
+                table: table.name.clone(),
+                columns: c.columns.iter().map(|&i| table.columns[i].name.clone()).collect(),
+                size_bytes: model.candidate_size(id),
+            });
+        }
+
+        // Per-query feature attribution: which chosen indexes help which
+        // query ("for each query the list of the used suggested indexes").
+        let per_query = workload
+            .iter()
+            .zip(&sel.per_query)
+            .map(|(sql, &(before, after))| {
+                let mut features = Vec::new();
+                if after < before * 0.9999 {
+                    for (&id, info) in sel.chosen.iter().zip(&indexes) {
+                        let without: Vec<_> =
+                            sel.chosen.iter().copied().filter(|&x| x != id).collect();
+                        let qidx = workload.iter().position(|w| w == sql).unwrap_or(0);
+                        let cost_without =
+                            model.cost(qidx, &Configuration::from_ids(without));
+                        if cost_without > after * 1.0001 {
+                            features.push(info.name.clone());
+                        }
+                    }
+                }
+                crate::report::QueryBenefit {
+                    sql: sql.to_string(),
+                    cost_before: before,
+                    cost_after: after,
+                    features_used: features,
+                }
+            })
+            .collect();
+        let _ = cfg;
+
+        Ok(IndexSuggestion {
+            indexes,
+            report: BenefitReport { per_query, design_bytes: sel.total_size },
+            proven_optimal: sel.proven_optimal,
+        })
+    }
+
+    /// Physically create the suggested indexes ("the user has the option to
+    /// physically create the suggested set of indexes on disk"). Requires
+    /// loaded data.
+    pub fn materialize_indexes(
+        &mut self,
+        suggestion: &IndexSuggestion,
+    ) -> Result<Vec<IndexId>, ParindaError> {
+        let mut out = Vec::new();
+        for idx in &suggestion.indexes {
+            if self.db.heap(self.catalog.table_by_name(&idx.table).ok_or(ParindaError::NoData)?.id).is_none() {
+                return Err(ParindaError::NoData);
+            }
+            let cols: Vec<&str> = idx.columns.iter().map(|s| s.as_str()).collect();
+            let id = self
+                .catalog
+                .create_index(&idx.name, &idx.table, &cols)
+                .ok_or_else(|| ParindaError::Advisor(format!("cannot create {}", idx.name)))?;
+            self.db.build_index(&mut self.catalog, id);
+            out.push(id);
+        }
+        Ok(out)
+    }
+
+    /// Physically create suggested partitions: real tables loaded with the
+    /// projected rows ("the user has the option to physically create on
+    /// disk the suggested partitions"). Requires loaded parent data.
+    pub fn materialize_partitions(
+        &mut self,
+        suggestion: &PartitionSuggestionReport,
+    ) -> Result<Vec<parinda_catalog::TableId>, ParindaError> {
+        let mut out = Vec::new();
+        for (sp, nf) in suggestion.partitions.iter().zip(&suggestion.design.fragments) {
+            let parent = self
+                .catalog
+                .table_by_name(&sp.table)
+                .ok_or_else(|| ParindaError::Advisor(format!("unknown table {}", sp.table)))?
+                .clone();
+            let heap_missing = self.db.heap(parent.id).is_none();
+            if heap_missing {
+                return Err(ParindaError::NoData);
+            }
+            // Fragment columns: PK first, then the fragment's columns.
+            let mut cols: Vec<usize> = parent.primary_key.clone();
+            for &c in &nf.fragment.columns {
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            let col_defs: Vec<parinda_catalog::Column> =
+                cols.iter().map(|&i| parent.columns[i].clone()).collect();
+            let rows: Vec<Vec<parinda_catalog::Datum>> = {
+                let heap = self.db.heap(parent.id).expect("checked above");
+                heap.scan()
+                    .map(|(_, row)| cols.iter().map(|&i| row[i].clone()).collect())
+                    .collect()
+            };
+            let id = self.catalog.create_table(&sp.name, col_defs, 0);
+            self.catalog.table_mut(id).expect("just created").primary_key =
+                (0..parent.primary_key.len()).collect();
+            self.catalog.table_mut(id).expect("just created").partition_of = Some(parent.id);
+            self.db
+                .load_table(&mut self.catalog, id, rows)
+                .map_err(|e| ParindaError::Advisor(e.to_string()))?;
+            self.db.analyze_table(&mut self.catalog, id);
+            out.push(id);
+        }
+        Ok(out)
+    }
+
+    /// Suggest *dropping* real indexes the workload does not need: for each
+    /// existing index, simulate its absence (the what-if join of "presence
+    /// or lack" of features, §3.2) and report those whose removal leaves
+    /// the workload cost unchanged, together with the bytes reclaimed.
+    pub fn suggest_drops(&self, workload: &[Select]) -> Result<Vec<DropSuggestion>, ParindaError> {
+        let base: f64 = self.workload_cost(workload)?;
+        let mut out = Vec::new();
+        for idx in self.catalog.all_indexes().to_vec() {
+            let design = Design { drop_indexes: vec![idx.name.clone()], ..Default::default() };
+            let overlay = design
+                .apply(&self.catalog)
+                .map_err(|e| ParindaError::WhatIf(e.to_string()))?;
+            let mut without = 0.0;
+            for sel in workload {
+                let q = bind(sel, &overlay).map_err(|e| ParindaError::Bind(e.to_string()))?;
+                let p = plan_query(&q, &overlay, &self.params, &self.flags)
+                    .map_err(|e| ParindaError::Plan(e.to_string()))?;
+                without += p.cost.total;
+            }
+            if without <= base * 1.0001 {
+                let table = self
+                    .catalog
+                    .table(idx.table)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                out.push(DropSuggestion {
+                    index: idx.name.clone(),
+                    table,
+                    reclaimed_bytes: idx.size_bytes(),
+                    cost_delta: without - base,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    // ---------- scenario 2: automatic partition suggestion ----------
+
+    /// Suggest table partitions for the workload (scenario 2 / Figure 2).
+    pub fn suggest_partitions(
+        &self,
+        workload: &[Select],
+        config: AutoPartConfig,
+    ) -> Result<PartitionSuggestionReport, ParindaError> {
+        let sugg = suggest_partitions(&self.catalog, workload, config)
+            .map_err(|e| ParindaError::Advisor(e.to_string()))?;
+
+        let partitions = sugg
+            .design
+            .fragments
+            .iter()
+            .map(|nf| {
+                let parent = self.catalog.table(nf.fragment.table).expect("fragment parent");
+                SuggestedPartition {
+                    name: nf.name.clone(),
+                    table: parent.name.clone(),
+                    columns: nf
+                        .fragment
+                        .columns
+                        .iter()
+                        .map(|&i| parent.columns[i].name.clone())
+                        .collect(),
+                }
+            })
+            .collect();
+
+        let per_query = workload
+            .iter()
+            .zip(&sugg.per_query)
+            .zip(&sugg.rewritten)
+            .map(|((sql, &(before, after)), rw)| {
+                // features = the partitions the rewritten statement touches
+                let mut features: Vec<String> = sugg
+                    .design
+                    .fragments
+                    .iter()
+                    .filter(|nf| rw.from.iter().any(|t| t.name == nf.name))
+                    .map(|nf| nf.name.clone())
+                    .collect();
+                features.dedup();
+                crate::report::QueryBenefit {
+                    sql: sql.to_string(),
+                    cost_before: before,
+                    cost_after: after,
+                    features_used: features,
+                }
+            })
+            .collect();
+
+        Ok(PartitionSuggestionReport {
+            partitions,
+            report: BenefitReport { per_query, design_bytes: 0 },
+            rewritten: sugg.rewritten,
+            design: sugg.design,
+            iterations: sugg.iterations,
+        })
+    }
+}

@@ -1,0 +1,114 @@
+//! What-if accuracy verification (paper §4, scenario 1: "compare the
+//! execution plan of the what-if design with the execution plan of the
+//! same materialized physical design. This way the accuracy of the
+//! physical design simulation is verified").
+
+use parinda_catalog::MetadataProvider;
+use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
+use parinda_sql::Select;
+use parinda_whatif::{simulate_index, HypotheticalCatalog, WhatIfIndex};
+
+use crate::session::{Parinda, ParindaError};
+
+/// Comparison of a what-if simulation against the materialized reality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// Estimated plan cost with the what-if index.
+    pub whatif_cost: f64,
+    /// Plan cost after actually building the index.
+    pub materialized_cost: f64,
+    /// Did both plans use the (hypothetical vs real) index?
+    pub same_access_path: bool,
+    /// Equation-1 page estimate of the what-if index.
+    pub estimated_pages: u64,
+    /// Measured leaf pages of the built B-tree.
+    pub measured_pages: u64,
+    /// EXPLAIN text of the what-if plan (the GUI's side-by-side pane).
+    pub whatif_plan: String,
+    /// EXPLAIN text of the materialized plan.
+    pub materialized_plan: String,
+}
+
+impl Verification {
+    /// Relative cost error of the simulation.
+    pub fn cost_error(&self) -> f64 {
+        if self.materialized_cost <= 0.0 {
+            return 0.0;
+        }
+        (self.whatif_cost - self.materialized_cost).abs() / self.materialized_cost
+    }
+
+    /// Relative size error of Equation 1.
+    pub fn size_error(&self) -> f64 {
+        if self.measured_pages == 0 {
+            return 0.0;
+        }
+        (self.estimated_pages as f64 - self.measured_pages as f64).abs()
+            / self.measured_pages as f64
+    }
+}
+
+/// Simulate `def` for `query`, then materialize the same index for real and
+/// compare plans, costs, and sizes. The real index is dropped afterwards so
+/// the session design is unchanged.
+pub fn verify_whatif_index(
+    session: &mut Parinda,
+    query: &Select,
+    def: &WhatIfIndex,
+) -> Result<Verification, ParindaError> {
+    let params = CostParams::default();
+    let flags = PlannerFlags::default();
+
+    // What-if side.
+    let (whatif_cost, estimated_pages, hypo_used, whatif_plan) = {
+        let mut overlay = HypotheticalCatalog::new(session.catalog());
+        let id = simulate_index(&mut overlay, def)
+            .map_err(|e| ParindaError::WhatIf(e.to_string()))?;
+        let pages = overlay.hypo_index(id).expect("just added").pages;
+        let q = bind(query, &overlay).map_err(|e| ParindaError::Bind(e.to_string()))?;
+        let p = plan_query(&q, &overlay, &params, &flags)
+            .map_err(|e| ParindaError::Plan(e.to_string()))?;
+        let text = explain(&p, &q, &overlay);
+        (p.cost.total, pages, p.indexes_used().contains(&id), text)
+    };
+
+    // Materialized side (requires data).
+    let table_id = session
+        .catalog()
+        .table_by_name(&def.table)
+        .ok_or_else(|| ParindaError::WhatIf(format!("unknown table {}", def.table)))?
+        .id;
+    if session.database().heap(table_id).is_none() {
+        return Err(ParindaError::NoData);
+    }
+    let cols: Vec<&str> = def.columns.iter().map(|s| s.as_str()).collect();
+    let real_name = format!("verify_{}", def.name);
+    let id = session
+        .catalog_mut()
+        .create_index(&real_name, &def.table, &cols)
+        .ok_or_else(|| ParindaError::WhatIf("cannot create verification index".into()))?;
+    let (catalog, db) = session.catalog_db_mut();
+    db.build_index(catalog, id);
+    let measured_pages = session.catalog().index(id).expect("just created").pages;
+
+    let q = bind(query, session.catalog()).map_err(|e| ParindaError::Bind(e.to_string()))?;
+    let p = plan_query(&q, session.catalog(), &params, &flags)
+        .map_err(|e| ParindaError::Plan(e.to_string()))?;
+    let real_used = p.indexes_used().contains(&id);
+    let materialized_cost = p.cost.total;
+    let materialized_plan = explain(&p, &q, session.catalog());
+
+    // Clean up: drop the verification index again.
+    session.catalog_mut().drop_index(id);
+    session.database_mut().drop_index_storage(id);
+
+    Ok(Verification {
+        whatif_cost,
+        materialized_cost,
+        same_access_path: hypo_used == real_used,
+        estimated_pages,
+        measured_pages,
+        whatif_plan,
+        materialized_plan,
+    })
+}

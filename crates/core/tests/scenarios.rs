@@ -1,0 +1,242 @@
+//! The paper's three demonstration scenarios (§4), end-to-end over the
+//! synthetic SDSS instance.
+
+use parinda::{
+    verify_whatif_index, AutoPartConfig, Design, Parinda, SelectionMethod, WhatIfIndex,
+    WhatIfPartition,
+};
+use parinda_workload::{
+    generate_and_load, sdss_catalog, sdss_workload, synthesize_stats, SdssScale,
+};
+
+/// Paper-scale session (statistics only).
+fn paper_session() -> Parinda {
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut cat, &tables);
+    Parinda::new(cat)
+}
+
+/// Laptop-scale session with materialized data.
+fn laptop_session(rows: u64, seed: u64) -> Parinda {
+    let (mut cat, tables) = sdss_catalog(SdssScale::laptop(rows));
+    let mut db = parinda::Database::new();
+    generate_and_load(&mut cat, &mut db, &tables, seed);
+    Parinda::with_database(cat, db)
+}
+
+// ---------- scenario 1: interactive ----------
+
+#[test]
+fn interactive_whatif_index_benefit() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let design = Design::new()
+        .with_index(WhatIfIndex::new("w_objid", "photoobj", &["objid"]))
+        .with_index(WhatIfIndex::new("w_bestobjid", "specobj", &["bestobjid"]))
+        .with_index(WhatIfIndex::new("w_modelmag_r", "photoobj", &["modelmag_r"]));
+    let (report, _) = session.evaluate_design(&workload, &design).unwrap();
+
+    assert!(report.design_bytes > 0);
+    assert!(report.speedup() > 1.2, "speedup {}", report.speedup());
+    // the point lookup (query 10) must benefit hugely from w_objid
+    let point = &report.per_query[9];
+    assert!(point.speedup() > 10.0, "point lookup speedup {}", point.speedup());
+    assert!(
+        point.features_used.iter().any(|f| f == "w_objid"),
+        "{:?}",
+        point.features_used
+    );
+    // queries untouched by the design must be unchanged
+    for q in &report.per_query {
+        assert!(q.cost_after <= q.cost_before * 1.0001, "{}", q.sql);
+    }
+}
+
+#[test]
+fn interactive_whatif_partition_benefit() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let design = Design::new().with_partition(WhatIfPartition::new(
+        "photoobj_astro",
+        "photoobj",
+        &["ra", "dec", "type", "modelmag_r", "modelmag_g"],
+    ));
+    let (report, rewritten) = session.evaluate_design(&workload, &design).unwrap();
+    // the cone search (query 1) reads only astro columns: big win
+    let cone = &report.per_query[0];
+    assert!(cone.speedup() > 3.0, "cone speedup {}", cone.speedup());
+    assert!(
+        cone.features_used.iter().any(|f| f.contains("photoobj_astro")),
+        "{:?}",
+        cone.features_used
+    );
+    // its rewritten form references the fragment
+    assert!(rewritten[0].to_string().contains("photoobj_astro"), "{}", rewritten[0]);
+}
+
+#[test]
+fn empty_design_is_neutral() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let (report, rewritten) = session.evaluate_design(&workload, &Design::new()).unwrap();
+    assert_eq!(report.design_bytes, 0);
+    for (q, rw) in report.per_query.iter().zip(&rewritten) {
+        assert!((q.cost_before - q.cost_after).abs() < 1e-9, "{}", q.sql);
+        assert_eq!(rw.to_string(), q.sql);
+    }
+}
+
+// ---------- scenario 2: automatic partitions ----------
+
+#[test]
+fn automatic_partition_suggestion() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let sugg = session
+        .suggest_partitions(&workload, AutoPartConfig::default())
+        .unwrap();
+    assert!(!sugg.partitions.is_empty(), "SDSS workload should warrant partitioning");
+    assert!(
+        sugg.report.speedup() > 2.0,
+        "partitioning speedup {} on a 100+-column table",
+        sugg.report.speedup()
+    );
+    // rewritten workload parses and is parallel to the input
+    assert_eq!(sugg.rewritten.len(), workload.len());
+    for rw in &sugg.rewritten {
+        parinda::parse_select(&rw.to_string()).unwrap();
+    }
+    // per-query never worse
+    for q in &sugg.report.per_query {
+        assert!(q.cost_after <= q.cost_before * 1.0001, "{}", q.sql);
+    }
+}
+
+// ---------- scenario 3: automatic indexes ----------
+
+#[test]
+fn automatic_index_suggestion_ilp() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let budget = 6 * 1024 * 1024 * 1024u64; // 6 GB on a ~30 GB database
+    let sugg = session
+        .suggest_indexes(&workload, budget, SelectionMethod::Ilp)
+        .unwrap();
+    assert!(!sugg.indexes.is_empty());
+    let total: u64 = sugg.indexes.iter().map(|i| i.size_bytes).sum();
+    assert!(total <= budget);
+    // Indexes alone give ~1.5-2x on this mix: a third of the 30 queries
+    // are unselective scans/aggregates no index can help. The paper's
+    // 2x-10x headline (reproduced by bench E1) combines partitions and
+    // indexes; partitions are what rescue the wide-scan queries.
+    assert!(
+        sugg.report.speedup() >= 1.4,
+        "index speedup {:.2}x",
+        sugg.report.speedup()
+    );
+    // benefiting queries list the indexes they use
+    let attributed = sugg
+        .report
+        .per_query
+        .iter()
+        .filter(|q| q.speedup() > 1.5)
+        .all(|q| !q.features_used.is_empty());
+    assert!(attributed);
+}
+
+#[test]
+fn ilp_beats_or_matches_greedy_on_sdss() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let budget = 2 * 1024 * 1024 * 1024u64;
+    let ilp = session.suggest_indexes(&workload, budget, SelectionMethod::Ilp).unwrap();
+    let greedy = session
+        .suggest_indexes(&workload, budget, SelectionMethod::Greedy)
+        .unwrap();
+    assert!(
+        ilp.report.total_after() <= greedy.report.total_after() * 1.02,
+        "ilp {} vs greedy {}",
+        ilp.report.total_after(),
+        greedy.report.total_after()
+    );
+}
+
+#[test]
+fn materialize_suggestion_and_execute() {
+    let mut session = laptop_session(3_000, 11);
+    let workload = sdss_workload();
+    let sugg = session
+        .suggest_indexes(&workload, 1024 * 1024 * 1024, SelectionMethod::Ilp)
+        .unwrap();
+    assert!(!sugg.indexes.is_empty());
+    let ids = session.materialize_indexes(&sugg).unwrap();
+    assert_eq!(ids.len(), sugg.indexes.len());
+    // materialized indexes exist in catalog + storage and queries still run
+    for id in &ids {
+        assert!(session.catalog().index(*id).is_some());
+        assert!(session.database().btree(*id).is_some());
+    }
+    let sel = &workload[9]; // point lookup
+    let q = parinda_optimizer::bind(sel, session.catalog()).unwrap();
+    let p = parinda_optimizer::plan_query(
+        &q,
+        session.catalog(),
+        &parinda_optimizer::CostParams::default(),
+        &parinda_optimizer::PlannerFlags::default(),
+    )
+    .unwrap();
+    let rows = parinda_executor::execute(&p, session.catalog(), session.database()).unwrap();
+    assert!(rows.len() <= 1);
+}
+
+// ---------- verification ----------
+
+#[test]
+fn whatif_verification_close_to_reality() {
+    let mut session = laptop_session(5_000, 5);
+    let query = parinda::parse_select(
+        "SELECT ra, dec FROM photoobj WHERE objid = 1234",
+    )
+    .unwrap();
+    let def = WhatIfIndex::new("w_objid", "photoobj", &["objid"]);
+    let v = verify_whatif_index(&mut session, &query, &def).unwrap();
+    assert!(v.same_access_path, "simulation and reality must agree on the plan");
+    assert!(v.cost_error() < 0.25, "cost error {}", v.cost_error());
+    assert!(v.size_error() < 0.25, "size error {}", v.size_error());
+    // verification cleans up after itself
+    assert!(session.catalog().index_by_name("verify_w_objid").is_none());
+}
+
+#[test]
+fn verification_needs_data() {
+    let mut session = paper_session();
+    let query = parinda::parse_select("SELECT ra FROM photoobj WHERE objid = 1").unwrap();
+    let def = WhatIfIndex::new("w", "photoobj", &["objid"]);
+    assert!(matches!(
+        verify_whatif_index(&mut session, &query, &def),
+        Err(parinda::ParindaError::NoData)
+    ));
+}
+
+// ---------- misc API ----------
+
+#[test]
+fn explain_works_through_session() {
+    let session = paper_session();
+    let text = session
+        .explain_sql("SELECT objid FROM photoobj WHERE ra BETWEEN 1.0 AND 2.0")
+        .unwrap();
+    assert!(text.contains("Seq Scan"), "{text}");
+    assert!(session.explain_sql("SELECT nope FROM photoobj").is_err());
+}
+
+#[test]
+fn reports_render() {
+    let session = paper_session();
+    let workload = sdss_workload();
+    let design = Design::new().with_index(WhatIfIndex::new("w", "photoobj", &["objid"]));
+    let (report, _) = session.evaluate_design(&workload, &design).unwrap();
+    let text = report.render();
+    assert!(text.contains("average benefit"));
+    assert!(text.lines().count() > 30);
+}

@@ -1,0 +1,581 @@
+//! Plan execution over the in-memory storage engine.
+//!
+//! A straightforward materializing executor: each node produces a
+//! `Vec<Row>`. This keeps semantics obvious and is plenty fast at the
+//! laptop scale the measured experiments run at; wall-clock comparisons in
+//! the benches always compare like against like.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use parinda_catalog::{Catalog, Datum, IndexId, TableId};
+use parinda_optimizer::query::BoundOutput;
+use parinda_optimizer::{BoundExpr, PlanKind, PlanNode, Slot};
+use parinda_sql::AggFunc;
+use parinda_storage::Database;
+
+use crate::expr::{eval, passes, slot_map, EvalError, SlotMap};
+use crate::row::RowKey;
+
+/// A produced row.
+pub type Row = Vec<Datum>;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The plan scans a table whose heap was never loaded.
+    MissingHeap(TableId),
+    /// The plan uses an index that is not materialized (e.g. a what-if
+    /// index that was never built — plans over hypothetical designs are
+    /// costable but not runnable, exactly as in the paper).
+    MissingIndex(IndexId),
+    /// Expression referenced a slot not present in the row.
+    Eval(EvalError),
+    /// Plan shape the executor does not recognize (planner bug).
+    Malformed(&'static str),
+}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingHeap(t) => write!(f, "no heap loaded for table {:?}", t),
+            ExecError::MissingIndex(i) => {
+                write!(f, "index {:?} is not materialized (what-if only?)", i)
+            }
+            ExecError::Eval(e) => write!(f, "{e}"),
+            ExecError::Malformed(m) => write!(f, "malformed plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a plan against a catalog + database.
+pub fn execute(plan: &PlanNode, catalog: &Catalog, db: &Database) -> Result<Vec<Row>, ExecError> {
+    let _ = catalog; // kept in the signature for API stability (EXPLAIN-style helpers)
+    Executor { db }.run(plan, None)
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+}
+
+/// Parameter values supplied by an outer nested-loop row.
+struct Params<'a> {
+    values: &'a [Datum],
+}
+
+impl<'a> Executor<'a> {
+    fn run(&self, node: &PlanNode, params: Option<&Params<'_>>) -> Result<Vec<Row>, ExecError> {
+        match &node.kind {
+            PlanKind::SeqScan { rel: _, table, filter } => self.seq_scan(node, *table, filter),
+            PlanKind::IndexScan { table, index, eq_prefix, param_prefix, range, filter, .. } => {
+                self.index_scan(node, *table, *index, eq_prefix, param_prefix, range, filter, params)
+            }
+            PlanKind::NestLoop { outer, inner, keys, filter } => {
+                self.nest_loop(node, outer, inner, keys, filter)
+            }
+            PlanKind::HashJoin { outer, inner, keys, filter } => {
+                self.hash_join(node, outer, inner, keys, filter)
+            }
+            PlanKind::MergeJoin { outer, inner, keys, filter } => {
+                self.merge_join(node, outer, inner, keys, filter)
+            }
+            PlanKind::Materialize { input } => self.run(input, params),
+            PlanKind::Sort { input, keys } => {
+                let mut rows = self.run(input, params)?;
+                rows.sort_by(|a, b| {
+                    for k in keys {
+                        let ord = a[k.pos].sql_cmp(&b[k.pos]);
+                        let ord = if k.desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(rows)
+            }
+            PlanKind::Aggregate { input, group_by, items } => {
+                self.aggregate(input, group_by, items)
+            }
+            PlanKind::Project { input, items } => {
+                let rows = self.run(input, params)?;
+                let slots = slot_map(&input.output);
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    let mut row = Vec::with_capacity(items.len());
+                    for item in items {
+                        match &item.expr {
+                            BoundOutput::Scalar(e) => row.push(eval(e, &r, &slots)?),
+                            BoundOutput::Agg { .. } => {
+                                return Err(ExecError::Malformed("aggregate under Project"))
+                            }
+                        }
+                    }
+                    out.push(row);
+                }
+                Ok(out)
+            }
+            PlanKind::Unique { input } => {
+                let rows = self.run(input, params)?;
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for r in rows {
+                    if seen.insert(RowKey::encode(r.iter())) {
+                        out.push(r);
+                    }
+                }
+                Ok(out)
+            }
+            PlanKind::Limit { input, n } => {
+                let mut rows = self.run(input, params)?;
+                rows.truncate(*n as usize);
+                Ok(rows)
+            }
+        }
+    }
+
+    /// Scan-local slot map: the full table row in table coordinates.
+    fn table_slots(&self, rel: usize, ncols: usize) -> SlotMap {
+        (0..ncols).map(|col| (Slot { rel, col }, col)).collect()
+    }
+
+    fn project_scan(&self, node: &PlanNode, rel: usize, full_row: &[Datum]) -> Row {
+        node.output
+            .iter()
+            .map(|s| {
+                debug_assert_eq!(s.rel, rel);
+                full_row[s.col].clone()
+            })
+            .collect()
+    }
+
+    fn seq_scan(
+        &self,
+        node: &PlanNode,
+        table: TableId,
+        filter: &[BoundExpr],
+    ) -> Result<Vec<Row>, ExecError> {
+        let heap = self.db.heap(table).ok_or(ExecError::MissingHeap(table))?;
+        let rel = node.output.first().map(|s| s.rel).unwrap_or(0);
+        let slots = self.table_slots(rel, heap.columns().len());
+        let mut out = Vec::new();
+        'rows: for (_, row) in heap.scan() {
+            for f in filter {
+                if !passes(f, row, &slots)? {
+                    continue 'rows;
+                }
+            }
+            out.push(self.project_scan(node, rel, row));
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn index_scan(
+        &self,
+        node: &PlanNode,
+        table: TableId,
+        index: IndexId,
+        eq_prefix: &[Datum],
+        param_prefix: &[Slot],
+        range: &Option<parinda_optimizer::IndexRange>,
+        filter: &[BoundExpr],
+        params: Option<&Params<'_>>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let heap = self.db.heap(table).ok_or(ExecError::MissingHeap(table))?;
+        let tree = self.db.btree(index).ok_or(ExecError::MissingIndex(index))?;
+        let rel = node.output.first().map(|s| s.rel).unwrap_or(0);
+        let slots = self.table_slots(rel, heap.columns().len());
+
+        // Assemble the probe prefix: constants, then runtime parameters.
+        let mut prefix: Vec<Datum> = eq_prefix.to_vec();
+        if !param_prefix.is_empty() {
+            let p = params.ok_or(ExecError::Malformed("parameterized scan without params"))?;
+            prefix.extend(p.values.iter().cloned());
+        }
+
+        // Compose range bounds on the column after the prefix.
+        let (low, high): (Vec<Datum>, Vec<Datum>);
+        let (lo_bound, hi_bound) = match range {
+            None if prefix.is_empty() => (Bound::Unbounded, Bound::Unbounded),
+            None => {
+                low = prefix.clone();
+                high = prefix.clone();
+                (Bound::Included(&low[..]), Bound::Included(&high[..]))
+            }
+            Some(r) => {
+                let lo = match &r.low {
+                    Some((d, incl)) => {
+                        let mut v = prefix.clone();
+                        v.push(d.clone());
+                        low = v;
+                        if *incl {
+                            Bound::Included(&low[..])
+                        } else {
+                            Bound::Excluded(&low[..])
+                        }
+                    }
+                    None if prefix.is_empty() => {
+                        low = Vec::new();
+                        let _ = &low;
+                        Bound::Unbounded
+                    }
+                    None => {
+                        low = prefix.clone();
+                        Bound::Included(&low[..])
+                    }
+                };
+                let hi = match &r.high {
+                    Some((d, incl)) => {
+                        let mut v = prefix.clone();
+                        v.push(d.clone());
+                        high = v;
+                        if *incl {
+                            Bound::Included(&high[..])
+                        } else {
+                            Bound::Excluded(&high[..])
+                        }
+                    }
+                    None if prefix.is_empty() => {
+                        high = Vec::new();
+                        let _ = &high;
+                        Bound::Unbounded
+                    }
+                    None => {
+                        high = prefix.clone();
+                        Bound::Included(&high[..])
+                    }
+                };
+                (lo, hi)
+            }
+        };
+
+        let tids = tree.range(lo_bound, hi_bound);
+        let mut out = Vec::with_capacity(tids.len());
+        'tids: for tid in tids {
+            let row = heap
+                .fetch(tid)
+                .ok_or(ExecError::Malformed("index tid points past heap"))?;
+            for f in filter {
+                if !passes(f, row, &slots)? {
+                    continue 'tids;
+                }
+            }
+            out.push(self.project_scan(node, rel, row));
+        }
+        Ok(out)
+    }
+
+    fn nest_loop(
+        &self,
+        node: &PlanNode,
+        outer: &PlanNode,
+        inner: &PlanNode,
+        keys: &[parinda_optimizer::JoinKey],
+        filter: &[BoundExpr],
+    ) -> Result<Vec<Row>, ExecError> {
+        let outer_rows = self.run(outer, None)?;
+        let outer_slots = slot_map(&outer.output);
+        let combined_slots = slot_map(&node.output);
+
+        // Parameterized inner? (IndexScan with param_prefix, possibly under
+        // Materialize which the planner never does for param scans.)
+        let param_scan = matches!(
+            &inner.kind,
+            PlanKind::IndexScan { param_prefix, .. } if !param_prefix.is_empty()
+        );
+
+        let mut out = Vec::new();
+        if param_scan {
+            let PlanKind::IndexScan { param_prefix, .. } = &inner.kind else { unreachable!() };
+            for orow in &outer_rows {
+                let values: Vec<Datum> = param_prefix
+                    .iter()
+                    .map(|s| {
+                        outer_slots
+                            .get(s)
+                            .map(|&p| orow[p].clone())
+                            .ok_or(EvalError::MissingSlot(*s))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if values.iter().any(|v| v.is_null()) {
+                    continue; // NULL never equijoins
+                }
+                let irows = self.run(inner, Some(&Params { values: &values }))?;
+                for irow in irows {
+                    let mut row = orow.clone();
+                    row.extend(irow);
+                    if self.join_row_passes(&row, &combined_slots, keys, filter)? {
+                        out.push(row);
+                    }
+                }
+            }
+        } else {
+            let inner_rows = self.run(inner, None)?;
+            for orow in &outer_rows {
+                for irow in &inner_rows {
+                    let mut row = orow.clone();
+                    row.extend(irow.iter().cloned());
+                    if self.join_row_passes(&row, &combined_slots, keys, filter)? {
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn join_row_passes(
+        &self,
+        row: &[Datum],
+        slots: &SlotMap,
+        keys: &[parinda_optimizer::JoinKey],
+        filter: &[BoundExpr],
+    ) -> Result<bool, ExecError> {
+        for k in keys {
+            let o = slots.get(&k.outer).copied().ok_or(EvalError::MissingSlot(k.outer))?;
+            let i = slots.get(&k.inner).copied().ok_or(EvalError::MissingSlot(k.inner))?;
+            if !row[o].sql_eq(&row[i]) {
+                return Ok(false);
+            }
+        }
+        for f in filter {
+            if !passes(f, row, slots)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn hash_join(
+        &self,
+        node: &PlanNode,
+        outer: &PlanNode,
+        inner: &PlanNode,
+        keys: &[parinda_optimizer::JoinKey],
+        filter: &[BoundExpr],
+    ) -> Result<Vec<Row>, ExecError> {
+        let outer_rows = self.run(outer, None)?;
+        let inner_rows = self.run(inner, None)?;
+        let outer_slots = slot_map(&outer.output);
+        let inner_slots = slot_map(&inner.output);
+        let combined_slots = slot_map(&node.output);
+
+        let inner_key_pos: Vec<usize> = keys
+            .iter()
+            .map(|k| inner_slots.get(&k.inner).copied().ok_or(EvalError::MissingSlot(k.inner)))
+            .collect::<Result<_, _>>()?;
+        let outer_key_pos: Vec<usize> = keys
+            .iter()
+            .map(|k| outer_slots.get(&k.outer).copied().ok_or(EvalError::MissingSlot(k.outer)))
+            .collect::<Result<_, _>>()?;
+
+        let mut table: HashMap<RowKey, Vec<usize>> = HashMap::new();
+        for (i, r) in inner_rows.iter().enumerate() {
+            let kv: Vec<&Datum> = inner_key_pos.iter().map(|&p| &r[p]).collect();
+            if kv.iter().any(|d| d.is_null()) {
+                continue;
+            }
+            table.entry(RowKey::encode(kv)).or_default().push(i);
+        }
+
+        let mut out = Vec::new();
+        for orow in &outer_rows {
+            let kv: Vec<&Datum> = outer_key_pos.iter().map(|&p| &orow[p]).collect();
+            if kv.iter().any(|d| d.is_null()) {
+                continue;
+            }
+            if let Some(matches) = table.get(&RowKey::encode(kv)) {
+                for &i in matches {
+                    let mut row = orow.clone();
+                    row.extend(inner_rows[i].iter().cloned());
+                    if self.join_row_passes(&row, &combined_slots, keys, filter)? {
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn merge_join(
+        &self,
+        node: &PlanNode,
+        outer: &PlanNode,
+        inner: &PlanNode,
+        keys: &[parinda_optimizer::JoinKey],
+        filter: &[BoundExpr],
+    ) -> Result<Vec<Row>, ExecError> {
+        let k0 = keys.first().ok_or(ExecError::Malformed("merge join without keys"))?;
+        let outer_rows = self.run(outer, None)?;
+        let inner_rows = self.run(inner, None)?;
+        let outer_slots = slot_map(&outer.output);
+        let inner_slots = slot_map(&inner.output);
+        let combined_slots = slot_map(&node.output);
+        let op = outer_slots.get(&k0.outer).copied().ok_or(EvalError::MissingSlot(k0.outer))?;
+        let ip = inner_slots.get(&k0.inner).copied().ok_or(EvalError::MissingSlot(k0.inner))?;
+
+        // Inputs are sorted on the first key by plan construction; merge
+        // with duplicate-group handling.
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let mut j = 0usize;
+        while i < outer_rows.len() && j < inner_rows.len() {
+            let a = &outer_rows[i][op];
+            let b = &inner_rows[j][ip];
+            if a.is_null() {
+                i += 1;
+                continue;
+            }
+            if b.is_null() {
+                j += 1;
+                continue;
+            }
+            match a.sql_cmp(b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // find the extent of the equal group on both sides
+                    let mut i2 = i;
+                    while i2 < outer_rows.len() && outer_rows[i2][op].sql_eq(a) {
+                        i2 += 1;
+                    }
+                    let mut j2 = j;
+                    while j2 < inner_rows.len() && inner_rows[j2][ip].sql_eq(b) {
+                        j2 += 1;
+                    }
+                    for orow in &outer_rows[i..i2] {
+                        for irow in &inner_rows[j..j2] {
+                            let mut row = orow.clone();
+                            row.extend(irow.iter().cloned());
+                            if self.join_row_passes(&row, &combined_slots, keys, filter)? {
+                                out.push(row);
+                            }
+                        }
+                    }
+                    i = i2;
+                    j = j2;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn aggregate(
+        &self,
+        input: &PlanNode,
+        group_by: &[Slot],
+        items: &[parinda_optimizer::OutputItem],
+    ) -> Result<Vec<Row>, ExecError> {
+        let rows = self.run(input, None)?;
+        let slots = slot_map(&input.output);
+        let group_pos: Vec<usize> = group_by
+            .iter()
+            .map(|s| slots.get(s).copied().ok_or(EvalError::MissingSlot(*s)))
+            .collect::<Result<_, _>>()?;
+
+        // group rows
+        let mut groups: Vec<(Row, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<RowKey, usize> = HashMap::new();
+        for (ri, r) in rows.iter().enumerate() {
+            let key_vals: Row = group_pos.iter().map(|&p| r[p].clone()).collect();
+            let key = RowKey::encode(key_vals.iter());
+            let gi = *index.entry(key).or_insert_with(|| {
+                groups.push((key_vals, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(ri);
+        }
+        // a global aggregate over zero rows still produces one group
+        if groups.is_empty() && group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        let mut out = Vec::with_capacity(groups.len());
+        for (_, members) in &groups {
+            let mut row = Vec::with_capacity(items.len());
+            for item in items {
+                match &item.expr {
+                    BoundOutput::Scalar(e) => {
+                        // evaluate on a representative member
+                        let rep = members.first().map(|&ri| &rows[ri]);
+                        match rep {
+                            Some(r) => row.push(eval(e, r, &slots)?),
+                            None => row.push(Datum::Null),
+                        }
+                    }
+                    BoundOutput::Agg { func, arg, distinct } => {
+                        row.push(self.eval_agg(*func, arg, *distinct, members, &rows, &slots)?);
+                    }
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    fn eval_agg(
+        &self,
+        func: AggFunc,
+        arg: &Option<BoundExpr>,
+        distinct: bool,
+        members: &[usize],
+        rows: &[Row],
+        slots: &SlotMap,
+    ) -> Result<Datum, ExecError> {
+        // COUNT(*) counts rows regardless of values.
+        if arg.is_none() {
+            return Ok(Datum::Int(members.len() as i64));
+        }
+        let expr = arg.as_ref().unwrap();
+        let mut values: Vec<Datum> = Vec::with_capacity(members.len());
+        for &ri in members {
+            let v = eval(expr, &rows[ri], slots)?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = std::collections::HashSet::new();
+            values.retain(|v| seen.insert(RowKey::encode(std::iter::once(v))));
+        }
+        Ok(match func {
+            AggFunc::Count => Datum::Int(values.len() as i64),
+            AggFunc::Min => values
+                .iter()
+                .min_by(|a, b| a.sql_cmp(b))
+                .cloned()
+                .unwrap_or(Datum::Null),
+            AggFunc::Max => values
+                .iter()
+                .max_by(|a, b| a.sql_cmp(b))
+                .cloned()
+                .unwrap_or(Datum::Null),
+            AggFunc::Sum => {
+                if values.is_empty() {
+                    Datum::Null
+                } else if values.iter().all(|v| matches!(v, Datum::Int(_))) {
+                    Datum::Int(values.iter().filter_map(|v| v.as_i64()).sum())
+                } else {
+                    Datum::Float(values.iter().filter_map(|v| v.as_f64()).sum())
+                }
+            }
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    Datum::Null
+                } else {
+                    let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
+                    Datum::Float(sum / values.len() as f64)
+                }
+            }
+        })
+    }
+}

@@ -1,0 +1,342 @@
+//! Expression evaluation with SQL three-valued logic.
+//!
+//! Unknown is represented as [`Datum::Null`]; predicates pass only when
+//! they evaluate to `Bool(true)`, matching WHERE semantics.
+
+use std::collections::HashMap;
+
+use parinda_catalog::Datum;
+use parinda_optimizer::{BoundExpr, Slot};
+use parinda_sql::BinOp;
+
+/// Maps slots to positions within the current row.
+pub type SlotMap = HashMap<Slot, usize>;
+
+/// Build a slot map from a node's output slot list.
+pub fn slot_map(output: &[Slot]) -> SlotMap {
+    output.iter().enumerate().map(|(i, s)| (*s, i)).collect()
+}
+
+/// Evaluation errors (all indicate planner/executor disagreement, not bad
+/// data — data errors surface as NULL like in SQL).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The expression referenced a slot the row does not carry.
+    MissingSlot(Slot),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingSlot(s) => {
+                write!(f, "expression references slot (rel {}, col {}) not in row", s.rel, s.col)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate an expression against a row.
+pub fn eval(expr: &BoundExpr, row: &[Datum], slots: &SlotMap) -> Result<Datum, EvalError> {
+    Ok(match expr {
+        BoundExpr::Column(s) => {
+            let pos = slots.get(s).copied().ok_or(EvalError::MissingSlot(*s))?;
+            row[pos].clone()
+        }
+        BoundExpr::Literal(d) => d.clone(),
+        BoundExpr::Binary { op, left, right } => {
+            let l = eval(left, row, slots)?;
+            let r = eval(right, row, slots)?;
+            eval_binary(*op, &l, &r)
+        }
+        BoundExpr::Not(e) => match eval(e, row, slots)? {
+            Datum::Bool(b) => Datum::Bool(!b),
+            Datum::Null => Datum::Null,
+            _ => Datum::Null,
+        },
+        BoundExpr::Between { expr, low, high, negated } => {
+            let v = eval(expr, row, slots)?;
+            let lo = eval(low, row, slots)?;
+            let hi = eval(high, row, slots)?;
+            let ge = eval_binary(BinOp::GtEq, &v, &lo);
+            let le = eval_binary(BinOp::LtEq, &v, &hi);
+            let both = and3(&ge, &le);
+            if *negated {
+                not3(&both)
+            } else {
+                both
+            }
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            let v = eval(expr, row, slots)?;
+            if v.is_null() {
+                return Ok(Datum::Null);
+            }
+            let mut saw_null = false;
+            let mut hit = false;
+            for e in list {
+                let x = eval(e, row, slots)?;
+                if x.is_null() {
+                    saw_null = true;
+                } else if v.sql_eq(&x) {
+                    hit = true;
+                    break;
+                }
+            }
+            let r = if hit {
+                Datum::Bool(true)
+            } else if saw_null {
+                Datum::Null
+            } else {
+                Datum::Bool(false)
+            };
+            if *negated {
+                not3(&r)
+            } else {
+                r
+            }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row, slots)?;
+            Datum::Bool(v.is_null() != *negated)
+        }
+        BoundExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, row, slots)?;
+            match v {
+                Datum::Null => Datum::Null,
+                Datum::Str(s) => {
+                    let m = like_match(&s, pattern);
+                    Datum::Bool(m != *negated)
+                }
+                _ => Datum::Null,
+            }
+        }
+    })
+}
+
+/// Does the predicate hold for the row (NULL/false both fail)?
+pub fn passes(expr: &BoundExpr, row: &[Datum], slots: &SlotMap) -> Result<bool, EvalError> {
+    Ok(matches!(eval(expr, row, slots)?, Datum::Bool(true)))
+}
+
+fn eval_binary(op: BinOp, l: &Datum, r: &Datum) -> Datum {
+    use BinOp::*;
+    match op {
+        And => and3(l, r),
+        Or => or3(l, r),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Datum::Null;
+            }
+            let ord = l.sql_cmp(r);
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Datum::Bool(b)
+        }
+        Add | Sub | Mul | Div => arith(op, l, r),
+    }
+}
+
+fn arith(op: BinOp, l: &Datum, r: &Datum) -> Datum {
+    use Datum::*;
+    match (l, r) {
+        (Null, _) | (_, Null) => Null,
+        (Int(a), Int(b)) => match op {
+            BinOp::Add => Int(a.wrapping_add(*b)),
+            BinOp::Sub => Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Null
+                } else {
+                    Int(a / b)
+                }
+            }
+            _ => Null,
+        },
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else { return Null };
+            match op {
+                BinOp::Add => Float(a + b),
+                BinOp::Sub => Float(a - b),
+                BinOp::Mul => Float(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Null
+                    } else {
+                        Float(a / b)
+                    }
+                }
+                _ => Null,
+            }
+        }
+    }
+}
+
+fn and3(l: &Datum, r: &Datum) -> Datum {
+    match (l, r) {
+        (Datum::Bool(false), _) | (_, Datum::Bool(false)) => Datum::Bool(false),
+        (Datum::Bool(true), Datum::Bool(true)) => Datum::Bool(true),
+        _ => Datum::Null,
+    }
+}
+
+fn or3(l: &Datum, r: &Datum) -> Datum {
+    match (l, r) {
+        (Datum::Bool(true), _) | (_, Datum::Bool(true)) => Datum::Bool(true),
+        (Datum::Bool(false), Datum::Bool(false)) => Datum::Bool(false),
+        _ => Datum::Null,
+    }
+}
+
+fn not3(d: &Datum) -> Datum {
+    match d {
+        Datum::Bool(b) => Datum::Bool(!b),
+        _ => Datum::Null,
+    }
+}
+
+/// SQL LIKE matcher: `%` = any run, `_` = any single char.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // try consuming 0..len chars
+                (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i64) -> BoundExpr {
+        BoundExpr::Literal(Datum::Int(i))
+    }
+
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    fn ev(e: &BoundExpr) -> Datum {
+        eval(e, &[], &SlotMap::new()).unwrap()
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(ev(&bin(BinOp::Add, lit(2), lit(3))), Datum::Int(5));
+        assert_eq!(ev(&bin(BinOp::Div, lit(7), lit(2))), Datum::Int(3));
+        assert_eq!(ev(&bin(BinOp::Div, lit(7), lit(0))), Datum::Null);
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let e = bin(BinOp::Mul, lit(2), BoundExpr::Literal(Datum::Float(1.5)));
+        assert_eq!(ev(&e), Datum::Float(3.0));
+    }
+
+    #[test]
+    fn comparisons_with_nulls_are_null() {
+        let e = bin(BinOp::Eq, lit(1), BoundExpr::Literal(Datum::Null));
+        assert_eq!(ev(&e), Datum::Null);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = BoundExpr::Literal(Datum::Bool(true));
+        let f = BoundExpr::Literal(Datum::Bool(false));
+        let n = BoundExpr::Literal(Datum::Null);
+        assert_eq!(ev(&bin(BinOp::And, f.clone(), n.clone())), Datum::Bool(false));
+        assert_eq!(ev(&bin(BinOp::And, t.clone(), n.clone())), Datum::Null);
+        assert_eq!(ev(&bin(BinOp::Or, t.clone(), n.clone())), Datum::Bool(true));
+        assert_eq!(ev(&bin(BinOp::Or, f, n)), Datum::Null);
+        let _ = t;
+    }
+
+    #[test]
+    fn between_evaluates_inclusively() {
+        let e = BoundExpr::Between {
+            expr: Box::new(lit(5)),
+            low: Box::new(lit(5)),
+            high: Box::new(lit(10)),
+            negated: false,
+        };
+        assert_eq!(ev(&e), Datum::Bool(true));
+    }
+
+    #[test]
+    fn in_list_with_null_semantics() {
+        // 1 IN (2, NULL) -> NULL; 1 IN (1, NULL) -> TRUE
+        let e = BoundExpr::InList {
+            expr: Box::new(lit(1)),
+            list: vec![lit(2), BoundExpr::Literal(Datum::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e), Datum::Null);
+        let e2 = BoundExpr::InList {
+            expr: Box::new(lit(1)),
+            list: vec![lit(1), BoundExpr::Literal(Datum::Null)],
+            negated: false,
+        };
+        assert_eq!(ev(&e2), Datum::Bool(true));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let e = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Literal(Datum::Null)),
+            negated: false,
+        };
+        assert_eq!(ev(&e), Datum::Bool(true));
+        let e2 = BoundExpr::IsNull { expr: Box::new(lit(1)), negated: true };
+        assert_eq!(ev(&e2), Datum::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("galaxy", "gal%"));
+        assert!(like_match("galaxy", "%axy"));
+        assert!(like_match("galaxy", "g_l%"));
+        assert!(!like_match("galaxy", "gal"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("a", "_%_"));
+        assert!(like_match("ab", "_%_"));
+    }
+
+    #[test]
+    fn column_lookup_via_slot_map() {
+        let slot = Slot { rel: 0, col: 2 };
+        let mut m = SlotMap::new();
+        m.insert(slot, 0);
+        let e = BoundExpr::Column(slot);
+        assert_eq!(eval(&e, &[Datum::Int(9)], &m).unwrap(), Datum::Int(9));
+    }
+
+    #[test]
+    fn missing_slot_is_error() {
+        let e = BoundExpr::Column(Slot { rel: 0, col: 0 });
+        assert!(eval(&e, &[], &SlotMap::new()).is_err());
+    }
+
+    #[test]
+    fn passes_requires_true() {
+        let m = SlotMap::new();
+        assert!(passes(&BoundExpr::Literal(Datum::Bool(true)), &[], &m).unwrap());
+        assert!(!passes(&BoundExpr::Literal(Datum::Null), &[], &m).unwrap());
+        assert!(!passes(&BoundExpr::Literal(Datum::Bool(false)), &[], &m).unwrap());
+    }
+}

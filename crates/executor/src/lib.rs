@@ -1,0 +1,21 @@
+//! # parinda-executor
+//!
+//! Volcano-style execution substrate: runs the optimizer's physical plans
+//! against the in-memory storage engine. PARINDA itself only *estimates*
+//! benefits; this crate lets the reproduction *measure* them — the
+//! workload-speedup experiment (E1) executes the workload before and after
+//! materializing the advisor's suggestions and compares wall-clock times,
+//! and correctness tests cross-check every join/aggregation path against
+//! naive evaluation.
+
+#![allow(missing_docs)]
+
+pub mod analyze;
+pub mod exec;
+pub mod expr;
+pub mod row;
+
+pub use analyze::{execute_analyze, explain_analyze, AnalyzedPlan, NodeActuals};
+pub use exec::{execute, ExecError, Row};
+pub use expr::{eval, like_match, passes, slot_map, EvalError, SlotMap};
+pub use row::RowKey;

@@ -1,0 +1,100 @@
+//! Hashable row-key encoding (floats by bit pattern, strings by bytes),
+//! used by hash joins, grouping, DISTINCT, and DISTINCT aggregates.
+
+use parinda_catalog::Datum;
+
+/// An order-insensitive, hash-friendly encoding of a datum tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RowKey(Vec<u8>);
+
+impl RowKey {
+    /// Encode a sequence of datums into a key. Equal SQL values encode
+    /// equally (ints and whole floats are normalized together).
+    pub fn encode<'a, I: IntoIterator<Item = &'a Datum>>(values: I) -> RowKey {
+        let mut buf = Vec::new();
+        for v in values {
+            match v {
+                Datum::Null => buf.push(0u8),
+                Datum::Bool(b) => {
+                    buf.push(1);
+                    buf.push(*b as u8);
+                }
+                Datum::Int(i) => {
+                    // normalize with floats that hold integral values
+                    buf.push(2);
+                    buf.extend((*i as f64).to_bits().to_be_bytes());
+                }
+                Datum::Float(f) => {
+                    buf.push(2);
+                    // normalize -0.0 to 0.0 and NaNs to one pattern
+                    let f = if f.is_nan() { f64::NAN } else if *f == 0.0 { 0.0 } else { *f };
+                    buf.extend(f.to_bits().to_be_bytes());
+                }
+                Datum::Str(s) => {
+                    buf.push(3);
+                    buf.extend((s.len() as u32).to_be_bytes());
+                    buf.extend(s.as_bytes());
+                }
+            }
+        }
+        RowKey(buf)
+    }
+
+    /// Does the encoded key contain a NULL marker at any position?
+    pub fn has_null(values: &[Datum]) -> bool {
+        values.iter().any(|v| v.is_null())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_equal_keys() {
+        let a = RowKey::encode(&[Datum::Int(5), Datum::Str("x".into())]);
+        let b = RowKey::encode(&[Datum::Int(5), Datum::Str("x".into())]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int_and_whole_float_normalize_together() {
+        let a = RowKey::encode(&[Datum::Int(3)]);
+        let b = RowKey::encode(&[Datum::Float(3.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_values_differ() {
+        assert_ne!(
+            RowKey::encode(&[Datum::Int(1)]),
+            RowKey::encode(&[Datum::Int(2)])
+        );
+        assert_ne!(
+            RowKey::encode(&[Datum::Str("ab".into())]),
+            RowKey::encode(&[Datum::Str("ba".into())])
+        );
+    }
+
+    #[test]
+    fn string_lengths_prevent_ambiguity() {
+        // ("a", "bc") must differ from ("ab", "c")
+        let a = RowKey::encode(&[Datum::Str("a".into()), Datum::Str("bc".into())]);
+        let b = RowKey::encode(&[Datum::Str("ab".into()), Datum::Str("c".into())]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        assert_eq!(
+            RowKey::encode(&[Datum::Float(0.0)]),
+            RowKey::encode(&[Datum::Float(-0.0)])
+        );
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(RowKey::has_null(&[Datum::Int(1), Datum::Null]));
+        assert!(!RowKey::has_null(&[Datum::Int(1)]));
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end correctness: parse → bind → plan → execute, cross-checked
+//! between physical designs (results must not depend on the design) and
+//! against hand-computed answers.
+
+use parinda_catalog::{Catalog, Column, Datum, SqlType};
+use parinda_executor::{execute, Row};
+use parinda_optimizer::{optimize, optimize_with, CostParams, PlannerFlags};
+use parinda_sql::parse_select;
+use parinda_storage::Database;
+
+/// Deterministic small dataset: obj (200 rows), spec (40 rows).
+fn setup() -> (Catalog, Database) {
+    let mut cat = Catalog::new();
+    let obj = cat.create_table(
+        "obj",
+        vec![
+            Column::new("id", SqlType::Int8).not_null(),
+            Column::new("ra", SqlType::Float8).not_null(),
+            Column::new("kind", SqlType::Int4).not_null(),
+            Column::new("name", SqlType::Text),
+        ],
+        0,
+    );
+    let spec = cat.create_table(
+        "spec",
+        vec![
+            Column::new("sid", SqlType::Int8).not_null(),
+            Column::new("objid", SqlType::Int8).not_null(),
+            Column::new("z", SqlType::Float8),
+        ],
+        0,
+    );
+    let mut db = Database::new();
+    let obj_rows: Vec<Row> = (0..200)
+        .map(|i| {
+            vec![
+                Datum::Int(i),
+                Datum::Float(i as f64 * 1.8),
+                Datum::Int(i % 4),
+                if i % 10 == 0 { Datum::Null } else { Datum::Str(format!("obj{i}")) },
+            ]
+        })
+        .collect();
+    let spec_rows: Vec<Row> = (0..40)
+        .map(|i| {
+            vec![
+                Datum::Int(1000 + i),
+                Datum::Int(i * 5), // joins to obj.id multiples of 5
+                if i % 7 == 0 { Datum::Null } else { Datum::Float(i as f64 * 0.01) },
+            ]
+        })
+        .collect();
+    db.load_table(&mut cat, obj, obj_rows).unwrap();
+    db.load_table(&mut cat, spec, spec_rows).unwrap();
+    db.analyze(&mut cat);
+    (cat, db)
+}
+
+fn run(cat: &Catalog, db: &Database, sql: &str) -> Vec<Row> {
+    let sel = parse_select(sql).unwrap();
+    let (_, plan) = optimize(&sel, cat).unwrap();
+    execute(&plan, cat, db).unwrap()
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<String> {
+    let mut s: Vec<String> = rows
+        .drain(..)
+        .map(|r| r.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("|"))
+        .collect();
+    s.sort();
+    s
+}
+
+#[test]
+fn filter_eq() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT id FROM obj WHERE kind = 2");
+    assert_eq!(rows.len(), 50);
+    assert!(rows.iter().all(|r| r[0].as_i64().unwrap() % 4 == 2));
+}
+
+#[test]
+fn filter_range_and_projection() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT id, ra FROM obj WHERE ra BETWEEN 9.0 AND 18.0");
+    // ra = 1.8*i in [9, 18] -> i in [5, 10]
+    assert_eq!(rows.len(), 6);
+}
+
+#[test]
+fn like_and_null_handling() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT id FROM obj WHERE name LIKE 'obj1%'");
+    // obj1, obj1x, obj1xx: ids 1, 10..19 (10 is NULL name), 100..199 minus NULL names
+    let expected = (0..200)
+        .filter(|i| i % 10 != 0 && format!("obj{i}").starts_with("obj1"))
+        .count();
+    assert_eq!(rows.len(), expected);
+
+    let nulls = run(&cat, &db, "SELECT id FROM obj WHERE name IS NULL");
+    assert_eq!(nulls.len(), 20);
+}
+
+#[test]
+fn arithmetic_in_select() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT id * 2 + 1 FROM obj WHERE id = 3");
+    assert_eq!(rows, vec![vec![Datum::Int(7)]]);
+}
+
+#[test]
+fn join_matches_expected_pairs() {
+    let (cat, db) = setup();
+    let rows = run(
+        &cat,
+        &db,
+        "SELECT o.id, s.sid FROM obj o, spec s WHERE o.id = s.objid",
+    );
+    // spec.objid = i*5 for i in 0..40 -> 0..195 step 5, all within obj ids
+    assert_eq!(rows.len(), 40);
+}
+
+#[test]
+fn join_with_restriction() {
+    let (cat, db) = setup();
+    let rows = run(
+        &cat,
+        &db,
+        "SELECT o.id FROM obj o, spec s WHERE o.id = s.objid AND o.kind = 0 AND s.z > 0.1",
+    );
+    // kind = 0 -> id % 4 == 0; objid = 5i so need 5i % 4 == 0 -> i % 4 == 0
+    // z = 0.01*i > 0.1 -> i > 10; z null when i % 7 == 0 (excluded anyway by > )
+    let expected = (0..40)
+        .filter(|&i| i % 4 == 0 && i > 10 && i % 7 != 0)
+        .count();
+    assert_eq!(rows.len(), expected);
+}
+
+#[test]
+fn group_by_aggregates() {
+    let (cat, db) = setup();
+    let rows = run(
+        &cat,
+        &db,
+        "SELECT kind, COUNT(*), MIN(id), MAX(id), AVG(ra) FROM obj GROUP BY kind ORDER BY kind",
+    );
+    assert_eq!(rows.len(), 4);
+    // kind 0: ids 0,4,...,196 -> count 50, min 0, max 196
+    assert_eq!(rows[0][0], Datum::Int(0));
+    assert_eq!(rows[0][1], Datum::Int(50));
+    assert_eq!(rows[0][2], Datum::Int(0));
+    assert_eq!(rows[0][3], Datum::Int(196));
+}
+
+#[test]
+fn count_ignores_nulls_count_star_does_not() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT COUNT(*), COUNT(name) FROM obj");
+    assert_eq!(rows[0][0], Datum::Int(200));
+    assert_eq!(rows[0][1], Datum::Int(180));
+}
+
+#[test]
+fn distinct_count() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT COUNT(DISTINCT kind) FROM obj");
+    assert_eq!(rows[0][0], Datum::Int(4));
+}
+
+#[test]
+fn order_by_desc_and_limit() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT id FROM obj ORDER BY id DESC LIMIT 3");
+    assert_eq!(
+        rows,
+        vec![vec![Datum::Int(199)], vec![Datum::Int(198)], vec![Datum::Int(197)]]
+    );
+}
+
+#[test]
+fn select_distinct() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT DISTINCT kind FROM obj");
+    assert_eq!(rows.len(), 4);
+}
+
+#[test]
+fn results_invariant_under_indexes() {
+    // The core what-if guarantee in reverse: materializing a design feature
+    // must never change query results.
+    let queries = [
+        "SELECT id FROM obj WHERE id = 42",
+        "SELECT id, ra FROM obj WHERE ra BETWEEN 50.0 AND 120.0 AND kind = 1",
+        "SELECT o.id, s.z FROM obj o, spec s WHERE o.id = s.objid AND s.z > 0.05",
+        "SELECT kind, COUNT(*) FROM obj WHERE id < 100 GROUP BY kind",
+        "SELECT id FROM obj WHERE kind IN (1, 3) ORDER BY id LIMIT 20",
+    ];
+    let (cat, db) = setup();
+    let before: Vec<_> = queries.iter().map(|q| sorted(run(&cat, &db, q))).collect();
+
+    let (mut cat2, mut db2) = setup();
+    for (name, tbl, cols) in [
+        ("i_obj_id", "obj", vec!["id"]),
+        ("i_obj_kind_ra", "obj", vec!["kind", "ra"]),
+        ("i_spec_objid", "spec", vec!["objid"]),
+        ("i_obj_ra", "obj", vec!["ra"]),
+    ] {
+        let id = cat2.create_index(name, tbl, &cols).unwrap();
+        db2.build_index(&mut cat2, id).unwrap();
+    }
+    let after: Vec<_> = queries.iter().map(|q| sorted(run(&cat2, &db2, q))).collect();
+    for ((q, b), a) in queries.iter().zip(&before).zip(&after) {
+        assert_eq!(b, a, "results changed for {q}");
+    }
+}
+
+#[test]
+fn results_invariant_under_flags() {
+    // Forcing different join methods must not change results.
+    let (mut cat, mut db) = setup();
+    let id = cat.create_index("i_obj_id", "obj", &["id"]).unwrap();
+    db.build_index(&mut cat, id).unwrap();
+    let sql = "SELECT o.id, s.sid FROM obj o, spec s WHERE o.id = s.objid AND o.kind = 0";
+    let sel = parse_select(sql).unwrap();
+
+    let mut results = Vec::new();
+    for (nl, hj, mj) in [
+        (true, true, true),
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+        (false, false, true),
+        (true, false, false),
+    ] {
+        let flags = PlannerFlags {
+            enable_nestloop: nl,
+            enable_hashjoin: hj,
+            enable_mergejoin: mj,
+            ..Default::default()
+        };
+        let (_, plan) = optimize_with(&sel, &cat, &CostParams::default(), &flags).unwrap();
+        results.push(sorted(execute(&plan, &cat, &db).unwrap()));
+    }
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+}
+
+#[test]
+fn empty_result_sets() {
+    let (cat, db) = setup();
+    assert!(run(&cat, &db, "SELECT id FROM obj WHERE id = 99999").is_empty());
+    assert!(run(&cat, &db, "SELECT id FROM obj WHERE id < 0").is_empty());
+    // aggregate over empty input still yields one row
+    let rows = run(&cat, &db, "SELECT COUNT(*) FROM obj WHERE id < 0");
+    assert_eq!(rows, vec![vec![Datum::Int(0)]]);
+}
+
+#[test]
+fn three_way_join() {
+    let (mut cat, mut db) = setup();
+    let pairs = cat.create_table(
+        "pairs",
+        vec![
+            Column::new("a", SqlType::Int8).not_null(),
+            Column::new("b", SqlType::Int8).not_null(),
+        ],
+        0,
+    );
+    let rows: Vec<Row> = (0..20).map(|i| vec![Datum::Int(i * 10), Datum::Int(i * 5)]).collect();
+    db.load_table(&mut cat, pairs, rows).unwrap();
+    db.analyze_table(&mut cat, pairs);
+
+    let got = run(
+        &cat,
+        &db,
+        "SELECT o.id, p.b, s.sid FROM obj o, pairs p, spec s \
+         WHERE o.id = p.a AND p.b = s.objid",
+    );
+    // p: (10i, 5i); o.id = 10i exists for i<20; s.objid = 5j -> need 5i = 5j
+    assert_eq!(got.len(), 20);
+}
+
+#[test]
+fn qualified_wildcard() {
+    let (cat, db) = setup();
+    let rows = run(&cat, &db, "SELECT s.* FROM spec s WHERE s.sid = 1005");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].len(), 3);
+}
+
+#[test]
+fn merge_join_forced_produces_correct_results() {
+    // force merge join explicitly and cross-check against hash join
+    let (mut cat, mut db) = setup();
+    let id = cat.create_index("i_obj_id", "obj", &["id"]).unwrap();
+    db.build_index(&mut cat, id).unwrap();
+    let sql = "SELECT o.id, s.sid FROM obj o, spec s WHERE o.id = s.objid";
+    let sel = parse_select(sql).unwrap();
+    let mj_flags = PlannerFlags {
+        enable_hashjoin: false,
+        enable_nestloop: false,
+        ..Default::default()
+    };
+    let (_, mj_plan) = optimize_with(&sel, &cat, &CostParams::default(), &mj_flags).unwrap();
+    let mut saw_merge = false;
+    mj_plan.walk(&mut |n| {
+        if n.node_name() == "Merge Join" {
+            saw_merge = true;
+        }
+    });
+    assert!(saw_merge, "merge join should be the only enabled join method");
+    let (_, hj_plan) = optimize(&sel, &cat).unwrap();
+    assert_eq!(
+        sorted(execute(&mj_plan, &cat, &db).unwrap()),
+        sorted(execute(&hj_plan, &cat, &db).unwrap())
+    );
+}
+
+#[test]
+fn missing_heap_and_unbuilt_index_error_cleanly() {
+    use parinda_executor::ExecError;
+    // catalog says the table/index exist; storage has neither
+    let mut cat = parinda_catalog::Catalog::new();
+    cat.create_table(
+        "ghost",
+        vec![Column::new("a", SqlType::Int8).not_null()],
+        100,
+    );
+    let db = Database::new();
+    let sel = parse_select("SELECT a FROM ghost").unwrap();
+    let (_, plan) = optimize(&sel, &cat).unwrap();
+    assert!(matches!(
+        execute(&plan, &cat, &db),
+        Err(ExecError::MissingHeap(_))
+    ));
+
+    // a what-if (never built) index must fail execution with MissingIndex
+    let (mut cat2, db2) = setup();
+    cat2.create_index("i_never_built", "obj", &["id"]).unwrap();
+    let sel2 = parse_select("SELECT ra FROM obj WHERE id = 3").unwrap();
+    let (_, plan2) = optimize(&sel2, &cat2).unwrap();
+    if !plan2.indexes_used().is_empty() {
+        assert!(matches!(
+            execute(&plan2, &cat2, &db2),
+            Err(ExecError::MissingIndex(_))
+        ));
+    }
+}

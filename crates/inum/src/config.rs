@@ -1,0 +1,149 @@
+//! Candidate indexes and configurations — the vocabulary INUM and the
+//! index advisor share.
+
+use parinda_catalog::{layout, Column, Table, TableId};
+
+/// Identifier of a registered candidate index within an [`crate::InumModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CandId(pub usize);
+
+/// A candidate index the advisor may build: table + key columns, sized
+/// with Equation 1 just like a what-if index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CandidateIndex {
+    /// Table the index is on.
+    pub table: TableId,
+    /// Key column positions in table coordinates, outermost first.
+    pub columns: Vec<usize>,
+}
+
+impl CandidateIndex {
+    /// New candidate.
+    pub fn new(table: TableId, columns: Vec<usize>) -> Self {
+        debug_assert!(!columns.is_empty());
+        CandidateIndex { table, columns }
+    }
+
+    /// Equation-1 leaf pages on `table`.
+    pub fn pages(&self, table: &Table) -> u64 {
+        let cols: Vec<Column> = self.columns.iter().map(|&i| table.columns[i].clone()).collect();
+        layout::index_leaf_pages(table.row_count, &cols)
+    }
+
+    /// Size in bytes, as charged against the advisor's budget.
+    pub fn size_bytes(&self, table: &Table) -> u64 {
+        self.pages(table) * layout::PAGE_SIZE as u64
+    }
+
+    /// Estimated height of the built B-tree.
+    pub fn height(&self, table: &Table) -> u32 {
+        let cols: Vec<Column> = self.columns.iter().map(|&i| table.columns[i].clone()).collect();
+        let entry = layout::INDEX_ROW_OVERHEAD as f64 + layout::avg_columns_size(&cols);
+        let fanout = (layout::usable_page_bytes() as f64 / entry).max(2.0) as u64;
+        layout::btree_height(self.pages(table), fanout)
+    }
+
+    /// Human-readable name (used when materializing the suggestion).
+    pub fn display_name(&self, table: &Table) -> String {
+        let cols: Vec<&str> = self
+            .columns
+            .iter()
+            .map(|&i| table.columns[i].name.as_str())
+            .collect();
+        format!("idx_{}_{}", table.name, cols.join("_"))
+    }
+}
+
+/// A configuration: the subset of registered candidates assumed built.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Configuration {
+    /// Sorted candidate ids.
+    ids: Vec<CandId>,
+}
+
+impl Configuration {
+    /// Empty configuration (base design only).
+    pub fn empty() -> Self {
+        Configuration::default()
+    }
+
+    /// Build from ids (deduplicated, sorted).
+    pub fn from_ids<I: IntoIterator<Item = CandId>>(ids: I) -> Self {
+        let mut v: Vec<CandId> = ids.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Configuration { ids: v }
+    }
+
+    /// The candidate ids in the configuration.
+    pub fn ids(&self) -> &[CandId] {
+        &self.ids
+    }
+
+    /// Does the configuration contain `id`?
+    pub fn contains(&self, id: CandId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Configuration with one more candidate.
+    pub fn with(&self, id: CandId) -> Self {
+        let mut v = self.ids.clone();
+        v.push(id);
+        Configuration::from_ids(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{Catalog, MetadataProvider, SqlType};
+
+    fn table() -> Table {
+        let mut c = Catalog::new();
+        let id = c.create_table(
+            "t",
+            vec![
+                Column::new("a", SqlType::Int8).not_null(),
+                Column::new("b", SqlType::Float8).not_null(),
+            ],
+            1_000_000,
+        );
+        c.table(id).unwrap().clone()
+    }
+
+    #[test]
+    fn candidate_sizes_match_equation1() {
+        let t = table();
+        let c = CandidateIndex::new(t.id, vec![0]);
+        let cols = vec![Column::new("a", SqlType::Int8).not_null()];
+        assert_eq!(c.pages(&t), layout::index_leaf_pages(1_000_000, &cols));
+        assert!(c.size_bytes(&t) > 0);
+        assert!(c.height(&t) >= 1);
+    }
+
+    #[test]
+    fn wider_candidates_are_larger() {
+        let t = table();
+        let narrow = CandidateIndex::new(t.id, vec![0]);
+        let wide = CandidateIndex::new(t.id, vec![0, 1]);
+        assert!(wide.size_bytes(&t) > narrow.size_bytes(&t));
+    }
+
+    #[test]
+    fn display_name_from_columns() {
+        let t = table();
+        let c = CandidateIndex::new(t.id, vec![1, 0]);
+        assert_eq!(c.display_name(&t), "idx_t_b_a");
+    }
+
+    #[test]
+    fn configuration_set_semantics() {
+        let c = Configuration::from_ids([CandId(3), CandId(1), CandId(3)]);
+        assert_eq!(c.ids(), &[CandId(1), CandId(3)]);
+        assert!(c.contains(CandId(1)));
+        assert!(!c.contains(CandId(2)));
+        let c2 = c.with(CandId(2));
+        assert_eq!(c2.ids().len(), 3);
+        assert!(Configuration::empty().ids().is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! # parinda-inum
+//!
+//! The INUM cached cost model (paper §3.4): precompute optimal internal
+//! plans per interesting-order × nested-loop-flag case, then answer
+//! configuration cost queries with memoized access-path arithmetic instead
+//! of full re-optimization. This is what makes the ILP index advisor's
+//! "millions of query cost estimations" affordable.
+
+#![allow(missing_docs)]
+
+pub mod config;
+pub mod model;
+
+pub use config::{CandId, CandidateIndex, Configuration};
+pub use model::{InumError, InumModel, InumOptions};

@@ -1,0 +1,583 @@
+//! The INUM cached cost model (Papadomanolakis, Dash, Ailamaki, VLDB'07;
+//! paper §3.4).
+//!
+//! INUM exploits the fact that an optimal plan's *internal* nodes (joins,
+//! sorts, aggregation) do not change when only the access paths under them
+//! change, as long as the inputs keep the same interesting orders. So:
+//!
+//! 1. For each query, cache one optimal internal plan per combination of
+//!    per-relation interesting orders × nested-loop on/off (the what-if
+//!    join component's two scenarios).
+//! 2. To cost a configuration, pick for each relation the cheapest access
+//!    path the configuration offers (computed once per candidate and
+//!    memoized), add the cached internal cost, and take the minimum over
+//!    the cached cases.
+//!
+//! This turns "millions of query cost estimations" into table lookups plus
+//! a few additions — "in the order of minutes instead of days".
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use parinda_catalog::{Catalog, Index, IndexId, MetadataProvider};
+use parinda_optimizer::cost::sort_cost;
+use parinda_optimizer::planner::{base_rel_rows, base_scan_paths};
+use parinda_optimizer::{
+    bind, plan_query, BoundQuery, CostParams, PlanKind, PlanNode, PlannerFlags,
+};
+use parinda_sql::Select;
+use parinda_whatif::{HypotheticalCatalog, JoinScenario};
+
+use crate::config::{CandId, CandidateIndex, Configuration};
+
+/// Maximum interesting-order combinations cached per query.
+const MAX_CASES_PER_QUERY: usize = 24;
+
+/// Cache-construction options, exposed for the ablation experiments:
+/// how rich is the cached internal-plan set?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InumOptions {
+    /// Cap on interesting-order combinations per query (1 = only the
+    /// unordered case, i.e. no interesting-order modelling).
+    pub max_cases_per_query: usize,
+    /// Cache the nested-loop on/off *pair* per case (paper §3.2's what-if
+    /// join component). `false` = only the default-flags plan.
+    pub join_scenario_pairs: bool,
+}
+
+impl Default for InumOptions {
+    fn default() -> Self {
+        InumOptions { max_cases_per_query: MAX_CASES_PER_QUERY, join_scenario_pairs: true }
+    }
+}
+
+/// One access requirement of a cached internal plan.
+#[derive(Debug, Clone, PartialEq)]
+struct RelAccess {
+    rel: usize,
+    /// How many times the scan executes (parameterized NL inner: outer rows).
+    multiplier: f64,
+    /// Column (table coords) the scan's output must be ordered on.
+    required_order: Option<usize>,
+    /// `Some(col)`: the scan must be an index probe on `col` (only under a
+    /// parameterized nested loop).
+    param_probe: Option<usize>,
+}
+
+/// A cached internal plan for one (orders, join-scenario) case.
+#[derive(Debug, Clone, PartialEq)]
+struct CachedCase {
+    internal_cost: f64,
+    accesses: Vec<RelAccess>,
+}
+
+/// Memo key/value store: (query, rel, candidate) → access cost
+/// (`None` candidate = sequential scan; `None` value = not applicable).
+type AccessMemo = RefCell<HashMap<(usize, usize, Option<usize>), Option<AccessCost>>>;
+
+/// Per-(query, rel, candidate) memoized access-path cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AccessCost {
+    /// Total cost of one scan execution.
+    cost: f64,
+    /// Leading key column of the path (order it provides), if an index.
+    order_col: Option<usize>,
+}
+
+/// The INUM model over a workload.
+pub struct InumModel<'a> {
+    catalog: &'a Catalog,
+    params: CostParams,
+    options: InumOptions,
+    queries: Vec<BoundQuery>,
+    cases: Vec<Vec<CachedCase>>,
+    candidates: Vec<CandidateIndex>,
+    access_memo: AccessMemo,
+    /// memo: (query, rel, candidate) -> parameterized probe cost
+    probe_memo: RefCell<HashMap<(usize, usize, usize), Option<f64>>>,
+    estimations: Cell<u64>,
+    full_optimizations: Cell<u64>,
+}
+
+/// Errors building the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InumError {
+    Bind(usize, String),
+    Plan(usize, String),
+}
+
+impl std::fmt::Display for InumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InumError::Bind(q, e) => write!(f, "query {q}: bind failed: {e}"),
+            InumError::Plan(q, e) => write!(f, "query {q}: planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InumError {}
+
+impl<'a> InumModel<'a> {
+    /// Build the model: bind every query and populate the internal-plan
+    /// cache (the expensive, once-per-workload step).
+    pub fn build(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        params: CostParams,
+    ) -> Result<Self, InumError> {
+        Self::build_with(catalog, workload, params, InumOptions::default())
+    }
+
+    /// [`InumModel::build`] with explicit cache-richness options (used by
+    /// the ablation experiment).
+    pub fn build_with(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        params: CostParams,
+        options: InumOptions,
+    ) -> Result<Self, InumError> {
+        let mut queries = Vec::with_capacity(workload.len());
+        for (i, sel) in workload.iter().enumerate() {
+            let q = bind(sel, catalog).map_err(|e| InumError::Bind(i, e.to_string()))?;
+            queries.push(q);
+        }
+        let mut model = InumModel {
+            catalog,
+            params,
+            options,
+            queries,
+            cases: Vec::new(),
+            candidates: Vec::new(),
+            access_memo: RefCell::new(HashMap::new()),
+            probe_memo: RefCell::new(HashMap::new()),
+            estimations: Cell::new(0),
+            full_optimizations: Cell::new(0),
+        };
+        for qi in 0..model.queries.len() {
+            let cases = model.build_cases(qi).map_err(|e| InumError::Plan(qi, e))?;
+            model.cases.push(cases);
+        }
+        Ok(model)
+    }
+
+    /// The bound queries (for advisors that need workload structure).
+    pub fn queries(&self) -> &[BoundQuery] {
+        &self.queries
+    }
+
+    /// Cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Register a candidate index; returns its id. Registering the same
+    /// candidate twice returns the same id.
+    pub fn register_candidate(&mut self, cand: CandidateIndex) -> CandId {
+        if let Some(i) = self.candidates.iter().position(|c| *c == cand) {
+            return CandId(i);
+        }
+        self.candidates.push(cand);
+        CandId(self.candidates.len() - 1)
+    }
+
+    /// The registered candidates.
+    pub fn candidates(&self) -> &[CandidateIndex] {
+        &self.candidates
+    }
+
+    /// A candidate by id.
+    pub fn candidate(&self, id: CandId) -> &CandidateIndex {
+        &self.candidates[id.0]
+    }
+
+    /// Equation-1 size of a registered candidate in bytes.
+    pub fn candidate_size(&self, id: CandId) -> u64 {
+        let c = &self.candidates[id.0];
+        self.catalog
+            .table(c.table)
+            .map(|t| c.size_bytes(t))
+            .unwrap_or(0)
+    }
+
+    /// The catalog the model was built over.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Number of cached-model cost estimations served so far.
+    pub fn estimations_served(&self) -> u64 {
+        self.estimations.get()
+    }
+
+    /// Number of full optimizer invocations performed (cache build +
+    /// exact costing).
+    pub fn full_optimizations(&self) -> u64 {
+        self.full_optimizations.get()
+    }
+
+    // ---------- cache construction ----------
+
+    fn build_cases(&mut self, qi: usize) -> Result<Vec<CachedCase>, String> {
+        let q = &self.queries[qi];
+        let nrels = q.rels.len();
+
+        // Interesting orders per rel: None + each join column on the rel.
+        let mut orders_per_rel: Vec<Vec<Option<usize>>> = vec![vec![None]; nrels];
+        for j in &q.joins {
+            for slot in [j.left, j.right] {
+                let v = &mut orders_per_rel[slot.rel];
+                if !v.contains(&Some(slot.col)) && v.len() < 4 {
+                    v.push(Some(slot.col));
+                }
+            }
+        }
+
+        // Cartesian product, capped.
+        let mut combos: Vec<Vec<Option<usize>>> = vec![vec![]];
+        for rel_orders in &orders_per_rel {
+            let mut next = Vec::new();
+            for c in &combos {
+                for o in rel_orders {
+                    let mut c2 = c.clone();
+                    c2.push(*o);
+                    next.push(c2);
+                }
+            }
+            combos = next;
+            if combos.len() > self.options.max_cases_per_query {
+                combos.truncate(self.options.max_cases_per_query);
+            }
+        }
+
+        let scenarios: &[JoinScenario] = if self.options.join_scenario_pairs {
+            &JoinScenario::ALL
+        } else {
+            &JoinScenario::ALL[..1]
+        };
+        let mut cases = Vec::new();
+        for combo in &combos {
+            for &scenario in scenarios {
+                let case = self.plan_case(qi, combo, scenario)?;
+                if !cases.contains(&case) {
+                    cases.push(case);
+                }
+            }
+        }
+        Ok(cases)
+    }
+
+    /// Plan the query with per-rel hypothetical order-providing indexes and
+    /// extract the internal-plan skeleton.
+    fn plan_case(
+        &self,
+        qi: usize,
+        combo: &[Option<usize>],
+        scenario: JoinScenario,
+    ) -> Result<CachedCase, String> {
+        let q = &self.queries[qi];
+        let mut overlay = HypotheticalCatalog::new(self.catalog);
+        let mut hypo_ids: Vec<Option<IndexId>> = vec![None; combo.len()];
+        for (rel, order) in combo.iter().enumerate() {
+            if let Some(col) = order {
+                let table = self
+                    .catalog
+                    .table(q.rels[rel].table)
+                    .ok_or_else(|| "table vanished".to_string())?;
+                let colname = table.columns[*col].name.clone();
+                let idx = Index::new(
+                    IndexId(0),
+                    format!("inum_{qi}_{rel}_{colname}"),
+                    table,
+                    &[colname.as_str()],
+                )
+                .ok_or_else(|| "bad hypo column".to_string())?;
+                hypo_ids[rel] = Some(overlay.add_hypo_index(idx));
+            }
+        }
+        let flags = scenario.flags(PlannerFlags::default());
+        let plan = plan_query(q, &overlay, &self.params, &flags).map_err(|e| e.to_string())?;
+        self.full_optimizations.set(self.full_optimizations.get() + 1);
+
+        // Extract leaf access charges.
+        let mut accesses: Vec<RelAccess> = Vec::new();
+        let mut charged = 0.0f64;
+        extract_accesses(&plan, 1.0, &mut |leaf, multiplier| {
+            let (rel, required_order, param_probe, cost) = match &leaf.kind {
+                PlanKind::SeqScan { rel, .. } => (*rel, None, None, leaf.cost.total),
+                PlanKind::IndexScan { rel, index, param_prefix, .. } => {
+                    let probe = if param_prefix.is_empty() {
+                        None
+                    } else {
+                        // probe column = the hypo/real index's lead key
+                        overlay
+                            .indexes_on(q.rels[*rel].table)
+                            .into_iter()
+                            .find(|i| i.id == *index)
+                            .map(|i| i.key_columns[0])
+                    };
+                    let order = if param_prefix.is_empty() && hypo_ids[*rel] == Some(*index) {
+                        combo[*rel]
+                    } else {
+                        None
+                    };
+                    (*rel, order, probe, leaf.cost.total)
+                }
+                _ => unreachable!("extract_accesses only visits scans"),
+            };
+            charged += cost * multiplier;
+            accesses.push(RelAccess { rel, multiplier, required_order, param_probe });
+        });
+
+        let internal_cost = (plan.cost.total - charged).max(0.0);
+        Ok(CachedCase { internal_cost, accesses })
+    }
+
+    // ---------- cached costing ----------
+
+    /// INUM cost of query `qi` under `config` — the fast path.
+    pub fn cost(&self, qi: usize, config: &Configuration) -> f64 {
+        self.estimations.set(self.estimations.get() + 1);
+        let mut best = f64::INFINITY;
+        for case in &self.cases[qi] {
+            if let Some(total) = self.case_cost(qi, case, config) {
+                best = best.min(total);
+            }
+        }
+        best
+    }
+
+    /// Total workload cost under `config`.
+    pub fn workload_cost(&self, config: &Configuration) -> f64 {
+        (0..self.queries.len()).map(|qi| self.cost(qi, config)).sum()
+    }
+
+    fn case_cost(&self, qi: usize, case: &CachedCase, config: &Configuration) -> Option<f64> {
+        let mut total = case.internal_cost;
+        for acc in &case.accesses {
+            total += self.access_cost_under(qi, acc, config)?;
+        }
+        Some(total)
+    }
+
+    fn access_cost_under(
+        &self,
+        qi: usize,
+        acc: &RelAccess,
+        config: &Configuration,
+    ) -> Option<f64> {
+        let q = &self.queries[qi];
+        let table = q.rels[acc.rel].table;
+
+        if let Some(col) = acc.param_probe {
+            // need an index whose lead column is `col`
+            let mut best = f64::INFINITY;
+            for &cid in config.ids() {
+                let cand = &self.candidates[cid.0];
+                if cand.table == table && cand.columns[0] == col {
+                    if let Some(c) = self.probe_cost(qi, acc.rel, cid) {
+                        best = best.min(c);
+                    }
+                }
+            }
+            // real (base-catalog) indexes can also serve the probe
+            for idx in self.catalog.indexes_on(table) {
+                if idx.key_columns[0] == col {
+                    if let Some(c) = self.real_probe_cost(qi, acc.rel, idx) {
+                        best = best.min(c);
+                    }
+                }
+            }
+            if best.is_finite() {
+                return Some(best * acc.multiplier);
+            }
+            return None; // case incompatible with this configuration
+        }
+
+        // Plain scan: cheapest of seqscan / any configured index, honoring
+        // the required order (sort added when unordered).
+        let seq = self.access_cost(qi, acc.rel, None)?;
+        let mut best_ordered: Option<f64> = None;
+        let mut best_any = seq.cost;
+        for &cid in config.ids() {
+            let cand = &self.candidates[cid.0];
+            if cand.table != table {
+                continue;
+            }
+            if let Some(ac) = self.access_cost(qi, acc.rel, Some(cid.0)) {
+                best_any = best_any.min(ac.cost);
+                if acc.required_order.is_some() && ac.order_col == acc.required_order {
+                    best_ordered =
+                        Some(best_ordered.map_or(ac.cost, |b: f64| b.min(ac.cost)));
+                }
+            }
+        }
+        match acc.required_order {
+            None => Some(best_any * acc.multiplier),
+            Some(_) => {
+                // sorted path directly, or cheapest path + explicit sort
+                let rows = base_rel_rows(&self.queries[qi], acc.rel, self.catalog, &self.params)
+                    .ok()?;
+                let width = 16.0;
+                let sorted_via_sort =
+                    sort_cost(&self.params, best_any, rows, width).total;
+                let best = match best_ordered {
+                    Some(o) => o.min(sorted_via_sort),
+                    None => sorted_via_sort,
+                };
+                Some(best * acc.multiplier)
+            }
+        }
+    }
+
+    /// Memoized single-scan access cost for (query, rel, candidate);
+    /// `cand = None` = sequential scan.
+    fn access_cost(&self, qi: usize, rel: usize, cand: Option<usize>) -> Option<AccessCost> {
+        if let Some(v) = self.access_memo.borrow().get(&(qi, rel, cand)) {
+            return *v;
+        }
+        let computed = self.compute_access_cost(qi, rel, cand);
+        self.access_memo.borrow_mut().insert((qi, rel, cand), computed);
+        computed
+    }
+
+    fn compute_access_cost(&self, qi: usize, rel: usize, cand: Option<usize>) -> Option<AccessCost> {
+        let q = &self.queries[qi];
+        let flags = PlannerFlags::default();
+        match cand {
+            None => {
+                let paths = base_scan_paths(q, rel, self.catalog, &self.params, &flags).ok()?;
+                paths
+                    .iter()
+                    .filter(|(n, _)| matches!(n.kind, PlanKind::SeqScan { .. }))
+                    .map(|(n, _)| AccessCost { cost: n.cost.total, order_col: None })
+                    .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            }
+            Some(ci) => {
+                let c = &self.candidates[ci];
+                if c.table != q.rels[rel].table {
+                    return None;
+                }
+                let mut overlay = HypotheticalCatalog::new(self.catalog);
+                let table = self.catalog.table(c.table)?;
+                let colnames: Vec<String> =
+                    c.columns.iter().map(|&i| table.columns[i].name.clone()).collect();
+                let colrefs: Vec<&str> = colnames.iter().map(|s| s.as_str()).collect();
+                let idx = Index::new(IndexId(0), "inum_cand", table, &colrefs)?;
+                let id = overlay.add_hypo_index(idx);
+                let paths = base_scan_paths(q, rel, &overlay, &self.params, &flags).ok()?;
+                paths
+                    .iter()
+                    .filter_map(|(n, order)| match &n.kind {
+                        PlanKind::IndexScan { index, .. } if *index == id => Some(AccessCost {
+                            cost: n.cost.total,
+                            order_col: order.first().map(|s| s.col),
+                        }),
+                        _ => None,
+                    })
+                    .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            }
+        }
+    }
+
+    /// Parameterized probe cost of `cand` for (query, rel).
+    fn probe_cost(&self, qi: usize, rel: usize, cid: CandId) -> Option<f64> {
+        if let Some(v) = self.probe_memo.borrow().get(&(qi, rel, cid.0)) {
+            return *v;
+        }
+        let cand = &self.candidates[cid.0];
+        let table = self.catalog.table(cand.table)?;
+        let colnames: Vec<String> =
+            cand.columns.iter().map(|&i| table.columns[i].name.clone()).collect();
+        let colrefs: Vec<&str> = colnames.iter().map(|s| s.as_str()).collect();
+        let idx = Index::new(IndexId(0), "inum_probe", table, &colrefs)?;
+        let computed = self.compute_probe_cost(qi, rel, &idx);
+        self.probe_memo.borrow_mut().insert((qi, rel, cid.0), computed);
+        computed
+    }
+
+    fn real_probe_cost(&self, qi: usize, rel: usize, idx: &Index) -> Option<f64> {
+        self.compute_probe_cost(qi, rel, idx)
+    }
+
+    /// Cost of one index probe with an equality on the lead column.
+    fn compute_probe_cost(&self, qi: usize, rel: usize, idx: &Index) -> Option<f64> {
+        use parinda_optimizer::cost::{index_scan_cost, IndexScanInputs};
+        let q = &self.queries[qi];
+        let table = self.catalog.table(q.rels[rel].table)?;
+        let lead = idx.key_columns[0];
+        let stats = self.catalog.column_stats(table.id, lead);
+        let raw = table.row_count as f64;
+        let nd = stats.map(|s| s.distinct_count(raw)).unwrap_or(raw * 0.1);
+        let sel = (1.0 / nd.max(1.0)).min(1.0);
+        let corr = stats.map(|s| s.correlation).unwrap_or(0.0);
+        let nquals = q.restrictions_on(rel).len();
+        let c = index_scan_cost(
+            &self.params,
+            IndexScanInputs {
+                index_pages: idx.pages,
+                index_height: idx.height,
+                table_pages: table.pages,
+                table_rows: raw,
+                index_selectivity: sel,
+                correlation: corr,
+            },
+            nquals,
+        );
+        Some(c.total)
+    }
+
+    // ---------- exact (validation) path ----------
+
+    /// Full re-optimization under `config` (slow path, for validation and
+    /// the E3 speed comparison).
+    pub fn exact_cost(&self, qi: usize, config: &Configuration) -> f64 {
+        let q = &self.queries[qi];
+        let mut overlay = HypotheticalCatalog::new(self.catalog);
+        for &cid in config.ids() {
+            let cand = &self.candidates[cid.0];
+            if let Some(table) = self.catalog.table(cand.table) {
+                let colnames: Vec<String> =
+                    cand.columns.iter().map(|&i| table.columns[i].name.clone()).collect();
+                let colrefs: Vec<&str> = colnames.iter().map(|s| s.as_str()).collect();
+                if let Some(idx) = Index::new(IndexId(0), "exact_cand", table, &colrefs) {
+                    overlay.add_hypo_index(idx);
+                }
+            }
+        }
+        self.full_optimizations.set(self.full_optimizations.get() + 1);
+        match plan_query(q, &overlay, &self.params, &PlannerFlags::default()) {
+            Ok(p) => p.cost.total,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+/// Walk the plan, reporting each scan leaf with the multiplier of how many
+/// times it executes (parameterized NL inners run once per outer row).
+fn extract_accesses<F: FnMut(&PlanNode, f64)>(node: &PlanNode, multiplier: f64, f: &mut F) {
+    match &node.kind {
+        PlanKind::SeqScan { .. } | PlanKind::IndexScan { .. } => f(node, multiplier),
+        PlanKind::NestLoop { outer, inner, .. } => {
+            extract_accesses(outer, multiplier, f);
+            let inner_mult = if matches!(
+                &inner.kind,
+                PlanKind::IndexScan { param_prefix, .. } if !param_prefix.is_empty()
+            ) {
+                multiplier * outer.rows.max(1.0)
+            } else {
+                multiplier
+            };
+            extract_accesses(inner, inner_mult, f);
+        }
+        PlanKind::HashJoin { outer, inner, .. } | PlanKind::MergeJoin { outer, inner, .. } => {
+            extract_accesses(outer, multiplier, f);
+            extract_accesses(inner, multiplier, f);
+        }
+        PlanKind::Materialize { input }
+        | PlanKind::Sort { input, .. }
+        | PlanKind::Aggregate { input, .. }
+        | PlanKind::Project { input, .. }
+        | PlanKind::Unique { input }
+        | PlanKind::Limit { input, .. } => extract_accesses(input, multiplier, f),
+    }
+}

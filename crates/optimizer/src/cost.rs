@@ -1,0 +1,296 @@
+//! Cost formulas, following PostgreSQL's `costsize.c` closely enough that
+//! relative plan choices match (which is all PARINDA's advisors rely on).
+
+use crate::params::CostParams;
+use crate::plan::Cost;
+
+/// Sequential scan over a heap.
+pub fn seq_scan_cost(p: &CostParams, pages: u64, rows: f64, quals: usize) -> Cost {
+    let io = pages as f64 * p.seq_page_cost;
+    let cpu = rows * (p.cpu_tuple_cost + quals as f64 * p.cpu_operator_cost);
+    Cost { startup: 0.0, total: io + cpu }
+}
+
+/// Inputs for [`index_scan_cost`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexScanInputs {
+    /// Leaf pages of the index.
+    pub index_pages: u64,
+    /// Height of the tree above the leaves.
+    pub index_height: u32,
+    /// Heap pages of the table.
+    pub table_pages: u64,
+    /// Table cardinality.
+    pub table_rows: f64,
+    /// Fraction of index entries satisfying the index condition.
+    pub index_selectivity: f64,
+    /// Physical correlation of the leading key column in the heap.
+    pub correlation: f64,
+}
+
+/// B-tree index scan: descent + leaf pages + heap fetches interpolated by
+/// correlation (the `cost_index` min_IO/max_IO interpolation).
+pub fn index_scan_cost(p: &CostParams, inp: IndexScanInputs, residual_quals: usize) -> Cost {
+    let sel = inp.index_selectivity.clamp(0.0, 1.0);
+    let tuples_fetched = (inp.table_rows * sel).max(1.0).min(inp.table_rows.max(1.0));
+
+    // Descent: one random page per level plus binary-search comparisons.
+    let descent = inp.index_height as f64 * p.random_page_cost
+        + 50.0 * p.cpu_operator_cost * (inp.index_height as f64 + 1.0);
+
+    // Leaf pages scanned sequentially along the leaf chain.
+    let leaf_pages = (inp.index_pages as f64 * sel).ceil().max(1.0);
+    let leaf_io = leaf_pages * p.seq_page_cost;
+
+    // Heap accesses: perfectly correlated -> contiguous pages;
+    // uncorrelated -> one random page per tuple, capped by Mackert-Lohman
+    // style saturation at the table size scaled by cache effectiveness.
+    let min_io = (inp.table_pages as f64 * sel).ceil().max(1.0) * p.seq_page_cost;
+    let max_pages = mackert_lohman_pages(tuples_fetched, inp.table_pages, p.effective_cache_pages);
+    let max_io = max_pages * p.random_page_cost;
+    // Interpolate toward min_io as correlation^2 -> 1.
+    let c2 = inp.correlation * inp.correlation;
+    let heap_io = if min_io < max_io { max_io - c2 * (max_io - min_io) } else { min_io };
+
+    let cpu = tuples_fetched
+        * (p.cpu_index_tuple_cost + p.cpu_tuple_cost + residual_quals as f64 * p.cpu_operator_cost);
+
+    Cost { startup: descent, total: descent + leaf_io + heap_io + cpu }
+}
+
+/// Mackert–Lohman page-fetch estimate: expected distinct pages touched by
+/// `tuples` random probes into a table of `pages` pages.
+pub fn mackert_lohman_pages(tuples: f64, pages: u64, cache_pages: u64) -> f64 {
+    let t = pages.max(1) as f64;
+    let n = tuples.max(0.0);
+    let b = cache_pages.max(1) as f64;
+    if n <= 0.0 {
+        return 1.0;
+    }
+    // Classic approximation from the paper (and PostgreSQL's
+    // index_pages_fetched): 2TN / (2T + N), saturating at T when cached.
+    let fetched = (2.0 * t * n) / (2.0 * t + n);
+    if t <= b {
+        fetched.min(t).max(1.0)
+    } else {
+        // partially cached: costlier, but still bounded by N and T
+        fetched.min(n).min(t).max(1.0)
+    }
+}
+
+/// In-memory quicksort cost (PostgreSQL `cost_sort`, memory branch; the
+/// disk branch adds IO once the data exceeds work_mem).
+pub fn sort_cost(p: &CostParams, input_total: f64, rows: f64, width: f64) -> Cost {
+    let rows = rows.max(2.0);
+    let cmp = 2.0 * p.cpu_operator_cost;
+    let log2n = rows.log2();
+    let mut startup = input_total + cmp * rows * log2n;
+    // External sort: charge page IO on spill.
+    let bytes = rows * width.max(1.0);
+    if bytes > p.work_mem_bytes as f64 {
+        let pages = bytes / 8192.0;
+        // two passes: write runs + read for merge (75% sequential charge)
+        startup += 2.0 * pages * (p.seq_page_cost * 0.75 + p.random_page_cost * 0.25);
+    }
+    let run = rows * p.cpu_operator_cost;
+    Cost { startup, total: startup + run }
+}
+
+/// Materialize: pay tuple copy once, rescans are cheap.
+pub fn materialize_cost(p: &CostParams, input_total: f64, rows: f64) -> Cost {
+    Cost { startup: 0.0, total: input_total + rows * 2.0 * p.cpu_operator_cost }
+}
+
+/// Cost of rescanning a materialized relation.
+pub fn materialize_rescan_cost(p: &CostParams, rows: f64) -> f64 {
+    rows * p.cpu_operator_cost
+}
+
+/// Nested loop: outer + N rescans of the inner.
+pub fn nestloop_cost(
+    p: &CostParams,
+    outer: Cost,
+    outer_rows: f64,
+    inner_first: Cost,
+    inner_rescan_total: f64,
+    out_rows: f64,
+) -> Cost {
+    let rescans = (outer_rows - 1.0).max(0.0);
+    let startup = outer.startup + inner_first.startup;
+    let total = outer.total + inner_first.total + rescans * inner_rescan_total
+        + out_rows * p.cpu_tuple_cost;
+    Cost { startup, total }
+}
+
+/// Hash join: build the inner side, probe with the outer.
+pub fn hashjoin_cost(
+    p: &CostParams,
+    outer: Cost,
+    outer_rows: f64,
+    inner: Cost,
+    inner_rows: f64,
+    inner_width: f64,
+    out_rows: f64,
+) -> Cost {
+    let build = inner.total + inner_rows * (p.cpu_operator_cost + p.cpu_tuple_cost);
+    let mut probe = outer_rows * p.cpu_operator_cost;
+    // Charge batching IO when the hash table exceeds work_mem.
+    let bytes = inner_rows * inner_width.max(1.0);
+    if bytes > p.work_mem_bytes as f64 {
+        let pages = bytes / 8192.0;
+        probe += 2.0 * pages * p.seq_page_cost;
+    }
+    let startup = outer.startup + build;
+    let total = startup + (outer.total - outer.startup) + probe + out_rows * p.cpu_tuple_cost;
+    Cost { startup, total }
+}
+
+/// Merge join over pre-sorted inputs: one interleaved pass.
+pub fn mergejoin_cost(
+    p: &CostParams,
+    outer: Cost,
+    outer_rows: f64,
+    inner: Cost,
+    inner_rows: f64,
+    out_rows: f64,
+) -> Cost {
+    let startup = outer.startup + inner.startup;
+    let merge = (outer_rows + inner_rows) * p.cpu_operator_cost;
+    let total = outer.total + inner.total + merge + out_rows * p.cpu_tuple_cost;
+    Cost { startup, total }
+}
+
+/// Hash aggregation: one pass + one output tuple per group.
+pub fn agg_cost(p: &CostParams, input: Cost, input_rows: f64, groups: f64, naggs: usize) -> Cost {
+    let pass = input_rows * p.cpu_operator_cost * (naggs.max(1)) as f64;
+    let startup = input.total + pass;
+    Cost { startup, total: startup + groups.max(1.0) * p.cpu_tuple_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn seq_scan_matches_textbook_formula() {
+        // 100 pages, 1000 rows, 1 qual: 100 + 1000*(0.01+0.0025) = 112.5
+        let c = seq_scan_cost(&p(), 100, 1000.0, 1);
+        assert!((c.total - 112.5).abs() < 1e-9);
+        assert_eq!(c.startup, 0.0);
+    }
+
+    #[test]
+    fn selective_index_scan_beats_seqscan() {
+        let seq = seq_scan_cost(&p(), 10_000, 1_000_000.0, 1);
+        let idx = index_scan_cost(
+            &p(),
+            IndexScanInputs {
+                index_pages: 3000,
+                index_height: 2,
+                table_pages: 10_000,
+                table_rows: 1_000_000.0,
+                index_selectivity: 1e-5,
+                correlation: 0.0,
+            },
+            0,
+        );
+        assert!(idx.total < seq.total, "idx={} seq={}", idx.total, seq.total);
+    }
+
+    #[test]
+    fn unselective_index_scan_loses_to_seqscan() {
+        let seq = seq_scan_cost(&p(), 10_000, 1_000_000.0, 1);
+        let idx = index_scan_cost(
+            &p(),
+            IndexScanInputs {
+                index_pages: 3000,
+                index_height: 2,
+                table_pages: 10_000,
+                table_rows: 1_000_000.0,
+                index_selectivity: 0.5,
+                correlation: 0.0,
+            },
+            0,
+        );
+        assert!(idx.total > seq.total, "idx={} seq={}", idx.total, seq.total);
+    }
+
+    #[test]
+    fn correlation_reduces_index_cost() {
+        let base = IndexScanInputs {
+            index_pages: 3000,
+            index_height: 2,
+            table_pages: 10_000,
+            table_rows: 1_000_000.0,
+            index_selectivity: 0.01,
+            correlation: 0.0,
+        };
+        let random = index_scan_cost(&p(), base, 0);
+        let clustered = index_scan_cost(&p(), IndexScanInputs { correlation: 1.0, ..base }, 0);
+        assert!(clustered.total < random.total);
+    }
+
+    #[test]
+    fn mackert_lohman_saturates() {
+        assert!(mackert_lohman_pages(10.0, 1000, 100_000) <= 10.0);
+        let many = mackert_lohman_pages(1e9, 1000, 100_000);
+        assert!(many <= 1000.0 + 1e-6);
+        assert!(mackert_lohman_pages(0.0, 1000, 100) == 1.0);
+    }
+
+    #[test]
+    fn sort_cost_nlogn() {
+        let small = sort_cost(&p(), 0.0, 1_000.0, 8.0);
+        let big = sort_cost(&p(), 0.0, 100_000.0, 8.0);
+        assert!(big.total > 100.0 * small.total * 0.5);
+        assert!(big.startup > 0.0);
+    }
+
+    #[test]
+    fn sort_spill_costs_more() {
+        let mut params = p();
+        params.work_mem_bytes = 1024;
+        let spill = sort_cost(&params, 0.0, 10_000.0, 100.0);
+        params.work_mem_bytes = 1 << 30;
+        let mem = sort_cost(&params, 0.0, 10_000.0, 100.0);
+        assert!(spill.total > mem.total);
+    }
+
+    #[test]
+    fn nestloop_scales_with_outer_rows() {
+        let outer = Cost { startup: 0.0, total: 100.0 };
+        let inner = Cost { startup: 0.0, total: 10.0 };
+        let small = nestloop_cost(&p(), outer, 10.0, inner, 10.0, 100.0);
+        let large = nestloop_cost(&p(), outer, 1000.0, inner, 10.0, 100.0);
+        assert!(large.total > small.total);
+    }
+
+    #[test]
+    fn hashjoin_build_is_startup() {
+        let outer = Cost { startup: 0.0, total: 100.0 };
+        let inner = Cost { startup: 0.0, total: 50.0 };
+        let c = hashjoin_cost(&p(), outer, 1000.0, inner, 500.0, 16.0, 1000.0);
+        assert!(c.startup >= 50.0);
+        assert!(c.total > c.startup);
+    }
+
+    #[test]
+    fn mergejoin_linear_in_inputs() {
+        let a = Cost { startup: 0.0, total: 10.0 };
+        let c1 = mergejoin_cost(&p(), a, 1000.0, a, 1000.0, 100.0);
+        let c2 = mergejoin_cost(&p(), a, 10_000.0, a, 10_000.0, 100.0);
+        assert!(c2.total > c1.total);
+    }
+
+    #[test]
+    fn agg_cost_has_group_output() {
+        let input = Cost { startup: 0.0, total: 100.0 };
+        let c = agg_cost(&p(), input, 10_000.0, 10.0, 2);
+        assert!(c.startup > 100.0);
+        assert!(c.total > c.startup);
+    }
+}

@@ -1,0 +1,112 @@
+//! EXPLAIN-style plan rendering, in the familiar PostgreSQL shape:
+//!
+//! ```text
+//! Hash Join  (cost=120.31..540.22 rows=1024 width=16)
+//!   -> Seq Scan on photoobj  (cost=0.00..420.00 rows=10000 width=8)
+//!   -> Index Scan using i_spec_z on specobj  (cost=0.29..100.10 rows=50 width=8)
+//! ```
+
+use std::fmt::Write as _;
+
+use parinda_catalog::MetadataProvider;
+
+use crate::plan::{PlanKind, PlanNode};
+use crate::query::BoundQuery;
+
+/// Render a plan tree as text.
+pub fn explain(plan: &PlanNode, query: &BoundQuery, meta: &dyn MetadataProvider) -> String {
+    let mut out = String::new();
+    render(plan, query, meta, 0, &mut out);
+    out
+}
+
+fn render(
+    node: &PlanNode,
+    query: &BoundQuery,
+    meta: &dyn MetadataProvider,
+    depth: usize,
+    out: &mut String,
+) {
+    if depth > 0 {
+        for _ in 0..depth - 1 {
+            out.push_str("  ");
+        }
+        out.push_str("  -> ");
+    }
+    let label = node_label(node, query, meta);
+    let _ = writeln!(
+        out,
+        "{label}  (cost={:.2}..{:.2} rows={} width={})",
+        node.cost.startup,
+        node.cost.total,
+        node.rows.round() as u64,
+        node.width.round() as u64
+    );
+    for c in node.children() {
+        render(c, query, meta, depth + 1, out);
+    }
+}
+
+fn node_label(node: &PlanNode, query: &BoundQuery, meta: &dyn MetadataProvider) -> String {
+    match &node.kind {
+        PlanKind::SeqScan { rel, table, .. } => {
+            let tname = meta
+                .table(*table)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| "?".into());
+            let binding = &query.rels[*rel].binding;
+            if binding == &tname {
+                format!("Seq Scan on {tname}")
+            } else {
+                format!("Seq Scan on {tname} {binding}")
+            }
+        }
+        PlanKind::IndexScan { rel, table, index, param_prefix, .. } => {
+            let tname = meta
+                .table(*table)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| "?".into());
+            let iname = index_name(meta, *table, *index);
+            let binding = &query.rels[*rel].binding;
+            let param = if param_prefix.is_empty() { "" } else { " (parameterized)" };
+            if binding == &tname {
+                format!("Index Scan using {iname} on {tname}{param}")
+            } else {
+                format!("Index Scan using {iname} on {tname} {binding}{param}")
+            }
+        }
+        PlanKind::NestLoop { .. } => "Nested Loop".into(),
+        PlanKind::HashJoin { .. } => "Hash Join".into(),
+        PlanKind::MergeJoin { .. } => "Merge Join".into(),
+        PlanKind::Materialize { .. } => "Materialize".into(),
+        PlanKind::Sort { keys, .. } => {
+            let desc: Vec<String> = keys
+                .iter()
+                .map(|k| format!("${}{}", k.pos, if k.desc { " DESC" } else { "" }))
+                .collect();
+            format!("Sort  [{}]", desc.join(", "))
+        }
+        PlanKind::Aggregate { group_by, .. } => {
+            if group_by.is_empty() {
+                "Aggregate".into()
+            } else {
+                "HashAggregate".into()
+            }
+        }
+        PlanKind::Project { .. } => "Project".into(),
+        PlanKind::Unique { .. } => "Unique".into(),
+        PlanKind::Limit { n, .. } => format!("Limit  {n}"),
+    }
+}
+
+fn index_name(
+    meta: &dyn MetadataProvider,
+    table: parinda_catalog::TableId,
+    index: parinda_catalog::IndexId,
+) -> String {
+    meta.indexes_on(table)
+        .into_iter()
+        .find(|i| i.id == index)
+        .map(|i| i.name.clone())
+        .unwrap_or_else(|| format!("index#{}", index.0))
+}

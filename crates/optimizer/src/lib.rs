@@ -1,0 +1,85 @@
+//! # parinda-optimizer
+//!
+//! A from-scratch cost-based query optimizer that mirrors PostgreSQL 8.3's
+//! planner closely enough for physical-design work: the same cost-model
+//! constants, statistics-driven selectivity estimation, access-path
+//! generation, System-R dynamic-programming join enumeration, `enable_*`
+//! flags (used by the paper's what-if join component), and EXPLAIN output.
+//!
+//! The planner reads all physical-design metadata through
+//! [`parinda_catalog::MetadataProvider`] — the substrate's version of the
+//! PostgreSQL planner hooks PARINDA modifies (paper §3.1) — so the what-if
+//! layer can inject hypothetical indexes and tables without this crate
+//! knowing.
+
+#![allow(missing_docs)]
+
+pub mod bind;
+pub mod cost;
+pub mod explain;
+pub mod params;
+pub mod plan;
+pub mod planner;
+pub mod query;
+pub mod selectivity;
+
+pub use bind::{bind, BindError};
+pub use explain::explain;
+pub use params::{CostParams, PlannerFlags, DISABLE_COST};
+pub use plan::{Cost, IndexRange, JoinKey, PlanKind, PlanNode, PosKey};
+pub use planner::{plan_query, PlanError};
+pub use query::{BoundExpr, BoundOutput, BoundQuery, OutputItem, Slot, SortKey};
+
+use parinda_catalog::MetadataProvider;
+
+/// One-stop shop: bind and plan a parsed SELECT with default parameters.
+pub fn optimize(
+    select: &parinda_sql::Select,
+    meta: &dyn MetadataProvider,
+) -> Result<(BoundQuery, PlanNode), OptimizeError> {
+    optimize_with(select, meta, &CostParams::default(), &PlannerFlags::default())
+}
+
+/// Bind and plan with explicit parameters and flags.
+pub fn optimize_with(
+    select: &parinda_sql::Select,
+    meta: &dyn MetadataProvider,
+    params: &CostParams,
+    flags: &PlannerFlags,
+) -> Result<(BoundQuery, PlanNode), OptimizeError> {
+    let bound = bind(select, meta)?;
+    let plan = plan_query(&bound, meta, params, flags)?;
+    Ok((bound, plan))
+}
+
+/// Error from [`optimize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// Name resolution failed.
+    Bind(BindError),
+    /// Planning failed.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::Bind(e) => write!(f, "{e}"),
+            OptimizeError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+impl From<BindError> for OptimizeError {
+    fn from(e: BindError) -> Self {
+        OptimizeError::Bind(e)
+    }
+}
+
+impl From<PlanError> for OptimizeError {
+    fn from(e: PlanError) -> Self {
+        OptimizeError::Plan(e)
+    }
+}

@@ -1,0 +1,90 @@
+//! Planner cost parameters and feature flags.
+//!
+//! Values are PostgreSQL 8.3 defaults. The what-if join component (paper
+//! §3.2) drives [`PlannerFlags::enable_nestloop`]; INUM caches one plan per
+//! flag setting.
+
+/// Cost-model constants (`postgresql.conf` planner GUCs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Cost of a sequentially-fetched page (`seq_page_cost`).
+    pub seq_page_cost: f64,
+    /// Cost of a randomly-fetched page (`random_page_cost`).
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple (`cpu_tuple_cost`).
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry (`cpu_index_tuple_cost`).
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of one operator/function call (`cpu_operator_cost`).
+    pub cpu_operator_cost: f64,
+    /// Memory available to sorts and hashes, in bytes (`work_mem`).
+    pub work_mem_bytes: u64,
+    /// Pages assumed cached across repeated index scans
+    /// (`effective_cache_size`).
+    pub effective_cache_pages: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            work_mem_bytes: 1024 * 1024, // 8.3 default: 1 MB
+            effective_cache_pages: 16_384, // 128 MB / 8 KB
+        }
+    }
+}
+
+/// Plan-type enable flags (`enable_*` GUCs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerFlags {
+    pub enable_seqscan: bool,
+    pub enable_indexscan: bool,
+    pub enable_nestloop: bool,
+    pub enable_hashjoin: bool,
+    pub enable_mergejoin: bool,
+    pub enable_sort: bool,
+}
+
+impl Default for PlannerFlags {
+    fn default() -> Self {
+        PlannerFlags {
+            enable_seqscan: true,
+            enable_indexscan: true,
+            enable_nestloop: true,
+            enable_hashjoin: true,
+            enable_mergejoin: true,
+            enable_sort: true,
+        }
+    }
+}
+
+/// Cost penalty applied to disabled plan types instead of excluding them
+/// outright, exactly like PostgreSQL's `disable_cost` — a disabled method
+/// can still be chosen when it is the only way to execute the query.
+pub const DISABLE_COST: f64 = 1.0e10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_postgres_83() {
+        let p = CostParams::default();
+        assert_eq!(p.seq_page_cost, 1.0);
+        assert_eq!(p.random_page_cost, 4.0);
+        assert_eq!(p.cpu_tuple_cost, 0.01);
+        assert_eq!(p.cpu_index_tuple_cost, 0.005);
+        assert_eq!(p.cpu_operator_cost, 0.0025);
+    }
+
+    #[test]
+    fn all_plan_types_enabled_by_default() {
+        let f = PlannerFlags::default();
+        assert!(f.enable_seqscan && f.enable_indexscan && f.enable_nestloop);
+        assert!(f.enable_hashjoin && f.enable_mergejoin && f.enable_sort);
+    }
+}

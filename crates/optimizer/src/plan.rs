@@ -1,0 +1,263 @@
+//! Physical plan trees: what the planner emits, EXPLAIN prints, and the
+//! executor runs.
+
+use parinda_catalog::{Datum, IndexId, TableId};
+
+use crate::query::{BoundExpr, OutputItem, Slot};
+
+/// Sort key by output position (used above projection/aggregation where
+/// slot coordinates no longer apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PosKey {
+    /// Position in the input node's output row.
+    pub pos: usize,
+    /// Descending order?
+    pub desc: bool,
+}
+
+/// Startup + total cost, in PostgreSQL cost units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Cost to produce the first tuple.
+    pub startup: f64,
+    /// Cost to produce all tuples.
+    pub total: f64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost { startup: 0.0, total: 0.0 };
+
+    /// Add a flat amount to both components.
+    pub fn plus(self, amount: f64) -> Cost {
+        Cost { startup: self.startup + amount, total: self.total + amount }
+    }
+}
+
+/// Bounds of the range portion of an index condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRange {
+    /// Lower bound (value, inclusive) on the first non-equality key column.
+    pub low: Option<(Datum, bool)>,
+    /// Upper bound (value, inclusive).
+    pub high: Option<(Datum, bool)>,
+}
+
+/// An equijoin key pair in output coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinKey {
+    pub outer: Slot,
+    pub inner: Slot,
+}
+
+/// A node of the physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    pub kind: PlanKind,
+    pub cost: Cost,
+    /// Estimated output row count.
+    pub rows: f64,
+    /// Estimated average output row width in bytes.
+    pub width: f64,
+    /// Column slots this node produces, in order.
+    pub output: Vec<Slot>,
+}
+
+/// Plan operator kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanKind {
+    /// Full heap scan with optional filter.
+    SeqScan {
+        rel: usize,
+        table: TableId,
+        filter: Vec<BoundExpr>,
+    },
+    /// B-tree index scan: equality prefix + optional range, then residual
+    /// filter after the heap fetch.
+    IndexScan {
+        rel: usize,
+        table: TableId,
+        index: IndexId,
+        /// Constant values pinned on the leading key columns.
+        eq_prefix: Vec<Datum>,
+        /// Outer-row columns supplying further key values at runtime
+        /// (parameterized scan under a nested loop).
+        param_prefix: Vec<Slot>,
+        /// Range condition on the key column right after the prefix.
+        range: Option<IndexRange>,
+        filter: Vec<BoundExpr>,
+    },
+    /// Nested-loop join; `preds` are the equijoin conditions checked per
+    /// pair, `filter` any extra join filters.
+    NestLoop {
+        outer: Box<PlanNode>,
+        inner: Box<PlanNode>,
+        keys: Vec<JoinKey>,
+        filter: Vec<BoundExpr>,
+    },
+    /// Hash join on equijoin keys (inner side builds).
+    HashJoin {
+        outer: Box<PlanNode>,
+        inner: Box<PlanNode>,
+        keys: Vec<JoinKey>,
+        filter: Vec<BoundExpr>,
+    },
+    /// Merge join; inputs must be sorted on the keys.
+    MergeJoin {
+        outer: Box<PlanNode>,
+        inner: Box<PlanNode>,
+        keys: Vec<JoinKey>,
+        filter: Vec<BoundExpr>,
+    },
+    /// Buffer the child's output for cheap rescans (nest-loop inner).
+    Materialize { input: Box<PlanNode> },
+    /// Explicit sort, keyed by output positions of the input.
+    Sort {
+        input: Box<PlanNode>,
+        keys: Vec<PosKey>,
+    },
+    /// Grouped or plain aggregation; produces the final SELECT list.
+    Aggregate {
+        input: Box<PlanNode>,
+        group_by: Vec<Slot>,
+        items: Vec<OutputItem>,
+    },
+    /// Scalar projection of the SELECT list.
+    Project {
+        input: Box<PlanNode>,
+        items: Vec<OutputItem>,
+    },
+    /// Remove duplicate output rows (DISTINCT).
+    Unique { input: Box<PlanNode> },
+    /// Stop after `n` rows.
+    Limit { input: Box<PlanNode>, n: u64 },
+}
+
+impl PlanNode {
+    /// Child nodes, for tree walks.
+    pub fn children(&self) -> Vec<&PlanNode> {
+        match &self.kind {
+            PlanKind::SeqScan { .. } | PlanKind::IndexScan { .. } => vec![],
+            PlanKind::NestLoop { outer, inner, .. }
+            | PlanKind::HashJoin { outer, inner, .. }
+            | PlanKind::MergeJoin { outer, inner, .. } => vec![outer, inner],
+            PlanKind::Materialize { input }
+            | PlanKind::Sort { input, .. }
+            | PlanKind::Aggregate { input, .. }
+            | PlanKind::Project { input, .. }
+            | PlanKind::Unique { input }
+            | PlanKind::Limit { input, .. } => vec![input],
+        }
+    }
+
+    /// Operator name as shown by EXPLAIN.
+    pub fn node_name(&self) -> &'static str {
+        match &self.kind {
+            PlanKind::SeqScan { .. } => "Seq Scan",
+            PlanKind::IndexScan { .. } => "Index Scan",
+            PlanKind::NestLoop { .. } => "Nested Loop",
+            PlanKind::HashJoin { .. } => "Hash Join",
+            PlanKind::MergeJoin { .. } => "Merge Join",
+            PlanKind::Materialize { .. } => "Materialize",
+            PlanKind::Sort { .. } => "Sort",
+            PlanKind::Aggregate { .. } => "Aggregate",
+            PlanKind::Project { .. } => "Project",
+            PlanKind::Unique { .. } => "Unique",
+            PlanKind::Limit { .. } => "Limit",
+        }
+    }
+
+    /// All index ids used anywhere in the plan (for benefit attribution:
+    /// "for each query the list of used suggested indexes" — paper §4).
+    pub fn indexes_used(&self) -> Vec<IndexId> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| {
+            if let PlanKind::IndexScan { index, .. } = &n.kind {
+                out.push(*index);
+            }
+        });
+        out
+    }
+
+    /// All base tables scanned anywhere in the plan.
+    pub fn tables_scanned(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        self.walk(&mut |n| match &n.kind {
+            PlanKind::SeqScan { table, .. } | PlanKind::IndexScan { table, .. } => {
+                out.push(*table)
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Pre-order walk.
+    pub fn walk<'a, F: FnMut(&'a PlanNode)>(&'a self, f: &mut F) {
+        f(self);
+        for c in self.children() {
+            c.walk(f);
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(rel: usize) -> PlanNode {
+        PlanNode {
+            kind: PlanKind::SeqScan { rel, table: TableId(rel as u32), filter: vec![] },
+            cost: Cost { startup: 0.0, total: 100.0 },
+            rows: 10.0,
+            width: 8.0,
+            output: vec![Slot { rel, col: 0 }],
+        }
+    }
+
+    fn join(a: PlanNode, b: PlanNode) -> PlanNode {
+        PlanNode {
+            output: a.output.iter().chain(&b.output).copied().collect(),
+            kind: PlanKind::HashJoin {
+                outer: Box::new(a),
+                inner: Box::new(b),
+                keys: vec![],
+                filter: vec![],
+            },
+            cost: Cost { startup: 10.0, total: 300.0 },
+            rows: 20.0,
+            width: 16.0,
+        }
+    }
+
+    #[test]
+    fn walk_counts_nodes() {
+        let p = join(leaf(0), leaf(1));
+        assert_eq!(p.node_count(), 3);
+    }
+
+    #[test]
+    fn tables_scanned_collects_leaves() {
+        let p = join(leaf(0), leaf(1));
+        assert_eq!(p.tables_scanned(), vec![TableId(0), TableId(1)]);
+    }
+
+    #[test]
+    fn cost_plus() {
+        let c = Cost { startup: 1.0, total: 2.0 }.plus(0.5);
+        assert_eq!(c.startup, 1.5);
+        assert_eq!(c.total, 2.5);
+    }
+
+    #[test]
+    fn output_concatenates_in_join() {
+        let p = join(leaf(0), leaf(1));
+        assert_eq!(p.output.len(), 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! Selectivity estimation from catalog statistics, following PostgreSQL's
+//! `selfuncs.c`: MCV lookups, equi-depth histogram interpolation, and the
+//! textbook default constants when statistics are missing.
+
+use parinda_catalog::{ColumnStats, Datum};
+use parinda_sql::BinOp;
+
+use crate::query::RestrictionShape;
+
+/// Default selectivity for equality without statistics (`DEFAULT_EQ_SEL`).
+pub const DEFAULT_EQ_SEL: f64 = 0.005;
+/// Default selectivity for inequalities (`DEFAULT_INEQ_SEL`).
+pub const DEFAULT_INEQ_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity for range (BETWEEN-style) clauses
+/// (`DEFAULT_RANGE_INEQ_SEL`).
+pub const DEFAULT_RANGE_SEL: f64 = 0.005;
+/// Default selectivity for LIKE with a literal prefix.
+pub const DEFAULT_MATCH_SEL: f64 = 0.005;
+
+/// Clamp a selectivity into (0, 1].
+#[inline]
+pub fn clamp(s: f64) -> f64 {
+    s.clamp(1.0e-10, 1.0)
+}
+
+/// Selectivity of one restriction shape.
+pub fn restriction_selectivity(
+    shape: &RestrictionShape,
+    stats: Option<&ColumnStats>,
+    row_count: f64,
+) -> f64 {
+    match shape {
+        RestrictionShape::Eq { value, .. } => eq_selectivity(stats, row_count, value),
+        RestrictionShape::Range { op, value, .. } => {
+            ineq_selectivity(stats, *op, value)
+        }
+        RestrictionShape::Between { low, high, negated, .. } => {
+            let s = between_selectivity(stats, low, high);
+            if *negated {
+                clamp(1.0 - s)
+            } else {
+                s
+            }
+        }
+        RestrictionShape::InList { values, negated, .. } => {
+            let s: f64 = values
+                .iter()
+                .map(|v| eq_selectivity(stats, row_count, v))
+                .sum();
+            let s = clamp(s);
+            if *negated {
+                clamp(1.0 - s)
+            } else {
+                s
+            }
+        }
+        RestrictionShape::IsNull { negated, .. } => {
+            let null_frac = stats.map(|s| s.null_frac).unwrap_or(0.0);
+            if *negated {
+                clamp(1.0 - null_frac)
+            } else {
+                clamp(null_frac.max(1.0e-10))
+            }
+        }
+        RestrictionShape::Like { prefix, negated, .. } => {
+            let s = match prefix {
+                // Prefix LIKE behaves like a range over the prefix; without
+                // string histogram arithmetic we use PostgreSQL's default
+                // scaled by prefix length (longer prefix = more selective).
+                Some(p) => (DEFAULT_MATCH_SEL / (p.len() as f64).max(1.0)).max(1.0e-6),
+                None => DEFAULT_INEQ_SEL,
+            };
+            if *negated {
+                clamp(1.0 - s)
+            } else {
+                clamp(s)
+            }
+        }
+        RestrictionShape::Opaque => DEFAULT_EQ_SEL.sqrt(), // ~0.07, PG uses 0.5 for bool exprs; stay conservative
+    }
+}
+
+/// `col = value` (PostgreSQL `eqsel`).
+pub fn eq_selectivity(stats: Option<&ColumnStats>, row_count: f64, value: &Datum) -> f64 {
+    let Some(s) = stats else { return DEFAULT_EQ_SEL };
+    if value.is_null() {
+        return 1.0e-10; // `= NULL` matches nothing
+    }
+    if let Some(f) = s.mcv_freq(value) {
+        return clamp(f);
+    }
+    // Not an MCV: remaining frequency mass spread over remaining distincts.
+    let nd = s.distinct_count(row_count);
+    let mcv_mass = s.mcv_total_freq();
+    let remaining_nd = (nd - s.mcv.len() as f64).max(1.0);
+    clamp((1.0 - mcv_mass - s.null_frac).max(0.0) / remaining_nd)
+}
+
+/// `col < value`, `col <= value`, etc. (PostgreSQL `scalarltsel`).
+pub fn ineq_selectivity(stats: Option<&ColumnStats>, op: BinOp, value: &Datum) -> f64 {
+    let Some(s) = stats else { return DEFAULT_INEQ_SEL };
+    let Some(v) = value.as_f64() else { return DEFAULT_INEQ_SEL };
+
+    // Fraction of non-MCV, non-null rows below `v` from the histogram.
+    let hist_frac = histogram_fraction_below(&s.histogram, v);
+
+    // Add MCV mass on the correct side.
+    let mut mcv_below = 0.0;
+    for (d, f) in &s.mcv {
+        if let Some(x) = d.as_f64() {
+            if x < v {
+                mcv_below += f;
+            }
+        }
+    }
+    let hist_mass = (1.0 - s.null_frac - s.mcv_total_freq()).max(0.0);
+
+    let below = match hist_frac {
+        Some(h) => mcv_below + h * hist_mass,
+        None => return DEFAULT_INEQ_SEL,
+    };
+
+    // `<=` vs `<`: add the equality sliver for inclusive bounds.
+    let eq_sliver = || {
+        let nd = s.distinct_count(1_000_000.0);
+        (hist_mass / nd).min(0.01)
+    };
+    let sel = match op {
+        BinOp::Lt => below,
+        BinOp::LtEq => below + eq_sliver(),
+        BinOp::Gt => 1.0 - s.null_frac - below - eq_sliver(),
+        BinOp::GtEq => 1.0 - s.null_frac - below,
+        _ => return DEFAULT_INEQ_SEL,
+    };
+    clamp(sel)
+}
+
+/// `col BETWEEN low AND high`.
+pub fn between_selectivity(stats: Option<&ColumnStats>, low: &Datum, high: &Datum) -> f64 {
+    let (Some(s), Some(lo), Some(hi)) = (stats, low.as_f64(), high.as_f64()) else {
+        return DEFAULT_RANGE_SEL;
+    };
+    if hi < lo {
+        return 1.0e-10;
+    }
+    let below_hi = ineq_selectivity(Some(s), BinOp::LtEq, high);
+    let below_lo = ineq_selectivity(Some(s), BinOp::Lt, low);
+    clamp(below_hi - below_lo)
+}
+
+/// Position of `v` within the equi-depth histogram, as a fraction of the
+/// histogram mass lying strictly below it. `None` when no histogram.
+fn histogram_fraction_below(hist: &[Datum], v: f64) -> Option<f64> {
+    if hist.len() < 2 {
+        return None;
+    }
+    let bounds: Vec<f64> = hist.iter().filter_map(|d| d.as_f64()).collect();
+    if bounds.len() != hist.len() {
+        return None; // non-numeric histogram
+    }
+    let buckets = (bounds.len() - 1) as f64;
+    if v <= bounds[0] {
+        return Some(0.0);
+    }
+    if v >= *bounds.last().unwrap() {
+        return Some(1.0);
+    }
+    // Find the bucket containing v and interpolate linearly inside it.
+    for i in 0..bounds.len() - 1 {
+        let (lo, hi) = (bounds[i], bounds[i + 1]);
+        if v >= lo && v < hi {
+            let within = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            return Some((i as f64 + within) / buckets);
+        }
+    }
+    Some(1.0)
+}
+
+/// Equijoin selectivity (PostgreSQL `eqjoinsel` without MCV matching):
+/// `1 / max(nd_left, nd_right)`.
+pub fn eqjoin_selectivity(
+    left: Option<&ColumnStats>,
+    left_rows: f64,
+    right: Option<&ColumnStats>,
+    right_rows: f64,
+) -> f64 {
+    let nd_l = left.map(|s| s.distinct_count(left_rows)).unwrap_or(left_rows.max(1.0) * 0.1);
+    let nd_r = right
+        .map(|s| s.distinct_count(right_rows))
+        .unwrap_or(right_rows.max(1.0) * 0.1);
+    clamp(1.0 / nd_l.max(nd_r).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{analyze_column, SqlType};
+
+    fn uniform_stats(n: i64) -> ColumnStats {
+        let v: Vec<Datum> = (0..n).map(Datum::Int).collect();
+        analyze_column(SqlType::Int8, &v)
+    }
+
+    #[test]
+    fn eq_without_stats_uses_default() {
+        assert_eq!(eq_selectivity(None, 1000.0, &Datum::Int(5)), DEFAULT_EQ_SEL);
+    }
+
+    #[test]
+    fn eq_on_unique_column() {
+        let s = uniform_stats(10_000);
+        let sel = eq_selectivity(Some(&s), 10_000.0, &Datum::Int(42));
+        assert!((sel - 1.0 / 10_000.0).abs() < 1.0 / 10_000.0, "sel={sel}");
+    }
+
+    #[test]
+    fn eq_null_matches_nothing() {
+        let s = uniform_stats(100);
+        assert!(eq_selectivity(Some(&s), 100.0, &Datum::Null) < 1e-9);
+    }
+
+    #[test]
+    fn eq_mcv_hit_returns_frequency() {
+        let mut v: Vec<Datum> = (0..9000).map(|_| Datum::Int(1)).collect();
+        v.extend((0..1000).map(|i| Datum::Int(100 + i)));
+        let s = analyze_column(SqlType::Int8, &v);
+        let sel = eq_selectivity(Some(&s), 10_000.0, &Datum::Int(1));
+        assert!((sel - 0.9).abs() < 0.01, "sel={sel}");
+    }
+
+    #[test]
+    fn ineq_midpoint_is_half() {
+        let s = uniform_stats(10_000);
+        let sel = ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Int(5_000));
+        assert!((sel - 0.5).abs() < 0.05, "sel={sel}");
+    }
+
+    #[test]
+    fn ineq_extremes() {
+        let s = uniform_stats(10_000);
+        assert!(ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Int(-5)) < 0.01);
+        assert!(ineq_selectivity(Some(&s), BinOp::Gt, &Datum::Int(20_000)) < 0.01);
+        assert!(ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Int(20_000)) > 0.99);
+    }
+
+    #[test]
+    fn lt_plus_gte_is_one() {
+        let s = uniform_stats(10_000);
+        let lt = ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Int(3_000));
+        let gte = ineq_selectivity(Some(&s), BinOp::GtEq, &Datum::Int(3_000));
+        assert!((lt + gte - 1.0).abs() < 0.01, "lt={lt} gte={gte}");
+    }
+
+    #[test]
+    fn between_is_difference() {
+        let s = uniform_stats(10_000);
+        let sel = between_selectivity(Some(&s), &Datum::Int(2_000), &Datum::Int(4_000));
+        assert!((sel - 0.2).abs() < 0.05, "sel={sel}");
+    }
+
+    #[test]
+    fn empty_between_is_tiny() {
+        let s = uniform_stats(100);
+        assert!(between_selectivity(Some(&s), &Datum::Int(50), &Datum::Int(10)) < 1e-9);
+    }
+
+    #[test]
+    fn in_list_sums() {
+        let s = uniform_stats(1_000);
+        let shape = RestrictionShape::InList {
+            col: 0,
+            values: vec![Datum::Int(1), Datum::Int(2), Datum::Int(3)],
+            negated: false,
+        };
+        let sel = restriction_selectivity(&shape, Some(&s), 1_000.0);
+        assert!((sel - 3.0 / 1_000.0).abs() < 2.0 / 1_000.0, "sel={sel}");
+    }
+
+    #[test]
+    fn is_null_uses_null_frac() {
+        let mut v: Vec<Datum> = (0..900).map(Datum::Int).collect();
+        v.extend((0..100).map(|_| Datum::Null));
+        let s = analyze_column(SqlType::Int8, &v);
+        let shape = RestrictionShape::IsNull { col: 0, negated: false };
+        let sel = restriction_selectivity(&shape, Some(&s), 1_000.0);
+        assert!((sel - 0.1).abs() < 0.01);
+        let not_null = RestrictionShape::IsNull { col: 0, negated: true };
+        let sel2 = restriction_selectivity(&not_null, Some(&s), 1_000.0);
+        assert!((sel2 - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn like_prefix_more_selective_than_bare() {
+        let with = RestrictionShape::Like { col: 0, prefix: Some("gal".into()), negated: false };
+        let without = RestrictionShape::Like { col: 0, prefix: None, negated: false };
+        assert!(
+            restriction_selectivity(&with, None, 1000.0)
+                < restriction_selectivity(&without, None, 1000.0)
+        );
+    }
+
+    #[test]
+    fn eqjoin_uses_larger_distinct() {
+        let big = uniform_stats(100_000);
+        let small = uniform_stats(100);
+        let sel = eqjoin_selectivity(Some(&big), 100_000.0, Some(&small), 100.0);
+        assert!((sel - 1.0 / 100_000.0).abs() < 1e-7, "sel={sel}");
+    }
+
+    #[test]
+    fn selectivities_always_clamped() {
+        for shape in [
+            RestrictionShape::Eq { col: 0, value: Datum::Int(1) },
+            RestrictionShape::Opaque,
+            RestrictionShape::Like { col: 0, prefix: None, negated: true },
+        ] {
+            let s = restriction_selectivity(&shape, None, 0.0);
+            assert!(s > 0.0 && s <= 1.0);
+        }
+    }
+}

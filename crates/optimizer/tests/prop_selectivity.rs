@@ -1,0 +1,120 @@
+//! Property tests for selectivity estimation and cost monotonicity.
+
+use parinda_catalog::{analyze_column, Datum, SqlType};
+use parinda_optimizer::cost::{index_scan_cost, seq_scan_cost, IndexScanInputs};
+use parinda_optimizer::query::RestrictionShape;
+use parinda_optimizer::selectivity::{
+    between_selectivity, eq_selectivity, ineq_selectivity, restriction_selectivity,
+};
+use parinda_optimizer::CostParams;
+use parinda_sql::BinOp;
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-500i64..500, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn selectivities_always_in_unit_interval(values in data_strategy(), probe in -600i64..600) {
+        let data: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        let stats = analyze_column(SqlType::Int8, &data);
+        let n = values.len() as f64;
+        for sel in [
+            eq_selectivity(Some(&stats), n, &Datum::Int(probe)),
+            ineq_selectivity(Some(&stats), BinOp::Lt, &Datum::Int(probe)),
+            ineq_selectivity(Some(&stats), BinOp::GtEq, &Datum::Int(probe)),
+            between_selectivity(Some(&stats), &Datum::Int(probe), &Datum::Int(probe + 50)),
+        ] {
+            prop_assert!(sel > 0.0 && sel <= 1.0, "sel={sel}");
+        }
+    }
+
+    #[test]
+    fn lt_is_monotone_in_the_bound(values in data_strategy(), a in -600i64..600, d in 0i64..200) {
+        let data: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        let stats = analyze_column(SqlType::Int8, &data);
+        let s1 = ineq_selectivity(Some(&stats), BinOp::Lt, &Datum::Int(a));
+        let s2 = ineq_selectivity(Some(&stats), BinOp::Lt, &Datum::Int(a + d));
+        prop_assert!(s2 >= s1 - 0.02, "lt({a})={s1} > lt({})={s2}", a + d);
+    }
+
+    #[test]
+    fn between_subinterval_is_smaller(
+        values in data_strategy(),
+        lo in -400i64..400,
+        w1 in 0i64..100,
+        w2 in 0i64..100,
+    ) {
+        let data: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        let stats = analyze_column(SqlType::Int8, &data);
+        let narrow = between_selectivity(Some(&stats), &Datum::Int(lo), &Datum::Int(lo + w1));
+        let wide = between_selectivity(Some(&stats), &Datum::Int(lo), &Datum::Int(lo + w1 + w2));
+        prop_assert!(wide >= narrow - 0.02, "narrow={narrow} wide={wide}");
+    }
+
+    #[test]
+    fn estimated_eq_selectivity_tracks_actual_frequency(values in data_strategy(), probe in -500i64..500) {
+        let data: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        let stats = analyze_column(SqlType::Int8, &data);
+        let n = values.len() as f64;
+        let actual = values.iter().filter(|&&v| v == probe).count() as f64 / n;
+        let est = eq_selectivity(Some(&stats), n, &Datum::Int(probe));
+        // within an order of magnitude + absolute slack for tiny samples
+        if actual > 0.05 {
+            prop_assert!(est >= actual / 10.0, "actual={actual} est={est}");
+            prop_assert!(est <= (actual * 10.0).min(1.0) + 0.1, "actual={actual} est={est}");
+        }
+    }
+
+    #[test]
+    fn in_list_bounded_by_component_sum(values in data_strategy(), probes in prop::collection::vec(-500i64..500, 1..6)) {
+        let data: Vec<Datum> = values.iter().map(|&v| Datum::Int(v)).collect();
+        let stats = analyze_column(SqlType::Int8, &data);
+        let n = values.len() as f64;
+        let shape = RestrictionShape::InList {
+            col: 0,
+            values: probes.iter().map(|&p| Datum::Int(p)).collect(),
+            negated: false,
+        };
+        let sel = restriction_selectivity(&shape, Some(&stats), n);
+        let sum: f64 = probes
+            .iter()
+            .map(|&p| eq_selectivity(Some(&stats), n, &Datum::Int(p)))
+            .sum();
+        prop_assert!(sel <= sum.min(1.0) + 1e-9);
+    }
+
+    #[test]
+    fn index_cost_monotone_in_selectivity(
+        sel1 in 1e-6f64..1.0,
+        frac in 0.0f64..1.0,
+        corr in -1.0f64..1.0,
+    ) {
+        let sel2 = sel1 * frac;
+        let p = CostParams::default();
+        let inputs = |s| IndexScanInputs {
+            index_pages: 5_000,
+            index_height: 2,
+            table_pages: 50_000,
+            table_rows: 1_000_000.0,
+            index_selectivity: s,
+            correlation: corr,
+        };
+        let c1 = index_scan_cost(&p, inputs(sel1), 0);
+        let c2 = index_scan_cost(&p, inputs(sel2), 0);
+        prop_assert!(c2.total <= c1.total + 1e-6, "sel {sel2} cost {} > sel {sel1} cost {}", c2.total, c1.total);
+    }
+
+    #[test]
+    fn seq_scan_cost_independent_of_selectivity(pages in 1u64..100_000, rows in 1u64..10_000_000) {
+        let p = CostParams::default();
+        let c = seq_scan_cost(&p, pages, rows as f64, 1);
+        prop_assert!(c.total > 0.0 && c.total.is_finite());
+        // linear in pages
+        let c2 = seq_scan_cost(&p, pages * 2, rows as f64, 1);
+        prop_assert!(c2.total > c.total);
+    }
+}

@@ -1,0 +1,111 @@
+//! Greedy baseline selection, in the style of the commercial tools the
+//! paper contrasts with ("all these tools are based on greedy heuristics").
+//!
+//! Generic over the benefit oracle so the advisor can plug in either plain
+//! optimizer costing or the INUM cached model: at every step the candidate
+//! with the best marginal benefit per unit size is added, re-evaluating
+//! benefits because index interactions change them.
+
+/// A candidate item for greedy selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyItem {
+    /// Caller-defined candidate id.
+    pub id: usize,
+    /// Size in bytes charged against the budget.
+    pub size: u64,
+}
+
+/// Greedy selection: repeatedly pick the candidate with the highest
+/// marginal benefit density until the budget is exhausted or no candidate
+/// improves the objective.
+///
+/// `benefit(selected, candidate)` must return the marginal benefit of
+/// adding `candidate` on top of `selected` (in cost units; ≤ 0 means no
+/// improvement).
+pub fn greedy_select<F>(items: &[GreedyItem], budget: u64, mut benefit: F) -> Vec<usize>
+where
+    F: FnMut(&[usize], usize) -> f64,
+{
+    let mut selected: Vec<usize> = Vec::new();
+    let mut remaining: Vec<GreedyItem> = items.to_vec();
+    let mut budget_left = budget;
+
+    loop {
+        let mut best: Option<(usize, f64)> = None; // (position in remaining, density)
+        for (pos, item) in remaining.iter().enumerate() {
+            if item.size > budget_left {
+                continue;
+            }
+            let b = benefit(&selected, item.id);
+            if b <= 0.0 {
+                continue;
+            }
+            let density = b / item.size.max(1) as f64;
+            if best.map(|(_, d)| density > d).unwrap_or(true) {
+                best = Some((pos, density));
+            }
+        }
+        match best {
+            Some((pos, _)) => {
+                let item = remaining.remove(pos);
+                budget_left -= item.size;
+                selected.push(item.id);
+            }
+            None => break,
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_by_density_with_static_benefits() {
+        let items = vec![
+            GreedyItem { id: 0, size: 10 }, // benefit 100 -> density 10
+            GreedyItem { id: 1, size: 1 },  // benefit 20  -> density 20
+            GreedyItem { id: 2, size: 10 }, // benefit 10  -> density 1
+        ];
+        let benefits = [100.0, 20.0, 10.0];
+        let picked = greedy_select(&items, 11, |_, id| benefits[id]);
+        assert_eq!(picked, vec![1, 0]);
+    }
+
+    #[test]
+    fn budget_limits_selection() {
+        let items = vec![
+            GreedyItem { id: 0, size: 10 },
+            GreedyItem { id: 1, size: 10 },
+        ];
+        let picked = greedy_select(&items, 10, |_, _| 5.0);
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn non_improving_items_skipped() {
+        let items = vec![GreedyItem { id: 0, size: 1 }, GreedyItem { id: 1, size: 1 }];
+        let picked = greedy_select(&items, 100, |_, id| if id == 0 { 1.0 } else { -5.0 });
+        assert_eq!(picked, vec![0]);
+    }
+
+    #[test]
+    fn interactions_reduce_marginal_benefit() {
+        // second copy of the "same" index gives no additional benefit
+        let items = vec![GreedyItem { id: 0, size: 1 }, GreedyItem { id: 1, size: 1 }];
+        let picked = greedy_select(&items, 100, |selected, _| {
+            if selected.is_empty() {
+                10.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(greedy_select(&[], 100, |_, _| 1.0).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # parinda-solver
+//!
+//! Combinatorial-optimization substrate: a from-scratch dense two-phase
+//! primal simplex for LP relaxations, a best-first 0/1 branch-and-bound on
+//! top of it, and the greedy baseline the paper's related work uses.
+//!
+//! The paper solves its index-selection integer-linear program "using a
+//! standard off-the-shelf combinatorial solver" (§3.4); mature ILP crates
+//! are thin on the ground, so this crate *is* that solver. Instances from
+//! index selection are small (hundreds of binaries), and the exact B&B
+//! returns provably optimal solutions on them (property-tested against
+//! brute-force enumeration).
+//!
+//! # Example
+//!
+//! ```
+//! use parinda_solver::{solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits};
+//!
+//! // knapsack: values (10, 6, 5), weights (4, 3, 2), capacity 5
+//! let mut lp = LinearProgram::new(3);
+//! for (j, v) in [10.0, 6.0, 5.0].into_iter().enumerate() {
+//!     lp.set_objective(j, v);
+//!     lp.set_upper(j, 1.0);
+//! }
+//! lp.add_constraint(vec![(0, 4.0), (1, 3.0), (2, 2.0)], Sense::Le, 5.0);
+//! let ip = IntegerProgram { lp, binary: vec![0, 1, 2] };
+//! let IlpOutcome::Solved(sol) = solve_ilp(&ip, SolveLimits::default()) else { panic!() };
+//! assert_eq!(sol.objective, 11.0); // {6, 5} beats {10}
+//! assert!(sol.proven_optimal);
+//! ```
+
+#![allow(missing_docs)]
+
+pub mod branch;
+pub mod greedy;
+pub mod lp;
+pub mod simplex;
+
+pub use branch::{solve_ilp, IlpOutcome, IlpSolution, IntegerProgram, SolveLimits};
+pub use greedy::{greedy_select, GreedyItem};
+pub use lp::{Constraint, LinearProgram, LpOutcome, LpSolution, Sense};
+pub use simplex::solve as solve_lp;

@@ -1,0 +1,157 @@
+//! Linear-program model: maximize `c·x` subject to sparse linear
+//! constraints and variable bounds.
+//!
+//! The index-selection ILP (paper §3.4) is built on this model and handed
+//! to the simplex + branch-and-bound solver — the substrate's stand-in for
+//! the "standard off-the-shelf combinatorial optimization solver".
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One sparse constraint row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// (variable index, coefficient) pairs; indices must be unique.
+    pub terms: Vec<(usize, f64)>,
+    pub sense: Sense,
+    pub rhs: f64,
+}
+
+/// A linear program in maximization form with box-bounded variables.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (maximize).
+    pub objective: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable upper bound (lower bound is always 0).
+    pub upper: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// An LP with `n` variables, zero objective, bounds `[0, +inf)`.
+    pub fn new(n: usize) -> Self {
+        LinearProgram {
+            objective: vec![0.0; n],
+            constraints: Vec::new(),
+            upper: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Set the objective coefficient of variable `j`.
+    pub fn set_objective(&mut self, j: usize, c: f64) {
+        self.objective[j] = c;
+    }
+
+    /// Bound variable `j` to `[0, u]`.
+    pub fn set_upper(&mut self, j: usize, u: f64) {
+        self.upper[j] = u;
+    }
+
+    /// Add a constraint; returns its row index.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> usize {
+        debug_assert!(terms.iter().all(|&(j, _)| j < self.num_vars()));
+        self.constraints.push(Constraint { terms, sense, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Is `x` feasible within tolerance `eps`?
+    pub fn is_feasible(&self, x: &[f64], eps: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if v < -eps || v > self.upper[j] + eps {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * x[j]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + eps,
+                Sense::Ge => lhs >= c.rhs - eps,
+                Sense::Eq => (lhs - c.rhs).abs() <= eps,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded above.
+    Unbounded,
+    /// Iteration limit hit before convergence (treat as failure).
+    IterationLimit,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Variable values.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0);
+        assert_eq!(lp.objective_value(&[1.0, 1.0]), 5.0);
+        assert!(lp.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[3.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    fn bounds_checked_in_feasibility() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_upper(0, 1.0);
+        assert!(lp.is_feasible(&[1.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.5], 1e-9));
+        assert!(!lp.is_feasible(&[-0.5], 1e-9));
+    }
+
+    #[test]
+    fn senses_checked() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Ge, 2.0);
+        assert!(!lp.is_feasible(&[1.0], 1e-9));
+        assert!(lp.is_feasible(&[2.5], 1e-9));
+        lp.add_constraint(vec![(0, 1.0)], Sense::Eq, 2.5);
+        assert!(lp.is_feasible(&[2.5], 1e-9));
+        assert!(!lp.is_feasible(&[2.6], 1e-9));
+    }
+}

@@ -1,0 +1,386 @@
+//! Dense two-phase primal simplex.
+//!
+//! Finite upper bounds are materialized as explicit `x ≤ u` rows, which
+//! keeps the tableau logic textbook-simple; the instances PARINDA produces
+//! (hundreds of variables) stay comfortably small.
+
+use crate::lp::{LinearProgram, LpOutcome, LpSolution, Sense};
+
+const EPS: f64 = 1e-9;
+
+/// Solve an LP with the two-phase simplex method.
+pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    Tableau::build(lp).solve(lp)
+}
+
+struct Tableau {
+    /// Full tableau: rows = constraints, cols = structural + slack/surplus
+    /// + artificial + rhs.
+    a: Vec<Vec<f64>>,
+    /// Basis: for each row, the column currently basic in it.
+    basis: Vec<usize>,
+    n_struct: usize,
+    n_total: usize,
+    artificial_cols: Vec<usize>,
+    max_iters: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        // Collect all rows: user constraints + finite upper bounds.
+        struct RowSpec {
+            terms: Vec<(usize, f64)>,
+            sense: Sense,
+            rhs: f64,
+        }
+        let mut rows: Vec<RowSpec> = lp
+            .constraints
+            .iter()
+            .map(|c| RowSpec { terms: c.terms.clone(), sense: c.sense, rhs: c.rhs })
+            .collect();
+        for (j, &u) in lp.upper.iter().enumerate() {
+            if u.is_finite() {
+                rows.push(RowSpec { terms: vec![(j, 1.0)], sense: Sense::Le, rhs: u });
+            }
+        }
+
+        // Normalize to rhs >= 0.
+        for r in &mut rows {
+            if r.rhs < 0.0 {
+                for t in &mut r.terms {
+                    t.1 = -t.1;
+                }
+                r.rhs = -r.rhs;
+                r.sense = match r.sense {
+                    Sense::Le => Sense::Ge,
+                    Sense::Ge => Sense::Le,
+                    Sense::Eq => Sense::Eq,
+                };
+            }
+        }
+
+        let m = rows.len();
+        let n = lp.num_vars();
+
+        // Column layout: [0, n) structural; then one slack/surplus per
+        // inequality; then artificials; last = rhs.
+        let n_slack = rows.iter().filter(|r| r.sense != Sense::Eq).count();
+        let n_art = rows.iter().filter(|r| r.sense != Sense::Le).count();
+        let n_total = n + n_slack + n_art;
+
+        let mut a = vec![vec![0.0; n_total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_next = n;
+        let mut art_next = n + n_slack;
+        let mut artificial_cols = Vec::new();
+
+        for (i, r) in rows.iter().enumerate() {
+            for &(j, coef) in &r.terms {
+                a[i][j] += coef;
+            }
+            a[i][n_total] = r.rhs;
+            match r.sense {
+                Sense::Le => {
+                    a[i][slack_next] = 1.0;
+                    basis[i] = slack_next;
+                    slack_next += 1;
+                }
+                Sense::Ge => {
+                    a[i][slack_next] = -1.0;
+                    slack_next += 1;
+                    a[i][art_next] = 1.0;
+                    basis[i] = art_next;
+                    artificial_cols.push(art_next);
+                    art_next += 1;
+                }
+                Sense::Eq => {
+                    a[i][art_next] = 1.0;
+                    basis[i] = art_next;
+                    artificial_cols.push(art_next);
+                    art_next += 1;
+                }
+            }
+        }
+
+        let max_iters = 200 * (m + n_total + 16);
+        Tableau { a, basis, n_struct: n, n_total, artificial_cols, max_iters }
+    }
+
+    fn solve(mut self, lp: &LinearProgram) -> LpOutcome {
+        // Phase 1: minimize the sum of artificials (maximize the negated
+        // sum) — only needed when artificials exist.
+        if !self.artificial_cols.is_empty() {
+            let mut obj = vec![0.0; self.n_total];
+            for &c in &self.artificial_cols {
+                obj[c] = -1.0;
+            }
+            match self.optimize(&obj) {
+                Phase::Optimal(v) => {
+                    if v < -1e-7 {
+                        return LpOutcome::Infeasible;
+                    }
+                }
+                Phase::Unbounded => return LpOutcome::Infeasible, // cannot happen; defensive
+                Phase::IterationLimit => return LpOutcome::IterationLimit,
+            }
+            // Drive any artificial still basic (at zero) out of the basis.
+            for i in 0..self.basis.len() {
+                if self.artificial_cols.contains(&self.basis[i]) {
+                    if let Some(j) = (0..self.n_struct + self.n_slack_count())
+                        .find(|&j| self.a[i][j].abs() > 1e-7)
+                    {
+                        self.pivot(i, j);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: the real objective (artificials pinned at zero by
+        // removing them from pricing).
+        let mut obj = vec![0.0; self.n_total];
+        obj[..self.n_struct].copy_from_slice(&lp.objective);
+        let blocked: Vec<usize> = self.artificial_cols.clone();
+        match self.optimize_blocked(&obj, &blocked) {
+            Phase::Optimal(v) => {
+                let mut x = vec![0.0; self.n_struct];
+                for (i, &b) in self.basis.iter().enumerate() {
+                    if b < self.n_struct {
+                        x[b] = self.rhs(i);
+                    }
+                }
+                LpOutcome::Optimal(LpSolution { x, objective: v })
+            }
+            Phase::Unbounded => LpOutcome::Unbounded,
+            Phase::IterationLimit => LpOutcome::IterationLimit,
+        }
+    }
+
+    fn n_slack_count(&self) -> usize {
+        self.n_total - self.n_struct - self.artificial_cols.len()
+    }
+
+    fn rhs(&self, row: usize) -> f64 {
+        self.a[row][self.n_total]
+    }
+
+    fn optimize(&mut self, obj: &[f64]) -> Phase {
+        self.optimize_blocked(obj, &[])
+    }
+
+    /// Primal simplex over the current basis, maximizing `obj`, never
+    /// letting `blocked` columns enter. Returns the objective value.
+    fn optimize_blocked(&mut self, obj: &[f64], blocked: &[usize]) -> Phase {
+        let m = self.a.len();
+        // reduced costs: z_j - c_j computed from scratch each iteration on
+        // the (small) dense tableau.
+        for iter in 0..self.max_iters {
+            // price: reduced cost r_j = c_j - Σ_i c_B[i] * a[i][j]
+            let cb: Vec<f64> = self.basis.iter().map(|&b| obj[b]).collect();
+            let mut entering: Option<usize> = None;
+            let mut best = EPS;
+            let bland = iter > self.max_iters / 2;
+            for j in 0..self.n_total {
+                if blocked.contains(&j) || self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = obj[j];
+                for (ci, row) in cb.iter().zip(&self.a) {
+                    if *ci != 0.0 {
+                        r -= ci * row[j];
+                    }
+                }
+                if r > best {
+                    entering = Some(j);
+                    if bland {
+                        break; // Bland's rule: first improving column
+                    }
+                    best = r;
+                }
+            }
+            let Some(j) = entering else {
+                // optimal: compute objective value
+                let v: f64 = self
+                    .basis
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| obj[b] * self.rhs(i))
+                    .sum();
+                return Phase::Optimal(v);
+            };
+
+            // ratio test
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                let aij = self.a[i][j];
+                if aij > EPS {
+                    let ratio = self.rhs(i) / aij;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(i) = leave else {
+                return Phase::Unbounded;
+            };
+            self.pivot(i, j);
+        }
+        Phase::IterationLimit
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.len();
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in &mut self.a[row] {
+            *v *= inv;
+        }
+        for i in 0..m {
+            if i != row {
+                let factor = self.a[i][col];
+                if factor.abs() > EPS {
+                    for j in 0..=self.n_total {
+                        self.a[i][j] -= factor * self.a[row][j];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum Phase {
+    Optimal(f64),
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::{LinearProgram, Sense};
+
+    fn optimal(lp: &LinearProgram) -> LpSolution {
+        match solve(lp) {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 3.0)], Sense::Le, 6.0);
+        let s = optimal(&lp);
+        assert!((s.objective - 12.0).abs() < 1e-6, "{s:?}");
+        assert!((s.x[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interior_optimum() {
+        // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj=8/3
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 1.0)], Sense::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], Sense::Le, 4.0);
+        let s = optimal(&lp);
+        assert!((s.objective - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.set_upper(0, 1.0);
+        lp.set_upper(1, 0.5);
+        let s = optimal(&lp);
+        assert!((s.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 3, y <= 2 -> x=1, y=2, obj=5
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 3.0);
+        lp.set_upper(1, 2.0);
+        let s = optimal(&lp);
+        assert!((s.objective - 5.0).abs() < 1e-6, "{s:?}");
+    }
+
+    #[test]
+    fn ge_constraints_force_minimum_values() {
+        // max -x (i.e. minimize x) s.t. x >= 2.5
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(vec![(0, 1.0)], Sense::Ge, 2.5);
+        let s = optimal(&lp);
+        assert!((s.x[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // -x <= -2  <=>  x >= 2; maximize -x -> x = 2
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(vec![(0, -1.0)], Sense::Le, -2.0);
+        let s = optimal(&lp);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // several redundant constraints through the same vertex
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        for k in 1..=5 {
+            lp.add_constraint(vec![(0, k as f64), (1, k as f64)], Sense::Le, 2.0 * k as f64);
+        }
+        let s = optimal(&lp);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(0, 5.0);
+        lp.set_objective(1, 4.0);
+        lp.set_objective(2, 3.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0)], Sense::Le, 5.0);
+        lp.add_constraint(vec![(0, 4.0), (1, 1.0), (2, 2.0)], Sense::Le, 11.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 4.0), (2, 2.0)], Sense::Le, 8.0);
+        let s = optimal(&lp);
+        assert!(lp.is_feasible(&s.x, 1e-6));
+        assert!((s.objective - 13.0).abs() < 1e-6); // classic Chvátal example
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: the branch-and-bound ILP solver must agree with brute
+//! force on random small 0/1 programs, and the simplex must return
+//! feasible optima.
+
+use parinda_solver::{
+    solve_ilp, solve_lp, IlpOutcome, IntegerProgram, LinearProgram, LpOutcome, Sense, SolveLimits,
+};
+use proptest::prelude::*;
+
+/// A random binary knapsack with an optional side constraint.
+fn knapsack_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    (2usize..9).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1u32..40, n).prop_map(|v| v.into_iter().map(f64::from).collect()),
+            prop::collection::vec(1u32..15, n).prop_map(|v| v.into_iter().map(f64::from).collect()),
+            1u32..40,
+        )
+            .prop_map(|(values, weights, cap)| (values, weights, f64::from(cap)))
+    })
+}
+
+fn brute_force_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let w: f64 = (0..n).filter(|&j| mask & (1 << j) != 0).map(|j| weights[j]).sum();
+        if w <= cap + 1e-9 {
+            let v: f64 = (0..n).filter(|&j| mask & (1 << j) != 0).map(|j| values[j]).sum();
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ilp_matches_bruteforce_on_knapsacks((values, weights, cap) in knapsack_strategy()) {
+        let n = values.len();
+        let mut lp = LinearProgram::new(n);
+        for (j, &v) in values.iter().enumerate() {
+            lp.set_objective(j, v);
+            lp.set_upper(j, 1.0);
+        }
+        lp.add_constraint(
+            weights.iter().enumerate().map(|(j, &w)| (j, w)).collect(),
+            Sense::Le,
+            cap,
+        );
+        let ip = IntegerProgram { lp, binary: (0..n).collect() };
+        let expected = brute_force_knapsack(&values, &weights, cap);
+        match solve_ilp(&ip, SolveLimits::default()) {
+            IlpOutcome::Solved(s) => {
+                prop_assert!(s.proven_optimal);
+                prop_assert!((s.objective - expected).abs() < 1e-6,
+                    "ilp={} brute={expected}", s.objective);
+                // solution must be integral and feasible
+                prop_assert!(ip.lp.is_feasible(&s.x, 1e-6));
+                for &j in &ip.binary {
+                    prop_assert!((s.x[j] - s.x[j].round()).abs() < 1e-6);
+                }
+            }
+            IlpOutcome::Infeasible => prop_assert!(expected == 0.0),
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ilp_with_consistency_constraints_matches_bruteforce(
+        (values, weights, cap) in knapsack_strategy(),
+        link in 0usize..4,
+    ) {
+        // x_0 <= x_link: item 0 may only be taken together with item link.
+        let n = values.len();
+        let link = link % n;
+        let mut lp = LinearProgram::new(n);
+        for (j, &v) in values.iter().enumerate() {
+            lp.set_objective(j, v);
+            lp.set_upper(j, 1.0);
+        }
+        lp.add_constraint(
+            weights.iter().enumerate().map(|(j, &w)| (j, w)).collect(),
+            Sense::Le,
+            cap,
+        );
+        lp.add_constraint(vec![(0, 1.0), (link, -1.0)], Sense::Le, 0.0);
+        let ip = IntegerProgram { lp, binary: (0..n).collect() };
+
+        // brute force with the side constraint
+        let mut expected = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let take = |j: usize| mask & (1 << j) != 0;
+            if take(0) && !take(link) {
+                continue;
+            }
+            let w: f64 = (0..n).filter(|&j| take(j)).map(|j| weights[j]).sum();
+            if w <= cap + 1e-9 {
+                let v: f64 = (0..n).filter(|&j| take(j)).map(|j| values[j]).sum();
+                expected = expected.max(v);
+            }
+        }
+
+        match solve_ilp(&ip, SolveLimits::default()) {
+            IlpOutcome::Solved(s) => {
+                prop_assert!((s.objective - expected).abs() < 1e-6,
+                    "ilp={} brute={expected}", s.objective);
+            }
+            IlpOutcome::Infeasible => prop_assert!(expected == 0.0),
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_optimum_is_feasible_and_bounds_ilp(
+        (values, weights, cap) in knapsack_strategy()
+    ) {
+        let n = values.len();
+        let mut lp = LinearProgram::new(n);
+        for (j, &v) in values.iter().enumerate() {
+            lp.set_objective(j, v);
+            lp.set_upper(j, 1.0);
+        }
+        lp.add_constraint(
+            weights.iter().enumerate().map(|(j, &w)| (j, w)).collect(),
+            Sense::Le,
+            cap,
+        );
+        let relaxed = match solve_lp(&lp) {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.is_feasible(&s.x, 1e-6), "infeasible LP optimum {:?}", s.x);
+                s.objective
+            }
+            other => return Err(TestCaseError::fail(format!("LP failed: {other:?}"))),
+        };
+        let expected = brute_force_knapsack(&values, &weights, cap);
+        // LP relaxation upper-bounds the integer optimum
+        prop_assert!(relaxed >= expected - 1e-6, "relaxation {relaxed} < integer {expected}");
+    }
+}

@@ -1,0 +1,367 @@
+//! DDL subset: `CREATE TABLE` and `CREATE INDEX`, so a schema can be
+//! loaded from a script instead of built programmatically (the demo's
+//! "original physical design" input).
+//!
+//! ```sql
+//! CREATE TABLE photoobj (
+//!     objid BIGINT NOT NULL,
+//!     ra DOUBLE PRECISION,
+//!     name VARCHAR(32),
+//!     PRIMARY KEY (objid)
+//! ) ROWS 9000000;                 -- extension: declared cardinality
+//! CREATE INDEX i_ra ON photoobj (ra);
+//! ```
+//!
+//! The non-standard `ROWS n` clause declares the table cardinality for
+//! statistics-only sessions (a real server would learn it from data).
+
+use parinda_catalog::SqlType;
+
+use crate::ast::Select;
+use crate::error::SqlError;
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: SqlType,
+    pub not_null: bool,
+}
+
+/// A parsed `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    pub primary_key: Vec<String>,
+    /// Declared cardinality (`ROWS n`), if any.
+    pub rows: Option<u64>,
+}
+
+/// A parsed `CREATE INDEX`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+}
+
+/// Any statement of the supported script language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Select),
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+}
+
+/// Parse a mixed script of DDL and SELECT statements.
+pub fn parse_ddl_script(input: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = DdlParser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement(input)?);
+    }
+    Ok(out)
+}
+
+struct DdlParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl DdlParser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Eat a specific bare word (DDL keywords are ordinary identifiers to
+    /// the lexer, so SELECT queries may keep using them as column names).
+    fn eat_word(&mut self, word: &str) -> bool {
+        match self.peek() {
+            TokenKind::Ident(s) if s == word => {
+                self.bump();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), SqlError> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.offset(),
+                format!("expected `{word}`, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(SqlError::parse(
+                self.offset(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn statement(&mut self, input: &str) -> Result<Statement, SqlError> {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == "create") {
+            self.bump();
+            return self.create();
+        }
+        // delegate to the SELECT parser: find this statement's extent
+        let start = self.offset();
+        let mut end = input.len();
+        while !self.at_eof() {
+            if matches!(self.peek(), TokenKind::Semicolon) {
+                end = self.offset();
+                break;
+            }
+            self.bump();
+        }
+        let sel = crate::parser::parse_select(&input[start..end])?;
+        Ok(Statement::Select(sel))
+    }
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_word("table") {
+            return self.create_table();
+        }
+        if self.eat_word("index") {
+            return self.create_index();
+        }
+        Err(SqlError::parse(
+            self.offset(),
+            format!("expected TABLE or INDEX after CREATE, found {}", self.peek()),
+        ))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, SqlError> {
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        loop {
+            if self.eat_word("primary") {
+                self.expect_word("key")?;
+                self.expect(TokenKind::LParen)?;
+                loop {
+                    primary_key.push(self.ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            } else {
+                let col = self.ident()?;
+                let ty = self.type_name()?;
+                let mut not_null = false;
+                if self.eat(&TokenKind::Keyword(Keyword::Not)) {
+                    self.expect(TokenKind::Keyword(Keyword::Null))?;
+                    not_null = true;
+                }
+                columns.push(ColumnDef { name: col, ty, not_null });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let rows = if self.eat_word("rows") {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::parse(
+                        self.offset(),
+                        format!("expected row count after ROWS, found {other}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::CreateTable(CreateTable { name, columns, primary_key, rows }))
+    }
+
+    fn create_index(&mut self) -> Result<Statement, SqlError> {
+        let name = self.ident()?;
+        self.expect(TokenKind::Keyword(Keyword::On))?;
+        let table = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut columns = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            columns.push(self.ident()?);
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Statement::CreateIndex(CreateIndex { name, table, columns }))
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SqlError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.offset(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn type_name(&mut self) -> Result<SqlType, SqlError> {
+        let at = self.offset();
+        let word = self.ident()?;
+        Ok(match word.as_str() {
+            "bool" | "boolean" => SqlType::Bool,
+            "smallint" | "int2" => SqlType::Int2,
+            "int" | "integer" | "int4" => SqlType::Int4,
+            "bigint" | "int8" => SqlType::Int8,
+            "real" | "float4" => SqlType::Float4,
+            "float8" => SqlType::Float8,
+            "double" => {
+                // DOUBLE PRECISION
+                self.eat_word("precision");
+                SqlType::Float8
+            }
+            "text" => SqlType::Text,
+            "date" => SqlType::Date,
+            "timestamp" => SqlType::Timestamp,
+            "varchar" => {
+                self.expect(TokenKind::LParen)?;
+                let n = match self.bump() {
+                    TokenKind::Int(n) if n > 0 => n as u32,
+                    other => {
+                        return Err(SqlError::parse(
+                            self.offset(),
+                            format!("expected length after varchar(, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(TokenKind::RParen)?;
+                SqlType::VarChar(n)
+            }
+            other => {
+                return Err(SqlError::parse(at, format!("unknown type `{other}`")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmts = parse_ddl_script(
+            "CREATE TABLE obj (\
+               id BIGINT NOT NULL,\
+               ra DOUBLE PRECISION,\
+               name VARCHAR(32),\
+               flag BOOLEAN,\
+               PRIMARY KEY (id)\
+             ) ROWS 5000;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 1);
+        let Statement::CreateTable(ct) = &stmts[0] else { panic!("{stmts:?}") };
+        assert_eq!(ct.name, "obj");
+        assert_eq!(ct.columns.len(), 4);
+        assert_eq!(ct.columns[0].ty, SqlType::Int8);
+        assert!(ct.columns[0].not_null);
+        assert_eq!(ct.columns[1].ty, SqlType::Float8);
+        assert!(!ct.columns[1].not_null);
+        assert_eq!(ct.columns[2].ty, SqlType::VarChar(32));
+        assert_eq!(ct.primary_key, vec!["id"]);
+        assert_eq!(ct.rows, Some(5000));
+    }
+
+    #[test]
+    fn parse_create_index() {
+        let stmts = parse_ddl_script("CREATE INDEX i_ra ON obj (ra, dec)").unwrap();
+        let Statement::CreateIndex(ci) = &stmts[0] else { panic!() };
+        assert_eq!(ci.name, "i_ra");
+        assert_eq!(ci.table, "obj");
+        assert_eq!(ci.columns, vec!["ra", "dec"]);
+    }
+
+    #[test]
+    fn mixed_script_with_selects() {
+        let stmts = parse_ddl_script(
+            "CREATE TABLE t (a INT) ROWS 10;\n\
+             SELECT a FROM t WHERE a = 1;\n\
+             CREATE INDEX i ON t (a);",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Statement::CreateTable(_)));
+        assert!(matches!(stmts[1], Statement::Select(_)));
+        assert!(matches!(stmts[2], Statement::CreateIndex(_)));
+    }
+
+    #[test]
+    fn ddl_words_remain_usable_as_column_names() {
+        // `key` and `rows` are not reserved
+        let stmts =
+            parse_ddl_script("CREATE TABLE t (key INT, rows INT); SELECT key FROM t").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn errors_on_unknown_type() {
+        assert!(parse_ddl_script("CREATE TABLE t (a JSONB)").is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_create() {
+        assert!(parse_ddl_script("CREATE VIEW v").is_err());
+        assert!(parse_ddl_script("CREATE TABLE t (").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_tolerated() {
+        let stmts = parse_ddl_script(
+            "-- schema\nCREATE TABLE t (\n  a INT -- the a column\n) ROWS 1;\n",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 1);
+    }
+}

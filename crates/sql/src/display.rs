@@ -1,0 +1,295 @@
+//! SQL pretty-printer.
+//!
+//! Used by the AutoPart query rewriter (paper §3.3) to emit the rewritten
+//! workload, and by property tests to check parse → print → parse
+//! round-trips.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "NULL"),
+            Literal::Bool(true) => write!(f, "TRUE"),
+            Literal::Bool(false) => write!(f, "FALSE"),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // keep a decimal point so it re-parses as a float
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl BinOp {
+    /// SQL spelling of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// Binding strength used for minimal parenthesization.
+    fn precedence(&self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div => 6,
+        }
+    }
+}
+
+fn expr_precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => op.precedence(),
+        Expr::Not(_) => 3,
+        Expr::Between { .. } | Expr::InList { .. } | Expr::IsNull { .. } | Expr::Like { .. } => 4,
+        _ => 10,
+    }
+}
+
+fn fmt_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if expr_precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Binary { op, left, right } => {
+                let p = op.precedence();
+                // comparisons are non-associative (both sides must bind
+                // tighter); everything else prints left-associatively, so
+                // the right side always needs to bind tighter — even for
+                // semantically associative ops, or `a * (b * c)` would
+                // re-parse with different structure
+                let lp = if op.is_comparison() { p + 1 } else { p };
+                let rp = p + 1;
+                fmt_child(f, left, lp)?;
+                write!(f, " {} ", op.sql())?;
+                fmt_child(f, right, rp)
+            }
+            Expr::Not(e) => {
+                write!(f, "NOT ")?;
+                fmt_child(f, e, 4)
+            }
+            Expr::Between { expr, low, high, negated } => {
+                fmt_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                fmt_child(f, low, 5)?;
+                write!(f, " AND ")?;
+                fmt_child(f, high, 5)
+            }
+            Expr::InList { expr, list, negated } => {
+                fmt_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                fmt_child(f, expr, 5)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                fmt_child(f, expr, 5)?;
+                write!(
+                    f,
+                    " {}LIKE '{}'",
+                    if *negated { "NOT " } else { "" },
+                    pattern.replace('\'', "''")
+                )
+            }
+            Expr::Agg { func, arg, distinct } => {
+                let name = match func {
+                    AggFunc::Count => "COUNT",
+                    AggFunc::Sum => "SUM",
+                    AggFunc::Avg => "AVG",
+                    AggFunc::Min => "MIN",
+                    AggFunc::Max => "MAX",
+                };
+                match arg {
+                    None => write!(f, "{name}(*)"),
+                    Some(a) => {
+                        write!(f, "{name}({}{a})", if *distinct { "DISTINCT " } else { "" })
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_select;
+
+    fn round_trip(sql: &str) -> String {
+        parse_select(sql).unwrap().to_string()
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        assert_eq!(
+            round_trip("select ra, dec from photoobj where type = 3"),
+            "SELECT ra, dec FROM photoobj WHERE type = 3"
+        );
+    }
+
+    #[test]
+    fn printed_sql_reparses_identically() {
+        let cases = [
+            "SELECT p.ra, s.z FROM photoobj AS p, specobj AS s \
+             WHERE p.objid = s.bestobjid AND p.ra BETWEEN 180.0 AND 190.0",
+            "SELECT type, COUNT(*) FROM photoobj GROUP BY type ORDER BY type DESC LIMIT 5",
+            "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z IN (1, 2, 3)",
+            "SELECT a FROM t WHERE NOT (x = 1) AND name LIKE 'gal%'",
+            "SELECT a - (b - c) FROM t",
+            "SELECT AVG(DISTINCT z) FROM specobj WHERE z IS NOT NULL",
+        ];
+        for sql in cases {
+            let once = parse_select(sql).unwrap();
+            let printed = once.to_string();
+            let twice = parse_select(&printed).unwrap();
+            assert_eq!(once, twice, "round trip failed for: {sql} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn parens_preserved_where_needed() {
+        let s = round_trip("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3");
+        assert!(s.contains("(x = 1 OR y = 2)"), "{s}");
+    }
+
+    #[test]
+    fn subtraction_associativity() {
+        // a - (b - c) must not print as a - b - c
+        let s = round_trip("SELECT a - (b - c) FROM t");
+        assert!(s.contains("a - (b - c)"), "{s}");
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        let s = round_trip("SELECT x FROM t WHERE r < 2.0");
+        assert!(s.contains("2.0"), "{s}");
+    }
+}

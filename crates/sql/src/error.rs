@@ -1,0 +1,59 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Error produced by the lexer or parser, carrying a byte offset into the
+/// original statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Byte offset of the offending token or character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Which stage produced the error.
+    pub stage: Stage,
+}
+
+/// Front-end stage that raised the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+}
+
+impl SqlError {
+    /// A lexer error at `offset`.
+    pub fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SqlError { offset, message: message.into(), stage: Stage::Lex }
+    }
+
+    /// A parser error at `offset`.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        SqlError { offset, message: message.into(), stage: Stage::Parse }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+        };
+        write!(f, "{stage} error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_stage() {
+        let e = SqlError::parse(12, "expected FROM");
+        assert_eq!(e.to_string(), "parse error at byte 12: expected FROM");
+    }
+}

@@ -1,0 +1,275 @@
+//! Hand-written SQL lexer.
+
+use crate::error::SqlError;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::lex(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            ',' => push(&mut tokens, TokenKind::Comma, &mut i),
+            '.' => push(&mut tokens, TokenKind::Dot, &mut i),
+            '(' => push(&mut tokens, TokenKind::LParen, &mut i),
+            ')' => push(&mut tokens, TokenKind::RParen, &mut i),
+            '*' => push(&mut tokens, TokenKind::Star, &mut i),
+            '+' => push(&mut tokens, TokenKind::Plus, &mut i),
+            '-' => push(&mut tokens, TokenKind::Minus, &mut i),
+            '/' => push(&mut tokens, TokenKind::Slash, &mut i),
+            ';' => push(&mut tokens, TokenKind::Semicolon, &mut i),
+            '=' => push(&mut tokens, TokenKind::Eq, &mut i),
+            '<' => {
+                let start = i;
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::LtEq, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                let start = i;
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::NotEq, offset: i });
+                i += 2;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::lex(start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' is an escaped quote
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '"' => {
+                // quoted identifier: preserved case, no keyword folding
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::lex(start, "unterminated quoted identifier"));
+                    }
+                    if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Ident(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| SqlError::lex(start, "invalid numeric literal"))?,
+                    )
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => TokenKind::Float(
+                            text.parse()
+                                .map_err(|_| SqlError::lex(start, "invalid numeric literal"))?,
+                        ),
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match Keyword::from_ident(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_ascii_lowercase()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            other => {
+                return Err(SqlError::lex(i, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_select() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT ra FROM photoobj"),
+            vec![
+                Keyword(crate::token::Keyword::Select),
+                Ident("ra".into()),
+                Keyword(crate::token::Keyword::From),
+                Ident("photoobj".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_fold_to_lowercase() {
+        assert_eq!(kinds("ObjID")[0], TokenKind::Ident("objid".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case() {
+        assert_eq!(kinds("\"ObjID\"")[0], TokenKind::Ident("ObjID".into()));
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.5")[0], TokenKind::Float(4.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::Float(0.025));
+    }
+
+    #[test]
+    fn huge_integer_becomes_float() {
+        assert!(matches!(kinds("99999999999999999999")[0], TokenKind::Float(_)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds("'o''neil'")[0], TokenKind::Str("o'neil".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- comment\n 2 /* block */ 3"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("< <= > >= = <> !="), vec![Lt, LtEq, Gt, GtEq, Eq, NotEq, NotEq, Eof]);
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(tokenize("select #").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = tokenize("SELECT ra").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

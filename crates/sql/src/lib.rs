@@ -1,0 +1,28 @@
+//! # parinda-sql
+//!
+//! SQL front-end substrate: lexer, AST, recursive-descent parser, and
+//! pretty-printer for the analytical SELECT subset used by SDSS-style
+//! workloads (joins, range/equality/IN/BETWEEN/LIKE predicates,
+//! aggregation, GROUP BY / ORDER BY / LIMIT).
+//!
+//! PARINDA needs a SQL front-end twice: to analyze the input workload for
+//! candidate design features, and to *rewrite* queries against suggested
+//! partitions (paper §3.3). The printer guarantees rewritten statements
+//! re-parse to the same AST (checked by property tests).
+
+#![allow(missing_docs)]
+
+pub mod ast;
+pub mod ddl;
+mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggFunc, BinOp, ColumnRef, Expr, Literal, OrderByItem, Select, SelectItem, TableRef,
+};
+pub use ddl::{parse_ddl_script, CreateIndex, CreateTable, Statement};
+pub use error::SqlError;
+pub use parser::{parse_script, parse_select};

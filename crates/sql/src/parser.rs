@@ -1,0 +1,622 @@
+//! Recursive-descent parser for the SELECT subset.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parse one SELECT statement (a trailing `;` is allowed).
+pub fn parse_select(input: &str) -> Result<Select, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.select()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(select)
+}
+
+/// Parse a workload script: multiple statements separated by `;`.
+pub fn parse_script(input: &str) -> Result<Vec<Select>, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_if(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.select()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat_if(&TokenKind::Keyword(kw))
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SqlError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.offset(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), SqlError> {
+        self.expect(TokenKind::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.offset(),
+                format!("unexpected trailing input: {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(SqlError::parse(
+                self.offset(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        let mut join_preds: Vec<Expr> = Vec::new();
+        loop {
+            if self.eat_if(&TokenKind::Comma) {
+                from.push(self.table_ref()?);
+            } else if matches!(self.peek(), TokenKind::Keyword(Keyword::Join))
+                || matches!(self.peek(), TokenKind::Keyword(Keyword::Inner))
+            {
+                // INNER? JOIN t ON expr — normalized into FROM + WHERE.
+                self.eat_kw(Keyword::Inner);
+                self.expect_kw(Keyword::Join)?;
+                from.push(self.table_ref()?);
+                self.expect_kw(Keyword::On)?;
+                join_preds.push(self.expr()?);
+            } else if matches!(self.peek(), TokenKind::Keyword(Keyword::Left)) {
+                return Err(SqlError::parse(
+                    self.offset(),
+                    "outer joins are not supported by this subset",
+                ));
+            } else {
+                break;
+            }
+        }
+
+        let mut where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        for p in join_preds {
+            where_clause = Some(match where_clause {
+                Some(w) => Expr::and(w, p),
+                None => p,
+            });
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::parse(
+                        self.offset(),
+                        format!("expected non-negative integer after LIMIT, found {other}"),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(Select { distinct, items, from, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // t.* lookahead
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Dot)
+                && self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::Star)
+            {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// Entry point: lowest precedence (OR).
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let left = self.additive()?;
+
+        let negated = if matches!(self.peek(), TokenKind::Keyword(Keyword::Not)) {
+            // only valid before BETWEEN / IN / LIKE
+            let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+            if matches!(
+                next,
+                Some(TokenKind::Keyword(Keyword::Between))
+                    | Some(TokenKind::Keyword(Keyword::In))
+                    | Some(TokenKind::Keyword(Keyword::Like))
+            ) {
+                self.bump();
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+
+        if self.eat_kw(Keyword::Between) {
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(TokenKind::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_if(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw(Keyword::Like) {
+            let pattern = match self.bump() {
+                TokenKind::Str(s) => s,
+                other => {
+                    return Err(SqlError::parse(
+                        self.offset(),
+                        format!("expected string pattern after LIKE, found {other}"),
+                    ))
+                }
+            };
+            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.additive()?;
+        Ok(Expr::binary(op, left, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_if(&TokenKind::Minus) {
+            // constant-fold negative literals, otherwise 0 - expr
+            return Ok(match self.unary()? {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
+                other => Expr::binary(BinOp::Sub, Expr::Literal(Literal::Int(0)), other),
+            });
+        }
+        if self.eat_if(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Keyword(kw) if agg_func(kw).is_some() => {
+                self.bump();
+                let func = agg_func(kw).unwrap();
+                self.expect(TokenKind::LParen)?;
+                if self.eat_if(&TokenKind::Star) {
+                    self.expect(TokenKind::RParen)?;
+                    if func != AggFunc::Count {
+                        return Err(SqlError::parse(
+                            self.offset(),
+                            "only COUNT may take * as an argument",
+                        ));
+                    }
+                    return Ok(Expr::Agg { func, arg: None, distinct: false });
+                }
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let arg = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct })
+            }
+            TokenKind::Ident(first) => {
+                self.bump();
+                if self.eat_if(&TokenKind::Dot) {
+                    let column = self.ident()?;
+                    Ok(Expr::Column(ColumnRef::qualified(first, column)))
+                } else {
+                    Ok(Expr::Column(ColumnRef::bare(first)))
+                }
+            }
+            other => Err(SqlError::parse(
+                self.offset(),
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+fn agg_func(kw: Keyword) -> Option<AggFunc> {
+    Some(match kw {
+        Keyword::Count => AggFunc::Count,
+        Keyword::Sum => AggFunc::Sum,
+        Keyword::Avg => AggFunc::Avg,
+        Keyword::Min => AggFunc::Min,
+        Keyword::Max => AggFunc::Max,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let s = parse_select("SELECT ra FROM photoobj").unwrap();
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.items.len(), 1);
+        assert!(s.where_clause.is_none());
+    }
+
+    #[test]
+    fn parse_star_and_qualified_star() {
+        let s = parse_select("SELECT *, p.* FROM photoobj p").unwrap();
+        assert_eq!(s.items[0], SelectItem::Wildcard);
+        assert_eq!(s.items[1], SelectItem::QualifiedWildcard("p".into()));
+    }
+
+    #[test]
+    fn parse_where_with_precedence() {
+        let s = parse_select("SELECT ra FROM p WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        // OR at top, AND binds tighter
+        match s.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse_select("SELECT a + b * c FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_like_isnull() {
+        let s = parse_select(
+            "SELECT x FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1,2,3) \
+             AND c LIKE 'gal%' AND d IS NOT NULL AND e NOT IN (4)",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 5);
+    }
+
+    #[test]
+    fn join_normalized_into_where() {
+        let s = parse_select(
+            "SELECT p.ra FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 0.1",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 2);
+        let w = s.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn inner_join_keyword() {
+        let s = parse_select("SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.y").unwrap();
+        assert_eq!(s.from.len(), 2);
+    }
+
+    #[test]
+    fn left_join_rejected() {
+        assert!(parse_select("SELECT a FROM t1 LEFT JOIN t2 ON t1.x = t2.y").is_err());
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = parse_select(
+            "SELECT type, COUNT(*) FROM photoobj GROUP BY type ORDER BY type DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = parse_select("SELECT COUNT(*), AVG(z), SUM(DISTINCT x) FROM t").unwrap();
+        assert_eq!(s.items.len(), 3);
+        match &s.items[2] {
+            SelectItem::Expr { expr: Expr::Agg { distinct, .. }, .. } => assert!(distinct),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse_select("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = parse_select("SELECT x FROM t WHERE a > -5").unwrap();
+        match s.where_clause.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert_eq!(*right, Expr::Literal(Literal::Int(-5)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        let s = parse_select("SELECT p.ra AS alpha, dec delta FROM photoobj AS p").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("alpha")),
+            _ => panic!(),
+        }
+        match &s.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("delta")),
+            _ => panic!(),
+        }
+        assert_eq!(s.from[0].alias.as_deref(), Some("p"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        // 'banana' parses as a table alias; 'extra' is trailing input
+        assert!(parse_select("SELECT a FROM t banana extra").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_after_alias_rejected() {
+        assert!(parse_select("SELECT a FROM t x y").is_err());
+    }
+
+    #[test]
+    fn parse_script_splits_statements() {
+        let v = parse_script("SELECT a FROM t; SELECT b FROM u;\n;SELECT c FROM w").unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn not_between() {
+        let s = parse_select("SELECT x FROM t WHERE a NOT BETWEEN 1 AND 2").unwrap();
+        match s.where_clause.unwrap() {
+            Expr::Between { negated, .. } => assert!(negated),
+            other => panic!("{other:?}"),
+        }
+    }
+}

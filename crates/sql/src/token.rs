@@ -1,0 +1,165 @@
+//! Token stream produced by the lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by the parser (case-insensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    As,
+    Join,
+    Inner,
+    Left,
+    Outer,
+    On,
+    Group,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Distinct,
+    Between,
+    In,
+    Is,
+    Null,
+    Like,
+    True,
+    False,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl Keyword {
+    /// Parse a keyword from an identifier, case-insensitively.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "AS" => As,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "OUTER" => Outer,
+            "ON" => On,
+            "GROUP" => Group,
+            "ORDER" => Order,
+            "BY" => By,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            "DISTINCT" => Distinct,
+            "BETWEEN" => Between,
+            "IN" => In,
+            "IS" => Is,
+            "NULL" => Null,
+            "LIKE" => Like,
+            "TRUE" => True,
+            "FALSE" => False,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub offset: usize,
+}
+
+/// The token kinds of our SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    /// Unquoted identifier, lower-cased (PostgreSQL folding).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::NotEq => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::LtEq => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::GtEq => write!(f, "`>=`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_case_insensitive() {
+        assert_eq!(Keyword::from_ident("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_ident("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_ident("photoobj"), None);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        assert_eq!(TokenKind::Comma.to_string(), "`,`");
+        assert_eq!(TokenKind::Ident("ra".into()).to_string(), "identifier `ra`");
+    }
+}

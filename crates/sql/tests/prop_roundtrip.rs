@@ -1,0 +1,149 @@
+//! Property test: pretty-printing a parsed statement and re-parsing it
+//! yields the identical AST (the rewriter depends on this).
+
+use parinda_sql::ast::*;
+use parinda_sql::parse_select;
+use proptest::prelude::*;
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Literal::Int),
+        (-1.0e6..1.0e6f64).prop_map(|f| Literal::Float((f * 100.0).round() / 100.0)),
+        "[a-z]{0,8}".prop_map(Literal::Str),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = ColumnRef> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(ColumnRef::bare),
+        ("[a-z][a-z0-9]{0,3}", "[a-z][a-z0-9_]{0,6}")
+            .prop_map(|(t, c)| ColumnRef::qualified(t, c)),
+    ]
+    .prop_filter("avoid keywords", |c| {
+        let kw = |s: &str| parinda_sql::token::Keyword::from_ident(s).is_some();
+        !kw(&c.column) && c.table.as_deref().map(|t| !kw(t)).unwrap_or(true)
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::Literal),
+        column_strategy().prop_map(Expr::Column),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Eq),
+                    Just(BinOp::NotEq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::LtEq),
+                    Just(BinOp::Gt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), literal_strategy(), literal_strategy(), any::<bool>()).prop_map(
+                |(e, lo, hi, neg)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(Expr::Literal(lo)),
+                    high: Box::new(Expr::Literal(hi)),
+                    negated: neg,
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec(literal_strategy().prop_map(Expr::Literal), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, neg)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: neg,
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, neg)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: neg,
+            }),
+            (inner, "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, pat, neg)| Expr::Like {
+                expr: Box::new(e),
+                pattern: pat,
+                negated: neg,
+            }),
+        ]
+    })
+}
+
+fn select_strategy() -> impl Strategy<Value = Select> {
+    (
+        prop::collection::vec(
+            (expr_strategy(), prop::option::of("[a-z][a-z0-9]{0,5}")).prop_filter(
+                "avoid keyword aliases",
+                |(_, a)| {
+                    a.as_deref()
+                        .map(|x| parinda_sql::token::Keyword::from_ident(x).is_none())
+                        .unwrap_or(true)
+                },
+            ),
+            1..4,
+        ),
+        prop::collection::vec(
+            ("[a-z][a-z0-9]{0,5}", prop::option::of("[a-z][a-z0-9]{0,3}")).prop_filter(
+                "avoid keyword table names",
+                |(n, a)| {
+                    parinda_sql::token::Keyword::from_ident(n).is_none()
+                        && a.as_deref()
+                            .map(|x| parinda_sql::token::Keyword::from_ident(x).is_none())
+                            .unwrap_or(true)
+                },
+            ),
+            1..3,
+        ),
+        prop::option::of(expr_strategy()),
+        any::<bool>(),
+        prop::option::of(0u64..1000),
+    )
+        .prop_map(|(items, from, where_clause, distinct, limit)| Select {
+            distinct,
+            items: items
+                .into_iter()
+                .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                .collect(),
+            from: from
+                .into_iter()
+                .map(|(name, alias)| TableRef { name, alias })
+                .collect(),
+            where_clause,
+            group_by: vec![],
+            order_by: vec![],
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(sel in select_strategy()) {
+        let printed = sel.to_string();
+        let reparsed = parse_select(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nsql: {printed}")))?;
+        prop_assert_eq!(sel, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn printing_is_deterministic(sel in select_strategy()) {
+        prop_assert_eq!(sel.to_string(), sel.to_string());
+    }
+}

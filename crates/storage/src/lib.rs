@@ -1,0 +1,23 @@
+//! # parinda-storage
+//!
+//! Storage-engine substrate: byte-exact heap tuples and pages (PostgreSQL
+//! 8.3 layout), append-only heap files, bulk-loaded B-tree indexes with
+//! measured page counts, and a [`Database`] that binds them to catalog
+//! objects.
+//!
+//! PARINDA's pitch is that simulating a design feature is orders of
+//! magnitude cheaper than building it; this crate is the "building it"
+//! side of that comparison (experiment E2) and the ground truth for the
+//! Equation-1 accuracy experiment (E5).
+
+#![allow(missing_docs)]
+
+pub mod btree;
+pub mod database;
+pub mod heap;
+pub mod tuple;
+
+pub use btree::{key_cmp, BTree, Entry};
+pub use database::Database;
+pub use heap::{HeapError, HeapFile, Tid};
+pub use tuple::{index_entry_size, tuple_disk_size};

@@ -1,0 +1,125 @@
+//! Byte-exact heap tuple encoding, following PostgreSQL 8.3's layout:
+//! a 23-byte header, an optional null bitmap, alignment padding before
+//! each attribute, and MAXALIGN padding at the end.
+//!
+//! The encoder exists so that "materializing" a design feature in the
+//! substrate produces *real* page counts to compare against the what-if
+//! estimates (experiment E5 and the interactive scenario's plan
+//! verification).
+
+use parinda_catalog::layout::{HEAP_TUPLE_HEADER, MAX_ALIGN};
+use parinda_catalog::{Column, Datum, SqlType};
+
+/// Encode a row into its on-disk byte length (we do not store actual bytes
+/// beyond what sizing needs, but the arithmetic is exact per value).
+///
+/// Returns `None` if the row arity does not match the schema.
+pub fn tuple_disk_size(columns: &[Column], row: &[Datum]) -> Option<usize> {
+    if columns.len() != row.len() {
+        return None;
+    }
+    let has_nullable = columns.iter().any(|c| c.nullable) || row.iter().any(|d| d.is_null());
+    let bitmap = if has_nullable { columns.len().div_ceil(8) } else { 0 };
+    let mut size = MAX_ALIGN.align_up(HEAP_TUPLE_HEADER + bitmap);
+    for (c, d) in columns.iter().zip(row) {
+        if d.is_null() {
+            continue; // nulls occupy no data space
+        }
+        size = c.ty.align().align_up(size);
+        size += d.stored_size(c.ty);
+    }
+    Some(MAX_ALIGN.align_up(size))
+}
+
+/// Size of one B-tree index entry for `row`'s key values: the paper's
+/// per-row overhead `o` plus the aligned key columns.
+pub fn index_entry_size(key_columns: &[Column], key: &[Datum]) -> Option<usize> {
+    if key_columns.len() != key.len() {
+        return None;
+    }
+    let mut size = parinda_catalog::layout::INDEX_ROW_OVERHEAD;
+    for (c, d) in key_columns.iter().zip(key) {
+        size = c.ty.align().align_up(size);
+        size += if d.is_null() { 0 } else { d.stored_size(c.ty) };
+    }
+    Some(MAX_ALIGN.align_up(size))
+}
+
+/// Validate that a datum is storable under the given type (used by loaders
+/// to fail fast on generator bugs).
+pub fn datum_matches_type(d: &Datum, ty: SqlType) -> bool {
+    matches!(
+        (d, ty),
+        (Datum::Null, _)
+            | (Datum::Bool(_), SqlType::Bool)
+            | (Datum::Int(_), SqlType::Int2 | SqlType::Int4 | SqlType::Int8)
+            | (Datum::Int(_), SqlType::Date | SqlType::Timestamp)
+            | (Datum::Float(_), SqlType::Float4 | SqlType::Float8)
+            | (Datum::Str(_), SqlType::Text | SqlType::VarChar(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(name: &str, ty: SqlType) -> Column {
+        Column::new(name, ty).not_null()
+    }
+
+    #[test]
+    fn fixed_width_tuple_size() {
+        // header 23 -> 24; int8 (8) + int4 (4) = 36 -> MAXALIGN 40
+        let cols = vec![col("a", SqlType::Int8), col("b", SqlType::Int4)];
+        let row = vec![Datum::Int(1), Datum::Int(2)];
+        assert_eq!(tuple_disk_size(&cols, &row), Some(40));
+    }
+
+    #[test]
+    fn padding_before_wide_column() {
+        // bool at 24, padding to 32 for int8, then 8 -> 40
+        let cols = vec![col("f", SqlType::Bool), col("a", SqlType::Int8)];
+        let row = vec![Datum::Bool(true), Datum::Int(1)];
+        assert_eq!(tuple_disk_size(&cols, &row), Some(40));
+    }
+
+    #[test]
+    fn null_values_take_no_space_but_force_bitmap() {
+        let cols = vec![
+            Column::new("a", SqlType::Int8),
+            Column::new("b", SqlType::Int8),
+        ];
+        let full = tuple_disk_size(&cols, &[Datum::Int(1), Datum::Int(2)]).unwrap();
+        let with_null = tuple_disk_size(&cols, &[Datum::Int(1), Datum::Null]).unwrap();
+        assert!(with_null < full);
+    }
+
+    #[test]
+    fn arity_mismatch_is_none() {
+        let cols = vec![col("a", SqlType::Int4)];
+        assert_eq!(tuple_disk_size(&cols, &[]), None);
+    }
+
+    #[test]
+    fn string_size_depends_on_length() {
+        let cols = vec![col("s", SqlType::Text)];
+        let short = tuple_disk_size(&cols, &[Datum::Str("ab".into())]).unwrap();
+        let long = tuple_disk_size(&cols, &[Datum::Str("x".repeat(100))]).unwrap();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn index_entry_has_row_overhead() {
+        let cols = vec![col("a", SqlType::Int8)];
+        // 24 overhead + 8 key = 32
+        assert_eq!(index_entry_size(&cols, &[Datum::Int(5)]), Some(32));
+    }
+
+    #[test]
+    fn datum_type_checks() {
+        assert!(datum_matches_type(&Datum::Int(1), SqlType::Int4));
+        assert!(datum_matches_type(&Datum::Null, SqlType::Float8));
+        assert!(!datum_matches_type(&Datum::Str("x".into()), SqlType::Int4));
+        assert!(!datum_matches_type(&Datum::Float(1.0), SqlType::Int8));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the B-tree must agree with a `BTreeMap`-based oracle on
+//! equality and range probes, and page accounting must be monotone.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use parinda_catalog::{Column, Datum, SqlType};
+use parinda_storage::{BTree, Entry, Tid};
+use proptest::prelude::*;
+
+fn entries_strategy() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-200i64..200, 0..300)
+}
+
+fn build(keys: &[i64]) -> (BTree, BTreeMap<i64, Vec<Tid>>) {
+    let cols = vec![Column::new("k", SqlType::Int8).not_null()];
+    let entries: Vec<Entry> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| Entry {
+            key: vec![Datum::Int(k)],
+            tid: Tid { page: (i / 100) as u32, slot: (i % 100) as u16 },
+        })
+        .collect();
+    let mut oracle: BTreeMap<i64, Vec<Tid>> = BTreeMap::new();
+    for e in &entries {
+        oracle
+            .entry(e.key[0].as_i64().unwrap())
+            .or_default()
+            .push(e.tid);
+    }
+    (BTree::build(cols, entries), oracle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn search_eq_matches_oracle(keys in entries_strategy(), probe in -250i64..250) {
+        let (tree, oracle) = build(&keys);
+        let mut got = tree.search_eq(&[Datum::Int(probe)]);
+        got.sort();
+        let mut want = oracle.get(&probe).cloned().unwrap_or_default();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_matches_oracle(
+        keys in entries_strategy(),
+        lo in -250i64..250,
+        span in 0i64..100,
+        lo_incl in any::<bool>(),
+        hi_incl in any::<bool>(),
+    ) {
+        let hi = lo + span;
+        let (tree, oracle) = build(&keys);
+        let lo_key = [Datum::Int(lo)];
+        let hi_key = [Datum::Int(hi)];
+        let got: Vec<Tid> = tree.range(
+            if lo_incl { Bound::Included(&lo_key[..]) } else { Bound::Excluded(&lo_key[..]) },
+            if hi_incl { Bound::Included(&hi_key[..]) } else { Bound::Excluded(&hi_key[..]) },
+        );
+        // std's BTreeMap panics on (Excluded(x), Excluded(x)); that range
+        // is empty by definition
+        let mut want: Vec<Tid> = if lo == hi && !lo_incl && !hi_incl {
+            Vec::new()
+        } else {
+            oracle
+                .range((
+                    if lo_incl { Bound::Included(lo) } else { Bound::Excluded(lo) },
+                    if hi_incl { Bound::Included(hi) } else { Bound::Excluded(hi) },
+                ))
+                .flat_map(|(_, tids)| tids.iter().copied())
+                .collect()
+        };
+        want.sort();
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        prop_assert_eq!(got_sorted, want);
+    }
+
+    #[test]
+    fn unbounded_range_returns_everything(keys in entries_strategy()) {
+        let (tree, _) = build(&keys);
+        prop_assert_eq!(tree.range(Bound::Unbounded, Bound::Unbounded).len(), keys.len());
+    }
+
+    #[test]
+    fn more_entries_never_fewer_pages(keys in entries_strategy()) {
+        let (small, _) = build(&keys);
+        let mut more = keys.clone();
+        more.extend_from_slice(&keys);
+        let (big, _) = build(&more);
+        prop_assert!(big.leaf_pages() >= small.leaf_pages());
+        prop_assert!(big.total_pages() >= small.total_pages());
+        prop_assert!(big.height() >= small.height());
+    }
+}

@@ -1,0 +1,179 @@
+//! The what-if index component (paper §3.2).
+//!
+//! "The component expects the what-if index definitions along with the
+//! query on which the indexes are used as input. Then it computes the
+//! number of pages for the indexes" with Equation 1:
+//!
+//! ```text
+//! Pages = ceil( (o + Σ_{c ∈ I} (size(c) + align(c))) · R / B )
+//! ```
+//!
+//! with o = 24 (row overhead incl. the heap pointer), B = 8192, `size(c)`
+//! the average column size from the statistics, and `align(c)` the
+//! alignment padding dictated by the columns before `c`. Only leaf pages
+//! are computed; "the internal pages … affect the relative page sizes only
+//! on very small indexes". Histogram statistics are *not* recomputed — the
+//! optimizer derives them from the base table, so the overlay simply lets
+//! base-table statistics shine through.
+
+use parinda_catalog::{Index, IndexId, MetadataProvider};
+
+use crate::overlay::HypotheticalCatalog;
+
+/// Definition of a hypothetical index, by names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WhatIfIndex {
+    /// Index name (must not collide with a real index for clarity of
+    /// EXPLAIN output; not enforced).
+    pub name: String,
+    /// Table the index is defined on.
+    pub table: String,
+    /// Key columns, outermost first.
+    pub columns: Vec<String>,
+}
+
+impl WhatIfIndex {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        table: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        WhatIfIndex {
+            name: name.into(),
+            table: table.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// A canonical auto-generated name for advisor-produced candidates.
+    pub fn canonical_name(table: &str, columns: &[String]) -> String {
+        format!("whatif_{}_{}", table, columns.join("_"))
+    }
+}
+
+/// Errors adding what-if features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhatIfError {
+    UnknownTable(String),
+    UnknownColumn { table: String, column: String },
+    UnknownIndex(String),
+    EmptyColumnList,
+}
+
+impl std::fmt::Display for WhatIfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhatIfError::UnknownTable(t) => write!(f, "what-if feature on unknown table {t}"),
+            WhatIfError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            WhatIfError::UnknownIndex(i) => write!(f, "cannot drop unknown index {i}"),
+            WhatIfError::EmptyColumnList => write!(f, "what-if index needs at least one column"),
+        }
+    }
+}
+
+impl std::error::Error for WhatIfError {}
+
+/// Simulate `def` in the overlay: size it with Equation 1 and register it
+/// so the planner sees it. Returns the hypothetical index id.
+pub fn simulate_index(
+    overlay: &mut HypotheticalCatalog<'_>,
+    def: &WhatIfIndex,
+) -> Result<IndexId, WhatIfError> {
+    if def.columns.is_empty() {
+        return Err(WhatIfError::EmptyColumnList);
+    }
+    let table = overlay
+        .table_by_name(&def.table)
+        .ok_or_else(|| WhatIfError::UnknownTable(def.table.clone()))?
+        .clone();
+    let cols: Vec<&str> = def.columns.iter().map(|s| s.as_str()).collect();
+    for c in &cols {
+        if table.column_index(c).is_none() {
+            return Err(WhatIfError::UnknownColumn {
+                table: def.table.clone(),
+                column: c.to_string(),
+            });
+        }
+    }
+    // Index::new applies Equation 1 (see parinda_catalog::layout).
+    let idx = Index::new(IndexId(0), def.name.clone(), &table, &cols)
+        .expect("columns validated above")
+        .hypothetical();
+    Ok(overlay.add_hypo_index(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{layout, Catalog, Column, SqlType};
+
+    fn base() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "photoobj",
+            vec![
+                Column::new("objid", SqlType::Int8).not_null(),
+                Column::new("ra", SqlType::Float8).not_null(),
+                Column::new("dec", SqlType::Float8).not_null(),
+                Column::new("flag", SqlType::Bool).not_null(),
+            ],
+            1_000_000,
+        );
+        c
+    }
+
+    #[test]
+    fn simulated_index_gets_equation1_pages() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        let id = simulate_index(&mut o, &WhatIfIndex::new("w_ra", "photoobj", &["ra"])).unwrap();
+        let idx = o.hypo_index(id).unwrap();
+        let cols = vec![Column::new("ra", SqlType::Float8).not_null()];
+        assert_eq!(idx.pages, layout::index_leaf_pages(1_000_000, &cols));
+        assert!(idx.hypothetical);
+    }
+
+    #[test]
+    fn alignment_affects_size() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        // (flag, ra): bool then float8 -> 7 bytes padding per entry
+        let id1 =
+            simulate_index(&mut o, &WhatIfIndex::new("w1", "photoobj", &["flag", "ra"])).unwrap();
+        // (ra, flag): no padding
+        let id2 =
+            simulate_index(&mut o, &WhatIfIndex::new("w2", "photoobj", &["ra", "flag"])).unwrap();
+        let p1 = o.hypo_index(id1).unwrap().pages;
+        let p2 = o.hypo_index(id2).unwrap().pages;
+        assert!(p1 > p2, "padding should cost pages: {p1} vs {p2}");
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        assert!(matches!(
+            simulate_index(&mut o, &WhatIfIndex::new("w", "nope", &["ra"])),
+            Err(WhatIfError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            simulate_index(&mut o, &WhatIfIndex::new("w", "photoobj", &["nope"])),
+            Err(WhatIfError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            simulate_index(&mut o, &WhatIfIndex::new("w", "photoobj", &[])),
+            Err(WhatIfError::EmptyColumnList)
+        ));
+    }
+
+    #[test]
+    fn canonical_names_are_stable() {
+        assert_eq!(
+            WhatIfIndex::canonical_name("t", &["a".into(), "b".into()]),
+            "whatif_t_a_b"
+        );
+    }
+}

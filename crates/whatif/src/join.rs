@@ -1,0 +1,52 @@
+//! The what-if join component (paper §3.2): control over the join methods
+//! available to the planner.
+//!
+//! "INUM caches two plans for each scenario — one with nested-loop enabled
+//! and one with nested-loop disabled. We enable and disable the nested-loop
+//! join method using the flags offered by the optimizer."
+
+use parinda_optimizer::PlannerFlags;
+
+/// The two planner configurations INUM caches per scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinScenario {
+    /// Nested-loop joins allowed (PostgreSQL default).
+    NestLoopOn,
+    /// Nested-loop joins disabled.
+    NestLoopOff,
+}
+
+impl JoinScenario {
+    /// Both scenarios, in the order INUM enumerates them.
+    pub const ALL: [JoinScenario; 2] = [JoinScenario::NestLoopOn, JoinScenario::NestLoopOff];
+
+    /// Planner flags realizing this scenario on top of `base` flags.
+    pub fn flags(self, base: PlannerFlags) -> PlannerFlags {
+        PlannerFlags {
+            enable_nestloop: matches!(self, JoinScenario::NestLoopOn),
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_toggle_only_nestloop() {
+        let base = PlannerFlags::default();
+        let on = JoinScenario::NestLoopOn.flags(base);
+        let off = JoinScenario::NestLoopOff.flags(base);
+        assert!(on.enable_nestloop);
+        assert!(!off.enable_nestloop);
+        assert_eq!(on.enable_hashjoin, off.enable_hashjoin);
+        assert_eq!(on.enable_seqscan, off.enable_seqscan);
+    }
+
+    #[test]
+    fn all_lists_both() {
+        assert_eq!(JoinScenario::ALL.len(), 2);
+        assert_ne!(JoinScenario::ALL[0], JoinScenario::ALL[1]);
+    }
+}

@@ -1,0 +1,188 @@
+//! # parinda-whatif
+//!
+//! The paper's core contribution (§3.2): what-if physical design features.
+//! Hypothetical indexes are sized with Equation 1, hypothetical partition
+//! tables carry copied statistics, and join-method control produces the
+//! flag pairs INUM caches. All of it is layered over the real catalog by
+//! [`HypotheticalCatalog`], this substrate's planner hook: the optimizer
+//! "cannot differentiate between the real design features and the what-if
+//! ones" because it only ever sees statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use parinda_catalog::{Catalog, Column, SqlType};
+//! use parinda_whatif::{simulate_index, HypotheticalCatalog, WhatIfIndex};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.create_table(
+//!     "obs",
+//!     vec![Column::new("ra", SqlType::Float8).not_null()],
+//!     1_000_000,
+//! );
+//!
+//! let mut overlay = HypotheticalCatalog::new(&catalog);
+//! let id = simulate_index(&mut overlay, &WhatIfIndex::new("w_ra", "obs", &["ra"]))?;
+//! // sized with Equation 1, never built:
+//! assert!(overlay.hypo_index(id).unwrap().pages > 0);
+//! # Ok::<(), parinda_whatif::WhatIfError>(())
+//! ```
+
+#![allow(missing_docs)]
+
+pub mod index;
+pub mod join;
+pub mod overlay;
+pub mod table;
+
+pub use index::{simulate_index, WhatIfError, WhatIfIndex};
+pub use join::JoinScenario;
+pub use overlay::HypotheticalCatalog;
+pub use table::{simulate_partition, WhatIfPartition};
+
+/// A full hypothetical design: the unit the interactive component
+/// evaluates (paper §4, scenario 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Design {
+    pub indexes: Vec<WhatIfIndex>,
+    pub partitions: Vec<WhatIfPartition>,
+    /// Real indexes to simulate *dropping* (by name).
+    pub drop_indexes: Vec<String>,
+}
+
+impl Design {
+    /// An empty design (evaluates to the original physical design).
+    pub fn new() -> Self {
+        Design::default()
+    }
+
+    /// Builder: add a what-if index.
+    pub fn with_index(mut self, idx: WhatIfIndex) -> Self {
+        self.indexes.push(idx);
+        self
+    }
+
+    /// Builder: add a what-if partition.
+    pub fn with_partition(mut self, p: WhatIfPartition) -> Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Builder: simulate dropping an existing index.
+    pub fn with_drop(mut self, index_name: impl Into<String>) -> Self {
+        self.drop_indexes.push(index_name.into());
+        self
+    }
+
+    /// Apply the whole design to a fresh overlay over `base`.
+    pub fn apply<'a>(
+        &self,
+        base: &'a parinda_catalog::Catalog,
+    ) -> Result<HypotheticalCatalog<'a>, WhatIfError> {
+        let mut overlay = HypotheticalCatalog::new(base);
+        for name in &self.drop_indexes {
+            let idx = base
+                .index_by_name(name)
+                .ok_or_else(|| WhatIfError::UnknownIndex(name.clone()))?;
+            overlay.mask_index(idx.id);
+        }
+        for p in &self.partitions {
+            simulate_partition(&mut overlay, p)?;
+        }
+        for i in &self.indexes {
+            simulate_index(&mut overlay, i)?;
+        }
+        Ok(overlay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{Catalog, Column, SqlType};
+
+    #[test]
+    fn design_applies_all_features() {
+        let mut c = Catalog::new();
+        let t = c.create_table(
+            "obj",
+            vec![
+                Column::new("id", SqlType::Int8).not_null(),
+                Column::new("a", SqlType::Float8).not_null(),
+                Column::new("b", SqlType::Float8).not_null(),
+            ],
+            10_000,
+        );
+        c.table_mut(t).unwrap().primary_key = vec![0];
+
+        let design = Design::new()
+            .with_index(WhatIfIndex::new("w_a", "obj", &["a"]))
+            .with_partition(WhatIfPartition::new("obj_p1", "obj", &["b"]));
+        let overlay = design.apply(&c).unwrap();
+        assert_eq!(overlay.hypo_indexes().len(), 1);
+        assert_eq!(overlay.hypo_tables().len(), 1);
+        assert!(overlay.hypothetical_bytes() > 0);
+    }
+
+    #[test]
+    fn bad_design_surfaces_error() {
+        let c = Catalog::new();
+        let design = Design::new().with_index(WhatIfIndex::new("w", "ghost", &["x"]));
+        assert!(design.apply(&c).is_err());
+    }
+
+    #[test]
+    fn index_on_whatif_partition_composes() {
+        use parinda_catalog::MetadataProvider;
+        // the interactive scenario lets the DBA stack features: a what-if
+        // index *on* a what-if partition must work (partitions are applied
+        // before indexes in Design::apply)
+        let mut c = Catalog::new();
+        let t = c.create_table(
+            "obj",
+            vec![
+                Column::new("id", SqlType::Int8).not_null(),
+                Column::new("a", SqlType::Float8).not_null(),
+                Column::new("b", SqlType::Float8).not_null(),
+            ],
+            500_000,
+        );
+        c.table_mut(t).unwrap().primary_key = vec![0];
+        let design = Design::new()
+            .with_partition(WhatIfPartition::new("obj_p1", "obj", &["a"]))
+            .with_index(WhatIfIndex::new("w_p1_a", "obj_p1", &["a"]));
+        let overlay = design.apply(&c).unwrap();
+        let frag = overlay.table_by_name("obj_p1").unwrap().id;
+        assert_eq!(overlay.indexes_on(frag).len(), 1);
+        let idx = &overlay.indexes_on(frag)[0];
+        assert!(idx.hypothetical);
+        assert_eq!(idx.pages, {
+            use parinda_catalog::layout::index_leaf_pages;
+            index_leaf_pages(500_000, &[Column::new("a", SqlType::Float8).not_null()])
+        });
+    }
+
+    #[test]
+    fn drop_design_masks_real_index() {
+        use parinda_catalog::MetadataProvider;
+        let mut c = Catalog::new();
+        let t = c.create_table(
+            "obj",
+            vec![Column::new("id", SqlType::Int8).not_null()],
+            1000,
+        );
+        c.create_index("i_id", "obj", &["id"]).unwrap();
+        let overlay = Design::new().with_drop("i_id").apply(&c).unwrap();
+        assert!(overlay.indexes_on(t).is_empty());
+        assert_eq!(c.indexes_on(t).len(), 1, "base catalog untouched");
+    }
+
+    #[test]
+    fn dropping_unknown_index_errors() {
+        let c = Catalog::new();
+        assert!(matches!(
+            Design::new().with_drop("ghost").apply(&c),
+            Err(WhatIfError::UnknownIndex(_))
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+//! The hypothetical catalog overlay — this substrate's planner hook.
+//!
+//! PostgreSQL lets PARINDA replace planner hook functions so that "newly
+//! inserted data regarding the what-if indexes and what-if tables" appears
+//! in the list of physical design features (paper §3.1). Here the planner
+//! reads metadata through [`MetadataProvider`], so the overlay simply
+//! implements that trait: base catalog objects shine through, hypothetical
+//! indexes/tables are added, and real indexes can be masked to simulate
+//! dropping them.
+
+use std::collections::{HashMap, HashSet};
+
+use parinda_catalog::{
+    Catalog, ColumnStats, Index, IndexId, MetadataProvider, Table, TableId,
+};
+
+/// A catalog view with simulated physical-design changes layered on top.
+#[derive(Debug, Clone)]
+pub struct HypotheticalCatalog<'a> {
+    base: &'a Catalog,
+    hypo_tables: Vec<Table>,
+    hypo_indexes: Vec<Index>,
+    hypo_stats: HashMap<(TableId, usize), ColumnStats>,
+    masked_indexes: HashSet<IndexId>,
+    by_name: HashMap<String, TableId>,
+    next_table: u32,
+    next_index: u32,
+}
+
+impl<'a> HypotheticalCatalog<'a> {
+    /// Start an overlay over `base` with no simulated changes.
+    pub fn new(base: &'a Catalog) -> Self {
+        HypotheticalCatalog {
+            base,
+            hypo_tables: Vec::new(),
+            hypo_indexes: Vec::new(),
+            hypo_stats: HashMap::new(),
+            masked_indexes: HashSet::new(),
+            by_name: HashMap::new(),
+            next_table: base.next_table_id().0,
+            next_index: base.next_index_id().0,
+        }
+    }
+
+    /// The base catalog under the overlay.
+    pub fn base(&self) -> &Catalog {
+        self.base
+    }
+
+    /// Add a hypothetical table (used for partition simulation). Returns
+    /// its id in the overlay's id space.
+    pub fn add_hypo_table(&mut self, mut table: Table) -> TableId {
+        let id = TableId(self.next_table);
+        self.next_table += 1;
+        table.id = id;
+        self.by_name.insert(table.name.clone(), id);
+        self.hypo_tables.push(table);
+        id
+    }
+
+    /// Add a hypothetical index. Returns its overlay id.
+    pub fn add_hypo_index(&mut self, mut index: Index) -> IndexId {
+        let id = IndexId(self.next_index);
+        self.next_index += 1;
+        index.id = id;
+        index.hypothetical = true;
+        self.hypo_indexes.push(index);
+        id
+    }
+
+    /// Inject statistics for a (possibly hypothetical) table column.
+    pub fn set_hypo_stats(&mut self, table: TableId, column: usize, stats: ColumnStats) {
+        self.hypo_stats.insert((table, column), stats);
+    }
+
+    /// Simulate dropping a real index.
+    pub fn mask_index(&mut self, id: IndexId) {
+        self.masked_indexes.insert(id);
+    }
+
+    /// All hypothetical indexes added so far.
+    pub fn hypo_indexes(&self) -> &[Index] {
+        &self.hypo_indexes
+    }
+
+    /// All hypothetical tables added so far.
+    pub fn hypo_tables(&self) -> &[Table] {
+        &self.hypo_tables
+    }
+
+    /// Total extra bytes the simulated features would occupy on disk —
+    /// what the advisor's space constraint is checked against.
+    pub fn hypothetical_bytes(&self) -> u64 {
+        let idx: u64 = self.hypo_indexes.iter().map(|i| i.size_bytes()).sum();
+        let tbl: u64 = self
+            .hypo_tables
+            .iter()
+            .map(|t| t.pages * parinda_catalog::layout::PAGE_SIZE as u64)
+            .sum();
+        idx + tbl
+    }
+
+    /// Look up a hypothetical index by id.
+    pub fn hypo_index(&self, id: IndexId) -> Option<&Index> {
+        self.hypo_indexes.iter().find(|i| i.id == id)
+    }
+}
+
+impl MetadataProvider for HypotheticalCatalog<'_> {
+    fn table_by_name(&self, name: &str) -> Option<&Table> {
+        let lower = name.to_ascii_lowercase();
+        if let Some(id) = self.by_name.get(&lower) {
+            return self.hypo_tables.iter().find(|t| t.id == *id);
+        }
+        self.base.table_by_name(&lower)
+    }
+
+    fn table(&self, id: TableId) -> Option<&Table> {
+        self.hypo_tables
+            .iter()
+            .find(|t| t.id == id)
+            .or_else(|| self.base.table(id))
+    }
+
+    fn indexes_on(&self, table: TableId) -> Vec<&Index> {
+        let mut out: Vec<&Index> = self
+            .base
+            .indexes_on(table)
+            .into_iter()
+            .filter(|i| !self.masked_indexes.contains(&i.id))
+            .collect();
+        out.extend(self.hypo_indexes.iter().filter(|i| i.table == table));
+        out
+    }
+
+    fn column_stats(&self, table: TableId, column_idx: usize) -> Option<&ColumnStats> {
+        self.hypo_stats
+            .get(&(table, column_idx))
+            .or_else(|| self.base.column_stats(table, column_idx))
+    }
+
+    fn all_tables(&self) -> Vec<&Table> {
+        let mut out = self.base.all_tables();
+        out.extend(self.hypo_tables.iter());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parinda_catalog::{Column, SqlType};
+
+    fn base() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "photoobj",
+            vec![
+                Column::new("objid", SqlType::Int8).not_null(),
+                Column::new("ra", SqlType::Float8).not_null(),
+            ],
+            100_000,
+        );
+        c.create_index("i_real", "photoobj", &["objid"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn base_objects_visible_through_overlay() {
+        let c = base();
+        let o = HypotheticalCatalog::new(&c);
+        assert!(o.table_by_name("photoobj").is_some());
+        let t = o.table_by_name("photoobj").unwrap().id;
+        assert_eq!(o.indexes_on(t).len(), 1);
+    }
+
+    #[test]
+    fn hypo_index_appears_without_mutating_base() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        let t = c.table_by_name("photoobj").unwrap();
+        let idx = Index::new(IndexId(0), "i_hypo_ra", t, &["ra"]).unwrap();
+        let id = o.add_hypo_index(idx);
+        assert_eq!(o.indexes_on(t.id).len(), 2);
+        assert!(o.hypo_index(id).unwrap().hypothetical);
+        // base unchanged
+        assert_eq!(c.indexes_on(t.id).len(), 1);
+    }
+
+    #[test]
+    fn overlay_ids_do_not_collide_with_base() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        let t = c.table_by_name("photoobj").unwrap();
+        let idx = Index::new(IndexId(0), "h", t, &["ra"]).unwrap();
+        let id = o.add_hypo_index(idx);
+        assert!(c.index(id).is_none(), "hypo id must not be a real id");
+    }
+
+    #[test]
+    fn mask_simulates_drop() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        let t = c.table_by_name("photoobj").unwrap().id;
+        let real = c.index_by_name("i_real").unwrap().id;
+        o.mask_index(real);
+        assert!(o.indexes_on(t).is_empty());
+    }
+
+    #[test]
+    fn hypo_table_lookup_by_name() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        let t = Table::new(
+            TableId(0),
+            "photoobj_p0",
+            vec![Column::new("objid", SqlType::Int8).not_null()],
+            100_000,
+        );
+        let id = o.add_hypo_table(t);
+        assert_eq!(o.table_by_name("photoobj_p0").unwrap().id, id);
+        assert!(c.table_by_name("photoobj_p0").is_none());
+        assert_eq!(o.all_tables().len(), 2);
+    }
+
+    #[test]
+    fn hypo_stats_shadow_base_stats() {
+        let mut c = base();
+        let t = c.table_by_name("photoobj").unwrap().id;
+        c.set_column_stats(t, 0, ColumnStats::unknown(8.0));
+        let mut o = HypotheticalCatalog::new(&c);
+        let mut s = ColumnStats::unknown(8.0);
+        s.null_frac = 0.5;
+        o.set_hypo_stats(t, 0, s);
+        assert_eq!(o.column_stats(t, 0).unwrap().null_frac, 0.5);
+        assert_eq!(c.column_stats(t, 0).unwrap().null_frac, 0.0);
+    }
+
+    #[test]
+    fn hypothetical_bytes_counts_features() {
+        let c = base();
+        let mut o = HypotheticalCatalog::new(&c);
+        assert_eq!(o.hypothetical_bytes(), 0);
+        let t = c.table_by_name("photoobj").unwrap();
+        let idx = Index::new(IndexId(0), "h", t, &["ra"]).unwrap();
+        o.add_hypo_index(idx);
+        assert!(o.hypothetical_bytes() > 0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Data and statistics generation for the synthetic SDSS instance.
+//!
+//! Two modes, matching the two scales:
+//!
+//! * **Statistics synthesis** (paper scale): attach realistic `pg_statistic`
+//!   rows directly, so the advisors exercise the identical code paths they
+//!   would over the real 150 GB sample — they only ever read statistics.
+//! * **Row generation** (laptop scale): seeded, reproducible rows loaded
+//!   into the storage engine so workloads can actually be executed.
+
+use parinda_catalog::{Catalog, ColumnStats, Datum, MetadataProvider, SqlType, TableId};
+use parinda_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sdss::{SdssTables, BANDS, BAND_QUANTITIES};
+
+/// Synthesize planner statistics for every column of the SDSS catalog
+/// without materializing any data.
+pub fn synthesize_stats(catalog: &mut Catalog, tables: &SdssTables) {
+    let specs: Vec<(TableId, u64)> = {
+        let ids = [
+            tables.photoobj,
+            tables.specobj,
+            tables.neighbors,
+            tables.field,
+            tables.photoz,
+        ];
+        ids.iter()
+            .map(|&t| (t, catalog.table(t).map(|x| x.row_count).unwrap_or(0)))
+            .collect()
+    };
+    for (tid, rows) in specs {
+        let table = catalog.table(tid).expect("sdss table").clone();
+        for (ci, col) in table.columns.iter().enumerate() {
+            let stats = column_stats_for(&table.name, &col.name, col.ty, rows);
+            catalog.set_column_stats(tid, ci, stats);
+        }
+    }
+}
+
+/// Plausible statistics for one SDSS column, keyed by naming conventions.
+fn column_stats_for(table: &str, column: &str, ty: SqlType, rows: u64) -> ColumnStats {
+    let rows_f = rows.max(1) as f64;
+    // identity columns: unique, physically clustered
+    if (column.ends_with("id") && !column.ends_with("fiberid")) || column == "obj" {
+        let unique = column == "objid" && table != "neighbors" && table != "photoz"
+            || column == "specobjid" && table == "specobj"
+            || column == "fieldid" && table == "field";
+        let nd = if unique { -1.0 } else { -0.5 };
+        return ColumnStats {
+            null_frac: 0.0,
+            n_distinct: nd,
+            avg_width: 8.0,
+            mcv: Vec::new(),
+            histogram: numeric_histogram(0.0, rows_f * 64.0, 100),
+            correlation: if unique { 1.0 } else { 0.3 },
+        };
+    }
+    match column {
+        "ra" | "l" => uniform_stats(0.0, 360.0, rows_f),
+        "dec" | "b" => uniform_stats(-90.0, 90.0, rows_f),
+        "raerr" | "decerr" => uniform_stats(0.0, 0.5, rows_f),
+        "cx" | "cy" | "cz" => uniform_stats(-1.0, 1.0, rows_f),
+        "z" => uniform_stats(0.0, if table == "specobj" { 5.0 } else { 1.2 }, rows_f),
+        "zerr" | "zconf" => uniform_stats(0.0, 1.0, rows_f),
+        "distance" => uniform_stats(0.0, 0.0083, rows_f), // 30 arcsec in degrees
+        "type" | "neighbortype" => categorical_stats(&[(3, 0.45), (6, 0.45), (0, 0.1)]),
+        "specclass" => categorical_stats(&[(2, 0.7), (1, 0.15), (3, 0.1), (0, 0.05)]),
+        "mode" | "neighbormode" => categorical_stats(&[(1, 0.85), (2, 0.15)]),
+        "skyversion" | "rerun" => categorical_stats(&[(1, 0.6), (0, 0.4)]),
+        "camcol" => categorical_stats(&[(1, 0.17), (2, 0.17), (3, 0.17), (4, 0.17), (5, 0.16), (6, 0.16)]),
+        "quality" => categorical_stats(&[(3, 0.6), (1, 0.2), (5, 0.2)]),
+        "zstatus" => categorical_stats(&[(4, 0.8), (3, 0.1), (0, 0.1)]),
+        "zwarning" | "insidemask" => categorical_stats(&[(0, 0.9), (1, 0.1)]),
+        "run" => int_range_stats(94, 8000, 600.0, rows_f),
+        "field" => int_range_stats(11, 1000, 900.0, rows_f),
+        "plate" => int_range_stats(266, 2000, 1700.0, rows_f),
+        "mjd" => int_range_stats(51_578, 53_520, 1900.0, rows_f),
+        "fiberid" => int_range_stats(1, 640, 640.0, rows_f),
+        "nchild" => categorical_stats(&[(0, 0.9), (1, 0.05), (2, 0.05)]),
+        "probpsf" => uniform_stats(0.0, 1.0, rows_f),
+        "flags" | "status" | "primtarget" | "sectarget" | "htmid" => ColumnStats {
+            null_frac: 0.0,
+            n_distinct: -0.2,
+            avg_width: 8.0,
+            mcv: Vec::new(),
+            histogram: numeric_histogram(0.0, 1.0e12, 100),
+            correlation: if column == "htmid" { 0.8 } else { 0.0 },
+        },
+        "veldisp" => uniform_stats(50.0, 420.0, rows_f),
+        "veldisperr" => uniform_stats(0.0, 60.0, rows_f),
+        "eclass" => uniform_stats(-0.4, 1.0, rows_f),
+        "psfwidth_r" => uniform_stats(0.8, 2.5, rows_f),
+        "sky_r" => uniform_stats(19.0, 22.5, rows_f),
+        "rowc" | "colc" => uniform_stats(0.0, 2048.0, rows_f),
+        "rowv" | "colv" => uniform_stats(-1.0, 1.0, rows_f),
+        "t" => uniform_stats(-0.5, 1.5, rows_f),
+        "terr" => uniform_stats(0.0, 0.5, rows_f),
+        _ => {
+            // photometric quantities: magnitudes ~ [12, 26], radii [0, 30],
+            // extinction [0, 1.5]
+            if column.starts_with("extinction") {
+                uniform_stats(0.0, 1.5, rows_f)
+            } else if column.starts_with("petrorad")
+                || column.starts_with("petror50")
+                || column.starts_with("devrad")
+                || column.starts_with("exprad")
+            {
+                uniform_stats(0.0, 30.0, rows_f)
+            } else if column.ends_with("err") || column.starts_with("sn_") {
+                uniform_stats(0.0, 2.0, rows_f)
+            } else if column.starts_with("ecoeff") {
+                uniform_stats(-30.0, 30.0, rows_f)
+            } else {
+                // magnitudes
+                uniform_stats(12.0, 26.0, rows_f)
+            }
+        }
+    }
+    .with_width(ty)
+}
+
+trait WithWidth {
+    fn with_width(self, ty: SqlType) -> ColumnStats;
+}
+
+impl WithWidth for ColumnStats {
+    fn with_width(mut self, ty: SqlType) -> ColumnStats {
+        if let Some(n) = ty.fixed_size() {
+            self.avg_width = n as f64;
+        }
+        self
+    }
+}
+
+fn numeric_histogram(lo: f64, hi: f64, buckets: usize) -> Vec<Datum> {
+    (0..=buckets)
+        .map(|i| Datum::Float(lo + (hi - lo) * i as f64 / buckets as f64))
+        .collect()
+}
+
+fn uniform_stats(lo: f64, hi: f64, _rows: f64) -> ColumnStats {
+    ColumnStats {
+        null_frac: 0.0,
+        n_distinct: -0.7,
+        avg_width: 8.0,
+        mcv: Vec::new(),
+        histogram: numeric_histogram(lo, hi, 100),
+        correlation: 0.05,
+    }
+}
+
+fn int_range_stats(lo: i64, hi: i64, nd: f64, _rows: f64) -> ColumnStats {
+    ColumnStats {
+        null_frac: 0.0,
+        n_distinct: nd,
+        avg_width: 4.0,
+        mcv: Vec::new(),
+        histogram: (0..=100)
+            .map(|i| Datum::Int(lo + (hi - lo) * i / 100))
+            .collect(),
+        correlation: 0.4,
+    }
+}
+
+fn categorical_stats(entries: &[(i64, f64)]) -> ColumnStats {
+    ColumnStats {
+        null_frac: 0.0,
+        n_distinct: entries.len() as f64,
+        avg_width: 2.0,
+        mcv: entries.iter().map(|&(v, f)| (Datum::Int(v), f)).collect(),
+        histogram: Vec::new(),
+        correlation: 0.1,
+    }
+}
+
+/// Generate laptop-scale rows for every SDSS table, load them into `db`,
+/// and ANALYZE. Fully deterministic for a given seed.
+pub fn generate_and_load(
+    catalog: &mut Catalog,
+    db: &mut Database,
+    tables: &SdssTables,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let photo_rows = catalog.table(tables.photoobj).unwrap().row_count;
+    let spec_rows = catalog.table(tables.specobj).unwrap().row_count;
+    let neigh_rows = catalog.table(tables.neighbors).unwrap().row_count;
+    let field_rows = catalog.table(tables.field).unwrap().row_count;
+    let photoz_rows = catalog.table(tables.photoz).unwrap().row_count;
+
+    // field first (photoobj references fieldid)
+    let field_data: Vec<Vec<Datum>> = (0..field_rows)
+        .map(|i| {
+            vec![
+                Datum::Int(i as i64),
+                Datum::Int(94 + (rng.gen::<u32>() % 7906) as i64),
+                Datum::Int((rng.gen::<u32>() % 2) as i64),
+                Datum::Int(1 + (rng.gen::<u32>() % 6) as i64),
+                Datum::Int(11 + (rng.gen::<u32>() % 989) as i64),
+                Datum::Float(rng.gen::<f64>() * 360.0),
+                Datum::Float(rng.gen::<f64>() * 180.0 - 90.0),
+                Datum::Float(0.8 + rng.gen::<f64>() * 1.7),
+                Datum::Float(19.0 + rng.gen::<f64>() * 3.5),
+                Datum::Int([3, 1, 5][(rng.gen::<u32>() % 3) as usize]),
+                Datum::Int(51_578 + (rng.gen::<u32>() % 1942) as i64),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.field, field_data).expect("field rows load");
+
+    // photoobj: objid ascending (clustered), ra correlated with objid to
+    // give the planner a meaningful correlation signal.
+    let ncols = catalog.table(tables.photoobj).unwrap().columns.len();
+    let photo_data: Vec<Vec<Datum>> = (0..photo_rows)
+        .map(|i| {
+            let mut row = Vec::with_capacity(ncols);
+            let ty = *[3i64, 6, 3, 6, 3, 6, 0].get((rng.gen::<u32>() % 7) as usize).unwrap();
+            let ra = (i as f64 / photo_rows.max(1) as f64) * 360.0;
+            let dec = rng.gen::<f64>() * 180.0 - 90.0;
+            row.push(Datum::Int(i as i64)); // objid
+            row.push(Datum::Int(1)); // skyversion
+            row.push(Datum::Int(94 + (rng.gen::<u32>() % 7906) as i64)); // run
+            row.push(Datum::Int(0)); // rerun
+            row.push(Datum::Int(1 + (rng.gen::<u32>() % 6) as i64)); // camcol
+            row.push(Datum::Int(11 + (rng.gen::<u32>() % 989) as i64)); // field
+            row.push(Datum::Int((rng.gen::<u32>() % 1000) as i64)); // obj
+            row.push(Datum::Int(1)); // mode
+            row.push(Datum::Int(0)); // nchild
+            row.push(Datum::Int(ty)); // type
+            row.push(Datum::Float(if ty == 6 { 0.9 } else { 0.1 })); // probpsf
+            row.push(Datum::Int(0)); // insidemask
+            row.push(Datum::Int((rng.gen::<u64>() & 0xFFFF_FFFF) as i64)); // flags
+            row.push(Datum::Int((rng.gen::<u32>() % 4096) as i64)); // status
+            row.push(Datum::Float(ra));
+            row.push(Datum::Float(dec));
+            row.push(Datum::Float(rng.gen::<f64>() * 0.1)); // raerr
+            row.push(Datum::Float(rng.gen::<f64>() * 0.1)); // decerr
+            row.push(Datum::Float(dec * 0.9)); // b
+            row.push(Datum::Float(ra * 0.99)); // l
+            row.push(Datum::Float((ra.to_radians()).cos()));
+            row.push(Datum::Float((ra.to_radians()).sin()));
+            row.push(Datum::Float((dec.to_radians()).sin()));
+            row.push(Datum::Float(rng.gen::<f64>() * 2048.0)); // rowc
+            row.push(Datum::Float(rng.gen::<f64>() * 2048.0)); // colc
+            row.push(Datum::Float(rng.gen::<f64>() * 2.0 - 1.0)); // rowv
+            row.push(Datum::Float(rng.gen::<f64>() * 2.0 - 1.0)); // colv
+            row.push(Datum::Int((i as i64) * 64)); // htmid (clustered)
+            row.push(Datum::Int((rng.gen::<u64>() % field_rows.max(1)) as i64)); // fieldid
+            row.push(Datum::Null); // specobjid (mostly null)
+            // per-band photometry: r-band magnitude drives the others
+            let base_mag = 14.0 + rng.gen::<f64>() * 10.0;
+            for q in BAND_QUANTITIES {
+                for (bi, _) in BANDS.iter().enumerate() {
+                    let v = match q {
+                        "extinction" => rng.gen::<f64>() * 1.2,
+                        "petrorad" | "petror50" | "devrad" | "exprad" => {
+                            rng.gen::<f64>() * 25.0
+                        }
+                        _ if q.ends_with("err") => rng.gen::<f64>() * 0.8,
+                        _ => base_mag + (bi as f64 - 2.0) * (0.3 + rng.gen::<f64>() * 0.4),
+                    };
+                    row.push(Datum::Float(v));
+                }
+            }
+            debug_assert_eq!(row.len(), ncols);
+            row
+        })
+        .collect();
+    db.load_table(catalog, tables.photoobj, photo_data).expect("photoobj rows load");
+
+    // specobj: bestobjid points at real photo objects.
+    let spec_data: Vec<Vec<Datum>> = (0..spec_rows)
+        .map(|i| {
+            let mut row = Vec::new();
+            let z = rng.gen::<f64>() * 0.5 + (rng.gen::<u32>() % 10 == 0) as i64 as f64 * 2.0;
+            row.push(Datum::Int(i as i64)); // specobjid
+            row.push(Datum::Int((rng.gen::<u64>() % photo_rows.max(1)) as i64)); // bestobjid
+            row.push(Datum::Int(266 + (rng.gen::<u32>() % 1734) as i64)); // plate
+            row.push(Datum::Int(51_578 + (rng.gen::<u32>() % 1942) as i64)); // mjd
+            row.push(Datum::Int(1 + (rng.gen::<u32>() % 640) as i64)); // fiberid
+            row.push(Datum::Float(z));
+            row.push(Datum::Float(rng.gen::<f64>() * 0.01)); // zerr
+            row.push(Datum::Float(0.5 + rng.gen::<f64>() * 0.5)); // zconf
+            row.push(Datum::Int(4)); // zstatus
+            row.push(Datum::Int((rng.gen::<u32>() % 10 == 0) as i64)); // zwarning
+            row.push(Datum::Int([2i64, 2, 2, 1, 3][(rng.gen::<u32>() % 5) as usize])); // specclass
+            row.push(Datum::Int((rng.gen::<u64>() & 0xFFFF) as i64)); // primtarget
+            row.push(Datum::Int((rng.gen::<u64>() & 0xFF) as i64)); // sectarget
+            row.push(Datum::Float(rng.gen::<f64>() * 1.4 - 0.4)); // eclass
+            row.push(Datum::Float(50.0 + rng.gen::<f64>() * 370.0)); // veldisp
+            row.push(Datum::Float(rng.gen::<f64>() * 60.0)); // veldisperr
+            for _ in 0..5 {
+                row.push(Datum::Float(rng.gen::<f64>() * 60.0 - 30.0)); // ecoeff_i
+            }
+            for _ in 0..3 {
+                row.push(Datum::Float(rng.gen::<f64>() * 30.0)); // sn_i
+                row.push(Datum::Float(14.0 + rng.gen::<f64>() * 10.0)); // mag_i
+            }
+            row
+        })
+        .collect();
+    db.load_table(catalog, tables.specobj, spec_data).expect("specobj rows load");
+
+    // neighbors: pairs of nearby photo objects.
+    let neigh_data: Vec<Vec<Datum>> = (0..neigh_rows)
+        .map(|_| {
+            let a = (rng.gen::<u64>() % photo_rows.max(1)) as i64;
+            let b = (rng.gen::<u64>() % photo_rows.max(1)) as i64;
+            vec![
+                Datum::Int(a),
+                Datum::Int(b),
+                Datum::Float(rng.gen::<f64>() * 0.0083),
+                Datum::Int([3i64, 6, 0][(rng.gen::<u32>() % 3) as usize]),
+                Datum::Int([3i64, 6, 0][(rng.gen::<u32>() % 3) as usize]),
+                Datum::Int(1),
+                Datum::Int(1),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.neighbors, neigh_data).expect("neighbors rows load");
+
+    // photoz: one estimate per photo object.
+    let photoz_data: Vec<Vec<Datum>> = (0..photoz_rows)
+        .map(|i| {
+            vec![
+                Datum::Int(i as i64),
+                Datum::Float(rng.gen::<f64>() * 1.2),
+                Datum::Float(rng.gen::<f64>() * 0.1),
+                Datum::Float(rng.gen::<f64>() * 2.0 - 0.5),
+                Datum::Float(rng.gen::<f64>() * 0.5),
+                Datum::Int([5i64, 3, 1][(rng.gen::<u32>() % 3) as usize]),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.photoz, photoz_data).expect("photoz rows load");
+
+    db.analyze(catalog);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdss::{sdss_catalog, SdssScale};
+
+    #[test]
+    fn synthesized_stats_cover_every_column() {
+        let (mut c, t) = sdss_catalog(SdssScale::paper());
+        synthesize_stats(&mut c, &t);
+        for table in [t.photoobj, t.specobj, t.neighbors, t.field, t.photoz] {
+            let tbl = c.table(table).unwrap().clone();
+            for i in 0..tbl.columns.len() {
+                assert!(
+                    c.column_stats(table, i).is_some(),
+                    "missing stats for {}.{}",
+                    tbl.name,
+                    tbl.columns[i].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn objid_stats_unique_and_clustered() {
+        let (mut c, t) = sdss_catalog(SdssScale::paper());
+        synthesize_stats(&mut c, &t);
+        let s = c.column_stats(t.photoobj, 0).unwrap();
+        assert_eq!(s.n_distinct, -1.0);
+        assert_eq!(s.correlation, 1.0);
+    }
+
+    #[test]
+    fn type_stats_have_mcvs() {
+        let (mut c, t) = sdss_catalog(SdssScale::paper());
+        synthesize_stats(&mut c, &t);
+        let photo = c.table(t.photoobj).unwrap();
+        let ci = photo.column_index("type").unwrap();
+        let s = c.column_stats(t.photoobj, ci).unwrap();
+        assert!(!s.mcv.is_empty());
+    }
+
+    #[test]
+    fn generate_and_load_is_deterministic() {
+        let (mut c1, t1) = sdss_catalog(SdssScale::laptop(500));
+        let mut db1 = Database::new();
+        generate_and_load(&mut c1, &mut db1, &t1, 7);
+        let (mut c2, t2) = sdss_catalog(SdssScale::laptop(500));
+        let mut db2 = Database::new();
+        generate_and_load(&mut c2, &mut db2, &t2, 7);
+        let h1 = db1.heap(t1.photoobj).unwrap();
+        let h2 = db2.heap(t2.photoobj).unwrap();
+        assert_eq!(h1.row_count(), h2.row_count());
+        assert_eq!(h1.row(42), h2.row(42));
+    }
+
+    #[test]
+    fn loaded_counts_match_scale() {
+        let (mut c, t) = sdss_catalog(SdssScale::laptop(300));
+        let mut db = Database::new();
+        generate_and_load(&mut c, &mut db, &t, 1);
+        assert_eq!(db.heap(t.photoobj).unwrap().row_count(), 300);
+        assert_eq!(db.heap(t.specobj).unwrap().row_count(), 15);
+        assert_eq!(db.heap(t.neighbors).unwrap().row_count(), 600);
+        // ANALYZE ran
+        assert!(c.column_stats(t.photoobj, 0).is_some());
+    }
+
+    #[test]
+    fn workload_plans_over_synthesized_stats() {
+        let (mut c, t) = sdss_catalog(SdssScale::paper());
+        synthesize_stats(&mut c, &t);
+        for (i, sel) in crate::sdss::sdss_workload().iter().enumerate() {
+            let (_, plan) = parinda_optimizer::optimize(sel, &c)
+                .unwrap_or_else(|e| panic!("query {i}: {e}"));
+            assert!(plan.cost.total.is_finite() && plan.cost.total > 0.0, "query {i}");
+        }
+    }
+
+    #[test]
+    fn workload_executes_over_generated_data() {
+        let (mut c, t) = sdss_catalog(SdssScale::laptop(400));
+        let mut db = Database::new();
+        generate_and_load(&mut c, &mut db, &t, 3);
+        for (i, sel) in crate::sdss::sdss_workload().iter().enumerate() {
+            let (_, plan) = parinda_optimizer::optimize(sel, &c)
+                .unwrap_or_else(|e| panic!("query {i}: {e}"));
+            parinda_executor::execute(&plan, &c, &db)
+                .unwrap_or_else(|e| panic!("query {i}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload-file parsing: the "workload file" the PARINDA GUI takes as
+//! input (paper §4) — SQL statements separated by semicolons, `--`
+//! comments, and optional per-statement weights via `-- weight: N`.
+
+use parinda_sql::{parse_script, Select, SqlError};
+
+/// One workload entry: a statement and its weight (default 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEntry {
+    pub query: Select,
+    pub weight: f64,
+}
+
+/// A parsed workload file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    pub entries: Vec<WorkloadEntry>,
+}
+
+impl Workload {
+    /// Just the statements.
+    pub fn queries(&self) -> Vec<Select> {
+        self.entries.iter().map(|e| e.query.clone()).collect()
+    }
+
+    /// Per-entry weights, parallel to [`Workload::queries`].
+    pub fn weights(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.weight).collect()
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the workload empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Parse a workload file's contents.
+///
+/// Weights are attached with a comment line `-- weight: N` immediately
+/// before a statement.
+pub fn parse_workload(input: &str) -> Result<Workload, SqlError> {
+    // First pass: find weight annotations and their statement ordinals.
+    let mut weights: Vec<f64> = Vec::new();
+    let mut pending: Option<f64> = None;
+    let mut statement_seen_since_weight = true;
+    let mut cleaned = String::with_capacity(input.len());
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("--") {
+            let rest = rest.trim();
+            if let Some(w) = rest.strip_prefix("weight:") {
+                if let Ok(v) = w.trim().parse::<f64>() {
+                    pending = Some(v);
+                    statement_seen_since_weight = false;
+                }
+            }
+            continue; // drop all comment lines
+        }
+        if !trimmed.is_empty() {
+            cleaned.push_str(line);
+            cleaned.push('\n');
+            // count statements by ';' terminators on the fly
+            for _ in trimmed.matches(';') {
+                weights.push(if statement_seen_since_weight {
+                    1.0
+                } else {
+                    pending.take().unwrap_or(1.0)
+                });
+                statement_seen_since_weight = true;
+            }
+        }
+    }
+
+    let selects = parse_script(&cleaned)?;
+    // pad weights for a final unterminated statement
+    while weights.len() < selects.len() {
+        weights.push(if statement_seen_since_weight {
+            1.0
+        } else {
+            pending.take().unwrap_or(1.0)
+        });
+        statement_seen_since_weight = true;
+    }
+
+    Ok(Workload {
+        entries: selects
+            .into_iter()
+            .zip(weights)
+            .map(|(query, weight)| WorkloadEntry { query, weight })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiple_statements() {
+        let w = parse_workload("SELECT a FROM t;\nSELECT b FROM u;").unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.weights(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn weight_comment_applies_to_next_statement() {
+        let w = parse_workload(
+            "-- weight: 5\nSELECT a FROM t;\nSELECT b FROM u;",
+        )
+        .unwrap();
+        assert_eq!(w.weights(), vec![5.0, 1.0]);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let w = parse_workload(
+            "-- a workload\nSELECT a FROM t; -- trailing comment\n-- mid comment\nSELECT b FROM u",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn final_statement_without_semicolon() {
+        let w = parse_workload("-- weight: 3\nSELECT a FROM t").unwrap();
+        assert_eq!(w.weights(), vec![3.0]);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(parse_workload("SELECT FROM WHERE").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_workload() {
+        let w = parse_workload("\n-- nothing here\n").unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn thirty_query_file_round_trips() {
+        let text: String = crate::sdss::sdss_workload_sql()
+            .iter()
+            .map(|q| format!("{q};\n"))
+            .collect();
+        let w = parse_workload(&text).unwrap();
+        assert_eq!(w.len(), 30);
+    }
+}

@@ -1,0 +1,234 @@
+//! A second, retail-flavoured demo instance (orders / lineitem / customer
+//! / product), in the spirit of TPC-H.
+//!
+//! The paper demonstrates on SDSS but notes the tool "has been prototyped
+//! for several different DBMSs"; this schema exists to keep the
+//! reproduction honest about generality — nothing in the advisors may
+//! depend on SDSS naming or shapes, and the cross-schema tests run every
+//! component over this instance too.
+
+use parinda_catalog::{Catalog, Column, MetadataProvider, SqlType, TableId};
+use parinda_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tables of the retail instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetailTables {
+    pub customer: TableId,
+    pub product: TableId,
+    pub orders: TableId,
+    pub lineitem: TableId,
+}
+
+/// Build the retail catalog. `scale` = number of orders; the other tables
+/// scale proportionally (4 line items per order, 1 customer per 10 orders).
+pub fn retail_catalog(scale: u64) -> (Catalog, RetailTables) {
+    let mut c = Catalog::new();
+    let customers = (scale / 10).max(10);
+    let products = (scale / 50).max(10);
+    let customer = c.create_table(
+        "customer",
+        vec![
+            Column::new("custkey", SqlType::Int8).not_null(),
+            Column::new("name", SqlType::VarChar(25)).not_null().with_avg_width(18.0),
+            Column::new("nation", SqlType::Int2).not_null(),
+            Column::new("segment", SqlType::Int2).not_null(),
+            Column::new("acctbal", SqlType::Float8).not_null(),
+            Column::new("address", SqlType::VarChar(40)).with_avg_width(25.0),
+            Column::new("phone", SqlType::VarChar(15)).with_avg_width(15.0),
+        ],
+        customers,
+    );
+    c.table_mut(customer).unwrap().primary_key = vec![0];
+
+    let product = c.create_table(
+        "product",
+        vec![
+            Column::new("prodkey", SqlType::Int8).not_null(),
+            Column::new("name", SqlType::VarChar(55)).not_null().with_avg_width(30.0),
+            Column::new("brand", SqlType::Int2).not_null(),
+            Column::new("category", SqlType::Int2).not_null(),
+            Column::new("price", SqlType::Float8).not_null(),
+            Column::new("stock", SqlType::Int4).not_null(),
+        ],
+        products,
+    );
+    c.table_mut(product).unwrap().primary_key = vec![0];
+
+    let orders = c.create_table(
+        "orders",
+        vec![
+            Column::new("orderkey", SqlType::Int8).not_null(),
+            Column::new("custkey", SqlType::Int8).not_null(),
+            Column::new("status", SqlType::Int2).not_null(),
+            Column::new("totalprice", SqlType::Float8).not_null(),
+            Column::new("orderdate", SqlType::Date).not_null(),
+            Column::new("priority", SqlType::Int2).not_null(),
+            Column::new("clerk", SqlType::Int4).not_null(),
+        ],
+        scale,
+    );
+    c.table_mut(orders).unwrap().primary_key = vec![0];
+
+    let lineitem = c.create_table(
+        "lineitem",
+        vec![
+            Column::new("orderkey", SqlType::Int8).not_null(),
+            Column::new("linenumber", SqlType::Int2).not_null(),
+            Column::new("prodkey", SqlType::Int8).not_null(),
+            Column::new("quantity", SqlType::Int4).not_null(),
+            Column::new("extendedprice", SqlType::Float8).not_null(),
+            Column::new("discount", SqlType::Float8).not_null(),
+            Column::new("tax", SqlType::Float8).not_null(),
+            Column::new("shipdate", SqlType::Date).not_null(),
+            Column::new("receiptdate", SqlType::Date).not_null(),
+        ],
+        scale * 4,
+    );
+
+    (c, RetailTables { customer, product, orders, lineitem })
+}
+
+/// Deterministically generate and load rows for the retail instance, then
+/// ANALYZE.
+pub fn retail_load(catalog: &mut Catalog, db: &mut Database, tables: &RetailTables, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_orders = catalog.table(tables.orders).unwrap().row_count;
+    let n_cust = catalog.table(tables.customer).unwrap().row_count;
+    let n_prod = catalog.table(tables.product).unwrap().row_count;
+    let n_items = catalog.table(tables.lineitem).unwrap().row_count;
+
+    use parinda_catalog::Datum;
+    let cust_rows: Vec<Vec<Datum>> = (0..n_cust)
+        .map(|i| {
+            vec![
+                Datum::Int(i as i64),
+                Datum::Str(format!("Customer#{i:09}")),
+                Datum::Int((rng.gen::<u32>() % 25) as i64),
+                Datum::Int((rng.gen::<u32>() % 5) as i64),
+                Datum::Float(rng.gen::<f64>() * 10_000.0 - 1_000.0),
+                Datum::Str(format!("addr {i}")),
+                Datum::Str(format!("{:015}", i)),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.customer, cust_rows).expect("customer load");
+
+    let prod_rows: Vec<Vec<Datum>> = (0..n_prod)
+        .map(|i| {
+            vec![
+                Datum::Int(i as i64),
+                Datum::Str(format!("Product#{i:09}")),
+                Datum::Int((rng.gen::<u32>() % 25) as i64),
+                Datum::Int((rng.gen::<u32>() % 50) as i64),
+                Datum::Float(900.0 + rng.gen::<f64>() * 10_000.0),
+                Datum::Int((rng.gen::<u32>() % 10_000) as i64),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.product, prod_rows).expect("product load");
+
+    let order_rows: Vec<Vec<Datum>> = (0..n_orders)
+        .map(|i| {
+            vec![
+                Datum::Int(i as i64),
+                Datum::Int((rng.gen::<u64>() % n_cust) as i64),
+                Datum::Int([0i64, 1, 2][(rng.gen::<u32>() % 3) as usize]),
+                Datum::Float(1_000.0 + rng.gen::<f64>() * 400_000.0),
+                Datum::Int(8_000 + (rng.gen::<u32>() % 2_500) as i64), // days
+                Datum::Int((rng.gen::<u32>() % 5) as i64),
+                Datum::Int((rng.gen::<u32>() % 1_000) as i64),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.orders, order_rows).expect("orders load");
+
+    let item_rows: Vec<Vec<Datum>> = (0..n_items)
+        .map(|i| {
+            let ship = 8_000 + (rng.gen::<u32>() % 2_500) as i64;
+            vec![
+                Datum::Int((i / 4) as i64),
+                Datum::Int((i % 4) as i64 + 1),
+                Datum::Int((rng.gen::<u64>() % n_prod) as i64),
+                Datum::Int(1 + (rng.gen::<u32>() % 50) as i64),
+                Datum::Float(rng.gen::<f64>() * 90_000.0 + 900.0),
+                Datum::Float((rng.gen::<u32>() % 11) as f64 / 100.0),
+                Datum::Float((rng.gen::<u32>() % 9) as f64 / 100.0),
+                Datum::Int(ship),
+                Datum::Int(ship + 1 + (rng.gen::<u32>() % 30) as i64),
+            ]
+        })
+        .collect();
+    db.load_table(catalog, tables.lineitem, item_rows).expect("lineitem load");
+
+    db.analyze(catalog);
+}
+
+/// Twelve analytical queries over the retail schema (pricing summaries,
+/// shipping-priority style joins, segment aggregates).
+pub fn retail_workload_sql() -> Vec<&'static str> {
+    vec![
+        "SELECT orderkey, totalprice FROM orders WHERE orderkey = 4242",
+        "SELECT orderkey FROM orders WHERE orderdate BETWEEN 9000 AND 9030",
+        "SELECT status, COUNT(*), AVG(totalprice) FROM orders GROUP BY status",
+        "SELECT priority, COUNT(*) FROM orders WHERE orderdate BETWEEN 9000 AND 9090 GROUP BY priority",
+        "SELECT l.orderkey, l.extendedprice FROM lineitem l WHERE l.shipdate BETWEEN 9000 AND 9010",
+        "SELECT COUNT(*), SUM(extendedprice), AVG(discount) FROM lineitem \
+         WHERE shipdate BETWEEN 9000 AND 9365 AND discount BETWEEN 0.02 AND 0.04",
+        "SELECT o.orderkey, o.totalprice FROM orders o, customer c \
+         WHERE o.custkey = c.custkey AND c.segment = 2 AND o.totalprice > 350000.0",
+        "SELECT c.nation, COUNT(*) FROM orders o, customer c \
+         WHERE o.custkey = c.custkey AND o.orderdate BETWEEN 9000 AND 9180 GROUP BY c.nation",
+        "SELECT l.orderkey, p.name FROM lineitem l, product p \
+         WHERE l.prodkey = p.prodkey AND p.category = 7 AND l.quantity > 45",
+        "SELECT p.brand, COUNT(*), AVG(l.extendedprice) FROM lineitem l, product p \
+         WHERE l.prodkey = p.prodkey GROUP BY p.brand",
+        "SELECT o.orderkey FROM orders o, lineitem l \
+         WHERE o.orderkey = l.orderkey AND o.priority = 0 AND l.shipdate > o.orderdate",
+        "SELECT c.custkey, c.acctbal FROM customer c WHERE c.acctbal > 8900.0 ORDER BY c.acctbal DESC LIMIT 20",
+    ]
+}
+
+/// Parse the retail workload.
+pub fn retail_workload() -> Vec<parinda_sql::Select> {
+    retail_workload_sql()
+        .iter()
+        .map(|s| parinda_sql::parse_select(s).expect("retail workload parses"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn schema_builds_and_scales() {
+        let (c, t) = retail_catalog(10_000);
+        assert_eq!(c.table(t.orders).unwrap().row_count, 10_000);
+        assert_eq!(c.table(t.lineitem).unwrap().row_count, 40_000);
+        assert_eq!(c.table(t.customer).unwrap().row_count, 1_000);
+        assert_eq!(c.all_tables().len(), 4);
+    }
+
+    #[test]
+    fn workload_parses_and_binds() {
+        let (c, _) = retail_catalog(1_000);
+        for (i, q) in retail_workload().iter().enumerate() {
+            parinda_optimizer::bind(q, &c).unwrap_or_else(|e| panic!("query {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn load_and_execute() {
+        let (mut c, t) = retail_catalog(500);
+        let mut db = Database::new();
+        retail_load(&mut c, &mut db, &t, 7);
+        assert_eq!(db.heap(t.lineitem).unwrap().row_count(), 2_000);
+        for (i, q) in retail_workload().iter().enumerate() {
+            let (_, plan) = parinda_optimizer::optimize(q, &c)
+                .unwrap_or_else(|e| panic!("query {i}: {e}"));
+            parinda_executor::execute(&plan, &c, &db)
+                .unwrap_or_else(|e| panic!("query {i}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Scenario 3: automatic index suggestion under a space budget, comparing
+//! the paper's ILP technique against the greedy baseline, then physically
+//! creating the winning set ("the user has the option to physically create
+//! the suggested set of indexes on disk") and timing the workload before
+//! and after on real data.
+//!
+//! ```text
+//! cargo run --release --example auto_index
+//! ```
+
+use std::time::Instant;
+
+use parinda::{Parinda, SelectionMethod};
+use parinda_executor::execute;
+use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+use parinda_workload::{generate_and_load, sdss_catalog, sdss_workload, SdssScale};
+
+fn run_workload(session: &Parinda, workload: &[parinda::Select]) -> std::time::Duration {
+    let params = CostParams::default();
+    let flags = PlannerFlags::default();
+    let start = Instant::now();
+    for sel in workload {
+        let q = bind(sel, session.catalog()).expect("binds");
+        let p = plan_query(&q, session.catalog(), &params, &flags).expect("plans");
+        execute(&p, session.catalog(), session.database()).expect("executes");
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let (mut catalog, tables) = sdss_catalog(SdssScale::laptop(30_000));
+    let mut db = parinda::Database::new();
+    println!("generating & loading laptop-scale SDSS data…");
+    generate_and_load(&mut catalog, &mut db, &tables, 2026);
+    let mut session = Parinda::with_database(catalog, db);
+    let workload = sdss_workload();
+
+    let budget = 64u64 << 20; // 64 MB on the laptop-scale instance
+
+    // Estimated comparison: ILP vs greedy.
+    for (name, method) in [("ILP", SelectionMethod::Ilp), ("greedy", SelectionMethod::Greedy)] {
+        let s = session.suggest_indexes(&workload, budget, method).expect("advisor");
+        println!(
+            "{name:>6}: {} indexes, {:.1} MB, estimated speedup {:.2}x",
+            s.indexes.len(),
+            s.indexes.iter().map(|i| i.size_bytes).sum::<u64>() as f64 / (1 << 20) as f64,
+            s.report.speedup()
+        );
+    }
+
+    // Take the ILP suggestion, materialize it, and measure for real.
+    let suggestion = session
+        .suggest_indexes(&workload, budget, SelectionMethod::Ilp)
+        .expect("advisor");
+    println!("\nsuggested set:");
+    for idx in &suggestion.indexes {
+        println!("  CREATE INDEX {} ON {} ({});", idx.name, idx.table, idx.columns.join(", "));
+    }
+
+    let before = run_workload(&session, &workload);
+    println!("\nworkload wall-clock before: {before:.2?}");
+
+    let t0 = Instant::now();
+    session.materialize_indexes(&suggestion).expect("materialization");
+    println!("building {} indexes took {:.2?}", suggestion.indexes.len(), t0.elapsed());
+
+    let after = run_workload(&session, &workload);
+    println!("workload wall-clock after:  {after:.2?}");
+    println!(
+        "measured speedup: {:.2}x (estimated {:.2}x)",
+        before.as_secs_f64() / after.as_secs_f64(),
+        suggestion.report.speedup()
+    );
+}

@@ -1,0 +1,47 @@
+//! Scenario 2 / Figure 2: automatic partition suggestion.
+//!
+//! Input: workload file + original design + replication-space constraint.
+//! Output: suggested partitions, average/per-query benefit, the fragments
+//! each query uses, and the rewritten workload.
+//!
+//! ```text
+//! cargo run --release --example auto_partition
+//! ```
+
+use parinda::{AutoPartConfig, Parinda};
+use parinda_workload::{sdss_catalog, sdss_workload, synthesize_stats, SdssScale};
+
+fn main() {
+    let (mut catalog, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut catalog, &tables);
+    let session = Parinda::new(catalog);
+    let workload = sdss_workload();
+
+    // Constraint pane: allow up to 20% extra space for replicated columns.
+    let base = session.catalog().total_size_bytes();
+    let config = AutoPartConfig {
+        replication_limit_bytes: (base / 5) as i64,
+        ..Default::default()
+    };
+    println!(
+        "running AutoPart over {} queries (replication budget {:.1} GB)…\n",
+        workload.len(),
+        (base / 5) as f64 / (1 << 30) as f64
+    );
+
+    let sugg = session.suggest_partitions(&workload, config).expect("autopart");
+
+    println!("suggested partitions:");
+    for p in &sugg.partitions {
+        println!("  {}  (from {}): {}", p.name, p.table, p.columns.join(", "));
+    }
+
+    println!("\n{}", sugg.report.render());
+
+    println!("rewritten workload (changed statements):");
+    for (orig, rw) in workload.iter().zip(&sugg.rewritten) {
+        if orig != rw {
+            println!("  {rw};");
+        }
+    }
+}

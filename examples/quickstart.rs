@@ -1,0 +1,50 @@
+//! Quickstart: build the SDSS catalog, run the automatic index advisor,
+//! print the suggestion and benefit report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parinda::{Parinda, SelectionMethod};
+use parinda_catalog::MetadataProvider;
+use parinda_workload::{sdss_catalog, sdss_workload, synthesize_stats, SdssScale};
+
+fn main() {
+    // 1. The database: a synthetic SDSS DR4 5% sample (statistics only —
+    //    the advisor never needs actual rows, exactly like the paper).
+    let (mut catalog, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut catalog, &tables);
+    println!(
+        "catalog: {} tables, {:.1} GB simulated",
+        catalog.all_tables().len(),
+        catalog.total_size_bytes() as f64 / (1 << 30) as f64
+    );
+
+    // 2. The workload: the 30 prototypical SDSS queries.
+    let workload = sdss_workload();
+    println!("workload: {} queries", workload.len());
+
+    // 3. Suggest indexes with the ILP technique under a 4 GB budget.
+    let session = Parinda::new(catalog);
+    let budget = 4u64 << 30;
+    let suggestion = session
+        .suggest_indexes(&workload, budget, SelectionMethod::Ilp)
+        .expect("advisor runs");
+
+    println!("\nsuggested indexes (budget {:.1} GB):", budget as f64 / (1 << 30) as f64);
+    for idx in &suggestion.indexes {
+        println!(
+            "  CREATE INDEX {} ON {} ({});   -- {:.1} MB",
+            idx.name,
+            idx.table,
+            idx.columns.join(", "),
+            idx.size_bytes as f64 / (1 << 20) as f64
+        );
+    }
+
+    println!("\n{}", suggestion.report.render());
+    println!(
+        "ILP proven optimal: {}",
+        if suggestion.proven_optimal { "yes" } else { "no (node limit)" }
+    );
+}

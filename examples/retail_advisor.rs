@@ -1,0 +1,48 @@
+//! The advisors on a non-SDSS schema: a retail (TPC-H-flavoured) instance,
+//! showing that PARINDA's components are schema-agnostic.
+//!
+//! ```text
+//! cargo run --release --example retail_advisor
+//! ```
+
+use parinda::{Parinda, SelectionMethod};
+use parinda_catalog::MetadataProvider;
+use parinda_executor::explain_analyze;
+use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+use parinda_workload::{retail_catalog, retail_load, retail_workload};
+
+fn main() {
+    let (mut catalog, tables) = retail_catalog(20_000);
+    let mut db = parinda::Database::new();
+    println!("generating retail data (20k orders, 80k line items)…");
+    retail_load(&mut catalog, &mut db, &tables, 2026);
+    let mut session = Parinda::with_database(catalog, db);
+    let workload = retail_workload();
+
+    println!("\n== schema ==");
+    print!("{}", parinda_catalog::describe_catalog(session.catalog()));
+
+    let budget = session.catalog().total_size_bytes() / 4;
+    let suggestion = session
+        .suggest_indexes(&workload, budget, SelectionMethod::Ilp)
+        .expect("advisor");
+    println!("\n== suggested indexes (budget {:.1} MB) ==", budget as f64 / (1 << 20) as f64);
+    for idx in &suggestion.indexes {
+        println!("  CREATE INDEX {} ON {} ({});", idx.name, idx.table, idx.columns.join(", "));
+    }
+    println!("\n{}", suggestion.report.render());
+
+    session.materialize_indexes(&suggestion).expect("materialize");
+    println!("== EXPLAIN ANALYZE after materialization ==");
+    let sql = "SELECT orderkey, totalprice FROM orders WHERE orderkey = 4242";
+    println!("{sql}");
+    let sel = parinda::parse_select(sql).unwrap();
+    let q = bind(&sel, session.catalog()).unwrap();
+    let plan =
+        plan_query(&q, session.catalog(), &CostParams::default(), &PlannerFlags::default())
+            .unwrap();
+    print!(
+        "{}",
+        explain_analyze(&plan, &q, session.catalog(), session.database()).expect("analyze")
+    );
+}

@@ -1,0 +1,67 @@
+//! Tour of the synthetic SDSS instance: schema, statistics, the 30-query
+//! workload, and EXPLAIN output for a few representative plans.
+//!
+//! ```text
+//! cargo run --release --example sdss_tour
+//! ```
+
+use parinda::Parinda;
+use parinda_catalog::MetadataProvider;
+use parinda_workload::{sdss_catalog, sdss_workload_sql, synthesize_stats, SdssScale};
+
+fn main() {
+    let (mut catalog, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut catalog, &tables);
+
+    println!("== schema ==");
+    for t in catalog.all_tables() {
+        println!(
+            "{:<12} {:>9} rows  {:>9} pages  {:>3} columns",
+            t.name,
+            t.row_count,
+            t.pages,
+            t.columns.len()
+        );
+    }
+    let photo = catalog.table(tables.photoobj).unwrap();
+    println!(
+        "\nphotoobj column sample: {} …",
+        photo
+            .columns
+            .iter()
+            .take(12)
+            .map(|c| format!("{}:{}", c.name, c.ty))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    println!("\n== statistics sample ==");
+    for col in ["objid", "ra", "type", "modelmag_r"] {
+        let ci = photo.column_index(col).unwrap();
+        let s = catalog.column_stats(tables.photoobj, ci).unwrap();
+        println!(
+            "photoobj.{col:<12} n_distinct={:<10} null_frac={:.2} corr={:+.2} mcvs={} hist={}",
+            s.n_distinct,
+            s.null_frac,
+            s.correlation,
+            s.mcv.len(),
+            s.histogram.len()
+        );
+    }
+
+    println!("\n== the 30-query workload ==");
+    for (i, q) in sdss_workload_sql().iter().enumerate() {
+        println!("Q{:02}: {}", i + 1, q.split_whitespace().collect::<Vec<_>>().join(" "));
+    }
+
+    println!("\n== example plans ==");
+    let session = Parinda::new(catalog);
+    for sql in [
+        "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180.0 AND 181.0 AND dec BETWEEN 0.0 AND 1.0",
+        "SELECT p.objid, s.z FROM photoobj p, specobj s WHERE p.objid = s.bestobjid AND s.z BETWEEN 0.08 AND 0.12",
+        "SELECT type, COUNT(*) FROM photoobj GROUP BY type",
+    ] {
+        println!("\n{sql}");
+        print!("{}", session.explain_sql(sql).expect("explains"));
+    }
+}

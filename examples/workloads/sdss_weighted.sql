@@ -1,0 +1,16 @@
+-- PARINDA demo workload file (subset of the 30 SDSS queries, with weights)
+-- weight: 10
+SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180.0 AND 181.0 AND dec BETWEEN 0.0 AND 1.0;
+
+-- weight: 5
+SELECT objid, modelmag_u, modelmag_g, modelmag_r, modelmag_i, modelmag_z FROM photoobj
+WHERE objid = 588015509806252132;
+
+SELECT type, COUNT(*) FROM photoobj GROUP BY type;
+
+-- weight: 3
+SELECT p.objid, s.z FROM photoobj p, specobj s
+WHERE p.objid = s.bestobjid AND s.z BETWEEN 0.08 AND 0.12;
+
+SELECT n.objid, n.neighborobjid, n.distance FROM neighbors n
+WHERE n.distance < 0.00139 AND n.type = 3 AND n.neighbortype = 3;

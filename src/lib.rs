@@ -1,0 +1,14 @@
+//! Workspace facade: re-exports the PARINDA crates for examples and
+//! integration tests.
+
+pub use parinda;
+pub use parinda_advisor as advisor;
+pub use parinda_catalog as catalog;
+pub use parinda_executor as executor;
+pub use parinda_inum as inum;
+pub use parinda_optimizer as optimizer;
+pub use parinda_solver as solver;
+pub use parinda_sql as sql;
+pub use parinda_storage as storage;
+pub use parinda_whatif as whatif;
+pub use parinda_workload as workload;

@@ -1,0 +1,161 @@
+//! Cross-crate integration: the full PARINDA pipeline from SQL text to
+//! executed results, across physical designs.
+
+use parinda::{AutoPartConfig, Parinda, SelectionMethod};
+use parinda_executor::execute;
+use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+use parinda_workload::{
+    generate_and_load, parse_workload, sdss_catalog, sdss_workload, sdss_workload_sql, SdssScale,
+};
+
+fn run_all(session: &Parinda, wl: &[parinda::Select]) -> Vec<Vec<String>> {
+    let params = CostParams::default();
+    let flags = PlannerFlags::default();
+    wl.iter()
+        .map(|sel| {
+            let q = bind(sel, session.catalog()).expect("binds");
+            let p = plan_query(&q, session.catalog(), &params, &flags).expect("plans");
+            let mut rows: Vec<String> = execute(&p, session.catalog(), session.database())
+                .expect("executes")
+                .into_iter()
+                .map(|r| r.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("|"))
+                .collect();
+            // ordered queries keep their order; unordered results sorted
+            if sel.order_by.is_empty() {
+                rows.sort();
+            }
+            rows
+        })
+        .collect()
+}
+
+#[test]
+fn suggested_indexes_preserve_results_and_reduce_cost() {
+    let (mut cat, tables) = sdss_catalog(SdssScale::laptop(2_000));
+    let mut db = parinda::Database::new();
+    generate_and_load(&mut cat, &mut db, &tables, 17);
+    let mut session = Parinda::with_database(cat, db);
+    let wl = sdss_workload();
+
+    let before_results = run_all(&session, &wl);
+    let before_cost = session.workload_cost(&wl).unwrap();
+
+    let sugg = session
+        .suggest_indexes(&wl, 1 << 30, SelectionMethod::Ilp)
+        .expect("advisor");
+    assert!(!sugg.indexes.is_empty());
+    session.materialize_indexes(&sugg).expect("materialize");
+
+    let after_results = run_all(&session, &wl);
+    let after_cost = session.workload_cost(&wl).unwrap();
+
+    assert_eq!(before_results, after_results, "results must not depend on the design");
+    assert!(
+        after_cost < before_cost,
+        "estimated workload cost should drop: {before_cost} -> {after_cost}"
+    );
+}
+
+#[test]
+fn materialized_partitions_preserve_rewritten_results() {
+    let (mut cat, tables) = sdss_catalog(SdssScale::laptop(2_000));
+    let mut db = parinda::Database::new();
+    generate_and_load(&mut cat, &mut db, &tables, 23);
+    let mut session = Parinda::with_database(cat, db);
+    let wl = sdss_workload();
+
+    let before = run_all(&session, &wl);
+
+    let sugg = session
+        .suggest_partitions(&wl, AutoPartConfig::default())
+        .expect("autopart");
+    assert!(!sugg.partitions.is_empty());
+    session.materialize_partitions(&sugg).expect("materialize");
+
+    let after = run_all(&session, &sugg.rewritten);
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert_eq!(b, a, "query {i} rewritten results differ:\n{}\nvs\n{}", wl[i], sugg.rewritten[i]);
+    }
+}
+
+#[test]
+fn workload_file_to_advice() {
+    // The GUI flow: workload file in, suggestions out.
+    let file: String = sdss_workload_sql().iter().map(|q| format!("{q};\n")).collect();
+    let parsed = parse_workload(&file).expect("workload file parses");
+    assert_eq!(parsed.len(), 30);
+
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    parinda_workload::synthesize_stats(&mut cat, &tables);
+    let session = Parinda::new(cat);
+    let sugg = session
+        .suggest_indexes(&parsed.queries(), 4 << 30, SelectionMethod::Ilp)
+        .expect("advisor");
+    assert!(!sugg.indexes.is_empty());
+    assert!(sugg.report.speedup() > 1.0);
+}
+
+#[test]
+fn whatif_estimates_agree_with_materialized_costs_across_designs() {
+    // For each single-index design: estimated (what-if) workload cost must
+    // match the re-planned cost after actually building that index.
+    use parinda_whatif::{Design, WhatIfIndex};
+    let (mut cat, tables) = sdss_catalog(SdssScale::laptop(5_000));
+    let mut db = parinda::Database::new();
+    generate_and_load(&mut cat, &mut db, &tables, 31);
+    let wl: Vec<parinda::Select> = sdss_workload().into_iter().take(10).collect();
+
+    for (name, table, col) in [
+        ("w_objid", "photoobj", "objid"),
+        ("w_ra", "photoobj", "ra"),
+        ("w_type", "photoobj", "type"),
+    ] {
+        let session = Parinda::with_database(cat.clone(), parinda::Database::new());
+        let _ = session; // estimated side uses the overlay only
+        let est_session = Parinda::with_database(cat.clone(), parinda::Database::new());
+        let design = Design::new().with_index(WhatIfIndex::new(name, table, &[col]));
+        let (report, _) = est_session.evaluate_design(&wl, &design).unwrap();
+
+        // materialized side
+        let mut mat_cat = cat.clone();
+        let id = mat_cat.create_index(name, table, &[col]).unwrap();
+        let _ = id;
+        let mat_session = Parinda::new(mat_cat);
+        let mat_cost = mat_session.workload_cost(&wl).unwrap();
+
+        let ratio = report.total_after() / mat_cost;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "{name}: what-if {} vs materialized {}",
+            report.total_after(),
+            mat_cost
+        );
+    }
+}
+
+#[test]
+fn explain_stable_across_api_layers() {
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    parinda_workload::synthesize_stats(&mut cat, &tables);
+    let session = Parinda::new(cat);
+    for sql in sdss_workload_sql().iter().take(10) {
+        let text = session.explain_sql(sql).expect("explains");
+        assert!(text.contains("cost="), "{text}");
+    }
+}
+
+#[test]
+fn bundled_workload_file_parses_and_binds() {
+    let text = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/examples/workloads/sdss_weighted.sql"),
+    )
+    .expect("bundled workload file exists");
+    let wl = parse_workload(&text).expect("parses");
+    assert_eq!(wl.len(), 5);
+    assert_eq!(wl.weights(), vec![10.0, 5.0, 1.0, 3.0, 1.0]);
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    parinda_workload::synthesize_stats(&mut cat, &tables);
+    for (i, q) in wl.queries().iter().enumerate() {
+        bind(q, &cat).unwrap_or_else(|e| panic!("query {i}: {e}"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Generality check: every PARINDA component must work unchanged on the
+//! retail schema (nothing may be SDSS-specific).
+
+use parinda::{AutoPartConfig, Design, Parinda, SelectionMethod, WhatIfIndex, WhatIfPartition};
+use parinda_workload::{retail_catalog, retail_load, retail_workload};
+
+fn paper_session() -> Parinda {
+    // statistics-only retail instance at a few million orders
+    let (mut cat, tables) = retail_catalog(3_000_000);
+    // synthesize simple statistics: unique clustered keys, categorical
+    // dimensions, uniform numerics
+    use parinda_catalog::{ColumnStats, Datum};
+    let tables_list = [tables.customer, tables.product, tables.orders, tables.lineitem];
+    for tid in tables_list {
+        let t = cat.table(tid).unwrap().clone();
+        for (i, col) in t.columns.iter().enumerate() {
+            let stats = if col.name.ends_with("key") && t.primary_key.first() == Some(&i) {
+                ColumnStats {
+                    null_frac: 0.0,
+                    n_distinct: -1.0,
+                    avg_width: 8.0,
+                    mcv: vec![],
+                    histogram: (0..=100)
+                        .map(|k| Datum::Int(t.row_count as i64 * k / 100))
+                        .collect(),
+                    correlation: 1.0,
+                }
+            } else if col.name.ends_with("key") {
+                ColumnStats {
+                    null_frac: 0.0,
+                    n_distinct: -0.3,
+                    avg_width: 8.0,
+                    mcv: vec![],
+                    histogram: (0..=100)
+                        .map(|k| Datum::Int(t.row_count as i64 * k / 100))
+                        .collect(),
+                    correlation: 0.2,
+                }
+            } else if matches!(col.name.as_str(), "status" | "priority" | "segment" | "nation" | "brand" | "category") {
+                ColumnStats {
+                    null_frac: 0.0,
+                    n_distinct: 10.0,
+                    avg_width: 2.0,
+                    mcv: (0..5).map(|v| (Datum::Int(v), 0.2)).collect(),
+                    histogram: vec![],
+                    correlation: 0.0,
+                }
+            } else {
+                ColumnStats {
+                    null_frac: 0.0,
+                    n_distinct: -0.5,
+                    avg_width: col.avg_width,
+                    mcv: vec![],
+                    histogram: (0..=100)
+                        .map(|k| Datum::Float(k as f64 * 4_000.0))
+                        .collect(),
+                    correlation: 0.05,
+                }
+            };
+            cat.set_column_stats(tid, i, stats);
+        }
+    }
+    Parinda::new(cat)
+}
+
+use parinda_catalog::MetadataProvider;
+
+#[test]
+fn index_advisor_works_on_retail() {
+    let session = paper_session();
+    let wl = retail_workload();
+    let budget = session.catalog().total_size_bytes() / 5;
+    let sugg = session.suggest_indexes(&wl, budget, SelectionMethod::Ilp).unwrap();
+    assert!(!sugg.indexes.is_empty());
+    // the retail mix is aggregate-heavy; indexes rescue the selective
+    // minority of queries, so the workload-level factor is modest
+    assert!(sugg.report.speedup() > 1.1, "speedup {}", sugg.report.speedup());
+    // the point lookup must be rescued by an orderkey index
+    assert!(
+        sugg.report.per_query[0].speedup() > 50.0,
+        "{:?}",
+        sugg.report.per_query[0]
+    );
+}
+
+#[test]
+fn autopart_works_on_retail() {
+    let session = paper_session();
+    let wl = retail_workload();
+    let sugg = session.suggest_partitions(&wl, AutoPartConfig::default()).unwrap();
+    // retail tables are narrow compared to PhotoObj; partitioning may or
+    // may not pay off, but it must converge and never hurt
+    assert!(sugg.report.speedup() >= 1.0);
+    for q in &sugg.report.per_query {
+        assert!(q.cost_after <= q.cost_before * 1.0001, "{}", q.sql);
+    }
+}
+
+#[test]
+fn interactive_design_works_on_retail() {
+    let session = paper_session();
+    let wl = retail_workload();
+    let design = Design::new()
+        .with_index(WhatIfIndex::new("w_orderdate", "orders", &["orderdate"]))
+        .with_index(WhatIfIndex::new("w_shipdate", "lineitem", &["shipdate"]))
+        .with_partition(WhatIfPartition::new(
+            "orders_slim",
+            "orders",
+            &["custkey", "orderdate", "totalprice"],
+        ));
+    let (report, _) = session.evaluate_design(&wl, &design).unwrap();
+    assert!(report.speedup() > 1.0, "{}", report.speedup());
+}
+
+#[test]
+fn execution_pipeline_works_on_retail() {
+    let (mut cat, tables) = retail_catalog(2_000);
+    let mut db = parinda::Database::new();
+    retail_load(&mut cat, &mut db, &tables, 3);
+    let mut session = Parinda::with_database(cat, db);
+    let wl = retail_workload();
+
+    // run everything before and after materializing suggestions
+    let run = |s: &Parinda| -> Vec<usize> {
+        use parinda_executor::execute;
+        use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+        wl.iter()
+            .map(|q| {
+                let b = bind(q, s.catalog()).unwrap();
+                let p = plan_query(&b, s.catalog(), &CostParams::default(), &PlannerFlags::default())
+                    .unwrap();
+                execute(&p, s.catalog(), s.database()).unwrap().len()
+            })
+            .collect()
+    };
+    let before = run(&session);
+    let sugg = session
+        .suggest_indexes(&wl, 1 << 30, SelectionMethod::Ilp)
+        .unwrap();
+    session.materialize_indexes(&sugg).unwrap();
+    let after = run(&session);
+    assert_eq!(before, after, "row counts must not depend on the design");
+}
