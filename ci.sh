@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, the determinism suite under forced
+# parallelism, and a smoke run of the E8 scaling benchmark.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: tests"
+cargo test -q
+
+echo "==> determinism suite (PARINDA_THREADS=2)"
+PARINDA_THREADS=2 cargo test -q --test determinism
+
+echo "==> e8 parallel-scaling bench (smoke)"
+cargo bench -p parinda-bench --bench e8_parallel_scaling -- --test
+
+echo "==> ci green"

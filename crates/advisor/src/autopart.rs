@@ -10,6 +10,7 @@
 
 use parinda_catalog::{Catalog, MetadataProvider, TableId};
 use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
+use parinda_parallel::{par_map, par_map_indexed, Parallelism};
 use parinda_sql::Select;
 use parinda_whatif::{HypotheticalCatalog, WhatIfPartition};
 
@@ -86,30 +87,48 @@ impl std::fmt::Display for AdvisorError {
 
 impl std::error::Error for AdvisorError {}
 
-/// Run AutoPart over a workload.
+/// Run AutoPart over a workload with auto-detected parallelism.
 pub fn suggest_partitions(
     catalog: &Catalog,
     workload: &[Select],
     config: AutoPartConfig,
 ) -> Result<PartitionSuggestion, AdvisorError> {
+    suggest_partitions_par(catalog, workload, config, Parallelism::auto())
+}
+
+/// Run AutoPart over a workload with an explicit thread-count policy.
+///
+/// Each round's candidate designs are evaluated concurrently against a
+/// read-only snapshot of the cost memo; per-design costs are pure, and
+/// both the memo merge and the round-winner selection happen on the
+/// caller's thread in candidate order, so the suggested design is
+/// identical at any thread count.
+pub fn suggest_partitions_par(
+    catalog: &Catalog,
+    workload: &[Select],
+    config: AutoPartConfig,
+    par: Parallelism,
+) -> Result<PartitionSuggestion, AdvisorError> {
     let params = CostParams::default();
     let flags = PlannerFlags::default();
 
-    // Baseline costs.
-    let mut base_costs = Vec::with_capacity(workload.len());
-    for (i, sel) in workload.iter().enumerate() {
-        let q = bind(sel, catalog).map_err(|e| AdvisorError::Bind(i, e.to_string()))?;
+    // Baseline costs: every query binds and plans independently.
+    let prepared = par_map_indexed(par, workload.len(), |i| {
+        let q = bind(&workload[i], catalog).map_err(|e| AdvisorError::Bind(i, e.to_string()))?;
         let p = plan_query(&q, catalog, &params, &flags)
             .map_err(|e| AdvisorError::Plan(i, e.to_string()))?;
-        base_costs.push(p.cost.total);
+        Ok::<_, AdvisorError>((q, p.cost.total))
+    });
+    let mut bound = Vec::with_capacity(workload.len());
+    let mut base_costs = Vec::with_capacity(workload.len());
+    for r in prepared {
+        let (q, c) = r?;
+        bound.push(q);
+        base_costs.push(c);
     }
     let cost_before: f64 = base_costs.iter().sum();
 
     // Atomic fragments.
-    let bound: Vec<_> = workload
-        .iter()
-        .map(|s| bind(s, catalog).expect("bound above"))
-        .collect();
     let atoms = atomic_fragments(&bound, catalog);
 
     // Only partition tables that actually split into >1 fragment.
@@ -203,19 +222,33 @@ pub fn suggest_partitions(
         candidates.sort();
         candidates.dedup();
 
-        for cand in candidates {
-            let overhead = replication_overhead(&cand, catalog);
-            if over_budget {
-                // must make progress toward the budget
-                if overhead >= cur_overhead {
-                    continue;
+        // Constraint pre-filter is cheap; the surviving designs cost real
+        // planner work, so they fan out over the pool. Workers read a
+        // frozen memo snapshot and hand back any entries they had to
+        // compute; the merge and the winner scan run here, in candidate
+        // order, exactly as the sequential loop would.
+        let viable: Vec<Vec<Fragment>> = candidates
+            .into_iter()
+            .filter(|cand| {
+                let overhead = replication_overhead(cand, catalog);
+                if over_budget {
+                    // must make progress toward the budget
+                    overhead < cur_overhead
+                } else {
+                    overhead <= config.replication_limit_bytes
                 }
-            } else if overhead > config.replication_limit_bytes {
-                continue;
+            })
+            .collect();
+        let memo_ref = &memo;
+        let evaluated: Vec<(f64, Vec<MemoEntry>)> = par_map(par, &viable, |cand| {
+            design_cost_snapshot(
+                catalog, workload, cand, &params, &flags, &base_costs, &qtables, memo_ref,
+            )
+        });
+        for (cand, (total, new_entries)) in viable.into_iter().zip(evaluated) {
+            for (k, v) in new_entries {
+                memo.entry(k).or_insert(v);
             }
-            let total = design_cost(
-                catalog, workload, &cand, &params, &flags, &base_costs, &qtables, &mut memo,
-            );
             let acceptable = if over_budget {
                 true // any overhead-reducing move; pick the cheapest below
             } else {
@@ -288,6 +321,10 @@ struct Evaluation {
 /// in a single table's fragmentation, so most lookups hit.
 type CostMemo = std::collections::HashMap<(usize, Vec<Fragment>), f64>;
 
+/// A memo entry computed by a worker against a snapshot, merged into the
+/// round's memo on the caller's thread.
+type MemoEntry = ((usize, Vec<Fragment>), f64);
+
 /// Per query: the tables it references and the columns it needs of each
 /// (a query's cost depends only on fragments overlapping those columns).
 fn query_tables(bound: &[parinda_optimizer::BoundQuery]) -> Vec<Vec<(TableId, Vec<usize>)>> {
@@ -338,7 +375,28 @@ fn design_cost(
     qtables: &[Vec<(TableId, Vec<usize>)>],
     memo: &mut CostMemo,
 ) -> f64 {
-    // Group fragments by table once.
+    let (total, new_entries) =
+        design_cost_snapshot(catalog, workload, fragments, params, flags, base_costs, qtables, memo);
+    memo.extend(new_entries);
+    total
+}
+
+/// [`design_cost`] against a read-only memo: returns the design's total
+/// plus the entries that were missing, so concurrent candidate evaluations
+/// can share one frozen memo and merge their discoveries afterwards.
+/// Entry values are pure functions of their keys, so the merged table does
+/// not depend on which candidate computed an entry first.
+#[allow(clippy::too_many_arguments)]
+fn design_cost_snapshot(
+    catalog: &Catalog,
+    workload: &[Select],
+    fragments: &[Fragment],
+    params: &CostParams,
+    flags: &PlannerFlags,
+    base_costs: &[f64],
+    qtables: &[Vec<(TableId, Vec<usize>)>],
+    memo: &CostMemo,
+) -> (f64, Vec<MemoEntry>) {
     let mut total = 0.0;
     let mut pending: Vec<usize> = Vec::new();
     for (qi, tables) in qtables.iter().enumerate() {
@@ -349,16 +407,17 @@ fn design_cost(
         }
     }
     if pending.is_empty() {
-        return total;
+        return (total, Vec::new());
     }
     // Evaluate the pending queries under this design in one overlay pass.
     let eval = evaluate_design_subset(catalog, workload, fragments, params, flags, base_costs, &pending);
+    let mut new_entries = Vec::with_capacity(pending.len());
     for (qi, cost) in pending.iter().zip(&eval) {
         let key = relevant_fragments(fragments, &qtables[*qi]);
-        memo.insert((*qi, key), *cost);
         total += *cost;
+        new_entries.push(((*qi, key), *cost));
     }
-    total
+    (total, new_entries)
 }
 
 /// Plan only `subset` of the workload under a simulated design; returns

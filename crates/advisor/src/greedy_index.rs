@@ -6,7 +6,8 @@
 //! the INUM model (so the comparison against ILP is cost-model-fair).
 
 use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
-use parinda_solver::{greedy_select, GreedyItem};
+use parinda_parallel::{par_map, par_map_indexed};
+use parinda_solver::{greedy_select_batch, GreedyItem};
 
 use crate::ilp_index::{finish_selection, IndexSelection};
 
@@ -19,8 +20,11 @@ pub fn select_indexes_greedy(
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
+    let par = model.parallelism();
     let empty = Configuration::empty();
-    let base_costs: Vec<f64> = (0..nq).map(|q| model.cost(q, &empty)).collect();
+    let model_ref = &*model;
+    let base_costs: Vec<f64> =
+        par_map_indexed(par, nq, |q| model_ref.cost(q, &empty));
 
     let items: Vec<GreedyItem> = cand_ids
         .iter()
@@ -28,12 +32,17 @@ pub fn select_indexes_greedy(
         .map(|(pos, &id)| GreedyItem { id: pos, size: model.candidate_size(id) })
         .collect();
 
-    let model_ref = &*model;
-    let picked_pos = greedy_select(&items, budget_bytes, |selected, pos| {
+    // Each round re-evaluates every still-affordable candidate's marginal
+    // benefit; the (candidate × query) probes are independent, so a round
+    // fans out over the pool. The current-config cost is hoisted out of
+    // the per-candidate closure — it is the same for all of them.
+    let picked_pos = greedy_select_batch(&items, budget_bytes, |selected, eligible| {
         let current: Configuration =
             Configuration::from_ids(selected.iter().map(|&p| cand_ids[p]));
-        let with = current.with(cand_ids[pos]);
-        model_ref.workload_cost(&current) - model_ref.workload_cost(&with)
+        let current_cost = model_ref.workload_cost(&current);
+        par_map(par, eligible, |&pos| {
+            current_cost - model_ref.workload_cost(&current.with(cand_ids[pos]))
+        })
     });
 
     let chosen: Vec<CandId> = picked_pos.iter().map(|&p| cand_ids[p]).collect();

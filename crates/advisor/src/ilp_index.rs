@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use parinda_catalog::{MetadataProvider, TableId};
 use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
+use parinda_parallel::par_map_indexed;
 use parinda_solver::{solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits};
 
 /// User-supplied constraints beyond the storage budget (paper §3.4: "other
@@ -107,24 +108,29 @@ pub fn select_indexes_ilp_with(
         options.weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or(1.0)
     };
 
-    // Benefits (weighted) and sizes.
+    // Benefits (weighted) and sizes. The (query, candidate) cells are
+    // independent cached-model probes, so the matrix fans out over the
+    // model's thread pool; each cell is pure, so the matrix is identical
+    // at any thread count.
+    let par = model.parallelism();
+    let model_ref: &InumModel<'_> = model;
     let empty = Configuration::empty();
-    let base_costs: Vec<f64> = (0..nq)
-        .map(|q| model.cost(q, &empty) * weight(q))
-        .collect();
-    let mut benefits: Vec<Vec<f64>> = Vec::with_capacity(nq); // [q][cand]
-    for (q, &base) in base_costs.iter().enumerate() {
-        let mut row = Vec::with_capacity(cand_ids.len());
-        for &id in &cand_ids {
-            let with = model.cost(q, &Configuration::from_ids([id])) * weight(q);
-            row.push((base - with).max(0.0));
-        }
-        benefits.push(row);
-    }
+    let base_costs: Vec<f64> =
+        par_map_indexed(par, nq, |q| model_ref.cost(q, &empty) * weight(q));
+    let n_cand = cand_ids.len();
+    let cells: Vec<f64> = par_map_indexed(par, nq * n_cand, |k| {
+        let (q, ci) = (k / n_cand.max(1), k % n_cand.max(1));
+        let with = model_ref.cost(q, &Configuration::from_ids([cand_ids[ci]])) * weight(q);
+        (base_costs[q] - with).max(0.0)
+    });
+    let benefits: Vec<Vec<f64>> = if n_cand == 0 {
+        vec![Vec::new(); nq]
+    } else {
+        cells.chunks(n_cand).map(|row| row.to_vec()).collect()
+    };
     let sizes: Vec<u64> = cand_ids.iter().map(|&id| model.candidate_size(id)).collect();
 
     // Build the ILP.
-    let n_cand = cand_ids.len();
     // variable layout: y_0..y_{n-1}, then x_{q,i} for pairs with benefit>0
     let mut x_vars: Vec<(usize, usize)> = Vec::new(); // (q, cand position)
     for (q, row) in benefits.iter().enumerate() {

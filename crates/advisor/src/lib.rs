@@ -18,7 +18,9 @@ pub mod greedy_index;
 pub mod ilp_index;
 pub mod rewrite;
 
-pub use autopart::{suggest_partitions, AdvisorError, AutoPartConfig, PartitionSuggestion};
+pub use autopart::{
+    suggest_partitions, suggest_partitions_par, AdvisorError, AutoPartConfig, PartitionSuggestion,
+};
 pub use candidates::{generate_candidates, CandidateLimits};
 pub use fragments::{atomic_fragments, replication_overhead, Fragment};
 pub use greedy_index::{select_indexes_greedy, select_indexes_greedy_static};

@@ -29,6 +29,7 @@ fn main() {
         "e5" => e5_size_accuracy(),
         "e6" => e6_autopart(),
         "e7" => e7_interactive(),
+        "e8" => e8_parallel_scaling(),
         "a1" => a1_inum_ablation(),
         "all" => {
             e1_workload_speedup();
@@ -38,10 +39,11 @@ fn main() {
             e5_size_accuracy();
             e6_autopart();
             e7_interactive();
+            e8_parallel_scaling();
             a1_inum_ablation();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1..e7, a1, or all");
+            eprintln!("unknown experiment `{other}`; use e1..e8, a1, or all");
             std::process::exit(1);
         }
     }
@@ -442,6 +444,75 @@ fn e7_interactive() {
             if v.same_access_path { "yes".into() } else { "NO".into() },
             format!("{:.1}%", v.size_error() * 100.0),
         ]);
+    }
+    println!("\n{}", t.render());
+}
+
+/// E8 — parallel evaluation-engine scaling: the three hot paths (INUM
+/// cache build, ILP advising, AutoPart) at 1/2/4/8 threads, with the
+/// advisor output checked byte-identical to the single-thread run first.
+fn e8_parallel_scaling() {
+    banner(
+        "E8  parallel evaluation-engine scaling",
+        "(engineering addition: identical designs, lower wall-clock on multicore)",
+    );
+    use parinda::Parallelism;
+    use parinda_inum::InumOptions;
+
+    let wl = workload();
+    let threads = [1usize, 2, 4, 8];
+    println!(
+        "machine reports {} available thread(s); PARINDA_THREADS overrides\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // Correctness gate before any timing: same design at every count.
+    let reference: Vec<String> = {
+        let mut s = paper_session();
+        s.set_parallelism(Parallelism::fixed(1));
+        let sugg = s.suggest_indexes(&wl, 2_u64 << 30, SelectionMethod::Ilp).unwrap();
+        sugg.indexes.iter().map(|i| i.name.clone()).collect()
+    };
+
+    let mut t = Table::new(&["threads", "inum build", "ilp advising", "autopart", "identical"]);
+    let mut base_times: Option<(f64, f64, f64)> = None;
+    for &n in &threads {
+        let par = Parallelism::fixed(n);
+        let mut session = paper_session();
+        session.set_parallelism(par);
+
+        let t0 = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            InumModel::build_par(
+                session.catalog(),
+                &wl,
+                CostParams::default(),
+                InumOptions::default(),
+                par,
+            )
+            .unwrap();
+        }
+        let build = t0.elapsed().as_secs_f64() / reps as f64;
+
+        let t0 = Instant::now();
+        let sugg = session.suggest_indexes(&wl, 2_u64 << 30, SelectionMethod::Ilp).unwrap();
+        let ilp = t0.elapsed().as_secs_f64();
+        let names: Vec<String> = sugg.indexes.iter().map(|i| i.name.clone()).collect();
+
+        let t0 = Instant::now();
+        session.suggest_partitions(&wl, AutoPartConfig::default()).unwrap();
+        let autopart = t0.elapsed().as_secs_f64();
+
+        let (b0, i0, a0) = *base_times.get_or_insert((build, ilp, autopart));
+        t.row(&[
+            format!("{n}"),
+            format!("{:.1} ms ({:.2}x)", build * 1e3, b0 / build),
+            format!("{:.1} ms ({:.2}x)", ilp * 1e3, i0 / ilp),
+            format!("{:.2} s ({:.2}x)", autopart, a0 / autopart),
+            if names == reference { "yes".into() } else { "NO".into() },
+        ]);
+        assert_eq!(names, reference, "parallel advising changed the design");
     }
     println!("\n{}", t.render());
 }

@@ -3,11 +3,12 @@
 
 use parinda_advisor::{
     generate_candidates, select_indexes_greedy, select_indexes_ilp_with,
-    suggest_partitions, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
+    suggest_partitions_par, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
 };
 use parinda_catalog::{Catalog, IndexId, MetadataProvider};
-use parinda_inum::{Configuration, InumModel};
+use parinda_inum::{Configuration, InumModel, InumOptions};
 use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
+use parinda_parallel::Parallelism;
 use parinda_sql::Select;
 use parinda_storage::Database;
 use parinda_whatif::Design;
@@ -111,6 +112,7 @@ pub struct Parinda {
     db: Database,
     params: CostParams,
     flags: PlannerFlags,
+    par: Parallelism,
 }
 
 impl Parinda {
@@ -122,12 +124,30 @@ impl Parinda {
             db: Database::new(),
             params: CostParams::default(),
             flags: PlannerFlags::default(),
+            par: Parallelism::auto(),
         }
     }
 
     /// Open a session with materialized data.
     pub fn with_database(catalog: Catalog, db: Database) -> Self {
-        Parinda { catalog, db, params: CostParams::default(), flags: PlannerFlags::default() }
+        Parinda {
+            catalog,
+            db,
+            params: CostParams::default(),
+            flags: PlannerFlags::default(),
+            par: Parallelism::auto(),
+        }
+    }
+
+    /// The thread-count policy the session's advisors evaluate with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Change the thread-count policy (the CLI's `threads` command).
+    /// Advisor output is identical at any setting; only wall-clock changes.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Open a session from a DDL script (`CREATE TABLE … ROWS n;`,
@@ -299,8 +319,14 @@ impl Parinda {
         method: SelectionMethod,
         options: &IlpOptions,
     ) -> Result<IndexSuggestion, ParindaError> {
-        let mut model = InumModel::build(&self.catalog, workload, self.params.clone())
-            .map_err(|e| ParindaError::Advisor(e.to_string()))?;
+        let mut model = InumModel::build_par(
+            &self.catalog,
+            workload,
+            self.params.clone(),
+            InumOptions::default(),
+            self.par,
+        )
+        .map_err(|e| ParindaError::Advisor(e.to_string()))?;
         let queries = model.queries().to_vec();
         let cands = generate_candidates(&queries, CandidateLimits::default());
         let sel = match method {
@@ -475,7 +501,7 @@ impl Parinda {
         workload: &[Select],
         config: AutoPartConfig,
     ) -> Result<PartitionSuggestionReport, ParindaError> {
-        let sugg = suggest_partitions(&self.catalog, workload, config)
+        let sugg = suggest_partitions_par(&self.catalog, workload, config, self.par)
             .map_err(|e| ParindaError::Advisor(e.to_string()))?;
 
         let partitions = sugg

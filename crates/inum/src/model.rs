@@ -16,8 +16,9 @@
 //! This turns "millions of query cost estimations" into table lookups plus
 //! a few additions — "in the order of minutes instead of days".
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use parinda_catalog::{Catalog, Index, IndexId, MetadataProvider};
 use parinda_optimizer::cost::sort_cost;
@@ -25,6 +26,7 @@ use parinda_optimizer::planner::{base_rel_rows, base_scan_paths};
 use parinda_optimizer::{
     bind, plan_query, BoundQuery, CostParams, PlanKind, PlanNode, PlannerFlags,
 };
+use parinda_parallel::{par_map, par_map_indexed, Parallelism};
 use parinda_sql::Select;
 use parinda_whatif::{HypotheticalCatalog, JoinScenario};
 
@@ -73,7 +75,10 @@ struct CachedCase {
 
 /// Memo key/value store: (query, rel, candidate) → access cost
 /// (`None` candidate = sequential scan; `None` value = not applicable).
-type AccessMemo = RefCell<HashMap<(usize, usize, Option<usize>), Option<AccessCost>>>;
+/// Guarded by a mutex so concurrent what-if sweeps can share it; entries
+/// are pure functions of the key, so racing writers insert equal values
+/// and the cache stays deterministic under any interleaving.
+type AccessMemo = Mutex<HashMap<(usize, usize, Option<usize>), Option<AccessCost>>>;
 
 /// Per-(query, rel, candidate) memoized access-path cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,14 +94,15 @@ pub struct InumModel<'a> {
     catalog: &'a Catalog,
     params: CostParams,
     options: InumOptions,
+    par: Parallelism,
     queries: Vec<BoundQuery>,
     cases: Vec<Vec<CachedCase>>,
     candidates: Vec<CandidateIndex>,
     access_memo: AccessMemo,
     /// memo: (query, rel, candidate) -> parameterized probe cost
-    probe_memo: RefCell<HashMap<(usize, usize, usize), Option<f64>>>,
-    estimations: Cell<u64>,
-    full_optimizations: Cell<u64>,
+    probe_memo: Mutex<HashMap<(usize, usize, usize), Option<f64>>>,
+    estimations: AtomicU64,
+    full_optimizations: AtomicU64,
 }
 
 /// Errors building the model.
@@ -136,28 +142,55 @@ impl<'a> InumModel<'a> {
         params: CostParams,
         options: InumOptions,
     ) -> Result<Self, InumError> {
+        Self::build_par(catalog, workload, params, options, Parallelism::auto())
+    }
+
+    /// Fully explicit build: cache-richness options plus the thread-count
+    /// policy for cache population (each query's interesting-order ×
+    /// nestloop plan enumeration is independent, so queries fan out over
+    /// the pool; results are identical at any thread count).
+    pub fn build_par(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        params: CostParams,
+        options: InumOptions,
+        par: Parallelism,
+    ) -> Result<Self, InumError> {
+        let bound = par_map(par, workload, |sel| {
+            bind(sel, catalog).map_err(|e| e.to_string())
+        });
         let mut queries = Vec::with_capacity(workload.len());
-        for (i, sel) in workload.iter().enumerate() {
-            let q = bind(sel, catalog).map_err(|e| InumError::Bind(i, e.to_string()))?;
-            queries.push(q);
+        for (i, q) in bound.into_iter().enumerate() {
+            queries.push(q.map_err(|e| InumError::Bind(i, e))?);
         }
         let mut model = InumModel {
             catalog,
             params,
             options,
+            par,
             queries,
             cases: Vec::new(),
             candidates: Vec::new(),
-            access_memo: RefCell::new(HashMap::new()),
-            probe_memo: RefCell::new(HashMap::new()),
-            estimations: Cell::new(0),
-            full_optimizations: Cell::new(0),
+            access_memo: Mutex::new(HashMap::new()),
+            probe_memo: Mutex::new(HashMap::new()),
+            estimations: AtomicU64::new(0),
+            full_optimizations: AtomicU64::new(0),
         };
-        for qi in 0..model.queries.len() {
-            let cases = model.build_cases(qi).map_err(|e| InumError::Plan(qi, e))?;
-            model.cases.push(cases);
+        let built = par_map_indexed(par, model.queries.len(), |qi| model.build_cases(qi));
+        for (qi, cases) in built.into_iter().enumerate() {
+            model.cases.push(cases.map_err(|e| InumError::Plan(qi, e))?);
         }
         Ok(model)
+    }
+
+    /// The thread-count policy the model evaluates with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Change the thread-count policy for subsequent evaluation sweeps.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// The bound queries (for advisors that need workload structure).
@@ -206,18 +239,18 @@ impl<'a> InumModel<'a> {
 
     /// Number of cached-model cost estimations served so far.
     pub fn estimations_served(&self) -> u64 {
-        self.estimations.get()
+        self.estimations.load(Ordering::Relaxed)
     }
 
     /// Number of full optimizer invocations performed (cache build +
     /// exact costing).
     pub fn full_optimizations(&self) -> u64 {
-        self.full_optimizations.get()
+        self.full_optimizations.load(Ordering::Relaxed)
     }
 
     // ---------- cache construction ----------
 
-    fn build_cases(&mut self, qi: usize) -> Result<Vec<CachedCase>, String> {
+    fn build_cases(&self, qi: usize) -> Result<Vec<CachedCase>, String> {
         let q = &self.queries[qi];
         let nrels = q.rels.len();
 
@@ -296,7 +329,7 @@ impl<'a> InumModel<'a> {
         }
         let flags = scenario.flags(PlannerFlags::default());
         let plan = plan_query(q, &overlay, &self.params, &flags).map_err(|e| e.to_string())?;
-        self.full_optimizations.set(self.full_optimizations.get() + 1);
+        self.full_optimizations.fetch_add(1, Ordering::Relaxed);
 
         // Extract leaf access charges.
         let mut accesses: Vec<RelAccess> = Vec::new();
@@ -336,7 +369,7 @@ impl<'a> InumModel<'a> {
 
     /// INUM cost of query `qi` under `config` — the fast path.
     pub fn cost(&self, qi: usize, config: &Configuration) -> f64 {
-        self.estimations.set(self.estimations.get() + 1);
+        self.estimations.fetch_add(1, Ordering::Relaxed);
         let mut best = f64::INFINITY;
         for case in &self.cases[qi] {
             if let Some(total) = self.case_cost(qi, case, config) {
@@ -432,11 +465,17 @@ impl<'a> InumModel<'a> {
     /// Memoized single-scan access cost for (query, rel, candidate);
     /// `cand = None` = sequential scan.
     fn access_cost(&self, qi: usize, rel: usize, cand: Option<usize>) -> Option<AccessCost> {
-        if let Some(v) = self.access_memo.borrow().get(&(qi, rel, cand)) {
+        if let Some(v) = self.access_memo.lock().expect("memo poisoned").get(&(qi, rel, cand)) {
             return *v;
         }
+        // Computed outside the lock: concurrent sweeps may duplicate the
+        // work, but the value is a pure function of the key, so whichever
+        // insert lands last writes the same bits.
         let computed = self.compute_access_cost(qi, rel, cand);
-        self.access_memo.borrow_mut().insert((qi, rel, cand), computed);
+        self.access_memo
+            .lock()
+            .expect("memo poisoned")
+            .insert((qi, rel, cand), computed);
         computed
     }
 
@@ -481,7 +520,7 @@ impl<'a> InumModel<'a> {
 
     /// Parameterized probe cost of `cand` for (query, rel).
     fn probe_cost(&self, qi: usize, rel: usize, cid: CandId) -> Option<f64> {
-        if let Some(v) = self.probe_memo.borrow().get(&(qi, rel, cid.0)) {
+        if let Some(v) = self.probe_memo.lock().expect("memo poisoned").get(&(qi, rel, cid.0)) {
             return *v;
         }
         let cand = &self.candidates[cid.0];
@@ -491,7 +530,10 @@ impl<'a> InumModel<'a> {
         let colrefs: Vec<&str> = colnames.iter().map(|s| s.as_str()).collect();
         let idx = Index::new(IndexId(0), "inum_probe", table, &colrefs)?;
         let computed = self.compute_probe_cost(qi, rel, &idx);
-        self.probe_memo.borrow_mut().insert((qi, rel, cid.0), computed);
+        self.probe_memo
+            .lock()
+            .expect("memo poisoned")
+            .insert((qi, rel, cid.0), computed);
         computed
     }
 
@@ -544,7 +586,7 @@ impl<'a> InumModel<'a> {
                 }
             }
         }
-        self.full_optimizations.set(self.full_optimizations.get() + 1);
+        self.full_optimizations.fetch_add(1, Ordering::Relaxed);
         match plan_query(q, &overlay, &self.params, &PlannerFlags::default()) {
             Ok(p) => p.cost.total,
             Err(_) => f64::INFINITY,

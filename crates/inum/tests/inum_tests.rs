@@ -272,3 +272,31 @@ fn options_control_cache_size() {
     .unwrap();
     assert!(lean.full_optimizations() < full.full_optimizations());
 }
+
+#[test]
+fn counters_are_exact_under_parallel_builds() {
+    use parinda_inum::InumOptions;
+    use parinda_parallel::{par_map_indexed, Parallelism};
+    let c = catalog();
+    let wl = workload();
+    let seq = InumModel::build_par(
+        &c, &wl, CostParams::default(), InumOptions::default(), Parallelism::fixed(1),
+    )
+    .unwrap();
+    let par = InumModel::build_par(
+        &c, &wl, CostParams::default(), InumOptions::default(), Parallelism::fixed(4),
+    )
+    .unwrap();
+    // cache population performs the same optimizer calls regardless of the
+    // thread count, and no increment may be lost to a race
+    assert!(seq.full_optimizations() > 0);
+    assert_eq!(seq.full_optimizations(), par.full_optimizations());
+    assert_eq!(par.estimations_served(), 0);
+
+    // concurrent estimation sweeps over a shared model: exactly one
+    // increment per served estimate
+    let n = 1_000usize;
+    let nq = par.queries().len();
+    par_map_indexed(Parallelism::fixed(8), n, |i| par.cost(i % nq, &Configuration::empty()));
+    assert_eq!(par.estimations_served(), n as u64);
+}

@@ -1,0 +1,241 @@
+//! # parinda-parallel
+//!
+//! A small std-only execution engine for PARINDA's embarrassingly
+//! parallel what-if evaluation loops: INUM cache population, the ILP
+//! benefit matrix, and AutoPart's per-round candidate sweep are all
+//! independent per query/configuration, so they fan out over a scoped
+//! thread pool here.
+//!
+//! Design rules that keep parallel results **bit-identical** to
+//! sequential execution at any thread count:
+//!
+//! * workers only compute *pure* per-item values — all side effects
+//!   (memo merges, reductions, error selection) happen on the caller's
+//!   thread, in input order;
+//! * [`par_map`] / [`par_map_indexed`] return results ordered by input
+//!   index regardless of completion order;
+//! * [`ordered_sum`] reduces strictly in input order, so floating-point
+//!   rounding matches the sequential loop exactly.
+//!
+//! Work distribution is dynamic: workers claim chunks of indexes from a
+//! shared atomic cursor, so skewed item costs (one huge query among
+//! thirty) don't serialize the sweep.
+
+#![deny(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the auto-detected thread count.
+pub const THREADS_ENV: &str = "PARINDA_THREADS";
+
+/// Thread-count policy for the evaluation engine.
+///
+/// `Parallelism` is resolved at construction: `auto()` consults the
+/// `PARINDA_THREADS` environment variable and then the machine's
+/// available parallelism, so a constructed value is a plain count and
+/// two equal values always behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Auto-detect: `PARINDA_THREADS` if set and valid, otherwise the
+    /// machine's available parallelism, otherwise 1.
+    pub fn auto() -> Self {
+        if let Some(n) = env_threads() {
+            return Parallelism::fixed(n);
+        }
+        let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        Parallelism::fixed(n)
+    }
+
+    /// Exactly `n` threads (clamped to at least 1).
+    pub fn fixed(n: usize) -> Self {
+        Parallelism { threads: NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero") }
+    }
+
+    /// Single-threaded execution.
+    pub fn sequential() -> Self {
+        Parallelism::fixed(1)
+    }
+
+    /// The resolved thread count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Does this policy run everything on the calling thread?
+    pub fn is_sequential(&self) -> bool {
+        self.threads.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// The `PARINDA_THREADS` override, if set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV).ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// How many indexes a worker claims per grab: enough to amortize the
+/// atomic increment on microsecond-scale items, small enough to balance
+/// skewed workloads.
+fn chunk_size(n: usize, threads: usize) -> usize {
+    (n / (threads * 8)).max(1)
+}
+
+/// Map `f` over `0..n` on the pool, returning results in index order.
+///
+/// `f` must be pure (or internally synchronized); it may run on any
+/// worker in any order, but the output vector is always `[f(0), f(1),
+/// …, f(n-1)]`. Panics in `f` propagate to the caller.
+pub fn par_map_indexed<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = par.threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let chunk = chunk_size(n, threads);
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            out.push((i, f(i)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    // Reassemble in input order — determinism does not depend on which
+    // worker computed what.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index computed exactly once")).collect()
+}
+
+/// Map `f` over a slice on the pool, preserving input order.
+pub fn par_map<'a, T, R, F>(par: Parallelism, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    par_map_indexed(par, items.len(), |i| f(&items[i]))
+}
+
+/// Compute `n` `f64` terms in parallel, then reduce **in input order**,
+/// so the floating-point sum is bit-identical to the sequential loop.
+pub fn ordered_sum<F>(par: Parallelism, n: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if par.is_sequential() || n < 2 {
+        return (0..n).map(f).sum();
+    }
+    par_map_indexed(par, n, f).into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_input_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_map_indexed(Parallelism::fixed(threads), 1000, |i| i * i);
+            assert_eq!(out, (0..1000).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let items: Vec<String> = (0..64).map(|i| format!("q{i}")).collect();
+        let out = par_map(Parallelism::fixed(4), &items, |s| s.len());
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = par_map_indexed(Parallelism::fixed(8), 0, |_| unreachable!());
+        assert!(empty.is_empty());
+        assert_eq!(par_map_indexed(Parallelism::fixed(8), 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_index_computed_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = par_map_indexed(Parallelism::fixed(7), 333, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 333);
+        assert_eq!(out.len(), 333);
+    }
+
+    #[test]
+    fn ordered_sum_is_bit_identical_across_thread_counts() {
+        // Terms chosen so that summation order changes the rounding.
+        let term = |i: usize| ((i as f64) * 1.000_000_1).powf(1.5) + 1e-9 / ((i + 1) as f64);
+        let seq = ordered_sum(Parallelism::sequential(), 10_000, term);
+        for threads in [2, 5, 16] {
+            let par = ordered_sum(Parallelism::fixed(threads), 10_000, term);
+            assert_eq!(seq.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fixed_clamps_to_one() {
+        assert_eq!(Parallelism::fixed(0).threads(), 1);
+        assert!(Parallelism::fixed(0).is_sequential());
+        assert!(!Parallelism::fixed(2).is_sequential());
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        assert!(Parallelism::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            par_map_indexed(Parallelism::fixed(4), 100, |i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

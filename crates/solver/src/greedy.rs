@@ -26,21 +26,45 @@ pub fn greedy_select<F>(items: &[GreedyItem], budget: u64, mut benefit: F) -> Ve
 where
     F: FnMut(&[usize], usize) -> f64,
 {
+    greedy_select_batch(items, budget, |selected, ids| {
+        ids.iter().map(|&id| benefit(selected, id)).collect()
+    })
+}
+
+/// [`greedy_select`] with a *batch* benefit oracle: each round, the oracle
+/// receives every candidate that still fits the budget (in input order) and
+/// returns their marginal benefits in the same order. This lets callers
+/// evaluate the round's candidates in parallel while the selection itself —
+/// including the first-strict-maximum tie-break — remains exactly the
+/// per-item loop's.
+pub fn greedy_select_batch<F>(items: &[GreedyItem], budget: u64, mut benefits: F) -> Vec<usize>
+where
+    F: FnMut(&[usize], &[usize]) -> Vec<f64>,
+{
     let mut selected: Vec<usize> = Vec::new();
     let mut remaining: Vec<GreedyItem> = items.to_vec();
     let mut budget_left = budget;
 
     loop {
+        let eligible: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| item.size <= budget_left)
+            .map(|(pos, _)| pos)
+            .collect();
+        if eligible.is_empty() {
+            break;
+        }
+        let ids: Vec<usize> = eligible.iter().map(|&pos| remaining[pos].id).collect();
+        let round = benefits(&selected, &ids);
+        assert_eq!(round.len(), ids.len(), "batch oracle must score every candidate");
+
         let mut best: Option<(usize, f64)> = None; // (position in remaining, density)
-        for (pos, item) in remaining.iter().enumerate() {
-            if item.size > budget_left {
-                continue;
-            }
-            let b = benefit(&selected, item.id);
+        for (&pos, &b) in eligible.iter().zip(&round) {
             if b <= 0.0 {
                 continue;
             }
-            let density = b / item.size.max(1) as f64;
+            let density = b / remaining[pos].size.max(1) as f64;
             if best.map(|(_, d)| density > d).unwrap_or(true) {
                 best = Some((pos, density));
             }
@@ -107,5 +131,32 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(greedy_select(&[], 100, |_, _| 1.0).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_per_item_on_ties() {
+        // Equal densities everywhere: both variants must keep the
+        // first-strict-maximum winner (input order).
+        let items: Vec<GreedyItem> = (0..6).map(|id| GreedyItem { id, size: 2 }).collect();
+        let per_item = greedy_select(&items, 7, |_, _| 4.0);
+        let batch = greedy_select_batch(&items, 7, |_, ids| vec![4.0; ids.len()]);
+        assert_eq!(per_item, batch);
+        assert_eq!(batch, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn batch_oracle_sees_only_affordable_candidates() {
+        let items = vec![
+            GreedyItem { id: 0, size: 50 },
+            GreedyItem { id: 1, size: 200 }, // never fits
+            GreedyItem { id: 2, size: 50 },
+        ];
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        let picked = greedy_select_batch(&items, 100, |_, ids| {
+            seen.push(ids.to_vec());
+            ids.iter().map(|&id| (id + 1) as f64).collect()
+        });
+        assert_eq!(picked, vec![2, 0]);
+        assert!(seen.iter().all(|round| !round.contains(&1)));
     }
 }

@@ -37,6 +37,6 @@ pub mod lp;
 pub mod simplex;
 
 pub use branch::{solve_ilp, IlpOutcome, IlpSolution, IntegerProgram, SolveLimits};
-pub use greedy::{greedy_select, GreedyItem};
+pub use greedy::{greedy_select, greedy_select_batch, GreedyItem};
 pub use lp::{Constraint, LinearProgram, LpOutcome, LpSolution, Sense};
 pub use simplex::solve as solve_lp;

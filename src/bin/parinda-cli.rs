@@ -14,7 +14,7 @@
 use std::io::{self, BufRead, Write};
 
 use parinda::{
-    AutoPartConfig, Design, Parinda, SelectionMethod, WhatIfIndex, WhatIfPartition,
+    AutoPartConfig, Design, Parallelism, Parinda, SelectionMethod, WhatIfIndex, WhatIfPartition,
 };
 use parinda_catalog::MetadataProvider;
 use parinda_workload::{
@@ -44,6 +44,9 @@ enum Command {
     SuggestIndexes { budget_mb: u64, method: SelectionMethod },
     SuggestPartitions { replication_mb: Option<u64> },
     SuggestDrops,
+    /// `threads <n|auto>` — `None` = auto-detect, `Some(n)` = fixed count.
+    Threads(Option<usize>),
+    ShowThreads,
     Help,
     Quit,
     Empty,
@@ -136,6 +139,16 @@ fn parse_command(line: &str) -> Result<Command, String> {
         },
         "clear" => Ok(Command::ClearDesign),
         "eval" => Ok(Command::Eval),
+        "threads" => match lower.get(1).map(|s| s.as_str()) {
+            None => Ok(Command::ShowThreads),
+            Some("auto") => Ok(Command::Threads(None)),
+            Some(n) => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(|n| Command::Threads(Some(n)))
+                .ok_or_else(|| "usage: threads [<n>|auto]".into()),
+        },
         "suggest" => match lower.get(1).map(|s| s.as_str()) {
             Some("indexes") => {
                 let budget_mb = lower
@@ -180,17 +193,32 @@ commands:
   suggest indexes <mb> [ilp|greedy]
   suggest partitions [replication-mb]
   suggest drops              real indexes the workload would not miss
+  threads [<n>|auto]         advisor thread count (also: PARINDA_THREADS)
   quit";
 
 struct Console {
     session: Option<Parinda>,
     workload: Vec<parinda::Select>,
     design: Design,
+    /// Thread policy chosen with `threads`; applied to every session,
+    /// including ones loaded later.
+    par: Parallelism,
 }
 
 impl Console {
     fn new() -> Self {
-        Console { session: None, workload: Vec::new(), design: Design::new() }
+        Console {
+            session: None,
+            workload: Vec::new(),
+            design: Design::new(),
+            par: Parallelism::auto(),
+        }
+    }
+
+    /// Install a freshly loaded session, carrying over the thread policy.
+    fn install(&mut self, mut session: Parinda) {
+        session.set_parallelism(self.par);
+        self.session = Some(session);
     }
 
     fn session(&self) -> Result<&Parinda, String> {
@@ -207,21 +235,21 @@ impl Console {
                 synthesize_stats(&mut cat, &tables);
                 let n = cat.all_tables().len();
                 let gb = cat.total_size_bytes() as f64 / (1u64 << 30) as f64;
-                self.session = Some(Parinda::new(cat));
+                self.install(Parinda::new(cat));
                 Ok(format!("loaded SDSS paper-scale catalog: {n} tables, {gb:.1} GB simulated"))
             }
             Command::LoadDdl(path) => {
                 let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
                 let session = Parinda::from_ddl(&text).map_err(|e| e.to_string())?;
                 let n = session.catalog().all_tables().len();
-                self.session = Some(session);
+                self.install(session);
                 Ok(format!("loaded {n} tables from {path}"))
             }
             Command::LoadLaptop(rows) => {
                 let (mut cat, tables) = sdss_catalog(SdssScale::laptop(rows));
                 let mut db = parinda::Database::new();
                 generate_and_load(&mut cat, &mut db, &tables, 42);
-                self.session = Some(Parinda::with_database(cat, db));
+                self.install(Parinda::with_database(cat, db));
                 Ok(format!("loaded SDSS laptop-scale instance with {rows} PhotoObj rows"))
             }
             Command::WorkloadSdss => {
@@ -310,6 +338,19 @@ impl Console {
                     out = "empty design".into();
                 }
                 Ok(out)
+            }
+            Command::Threads(spec) => {
+                self.par = match spec {
+                    Some(n) => Parallelism::fixed(n),
+                    None => Parallelism::auto(),
+                };
+                if let Some(s) = self.session.as_mut() {
+                    s.set_parallelism(self.par);
+                }
+                Ok(format!("advisors will use {} thread(s)", self.par.threads()))
+            }
+            Command::ShowThreads => {
+                Ok(format!("advisors use {} thread(s)", self.par.threads()))
             }
             Command::Explain(sql) => self.session()?.explain_sql(&sql).map_err(|e| e.to_string()),
             Command::Analyze(sql) => {
@@ -524,6 +565,25 @@ mod tests {
             Command::WhatIfDrop("i_old".into())
         );
         assert!(parse_command("whatif index w1").is_err());
+    }
+
+    #[test]
+    fn parses_threads_command() {
+        assert_eq!(parse_command("threads 4").unwrap(), Command::Threads(Some(4)));
+        assert_eq!(parse_command("threads auto").unwrap(), Command::Threads(None));
+        assert_eq!(parse_command("threads").unwrap(), Command::ShowThreads);
+        assert!(parse_command("threads 0").is_err());
+        assert!(parse_command("threads many").is_err());
+    }
+
+    #[test]
+    fn threads_command_sticks_across_loads() {
+        let mut c = Console::new();
+        c.run_command(Command::Threads(Some(2))).unwrap();
+        c.run_command(Command::LoadPaper).unwrap();
+        assert_eq!(c.session.as_ref().unwrap().parallelism(), Parallelism::fixed(2));
+        let out = c.run_command(Command::ShowThreads).unwrap();
+        assert!(out.contains("2 thread"), "{out}");
     }
 
     #[test]

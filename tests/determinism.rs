@@ -1,0 +1,170 @@
+//! Determinism suite for the parallel evaluation engine: every advisor
+//! answer — workload costs, ILP index selections, AutoPart designs — must
+//! be **bit-identical** for any thread count. Runs on both schemas (SDSS
+//! and retail) so nothing SDSS-specific can mask a race.
+
+use parinda::{AutoPartConfig, Parallelism, Parinda, SelectionMethod};
+use parinda_advisor::{generate_candidates, CandidateLimits};
+use parinda_inum::{Configuration, InumModel, InumOptions};
+use parinda_optimizer::CostParams;
+use parinda_workload::{
+    retail_catalog, retail_load, retail_workload, sdss_catalog, sdss_workload, synthesize_stats,
+    SdssScale,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn sdss_session() -> Parinda {
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut cat, &tables);
+    Parinda::new(cat)
+}
+
+fn retail_session() -> Parinda {
+    let (mut cat, tables) = retail_catalog(2_000);
+    let mut db = parinda::Database::new();
+    retail_load(&mut cat, &mut db, &tables, 3);
+    Parinda::with_database(cat, db)
+}
+
+/// Exact float equality (the guarantee is bit-level, not epsilon-level).
+fn assert_bits_eq(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} != {b}");
+}
+
+fn check_workload_costs(mk: fn() -> Parinda, workload: &[parinda::Select], schema: &str) {
+    let session = mk();
+    let params = CostParams::default();
+    let baseline = InumModel::build_par(
+        session.catalog(),
+        workload,
+        params.clone(),
+        InumOptions::default(),
+        Parallelism::fixed(1),
+    )
+    .unwrap();
+    let cands = generate_candidates(&baseline.queries().to_vec(), CandidateLimits::default());
+
+    let mut base = baseline;
+    let ids: Vec<_> = cands.iter().map(|c| base.register_candidate(c.clone())).collect();
+    let empty_cost = base.workload_cost(&Configuration::empty());
+    let full_cost = base.workload_cost(&Configuration::from_ids(ids.iter().copied()));
+
+    for threads in THREAD_COUNTS {
+        let mut m = InumModel::build_par(
+            session.catalog(),
+            workload,
+            params.clone(),
+            InumOptions::default(),
+            Parallelism::fixed(threads),
+        )
+        .unwrap();
+        let ids: Vec<_> = cands.iter().map(|c| m.register_candidate(c.clone())).collect();
+        assert_bits_eq(
+            m.workload_cost(&Configuration::empty()),
+            empty_cost,
+            &format!("{schema} empty-config cost, {threads} threads"),
+        );
+        assert_bits_eq(
+            m.workload_cost(&Configuration::from_ids(ids)),
+            full_cost,
+            &format!("{schema} full-config cost, {threads} threads"),
+        );
+    }
+}
+
+fn check_index_suggestions(mk: fn() -> Parinda, workload: &[parinda::Select], schema: &str) {
+    for method in [SelectionMethod::Ilp, SelectionMethod::Greedy] {
+        let mut reference = None;
+        for threads in THREAD_COUNTS {
+            let mut session = mk();
+            session.set_parallelism(Parallelism::fixed(threads));
+            let budget = 2_u64 << 30;
+            let sugg = session.suggest_indexes(workload, budget, method).unwrap();
+            let fingerprint: Vec<(String, String, Vec<String>, u64)> = sugg
+                .indexes
+                .iter()
+                .map(|i| (i.name.clone(), i.table.clone(), i.columns.clone(), i.size_bytes))
+                .collect();
+            let costs: Vec<(u64, u64)> = sugg
+                .report
+                .per_query
+                .iter()
+                .map(|q| (q.cost_before.to_bits(), q.cost_after.to_bits()))
+                .collect();
+            match &reference {
+                None => reference = Some((fingerprint, costs)),
+                Some((rf, rc)) => {
+                    assert_eq!(
+                        rf, &fingerprint,
+                        "{schema} {method:?} selection differs at {threads} threads"
+                    );
+                    assert_eq!(
+                        rc, &costs,
+                        "{schema} {method:?} per-query costs differ at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_partition_suggestions(mk: fn() -> Parinda, workload: &[parinda::Select], schema: &str) {
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        let mut session = mk();
+        session.set_parallelism(Parallelism::fixed(threads));
+        let sugg = session.suggest_partitions(workload, AutoPartConfig::default()).unwrap();
+        let fingerprint: Vec<(String, String, Vec<String>)> = sugg
+            .partitions
+            .iter()
+            .map(|p| (p.name.clone(), p.table.clone(), p.columns.clone()))
+            .collect();
+        let costs: Vec<(u64, u64)> = sugg
+            .report
+            .per_query
+            .iter()
+            .map(|q| (q.cost_before.to_bits(), q.cost_after.to_bits()))
+            .collect();
+        let rewritten: Vec<String> = sugg.rewritten.iter().map(|s| s.to_string()).collect();
+        match &reference {
+            None => reference = Some((fingerprint, costs, rewritten, sugg.iterations)),
+            Some((rf, rc, rw, ri)) => {
+                assert_eq!(rf, &fingerprint, "{schema} design differs at {threads} threads");
+                assert_eq!(rc, &costs, "{schema} partition costs differ at {threads} threads");
+                assert_eq!(rw, &rewritten, "{schema} rewrites differ at {threads} threads");
+                assert_eq!(*ri, sugg.iterations, "{schema} iterations differ at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn sdss_workload_cost_bit_identical() {
+    check_workload_costs(sdss_session, &sdss_workload(), "sdss");
+}
+
+#[test]
+fn retail_workload_cost_bit_identical() {
+    check_workload_costs(retail_session, &retail_workload(), "retail");
+}
+
+#[test]
+fn sdss_index_suggestions_identical() {
+    check_index_suggestions(sdss_session, &sdss_workload(), "sdss");
+}
+
+#[test]
+fn retail_index_suggestions_identical() {
+    check_index_suggestions(retail_session, &retail_workload(), "retail");
+}
+
+#[test]
+fn sdss_partition_suggestions_identical() {
+    check_partition_suggestions(sdss_session, &sdss_workload(), "sdss");
+}
+
+#[test]
+fn retail_partition_suggestions_identical() {
+    check_partition_suggestions(retail_session, &retail_workload(), "retail");
+}

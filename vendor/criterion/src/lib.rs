@@ -1,0 +1,194 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the criterion API its benches use: `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs `sample_size`
+//! timed iterations after one warm-up iteration and reports the mean.
+//! Passing `--test` (as `cargo bench -- --test` does) runs every
+//! benchmark exactly once — the smoke mode CI uses.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (ignored: every batch is one
+/// iteration, which matches the only variant the benches use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time, reported by the group after the routine runs.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted and ignored (API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = if self.criterion.test_mode { 1 } else { self.sample_size.max(1) };
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / iters as f64;
+        println!("{}/{id}: mean {:.3} ms/iter ({iters} iters)", self.name, mean * 1e3);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing happens eagerly; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` smoke mode; other harness flags
+        // (--bench, filters) are accepted and ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(10).bench_function("count", |b| b.iter(|| runs += 1));
+        // warm-up + 1 timed iteration in test mode
+        assert_eq!(runs, 2);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_fresh_inputs() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::PerIteration)
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Case execution: configuration, deterministic RNG, and the runner the
+//! `proptest!` macro drives.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Runner configuration (only the field the tests use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to draw per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias kept for API compatibility with real proptest.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs the configured number of cases with per-case reseeded RNGs, so
+/// any failing case can be replayed from its printed seed.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for the named test. The base seed is fixed (reproducible CI)
+    /// unless `PROPTEST_SEED` overrides it.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        let base_seed = env_seed.unwrap_or(0x5eed_0000_0000_0000) ^ h.finish();
+        TestRunner { config, base_seed }
+    }
+
+    /// Draw and run every case; panics on the first failure with enough
+    /// context to replay it.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..self.config.cases {
+            let seed = self
+                .base_seed
+                .wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = TestRng::new(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest case {i}/{} failed (case seed {seed:#x}): {e}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}
