@@ -1,17 +1,44 @@
 #!/usr/bin/env bash
 # CI gate: build, full test suite, the determinism suite under forced
-# parallelism, and a smoke run of the E8 scaling benchmark.
+# parallelism, the no-panic fuzz gate, a panic-site lint on the
+# interactive-surface crates, and a smoke run of the E8 scaling benchmark.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> tier-1: release build"
 cargo build --release
 
-echo "==> tier-1: tests"
-cargo test -q
+echo "==> tier-1: tests (whole workspace)"
+cargo test -q --workspace
 
 echo "==> determinism suite (PARINDA_THREADS=2)"
 PARINDA_THREADS=2 cargo test -q --test determinism
+
+echo "==> no-panic fuzz gate (tests/no_panic.rs, extra seeds)"
+cargo test -q --test no_panic
+PROPTEST_SEED=$(date +%s) cargo test -q --test no_panic
+
+echo "==> panic-site lint (interactive surface: core, sql, CLI)"
+# The never-crash contract (DESIGN.md): no unwrap/expect/panic!/
+# unreachable! outside #[cfg(test)] in the crates a console command runs
+# through first. `expect(` is matched with an opening quote so the SQL
+# parser's `self.expect(TokenKind::…)` method is not flagged.
+lint_fail=0
+for f in $(find crates/core/src crates/sql/src src/bin -name '*.rs'); do
+  hits=$(awk '
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    !in_tests && (/\.unwrap\(\)/ || /\.expect\("/ || /panic!\(/ || /unreachable!\(/) {
+      print FILENAME ":" FNR ": " $0
+    }' "$f")
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    lint_fail=1
+  fi
+done
+if [ "$lint_fail" -ne 0 ]; then
+  echo "panic-site lint FAILED: use ParindaError / par_try_map / guard instead" >&2
+  exit 1
+fi
 
 echo "==> e8 parallel-scaling bench (smoke)"
 cargo bench -p parinda-bench --bench e8_parallel_scaling -- --test

@@ -21,9 +21,7 @@ pub fn evaluate_design(
     workload: &[Select],
     design: &Design,
 ) -> Result<(BenefitReport, Vec<Select>), ParindaError> {
-    let overlay = design
-        .apply(catalog)
-        .map_err(|e| ParindaError::WhatIf(e.to_string()))?;
+    let overlay = design.apply(catalog)?;
 
     // Partition design in advisor vocabulary, for the rewriter.
     let mut pdesign = PartitionDesign::default();
@@ -53,16 +51,14 @@ pub fn evaluate_design(
     let mut rewritten_out = Vec::with_capacity(workload.len());
     for sel in workload {
         // Before: original design.
-        let q0 = bind(sel, catalog).map_err(|e| ParindaError::Bind(e.to_string()))?;
-        let p0 = plan_query(&q0, catalog, params, flags)
-            .map_err(|e| ParindaError::Plan(e.to_string()))?;
+        let q0 = bind(sel, catalog)?;
+        let p0 = plan_query(&q0, catalog, params, flags)?;
 
         // After: the better of (original statement, rewritten statement)
         // under the overlay.
         let direct = {
-            let q = bind(sel, &overlay).map_err(|e| ParindaError::Bind(e.to_string()))?;
-            let p = plan_query(&q, &overlay, params, flags)
-                .map_err(|e| ParindaError::Plan(e.to_string()))?;
+            let q = bind(sel, &overlay)?;
+            let p = plan_query(&q, &overlay, params, flags)?;
             (sel.clone(), p)
         };
         let via_rewrite = if pdesign.is_empty() {

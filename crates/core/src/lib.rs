@@ -41,14 +41,16 @@
 
 #![allow(missing_docs)]
 
+pub mod console;
 pub mod interactive;
 pub mod report;
 pub mod session;
 pub mod verify;
 
+pub use console::{parse_command, Command, Console, ConsoleReply, HELP};
 pub use report::{BenefitReport, QueryBenefit};
 pub use session::{
-    DropSuggestion, IndexSuggestion, Parinda, ParindaError, PartitionSuggestionReport,
+    guard, DropSuggestion, IndexSuggestion, Parinda, ParindaError, PartitionSuggestionReport,
     SelectionMethod, SuggestedIndex, SuggestedPartition,
 };
 pub use verify::{verify_whatif_index, Verification};

@@ -25,32 +25,155 @@ pub enum SelectionMethod {
     Greedy,
 }
 
-/// Errors surfaced by the tool.
+/// The workspace-wide error taxonomy: every fallible interactive path
+/// funnels into one of these categories, so a frontend can always render
+/// a typed, non-fatal message. User input — however malformed — must
+/// surface here, never as a panic.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParindaError {
-    Sql(String),
-    Bind(String),
+    /// SQL, DDL, workload-file, or console-argument parsing failed.
+    Parse(String),
+    /// Catalog lookup / name resolution failed (unknown table, column,
+    /// index, or inconsistent metadata).
+    Catalog(String),
+    /// Planning or costing failed.
     Plan(String),
+    /// What-if simulation failed.
     WhatIf(String),
+    /// An advisor (INUM model, ILP selection, AutoPart) failed.
     Advisor(String),
+    /// The ILP/LP solver failed or returned an unusable outcome.
+    Solver(String),
+    /// Filesystem / execution I/O failed.
+    Io(String),
+    /// A contained panic or broken internal invariant: a bug worth
+    /// reporting, but never a reason to abort the session.
+    Internal(String),
     /// Operation needs materialized data (heaps) that were never loaded.
     NoData,
+}
+
+impl ParindaError {
+    /// Stable category name (for logs, tests, and the fuzz gate).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ParindaError::Parse(_) => "parse",
+            ParindaError::Catalog(_) => "catalog",
+            ParindaError::Plan(_) => "plan",
+            ParindaError::WhatIf(_) => "whatif",
+            ParindaError::Advisor(_) => "advisor",
+            ParindaError::Solver(_) => "solver",
+            ParindaError::Io(_) => "io",
+            ParindaError::Internal(_) => "internal",
+            ParindaError::NoData => "nodata",
+        }
+    }
 }
 
 impl std::fmt::Display for ParindaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParindaError::Sql(e) => write!(f, "SQL error: {e}"),
-            ParindaError::Bind(e) => write!(f, "name resolution error: {e}"),
+            ParindaError::Parse(e) => write!(f, "parse error: {e}"),
+            ParindaError::Catalog(e) => write!(f, "catalog error: {e}"),
             ParindaError::Plan(e) => write!(f, "planning error: {e}"),
             ParindaError::WhatIf(e) => write!(f, "what-if simulation error: {e}"),
             ParindaError::Advisor(e) => write!(f, "advisor error: {e}"),
+            ParindaError::Solver(e) => write!(f, "solver error: {e}"),
+            ParindaError::Io(e) => write!(f, "io error: {e}"),
+            ParindaError::Internal(e) => write!(f, "internal error (please report): {e}"),
             ParindaError::NoData => write!(f, "operation requires loaded table data"),
         }
     }
 }
 
 impl std::error::Error for ParindaError {}
+
+impl From<parinda_sql::SqlError> for ParindaError {
+    fn from(e: parinda_sql::SqlError) -> Self {
+        ParindaError::Parse(e.to_string())
+    }
+}
+
+impl From<parinda_optimizer::BindError> for ParindaError {
+    fn from(e: parinda_optimizer::BindError) -> Self {
+        ParindaError::Catalog(e.to_string())
+    }
+}
+
+impl From<parinda_optimizer::PlanError> for ParindaError {
+    fn from(e: parinda_optimizer::PlanError) -> Self {
+        ParindaError::Plan(e.to_string())
+    }
+}
+
+impl From<parinda_optimizer::OptimizeError> for ParindaError {
+    fn from(e: parinda_optimizer::OptimizeError) -> Self {
+        match e {
+            parinda_optimizer::OptimizeError::Bind(b) => b.into(),
+            parinda_optimizer::OptimizeError::Plan(p) => p.into(),
+        }
+    }
+}
+
+impl From<parinda_whatif::WhatIfError> for ParindaError {
+    fn from(e: parinda_whatif::WhatIfError) -> Self {
+        ParindaError::WhatIf(e.to_string())
+    }
+}
+
+impl From<parinda_inum::InumError> for ParindaError {
+    fn from(e: parinda_inum::InumError) -> Self {
+        match e {
+            parinda_inum::InumError::Worker(ref w) => ParindaError::Internal(w.clone()),
+            other => ParindaError::Advisor(other.to_string()),
+        }
+    }
+}
+
+impl From<parinda_advisor::AdvisorError> for ParindaError {
+    fn from(e: parinda_advisor::AdvisorError) -> Self {
+        ParindaError::Advisor(e.to_string())
+    }
+}
+
+impl From<parinda_advisor::RewriteError> for ParindaError {
+    fn from(e: parinda_advisor::RewriteError) -> Self {
+        ParindaError::Advisor(e.to_string())
+    }
+}
+
+impl From<parinda_executor::ExecError> for ParindaError {
+    fn from(e: parinda_executor::ExecError) -> Self {
+        ParindaError::Io(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ParindaError {
+    fn from(e: std::io::Error) -> Self {
+        ParindaError::Io(e.to_string())
+    }
+}
+
+impl From<parinda_parallel::WorkerPanic> for ParindaError {
+    fn from(e: parinda_parallel::WorkerPanic) -> Self {
+        ParindaError::Internal(e.to_string())
+    }
+}
+
+/// Run `f` with a last-resort panic backstop: any unwind that escapes the
+/// taxonomy (an internal invariant breach anywhere in the stack) is
+/// contained and reported as [`ParindaError::Internal`], keeping the
+/// interactive session alive. The state `f` mutated may be partially
+/// updated — acceptable for an advisory tool whose designs are
+/// re-evaluable — but the process never aborts on user input.
+pub fn guard<T>(f: impl FnOnce() -> Result<T, ParindaError>) -> Result<T, ParindaError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            Err(ParindaError::Internal(parinda_parallel::panic_message(&*payload)))
+        }
+    }
+}
 
 /// Result of automatic index suggestion (scenario 3).
 #[derive(Debug, Clone)]
@@ -166,13 +289,13 @@ impl Parinda {
     pub fn execute_ddl(&mut self, script: &str) -> Result<usize, ParindaError> {
         use parinda_sql::Statement;
         let stmts =
-            parinda_sql::parse_ddl_script(script).map_err(|e| ParindaError::Sql(e.to_string()))?;
+            parinda_sql::parse_ddl_script(script)?;
         let mut created = 0;
         for stmt in stmts {
             match stmt {
                 Statement::CreateTable(ct) => {
                     if self.catalog.table_by_name(&ct.name).is_some() {
-                        return Err(ParindaError::Sql(format!(
+                        return Err(ParindaError::Catalog(format!(
                             "table {} already exists",
                             ct.name
                         )));
@@ -191,13 +314,15 @@ impl Parinda {
                         .collect();
                     let id = self.catalog.create_table(&ct.name, columns, ct.rows.unwrap_or(0));
                     if !ct.primary_key.is_empty() {
-                        let table = self.catalog.table_mut(id).expect("just created");
+                        let table = self.catalog.table_mut(id).ok_or_else(|| {
+                            ParindaError::Internal("freshly created table vanished".into())
+                        })?;
                         let pk: Option<Vec<usize>> =
                             ct.primary_key.iter().map(|n| table.column_index(n)).collect();
                         match pk {
                             Some(pk) => table.primary_key = pk,
                             None => {
-                                return Err(ParindaError::Sql(format!(
+                                return Err(ParindaError::Catalog(format!(
                                     "primary key references unknown column on {}",
                                     ct.name
                                 )))
@@ -211,7 +336,7 @@ impl Parinda {
                     self.catalog
                         .create_index(&ci.name, &ci.table, &cols)
                         .ok_or_else(|| {
-                            ParindaError::Sql(format!(
+                            ParindaError::Catalog(format!(
                                 "cannot create index {} on {}({})",
                                 ci.name,
                                 ci.table,
@@ -259,15 +384,14 @@ impl Parinda {
 
     /// EXPLAIN a statement under the current design.
     pub fn explain_sql(&self, sql: &str) -> Result<String, ParindaError> {
-        let sel = parinda_sql::parse_select(sql).map_err(|e| ParindaError::Sql(e.to_string()))?;
+        let sel = parinda_sql::parse_select(sql)?;
         self.explain_query(&sel)
     }
 
     /// EXPLAIN a parsed statement.
     pub fn explain_query(&self, sel: &Select) -> Result<String, ParindaError> {
-        let q = bind(sel, &self.catalog).map_err(|e| ParindaError::Bind(e.to_string()))?;
-        let p = plan_query(&q, &self.catalog, &self.params, &self.flags)
-            .map_err(|e| ParindaError::Plan(e.to_string()))?;
+        let q = bind(sel, &self.catalog)?;
+        let p = plan_query(&q, &self.catalog, &self.params, &self.flags)?;
         Ok(explain(&p, &q, &self.catalog))
     }
 
@@ -275,9 +399,8 @@ impl Parinda {
     pub fn workload_cost(&self, workload: &[Select]) -> Result<f64, ParindaError> {
         let mut total = 0.0;
         for sel in workload {
-            let q = bind(sel, &self.catalog).map_err(|e| ParindaError::Bind(e.to_string()))?;
-            let p = plan_query(&q, &self.catalog, &self.params, &self.flags)
-                .map_err(|e| ParindaError::Plan(e.to_string()))?;
+            let q = bind(sel, &self.catalog)?;
+            let p = plan_query(&q, &self.catalog, &self.params, &self.flags)?;
             total += p.cost.total;
         }
         Ok(total)
@@ -325,8 +448,7 @@ impl Parinda {
             self.params.clone(),
             InumOptions::default(),
             self.par,
-        )
-        .map_err(|e| ParindaError::Advisor(e.to_string()))?;
+        )?;
         let queries = model.queries().to_vec();
         let cands = generate_candidates(&queries, CandidateLimits::default());
         let sel = match method {
@@ -340,14 +462,17 @@ impl Parinda {
         let mut indexes = Vec::new();
         for &id in &sel.chosen {
             let c = model.candidate(id);
-            let table = self
-                .catalog
-                .table(c.table)
-                .expect("candidate tables exist");
+            let table = self.catalog.table(c.table).ok_or_else(|| {
+                ParindaError::Internal("candidate references a vanished table".into())
+            })?;
             indexes.push(SuggestedIndex {
                 name: c.display_name(table),
                 table: table.name.clone(),
-                columns: c.columns.iter().map(|&i| table.columns[i].name.clone()).collect(),
+                columns: c
+                    .columns
+                    .iter()
+                    .filter_map(|&i| table.columns.get(i).map(|c| c.name.clone()))
+                    .collect(),
                 size_bytes: model.candidate_size(id),
             });
         }
@@ -439,15 +564,17 @@ impl Parinda {
             let col_defs: Vec<parinda_catalog::Column> =
                 cols.iter().map(|&i| parent.columns[i].clone()).collect();
             let rows: Vec<Vec<parinda_catalog::Datum>> = {
-                let heap = self.db.heap(parent.id).expect("checked above");
+                let heap = self.db.heap(parent.id).ok_or(ParindaError::NoData)?;
                 heap.scan()
                     .map(|(_, row)| cols.iter().map(|&i| row[i].clone()).collect())
                     .collect()
             };
             let id = self.catalog.create_table(&sp.name, col_defs, 0);
-            self.catalog.table_mut(id).expect("just created").primary_key =
-                (0..parent.primary_key.len()).collect();
-            self.catalog.table_mut(id).expect("just created").partition_of = Some(parent.id);
+            let part = self.catalog.table_mut(id).ok_or_else(|| {
+                ParindaError::Internal("freshly created partition vanished".into())
+            })?;
+            part.primary_key = (0..parent.primary_key.len()).collect();
+            part.partition_of = Some(parent.id);
             self.db
                 .load_table(&mut self.catalog, id, rows)
                 .map_err(|e| ParindaError::Advisor(e.to_string()))?;
@@ -466,14 +593,11 @@ impl Parinda {
         let mut out = Vec::new();
         for idx in self.catalog.all_indexes().to_vec() {
             let design = Design { drop_indexes: vec![idx.name.clone()], ..Default::default() };
-            let overlay = design
-                .apply(&self.catalog)
-                .map_err(|e| ParindaError::WhatIf(e.to_string()))?;
+            let overlay = design.apply(&self.catalog)?;
             let mut without = 0.0;
             for sel in workload {
-                let q = bind(sel, &overlay).map_err(|e| ParindaError::Bind(e.to_string()))?;
-                let p = plan_query(&q, &overlay, &self.params, &self.flags)
-                    .map_err(|e| ParindaError::Plan(e.to_string()))?;
+                let q = bind(sel, &overlay)?;
+                let p = plan_query(&q, &overlay, &self.params, &self.flags)?;
                 without += p.cost.total;
             }
             if without <= base * 1.0001 {
@@ -501,27 +625,24 @@ impl Parinda {
         workload: &[Select],
         config: AutoPartConfig,
     ) -> Result<PartitionSuggestionReport, ParindaError> {
-        let sugg = suggest_partitions_par(&self.catalog, workload, config, self.par)
-            .map_err(|e| ParindaError::Advisor(e.to_string()))?;
+        let sugg = suggest_partitions_par(&self.catalog, workload, config, self.par)?;
 
-        let partitions = sugg
-            .design
-            .fragments
-            .iter()
-            .map(|nf| {
-                let parent = self.catalog.table(nf.fragment.table).expect("fragment parent");
-                SuggestedPartition {
-                    name: nf.name.clone(),
-                    table: parent.name.clone(),
-                    columns: nf
-                        .fragment
-                        .columns
-                        .iter()
-                        .map(|&i| parent.columns[i].name.clone())
-                        .collect(),
-                }
-            })
-            .collect();
+        let mut partitions = Vec::with_capacity(sugg.design.fragments.len());
+        for nf in &sugg.design.fragments {
+            let parent = self.catalog.table(nf.fragment.table).ok_or_else(|| {
+                ParindaError::Internal("suggested fragment references a vanished table".into())
+            })?;
+            partitions.push(SuggestedPartition {
+                name: nf.name.clone(),
+                table: parent.name.clone(),
+                columns: nf
+                    .fragment
+                    .columns
+                    .iter()
+                    .filter_map(|&i| parent.columns.get(i).map(|c| c.name.clone()))
+                    .collect(),
+            });
+        }
 
         let per_query = workload
             .iter()

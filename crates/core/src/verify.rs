@@ -62,12 +62,13 @@ pub fn verify_whatif_index(
     // What-if side.
     let (whatif_cost, estimated_pages, hypo_used, whatif_plan) = {
         let mut overlay = HypotheticalCatalog::new(session.catalog());
-        let id = simulate_index(&mut overlay, def)
-            .map_err(|e| ParindaError::WhatIf(e.to_string()))?;
-        let pages = overlay.hypo_index(id).expect("just added").pages;
-        let q = bind(query, &overlay).map_err(|e| ParindaError::Bind(e.to_string()))?;
-        let p = plan_query(&q, &overlay, &params, &flags)
-            .map_err(|e| ParindaError::Plan(e.to_string()))?;
+        let id = simulate_index(&mut overlay, def)?;
+        let pages = overlay
+            .hypo_index(id)
+            .ok_or_else(|| ParindaError::Internal("hypothetical index vanished".into()))?
+            .pages;
+        let q = bind(query, &overlay)?;
+        let p = plan_query(&q, &overlay, &params, &flags)?;
         let text = explain(&p, &q, &overlay);
         (p.cost.total, pages, p.indexes_used().contains(&id), text)
     };
@@ -89,11 +90,14 @@ pub fn verify_whatif_index(
         .ok_or_else(|| ParindaError::WhatIf("cannot create verification index".into()))?;
     let (catalog, db) = session.catalog_db_mut();
     db.build_index(catalog, id);
-    let measured_pages = session.catalog().index(id).expect("just created").pages;
+    let measured_pages = session
+        .catalog()
+        .index(id)
+        .ok_or_else(|| ParindaError::Internal("verification index vanished".into()))?
+        .pages;
 
-    let q = bind(query, session.catalog()).map_err(|e| ParindaError::Bind(e.to_string()))?;
-    let p = plan_query(&q, session.catalog(), &params, &flags)
-        .map_err(|e| ParindaError::Plan(e.to_string()))?;
+    let q = bind(query, session.catalog())?;
+    let p = plan_query(&q, session.catalog(), &params, &flags)?;
     let real_used = p.indexes_used().contains(&id);
     let materialized_cost = p.cost.total;
     let materialized_plan = explain(&p, &q, session.catalog());

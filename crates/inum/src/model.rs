@@ -26,7 +26,7 @@ use parinda_optimizer::planner::{base_rel_rows, base_scan_paths};
 use parinda_optimizer::{
     bind, plan_query, BoundQuery, CostParams, PlanKind, PlanNode, PlannerFlags,
 };
-use parinda_parallel::{par_map, par_map_indexed, Parallelism};
+use parinda_parallel::{par_try_map, par_try_map_indexed, Parallelism};
 use parinda_sql::Select;
 use parinda_whatif::{HypotheticalCatalog, JoinScenario};
 
@@ -110,6 +110,10 @@ pub struct InumModel<'a> {
 pub enum InumError {
     Bind(usize, String),
     Plan(usize, String),
+    /// A cache-population worker panicked; the panic was contained at the
+    /// parallel boundary and surfaces here (deterministic at any thread
+    /// count: the lowest-index failure is reported).
+    Worker(String),
 }
 
 impl std::fmt::Display for InumError {
@@ -117,6 +121,7 @@ impl std::fmt::Display for InumError {
         match self {
             InumError::Bind(q, e) => write!(f, "query {q}: bind failed: {e}"),
             InumError::Plan(q, e) => write!(f, "query {q}: planning failed: {e}"),
+            InumError::Worker(e) => write!(f, "{e}"),
         }
     }
 }
@@ -156,9 +161,10 @@ impl<'a> InumModel<'a> {
         options: InumOptions,
         par: Parallelism,
     ) -> Result<Self, InumError> {
-        let bound = par_map(par, workload, |sel| {
+        let bound = par_try_map(par, workload, |sel| {
             bind(sel, catalog).map_err(|e| e.to_string())
-        });
+        })
+        .map_err(|p| InumError::Worker(p.to_string()))?;
         let mut queries = Vec::with_capacity(workload.len());
         for (i, q) in bound.into_iter().enumerate() {
             queries.push(q.map_err(|e| InumError::Bind(i, e))?);
@@ -176,7 +182,8 @@ impl<'a> InumModel<'a> {
             estimations: AtomicU64::new(0),
             full_optimizations: AtomicU64::new(0),
         };
-        let built = par_map_indexed(par, model.queries.len(), |qi| model.build_cases(qi));
+        let built = par_try_map_indexed(par, model.queries.len(), |qi| model.build_cases(qi))
+            .map_err(|p| InumError::Worker(p.to_string()))?;
         for (qi, cases) in built.into_iter().enumerate() {
             model.cases.push(cases.map_err(|e| InumError::Plan(qi, e))?);
         }
@@ -465,7 +472,7 @@ impl<'a> InumModel<'a> {
     /// Memoized single-scan access cost for (query, rel, candidate);
     /// `cand = None` = sequential scan.
     fn access_cost(&self, qi: usize, rel: usize, cand: Option<usize>) -> Option<AccessCost> {
-        if let Some(v) = self.access_memo.lock().expect("memo poisoned").get(&(qi, rel, cand)) {
+        if let Some(v) = self.access_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&(qi, rel, cand)) {
             return *v;
         }
         // Computed outside the lock: concurrent sweeps may duplicate the
@@ -474,7 +481,7 @@ impl<'a> InumModel<'a> {
         let computed = self.compute_access_cost(qi, rel, cand);
         self.access_memo
             .lock()
-            .expect("memo poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert((qi, rel, cand), computed);
         computed
     }
@@ -520,7 +527,7 @@ impl<'a> InumModel<'a> {
 
     /// Parameterized probe cost of `cand` for (query, rel).
     fn probe_cost(&self, qi: usize, rel: usize, cid: CandId) -> Option<f64> {
-        if let Some(v) = self.probe_memo.lock().expect("memo poisoned").get(&(qi, rel, cid.0)) {
+        if let Some(v) = self.probe_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&(qi, rel, cid.0)) {
             return *v;
         }
         let cand = &self.candidates[cid.0];
@@ -532,7 +539,7 @@ impl<'a> InumModel<'a> {
         let computed = self.compute_probe_cost(qi, rel, &idx);
         self.probe_memo
             .lock()
-            .expect("memo poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert((qi, rel, cid.0), computed);
         computed
     }

@@ -17,9 +17,14 @@ pub const DEFAULT_RANGE_SEL: f64 = 0.005;
 /// Default selectivity for LIKE with a literal prefix.
 pub const DEFAULT_MATCH_SEL: f64 = 0.005;
 
-/// Clamp a selectivity into (0, 1].
+/// Clamp a selectivity into (0, 1]. NaN (from degenerate statistics such
+/// as NaN frequencies or zero row counts) maps to the lower bound rather
+/// than propagating.
 #[inline]
 pub fn clamp(s: f64) -> f64 {
+    if s.is_nan() {
+        return 1.0e-10;
+    }
     s.clamp(1.0e-10, 1.0)
 }
 
@@ -100,16 +105,23 @@ pub fn eq_selectivity(stats: Option<&ColumnStats>, row_count: f64, value: &Datum
 pub fn ineq_selectivity(stats: Option<&ColumnStats>, op: BinOp, value: &Datum) -> f64 {
     let Some(s) = stats else { return DEFAULT_INEQ_SEL };
     let Some(v) = value.as_f64() else { return DEFAULT_INEQ_SEL };
+    if !v.is_finite() {
+        return DEFAULT_INEQ_SEL;
+    }
 
     // Fraction of non-MCV, non-null rows below `v` from the histogram.
     let hist_frac = histogram_fraction_below(&s.histogram, v);
 
-    // Add MCV mass on the correct side.
+    // MCV mass strictly below `v`, and at exactly `v` — the latter belongs
+    // to `<=` but not `<`, and to neither `>` side.
     let mut mcv_below = 0.0;
+    let mut mcv_eq = 0.0;
     for (d, f) in &s.mcv {
         if let Some(x) = d.as_f64() {
             if x < v {
                 mcv_below += f;
+            } else if x == v {
+                mcv_eq += f;
             }
         }
     }
@@ -120,15 +132,22 @@ pub fn ineq_selectivity(stats: Option<&ColumnStats>, op: BinOp, value: &Datum) -
         None => return DEFAULT_INEQ_SEL,
     };
 
-    // `<=` vs `<`: add the equality sliver for inclusive bounds.
+    // `<=` vs `<`: the boundary value's own frequency. When the value is
+    // an MCV we know its mass exactly; otherwise estimate the histogram
+    // portion's average per-distinct mass, as `eqsel` would — uncapped,
+    // so that a 3-distinct column without MCVs still gets `<=` at least
+    // as large as `=` on the same value.
     let eq_sliver = || {
+        if mcv_eq > 0.0 {
+            return 0.0;
+        }
         let nd = s.distinct_count(1_000_000.0);
-        (hist_mass / nd).min(0.01)
+        hist_mass / nd
     };
     let sel = match op {
         BinOp::Lt => below,
-        BinOp::LtEq => below + eq_sliver(),
-        BinOp::Gt => 1.0 - s.null_frac - below - eq_sliver(),
+        BinOp::LtEq => below + mcv_eq + eq_sliver(),
+        BinOp::Gt => 1.0 - s.null_frac - below - mcv_eq - eq_sliver(),
         BinOp::GtEq => 1.0 - s.null_frac - below,
         _ => return DEFAULT_INEQ_SEL,
     };
@@ -155,14 +174,14 @@ fn histogram_fraction_below(hist: &[Datum], v: f64) -> Option<f64> {
         return None;
     }
     let bounds: Vec<f64> = hist.iter().filter_map(|d| d.as_f64()).collect();
-    if bounds.len() != hist.len() {
-        return None; // non-numeric histogram
+    if bounds.len() != hist.len() || bounds.iter().any(|b| !b.is_finite()) {
+        return None; // non-numeric (or corrupt) histogram
     }
     let buckets = (bounds.len() - 1) as f64;
     if v <= bounds[0] {
         return Some(0.0);
     }
-    if v >= *bounds.last().unwrap() {
+    if v >= bounds[bounds.len() - 1] {
         return Some(1.0);
     }
     // Find the bucket containing v and interpolate linearly inside it.
@@ -249,6 +268,61 @@ mod tests {
         let lt = ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Int(3_000));
         let gte = ineq_selectivity(Some(&s), BinOp::GtEq, &Datum::Int(3_000));
         assert!((lt + gte - 1.0).abs() < 0.01, "lt={lt} gte={gte}");
+    }
+
+    /// Regression: the MCV side-sum used `x < v` for every operator, so
+    /// `col <= v` dropped the boundary value's own MCV mass and `col > v`
+    /// kept it. With a 0.9-frequency MCV at the boundary the estimate was
+    /// off by ~0.9.
+    #[test]
+    fn inclusive_bound_counts_boundary_mcv_mass() {
+        // 9000 rows of value 1 (a 0.9-frequency MCV) + 1000 distinct tails.
+        let mut v: Vec<Datum> = (0..9000).map(|_| Datum::Int(1)).collect();
+        v.extend((0..1000).map(|i| Datum::Int(100 + i)));
+        let s = analyze_column(SqlType::Int8, &v);
+        assert!((s.mcv_freq(&Datum::Int(1)).unwrap() - 0.9).abs() < 0.01);
+
+        let lteq = ineq_selectivity(Some(&s), BinOp::LtEq, &Datum::Int(1));
+        assert!((lteq - 0.9).abs() < 0.02, "col <= 1 must include the MCV mass: {lteq}");
+
+        let gt = ineq_selectivity(Some(&s), BinOp::Gt, &Datum::Int(1));
+        assert!((gt - 0.1).abs() < 0.02, "col > 1 must exclude the MCV mass: {gt}");
+
+        let lt = ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Int(1));
+        assert!(lt < 0.02, "col < 1 matches almost nothing: {lt}");
+
+        let gteq = ineq_selectivity(Some(&s), BinOp::GtEq, &Datum::Int(1));
+        assert!(gteq > 0.98, "col >= 1 matches almost everything: {gteq}");
+    }
+
+    #[test]
+    fn lteq_and_gt_partition_the_non_null_rows() {
+        let mut v: Vec<Datum> = (0..9000).map(|_| Datum::Int(1)).collect();
+        v.extend((0..1000).map(|i| Datum::Int(100 + i)));
+        let s = analyze_column(SqlType::Int8, &v);
+        for probe in [1, 0, 150, 500, 2000] {
+            let lteq = ineq_selectivity(Some(&s), BinOp::LtEq, &Datum::Int(probe));
+            let gt = ineq_selectivity(Some(&s), BinOp::Gt, &Datum::Int(probe));
+            assert!((lteq + gt - 1.0).abs() < 0.03, "probe={probe} lteq={lteq} gt={gt}");
+        }
+    }
+
+    #[test]
+    fn nan_probe_and_corrupt_stats_stay_in_range() {
+        let s = uniform_stats(1_000);
+        let sel = ineq_selectivity(Some(&s), BinOp::Lt, &Datum::Float(f64::NAN));
+        assert_eq!(sel, DEFAULT_INEQ_SEL);
+        let sel = ineq_selectivity(Some(&s), BinOp::LtEq, &Datum::Float(f64::INFINITY));
+        assert_eq!(sel, DEFAULT_INEQ_SEL);
+
+        let mut corrupt = uniform_stats(1_000);
+        corrupt.histogram = vec![Datum::Float(f64::NAN), Datum::Float(1.0)];
+        let sel = ineq_selectivity(Some(&corrupt), BinOp::Lt, &Datum::Int(5));
+        assert_eq!(sel, DEFAULT_INEQ_SEL);
+
+        assert_eq!(clamp(f64::NAN), 1.0e-10);
+        assert_eq!(clamp(f64::NEG_INFINITY), 1.0e-10);
+        assert_eq!(clamp(f64::INFINITY), 1.0);
     }
 
     #[test]

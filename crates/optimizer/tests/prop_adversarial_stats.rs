@@ -1,0 +1,95 @@
+//! Totality of `restriction_selectivity` over ARBITRARY statistics — not
+//! just `analyze_column` output (which `prop_selectivity.rs` covers):
+//! NaN null fractions, empty/degenerate/corrupt histograms, out-of-range
+//! MCV frequencies, zero or negative distinct counts, zero row counts.
+//! The estimate must stay in (0, 1] and never panic.
+
+use parinda_catalog::{ColumnStats, Datum};
+use parinda_optimizer::query::RestrictionShape;
+use parinda_optimizer::selectivity::restriction_selectivity;
+use parinda_sql::BinOp;
+use proptest::prelude::*;
+
+fn probe_strategy() -> BoxedStrategy<Datum> {
+    prop_oneof![
+        Just(Datum::Null),
+        Just(Datum::Float(f64::NAN)),
+        Just(Datum::Float(f64::INFINITY)),
+        Just(Datum::Float(f64::NEG_INFINITY)),
+        Just(Datum::Str("garbage".into())),
+        (-600i64..600).prop_map(Datum::Int),
+    ]
+    .boxed()
+}
+
+fn histogram(kind: u8) -> Vec<Datum> {
+    match kind {
+        0 => vec![],
+        1 => vec![Datum::Int(7)], // single bound: degenerate
+        2 => vec![Datum::Float(f64::NAN), Datum::Float(1.0), Datum::Float(f64::INFINITY)],
+        3 => vec![Datum::Str("not".into()), Datum::Str("numeric".into())],
+        _ => (0..20).map(Datum::Int).collect(),
+    }
+}
+
+fn mcv(kind: u8) -> Vec<(Datum, f64)> {
+    match kind {
+        0 => vec![],
+        1 => vec![(Datum::Int(3), f64::NAN)],
+        2 => vec![(Datum::Int(3), 7.5), (Datum::Int(4), -0.5)], // freq out of range
+        3 => vec![(Datum::Null, 0.3)],
+        _ => vec![(Datum::Int(3), 0.5), (Datum::Int(9), 0.2)],
+    }
+}
+
+fn shapes(probe: &Datum) -> Vec<RestrictionShape> {
+    vec![
+        RestrictionShape::Eq { col: 0, value: probe.clone() },
+        RestrictionShape::Range { col: 0, op: BinOp::Lt, value: probe.clone() },
+        RestrictionShape::Range { col: 0, op: BinOp::LtEq, value: probe.clone() },
+        RestrictionShape::Range { col: 0, op: BinOp::Gt, value: probe.clone() },
+        RestrictionShape::Range { col: 0, op: BinOp::GtEq, value: probe.clone() },
+        RestrictionShape::Between { col: 0, low: probe.clone(), high: Datum::Int(50), negated: false },
+        RestrictionShape::InList { col: 0, values: vec![probe.clone(), Datum::Int(1)], negated: true },
+        RestrictionShape::IsNull { col: 0, negated: false },
+        RestrictionShape::IsNull { col: 0, negated: true },
+        RestrictionShape::Like { col: 0, prefix: Some("x;%".into()), negated: false },
+        RestrictionShape::Opaque,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn restriction_selectivity_total_on_arbitrary_stats(
+        null_frac in prop_oneof![Just(f64::NAN), Just(-1.0), Just(0.0), Just(1.0), Just(5.0), 0.0f64..1.0],
+        n_distinct in prop_oneof![Just(f64::NAN), Just(0.0), Just(-0.5), Just(-3.0), 1.0f64..1000.0],
+        hist_kind in 0u8..5,
+        mcv_kind in 0u8..5,
+        correlation in prop_oneof![Just(f64::NAN), -1.0f64..1.0],
+        row_count in prop_oneof![Just(0.0), Just(f64::NAN), 1.0f64..1.0e6],
+        probe in probe_strategy(),
+    ) {
+        let stats = ColumnStats {
+            null_frac,
+            n_distinct,
+            avg_width: 8.0,
+            mcv: mcv(mcv_kind),
+            histogram: histogram(hist_kind),
+            correlation,
+        };
+        for shape in &shapes(&probe) {
+            let sel = restriction_selectivity(shape, Some(&stats), row_count);
+            prop_assert!(
+                sel > 0.0 && sel <= 1.0 && sel.is_finite(),
+                "{shape:?} gave {sel} (null_frac={null_frac} nd={n_distinct} hist={hist_kind} mcv={mcv_kind})"
+            );
+        }
+        // missing stats must be total too
+        for shape in &shapes(&probe) {
+            let sel = restriction_selectivity(shape, None, row_count);
+            prop_assert!(sel > 0.0 && sel <= 1.0 && sel.is_finite(), "{shape:?} (no stats) gave {sel}");
+        }
+    }
+}

@@ -20,6 +20,21 @@
 //! Work distribution is dynamic: workers claim chunks of indexes from a
 //! shared atomic cursor, so skewed item costs (one huge query among
 //! thirty) don't serialize the sweep.
+//!
+//! ## Panic containment
+//!
+//! PARINDA is an interactive tool: a panic inside one what-if evaluation
+//! must never tear down the DBA's session. Every item runs under
+//! [`std::panic::catch_unwind`], and [`par_try_map`] /
+//! [`par_try_map_indexed`] surface a worker panic to the caller as a
+//! [`WorkerPanic`] **error** instead of unwinding. The error is
+//! deterministic: all items are evaluated regardless of failures, and the
+//! panic at the **lowest input index** is reported, so the same workload
+//! yields the same error at any thread count. [`par_map`] /
+//! [`par_map_indexed`] keep their infallible signatures by re-raising the
+//! (equally deterministic) [`WorkerPanic`] as a panic on the *caller's*
+//! thread, where an interactive frontend's `catch_unwind` backstop can
+//! contain it.
 
 #![deny(missing_docs)]
 
@@ -90,35 +105,95 @@ fn chunk_size(n: usize, threads: usize) -> usize {
     (n / (threads * 8)).max(1)
 }
 
-/// Map `f` over `0..n` on the pool, returning results in index order.
+/// A worker panic caught at the parallel boundary.
+///
+/// Deterministic by construction: every item is evaluated even after a
+/// failure, and the panic with the **lowest input index** is the one
+/// reported, so equal inputs produce an equal `WorkerPanic` at any
+/// thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkerPanic {
+    /// Input index of the item whose evaluation panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// kept verbatim; anything else becomes a fixed placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel worker panicked at item {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a caught panic payload as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one item under `catch_unwind`, rendering any panic to text
+/// immediately so no payload crosses a thread boundary.
+fn run_item<R, F: Fn(usize) -> R>(f: &F, i: usize) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(&*p))
+}
+
+/// Map `f` over `0..n` on the pool, returning results in index order, or
+/// the deterministic [`WorkerPanic`] of the lowest-index item that
+/// panicked.
 ///
 /// `f` must be pure (or internally synchronized); it may run on any
 /// worker in any order, but the output vector is always `[f(0), f(1),
-/// …, f(n-1)]`. Panics in `f` propagate to the caller.
-pub fn par_map_indexed<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+/// …, f(n-1)]`. A panic in `f` never unwinds through this call and never
+/// aborts sibling items: all `n` items are evaluated, then the error for
+/// the lowest panicking index is returned — identical at any thread
+/// count.
+pub fn par_try_map_indexed<R, F>(par: Parallelism, n: usize, f: F) -> Result<Vec<R>, WorkerPanic>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     let threads = par.threads().min(n.max(1));
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic: Option<WorkerPanic> = None;
+        for i in 0..n {
+            match run_item(&f, i) {
+                Ok(r) => out.push(r),
+                Err(message) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(WorkerPanic { index: i, message });
+                    }
+                }
+            }
+        }
+        return match first_panic {
+            None => Ok(out),
+            Some(p) => Err(p),
+        };
     }
 
     let chunk = chunk_size(n, threads);
     let cursor = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let parts: Vec<Vec<(usize, Result<R, String>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut out: Vec<(usize, Result<R, String>)> = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         for i in start..(start + chunk).min(n) {
-                            out.push((i, f(i)));
+                            out.push((i, run_item(&f, i)));
                         }
                     }
                     out
@@ -132,15 +207,63 @@ where
     });
 
     // Reassemble in input order — determinism does not depend on which
-    // worker computed what.
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // worker computed what. The lowest-index panic wins.
+    let mut slots: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
     for part in parts {
         for (i, r) in part {
             debug_assert!(slots[i].is_none());
             slots[i] = Some(r);
         }
     }
-    slots.into_iter().map(|s| s.expect("every index computed exactly once")).collect()
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic: Option<WorkerPanic> = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.expect("every index computed exactly once") {
+            Ok(r) => out.push(r),
+            Err(message) => {
+                if first_panic.is_none() {
+                    first_panic = Some(WorkerPanic { index: i, message });
+                }
+            }
+        }
+    }
+    match first_panic {
+        None => Ok(out),
+        Some(p) => Err(p),
+    }
+}
+
+/// Map `f` over a slice on the pool, preserving input order and catching
+/// worker panics (see [`par_try_map_indexed`]).
+pub fn par_try_map<'a, T, R, F>(
+    par: Parallelism,
+    items: &'a [T],
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    par_try_map_indexed(par, items.len(), |i| f(&items[i]))
+}
+
+/// Map `f` over `0..n` on the pool, returning results in index order.
+///
+/// Infallible variant of [`par_try_map_indexed`]: a panic in `f` is
+/// contained at the worker, then re-raised **on the caller's thread** with
+/// the deterministic lowest-index [`WorkerPanic`] message, so a frontend
+/// `catch_unwind` sees the same failure at any thread count and the
+/// scoped pool always shuts down cleanly first.
+pub fn par_map_indexed<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match par_try_map_indexed(par, n, f) {
+        Ok(out) => out,
+        Err(p) => panic!("{p}"),
+    }
 }
 
 /// Map `f` over a slice on the pool, preserving input order.
@@ -237,5 +360,54 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    /// A panicking item surfaces as an error, not an unwind, and the
+    /// error is identical at every thread count (lowest index wins).
+    #[test]
+    fn try_map_contains_panics_deterministically() {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = |threads: usize| {
+            par_try_map_indexed(Parallelism::fixed(threads), 200, |i| {
+                if i == 31 || i == 163 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            })
+        };
+        let expected = Err(WorkerPanic { index: 31, message: "boom at 31".into() });
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(run(threads), expected, "threads={threads}");
+        }
+        std::panic::set_hook(quiet);
+    }
+
+    #[test]
+    fn try_map_ok_matches_par_map() {
+        let ok = par_try_map_indexed(Parallelism::fixed(4), 100, |i| i + 1).unwrap();
+        assert_eq!(ok, (1..=100).collect::<Vec<_>>());
+        let slice: Vec<u32> = (0..50).collect();
+        let out = par_try_map(Parallelism::fixed(3), &slice, |&x| x * 3).unwrap();
+        assert_eq!(out, slice.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    /// Non-string panic payloads are rendered to a fixed placeholder, so
+    /// the error stays comparable and `Send`.
+    #[test]
+    fn non_string_payloads_render_fixed_text() {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = par_try_map_indexed(Parallelism::fixed(2), 4, |i| {
+            if i == 2 {
+                std::panic::panic_any(42_u64);
+            }
+            i
+        });
+        assert_eq!(
+            r,
+            Err(WorkerPanic { index: 2, message: "non-string panic payload".into() })
+        );
+        std::panic::set_hook(quiet);
     }
 }

@@ -420,7 +420,9 @@ impl Parser {
             }
             TokenKind::Keyword(kw) if agg_func(kw).is_some() => {
                 self.bump();
-                let func = agg_func(kw).unwrap();
+                let Some(func) = agg_func(kw) else {
+                    return Err(SqlError::parse(self.offset(), "expected aggregate function"));
+                };
                 self.expect(TokenKind::LParen)?;
                 if self.eat_if(&TokenKind::Star) {
                     self.expect(TokenKind::RParen)?;

@@ -48,30 +48,57 @@ pub fn parse_workload(input: &str) -> Result<Workload, SqlError> {
     let mut weights: Vec<f64> = Vec::new();
     let mut pending: Option<f64> = None;
     let mut statement_seen_since_weight = true;
+    // Tracks an open `'…'` literal across lines, so a `;` inside a string
+    // (or behind a trailing `--` comment) is never counted as a statement
+    // terminator — miscounting here shifts every later `-- weight:` onto
+    // the wrong query.
+    let mut in_string = false;
     let mut cleaned = String::with_capacity(input.len());
     for line in input.lines() {
         let trimmed = line.trim();
-        if let Some(rest) = trimmed.strip_prefix("--") {
-            let rest = rest.trim();
-            if let Some(w) = rest.strip_prefix("weight:") {
-                if let Ok(v) = w.trim().parse::<f64>() {
-                    pending = Some(v);
-                    statement_seen_since_weight = false;
+        if !in_string {
+            if let Some(rest) = trimmed.strip_prefix("--") {
+                let rest = rest.trim();
+                if let Some(w) = rest.strip_prefix("weight:") {
+                    if let Ok(v) = w.trim().parse::<f64>() {
+                        pending = Some(v);
+                        statement_seen_since_weight = false;
+                    }
                 }
+                continue; // drop all comment lines
             }
-            continue; // drop all comment lines
+            if trimmed.is_empty() {
+                continue;
+            }
         }
-        if !trimmed.is_empty() {
-            cleaned.push_str(line);
-            cleaned.push('\n');
-            // count statements by ';' terminators on the fly
-            for _ in trimmed.matches(';') {
-                weights.push(if statement_seen_since_weight {
-                    1.0
-                } else {
-                    pending.take().unwrap_or(1.0)
-                });
-                statement_seen_since_weight = true;
+        cleaned.push_str(line);
+        cleaned.push('\n');
+        // Count `;` terminators, skipping string literals ('' escapes a
+        // quote) and everything after a `--` comment marker.
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_string {
+                if c == '\'' {
+                    if chars.peek() == Some(&'\'') {
+                        chars.next(); // escaped quote stays inside the literal
+                    } else {
+                        in_string = false;
+                    }
+                }
+            } else {
+                match c {
+                    '\'' => in_string = true,
+                    '-' if chars.peek() == Some(&'-') => break, // trailing comment
+                    ';' => {
+                        weights.push(if statement_seen_since_weight {
+                            1.0
+                        } else {
+                            pending.take().unwrap_or(1.0)
+                        });
+                        statement_seen_since_weight = true;
+                    }
+                    _ => {}
+                }
             }
         }
     }
@@ -129,6 +156,40 @@ mod tests {
     fn final_statement_without_semicolon() {
         let w = parse_workload("-- weight: 3\nSELECT a FROM t").unwrap();
         assert_eq!(w.weights(), vec![3.0]);
+    }
+
+    /// Regression: `;` inside a string literal used to count as a
+    /// statement terminator, shifting every later `-- weight:` onto the
+    /// wrong query.
+    #[test]
+    fn semicolon_in_string_literal_does_not_shift_weights() {
+        let w = parse_workload(
+            "SELECT a FROM t WHERE name LIKE 'a;b%';\n-- weight: 7\nSELECT b FROM u;",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.weights(), vec![1.0, 7.0]);
+    }
+
+    /// Regression: `;` behind a trailing `--` comment was also counted.
+    #[test]
+    fn semicolon_in_trailing_comment_does_not_shift_weights() {
+        let w = parse_workload(
+            "SELECT a FROM t; -- note; see ticket;\n-- weight: 4\nSELECT b FROM u;",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.weights(), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn escaped_quote_stays_inside_literal() {
+        let w = parse_workload(
+            "-- weight: 2\nSELECT a FROM t WHERE name LIKE 'it''s; fine%';\nSELECT b FROM u;",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.weights(), vec![2.0, 1.0]);
     }
 
     #[test]

@@ -2,6 +2,11 @@
 //! (paper Figures 2–3): load a database and workload, simulate what-if
 //! features, evaluate benefits, and run the automatic advisors.
 //!
+//! All command parsing and dispatch lives in [`parinda::Console`]; this
+//! binary is only the REPL around it. Errors — including contained
+//! internal panics — are printed with their taxonomy kind and the loop
+//! continues: bad input never aborts the process.
+//!
 //! ```text
 //! cargo run --release --bin parinda-cli
 //! parinda> load paper
@@ -13,494 +18,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use parinda::{
-    AutoPartConfig, Design, Parallelism, Parinda, SelectionMethod, WhatIfIndex, WhatIfPartition,
-};
-use parinda_catalog::MetadataProvider;
-use parinda_workload::{
-    generate_and_load, parse_workload, sdss_catalog, sdss_workload, synthesize_stats, SdssScale,
-};
-
-/// One parsed console command.
-#[derive(Debug, Clone, PartialEq)]
-enum Command {
-    LoadPaper,
-    LoadLaptop(u64),
-    LoadDdl(String),
-    WorkloadSdss,
-    WorkloadFile(String),
-    ShowTables,
-    ShowIndexes,
-    Describe(String),
-    ShowWorkload,
-    ShowDesign,
-    Explain(String),
-    Analyze(String),
-    WhatIfIndex { name: String, table: String, columns: Vec<String> },
-    WhatIfPartition { name: String, table: String, columns: Vec<String> },
-    WhatIfDrop(String),
-    ClearDesign,
-    Eval,
-    SuggestIndexes { budget_mb: u64, method: SelectionMethod },
-    SuggestPartitions { replication_mb: Option<u64> },
-    SuggestDrops,
-    /// `threads <n|auto>` — `None` = auto-detect, `Some(n)` = fixed count.
-    Threads(Option<usize>),
-    ShowThreads,
-    Help,
-    Quit,
-    Empty,
-}
-
-/// Parse one console line.
-fn parse_command(line: &str) -> Result<Command, String> {
-    let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return Ok(Command::Empty);
-    }
-    let words: Vec<&str> = trimmed.split_whitespace().collect();
-    let lower: Vec<String> = words.iter().map(|w| w.to_ascii_lowercase()).collect();
-    match lower[0].as_str() {
-        "quit" | "exit" | "q" => Ok(Command::Quit),
-        "help" | "?" => Ok(Command::Help),
-        "load" => match lower.get(1).map(|s| s.as_str()) {
-            Some("paper") => Ok(Command::LoadPaper),
-            Some("laptop") => {
-                let rows = lower
-                    .get(2)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(20_000);
-                Ok(Command::LoadLaptop(rows))
-            }
-            Some("ddl") => words
-                .get(2)
-                .map(|p| Command::LoadDdl(p.to_string()))
-                .ok_or_else(|| "usage: load ddl <path>".into()),
-            _ => Err("usage: load paper | load laptop [rows] | load ddl <path>".into()),
-        },
-        "workload" => match lower.get(1).map(|s| s.as_str()) {
-            Some("sdss") => Ok(Command::WorkloadSdss),
-            Some("file") => words
-                .get(2)
-                .map(|p| Command::WorkloadFile(p.to_string()))
-                .ok_or_else(|| "usage: workload file <path>".into()),
-            _ => Err("usage: workload sdss | workload file <path>".into()),
-        },
-        "describe" | "d" => lower
-            .get(1)
-            .map(|t| Command::Describe(t.clone()))
-            .ok_or_else(|| "usage: describe <table>".into()),
-        "show" => match lower.get(1).map(|s| s.as_str()) {
-            Some("tables") => Ok(Command::ShowTables),
-            Some("indexes") => Ok(Command::ShowIndexes),
-            Some("workload") => Ok(Command::ShowWorkload),
-            Some("design") => Ok(Command::ShowDesign),
-            _ => Err("usage: show tables|indexes|workload|design".into()),
-        },
-        "explain" => {
-            let sql = trimmed[7..].trim();
-            if sql.is_empty() {
-                Err("usage: explain <sql>".into())
-            } else {
-                Ok(Command::Explain(sql.to_string()))
-            }
-        }
-        "analyze" => {
-            let sql = trimmed[7..].trim();
-            if sql.is_empty() {
-                Err("usage: analyze <sql>".into())
-            } else {
-                Ok(Command::Analyze(sql.to_string()))
-            }
-        }
-        "whatif" => match lower.get(1).map(|s| s.as_str()) {
-            Some("index") | Some("partition") => {
-                if words.len() < 5 {
-                    return Err(format!(
-                        "usage: whatif {} <name> <table> <col[,col...]>",
-                        lower[1]
-                    ));
-                }
-                let name = lower[2].clone();
-                let table = lower[3].clone();
-                let columns: Vec<String> =
-                    lower[4].split(',').map(|c| c.trim().to_string()).collect();
-                if lower[1] == "index" {
-                    Ok(Command::WhatIfIndex { name, table, columns })
-                } else {
-                    Ok(Command::WhatIfPartition { name, table, columns })
-                }
-            }
-            Some("drop") => lower
-                .get(2)
-                .map(|i| Command::WhatIfDrop(i.clone()))
-                .ok_or_else(|| "usage: whatif drop <index>".into()),
-            _ => Err("usage: whatif index|partition|drop …".into()),
-        },
-        "clear" => Ok(Command::ClearDesign),
-        "eval" => Ok(Command::Eval),
-        "threads" => match lower.get(1).map(|s| s.as_str()) {
-            None => Ok(Command::ShowThreads),
-            Some("auto") => Ok(Command::Threads(None)),
-            Some(n) => n
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .map(|n| Command::Threads(Some(n)))
-                .ok_or_else(|| "usage: threads [<n>|auto]".into()),
-        },
-        "suggest" => match lower.get(1).map(|s| s.as_str()) {
-            Some("indexes") => {
-                let budget_mb = lower
-                    .get(2)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("usage: suggest indexes <budget-mb> [ilp|greedy]")?;
-                let method = match lower.get(3).map(|s| s.as_str()) {
-                    Some("greedy") => SelectionMethod::Greedy,
-                    _ => SelectionMethod::Ilp,
-                };
-                Ok(Command::SuggestIndexes { budget_mb, method })
-            }
-            Some("partitions") => Ok(Command::SuggestPartitions {
-                replication_mb: lower.get(2).and_then(|s| s.parse().ok()),
-            }),
-            Some("drops") => Ok(Command::SuggestDrops),
-            _ => Err(
-                "usage: suggest indexes <mb> [ilp|greedy] | suggest partitions [mb] | suggest drops"
-                    .into(),
-            ),
-        },
-        other => Err(format!("unknown command `{other}` (try `help`)")),
-    }
-}
-
-const HELP: &str = "\
-commands:
-  load paper                 SDSS catalog at paper scale (statistics only)
-  load laptop [rows]         SDSS with generated, executable data
-  load ddl <path>            schema from a CREATE TABLE/INDEX script
-  workload sdss              the 30 prototypical SDSS queries
-  workload file <path>       statements from a file (';'-separated)
-  show tables|indexes|workload|design
-  describe <table>           columns, statistics, indexes
-  explain <sql>              EXPLAIN under the current design
-  analyze <sql>              EXPLAIN ANALYZE (needs loaded data)
-  whatif index <name> <table> <col[,col...]>
-  whatif partition <name> <table> <col[,col...]>
-  whatif drop <index>        simulate dropping a real index
-  clear                      discard the what-if design
-  eval                       evaluate the design over the workload
-  suggest indexes <mb> [ilp|greedy]
-  suggest partitions [replication-mb]
-  suggest drops              real indexes the workload would not miss
-  threads [<n>|auto]         advisor thread count (also: PARINDA_THREADS)
-  quit";
-
-struct Console {
-    session: Option<Parinda>,
-    workload: Vec<parinda::Select>,
-    design: Design,
-    /// Thread policy chosen with `threads`; applied to every session,
-    /// including ones loaded later.
-    par: Parallelism,
-}
-
-impl Console {
-    fn new() -> Self {
-        Console {
-            session: None,
-            workload: Vec::new(),
-            design: Design::new(),
-            par: Parallelism::auto(),
-        }
-    }
-
-    /// Install a freshly loaded session, carrying over the thread policy.
-    fn install(&mut self, mut session: Parinda) {
-        session.set_parallelism(self.par);
-        self.session = Some(session);
-    }
-
-    fn session(&self) -> Result<&Parinda, String> {
-        self.session.as_ref().ok_or_else(|| "no database loaded (try `load paper`)".into())
-    }
-
-    fn run_command(&mut self, cmd: Command) -> Result<String, String> {
-        match cmd {
-            Command::Empty => Ok(String::new()),
-            Command::Help => Ok(HELP.to_string()),
-            Command::Quit => unreachable!("handled by the loop"),
-            Command::LoadPaper => {
-                let (mut cat, tables) = sdss_catalog(SdssScale::paper());
-                synthesize_stats(&mut cat, &tables);
-                let n = cat.all_tables().len();
-                let gb = cat.total_size_bytes() as f64 / (1u64 << 30) as f64;
-                self.install(Parinda::new(cat));
-                Ok(format!("loaded SDSS paper-scale catalog: {n} tables, {gb:.1} GB simulated"))
-            }
-            Command::LoadDdl(path) => {
-                let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
-                let session = Parinda::from_ddl(&text).map_err(|e| e.to_string())?;
-                let n = session.catalog().all_tables().len();
-                self.install(session);
-                Ok(format!("loaded {n} tables from {path}"))
-            }
-            Command::LoadLaptop(rows) => {
-                let (mut cat, tables) = sdss_catalog(SdssScale::laptop(rows));
-                let mut db = parinda::Database::new();
-                generate_and_load(&mut cat, &mut db, &tables, 42);
-                self.install(Parinda::with_database(cat, db));
-                Ok(format!("loaded SDSS laptop-scale instance with {rows} PhotoObj rows"))
-            }
-            Command::WorkloadSdss => {
-                self.workload = sdss_workload();
-                Ok(format!("workload: {} queries", self.workload.len()))
-            }
-            Command::WorkloadFile(path) => {
-                let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
-                let wl = parse_workload(&text).map_err(|e| e.to_string())?;
-                self.workload = wl.queries();
-                Ok(format!("workload: {} queries from {path}", self.workload.len()))
-            }
-            Command::ShowTables => {
-                let s = self.session()?;
-                Ok(parinda_catalog::describe_catalog(s.catalog()))
-            }
-            Command::Describe(table) => {
-                let s = self.session()?;
-                let id = s
-                    .catalog()
-                    .table_by_name(&table)
-                    .ok_or_else(|| format!("unknown table {table}"))?
-                    .id;
-                parinda_catalog::describe_table(s.catalog(), id)
-                    .ok_or_else(|| "table vanished".into())
-            }
-            Command::ShowIndexes => {
-                let s = self.session()?;
-                let idx = s.catalog().all_indexes();
-                if idx.is_empty() {
-                    return Ok("no indexes".into());
-                }
-                let mut out = String::new();
-                for i in idx {
-                    let t = s.catalog().table(i.table).map(|t| t.name.clone()).unwrap_or_default();
-                    let cols: Vec<String> = i
-                        .key_columns
-                        .iter()
-                        .filter_map(|&c| {
-                            s.catalog().table(i.table).map(|t| t.columns[c].name.clone())
-                        })
-                        .collect();
-                    out.push_str(&format!(
-                        "{:<24} on {:<12} ({})  {} pages\n",
-                        i.name,
-                        t,
-                        cols.join(", "),
-                        i.pages
-                    ));
-                }
-                Ok(out)
-            }
-            Command::ShowWorkload => {
-                if self.workload.is_empty() {
-                    return Ok("no workload loaded".into());
-                }
-                Ok(self
-                    .workload
-                    .iter()
-                    .enumerate()
-                    .map(|(i, q)| format!("Q{:02}: {q}\n", i + 1))
-                    .collect())
-            }
-            Command::ShowDesign => {
-                let mut out = String::new();
-                for i in &self.design.indexes {
-                    out.push_str(&format!(
-                        "index     {} on {} ({})\n",
-                        i.name,
-                        i.table,
-                        i.columns.join(", ")
-                    ));
-                }
-                for p in &self.design.partitions {
-                    out.push_str(&format!(
-                        "partition {} of {} ({})\n",
-                        p.name,
-                        p.table,
-                        p.columns.join(", ")
-                    ));
-                }
-                for d in &self.design.drop_indexes {
-                    out.push_str(&format!("drop      {d}\n"));
-                }
-                if out.is_empty() {
-                    out = "empty design".into();
-                }
-                Ok(out)
-            }
-            Command::Threads(spec) => {
-                self.par = match spec {
-                    Some(n) => Parallelism::fixed(n),
-                    None => Parallelism::auto(),
-                };
-                if let Some(s) = self.session.as_mut() {
-                    s.set_parallelism(self.par);
-                }
-                Ok(format!("advisors will use {} thread(s)", self.par.threads()))
-            }
-            Command::ShowThreads => {
-                Ok(format!("advisors use {} thread(s)", self.par.threads()))
-            }
-            Command::Explain(sql) => self.session()?.explain_sql(&sql).map_err(|e| e.to_string()),
-            Command::Analyze(sql) => {
-                let s = self.session()?;
-                let sel = parinda::parse_select(&sql).map_err(|e| e.to_string())?;
-                let q = parinda_optimizer::bind(&sel, s.catalog()).map_err(|e| e.to_string())?;
-                let plan = parinda_optimizer::plan_query(
-                    &q,
-                    s.catalog(),
-                    &parinda_optimizer::CostParams::default(),
-                    &parinda_optimizer::PlannerFlags::default(),
-                )
-                .map_err(|e| e.to_string())?;
-                parinda_executor::explain_analyze(&plan, &q, s.catalog(), s.database())
-                    .map_err(|e| format!("{e} (analyze needs `load laptop`)"))
-            }
-            Command::WhatIfIndex { name, table, columns } => {
-                let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
-                self.design = std::mem::take(&mut self.design)
-                    .with_index(WhatIfIndex::new(&name, &table, &cols));
-                // validate eagerly so typos surface now
-                if let Some(sess) = &self.session {
-                    if let Err(e) = self.design.apply(sess.catalog()) {
-                        self.design.indexes.pop();
-                        return Err(e.to_string());
-                    }
-                }
-                Ok(format!("what-if index {name} added"))
-            }
-            Command::WhatIfPartition { name, table, columns } => {
-                let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
-                self.design = std::mem::take(&mut self.design)
-                    .with_partition(WhatIfPartition::new(&name, &table, &cols));
-                if let Some(sess) = &self.session {
-                    if let Err(e) = self.design.apply(sess.catalog()) {
-                        self.design.partitions.pop();
-                        return Err(e.to_string());
-                    }
-                }
-                Ok(format!("what-if partition {name} added"))
-            }
-            Command::WhatIfDrop(name) => {
-                self.design = std::mem::take(&mut self.design).with_drop(&name);
-                if let Some(sess) = &self.session {
-                    if let Err(e) = self.design.apply(sess.catalog()) {
-                        self.design.drop_indexes.pop();
-                        return Err(e.to_string());
-                    }
-                }
-                Ok(format!("simulating DROP INDEX {name}"))
-            }
-            Command::ClearDesign => {
-                self.design = Design::new();
-                Ok("design cleared".into())
-            }
-            Command::Eval => {
-                let s = self.session()?;
-                if self.workload.is_empty() {
-                    return Err("no workload loaded".into());
-                }
-                let (report, rewritten) = s
-                    .evaluate_design(&self.workload, &self.design)
-                    .map_err(|e| e.to_string())?;
-                let mut out = report.render();
-                let changed: Vec<String> = self
-                    .workload
-                    .iter()
-                    .zip(&rewritten)
-                    .filter(|(a, b)| a != b)
-                    .map(|(_, b)| format!("  {b};"))
-                    .collect();
-                if !changed.is_empty() {
-                    out.push_str("\nrewritten queries:\n");
-                    out.push_str(&changed.join("\n"));
-                    out.push('\n');
-                }
-                Ok(out)
-            }
-            Command::SuggestIndexes { budget_mb, method } => {
-                let s = self.session()?;
-                if self.workload.is_empty() {
-                    return Err("no workload loaded".into());
-                }
-                let sugg = s
-                    .suggest_indexes(&self.workload, budget_mb << 20, method)
-                    .map_err(|e| e.to_string())?;
-                let mut out = String::new();
-                for i in &sugg.indexes {
-                    out.push_str(&format!(
-                        "CREATE INDEX {} ON {} ({});  -- {:.1} MB\n",
-                        i.name,
-                        i.table,
-                        i.columns.join(", "),
-                        i.size_bytes as f64 / (1 << 20) as f64
-                    ));
-                }
-                out.push('\n');
-                out.push_str(&sugg.report.render());
-                Ok(out)
-            }
-            Command::SuggestDrops => {
-                let s = self.session()?;
-                if self.workload.is_empty() {
-                    return Err("no workload loaded".into());
-                }
-                let drops = s.suggest_drops(&self.workload).map_err(|e| e.to_string())?;
-                if drops.is_empty() {
-                    return Ok("every existing index earns its keep".into());
-                }
-                let mut out = String::new();
-                for d in drops {
-                    out.push_str(&format!(
-                        "DROP INDEX {};  -- on {}, reclaims {:.1} MB, workload cost unchanged\n",
-                        d.index,
-                        d.table,
-                        d.reclaimed_bytes as f64 / (1 << 20) as f64
-                    ));
-                }
-                Ok(out)
-            }
-            Command::SuggestPartitions { replication_mb } => {
-                let s = self.session()?;
-                if self.workload.is_empty() {
-                    return Err("no workload loaded".into());
-                }
-                let config = AutoPartConfig {
-                    replication_limit_bytes: replication_mb
-                        .map(|mb| (mb << 20) as i64)
-                        .unwrap_or(i64::MAX),
-                    ..Default::default()
-                };
-                let sugg = s
-                    .suggest_partitions(&self.workload, config)
-                    .map_err(|e| e.to_string())?;
-                let mut out = String::new();
-                for p in &sugg.partitions {
-                    out.push_str(&format!(
-                        "PARTITION {} of {} ({})\n",
-                        p.name,
-                        p.table,
-                        p.columns.join(", ")
-                    ));
-                }
-                out.push('\n');
-                out.push_str(&sugg.report.render());
-                Ok(out)
-            }
-        }
-    }
-}
+use parinda::{Console, ConsoleReply};
 
 fn main() {
     println!("PARINDA interactive physical designer (type `help`)");
@@ -518,119 +36,14 @@ fn main() {
                 break;
             }
         }
-        match parse_command(&line) {
-            Ok(Command::Quit) => break,
-            Ok(cmd) => match console.run_command(cmd) {
-                Ok(out) => {
-                    if !out.is_empty() {
-                        println!("{out}");
-                    }
+        match console.run_line(&line) {
+            ConsoleReply::Quit => break,
+            ConsoleReply::Output(out) => {
+                if !out.is_empty() {
+                    println!("{out}");
                 }
-                Err(e) => eprintln!("error: {e}"),
-            },
-            Err(e) => eprintln!("error: {e}"),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_core_commands() {
-        assert_eq!(parse_command("load paper").unwrap(), Command::LoadPaper);
-        assert_eq!(parse_command("load laptop 5000").unwrap(), Command::LoadLaptop(5000));
-        assert_eq!(parse_command("workload sdss").unwrap(), Command::WorkloadSdss);
-        assert_eq!(parse_command("  quit ").unwrap(), Command::Quit);
-        assert_eq!(parse_command("").unwrap(), Command::Empty);
-        assert_eq!(
-            parse_command("suggest indexes 2048 greedy").unwrap(),
-            Command::SuggestIndexes { budget_mb: 2048, method: SelectionMethod::Greedy }
-        );
-    }
-
-    #[test]
-    fn parses_whatif_commands() {
-        assert_eq!(
-            parse_command("whatif index w1 photoobj ra,dec").unwrap(),
-            Command::WhatIfIndex {
-                name: "w1".into(),
-                table: "photoobj".into(),
-                columns: vec!["ra".into(), "dec".into()],
             }
-        );
-        assert_eq!(
-            parse_command("whatif drop i_old").unwrap(),
-            Command::WhatIfDrop("i_old".into())
-        );
-        assert!(parse_command("whatif index w1").is_err());
-    }
-
-    #[test]
-    fn parses_threads_command() {
-        assert_eq!(parse_command("threads 4").unwrap(), Command::Threads(Some(4)));
-        assert_eq!(parse_command("threads auto").unwrap(), Command::Threads(None));
-        assert_eq!(parse_command("threads").unwrap(), Command::ShowThreads);
-        assert!(parse_command("threads 0").is_err());
-        assert!(parse_command("threads many").is_err());
-    }
-
-    #[test]
-    fn threads_command_sticks_across_loads() {
-        let mut c = Console::new();
-        c.run_command(Command::Threads(Some(2))).unwrap();
-        c.run_command(Command::LoadPaper).unwrap();
-        assert_eq!(c.session.as_ref().unwrap().parallelism(), Parallelism::fixed(2));
-        let out = c.run_command(Command::ShowThreads).unwrap();
-        assert!(out.contains("2 thread"), "{out}");
-    }
-
-    #[test]
-    fn explain_keeps_original_case() {
-        match parse_command("explain SELECT ra FROM photoobj").unwrap() {
-            Command::Explain(sql) => assert_eq!(sql, "SELECT ra FROM photoobj"),
-            other => panic!("{other:?}"),
+            ConsoleReply::Error(e) => eprintln!("error [{}]: {e}", e.kind()),
         }
-    }
-
-    #[test]
-    fn unknown_commands_error() {
-        assert!(parse_command("frobnicate").is_err());
-        assert!(parse_command("load mars").is_err());
-    }
-
-    #[test]
-    fn console_flow_paper_scale() {
-        let mut c = Console::new();
-        assert!(c.run_command(Command::Eval).is_err(), "needs a database");
-        c.run_command(Command::LoadPaper).unwrap();
-        c.run_command(Command::WorkloadSdss).unwrap();
-        c.run_command(Command::WhatIfIndex {
-            name: "w_objid".into(),
-            table: "photoobj".into(),
-            columns: vec!["objid".into()],
-        })
-        .unwrap();
-        let out = c.run_command(Command::Eval).unwrap();
-        assert!(out.contains("average benefit"), "{out}");
-        let out = c.run_command(Command::ShowDesign).unwrap();
-        assert!(out.contains("w_objid"));
-        c.run_command(Command::ClearDesign).unwrap();
-        assert_eq!(c.run_command(Command::ShowDesign).unwrap(), "empty design");
-    }
-
-    #[test]
-    fn console_rejects_bad_whatif_eagerly() {
-        let mut c = Console::new();
-        c.run_command(Command::LoadPaper).unwrap();
-        let r = c.run_command(Command::WhatIfIndex {
-            name: "w".into(),
-            table: "photoobj".into(),
-            columns: vec!["no_such_column".into()],
-        });
-        assert!(r.is_err());
-        // the bad feature must not linger in the design
-        assert_eq!(c.run_command(Command::ShowDesign).unwrap(), "empty design");
     }
 }

@@ -139,6 +139,62 @@ fn check_partition_suggestions(mk: fn() -> Parinda, workload: &[parinda::Select]
     }
 }
 
+/// A panicking parallel worker must not unwind the process, and must
+/// surface as the **same** [`parinda::ParindaError`] at every thread
+/// count: `par_try_map` evaluates all items and reports the
+/// lowest-indexed panic regardless of scheduling.
+#[test]
+fn worker_panic_yields_identical_error_at_any_thread_count() {
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let items: Vec<usize> = (0..64).collect();
+    let mut reference: Option<parinda::ParindaError> = None;
+    for threads in THREAD_COUNTS {
+        let panicked = parinda_parallel::par_try_map(
+            Parallelism::fixed(threads),
+            &items,
+            |&i| {
+                if i % 17 == 5 {
+                    panic!("injected worker failure at item {i}");
+                }
+                i * 2
+            },
+        )
+        .expect_err("workers 5, 22, 39, 56 panic");
+        let err: parinda::ParindaError = panicked.into();
+        match &reference {
+            None => reference = Some(err),
+            Some(r) => assert_eq!(r, &err, "error differs at {threads} threads"),
+        }
+    }
+
+    std::panic::set_hook(quiet);
+    let err = reference.expect("at least one thread count ran");
+    assert_eq!(err.kind(), "internal");
+    assert!(
+        err.to_string().contains("item 5"),
+        "lowest-indexed panic wins deterministically: {err}"
+    );
+}
+
+/// Same guarantee one layer up: the INUM model build — the hot parallel
+/// path every advisor runs on — reports a worker panic as a typed error,
+/// identically at every thread count, with the session still usable.
+#[test]
+fn session_survives_worker_panic_via_guard() {
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = parinda::guard::<f64>(|| panic!("invariant breach deep in an advisor"));
+    std::panic::set_hook(quiet);
+    assert_eq!(
+        r,
+        Err(parinda::ParindaError::Internal(
+            "invariant breach deep in an advisor".into()
+        ))
+    );
+}
+
 #[test]
 fn sdss_workload_cost_bit_identical() {
     check_workload_costs(sdss_session, &sdss_workload(), "sdss");

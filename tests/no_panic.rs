@@ -1,0 +1,246 @@
+//! No-panic fuzz gate for the interactive surface (ISSUE 2 tentpole).
+//!
+//! Drives well over 500 randomized inputs — malformed console command
+//! lines, corrupt workload files, and sessions with adversarial catalog
+//! statistics (empty histograms, NaN frequencies, zero row counts,
+//! all-null columns) — through a live [`Console`]. Every input must come
+//! back as a [`ConsoleReply`] (`Output` or a typed error); a panic that
+//! escapes the console aborts the test process, so the suite passing IS
+//! the no-abort guarantee.
+//!
+//! Generation is deterministic (vendored proptest, fixed seed,
+//! `PROPTEST_SEED` to override), so a failure reproduces exactly.
+
+use std::sync::Once;
+
+use parinda::{Catalog, Console, ConsoleReply, Datum, Design, Parinda, SqlType};
+use parinda_catalog::{Column, ColumnStats};
+use proptest::prelude::*;
+
+/// Contained panics still run the global panic hook; silence it so the
+/// fuzz run's output stays readable. Escaping panics still fail the test.
+fn quiet_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        std::panic::set_hook(Box::new(|_| {}));
+    });
+}
+
+/// A tiny schema the fuzz console starts from, so table/column names in
+/// generated commands sometimes resolve.
+fn tiny_session() -> Parinda {
+    Parinda::from_ddl(
+        "CREATE TABLE obs (id BIGINT NOT NULL, ra DOUBLE PRECISION, dec DOUBLE PRECISION,
+                           flags BIGINT, PRIMARY KEY (id)) ROWS 5000;
+         CREATE TABLE src (id BIGINT NOT NULL, mag DOUBLE PRECISION, PRIMARY KEY (id)) ROWS 800;
+         CREATE INDEX i_obs_ra ON obs (ra);",
+    )
+    .expect("fixed DDL parses")
+}
+
+/// One fuzzed console line: anything from valid commands through mangled
+/// arguments to raw printable/control garbage.
+fn command_line() -> BoxedStrategy<String> {
+    let verb = prop_oneof![
+        Just("load".to_string()),
+        Just("workload".to_string()),
+        Just("show".to_string()),
+        Just("describe".to_string()),
+        Just("explain".to_string()),
+        Just("analyze".to_string()),
+        Just("whatif".to_string()),
+        Just("suggest".to_string()),
+        Just("threads".to_string()),
+        Just("eval".to_string()),
+        Just("clear".to_string()),
+        Just("help".to_string()),
+    ];
+    let word = prop_oneof![
+        "[a-z_]{1,10}",
+        "[ -~]{0,12}",
+        // row counts: tiny (cheap to load) or absurd (must be rejected) —
+        // never mid-sized values that would make the fuzz run slow
+        "[0-9]{1,2}",
+        "[0-9]{15,25}",
+        Just("obs".to_string()),
+        Just("src".to_string()),
+        Just("ra,dec".to_string()),
+        Just("no_such_table".to_string()),
+        Just("'; DROP TABLE obs; --".to_string()),
+        Just("\u{0}\u{1b}[31m\u{7f}".to_string()),
+        Just("空 テーブル ∞".to_string()),
+    ];
+    let sqlish = prop_oneof![
+        Just("SELECT".to_string()),
+        Just("select id from obs where".to_string()),
+        Just("SELECT COUNT(*) FROM obs GROUP BY".to_string()),
+        Just("select * from src where mag <= ".to_string()),
+        Just("select id from obs where ra between 1 and".to_string()),
+        Just("((((".to_string()),
+        Just("select id from obs where flags in (".to_string()),
+        "[ -~]{0,60}",
+    ];
+    prop_oneof![
+        // verb + 0-4 mangled args
+        (verb, prop::collection::vec(word, 0..4)).prop_map(|(v, args)| {
+            let mut line = v;
+            for a in args {
+                line.push(' ');
+                line.push_str(&a);
+            }
+            line
+        }),
+        // explain/analyze over malformed SQL
+        (prop_oneof![Just("explain "), Just("analyze ")], sqlish)
+            .prop_map(|(p, s)| format!("{p}{s}")),
+        // raw garbage
+        "[ -~]{0,50}".prop_map(|s| s),
+        Just("\t\t;;;;".to_string()),
+        Just(String::new()),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    // ≥ 120 cases × ≥ 5 lines = ≥ 600 randomized command lines through a
+    // live console: no input may abort the process.
+    #[test]
+    fn console_never_aborts(lines in prop::collection::vec(command_line(), 5..9)) {
+        quiet_panics();
+        let mut console = Console::with_session(tiny_session());
+        for line in &lines {
+            match console.run_line(line) {
+                ConsoleReply::Output(_) | ConsoleReply::Error(_) => {}
+                ConsoleReply::Quit => {} // REPL would exit; the console itself is fine
+            }
+        }
+        // the console survives and still answers
+        let reply = console.run_line("help");
+        prop_assert!(matches!(reply, ConsoleReply::Output(_)));
+    }
+
+    // Corrupt workload files — semicolons in literals, truncated
+    // statements, binary noise, bogus weights — must produce a typed
+    // error or a (possibly empty) workload, never a crash.
+    #[test]
+    fn malformed_workload_files_never_abort(
+        chunks in prop::collection::vec(prop_oneof![
+            Just("SELECT id FROM obs;".to_string()),
+            Just("SELECT id FROM obs WHERE name LIKE 'a;b';".to_string()),
+            Just("-- weight: 3".to_string()),
+            Just("-- weight: NaN".to_string()),
+            Just("-- weight: 99999999999999999999".to_string()),
+            Just("SELECT FROM WHERE;".to_string()),
+            Just("'unterminated literal".to_string()),
+            Just("SELECT 'it''s; fine' FROM obs".to_string()),
+            "[ -~]{0,40}",
+            Just("\u{0}\u{1}\u{2}".to_string()),
+            Just(";;;".to_string()),
+        ], 1..8),
+        case in 0u32..1_000_000,
+    ) {
+        quiet_panics();
+        let path = std::env::temp_dir().join(format!("parinda_no_panic_{case}_{}.sql", chunks.len()));
+        std::fs::write(&path, chunks.join("\n")).expect("temp file");
+        let mut console = Console::with_session(tiny_session());
+        let reply = console.run_line(&format!("workload file {}", path.display()));
+        std::fs::remove_file(&path).ok();
+        prop_assert!(matches!(reply, ConsoleReply::Output(_) | ConsoleReply::Error(_)));
+        // the console survives and still answers
+        prop_assert!(matches!(console.run_line("show tables"), ConsoleReply::Output(_)));
+    }
+
+    // Adversarial catalog statistics: empty histograms, NaN null
+    // fractions and frequencies, zero/NaN row counts, all-null columns.
+    // Planning and advising over them must return answers or typed
+    // errors, never abort.
+    #[test]
+    fn adversarial_stats_never_abort(
+        rows in prop_oneof![Just(0u64), Just(1u64), 2u64..5_000],
+        null_frac in prop_oneof![Just(f64::NAN), Just(-1.0), Just(0.0), Just(1.0), Just(2.0), 0.0f64..1.0],
+        n_distinct in prop_oneof![Just(f64::NAN), Just(0.0), Just(-0.5), Just(-2.0), 1.0f64..100.0],
+        hist_kind in 0u8..4,
+        mcv_kind in 0u8..4,
+        budget_mb in 1u64..64,
+    ) {
+        quiet_panics();
+        let histogram = match hist_kind {
+            0 => vec![],
+            1 => vec![Datum::Int(7)], // single bound: degenerate
+            2 => vec![Datum::Float(f64::NAN), Datum::Float(f64::INFINITY), Datum::Float(3.0)],
+            _ => (0..10).map(Datum::Int).collect(),
+        };
+        let mcv = match mcv_kind {
+            0 => vec![],
+            1 => vec![(Datum::Int(3), f64::NAN), (Datum::Null, 0.4)],
+            2 => vec![(Datum::Int(3), 2.0)], // frequency > 1
+            _ => vec![(Datum::Int(3), 0.9)],
+        };
+        let stats = ColumnStats {
+            null_frac,
+            n_distinct,
+            avg_width: 8.0,
+            mcv,
+            histogram,
+            correlation: f64::NAN,
+        };
+        let all_null = ColumnStats {
+            null_frac: 1.0,
+            n_distinct: 0.0,
+            avg_width: 8.0,
+            mcv: vec![],
+            histogram: vec![],
+            correlation: 0.0,
+        };
+
+        let mut cat = Catalog::new();
+        let cols = vec![
+            Column::new("a", SqlType::Int8),
+            Column::new("b", SqlType::Float8),
+        ];
+        let id = cat.create_table("t", cols, rows);
+        cat.set_column_stats(id, 0, stats);
+        cat.set_column_stats(id, 1, all_null);
+        cat.create_index("i_a", "t", &["a"]);
+
+        let mut console = Console::with_session(Parinda::new(cat));
+        for line in [
+            "explain select a from t where a < 3",
+            "explain select a from t where a <= 3 and b > 0.5",
+            "explain select b from t where b is null",
+            "explain select a from t where a between 1 and 7",
+            "whatif index w_b t b",
+            "describe t",
+        ] {
+            let reply = console.run_line(line);
+            prop_assert!(
+                matches!(reply, ConsoleReply::Output(_) | ConsoleReply::Error(_)),
+                "{line}: {reply:?}"
+            );
+        }
+
+        // And the advisors over the same degenerate statistics.
+        let session = Parinda::new({
+            let mut cat = Catalog::new();
+            let cols = vec![Column::new("a", SqlType::Int8), Column::new("b", SqlType::Float8)];
+            let id = cat.create_table("t", cols, rows);
+            cat.set_column_stats(id, 0, ColumnStats {
+                null_frac,
+                n_distinct,
+                avg_width: 8.0,
+                mcv: vec![],
+                histogram: vec![],
+                correlation: 0.0,
+            });
+            cat
+        });
+        let workload = vec![
+            parinda::parse_select("SELECT a FROM t WHERE a <= 5").expect("fixed SQL"),
+            parinda::parse_select("SELECT b FROM t WHERE a > 2").expect("fixed SQL"),
+        ];
+        let _ = session.evaluate_design(&workload, &Design::new());
+        let _ = session.suggest_indexes(&workload, budget_mb << 20, parinda::SelectionMethod::Greedy);
+    }
+}

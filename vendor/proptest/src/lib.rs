@@ -100,6 +100,15 @@ macro_rules! proptest {
         $crate::proptest!(@munch ($cfg) $($rest)*);
     };
     (@munch ($cfg:expr)) => {};
+    // Tolerate (and drop) doc comments on the test fns: they expand to
+    // `#[doc = ...]` attributes, which would otherwise miss the `#[test]`
+    // arm and send the catch-all rule into infinite recursion.
+    (@munch ($cfg:expr)
+        #[doc = $doc:expr]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
     (@munch ($cfg:expr)
         #[test]
         fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
