@@ -18,16 +18,23 @@ echo "==> no-panic fuzz gate (tests/no_panic.rs, extra seeds)"
 cargo test -q --test no_panic
 PROPTEST_SEED=$(date +%s) cargo test -q --test no_panic
 
-echo "==> panic-site lint (interactive surface: core, sql, CLI)"
+echo "==> failpoint matrix (every site x err/panic/delay x 1/2/8 threads)"
+cargo test -q --features failpoints --test failpoints
+
+echo "==> panic-site lint (advisor path: core, sql, advisor, solver, inum, whatif, CLI)"
 # The never-crash contract (DESIGN.md): no unwrap/expect/panic!/
 # unreachable! outside #[cfg(test)] in the crates a console command runs
-# through first. `expect(` is matched with an opening quote so the SQL
-# parser's `self.expect(TokenKind::…)` method is not flagged.
+# through. `expect(` is matched with an opening quote so the SQL
+# parser's `self.expect(TokenKind::…)` method is not flagged; comment
+# lines (incl. doc examples) are skipped.
 lint_fail=0
-for f in $(find crates/core/src crates/sql/src src/bin -name '*.rs'); do
+for f in $(find crates/core/src crates/sql/src crates/advisor/src crates/solver/src \
+           crates/inum/src crates/whatif/src src/bin -name '*.rs'); do
   hits=$(awk '
     /#\[cfg\(test\)\]/ { in_tests = 1 }
-    !in_tests && (/\.unwrap\(\)/ || /\.expect\("/ || /panic!\(/ || /unreachable!\(/) {
+    { stripped = $0; sub(/^[[:space:]]+/, "", stripped) }
+    !in_tests && stripped !~ /^\/\// \
+      && (/\.unwrap\(\)/ || /\.expect\("/ || /panic!\(/ || /unreachable!\(/) {
       print FILENAME ":" FNR ": " $0
     }' "$f")
   if [ -n "$hits" ]; then

@@ -10,7 +10,7 @@
 
 use parinda_catalog::{Catalog, MetadataProvider, TableId};
 use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
-use parinda_parallel::{par_map, par_map_indexed, Parallelism};
+use parinda_parallel::{par_map, par_map_indexed, Budget, BudgetReport, Parallelism};
 use parinda_sql::Select;
 use parinda_whatif::{HypotheticalCatalog, WhatIfPartition};
 
@@ -57,6 +57,12 @@ pub struct PartitionSuggestion {
     pub rewritten: Vec<Select>,
     /// Improvement iterations executed.
     pub iterations: usize,
+    /// Did a budget (deadline, round cap, or cancellation) stop the
+    /// improvement loop early? The design is still valid — the best one
+    /// found before the budget expired.
+    pub degraded: bool,
+    /// How far the run got, when `degraded` is set.
+    pub budget: Option<BudgetReport>,
 }
 
 impl PartitionSuggestion {
@@ -109,6 +115,21 @@ pub fn suggest_partitions_par(
     config: AutoPartConfig,
     par: Parallelism,
 ) -> Result<PartitionSuggestion, AdvisorError> {
+    suggest_partitions_budgeted(catalog, workload, config, par, &Budget::unlimited())
+}
+
+/// [`suggest_partitions_par`] under a [`Budget`]: the budget is checked
+/// at the top of every improvement round (a round cap counts improvement
+/// rounds), and an interrupted run returns the best design found so far,
+/// flagged `degraded: true`. With an unlimited budget this is exactly
+/// [`suggest_partitions_par`] — bit-identical output.
+pub fn suggest_partitions_budgeted(
+    catalog: &Catalog,
+    workload: &[Select],
+    config: AutoPartConfig,
+    par: Parallelism,
+    budget: &Budget,
+) -> Result<PartitionSuggestion, AdvisorError> {
     let params = CostParams::default();
     let flags = PlannerFlags::default();
 
@@ -149,6 +170,8 @@ pub fn suggest_partitions_par(
             per_query: base_costs.iter().map(|&c| (c, c)).collect(),
             rewritten: workload.to_vec(),
             iterations: 0,
+            degraded: false,
+            budget: None,
         });
     }
 
@@ -170,7 +193,14 @@ pub fn suggest_partitions_par(
     // first *merges toward the budget*, accepting the cheapest
     // overhead-reducing candidate each round; once within budget it only
     // accepts cost improvements that stay within budget.
+    let mut budget_stopped = false;
     while iterations < config.max_iterations {
+        // Anytime contract: check the budget at the round boundary and
+        // keep the best design found so far.
+        if budget.exceeded(iterations) {
+            budget_stopped = true;
+            break;
+        }
         iterations += 1;
         let mut improved = false;
         let mut round_best: Option<(Vec<Fragment>, f64)> = None;
@@ -183,7 +213,7 @@ pub fn suggest_partitions_par(
         for i in 0..selected.len() {
             for j in (i + 1)..selected.len() {
                 if selected[i].table == selected[j].table {
-                    let merged = selected[i].union(&selected[j]).expect("same table");
+                    let Some(merged) = selected[i].union(&selected[j]) else { continue };
                     let mut next = selected.clone();
                     next.retain(|f| *f != selected[i] && *f != selected[j]);
                     next.push(merged);
@@ -192,7 +222,7 @@ pub fn suggest_partitions_par(
             }
             for atom in atoms_by_table(selected[i].table) {
                 if !selected[i].covers(atom.columns.iter().copied()) {
-                    let merged = selected[i].union(atom).expect("same table");
+                    let Some(merged) = selected[i].union(atom) else { continue };
                     if !selected.contains(&merged) {
                         let mut next = selected.clone();
                         // subsumed fragments are dropped
@@ -295,6 +325,7 @@ pub fn suggest_partitions_par(
     // The final answer keeps only fragments that help (tables whose
     // rewritten queries got cheaper); simple post-filter: drop tables where
     // partitioning brought no gain.
+    let degraded = budget_stopped || budget.interrupted();
     Ok(PartitionSuggestion {
         design: best_eval.design,
         cost_before,
@@ -306,6 +337,9 @@ pub fn suggest_partitions_par(
             .collect(),
         rewritten: best_eval.rewritten,
         iterations,
+        degraded,
+        budget: degraded
+            .then(|| budget.report(iterations, config.max_iterations.saturating_sub(iterations))),
     })
 }
 
@@ -397,6 +431,11 @@ fn design_cost_snapshot(
     qtables: &[Vec<(TableId, Vec<usize>)>],
     memo: &CostMemo,
 ) -> (f64, Vec<MemoEntry>) {
+    if parinda_failpoint::should_fail("advisor::autopart_eval") {
+        // Injected fault: this candidate design looks infinitely bad, so
+        // the round keeps whatever real evaluations it has.
+        return (f64::INFINITY, Vec::new());
+    }
     let mut total = 0.0;
     let mut pending: Vec<usize> = Vec::new();
     for (qi, tables) in qtables.iter().enumerate() {
@@ -456,31 +495,32 @@ fn simulate_fragments<'a>(
     fragments: &[Fragment],
 ) -> (HypotheticalCatalog<'a>, PartitionDesign) {
     let mut design = PartitionDesign::default();
+    let mut overlay = HypotheticalCatalog::new(catalog);
     let mut counters: std::collections::HashMap<TableId, usize> = std::collections::HashMap::new();
     for f in fragments {
         let n = counters.entry(f.table).or_insert(0);
         *n += 1;
-        let tname = catalog
-            .table(f.table)
-            .map(|t| t.name.clone())
-            .unwrap_or_else(|| format!("t{}", f.table.0));
-        design.fragments.push(NamedFragment {
-            name: format!("{tname}_p{n}"),
-            fragment: f.clone(),
-        });
-    }
-    let mut overlay = HypotheticalCatalog::new(catalog);
-    for nf in &design.fragments {
-        let parent = catalog.table(nf.fragment.table).expect("fragment of known table");
-        let cols: Vec<String> = nf
-            .fragment
+        // A fragment whose parent table vanished from the catalog, whose
+        // column indexes are stale, or whose simulation is rejected is
+        // skipped rather than fatal: the rewriter never references it and
+        // the affected queries keep their original plans — degraded, not
+        // crashed.
+        let Some(parent) = catalog.table(f.table) else { continue };
+        let name = format!("{}_p{n}", parent.name);
+        let cols: Vec<String> = f
             .columns
             .iter()
-            .map(|&i| parent.columns[i].name.clone())
+            .filter_map(|&i| parent.columns.get(i).map(|c| c.name.clone()))
             .collect();
+        if cols.len() != f.columns.len() {
+            continue;
+        }
         let colrefs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-        let def = WhatIfPartition::new(nf.name.clone(), parent.name.clone(), &colrefs);
-        parinda_whatif::simulate_partition(&mut overlay, &def).expect("columns come from catalog");
+        let def = WhatIfPartition::new(name.clone(), parent.name.clone(), &colrefs);
+        if parinda_whatif::simulate_partition(&mut overlay, &def).is_err() {
+            continue;
+        }
+        design.fragments.push(NamedFragment { name, fragment: f.clone() });
     }
     (overlay, design)
 }

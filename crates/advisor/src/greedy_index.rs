@@ -6,7 +6,7 @@
 //! the INUM model (so the comparison against ILP is cost-model-fair).
 
 use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
-use parinda_parallel::{par_map, par_map_indexed};
+use parinda_parallel::{par_map, par_map_indexed, Budget};
 use parinda_solver::{greedy_select_batch, GreedyItem};
 
 use crate::ilp_index::{finish_selection, IndexSelection};
@@ -16,6 +16,20 @@ pub fn select_indexes_greedy(
     model: &mut InumModel<'_>,
     candidates: &[CandidateIndex],
     budget_bytes: u64,
+) -> IndexSelection {
+    select_indexes_greedy_budgeted(model, candidates, budget_bytes, &Budget::unlimited())
+}
+
+/// [`select_indexes_greedy`] under a [`Budget`]: the budget is checked at
+/// each selection round (a round cap counts selection rounds), and an
+/// interrupted run returns the indexes picked so far, flagged
+/// `degraded: true`. With an unlimited budget this is exactly
+/// [`select_indexes_greedy`].
+pub fn select_indexes_greedy_budgeted(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    budget: &Budget,
 ) -> IndexSelection {
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
@@ -36,7 +50,18 @@ pub fn select_indexes_greedy(
     // benefit; the (candidate × query) probes are independent, so a round
     // fans out over the pool. The current-config cost is hoisted out of
     // the per-candidate closure — it is the same for all of them.
+    //
+    // Budget hook: once the budget is exceeded, the oracle reports zero
+    // benefit for everything, which terminates the selection loop with
+    // the picks made so far (best-so-far semantics).
+    let rounds = std::cell::Cell::new(0usize);
+    let stopped = std::cell::Cell::new(false);
     let picked_pos = greedy_select_batch(&items, budget_bytes, |selected, eligible| {
+        if budget.exceeded(rounds.get()) {
+            stopped.set(true);
+            return vec![0.0; eligible.len()];
+        }
+        rounds.set(rounds.get() + 1);
         let current: Configuration =
             Configuration::from_ids(selected.iter().map(|&p| cand_ids[p]));
         let current_cost = model_ref.workload_cost(&current);
@@ -46,7 +71,12 @@ pub fn select_indexes_greedy(
     });
 
     let chosen: Vec<CandId> = picked_pos.iter().map(|&p| cand_ids[p]).collect();
-    finish_selection(model, chosen, &base_costs, true)
+    let degraded = stopped.get();
+    let mut selection = finish_selection(model, chosen, &base_costs, !degraded);
+    selection.degraded = degraded;
+    selection.budget =
+        degraded.then(|| budget.report(rounds.get(), candidates.len().saturating_sub(rounds.get())));
+    selection
 }
 
 /// Classic single-pass greedy (the "greedy heuristic" of the commercial

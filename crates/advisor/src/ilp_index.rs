@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 use parinda_catalog::{MetadataProvider, TableId};
 use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
-use parinda_parallel::par_map_indexed;
+use parinda_parallel::{par_map_indexed, par_try_map_budgeted, Budget, BudgetReport};
 use parinda_solver::{solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits};
 
 /// User-supplied constraints beyond the storage budget (paper §3.4: "other
@@ -71,6 +71,13 @@ pub struct IndexSelection {
     pub total_size: u64,
     /// Was the ILP solved to proven optimality?
     pub proven_optimal: bool,
+    /// Did a budget (deadline, round cap, or cancellation) stop the run
+    /// before it evaluated everything? The selection is still valid —
+    /// best-so-far over what was evaluated — just possibly not as good
+    /// as an unbudgeted run.
+    pub degraded: bool,
+    /// How far the run got, when `degraded` is set.
+    pub budget: Option<BudgetReport>,
     /// Per-query costs before/after.
     pub per_query: Vec<(f64, f64)>,
 }
@@ -101,6 +108,24 @@ pub fn select_indexes_ilp_with(
     budget_bytes: u64,
     options: &IlpOptions,
 ) -> IndexSelection {
+    select_indexes_ilp_budgeted(model, candidates, budget_bytes, options, &Budget::unlimited())
+}
+
+/// [`select_indexes_ilp_with`] under a [`Budget`]: the benefit matrix is
+/// evaluated candidate-by-candidate until the budget (deadline, round
+/// cap = candidates scored, or cancellation) interrupts; unscored
+/// candidates are treated as zero-benefit (never chosen), and the
+/// branch-and-bound inherits the deadline and cancel token. The result
+/// is always valid; `degraded: true` plus a [`BudgetReport`] mark a run
+/// the budget cut short. With an unlimited budget this is exactly
+/// [`select_indexes_ilp_with`] — bit-identical output.
+pub fn select_indexes_ilp_budgeted(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    options: &IlpOptions,
+    budget: &Budget,
+) -> IndexSelection {
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
@@ -111,23 +136,38 @@ pub fn select_indexes_ilp_with(
     // Benefits (weighted) and sizes. The (query, candidate) cells are
     // independent cached-model probes, so the matrix fans out over the
     // model's thread pool; each cell is pure, so the matrix is identical
-    // at any thread count.
+    // at any thread count. Cells are laid out candidate-major so a
+    // budget-interrupted prefix covers whole candidates: a candidate is
+    // either fully scored or not considered at all.
     let par = model.parallelism();
     let model_ref: &InumModel<'_> = model;
     let empty = Configuration::empty();
     let base_costs: Vec<f64> =
         par_map_indexed(par, nq, |q| model_ref.cost(q, &empty) * weight(q));
     let n_cand = cand_ids.len();
-    let cells: Vec<f64> = par_map_indexed(par, nq * n_cand, |k| {
-        let (q, ci) = (k / n_cand.max(1), k % n_cand.max(1));
+    let scored_cap = budget.max_rounds().map_or(n_cand, |r| r.min(n_cand));
+    let cells = match par_try_map_budgeted(par, scored_cap * nq, budget, |k| {
+        if parinda_failpoint::should_fail("advisor::benefit_cell") {
+            return 0.0; // injected error: the cell degrades to "no benefit"
+        }
+        let (ci, q) = (k / nq.max(1), k % nq.max(1));
         let with = model_ref.cost(q, &Configuration::from_ids([cand_ids[ci]])) * weight(q);
         (base_costs[q] - with).max(0.0)
-    });
-    let benefits: Vec<Vec<f64>> = if n_cand == 0 {
-        vec![Vec::new(); nq]
-    } else {
-        cells.chunks(n_cand).map(|row| row.to_vec()).collect()
+    }) {
+        Ok(partial) => partial,
+        // Re-raise the contained worker panic for the session guard()
+        // backstop; resume_unwind skips the panic hook (already ran).
+        Err(p) => std::panic::resume_unwind(Box::new(p.to_string())),
     };
+    // Only fully scored candidates enter the program.
+    let scored = if nq == 0 { scored_cap } else { cells.done.len() / nq };
+    let mut benefits: Vec<Vec<f64>> = vec![vec![0.0; n_cand]; nq];
+    for (ci, col) in cells.done.chunks(nq.max(1)).take(scored).enumerate() {
+        for (q, &b) in col.iter().enumerate() {
+            benefits[q][ci] = b;
+        }
+    }
+    let candidates_skipped = n_cand - scored;
     let sizes: Vec<u64> = cand_ids.iter().map(|&id| model.candidate_size(id)).collect();
 
     // Build the ILP.
@@ -188,18 +228,32 @@ pub fn select_indexes_ilp_with(
     }
 
     let ip = IntegerProgram { lp, binary: (0..n_vars).collect() };
-    let (chosen_pos, proven) = match solve_ilp(&ip, SolveLimits::default()) {
+    let limits = SolveLimits {
+        deadline: budget.deadline(),
+        cancel: Some(budget.cancel_token().clone()),
+        ..SolveLimits::default()
+    };
+    let (chosen_pos, proven) = match solve_ilp(&ip, limits) {
         IlpOutcome::Solved(s) => {
             let picked: Vec<usize> =
                 (0..n_cand).filter(|&ci| s.x[ci] > 0.5).collect();
             (picked, s.proven_optimal)
         }
-        // Infeasible can only mean "no candidate fits the budget".
-        _ => (Vec::new(), true),
+        // A genuine infeasibility proof can only mean "no candidate fits
+        // the budget"; unbounded cannot occur with all-binary variables.
+        IlpOutcome::Infeasible | IlpOutcome::Unbounded => (Vec::new(), true),
+        // A limit stopped the search before any incumbent: the empty
+        // design is the best-so-far answer, and it is *not* proven.
+        IlpOutcome::Limit => (Vec::new(), false),
     };
 
     let chosen: Vec<CandId> = chosen_pos.iter().map(|&ci| cand_ids[ci]).collect();
-    finish_selection_weighted(model, chosen, &base_costs, proven, &options.weights)
+    let degraded = candidates_skipped > 0 || budget.interrupted();
+    let mut selection =
+        finish_selection_weighted(model, chosen, &base_costs, proven, &options.weights);
+    selection.degraded = degraded;
+    selection.budget = degraded.then(|| budget.report(scored, candidates_skipped));
+    selection
 }
 
 /// Compute the final (honest) report for a chosen set.
@@ -233,5 +287,14 @@ pub(crate) fn finish_selection_weighted(
     let cost_before: f64 = base_costs.iter().sum();
     let cost_after: f64 = per_query.iter().map(|p| p.1).sum();
     let total_size: u64 = chosen.iter().map(|&id| model.candidate_size(id)).sum();
-    IndexSelection { chosen, cost_before, cost_after, total_size, proven_optimal, per_query }
+    IndexSelection {
+        chosen,
+        cost_before,
+        cost_after,
+        total_size,
+        proven_optimal,
+        degraded: false,
+        budget: None,
+        per_query,
+    }
 }

@@ -76,6 +76,10 @@ pub fn rewrite_select(
     meta: &dyn MetadataProvider,
     design: &PartitionDesign,
 ) -> Result<Select, RewriteError> {
+    if parinda_failpoint::should_fail("advisor::rewrite") {
+        // Injected fault: callers fall back to the original statement.
+        return Err(RewriteError::UnknownTable("failpoint advisor::rewrite".to_string()));
+    }
     // Resolve the FROM list.
     struct RelInfo {
         binding: String,
@@ -105,7 +109,9 @@ pub fn rewrite_select(
                     .iter()
                     .position(|r| r.binding == ql)
                     .ok_or_else(|| RewriteError::UnknownTable(ql.clone()))?;
-                let t = meta.table(rels[ri].table).expect("resolved above");
+                let t = meta
+                    .table(rels[ri].table)
+                    .ok_or_else(|| RewriteError::UnknownTable(rels[ri].table_name.clone()))?;
                 let ci = t
                     .column_index(&c.column)
                     .ok_or_else(|| RewriteError::UnknownColumn(c.column.clone()))?;
@@ -114,7 +120,7 @@ pub fn rewrite_select(
             None => {
                 let mut hit = None;
                 for (ri, r) in rels.iter().enumerate() {
-                    let t = meta.table(r.table).expect("resolved above");
+                    let Some(t) = meta.table(r.table) else { continue };
                     if let Some(ci) = t.column_index(&c.column) {
                         if hit.is_some() {
                             return Err(RewriteError::AmbiguousColumn(c.column.clone()));
@@ -150,7 +156,11 @@ pub fn rewrite_select(
         match item {
             SelectItem::Wildcard => {
                 for r in &mut rels {
-                    let n = meta.table(r.table).unwrap().columns.len();
+                    let n = meta
+                        .table(r.table)
+                        .ok_or_else(|| RewriteError::UnknownTable(r.table_name.clone()))?
+                        .columns
+                        .len();
                     r.used.extend(0..n);
                 }
             }
@@ -159,7 +169,11 @@ pub fn rewrite_select(
                 let Some(pos) = rels.iter().position(|r| r.binding == ql) else {
                     return Err(RewriteError::UnknownTable(ql));
                 };
-                let n = meta.table(rels[pos].table).unwrap().columns.len();
+                let n = meta
+                    .table(rels[pos].table)
+                    .ok_or_else(|| RewriteError::UnknownTable(rels[pos].table_name.clone()))?
+                    .columns
+                    .len();
                 rels[pos].used.extend(0..n);
             }
             SelectItem::Expr { expr, .. } => collect(expr, &mut rels)?,
@@ -191,7 +205,9 @@ pub fn rewrite_select(
             replacements.push(None);
             continue;
         }
-        let parent = meta.table(r.table).expect("resolved above");
+        let parent = meta
+            .table(r.table)
+            .ok_or_else(|| RewriteError::UnknownTable(r.table_name.clone()))?;
         let pk: Vec<usize> = parent.primary_key.clone();
         // Needed columns beyond the PK (every fragment carries the PK).
         let needed: BTreeSet<usize> =
@@ -213,10 +229,17 @@ pub fn rewrite_select(
                     chosen.push(f);
                 }
                 _ => {
-                    let col = *uncovered.iter().next().unwrap();
+                    // The loop guard says `uncovered` is non-empty; name
+                    // the first uncovered column if it still exists.
+                    let column = uncovered
+                        .iter()
+                        .next()
+                        .and_then(|&c| parent.columns.get(c))
+                        .map(|c| c.name.clone())
+                        .unwrap_or_else(|| "?".to_string());
                     return Err(RewriteError::NotCoverable {
                         table: r.table_name.clone(),
-                        column: parent.columns[col].name.clone(),
+                        column,
                     });
                 }
             }
@@ -230,9 +253,10 @@ pub fn rewrite_select(
         let mut from = Vec::new();
         let mut preds = Vec::new();
         let mut col_binding: HashMap<usize, String> = HashMap::new();
+        let first_alias = r.binding.clone();
         for (i, f) in chosen.iter().enumerate() {
             let alias = if i == 0 {
-                r.binding.clone()
+                first_alias.clone()
             } else {
                 format!("{}_f{}", r.binding, i + 1)
             };
@@ -240,10 +264,12 @@ pub fn rewrite_select(
             if i > 0 {
                 // join on the PK with the first fragment
                 for &pkc in &pk {
-                    let col = parent.columns[pkc].name.clone();
+                    let Some(col) = parent.columns.get(pkc).map(|c| c.name.clone()) else {
+                        continue;
+                    };
                     preds.push(Expr::binary(
                         BinOp::Eq,
-                        Expr::Column(ColumnRef::qualified(from[0].alias.clone().unwrap(), col.clone())),
+                        Expr::Column(ColumnRef::qualified(first_alias.clone(), col.clone())),
                         Expr::Column(ColumnRef::qualified(alias.clone(), col)),
                     ));
                 }
@@ -254,7 +280,7 @@ pub fn rewrite_select(
         }
         // PK columns resolve to the first fragment.
         for &pkc in &pk {
-            col_binding.insert(pkc, from[0].alias.clone().unwrap());
+            col_binding.insert(pkc, first_alias.clone());
         }
         replacements.push(Some(Replacement { from, preds, col_binding }));
     }
@@ -269,10 +295,15 @@ pub fn rewrite_select(
         match &replacements[ri] {
             None => Ok(c.clone()),
             Some(rep) => {
-                let binding = rep
-                    .col_binding
-                    .get(&ci)
-                    .expect("cover computed over all used columns");
+                // The cover above was computed over every used column, so
+                // a miss means the design and the query disagree — report
+                // it as not coverable instead of crashing.
+                let binding = rep.col_binding.get(&ci).ok_or_else(|| {
+                    RewriteError::NotCoverable {
+                        table: rels[ri].table_name.clone(),
+                        column: c.column.clone(),
+                    }
+                })?;
                 Ok(ColumnRef::qualified(binding.clone(), c.column.clone()))
             }
         }

@@ -56,6 +56,23 @@ fn banner(id: &str, claim: &str) {
     println!("==========================================================================");
 }
 
+/// Budget-degraded advisor cells are starred so a run under an advisor
+/// budget cannot be mistaken for the exhaustive search result.
+fn star(degraded: bool) -> &'static str {
+    if degraded {
+        "*"
+    } else {
+        ""
+    }
+}
+
+/// Print the footnote explaining starred cells, if any row had one.
+fn degraded_footnote(any: bool) {
+    if any {
+        println!("  * budget-degraded: best-so-far under the advisor budget, not the full search");
+    }
+}
+
 /// E1 — "Using these techniques on analytical queries, we achieve speedups
 /// ranging from 2x to 10x" (§1). Suggested partitions + indexes, estimated
 /// at paper scale and *measured by execution* at laptop scale.
@@ -67,6 +84,7 @@ fn e1_workload_speedup() {
     let wl = workload();
     let base_bytes = session.catalog().total_size_bytes();
     let mut t = Table::new(&["budget (frac of db)", "indexes", "partitions", "est. speedup"]);
+    let mut any_degraded = false;
     for frac in [0.05f64, 0.1, 0.2, 0.4] {
         let budget = (base_bytes as f64 * frac) as u64;
         let idx = session.suggest_indexes(&wl, budget, SelectionMethod::Ilp).expect("advisor");
@@ -84,14 +102,16 @@ fn e1_workload_speedup() {
             design = design.with_index(WhatIfIndex::new(&i.name, &i.table, &cols));
         }
         let (report, _) = session.evaluate_design(&wl, &design).expect("evaluation");
+        any_degraded |= idx.degraded || parts.degraded;
         t.row(&[
             format!("{:.0}%", frac * 100.0),
-            idx.indexes.len().to_string(),
-            parts.partitions.len().to_string(),
+            format!("{}{}", idx.indexes.len(), star(idx.degraded)),
+            format!("{}{}", parts.partitions.len(), star(parts.degraded)),
             format!("{:.2}x", report.speedup()),
         ]);
     }
     println!("\nestimated (optimizer cost, paper-scale statistics):\n{}", t.render());
+    degraded_footnote(any_degraded);
 
     // --- measured, laptop scale ---
     let (mut session, _) = laptop_session(20_000, 1);
@@ -310,6 +330,7 @@ fn e4_ilp_vs_greedy() {
 
     // (b) workload-size sweep: selection runtime
     let mut t = Table::new(&["queries", "ilp time", "greedy time", "ilp proven optimal"]);
+    let mut any_degraded = false;
     for n in [5usize, 15, 30, 60, 120] {
         let wl = generate_queries(n, 42);
         let budget = session.catalog().total_size_bytes() / 10;
@@ -321,15 +342,17 @@ fn e4_ilp_vs_greedy() {
             .suggest_indexes(&wl, budget, SelectionMethod::Greedy)
             .expect("greedy");
         let greedy_t = t0.elapsed();
+        any_degraded |= sel.degraded;
         t.row(&[
             n.to_string(),
             format!("{ilp_t:.2?}"),
             format!("{greedy_t:.2?}"),
-            if sel.proven_optimal { "yes".into() } else { "no".into() },
+            format!("{}{}", if sel.proven_optimal { "yes" } else { "no" }, star(sel.degraded)),
         ]);
     }
     println!("search runtime, generated workloads:");
     println!("{}", t.render());
+    degraded_footnote(any_degraded);
 }
 
 /// E5 — Equation 1 accuracy: estimated vs measured index leaf pages.
@@ -386,6 +409,7 @@ fn e6_autopart() {
     let wl = workload();
     let base = session.catalog().total_size_bytes();
     let mut t = Table::new(&["replication budget", "fragments", "iterations", "est. speedup", "rewritten queries"]);
+    let mut any_degraded = false;
     for frac in [0.0f64, 0.1, 0.25, 0.5] {
         let cfg = AutoPartConfig {
             replication_limit_bytes: (base as f64 * frac) as i64,
@@ -397,15 +421,17 @@ fn e6_autopart() {
             .zip(&sugg.rewritten)
             .filter(|(a, b)| a != b)
             .count();
+        any_degraded |= sugg.degraded;
         t.row(&[
             format!("{:.0}%", frac * 100.0),
-            sugg.partitions.len().to_string(),
-            sugg.iterations.to_string(),
+            format!("{}{}", sugg.partitions.len(), star(sugg.degraded)),
+            format!("{}{}", sugg.iterations, star(sugg.degraded)),
             format!("{:.2}x", sugg.report.speedup()),
             format!("{rewritten}/30"),
         ]);
     }
     println!("\n{}", t.render());
+    degraded_footnote(any_degraded);
 }
 
 /// E7 — scenario 1 verification: what-if estimates vs materialized reality.

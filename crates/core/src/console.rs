@@ -16,7 +16,7 @@ use parinda_workload::{
 };
 
 use crate::session::{guard, Parinda, ParindaError, SelectionMethod};
-use parinda_parallel::Parallelism;
+use parinda_parallel::{CancelToken, Parallelism};
 
 /// Largest `load laptop` row count the console accepts: beyond this the
 /// generated PhotoObj data stops fitting in laptop-class memory.
@@ -48,6 +48,12 @@ pub enum Command {
     /// `threads <n|auto>` — `None` = auto-detect, `Some(n)` = fixed count.
     Threads(Option<usize>),
     ShowThreads,
+    /// `budget <ms>` / `budget rounds <n>` / `budget off` — advisor
+    /// budget; both `None` clears it.
+    SetBudget { ms: Option<u64>, rounds: Option<usize> },
+    ShowBudget,
+    /// Request cooperative cancellation of the next advisor run.
+    Cancel,
     Help,
     Quit,
     Empty,
@@ -160,6 +166,23 @@ pub fn parse_command(line: &str) -> Result<Command, ParindaError> {
                 .map(|n| Command::Threads(Some(n)))
                 .ok_or_else(|| usage("usage: threads [<n>|auto]")),
         },
+        "budget" => match lower.get(1).map(|s| s.as_str()) {
+            None => Ok(Command::ShowBudget),
+            Some("off") => Ok(Command::SetBudget { ms: None, rounds: None }),
+            Some("rounds") => lower
+                .get(2)
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .map(|n| Command::SetBudget { ms: None, rounds: Some(n) })
+                .ok_or_else(|| usage("usage: budget rounds <n>")),
+            Some(ms) => ms
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms > 0)
+                .map(|ms| Command::SetBudget { ms: Some(ms), rounds: None })
+                .ok_or_else(|| usage("usage: budget <ms> | budget rounds <n> | budget off")),
+        },
+        "cancel" => Ok(Command::Cancel),
         "suggest" => match lower.get(1).map(|s| s.as_str()) {
             Some("indexes") => {
                 let budget_mb = lower
@@ -210,6 +233,10 @@ commands:
   suggest partitions [replication-mb]
   suggest drops              real indexes the workload would not miss
   threads [<n>|auto]         advisor thread count (also: PARINDA_THREADS)
+  budget <ms>                advisor wall-clock budget (anytime best-so-far)
+  budget rounds <n>          deterministic round-cap budget
+  budget off                 remove the budget (exact, exhaustive runs)
+  cancel                     stop the next advisor run at its first checkpoint
   quit";
 
 /// Outcome of feeding one line to [`Console::run_line`].
@@ -232,6 +259,12 @@ pub struct Console {
     /// Thread policy chosen with `threads`; applied to every session,
     /// including ones loaded later.
     par: Parallelism,
+    /// Advisor budget chosen with `budget`; applied to every session.
+    budget_ms: Option<u64>,
+    budget_rounds: Option<usize>,
+    /// Cancellation flag shared with every session (and the CLI's
+    /// Ctrl-C handler), so it survives `load`.
+    cancel: CancelToken,
 }
 
 impl Default for Console {
@@ -248,6 +281,9 @@ impl Console {
             workload: Vec::new(),
             design: Design::new(),
             par: Parallelism::auto(),
+            budget_ms: None,
+            budget_rounds: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -268,10 +304,31 @@ impl Console {
         &self.workload
     }
 
-    /// Install a freshly loaded session, carrying over the thread policy.
+    /// The console's cancellation token: the CLI's Ctrl-C handler
+    /// cancels this to stop the advisor in flight at its next
+    /// checkpoint. It is shared with every installed session.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Install a freshly loaded session, carrying over the thread
+    /// policy, the advisor budget, and the shared cancellation token.
     fn install(&mut self, mut session: Parinda) {
         session.set_parallelism(self.par);
+        session.set_budget_ms(self.budget_ms);
+        session.set_budget_rounds(self.budget_rounds);
+        session.set_cancel_token(self.cancel.clone());
         self.session = Some(session);
+    }
+
+    /// Render the current budget setting.
+    fn budget_line(&self) -> String {
+        match (self.budget_ms, self.budget_rounds) {
+            (None, None) => "advisor budget: off (exhaustive runs)".into(),
+            (Some(ms), None) => format!("advisor budget: {ms} ms per run"),
+            (None, Some(r)) => format!("advisor budget: {r} round(s) per run"),
+            (Some(ms), Some(r)) => format!("advisor budget: {ms} ms, {r} round(s) per run"),
+        }
     }
 
     fn require_session(&self) -> Result<&Parinda, ParindaError> {
@@ -300,6 +357,9 @@ impl Console {
     }
 
     fn dispatch(&mut self, cmd: Command) -> Result<String, ParindaError> {
+        if parinda_failpoint::should_fail("core::dispatch") {
+            return Err(ParindaError::Internal("failpoint core::dispatch".into()));
+        }
         match cmd {
             Command::Empty => Ok(String::new()),
             Command::Help => Ok(HELP.to_string()),
@@ -427,6 +487,21 @@ impl Console {
                 Ok(format!("advisors will use {} thread(s)", self.par.threads()))
             }
             Command::ShowThreads => Ok(format!("advisors use {} thread(s)", self.par.threads())),
+            Command::SetBudget { ms, rounds } => {
+                self.budget_ms = ms;
+                self.budget_rounds = rounds;
+                if let Some(s) = self.session.as_mut() {
+                    s.set_budget_ms(ms);
+                    s.set_budget_rounds(rounds);
+                }
+                Ok(self.budget_line())
+            }
+            Command::ShowBudget => Ok(self.budget_line()),
+            Command::Cancel => {
+                self.cancel.cancel();
+                Ok("cancellation requested: the next advisor checkpoint returns best-so-far"
+                    .into())
+            }
             Command::Explain(sql) => self.require_session()?.explain_sql(&sql),
             Command::Analyze(sql) => {
                 let s = self.require_session()?;
@@ -506,7 +581,10 @@ impl Console {
                 if self.workload.is_empty() {
                     return Err(ParindaError::Advisor("no workload loaded".into()));
                 }
-                let sugg = s.suggest_indexes(&self.workload, budget_mb << 20, method)?;
+                let result = s.suggest_indexes(&self.workload, budget_mb << 20, method);
+                // the cancel flag is consumed by one advisor run
+                self.cancel.reset();
+                let sugg = result?;
                 let mut out = String::new();
                 for i in &sugg.indexes {
                     out.push_str(&format!(
@@ -519,6 +597,11 @@ impl Console {
                 }
                 out.push('\n');
                 out.push_str(&sugg.report.render());
+                if let Some(b) = &sugg.budget {
+                    out.push_str(&format!(
+                        "\nDEGRADED: {b}; best-so-far design, rerun with `budget off` for the full search\n"
+                    ));
+                }
                 Ok(out)
             }
             Command::SuggestDrops => {
@@ -552,7 +635,10 @@ impl Console {
                         .unwrap_or(i64::MAX),
                     ..Default::default()
                 };
-                let sugg = s.suggest_partitions(&self.workload, config)?;
+                let result = s.suggest_partitions(&self.workload, config);
+                // the cancel flag is consumed by one advisor run
+                self.cancel.reset();
+                let sugg = result?;
                 let mut out = String::new();
                 for p in &sugg.partitions {
                     out.push_str(&format!(
@@ -564,6 +650,11 @@ impl Console {
                 }
                 out.push('\n');
                 out.push_str(&sugg.report.render());
+                if let Some(b) = &sugg.budget {
+                    out.push_str(&format!(
+                        "\nDEGRADED: {b}; best-so-far design, rerun with `budget off` for the full search\n"
+                    ));
+                }
                 Ok(out)
             }
         }

@@ -2,13 +2,13 @@
 //! exposing the three components of Figure 1.
 
 use parinda_advisor::{
-    generate_candidates, select_indexes_greedy, select_indexes_ilp_with,
-    suggest_partitions_par, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
+    generate_candidates, select_indexes_greedy_budgeted, select_indexes_ilp_budgeted,
+    suggest_partitions_budgeted, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
 };
 use parinda_catalog::{Catalog, IndexId, MetadataProvider};
 use parinda_inum::{Configuration, InumModel, InumOptions};
 use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
-use parinda_parallel::Parallelism;
+use parinda_parallel::{Budget, BudgetReport, CancelToken, Parallelism};
 use parinda_sql::Select;
 use parinda_storage::Database;
 use parinda_whatif::Design;
@@ -182,8 +182,15 @@ pub struct IndexSuggestion {
     pub indexes: Vec<SuggestedIndex>,
     /// Benefit report over the workload.
     pub report: BenefitReport,
-    /// Whether the ILP proved optimality (always true for greedy).
+    /// Whether the ILP proved optimality (always true for a greedy run
+    /// that finished; `false` whenever the solver hit a node/time limit
+    /// or the run was degraded by a budget).
     pub proven_optimal: bool,
+    /// `true` when a budget or cancellation stopped the advisor early:
+    /// the suggestion is valid but best-so-far, not the full search.
+    pub degraded: bool,
+    /// Accounting for the degraded run (`None` when not degraded).
+    pub budget: Option<BudgetReport>,
 }
 
 /// One suggested index.
@@ -208,6 +215,11 @@ pub struct PartitionSuggestionReport {
     pub design: PartitionDesign,
     /// AutoPart improvement iterations executed.
     pub iterations: usize,
+    /// `true` when a budget or cancellation stopped AutoPart early: the
+    /// design is valid (constraints re-checked) but best-so-far.
+    pub degraded: bool,
+    /// Accounting for the degraded run (`None` when not degraded).
+    pub budget: Option<BudgetReport>,
 }
 
 /// One suggested partition.
@@ -236,6 +248,14 @@ pub struct Parinda {
     params: CostParams,
     flags: PlannerFlags,
     par: Parallelism,
+    /// Wall-clock budget per advisor call (`None` = unlimited).
+    budget_ms: Option<u64>,
+    /// Round-cap budget per advisor call (`None` = unlimited). Rounds
+    /// are scheduling-independent, so round-capped runs are
+    /// deterministic at any thread count.
+    budget_rounds: Option<usize>,
+    /// Cooperative cancellation flag shared with the frontend (Ctrl-C).
+    cancel: CancelToken,
 }
 
 impl Parinda {
@@ -248,18 +268,17 @@ impl Parinda {
             params: CostParams::default(),
             flags: PlannerFlags::default(),
             par: Parallelism::auto(),
+            budget_ms: None,
+            budget_rounds: None,
+            cancel: CancelToken::new(),
         }
     }
 
     /// Open a session with materialized data.
     pub fn with_database(catalog: Catalog, db: Database) -> Self {
-        Parinda {
-            catalog,
-            db,
-            params: CostParams::default(),
-            flags: PlannerFlags::default(),
-            par: Parallelism::auto(),
-        }
+        let mut s = Parinda::new(catalog);
+        s.db = db;
+        s
     }
 
     /// The thread-count policy the session's advisors evaluate with.
@@ -271,6 +290,66 @@ impl Parinda {
     /// Advisor output is identical at any setting; only wall-clock changes.
     pub fn set_parallelism(&mut self, par: Parallelism) {
         self.par = par;
+    }
+
+    /// Wall-clock budget per advisor call, in milliseconds (`None` =
+    /// unlimited). Under a budget the advisors become *anytime*: an
+    /// expired deadline returns the best design found so far, flagged
+    /// `degraded`, instead of running to completion.
+    pub fn budget_ms(&self) -> Option<u64> {
+        self.budget_ms
+    }
+
+    /// Set (or clear, with `None`) the wall-clock advisor budget.
+    /// `budget off` / unlimited produces bit-identical output to a
+    /// session that never had a budget.
+    pub fn set_budget_ms(&mut self, ms: Option<u64>) {
+        self.budget_ms = ms;
+    }
+
+    /// Round-cap advisor budget (`None` = unlimited). Unlike a deadline,
+    /// a round cap is scheduling-independent: the same cap yields the
+    /// same degraded design at any thread count.
+    pub fn budget_rounds(&self) -> Option<usize> {
+        self.budget_rounds
+    }
+
+    /// Set (or clear) the round-cap advisor budget.
+    pub fn set_budget_rounds(&mut self, rounds: Option<usize>) {
+        self.budget_rounds = rounds;
+    }
+
+    /// The session's cooperative cancellation token. Cancelling it (from
+    /// any thread — e.g. a Ctrl-C handler) makes the advisor in flight
+    /// stop at its next checkpoint and return best-so-far. The token is
+    /// *not* auto-reset; callers clear it between runs.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Replace the cancellation token (frontends share one token across
+    /// sessions so a signal handler keeps working after `load`).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// Request cancellation of the advisor call in flight (or the next
+    /// one, if none is running).
+    pub fn request_cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Anchor a [`Budget`] for one advisor call: deadline measured from
+    /// *now*, round cap and cancel token attached.
+    fn start_budget(&self) -> Budget {
+        let mut b = match self.budget_ms {
+            Some(ms) => Budget::deadline_ms(ms),
+            None => Budget::unlimited(),
+        };
+        if let Some(r) = self.budget_rounds {
+            b = b.with_rounds(r);
+        }
+        b.with_cancel(self.cancel.clone())
     }
 
     /// Open a session from a DDL script (`CREATE TABLE … ROWS n;`,
@@ -442,20 +521,25 @@ impl Parinda {
         method: SelectionMethod,
         options: &IlpOptions,
     ) -> Result<IndexSuggestion, ParindaError> {
-        let mut model = InumModel::build_par(
+        let budget = self.start_budget();
+        let mut model = InumModel::build_budgeted(
             &self.catalog,
             workload,
             self.params.clone(),
             InumOptions::default(),
             self.par,
+            &budget,
         )?;
+        let inum_skipped = model.degraded_queries();
         let queries = model.queries().to_vec();
         let cands = generate_candidates(&queries, CandidateLimits::default());
         let sel = match method {
             SelectionMethod::Ilp => {
-                select_indexes_ilp_with(&mut model, &cands, budget_bytes, options)
+                select_indexes_ilp_budgeted(&mut model, &cands, budget_bytes, options, &budget)
             }
-            SelectionMethod::Greedy => select_indexes_greedy(&mut model, &cands, budget_bytes),
+            SelectionMethod::Greedy => {
+                select_indexes_greedy_budgeted(&mut model, &cands, budget_bytes, &budget)
+            }
         };
 
         let cfg = Configuration::from_ids(sel.chosen.iter().copied());
@@ -506,10 +590,15 @@ impl Parinda {
             .collect();
         let _ = cfg;
 
+        let degraded = sel.degraded || inum_skipped > 0;
+        let budget_report = degraded
+            .then(|| sel.budget.clone().unwrap_or_else(|| budget.report(0, inum_skipped)));
         Ok(IndexSuggestion {
             indexes,
             report: BenefitReport { per_query, design_bytes: sel.total_size },
-            proven_optimal: sel.proven_optimal,
+            proven_optimal: sel.proven_optimal && inum_skipped == 0,
+            degraded,
+            budget: budget_report,
         })
     }
 
@@ -625,7 +714,9 @@ impl Parinda {
         workload: &[Select],
         config: AutoPartConfig,
     ) -> Result<PartitionSuggestionReport, ParindaError> {
-        let sugg = suggest_partitions_par(&self.catalog, workload, config, self.par)?;
+        let budget = self.start_budget();
+        let sugg =
+            suggest_partitions_budgeted(&self.catalog, workload, config, self.par, &budget)?;
 
         let mut partitions = Vec::with_capacity(sugg.design.fragments.len());
         for nf in &sugg.design.fragments {
@@ -673,6 +764,8 @@ impl Parinda {
             rewritten: sugg.rewritten,
             design: sugg.design,
             iterations: sugg.iterations,
+            degraded: sugg.degraded,
+            budget: sugg.budget,
         })
     }
 }

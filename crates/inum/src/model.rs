@@ -26,7 +26,7 @@ use parinda_optimizer::planner::{base_rel_rows, base_scan_paths};
 use parinda_optimizer::{
     bind, plan_query, BoundQuery, CostParams, PlanKind, PlanNode, PlannerFlags,
 };
-use parinda_parallel::{par_try_map, par_try_map_indexed, Parallelism};
+use parinda_parallel::{par_try_map, par_try_map_budgeted, Budget, Parallelism};
 use parinda_sql::Select;
 use parinda_whatif::{HypotheticalCatalog, JoinScenario};
 
@@ -96,7 +96,13 @@ pub struct InumModel<'a> {
     options: InumOptions,
     par: Parallelism,
     queries: Vec<BoundQuery>,
-    cases: Vec<Vec<CachedCase>>,
+    /// Cached internal-plan cases per query; `None` when a build budget
+    /// expired before this query's cache was populated — [`cost`] then
+    /// falls back to a live optimizer call ([`exact_cost`]).
+    ///
+    /// [`cost`]: InumModel::cost
+    /// [`exact_cost`]: InumModel::exact_cost
+    cases: Vec<Option<Vec<CachedCase>>>,
     candidates: Vec<CandidateIndex>,
     access_memo: AccessMemo,
     /// memo: (query, rel, candidate) -> parameterized probe cost
@@ -161,7 +167,30 @@ impl<'a> InumModel<'a> {
         options: InumOptions,
         par: Parallelism,
     ) -> Result<Self, InumError> {
+        Self::build_budgeted(catalog, workload, params, options, par, &Budget::unlimited())
+    }
+
+    /// [`InumModel::build_par`] under a [`Budget`]: cache population stops
+    /// at the budget boundary and the queries whose caches were not built
+    /// are marked degraded — [`cost`] serves them with live optimizer
+    /// calls instead of failing. A budget round cap bounds the number of
+    /// query caches populated (deterministic at any thread count); a
+    /// deadline/cancel stops between queries. With an unlimited budget
+    /// this is exactly [`InumModel::build_par`].
+    ///
+    /// [`cost`]: InumModel::cost
+    pub fn build_budgeted(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        params: CostParams,
+        options: InumOptions,
+        par: Parallelism,
+        budget: &Budget,
+    ) -> Result<Self, InumError> {
         let bound = par_try_map(par, workload, |sel| {
+            if parinda_failpoint::should_fail("inum::bind") {
+                return Err("failpoint inum::bind: injected error".to_string());
+            }
             bind(sel, catalog).map_err(|e| e.to_string())
         })
         .map_err(|p| InumError::Worker(p.to_string()))?;
@@ -182,12 +211,28 @@ impl<'a> InumModel<'a> {
             estimations: AtomicU64::new(0),
             full_optimizations: AtomicU64::new(0),
         };
-        let built = par_try_map_indexed(par, model.queries.len(), |qi| model.build_cases(qi))
+        let nq = model.queries.len();
+        // A round cap caps how many query caches are populated; the
+        // deadline/cancel check rides inside the budgeted sweep.
+        let cap = budget.max_rounds().map_or(nq, |r| r.min(nq));
+        let built = par_try_map_budgeted(par, cap, budget, |qi| model.build_cases(qi))
             .map_err(|p| InumError::Worker(p.to_string()))?;
-        for (qi, cases) in built.into_iter().enumerate() {
-            model.cases.push(cases.map_err(|e| InumError::Plan(qi, e))?);
+        let populated = built.done.len();
+        for (qi, cases) in built.done.into_iter().enumerate() {
+            model.cases.push(Some(cases.map_err(|e| InumError::Plan(qi, e))?));
         }
+        model.cases.resize_with(nq, || None);
+        debug_assert_eq!(model.cases.len(), nq);
+        debug_assert!(populated <= nq);
         Ok(model)
+    }
+
+    /// Queries whose plan cache was skipped by a build budget; their
+    /// [`cost`] is served by live optimizer calls.
+    ///
+    /// [`cost`]: InumModel::cost
+    pub fn degraded_queries(&self) -> usize {
+        self.cases.iter().filter(|c| c.is_none()).count()
     }
 
     /// The thread-count policy the model evaluates with.
@@ -314,6 +359,9 @@ impl<'a> InumModel<'a> {
         combo: &[Option<usize>],
         scenario: JoinScenario,
     ) -> Result<CachedCase, String> {
+        if parinda_failpoint::should_fail("inum::plan_case") {
+            return Err("failpoint inum::plan_case: injected error".to_string());
+        }
         let q = &self.queries[qi];
         let mut overlay = HypotheticalCatalog::new(self.catalog);
         let mut hypo_ids: Vec<Option<IndexId>> = vec![None; combo.len()];
@@ -362,7 +410,9 @@ impl<'a> InumModel<'a> {
                     };
                     (*rel, order, probe, leaf.cost.total)
                 }
-                _ => unreachable!("extract_accesses only visits scans"),
+                // extract_accesses only visits scan leaves; anything else
+                // carries no access charge.
+                _ => return,
             };
             charged += cost * multiplier;
             accesses.push(RelAccess { rel, multiplier, required_order, param_probe });
@@ -374,11 +424,16 @@ impl<'a> InumModel<'a> {
 
     // ---------- cached costing ----------
 
-    /// INUM cost of query `qi` under `config` — the fast path.
+    /// INUM cost of query `qi` under `config` — the fast path. If a build
+    /// budget skipped this query's plan cache, the estimate degrades to a
+    /// live optimizer call: slower, still valid.
     pub fn cost(&self, qi: usize, config: &Configuration) -> f64 {
         self.estimations.fetch_add(1, Ordering::Relaxed);
+        let Some(cases) = &self.cases[qi] else {
+            return self.exact_cost(qi, config);
+        };
         let mut best = f64::INFINITY;
-        for case in &self.cases[qi] {
+        for case in cases {
             if let Some(total) = self.case_cost(qi, case, config) {
                 best = best.min(total);
             }
@@ -487,6 +542,9 @@ impl<'a> InumModel<'a> {
     }
 
     fn compute_access_cost(&self, qi: usize, rel: usize, cand: Option<usize>) -> Option<AccessCost> {
+        if parinda_failpoint::should_fail("inum::access_cost") {
+            return None; // "no such path": the case degrades to other paths
+        }
         let q = &self.queries[qi];
         let flags = PlannerFlags::default();
         match cand {

@@ -36,7 +36,22 @@
 //! thread, where an interactive frontend's `catch_unwind` backstop can
 //! contain it.
 
+//!
+//! ## Budgets and cancellation
+//!
+//! Every sweep can be made *anytime*: [`par_try_map_budgeted`] /
+//! [`par_map_budgeted`] take a [`Budget`] (wall-clock deadline on a
+//! monotonic clock, optional round cap, [`CancelToken`]) that workers
+//! poll **between chunk claims**, and return a [`Partial`] covering a
+//! contiguous prefix of the input. Degraded results keep a deterministic
+//! shape: which inputs were evaluated is always `0..done.len()`, never a
+//! scheduling-dependent subset.
+
 #![deny(missing_docs)]
+
+mod budget;
+
+pub use budget::{Budget, BudgetReport, CancelToken, Partial};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -142,7 +157,13 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Run one item under `catch_unwind`, rendering any panic to text
 /// immediately so no payload crosses a thread boundary.
 fn run_item<R, F: Fn(usize) -> R>(f: &F, i: usize) -> Result<R, String> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(&*p))
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if parinda_failpoint::should_fail("parallel::item") {
+            panic!("failpoint parallel::item: injected error");
+        }
+        f(i)
+    }))
+    .map_err(|p| panic_message(&*p))
 }
 
 /// Map `f` over `0..n` on the pool, returning results in index order, or
@@ -276,6 +297,139 @@ where
     par_map_indexed(par, items.len(), |i| f(&items[i]))
 }
 
+/// Map `f` over `0..n` on the pool under a [`Budget`], returning the
+/// results for a **contiguous prefix** of the input plus a skipped
+/// count.
+///
+/// Workers poll `budget.interrupted()` between chunk claims (and the
+/// sequential path polls between items), so a deadline or a
+/// [`CancelToken`] stops the sweep at the next iteration boundary. To
+/// keep the degraded result's shape deterministic, completed items
+/// beyond the longest contiguous prefix are discarded: `done` always
+/// covers exactly inputs `0..done.len()`. A panic at an index inside
+/// that prefix is reported (lowest index wins, as in
+/// [`par_try_map_indexed`]); panics beyond the prefix are discarded with
+/// their results.
+///
+/// Under an unlimited budget this is equivalent to
+/// [`par_try_map_indexed`]: every item is evaluated and `skipped == 0`.
+pub fn par_try_map_budgeted<R, F>(
+    par: Parallelism,
+    n: usize,
+    budget: &Budget,
+    f: F,
+) -> Result<Partial<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = par.threads().min(n.max(1));
+    if threads <= 1 {
+        let mut done = Vec::with_capacity(n);
+        let mut first_panic: Option<WorkerPanic> = None;
+        let mut completed = 0usize;
+        for i in 0..n {
+            if budget.interrupted() {
+                break;
+            }
+            match run_item(&f, i) {
+                Ok(r) => done.push(r),
+                Err(message) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(WorkerPanic { index: i, message });
+                    }
+                }
+            }
+            completed = i + 1;
+        }
+        return match first_panic {
+            None => Ok(Partial { done, skipped: n - completed }),
+            Some(p) => Err(p),
+        };
+    }
+
+    let chunk = chunk_size(n, threads);
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, Result<R, String>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, Result<R, String>)> = Vec::new();
+                    loop {
+                        if budget.interrupted() {
+                            break;
+                        }
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            out.push((i, run_item(&f, i)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    // Keep the longest contiguous prefix of completed slots; everything
+    // after the first gap was computed out of order past an interrupted
+    // chunk and is discarded so the partial result has a deterministic
+    // shape.
+    let mut slots: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+    }
+    let mut done = Vec::with_capacity(n);
+    let mut first_panic: Option<WorkerPanic> = None;
+    let mut prefix = 0usize;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            None => break,
+            Some(Ok(r)) => done.push(r),
+            Some(Err(message)) => {
+                if first_panic.is_none() {
+                    first_panic = Some(WorkerPanic { index: i, message });
+                }
+            }
+        }
+        prefix = i + 1;
+    }
+    match first_panic {
+        None => Ok(Partial { done, skipped: n - prefix }),
+        Some(p) => Err(p),
+    }
+}
+
+/// Budgeted variant of [`par_map`]: map `f` over a slice under a
+/// [`Budget`], returning a contiguous-prefix [`Partial`]. A worker panic
+/// inside the prefix is re-raised on the caller's thread (deterministic
+/// lowest-index message), as in [`par_map_indexed`].
+pub fn par_map_budgeted<'a, T, R, F>(
+    par: Parallelism,
+    items: &'a [T],
+    budget: &Budget,
+    f: F,
+) -> Partial<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    match par_try_map_budgeted(par, items.len(), budget, |i| f(&items[i])) {
+        Ok(partial) => partial,
+        Err(p) => panic!("{p}"),
+    }
+}
+
 /// Compute `n` `f64` terms in parallel, then reduce **in input order**,
 /// so the floating-point sum is bit-identical to the sequential loop.
 pub fn ordered_sum<F>(par: Parallelism, n: usize, f: F) -> f64
@@ -390,6 +544,94 @@ mod tests {
         let slice: Vec<u32> = (0..50).collect();
         let out = par_try_map(Parallelism::fixed(3), &slice, |&x| x * 3).unwrap();
         assert_eq!(out, slice.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    /// An unlimited budget makes the budgeted map equivalent to the
+    /// plain one: every item done, none skipped, at any thread count.
+    #[test]
+    fn budgeted_map_unlimited_is_complete() {
+        for threads in [1, 2, 8] {
+            let partial = par_try_map_budgeted(
+                Parallelism::fixed(threads),
+                500,
+                &Budget::unlimited(),
+                |i| i * 3,
+            )
+            .unwrap();
+            assert!(partial.is_complete(), "threads={threads}");
+            assert_eq!(partial.done, (0..500).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    /// A pre-cancelled budget stops the sweep before any work: the
+    /// degenerate-but-valid empty prefix.
+    #[test]
+    fn budgeted_map_cancelled_before_start() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 2, 8] {
+            let partial = par_try_map_budgeted(
+                Parallelism::fixed(threads),
+                100,
+                &Budget::unlimited().with_cancel(token.clone()),
+                |i| i,
+            )
+            .unwrap();
+            assert_eq!(partial.done.len(), 0, "threads={threads}");
+            assert_eq!(partial.skipped, 100, "threads={threads}");
+        }
+    }
+
+    /// An expired deadline mid-sweep yields a contiguous prefix: the
+    /// done results are exactly `f(0..done.len())`.
+    #[test]
+    fn budgeted_map_partial_is_contiguous_prefix() {
+        let hits = AtomicU64::new(0);
+        let token = CancelToken::new();
+        let tok = token.clone();
+        // Cancel after ~40 items have been evaluated (any thread).
+        let partial = par_try_map_budgeted(
+            Parallelism::fixed(4),
+            10_000,
+            &Budget::unlimited().with_cancel(token.clone()),
+            move |i| {
+                if hits.fetch_add(1, Ordering::Relaxed) == 40 {
+                    tok.cancel();
+                }
+                i * 2
+            },
+        )
+        .unwrap();
+        assert!(partial.skipped > 0, "cancellation should have skipped the tail");
+        assert_eq!(partial.done.len() + partial.skipped, 10_000);
+        assert_eq!(partial.done, (0..partial.done.len()).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    /// A panic inside the prefix of a budgeted sweep surfaces as the
+    /// same deterministic WorkerPanic error as the unbudgeted map.
+    #[test]
+    fn budgeted_map_reports_prefix_panic() {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 2, 8] {
+            let r = par_try_map_budgeted(
+                Parallelism::fixed(threads),
+                50,
+                &Budget::unlimited(),
+                |i| {
+                    if i == 11 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                },
+            );
+            assert_eq!(
+                r,
+                Err(WorkerPanic { index: 11, message: "boom at 11".into() }),
+                "threads={threads}"
+            );
+        }
+        std::panic::set_hook(quiet);
     }
 
     /// Non-string panic payloads are rendered to a fixed placeholder, so

@@ -3,6 +3,9 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use parinda_parallel::CancelToken;
 
 use crate::lp::{LinearProgram, LpOutcome, Sense};
 use crate::simplex;
@@ -19,16 +22,47 @@ pub struct IntegerProgram {
     pub binary: Vec<usize>,
 }
 
-/// Solver limits.
-#[derive(Debug, Clone, Copy)]
+/// Solver limits. Besides the node cap, a solve can carry a wall-clock
+/// deadline (monotonic clock) and a cooperative [`CancelToken`], both
+/// checked once per branch-and-bound node; hitting any limit stops the
+/// search with `proven_optimal: false` (or [`IlpOutcome::Limit`] when no
+/// incumbent was found yet) — never a misreported `Infeasible`.
+#[derive(Debug, Clone)]
 pub struct SolveLimits {
-    /// Maximum branch-and-bound nodes to expand.
-    pub max_nodes: usize,
+    /// Maximum branch-and-bound nodes to expand (`None` = unlimited).
+    pub max_nodes: Option<usize>,
+    /// Stop expanding nodes once this instant passes.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation, polled once per node.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveLimits {
     fn default() -> Self {
-        SolveLimits { max_nodes: 50_000 }
+        SolveLimits::nodes(SolveLimits::DEFAULT_MAX_NODES)
+    }
+}
+
+impl SolveLimits {
+    /// The default node cap used by the advisors.
+    pub const DEFAULT_MAX_NODES: usize = 50_000;
+
+    /// The advisors' default: node cap only.
+    pub fn nodes(max_nodes: usize) -> Self {
+        SolveLimits { max_nodes: Some(max_nodes), deadline: None, cancel: None }
+    }
+
+    /// Has any limit (other than the node cap) tripped?
+    fn interrupted(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
     }
 }
 
@@ -46,11 +80,23 @@ pub struct IlpSolution {
 }
 
 /// ILP outcome.
+///
+/// `Infeasible` is a *proof*: the search exhausted the tree without any
+/// limit tripping. A solve that was stopped by a node cap, deadline, or
+/// cancellation before finding an integral point reports [`Limit`]
+/// instead, so a degraded run is never misreported as infeasible. A
+/// limit-stopped solve that *did* find an incumbent reports
+/// `Solved` with `proven_optimal: false`.
+///
+/// [`Limit`]: IlpOutcome::Limit
 #[derive(Debug, Clone, PartialEq)]
 pub enum IlpOutcome {
     Solved(IlpSolution),
     Infeasible,
     Unbounded,
+    /// A node/deadline/cancel limit stopped the search before any
+    /// feasible integral point was found; feasibility is unknown.
+    Limit,
 }
 
 struct Node {
@@ -84,6 +130,7 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
         RelaxResult::Solved(bound, x) => (bound, x),
         RelaxResult::Infeasible => return IlpOutcome::Infeasible,
         RelaxResult::Unbounded => return IlpOutcome::Unbounded,
+        RelaxResult::Limit => return IlpOutcome::Limit,
     };
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -93,7 +140,7 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
     let mut proven = true;
 
     while let Some(node) = heap.pop() {
-        if nodes >= limits.max_nodes {
+        if limits.max_nodes.is_some_and(|max| nodes >= max) || limits.interrupted() {
             proven = false;
             break;
         }
@@ -110,6 +157,14 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
             RelaxResult::Solved(b, x) => (b, x),
             RelaxResult::Infeasible => continue,
             RelaxResult::Unbounded => return IlpOutcome::Unbounded,
+            RelaxResult::Limit => {
+                // The relaxation hit its simplex iteration cap: we know
+                // nothing about this subtree. Pruning it would be wrong
+                // ("infeasible"); keep the incumbent search honest by
+                // dropping the subtree but marking the result unproven.
+                proven = false;
+                continue;
+            }
         };
         if let Some((best, _)) = &incumbent {
             if bound <= *best + INT_EPS {
@@ -161,8 +216,9 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
             if proven {
                 IlpOutcome::Infeasible
             } else {
-                // ran out of nodes without any integral point
-                IlpOutcome::Infeasible
+                // A limit stopped the search before any integral point
+                // was found: feasibility is unknown, not disproven.
+                IlpOutcome::Limit
             }
         }
     }
@@ -172,10 +228,16 @@ enum RelaxResult {
     Solved(f64, Vec<f64>),
     Infeasible,
     Unbounded,
+    /// The simplex iteration cap (or an injected fault) stopped the
+    /// relaxation: the subtree's status is unknown.
+    Limit,
 }
 
 /// Solve the LP relaxation with branch fixings applied as bound changes.
 fn relax(ip: &IntegerProgram, fixings: &[(usize, u8)]) -> RelaxResult {
+    if parinda_failpoint::should_fail("solver::relax") {
+        return RelaxResult::Limit;
+    }
     let mut lp = ip.lp.clone();
     for &(j, v) in fixings {
         match v {
@@ -191,7 +253,9 @@ fn relax(ip: &IntegerProgram, fixings: &[(usize, u8)]) -> RelaxResult {
         LpOutcome::Optimal(s) => RelaxResult::Solved(s.objective, s.x),
         LpOutcome::Infeasible => RelaxResult::Infeasible,
         LpOutcome::Unbounded => RelaxResult::Unbounded,
-        LpOutcome::IterationLimit => RelaxResult::Infeasible, // prune defensively
+        // The iteration cap is a *limit*, not an infeasibility proof;
+        // see lp.rs. Callers must not prune this subtree as infeasible.
+        LpOutcome::IterationLimit => RelaxResult::Limit,
     }
 }
 
@@ -309,9 +373,53 @@ mod tests {
         let values: Vec<f64> = (0..12).map(|i| 10.0 + (i % 5) as f64).collect();
         let weights: Vec<f64> = (0..12).map(|i| 5.0 + (i % 3) as f64).collect();
         let ip = knapsack(&values, &weights, 30.0);
-        match solve_ilp(&ip, SolveLimits { max_nodes: 2 }) {
+        match solve_ilp(&ip, SolveLimits::nodes(2)) {
             IlpOutcome::Solved(s) => assert!(!s.proven_optimal),
-            IlpOutcome::Infeasible => {} // found nothing integral in 2 nodes — acceptable
+            // Found nothing integral in 2 nodes: that is a limit, not an
+            // infeasibility proof.
+            IlpOutcome::Limit => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A node-capped solve on a feasible instance must never claim
+    /// `Infeasible` — it either has an unproven incumbent or reports
+    /// `Limit`.
+    #[test]
+    fn limit_never_misreported_as_infeasible() {
+        let values: Vec<f64> = (0..14).map(|i| 10.0 + (i % 7) as f64).collect();
+        let weights: Vec<f64> = (0..14).map(|i| 4.0 + (i % 5) as f64).collect();
+        let ip = knapsack(&values, &weights, 25.0);
+        for cap in 0..8 {
+            match solve_ilp(&ip, SolveLimits::nodes(cap)) {
+                IlpOutcome::Solved(_) | IlpOutcome::Limit => {}
+                other => panic!("max_nodes={cap}: {other:?}"),
+            }
+        }
+    }
+
+    /// An already-expired deadline stops the search at the first node.
+    #[test]
+    fn expired_deadline_stops_search() {
+        let ip = knapsack(&[10.0, 6.0, 5.0], &[4.0, 3.0, 2.0], 5.0);
+        let limits = SolveLimits { deadline: Some(Instant::now()), ..SolveLimits::default() };
+        match solve_ilp(&ip, limits) {
+            IlpOutcome::Limit => {}
+            IlpOutcome::Solved(s) => assert!(!s.proven_optimal),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A fired cancel token stops the search the same way.
+    #[test]
+    fn cancelled_token_stops_search() {
+        let ip = knapsack(&[10.0, 6.0, 5.0], &[4.0, 3.0, 2.0], 5.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let limits = SolveLimits { cancel: Some(token), ..SolveLimits::default() };
+        match solve_ilp(&ip, limits) {
+            IlpOutcome::Limit => {}
+            IlpOutcome::Solved(s) => assert!(!s.proven_optimal),
             other => panic!("{other:?}"),
         }
     }

@@ -107,7 +107,10 @@ pub enum LpOutcome {
     Infeasible,
     /// Objective unbounded above.
     Unbounded,
-    /// Iteration limit hit before convergence (treat as failure).
+    /// Iteration limit hit before convergence. This is a resource
+    /// *limit*, not a feasibility verdict: callers must not conflate it
+    /// with [`LpOutcome::Infeasible`] (the branch-and-bound maps it to a
+    /// `Limit` result and marks the search unproven).
     IterationLimit,
 }
 

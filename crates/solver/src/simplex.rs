@@ -10,6 +10,9 @@ const EPS: f64 = 1e-9;
 
 /// Solve an LP with the two-phase simplex method.
 pub fn solve(lp: &LinearProgram) -> LpOutcome {
+    if parinda_failpoint::should_fail("solver::simplex") {
+        return LpOutcome::IterationLimit;
+    }
     Tableau::build(lp).solve(lp)
 }
 

@@ -32,14 +32,19 @@ impl Database {
         table: TableId,
         rows: Vec<Vec<Datum>>,
     ) -> Result<(), HeapError> {
+        if parinda_failpoint::should_fail("storage::load") {
+            return Err(HeapError::UnknownTable { table: "failpoint storage::load".to_string() });
+        }
         let columns = catalog
             .table(table)
-            .unwrap_or_else(|| panic!("unknown table {table:?}"))
+            .ok_or(HeapError::UnknownTable { table: format!("{table:?}") })?
             .columns
             .clone();
         let mut heap = HeapFile::new(columns);
         heap.load(rows)?;
-        let t = catalog.table_mut(table).expect("table exists");
+        let Some(t) = catalog.table_mut(table) else {
+            return Err(HeapError::UnknownTable { table: format!("{table:?}") });
+        };
         t.row_count = heap.row_count();
         t.pages = heap.page_count();
         self.heaps.insert(table, heap);

@@ -25,6 +25,8 @@ pub enum HeapError {
     TypeMismatch { column: String },
     /// A NOT NULL column received a NULL.
     NullViolation { column: String },
+    /// A load referenced a table the catalog does not know.
+    UnknownTable { table: String },
 }
 
 impl std::fmt::Display for HeapError {
@@ -38,6 +40,9 @@ impl std::fmt::Display for HeapError {
             }
             HeapError::NullViolation { column } => {
                 write!(f, "NULL in NOT NULL column {column}")
+            }
+            HeapError::UnknownTable { table } => {
+                write!(f, "unknown table {table}")
             }
         }
     }

@@ -100,7 +100,10 @@ pub fn simulate_index(
     }
     // Index::new applies Equation 1 (see parinda_catalog::layout).
     let idx = Index::new(IndexId(0), def.name.clone(), &table, &cols)
-        .expect("columns validated above")
+        .ok_or_else(|| WhatIfError::UnknownColumn {
+            table: def.table.clone(),
+            column: cols.first().map(|c| c.to_string()).unwrap_or_default(),
+        })?
         .hypothetical();
     Ok(overlay.add_hypo_index(idx))
 }

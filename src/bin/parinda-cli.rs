@@ -7,12 +7,17 @@
 //! internal panics — are printed with their taxonomy kind and the loop
 //! continues: bad input never aborts the process.
 //!
+//! Ctrl-C does not kill the session: it cancels the console's shared
+//! [`parinda::CancelToken`], so an advisor in flight stops at its next
+//! checkpoint and returns its best-so-far design flagged degraded
+//! (pressed at the prompt, it pre-arms cancellation of the next run,
+//! like the `cancel` command).
+//!
 //! ```text
 //! cargo run --release --bin parinda-cli
 //! parinda> load paper
 //! parinda> workload sdss
-//! parinda> whatif index w_objid photoobj objid
-//! parinda> eval
+//! parinda> budget 500
 //! parinda> suggest indexes 2048 ilp
 //! ```
 
@@ -20,9 +25,41 @@ use std::io::{self, BufRead, Write};
 
 use parinda::{Console, ConsoleReply};
 
+/// SIGINT → cooperative cancellation, unix only. Uses the libc `signal`
+/// symbol directly (declared here — no libc crate dependency); the
+/// handler body is a single relaxed atomic store, which is
+/// async-signal-safe.
+#[cfg(unix)]
+mod sigint {
+    use parinda::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub fn install(token: CancelToken) {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        if TOKEN.set(token).is_ok() {
+            unsafe {
+                signal(SIGINT, on_sigint);
+            }
+        }
+    }
+}
+
 fn main() {
     println!("PARINDA interactive physical designer (type `help`)");
     let mut console = Console::new();
+    #[cfg(unix)]
+    sigint::install(console.cancel_token().clone());
     let stdin = io::stdin();
     loop {
         print!("parinda> ");
@@ -31,6 +68,12 @@ fn main() {
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break, // EOF
             Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                // Ctrl-C at the prompt: the token is armed; a fresh
+                // prompt keeps the session alive.
+                println!();
+                continue;
+            }
             Err(e) => {
                 eprintln!("input error: {e}");
                 break;

@@ -1,0 +1,171 @@
+//! Budgeted-advisor acceptance suite: under a tiny wall-clock budget the
+//! advisors must return a valid (possibly empty) design quickly, flagged
+//! `degraded`, and with the budget removed they must be bit-identical to
+//! an unbudgeted session — the budget machinery may cost nothing when
+//! off.
+
+use std::time::{Duration, Instant};
+
+use parinda::{AutoPartConfig, Console, ConsoleReply, Parinda, SelectionMethod};
+use parinda_workload::{sdss_catalog, sdss_workload, synthesize_stats, SdssScale};
+
+fn sdss_session() -> Parinda {
+    let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+    synthesize_stats(&mut cat, &tables);
+    Parinda::new(cat)
+}
+
+fn tiny_session() -> Parinda {
+    Parinda::from_ddl(
+        "CREATE TABLE obs (id BIGINT NOT NULL, ra DOUBLE PRECISION, dec DOUBLE PRECISION,
+                           flags BIGINT, PRIMARY KEY (id)) ROWS 5000;
+         CREATE TABLE src (id BIGINT NOT NULL, mag DOUBLE PRECISION, PRIMARY KEY (id)) ROWS 800;",
+    )
+    .expect("fixed DDL parses")
+}
+
+fn tiny_workload_file(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("parinda_budget_{name}.sql"));
+    std::fs::write(
+        &path,
+        "SELECT id FROM obs WHERE ra BETWEEN 1 AND 2;
+         SELECT id FROM obs WHERE dec > 0.5;
+         SELECT id FROM src WHERE mag <= 3;",
+    )
+    .expect("temp workload file");
+    path
+}
+
+/// `budget 1` at SDSS paper scale: both advisors come back almost
+/// immediately with a valid best-so-far (possibly empty) design flagged
+/// degraded — instead of the multi-second exhaustive run.
+#[test]
+fn one_ms_budget_degrades_within_bound() {
+    let workload = sdss_workload();
+    let mut session = sdss_session();
+    session.set_budget_ms(Some(1));
+
+    let t0 = Instant::now();
+    let sugg = session
+        .suggest_indexes(&workload, 2_u64 << 30, SelectionMethod::Ilp)
+        .expect("budgeted advise must not error");
+    let elapsed = t0.elapsed();
+    assert!(elapsed < Duration::from_secs(2), "advise took {elapsed:?} under a 1 ms budget");
+    assert!(sugg.degraded, "1 ms cannot fit the full SDSS search");
+    assert!(!sugg.proven_optimal);
+    let report = sugg.budget.expect("degraded result carries a budget report");
+    assert!(report.candidates_skipped > 0, "{report}");
+    // the report stays fully usable: one entry per workload query
+    assert_eq!(sugg.report.per_query.len(), workload.len());
+
+    let t0 = Instant::now();
+    let parts = session
+        .suggest_partitions(&workload, AutoPartConfig::default())
+        .expect("budgeted partitioning must not error");
+    let elapsed = t0.elapsed();
+    assert!(elapsed < Duration::from_secs(5), "partition took {elapsed:?} under a 1 ms budget");
+    assert!(parts.degraded, "1 ms cannot fit the full AutoPart search");
+    assert!(parts.budget.is_some());
+    assert_eq!(parts.report.per_query.len(), workload.len());
+    assert_eq!(parts.rewritten.len(), workload.len());
+}
+
+/// With the budget off the budgeted plumbing must be invisible:
+/// bit-identical selections and costs vs. a session that never had one.
+#[test]
+fn budget_off_is_bit_identical_to_unbudgeted_session() {
+    let workload = sdss_workload();
+
+    let never = sdss_session()
+        .suggest_indexes(&workload, 2_u64 << 30, SelectionMethod::Ilp)
+        .expect("unbudgeted advise");
+
+    let mut session = sdss_session();
+    session.set_budget_ms(Some(500));
+    session.set_budget_rounds(Some(2));
+    session.set_budget_ms(None);
+    session.set_budget_rounds(None);
+    let off = session
+        .suggest_indexes(&workload, 2_u64 << 30, SelectionMethod::Ilp)
+        .expect("budget-off advise");
+
+    assert!(!off.degraded);
+    assert!(off.budget.is_none());
+    assert_eq!(never.proven_optimal, off.proven_optimal);
+    let fp = |s: &parinda::IndexSuggestion| -> Vec<(String, String, Vec<String>, u64)> {
+        s.indexes
+            .iter()
+            .map(|i| (i.name.clone(), i.table.clone(), i.columns.clone(), i.size_bytes))
+            .collect()
+    };
+    assert_eq!(fp(&never), fp(&off), "budget off changed the selection");
+    let costs = |s: &parinda::IndexSuggestion| -> Vec<(u64, u64)> {
+        s.report
+            .per_query
+            .iter()
+            .map(|q| (q.cost_before.to_bits(), q.cost_after.to_bits()))
+            .collect()
+    };
+    assert_eq!(costs(&never), costs(&off), "budget off changed per-query costs");
+}
+
+/// Console grammar for the new verbs.
+#[test]
+fn console_budget_grammar() {
+    let mut c = Console::new();
+    let out = |r: ConsoleReply| match r {
+        ConsoleReply::Output(s) => s,
+        other => panic!("expected output, got {other:?}"),
+    };
+    assert!(out(c.run_line("budget")).contains("off"));
+    assert!(out(c.run_line("budget 500")).contains("500 ms"));
+    assert!(out(c.run_line("budget")).contains("500 ms"));
+    assert!(out(c.run_line("budget rounds 3")).contains("3 round(s)"));
+    assert!(out(c.run_line("budget off")).contains("off"));
+    assert!(out(c.run_line("cancel")).contains("cancellation requested"));
+    for bad in ["budget zero", "budget -5", "budget 0", "budget rounds", "budget rounds x"] {
+        assert!(
+            matches!(c.run_line(bad), ConsoleReply::Error(parinda::ParindaError::Parse(_))),
+            "{bad} should be a usage error"
+        );
+    }
+}
+
+/// The budget setting survives `load`, like the thread policy.
+#[test]
+fn budget_sticks_across_loads() {
+    let mut c = Console::new();
+    c.run_line("budget 250");
+    c.run_line("load paper");
+    let s = c.session().expect("loaded");
+    assert_eq!(s.budget_ms(), Some(250));
+    match c.run_line("budget") {
+        ConsoleReply::Output(s) => assert!(s.contains("250 ms"), "{s}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// `cancel` pre-arms cooperative cancellation: the next advisor run stops
+/// at its first checkpoint and reports a degraded best-so-far design;
+/// the flag is consumed, so the run after that completes normally.
+#[test]
+fn cancel_degrades_exactly_one_run() {
+    let path = tiny_workload_file("cancel");
+    let mut c = Console::with_session(tiny_session());
+    match c.run_line(&format!("workload file {}", path.display())) {
+        ConsoleReply::Output(_) => {}
+        other => panic!("workload load failed: {other:?}"),
+    }
+
+    c.run_line("cancel");
+    match c.run_line("suggest indexes 64 ilp") {
+        ConsoleReply::Output(s) => assert!(s.contains("DEGRADED"), "pre-armed cancel ignored: {s}"),
+        other => panic!("{other:?}"),
+    }
+    // the token was consumed: the next run is exact again
+    match c.run_line("suggest indexes 64 ilp") {
+        ConsoleReply::Output(s) => assert!(!s.contains("DEGRADED"), "stale cancel flag: {s}"),
+        other => panic!("{other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

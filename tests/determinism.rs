@@ -195,6 +195,78 @@ fn session_survives_worker_panic_via_guard() {
     );
 }
 
+/// A *round-capped* budget is scheduling-independent by construction
+/// (checked only at round boundaries, never against the clock), so an
+/// interrupted run must return the **same** degraded best-so-far design
+/// at any thread count.
+#[test]
+fn round_capped_ilp_degrades_identically_at_any_thread_count() {
+    let workload = sdss_workload();
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        let mut session = sdss_session();
+        session.set_parallelism(Parallelism::fixed(threads));
+        session.set_budget_rounds(Some(3));
+        let sugg = session
+            .suggest_indexes(&workload, 2_u64 << 30, SelectionMethod::Ilp)
+            .expect("budgeted advise must not error");
+        assert!(sugg.degraded, "3 rounds cannot cover the SDSS search");
+        assert!(!sugg.proven_optimal);
+        let report = sugg.budget.clone().expect("degraded run carries a budget report");
+        let fingerprint: Vec<(String, String, Vec<String>, u64)> = sugg
+            .indexes
+            .iter()
+            .map(|i| (i.name.clone(), i.table.clone(), i.columns.clone(), i.size_bytes))
+            .collect();
+        let costs: Vec<(u64, u64)> = sugg
+            .report
+            .per_query
+            .iter()
+            .map(|q| (q.cost_before.to_bits(), q.cost_after.to_bits()))
+            .collect();
+        let accounting = (report.rounds_completed, report.candidates_skipped);
+        match &reference {
+            None => reference = Some((fingerprint, costs, accounting)),
+            Some((rf, rc, ra)) => {
+                assert_eq!(rf, &fingerprint, "degraded selection differs at {threads} threads");
+                assert_eq!(rc, &costs, "degraded costs differ at {threads} threads");
+                assert_eq!(*ra, accounting, "budget accounting differs at {threads} threads");
+            }
+        }
+    }
+}
+
+/// Same guarantee for AutoPart: one improvement round, identical
+/// degraded design everywhere.
+#[test]
+fn round_capped_autopart_degrades_identically_at_any_thread_count() {
+    let workload = sdss_workload();
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        let mut session = sdss_session();
+        session.set_parallelism(Parallelism::fixed(threads));
+        session.set_budget_rounds(Some(1));
+        let sugg = session
+            .suggest_partitions(&workload, AutoPartConfig::default())
+            .expect("budgeted partitioning must not error");
+        assert!(sugg.degraded, "one round cannot finish AutoPart on SDSS");
+        let fingerprint: Vec<(String, String, Vec<String>)> = sugg
+            .partitions
+            .iter()
+            .map(|p| (p.name.clone(), p.table.clone(), p.columns.clone()))
+            .collect();
+        let rewritten: Vec<String> = sugg.rewritten.iter().map(|s| s.to_string()).collect();
+        match &reference {
+            None => reference = Some((fingerprint, rewritten, sugg.iterations)),
+            Some((rf, rw, ri)) => {
+                assert_eq!(rf, &fingerprint, "degraded design differs at {threads} threads");
+                assert_eq!(rw, &rewritten, "degraded rewrites differ at {threads} threads");
+                assert_eq!(*ri, sugg.iterations, "iterations differ at {threads} threads");
+            }
+        }
+    }
+}
+
 #[test]
 fn sdss_workload_cost_bit_identical() {
     check_workload_costs(sdss_session, &sdss_workload(), "sdss");

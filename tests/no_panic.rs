@@ -51,6 +51,8 @@ fn command_line() -> BoxedStrategy<String> {
         Just("whatif".to_string()),
         Just("suggest".to_string()),
         Just("threads".to_string()),
+        Just("budget".to_string()),
+        Just("cancel".to_string()),
         Just("eval".to_string()),
         Just("clear".to_string()),
         Just("help".to_string()),
