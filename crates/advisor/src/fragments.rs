@@ -7,7 +7,7 @@
 //! together end up in the same atomic fragment. *Composite fragments* are
 //! unions of fragments built during the iterative improvement loop.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use parinda_catalog::{layout, MetadataProvider, TableId};
 use parinda_optimizer::BoundQuery;
@@ -83,8 +83,9 @@ pub fn atomic_fragments(
     let mut out = Vec::new();
     for table in tables {
         let Some(t) = meta.table(table) else { continue };
-        // group columns by signature
-        let mut groups: HashMap<BTreeSet<usize>, BTreeSet<usize>> = HashMap::new();
+        // group columns by signature (BTreeMap: fragment order must not
+        // depend on hash iteration — determinism contract)
+        let mut groups: BTreeMap<BTreeSet<usize>, BTreeSet<usize>> = BTreeMap::new();
         let mut cold: BTreeSet<usize> = BTreeSet::new();
         for col in 0..t.columns.len() {
             match sig.get(&(table, col)) {
@@ -112,8 +113,7 @@ pub fn atomic_fragments(
 /// Extra bytes a set of fragments needs beyond the original tables
 /// (replicated PKs and any column stored in more than one fragment).
 pub fn replication_overhead(fragments: &[Fragment], meta: &dyn MetadataProvider) -> i64 {
-    use std::collections::HashMap;
-    let mut per_table: HashMap<TableId, Vec<&Fragment>> = HashMap::new();
+    let mut per_table: BTreeMap<TableId, Vec<&Fragment>> = BTreeMap::new();
     for f in fragments {
         per_table.entry(f.table).or_default().push(f);
     }

@@ -196,8 +196,10 @@ pub fn select_indexes_ilp_budgeted(
     }
     // one access path per (query, table)
     {
-        use std::collections::HashMap;
-        let mut per_qt: HashMap<(usize, u32), Vec<usize>> = HashMap::new();
+        // BTreeMap: these constraints' order steers simplex pivoting, so
+        // hash iteration here would make tied solutions vary run-to-run.
+        use std::collections::BTreeMap;
+        let mut per_qt: BTreeMap<(usize, u32), Vec<usize>> = BTreeMap::new();
         for (k, &(q, ci)) in x_vars.iter().enumerate() {
             let t = model.candidate(cand_ids[ci]).table.0;
             per_qt.entry((q, t)).or_default().push(n_cand + k);

@@ -41,6 +41,7 @@ pub fn execute_analyze(
     catalog: &Catalog,
     db: &Database,
 ) -> Result<AnalyzedPlan, ExecError> {
+    // parinda-lint: allow(nondeterminism): EXPLAIN ANALYZE reports measured wall time — diagnostic output, never feeds advisor results
     let t0 = Instant::now();
     let rows = execute(plan, catalog, db)?;
     let total = t0.elapsed();
@@ -64,6 +65,7 @@ fn collect_actuals(
         PlanKind::IndexScan { param_prefix, .. } if !param_prefix.is_empty()
     );
     let (rows, elapsed) = if standalone {
+        // parinda-lint: allow(nondeterminism): per-node actual timings are the point of ANALYZE — diagnostic only
         let t0 = Instant::now();
         let r = execute(node, catalog, db)?;
         (r.len(), t0.elapsed())

@@ -1,0 +1,294 @@
+//! Workspace walking, per-path rule scoping, suppression application,
+//! and the fixture runner behind `--fixtures`.
+
+use crate::findings::{apply_suppressions, collect_suppressions, Finding};
+use crate::lexer::lex;
+use crate::rules::{
+    check_failpoints, check_file, collect_should_fail_sites, FailpointInputs, FileInput, RuleSet,
+};
+use crate::scope::test_scope_mask;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` is reachable from a console command — the
+/// never-crash contract applies here (same set `ci.sh`'s awk lint
+/// covered, plus `src/bin`).
+const PANIC_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/sql/src/",
+    "crates/advisor/src/",
+    "crates/solver/src/",
+    "crates/inum/src/",
+    "crates/whatif/src/",
+    "src/bin/",
+];
+
+/// Crates whose outputs must be bit-identical at any thread count —
+/// hash-ordered iteration is banned here.
+const ITER_SCOPE: &[&str] = &["crates/advisor/src/", "crates/inum/src/", "crates/solver/src/"];
+
+/// The one file allowed to read the wall clock (deadlines are *defined*
+/// there), and path prefixes exempt because measuring time is their job.
+const WALLCLOCK_EXEMPT_FILE: &str = "crates/parallel/src/budget.rs";
+const WALLCLOCK_EXEMPT_PREFIXES: &[&str] = &["crates/bench/"];
+
+/// Cross-file rule anchors.
+const FAILPOINT_REGISTRY: &str = "crates/failpoint/src/lib.rs";
+const FAILPOINT_TEST: &str = "tests/failpoints.rs";
+const FAILPOINT_README: &str = "README.md";
+
+/// Result of a workspace lint.
+#[derive(Debug)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many findings valid `allow(…)` comments absorbed.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// Which per-file rules apply at a workspace-relative path.
+pub fn rules_for(rel: &str) -> RuleSet {
+    let starts = |set: &[&str]| set.iter().any(|p| rel.starts_with(p));
+    RuleSet {
+        panic_site: starts(PANIC_SCOPE),
+        nondet_iter: starts(ITER_SCOPE),
+        nondet_wallclock: rel != WALLCLOCK_EXEMPT_FILE && !starts(WALLCLOCK_EXEMPT_PREFIXES),
+        lock_discipline: true,
+    }
+}
+
+/// Lint one file's source under a given rule set, applying inline
+/// suppressions. Returns `(kept_findings, n_suppressed)`.
+pub fn lint_source(rel: &str, src: &str, rules: &RuleSet) -> (Vec<Finding>, usize) {
+    let toks = lex(src);
+    let mask = test_scope_mask(&toks);
+    let input = FileInput { rel, toks: &toks, in_test: &mask };
+    let raw = check_file(&input, rules);
+    let sups = collect_suppressions(&toks);
+    apply_suppressions(rel, raw, &sups)
+}
+
+/// Lint the whole workspace rooted at `root`: every `.rs` under
+/// `crates/*/src` and the top-level `src/`, plus the cross-file
+/// failpoint-coverage rule.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut call_sites: Vec<(String, u32, String)> = Vec::new();
+    let mut registry_sups = Vec::new();
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = std::fs::read_to_string(path)?;
+        let toks = lex(&src);
+        let mask = test_scope_mask(&toks);
+        call_sites.extend(collect_should_fail_sites(&rel, &toks, &mask));
+        let input = FileInput { rel: &rel, toks: &toks, in_test: &mask };
+        let raw = check_file(&input, &rules_for(&rel));
+        let sups = collect_suppressions(&toks);
+        if rel == FAILPOINT_REGISTRY {
+            registry_sups = sups.clone();
+        }
+        let (kept, n) = apply_suppressions(&rel, raw, &sups);
+        findings.extend(kept);
+        suppressed += n;
+    }
+
+    // Cross-file: failpoint coverage. Registry-file suppressions apply
+    // (a site can be allow()ed while its call site is being landed).
+    let registry_src = std::fs::read_to_string(root.join(FAILPOINT_REGISTRY)).unwrap_or_default();
+    let test_src = std::fs::read_to_string(root.join(FAILPOINT_TEST)).unwrap_or_default();
+    let readme_src = std::fs::read_to_string(root.join(FAILPOINT_README)).unwrap_or_default();
+    let fp = check_failpoints(&FailpointInputs {
+        registry_rel: FAILPOINT_REGISTRY,
+        registry_src: &registry_src,
+        test_rel: FAILPOINT_TEST,
+        test_src: &test_src,
+        readme_rel: FAILPOINT_README,
+        readme_src: &readme_src,
+        call_sites: &call_sites,
+    });
+    let (fp_kept, fp_suppressed) = apply_suppressions(FAILPOINT_REGISTRY, fp, &registry_sups);
+    findings.extend(fp_kept);
+    suppressed += fp_suppressed;
+
+    findings.sort();
+    Ok(Report { findings, suppressed, files: files.len() })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root: walk up from `start` looking for a
+/// `Cargo.toml` declaring `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+// ------------------------------------------------------------------ fixtures
+
+/// Outcome of one fixture case.
+#[derive(Debug)]
+pub struct FixtureResult {
+    /// `rule_dir/case_name`.
+    pub name: String,
+    /// Lines the sidecar expects (`file:line: rule`).
+    pub expected: Vec<String>,
+    /// Lines the lint produced.
+    pub actual: Vec<String>,
+}
+
+impl FixtureResult {
+    /// Did actual match expected exactly?
+    pub fn pass(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// Run the fixture corpus under `dir` (`crates/lint/tests/fixtures`).
+///
+/// Layout: `<rule>/<case>.rs` single-file fixtures run every per-file
+/// rule with the full [`RuleSet`]; `failpoint_coverage/<case>/` dirs
+/// hold a synthetic `registry.rs`, `code.rs`, `failpoints_test.rs`, and
+/// `readme.md`. Each case has a sidecar (`<case>.expected` / the dir's
+/// `expected` file) listing `file:line: rule` per expected finding —
+/// missing or empty sidecar means the case must be clean.
+pub fn run_fixtures(dir: &Path) -> io::Result<Vec<FixtureResult>> {
+    let mut out = Vec::new();
+    let mut rule_dirs: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    rule_dirs.sort();
+    for rd in rule_dirs.into_iter().filter(|p| p.is_dir()) {
+        let rule_name = file_name(&rd);
+        let mut cases: Vec<PathBuf> =
+            std::fs::read_dir(&rd)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        cases.sort();
+        for case in cases {
+            if case.is_dir() {
+                out.push(run_dir_fixture(&rule_name, &case)?);
+            } else if case.extension().map(|e| e == "rs").unwrap_or(false) {
+                out.push(run_file_fixture(&rule_name, &case)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn run_file_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
+    let fname = file_name(case);
+    let src = std::fs::read_to_string(case)?;
+    // The fixture's directory selects which rule is under test, so a
+    // `lock-discipline` case isn't polluted by `panic-site` findings on
+    // the same `.unwrap()`. Unknown dirs (and `suppression`, which
+    // needs real findings to suppress) run everything.
+    let rules = match rule_dir {
+        "panic_site" => {
+            RuleSet { panic_site: true, nondet_iter: false, nondet_wallclock: false, lock_discipline: false }
+        }
+        "nondeterminism" => {
+            RuleSet { panic_site: false, nondet_iter: true, nondet_wallclock: true, lock_discipline: false }
+        }
+        "lock_discipline" => {
+            RuleSet { panic_site: false, nondet_iter: false, nondet_wallclock: false, lock_discipline: true }
+        }
+        _ => RuleSet::all(),
+    };
+    let (findings, _) = lint_source(&fname, &src, &rules);
+    let actual = render(&findings);
+    let expected = read_expected(&case.with_extension("expected"))?;
+    Ok(FixtureResult { name: format!("{rule_dir}/{fname}"), expected, actual })
+}
+
+fn run_dir_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
+    let read = |n: &str| std::fs::read_to_string(case.join(n)).unwrap_or_default();
+    let registry_src = read("registry.rs");
+    let code_src = read("code.rs");
+    let toks = lex(&code_src);
+    let mask = test_scope_mask(&toks);
+    let call_sites = collect_should_fail_sites("code.rs", &toks, &mask);
+    let findings = check_failpoints(&FailpointInputs {
+        registry_rel: "registry.rs",
+        registry_src: &registry_src,
+        test_rel: "failpoints_test.rs",
+        test_src: &read("failpoints_test.rs"),
+        readme_rel: "readme.md",
+        readme_src: &read("readme.md"),
+        call_sites: &call_sites,
+    });
+    let expected = read_expected(&case.join("expected"))?;
+    Ok(FixtureResult {
+        name: format!("{rule_dir}/{}", file_name(case)),
+        expected,
+        actual: render(&findings),
+    })
+}
+
+fn render(findings: &[Finding]) -> Vec<String> {
+    findings.iter().map(|f| format!("{}:{}: {}", f.file, f.line, f.rule)).collect()
+}
+
+fn read_expected(path: &Path) -> io::Result<Vec<String>> {
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    Ok(std::fs::read_to_string(path)?
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect())
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}

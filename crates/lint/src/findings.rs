@@ -1,0 +1,197 @@
+//! Findings and the inline-suppression mechanism.
+//!
+//! A finding prints as `file:line: rule: message`. A finding can be
+//! suppressed with an inline comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // parinda-lint: allow(nondeterminism): EXPLAIN ANALYZE measures wall time by design
+//! let t0 = Instant::now();
+//! ```
+//!
+//! The reason after the second `:` is **mandatory** — an `allow`
+//! without one is itself reported (rule `suppression`), as is an
+//! `allow` naming a rule that does not exist. This keeps every
+//! exception in the tree self-justifying.
+
+use crate::lexer::{Tok, TokKind};
+use std::fmt;
+
+/// Marker text that introduces a suppression comment.
+pub const ALLOW_PREFIX: &str = "parinda-lint: allow(";
+
+/// Names of all rules an `allow(…)` may reference.
+pub const RULE_NAMES: &[&str] =
+    &["panic-site", "nondeterminism", "lock-discipline", "failpoint-coverage", "suppression"];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path (fixture name in fixture mode).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name, e.g. `panic-site`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed `// parinda-lint: allow(rule): reason` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on; it covers this line and the next.
+    pub line: u32,
+    /// The rule it names (not yet validated against [`RULE_NAMES`]).
+    pub rule: String,
+    /// Mandatory justification (empty string when missing).
+    pub reason: String,
+}
+
+/// Extract suppression comments from a token stream.
+///
+/// Only plain `//` / `/* */` comments count — doc comments (`///`,
+/// `//!`, `/**`, `/*!`) are rendered documentation and may legitimately
+/// *describe* the syntax without enacting it.
+pub fn collect_suppressions(toks: &[Tok<'_>]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let is_doc = t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(at) = t.text.find(ALLOW_PREFIX) else { continue };
+        let rest = &t.text[at + ALLOW_PREFIX.len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_end_matches("*/").trim();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("").to_string();
+        out.push(Suppression { line: t.line, rule, reason });
+    }
+    out
+}
+
+/// Apply `sups` to `findings`: drop findings covered by a well-formed
+/// suppression, and emit `suppression` findings for malformed ones
+/// (missing reason, unknown rule). Returns `(kept, n_suppressed)`.
+pub fn apply_suppressions(
+    file: &str,
+    findings: Vec<Finding>,
+    sups: &[Suppression],
+) -> (Vec<Finding>, usize) {
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for s in sups {
+        if !RULE_NAMES.contains(&s.rule.as_str()) {
+            kept.push(Finding {
+                file: file.to_string(),
+                line: s.line,
+                rule: "suppression",
+                message: format!("allow({}) names an unknown rule (known: {})", s.rule, RULE_NAMES.join(", ")),
+            });
+        } else if s.reason.is_empty() {
+            kept.push(Finding {
+                file: file.to_string(),
+                line: s.line,
+                rule: "suppression",
+                message: format!(
+                    "allow({r}) needs a reason: `// parinda-lint: allow({r}): <why this is safe>`",
+                    r = s.rule
+                ),
+            });
+        }
+    }
+    'f: for f in findings {
+        for s in sups {
+            let covers = s.line == f.line || s.line + 1 == f.line;
+            if covers && s.rule == f.rule && !s.reason.is_empty() {
+                suppressed += 1;
+                continue 'f;
+            }
+        }
+        kept.push(f);
+    }
+    kept.sort();
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn finding(line: u32, rule: &'static str) -> Finding {
+        Finding { file: "f.rs".into(), line, rule, message: "m".into() }
+    }
+
+    #[test]
+    fn parse_allow_with_reason() {
+        let toks = lex("// parinda-lint: allow(panic-site): proven nonempty above\nx.unwrap();");
+        let s = collect_suppressions(&toks);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "panic-site");
+        assert_eq!(s[0].reason, "proven nonempty above");
+        assert_eq!(s[0].line, 1);
+    }
+
+    #[test]
+    fn same_line_and_next_line_cover() {
+        let toks = lex("// parinda-lint: allow(panic-site): reason here");
+        let sups = collect_suppressions(&toks);
+        let (kept, n) =
+            apply_suppressions("f.rs", vec![finding(1, "panic-site"), finding(2, "panic-site")], &sups);
+        assert!(kept.is_empty());
+        assert_eq!(n, 2);
+        let (kept, _) = apply_suppressions("f.rs", vec![finding(3, "panic-site")], &sups);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn wrong_rule_does_not_cover() {
+        let toks = lex("// parinda-lint: allow(nondeterminism): timing is diagnostic");
+        let sups = collect_suppressions(&toks);
+        let (kept, n) = apply_suppressions("f.rs", vec![finding(1, "panic-site")], &sups);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn missing_reason_is_its_own_finding() {
+        let toks = lex("// parinda-lint: allow(panic-site)\nx.unwrap();");
+        let sups = collect_suppressions(&toks);
+        let (kept, n) = apply_suppressions("f.rs", vec![finding(2, "panic-site")], &sups);
+        // the original finding survives AND the bare allow is flagged
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|f| f.rule == "suppression"));
+    }
+
+    #[test]
+    fn unknown_rule_is_flagged() {
+        let toks = lex("// parinda-lint: allow(no-such-rule): because");
+        let sups = collect_suppressions(&toks);
+        let (kept, _) = apply_suppressions("f.rs", vec![], &sups);
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn block_comment_suppression_works() {
+        let toks = lex("/* parinda-lint: allow(lock-discipline): single-threaded here */ x");
+        let s = collect_suppressions(&toks);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].reason, "single-threaded here");
+    }
+}

@@ -1,0 +1,399 @@
+//! A small Rust lexer: just enough token structure for line-accurate
+//! pattern rules that cannot be fooled by comments or string literals.
+//!
+//! The lexer understands the trivia that defeats regex/awk lints:
+//! line comments, nested block comments, doc comments, string literals
+//! (including escapes), raw strings with arbitrary `#` fences, byte
+//! strings, char literals vs lifetimes, and raw identifiers. Everything
+//! else is an identifier, a number, or a one-byte punctuation token.
+//!
+//! It is deliberately *not* a full Rust lexer (no float-suffix
+//! splitting, no shebang handling): the rules in [`crate::rules`] only
+//! need identifier/punctuation sequences with correct line numbers and
+//! correct literal/comment boundaries.
+
+/// Token classes the rules dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers `r#ident` are reported
+    /// with the `r#` stripped so rules match on the plain name).
+    Ident,
+    /// `"…"` or `b"…"` string literal, escapes resolved enough to find
+    /// the closing quote. `text` includes the quotes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` raw (byte) string literal.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` char/byte literal.
+    Char,
+    /// `'label` lifetime or loop label.
+    Lifetime,
+    /// Numeric literal (integers, floats, hex/oct/bin, `_` separators).
+    Num,
+    /// `// …` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` comment with nesting, including `/** … */` docs.
+    BlockComment,
+    /// Any other single byte: `{ } ( ) [ ] < > . , ; : ! # & = …`
+    Punct,
+}
+
+/// One token. `text` borrows from the source; `line` is 1-based and
+/// refers to the line the token *starts* on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text (comments/strings include their delimiters).
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// Is this token the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this token the punctuation byte `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// Comment or not — rules skip trivia when matching sequences.
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenize `src`. Never fails: unterminated literals/comments simply
+/// extend to end of input (the lint runs on code that already compiles,
+/// so this only matters for fixture robustness).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, full: src }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    full: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => self.maybe_raw_or_byte(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => {
+                    self.pos += 1;
+                    TokKind::Punct
+                }
+            };
+            let mut text = &self.full[start..self.pos];
+            if kind == TokKind::Ident {
+                // raw identifiers match rules by their plain name
+                text = text.strip_prefix("r#").unwrap_or(text);
+            }
+            out.push(Tok { kind, text, line });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump_counting_lines(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.pos += 2; // consume /*
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_lines();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Cursor is on the opening `"`.
+    fn string(&mut self) -> TokKind {
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1; // the backslash …
+                    if self.pos < self.src.len() {
+                        self.bump_counting_lines(); // … and whatever it escapes
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump_counting_lines(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Cursor is on the `"` after `r##…`; `hashes` is the fence width.
+    fn raw_string(&mut self, hashes: usize) -> TokKind {
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' && self.fence_follows(hashes) {
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.bump_counting_lines();
+        }
+        TokKind::RawStr
+    }
+
+    fn fence_follows(&self, hashes: usize) -> bool {
+        (1..=hashes).all(|i| self.peek(i) == Some(b'#'))
+    }
+
+    /// `r` → raw string `r"`/`r#"` or raw ident `r#ident` or plain ident.
+    /// `b` → byte string `b"`, raw byte string `br#"`, byte char `b'`,
+    /// or plain ident.
+    fn maybe_raw_or_byte(&mut self) -> TokKind {
+        let b0 = self.src[self.pos];
+        // b'x'
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.pos += 1;
+            return self.char_literal();
+        }
+        // b"…"
+        if b0 == b'b' && self.peek(1) == Some(b'"') {
+            self.pos += 1;
+            return self.string();
+        }
+        // r"…" | br"…" | r#…" | br#…" | r#ident
+        let after_prefix = if b0 == b'b' && self.peek(1) == Some(b'r') { 2 } else { 1 };
+        let mut k = after_prefix;
+        while self.peek(k) == Some(b'#') {
+            k += 1;
+        }
+        let hashes = k - after_prefix;
+        if self.peek(k) == Some(b'"') && (b0 == b'r' || after_prefix == 2) {
+            self.pos += k;
+            return self.raw_string(hashes);
+        }
+        if b0 == b'r' && hashes == 1 && self.peek(k).map(is_ident_start).unwrap_or(false) {
+            // raw identifier: skip `r#`, lex the name
+            self.pos += 2;
+            return self.ident();
+        }
+        self.ident()
+    }
+
+    /// Cursor on `'`: lifetime (`'a`) or char literal (`'a'`, `'\''`).
+    fn char_or_lifetime(&mut self) -> TokKind {
+        // Lifetime iff an ident follows and is NOT closed by a quote.
+        if self.peek(1).map(is_ident_start).unwrap_or(false) {
+            let mut k = 2;
+            while self.peek(k).map(is_ident_continue).unwrap_or(false) {
+                k += 1;
+            }
+            if self.peek(k) != Some(b'\'') {
+                self.pos += k;
+                return TokKind::Lifetime;
+            }
+        }
+        self.char_literal()
+    }
+
+    /// Cursor on the opening `'` of a char literal.
+    fn char_literal(&mut self) -> TokKind {
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.src.len() {
+                        self.pos += 1;
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // malformed; don't eat the file
+                _ => self.pos += 1,
+            }
+        }
+        TokKind::Char
+    }
+
+    fn number(&mut self) -> TokKind {
+        let mut seen_dot = false;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && !seen_dot && self.peek(1).map(|n| n.is_ascii_digit()).unwrap_or(false) {
+                // 1.5 but not 0..n (range) and not 1.method()
+                seen_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+
+    fn ident(&mut self) -> TokKind {
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        TokKind::Ident
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("foo.unwrap()");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "foo"),
+                (TokKind::Punct, "."),
+                (TokKind::Ident, "unwrap"),
+                (TokKind::Punct, "("),
+                (TokKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let t = kinds("a // x.unwrap()\nb /* p /* nested */ q */ c");
+        let idents: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, s)| *s).collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert!(t.iter().any(|(k, _)| *k == TokKind::LineComment));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::BlockComment && s.contains("nested")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "x.unwrap() // not a comment"; y"#);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s.contains("unwrap")));
+        let idents: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, s)| *s).collect();
+        assert_eq!(idents, vec!["let", "s", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "r##\"panic!(\"inner \"# quote\")\"## z";
+        let t = kinds(src);
+        assert_eq!(t[0].0, TokKind::RawStr);
+        assert!(t[0].1.ends_with("\"##"));
+        assert_eq!(t[1], (TokKind::Ident, "z"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let t = kinds("b\"bytes\" br#\"raw bytes\"# b'x' ok");
+        assert_eq!(t[0].0, TokKind::Str);
+        assert_eq!(t[1].0, TokKind::RawStr);
+        assert_eq!(t[2].0, TokKind::Char);
+        assert_eq!(t[3], (TokKind::Ident, "ok"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("&'a str; '\\n' 'x' 'static");
+        assert_eq!(t[1].0, TokKind::Lifetime);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && *s == "'\\n'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && *s == "'x'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && *s == "'static"));
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let t = kinds("r#type r#match");
+        // raw-ident prefix stripped so rules match the plain name
+        assert_eq!(t[0].1, "type");
+        assert_eq!(t[1].1, "match");
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_tokens() {
+        let src = "a\n/* two\nlines */ b\n\"str\nlit\" c";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("c"), Some(5));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let t = kinds("0..10 1.5 2.pow");
+        assert_eq!(t[0], (TokKind::Num, "0"));
+        assert_eq!(t[1], (TokKind::Punct, "."));
+        assert_eq!(t[2], (TokKind::Punct, "."));
+        assert_eq!(t[3], (TokKind::Num, "10"));
+        assert_eq!(t[4], (TokKind::Num, "1.5"));
+        assert_eq!(t[5], (TokKind::Num, "2"));
+        assert_eq!(t[6], (TokKind::Punct, "."));
+        assert_eq!(t[7], (TokKind::Ident, "pow"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # parinda-lint
+//!
+//! A from-scratch, std-only static-analysis pass enforcing the three
+//! contracts PRs 1–3 established, so they stay machine-checked as the
+//! codebase grows:
+//!
+//! * **never-crash** — no `unwrap`/`expect`/`panic!`-family call
+//!   survives on a console-reachable path (`panic-site`),
+//! * **determinism** — no hash-ordered iteration feeds result order in
+//!   the advisor/INUM/solver crates, and nothing outside
+//!   `crates/parallel/src/budget.rs` reads the wall clock
+//!   (`nondeterminism`),
+//! * **containment** — mutex/rwlock poisoning is recovered, never
+//!   re-panicked (`lock-discipline`), and every fault-injection site is
+//!   registered, exercised, and documented (`failpoint-coverage`).
+//!
+//! Unlike its predecessor (a 25-line awk script in `ci.sh` whose
+//! `in_tests` flag latched on the first `#[cfg(test)]` and never reset,
+//! leaving everything below a test module unchecked), this pass lexes
+//! real Rust — comments, raw strings, char-vs-lifetime quotes — and
+//! tracks test scope by brace depth, entering *and exiting*
+//! `#[cfg(test)]` items and `mod tests` blocks.
+//!
+//! Findings print as `file:line: rule: message` and exit nonzero.
+//! Individual sites opt out with a justified inline comment:
+//!
+//! ```text
+//! // parinda-lint: allow(nondeterminism): EXPLAIN ANALYZE measures wall time by design
+//! ```
+//!
+//! The lints are themselves tested: `--fixtures` runs a ui-test-style
+//! corpus under `crates/lint/tests/fixtures/`, each case paired with an
+//! expected-findings sidecar (see `DESIGN.md` § "Static analysis &
+//! enforced contracts" for how to add a rule).
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use engine::{find_workspace_root, lint_source, lint_workspace, run_fixtures, Report};
+pub use findings::Finding;

@@ -1,0 +1,135 @@
+//! `parinda-lint` driver.
+//!
+//! ```text
+//! parinda-lint --workspace            lint the whole workspace (default)
+//! parinda-lint --fixtures             run the fixture corpus
+//! parinda-lint --root <dir> …         explicit workspace root
+//! parinda-lint --list-rules           print rule names and scopes
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or fixture mismatches), 2 usage/IO
+//! errors.
+
+use parinda_lint::{engine, findings::RULE_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut mode_fixtures = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--fixtures" => mode_fixtures = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => return usage("--root needs a directory"),
+            },
+            "--list-rules" => {
+                for r in RULE_NAMES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "parinda-lint: PARINDA contract lints (panic-site, nondeterminism, \
+                     lock-discipline, failpoint-coverage)\n\
+                     usage: parinda-lint [--workspace] [--fixtures] [--root <dir>] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("parinda-lint: no workspace root found (looked for Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    if mode_fixtures {
+        return run_fixtures(&root);
+    }
+
+    match engine::lint_workspace(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "parinda-lint: {} finding(s), {} suppressed, {} file(s) scanned",
+                report.findings.len(),
+                report.suppressed,
+                report.files
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("parinda-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_fixtures(root: &std::path::Path) -> ExitCode {
+    let dir = root.join("crates/lint/tests/fixtures");
+    match engine::run_fixtures(&dir) {
+        Ok(results) => {
+            let mut failed = 0usize;
+            for r in &results {
+                if r.pass() {
+                    println!("ok   {}", r.name);
+                } else {
+                    failed += 1;
+                    println!("FAIL {}", r.name);
+                    for e in &r.expected {
+                        if !r.actual.contains(e) {
+                            println!("  missing : {e}");
+                        }
+                    }
+                    for a in &r.actual {
+                        if !r.expected.contains(a) {
+                            println!("  spurious: {a}");
+                        }
+                    }
+                }
+            }
+            eprintln!("parinda-lint --fixtures: {}/{} passed", results.len() - failed, results.len());
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("parinda-lint: cannot read fixtures at {}: {e}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn find_root() -> Option<PathBuf> {
+    if let Ok(cwd) = std::env::current_dir() {
+        if let Some(r) = engine::find_workspace_root(&cwd) {
+            return Some(r);
+        }
+    }
+    // Fallback when invoked from elsewhere: this binary's own manifest
+    // dir is crates/lint, two levels below the root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    engine::find_workspace_root(&manifest)
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("parinda-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

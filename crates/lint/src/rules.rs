@@ -1,0 +1,581 @@
+//! The four repo-specific rules.
+//!
+//! Three are per-file token rules ([`check_file`]): `panic-site`,
+//! `nondeterminism`, `lock-discipline`. The fourth,
+//! `failpoint-coverage` ([`check_failpoints`]), is cross-file: it
+//! reconciles the site registry in `crates/failpoint` against the call
+//! sites, the failpoint test, and the README site table.
+//!
+//! All per-file rules skip tokens inside test scope (see
+//! [`crate::scope`]) — tests may unwrap, time, and iterate hash maps
+//! freely; the contracts protect the production paths.
+
+use crate::findings::Finding;
+use crate::lexer::{Tok, TokKind};
+
+/// Which per-file rules apply to a given file (decided by the engine
+/// from the file's workspace-relative path).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// `panic-site`: console-reachable crates only.
+    pub panic_site: bool,
+    /// `nondeterminism` hash-iteration check: advisor / inum / solver.
+    pub nondet_iter: bool,
+    /// `nondeterminism` wall-clock + thread-id checks: everywhere
+    /// except `crates/parallel/src/budget.rs` and the bench crate.
+    pub nondet_wallclock: bool,
+    /// `lock-discipline`: everywhere.
+    pub lock_discipline: bool,
+}
+
+impl RuleSet {
+    /// All rules on — fixture files run with this.
+    pub fn all() -> Self {
+        RuleSet { panic_site: true, nondet_iter: true, nondet_wallclock: true, lock_discipline: true }
+    }
+}
+
+/// A lexed file plus its test-scope mask.
+pub struct FileInput<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// Token stream from [`crate::lexer::lex`].
+    pub toks: &'a [Tok<'a>],
+    /// Per-token test-scope flags from [`crate::scope::test_scope_mask`].
+    pub in_test: &'a [bool],
+}
+
+/// Run the applicable per-file rules. Suppressions are NOT applied
+/// here — the engine does that so malformed `allow`s are reported even
+/// for files with no findings.
+pub fn check_file(input: &FileInput<'_>, rules: &RuleSet) -> Vec<Finding> {
+    // Significant (non-trivia) token indices: rules match over these so
+    // a comment between `.` and `unwrap` cannot split a pattern.
+    let sig: Vec<usize> =
+        (0..input.toks.len()).filter(|&i| !input.toks[i].is_trivia()).collect();
+    let mut out = Vec::new();
+    if rules.panic_site {
+        panic_site(input, &sig, &mut out);
+    }
+    if rules.nondet_iter || rules.nondet_wallclock {
+        nondeterminism(input, &sig, rules, &mut out);
+    }
+    if rules.lock_discipline {
+        lock_discipline(input, &sig, &mut out);
+    }
+    out
+}
+
+// Shorthand: the k-th significant token.
+macro_rules! tok {
+    ($input:expr, $sig:expr, $k:expr) => {
+        &$input.toks[$sig[$k]]
+    };
+}
+
+fn in_test(input: &FileInput<'_>, sig: &[usize], k: usize) -> bool {
+    input.in_test[sig[k]]
+}
+
+fn finding(input: &FileInput<'_>, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding { file: input.rel.to_string(), line, rule, message }
+}
+
+// ---------------------------------------------------------------- panic-site
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_site(input: &FileInput<'_>, sig: &[usize], out: &mut Vec<Finding>) {
+    for k in 0..sig.len() {
+        if in_test(input, sig, k) {
+            continue;
+        }
+        let t = tok!(input, sig, k);
+        // panic! / unreachable! / todo! / unimplemented!
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text)
+            && matches(input, sig, k + 1, &["!"])
+        {
+            out.push(finding(
+                input,
+                t.line,
+                "panic-site",
+                format!(
+                    "`{}!` on a console-reachable path — return a typed ParindaError (never-crash contract, DESIGN.md)",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // .unwrap()
+        if t.is_punct('.') && matches(input, sig, k + 1, &["unwrap", "(", ")"]) {
+            out.push(finding(
+                input,
+                tok!(input, sig, k + 1).line,
+                "panic-site",
+                "`.unwrap()` on a console-reachable path — use `?` with a typed ParindaError".into(),
+            ));
+            continue;
+        }
+        // .expect(…) — but NOT the SQL parser's `self.expect(TokenKind…)`:
+        // a `self.expect(` whose first argument is not a string literal
+        // is the parser combinator, not Option/Result::expect.
+        if t.is_punct('.') && matches(input, sig, k + 1, &["expect", "("]) {
+            let receiver_is_self = k > 0 && tok!(input, sig, k - 1).is_ident("self");
+            let arg_is_str = sig
+                .get(k + 3)
+                .map(|&i| matches!(input.toks[i].kind, TokKind::Str | TokKind::RawStr))
+                .unwrap_or(false);
+            if receiver_is_self && !arg_is_str {
+                continue;
+            }
+            out.push(finding(
+                input,
+                tok!(input, sig, k + 1).line,
+                "panic-site",
+                "`.expect(…)` on a console-reachable path — use `?` with a typed ParindaError".into(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ nondeterminism
+
+/// Methods that observe a hash container's (arbitrary) iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "into_values", "into_keys",
+    "drain", "retain",
+];
+
+fn nondeterminism(input: &FileInput<'_>, sig: &[usize], rules: &RuleSet, out: &mut Vec<Finding>) {
+    if rules.nondet_wallclock {
+        wallclock_and_thread_id(input, sig, out);
+    }
+    if rules.nondet_iter {
+        hash_iteration(input, sig, out);
+    }
+}
+
+fn wallclock_and_thread_id(input: &FileInput<'_>, sig: &[usize], out: &mut Vec<Finding>) {
+    for k in 0..sig.len() {
+        if in_test(input, sig, k) {
+            continue;
+        }
+        let t = tok!(input, sig, k);
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && matches(input, sig, k + 1, &[":", ":", "now", "("])
+        {
+            out.push(finding(
+                input,
+                t.line,
+                "nondeterminism",
+                format!(
+                    "`{}::now()` outside crates/parallel/src/budget.rs — route deadlines through Budget so results don't depend on the scheduler",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_ident("thread") && matches(input, sig, k + 1, &[":", ":", "current", "(", ")", ".", "id"])
+        {
+            out.push(finding(
+                input,
+                t.line,
+                "nondeterminism",
+                "`thread::current().id()` in non-diagnostic code — results must not depend on which worker ran an item".into(),
+            ));
+        }
+    }
+}
+
+fn hash_iteration(input: &FileInput<'_>, sig: &[usize], out: &mut Vec<Finding>) {
+    let hash_names = collect_hash_typed_names(input, sig);
+    if hash_names.is_empty() {
+        return;
+    }
+    let flag = |out: &mut Vec<Finding>, line: u32, name: &str, how: &str| {
+        out.push(Finding {
+            file: input.rel.to_string(),
+            line,
+            rule: "nondeterminism",
+            message: format!(
+                "{how} of hash-ordered `{name}` can feed result order — use BTreeMap/BTreeSet or sort before use (determinism contract, tests/determinism.rs)"
+            ),
+        });
+    };
+    for k in 0..sig.len() {
+        if in_test(input, sig, k) {
+            continue;
+        }
+        let t = tok!(input, sig, k);
+        // NAME.iter() / NAME.keys() / … (also self.NAME.iter())
+        if t.is_punct('.') {
+            if let Some(m) = ident_text(input, sig, k + 1) {
+                if ITER_METHODS.contains(&m)
+                    && matches(input, sig, k + 2, &["("])
+                    && k > 0
+                    && ident_text(input, sig, k - 1)
+                        .map(|r| hash_names.contains(&r.to_string()))
+                        .unwrap_or(false)
+                {
+                    let name = ident_text(input, sig, k - 1).unwrap_or("?");
+                    flag(out, tok!(input, sig, k + 1).line, name, &format!("`.{m}()`"));
+                }
+            }
+        }
+        // for PAT in [&][mut] [self.]NAME {
+        if t.is_ident("for") {
+            if let Some((name, line)) = for_loop_over(input, sig, k) {
+                if hash_names.contains(&name.to_string()) {
+                    flag(out, line, name, "`for` iteration");
+                }
+            }
+        }
+    }
+}
+
+/// Names bound with a `HashMap`/`HashSet` type in this file: explicit
+/// annotations (`let m: HashMap<…>`, struct fields, fn params), local
+/// type aliases (`type Memo = HashMap<…>` makes both `Memo` and
+/// anything annotated `: Memo` hash-typed), and constructor bindings
+/// (`let m = HashMap::new()`).
+fn collect_hash_typed_names(input: &FileInput<'_>, sig: &[usize]) -> Vec<String> {
+    let mut hash_types: Vec<String> = vec!["HashMap".into(), "HashSet".into()];
+    // Pass 0: type aliases.
+    for k in 0..sig.len() {
+        if tok!(input, sig, k).is_ident("type") {
+            if let Some(alias) = ident_text(input, sig, k + 1) {
+                if matches(input, sig, k + 2, &["="]) {
+                    let mut j = k + 3;
+                    while j < sig.len() && !tok!(input, sig, j).is_punct(';') {
+                        let t = tok!(input, sig, j);
+                        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                            hash_types.push(alias.to_string());
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    let is_hash_type = |t: &Tok<'_>| t.kind == TokKind::Ident && hash_types.iter().any(|h| h == t.text);
+
+    let mut names: Vec<String> = Vec::new();
+    for k in 0..sig.len() {
+        let t = tok!(input, sig, k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `NAME : Type…` — a single colon (not `::`) starts a type (or
+        // struct-literal field value, which for `f: HashMap::new()` is
+        // just as binding).
+        let single_colon = matches(input, sig, k + 1, &[":"])
+            && !matches(input, sig, k + 2, &[":"])
+            && !(k > 0 && tok!(input, sig, k - 1).is_punct(':'));
+        if single_colon {
+            let mut angle = 0i32;
+            let mut j = k + 2;
+            let mut steps = 0;
+            while j < sig.len() && steps < 48 {
+                let tj = tok!(input, sig, j);
+                if tj.is_punct('<') {
+                    angle += 1;
+                } else if tj.is_punct('>') {
+                    angle -= 1;
+                    if angle < 0 {
+                        break;
+                    }
+                } else if angle == 0
+                    && (tj.is_punct('=') || tj.is_punct(';') || tj.is_punct(',') || tj.is_punct(')')
+                        || tj.is_punct('{') || tj.is_punct('}'))
+                {
+                    break;
+                } else if is_hash_type(tj) {
+                    names.push(t.text.to_string());
+                    break;
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+        // `let [mut] NAME = <HashType>::…`
+        if t.is_ident("let") {
+            let mut j = k + 1;
+            if matches(input, sig, j, &["mut"]) {
+                j += 1;
+            }
+            if let Some(name) = ident_text(input, sig, j) {
+                if matches(input, sig, j + 1, &["="])
+                    && sig.get(j + 2).map(|&i| is_hash_type(&input.toks[i])).unwrap_or(false)
+                {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// If `sig[k]` is a `for` keyword, resolve the loop's iterated name:
+/// `for PAT in [&][mut] [self.]NAME {` → `Some((NAME, line_of_NAME))`.
+/// Returns `None` when the iterated expression is a call chain (those
+/// are caught by the method-call check instead).
+fn for_loop_over<'a>(input: &FileInput<'a>, sig: &[usize], k: usize) -> Option<(&'a str, u32)> {
+    // Find `in` at nesting depth 0 (tuple patterns contain `(`/`)`).
+    let mut depth = 0i32;
+    let mut j = k + 1;
+    loop {
+        let &i = sig.get(j)?;
+        let t = &input.toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            break;
+        } else if depth == 0 && t.is_punct('{') {
+            return None; // malformed / generics confusion — bail out
+        }
+        j += 1;
+        if j > k + 32 {
+            return None;
+        }
+    }
+    // After `in`: strip `&`, `mut`, and a leading `self.`
+    j += 1;
+    while matches(input, sig, j, &["&"]) || matches(input, sig, j, &["mut"]) {
+        j += 1;
+    }
+    if matches(input, sig, j, &["self", "."]) {
+        j += 2;
+    }
+    let name = ident_text(input, sig, j)?;
+    // Only a *direct* iteration (`{` follows the name) counts here.
+    matches(input, sig, j + 1, &["{"]).then(|| (name, input.toks[sig[j]].line))
+}
+
+fn ident_text<'a>(input: &FileInput<'a>, sig: &[usize], k: usize) -> Option<&'a str> {
+    sig.get(k).and_then(|&i| {
+        let t = &input.toks[i];
+        (t.kind == TokKind::Ident).then_some(t.text)
+    })
+}
+
+/// Do the significant tokens at `k..` match `pat` exactly, where each
+/// pattern element is either a punctuation char or an identifier?
+fn matches(input: &FileInput<'_>, sig: &[usize], k: usize, pat: &[&str]) -> bool {
+    for (n, p) in pat.iter().enumerate() {
+        let Some(&i) = sig.get(k + n) else { return false };
+        let t = &input.toks[i];
+        let ok = if p.len() == 1 && !p.chars().next().unwrap().is_ascii_alphabetic() {
+            t.is_punct(p.chars().next().unwrap())
+        } else {
+            t.is_ident(p)
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+// ----------------------------------------------------------- lock-discipline
+
+fn lock_discipline(input: &FileInput<'_>, sig: &[usize], out: &mut Vec<Finding>) {
+    for k in 0..sig.len() {
+        if in_test(input, sig, k) {
+            continue;
+        }
+        let t = tok!(input, sig, k);
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(guard) = ident_text(input, sig, k + 1) else { continue };
+        if !matches!(guard, "lock" | "read" | "write") {
+            continue;
+        }
+        if !matches(input, sig, k + 2, &["(", ")", "."]) {
+            continue;
+        }
+        let Some(handler) = ident_text(input, sig, k + 5) else { continue };
+        if (handler == "unwrap" || handler == "expect") && matches(input, sig, k + 6, &["("]) {
+            out.push(finding(
+                input,
+                tok!(input, sig, k + 1).line,
+                "lock-discipline",
+                format!(
+                    "`.{guard}().{handler}(…)` propagates mutex poisoning as a panic — recover with `.{guard}().unwrap_or_else(|p| p.into_inner())` (PR 2 idiom) or return a typed error"
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------- failpoint-coverage
+
+/// Inputs for the cross-file failpoint rule, gathered by the engine.
+pub struct FailpointInputs<'a> {
+    /// Path + source of the registry (`crates/failpoint/src/lib.rs`).
+    pub registry_rel: &'a str,
+    /// Registry source text.
+    pub registry_src: &'a str,
+    /// Path of the failpoint matrix test (`tests/failpoints.rs`).
+    pub test_rel: &'a str,
+    /// Its source text (empty string = file missing).
+    pub test_src: &'a str,
+    /// Path of the README holding the site table.
+    pub readme_rel: &'a str,
+    /// Its text (empty string = file missing).
+    pub readme_src: &'a str,
+    /// Every `should_fail("…")` call site found in the workspace:
+    /// `(file, line, site-name)`.
+    pub call_sites: &'a [(String, u32, String)],
+}
+
+/// Reconcile the `SITES` registry against call sites, the matrix test,
+/// and the README table:
+///
+/// * duplicate registry entries,
+/// * **orphans** — registered sites no `should_fail("…")` references,
+/// * **undocumented** — `should_fail("…")` names missing from `SITES`,
+/// * sites absent from `tests/failpoints.rs`,
+/// * sites absent from the README site table.
+pub fn check_failpoints(inp: &FailpointInputs<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let sites = parse_sites(inp.registry_src);
+    if sites.is_empty() {
+        out.push(Finding {
+            file: inp.registry_rel.to_string(),
+            line: 1,
+            rule: "failpoint-coverage",
+            message: "could not find a non-empty `SITES: &[&str]` registry in this file".into(),
+        });
+        return out;
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for (name, line) in &sites {
+        if seen.contains(&name.as_str()) {
+            out.push(Finding {
+                file: inp.registry_rel.to_string(),
+                line: *line,
+                rule: "failpoint-coverage",
+                message: format!("duplicate site `{name}` in SITES"),
+            });
+            continue;
+        }
+        seen.push(name);
+        if !inp.call_sites.iter().any(|(_, _, s)| s == name) {
+            out.push(Finding {
+                file: inp.registry_rel.to_string(),
+                line: *line,
+                rule: "failpoint-coverage",
+                message: format!(
+                    "orphan site `{name}`: registered in SITES but no `should_fail(\"{name}\")` call exists"
+                ),
+            });
+        }
+        if !inp.test_src.contains(name.as_str()) {
+            out.push(Finding {
+                file: inp.registry_rel.to_string(),
+                line: *line,
+                rule: "failpoint-coverage",
+                message: format!("site `{name}` is not named in {} — add it to the site manifest there", inp.test_rel),
+            });
+        }
+        if !inp.readme_src.contains(name.as_str()) {
+            out.push(Finding {
+                file: inp.registry_rel.to_string(),
+                line: *line,
+                rule: "failpoint-coverage",
+                message: format!("site `{name}` is missing from the site table in {}", inp.readme_rel),
+            });
+        }
+    }
+    for (file, line, name) in inp.call_sites {
+        if !sites.iter().any(|(s, _)| s == name) {
+            out.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "failpoint-coverage",
+                message: format!(
+                    "`should_fail(\"{name}\")` names a site that is not registered in SITES ({})",
+                    inp.registry_rel
+                ),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Extract `(site, line)` pairs from the `SITES` const in the registry
+/// source: every string literal between `SITES` and the `]` closing its
+/// slice initializer.
+fn parse_sites(src: &str) -> Vec<(String, u32)> {
+    let toks = crate::lexer::lex(src);
+    let sig: Vec<&Tok<'_>> = toks.iter().filter(|t| !t.is_trivia()).collect();
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < sig.len() {
+        if sig[k].is_ident("SITES") {
+            // Skip the `: &[&str]` type annotation (it contains brackets
+            // of its own) — the slice literal starts after the `=`.
+            let mut j = k + 1;
+            while j < sig.len() && !sig[j].is_punct('=') {
+                j += 1;
+            }
+            while j < sig.len() && !sig[j].is_punct('[') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < sig.len() {
+                let t = sig[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokKind::Str {
+                    let name = t.text.trim_matches('"').to_string();
+                    out.push((name, t.line));
+                }
+                j += 1;
+            }
+            break;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Collect `should_fail("…")` call sites from a lexed file (used by the
+/// engine while it has the tokens in hand). Test-scope calls are
+/// skipped — tests may probe arbitrary site names.
+pub fn collect_should_fail_sites(
+    rel: &str,
+    toks: &[Tok<'_>],
+    in_test: &[bool],
+) -> Vec<(String, u32, String)> {
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_trivia()).collect();
+    let mut out = Vec::new();
+    for k in 0..sig.len() {
+        if in_test[sig[k]] {
+            continue;
+        }
+        if toks[sig[k]].is_ident("should_fail")
+            && sig.get(k + 1).map(|&i| toks[i].is_punct('(')).unwrap_or(false)
+        {
+            if let Some(&i) = sig.get(k + 2) {
+                let t = &toks[i];
+                if t.kind == TokKind::Str {
+                    out.push((rel.to_string(), t.line, t.text.trim_matches('"').to_string()));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,292 @@
+//! Per-file test-scope tracking: which tokens live inside
+//! `#[cfg(test)]` items or `mod tests { … }` blocks.
+//!
+//! This is the piece the old awk lint got wrong: its `in_tests` flag
+//! latched on the first `#[cfg(test)]` and never reset, so everything
+//! *below* a test module in the same file — including production code —
+//! went unchecked. Here a test scope is entered at the item the
+//! attribute annotates and exited at that item's closing brace (or
+//! terminating `;` for brace-less items), tracked by brace depth, so
+//! code after a test module is linted again.
+
+use crate::lexer::{Tok, TokKind};
+
+/// For each token of a lexed file, `true` iff the token is inside a
+/// test-only scope:
+///
+/// * an item annotated `#[cfg(test)]` (including `#[cfg(all(test, …))]`
+///   — any `test` atom not under `not(…)`),
+/// * an item annotated `#[test]`,
+/// * a `mod tests { … }` / `mod *_tests { … }` block even without the
+///   attribute.
+///
+/// Scopes nest; the attribute itself and the item header count as test
+/// tokens too (nobody lints an attribute, but suppress-comment scanning
+/// wants the whole span).
+pub fn test_scope_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    // Brace depths at which an active test scope's body opened; the
+    // scope dies when depth returns to the recorded value.
+    let mut scopes: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    // A test attribute fired and we are waiting for the item it
+    // annotates to open a body (`{`) or end (`;`).
+    let mut pending = false;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_trivia() {
+            mask[i] = !scopes.is_empty();
+            i += 1;
+            continue;
+        }
+
+        // Attribute? Consume the whole `#[…]` group as one unit.
+        if t.is_punct('#') && next_is(toks, i + 1, |t| t.is_punct('[')) {
+            let (end, is_test_attr) = scan_attribute(toks, i);
+            let in_test = !scopes.is_empty() || is_test_attr || pending;
+            for m in &mut mask[i..end] {
+                *m = in_test;
+            }
+            if is_test_attr {
+                pending = true;
+            }
+            i = end;
+            continue;
+        }
+
+        // `mod tests {` / `mod foo_tests {` without an attribute.
+        if t.is_ident("mod") && !pending {
+            if let Some(name) = ident_at(toks, i + 1) {
+                if (name == "tests" || name.ends_with("_tests"))
+                    && next_is(toks, skip_trivia(toks, i + 2), |t| t.is_punct('{'))
+                {
+                    pending = true;
+                }
+            }
+        }
+
+        mask[i] = !scopes.is_empty() || pending;
+
+        match t.kind {
+            TokKind::Punct if t.is_punct('{') => {
+                depth += 1;
+                if pending {
+                    // The annotated item's body: test scope until this
+                    // brace closes. (`use a::{b, c};` never gets here —
+                    // `use` items are ended at `;` below before their
+                    // brace, because we check the leading ident.)
+                    scopes.push(depth - 1);
+                    pending = false;
+                }
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().copied() == Some(depth) {
+                    scopes.pop();
+                }
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // Brace-less annotated item (`#[cfg(test)] use …;`,
+                // `… type X = Y;`, `… mod tests;`) ends here.
+                pending = false;
+            }
+            TokKind::Ident if pending && t.is_ident("use") => {
+                // `use` bodies contain `{…}` that is not an item body;
+                // mark until the `;` without opening a scope.
+                let mut j = i;
+                while j < toks.len() && !toks[j].is_punct(';') {
+                    mask[j] = true;
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth = depth.saturating_sub(1);
+                    }
+                    j += 1;
+                }
+                if j < toks.len() {
+                    mask[j] = true;
+                }
+                pending = false;
+                i = j + 1;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan the attribute starting at `#` (index `i`); return the index one
+/// past its closing `]` and whether it marks test-only code.
+///
+/// Test-marking attributes: `#[test]`, and `#[cfg(…)]` whose argument
+/// contains the atom `test` at a position not nested under `not(…)`.
+/// `#[cfg(not(test))]` is production code and must NOT match.
+fn scan_attribute(toks: &[Tok<'_>], i: usize) -> (usize, bool) {
+    let mut j = i + 1; // at '['
+    debug_assert!(toks[j].is_punct('['));
+    let mut bracket = 0usize;
+    let start = j;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            bracket += 1;
+        } else if toks[j].is_punct(']') {
+            bracket -= 1;
+            if bracket == 0 {
+                j += 1;
+                break;
+            }
+        }
+        j += 1;
+    }
+    let body: Vec<&Tok<'_>> = toks[start..j].iter().filter(|t| !t.is_trivia()).collect();
+    // body = [ '[', …, ']' ]
+    let is_test = match body.get(1) {
+        Some(t) if t.is_ident("test") && body.len() == 3 => true,
+        Some(t) if t.is_ident("cfg") => cfg_contains_live_test(&body[2..]),
+        _ => false,
+    };
+    (j, is_test)
+}
+
+/// Does a `cfg` argument list contain `test` outside any `not(…)`?
+fn cfg_contains_live_test(toks: &[&Tok<'_>]) -> bool {
+    let mut depth = 0usize;
+    // Paren depths at which a `not(` group opened.
+    let mut not_depths: Vec<usize> = Vec::new();
+    let mut k = 0;
+    while k < toks.len() {
+        let t = toks[k];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            while not_depths.last().copied() == Some(depth) {
+                not_depths.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.is_ident("not") && toks.get(k + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+            not_depths.push(depth + 1);
+        } else if t.is_ident("test") && not_depths.is_empty() {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+fn next_is(toks: &[Tok<'_>], i: usize, pred: impl Fn(&Tok<'_>) -> bool) -> bool {
+    toks.get(i).map(|t| pred(t)).unwrap_or(false)
+}
+
+fn ident_at<'a>(toks: &[Tok<'a>], i: usize) -> Option<&'a str> {
+    let i = skip_trivia(toks, i);
+    toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text)
+}
+
+fn skip_trivia(toks: &[Tok<'_>], mut i: usize) -> usize {
+    while i < toks.len() && toks[i].is_trivia() {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Which idents named `probe` are in test scope?
+    fn probe_mask(src: &str) -> Vec<bool> {
+        let toks = lex(src);
+        let mask = test_scope_mask(&toks);
+        toks.iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("probe"))
+            .map(|(_, &m)| m)
+            .collect()
+    }
+
+    #[test]
+    fn code_after_test_module_is_production_again() {
+        // The awk latch bug: `probe` after the tests module must be
+        // back in production scope.
+        let src = r#"
+            fn before() { probe(); }
+            #[cfg(test)]
+            mod tests {
+                fn inside() { probe(); }
+            }
+            fn after() { probe(); }
+        "#;
+        assert_eq!(probe_mask(src), vec![false, true, false]);
+    }
+
+    #[test]
+    fn unattributed_mod_tests_counts() {
+        let src = "mod tests { fn f() { probe(); } } fn g() { probe(); }";
+        assert_eq!(probe_mask(src), vec![true, false]);
+    }
+
+    #[test]
+    fn suffix_tests_module_counts() {
+        let src = "#[cfg(test)] mod sampled_tests { fn f() { probe(); } } fn g() { probe(); }";
+        assert_eq!(probe_mask(src), vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))] fn f() { probe(); }";
+        assert_eq!(probe_mask(src), vec![false]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_test() {
+        let src = "#[cfg(all(test, feature = \"x\"))] fn f() { probe(); }";
+        assert_eq!(probe_mask(src), vec![true]);
+    }
+
+    #[test]
+    fn test_fn_attribute() {
+        let src = "#[test] fn t() { probe(); } fn g() { probe(); }";
+        assert_eq!(probe_mask(src), vec![true, false]);
+    }
+
+    #[test]
+    fn braceless_test_item_ends_at_semi() {
+        let src = "#[cfg(test)] use helpers::{probe1, probe2}; fn g() { probe(); }";
+        assert_eq!(probe_mask(src), vec![false]);
+        // …and the use item's inner braces didn't corrupt depth: a
+        // later nested module still exits correctly.
+        let src2 = "#[cfg(test)] use h::{a, b};\nmod tests { fn f() { probe(); } }\nfn g() { probe(); }";
+        assert_eq!(probe_mask(src2), vec![true, false]);
+    }
+
+    #[test]
+    fn nested_test_scopes() {
+        let src = r#"
+            mod outer {
+                #[cfg(test)]
+                mod tests {
+                    mod inner { fn f() { probe(); } }
+                }
+                fn prod() { probe(); }
+            }
+        "#;
+        assert_eq!(probe_mask(src), vec![true, false]);
+    }
+
+    #[test]
+    fn attr_in_string_does_not_latch() {
+        let src = "fn f() { let s = \"#[cfg(test)]\"; probe(); }";
+        assert_eq!(probe_mask(src), vec![false]);
+    }
+
+    #[test]
+    fn cfg_test_struct_then_code() {
+        let src = "#[cfg(test)] struct Helper { x: u32 } fn g() { probe(); }";
+        assert_eq!(probe_mask(src), vec![false]);
+    }
+}

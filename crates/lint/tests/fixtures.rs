@@ -1,0 +1,60 @@
+//! Drives the ui-test-style fixture corpus under `tests/fixtures/`:
+//! every `.rs` case (or `failpoint_coverage` case directory) is linted
+//! and its findings compared against the expected-findings sidecar.
+//! `cargo run -p parinda-lint -- --fixtures` runs the same corpus from
+//! the command line.
+
+use parinda_lint::run_fixtures;
+use std::path::Path;
+
+#[test]
+fn fixture_corpus_is_green() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let results = run_fixtures(&dir).expect("fixture corpus readable");
+    // Guard against an empty/misplaced corpus silently passing.
+    assert!(results.len() >= 14, "expected the full corpus, found {} cases", results.len());
+
+    let mut failures = Vec::new();
+    for r in &results {
+        if !r.pass() {
+            failures.push(format!(
+                "{}:\n  expected: {:?}\n  actual:   {:?}",
+                r.name, r.expected, r.actual
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "fixture mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_has_positive_and_negative_cases_per_rule() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let results = run_fixtures(&dir).expect("fixture corpus readable");
+    for rule in ["panic_site", "nondeterminism", "lock_discipline", "suppression", "failpoint_coverage"] {
+        let of_rule: Vec<_> = results.iter().filter(|r| r.name.starts_with(rule)).collect();
+        assert!(
+            of_rule.iter().any(|r| !r.expected.is_empty()),
+            "rule {rule} has no positive fixture"
+        );
+        assert!(
+            of_rule.iter().any(|r| r.expected.is_empty()),
+            "rule {rule} has no negative fixture"
+        );
+    }
+}
+
+#[test]
+fn latch_regression_fixture_is_present_and_fires() {
+    // The awk bug this lint replaces: code after a #[cfg(test)] module
+    // was unchecked. Keep the regression case pinned by name.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let results = run_fixtures(&dir).expect("fixture corpus readable");
+    let latch = results
+        .iter()
+        .find(|r| r.name.contains("latch_regression"))
+        .expect("latch regression fixture exists");
+    assert!(
+        latch.expected.iter().any(|e| e.contains("panic-site")),
+        "latch fixture must expect a panic-site finding below the test module"
+    );
+}

@@ -1,0 +1,8 @@
+fn run() {
+    if failpoint::should_fail("alpha::one") {
+        return;
+    }
+    if failpoint::should_fail("beta::two") {
+        return;
+    }
+}

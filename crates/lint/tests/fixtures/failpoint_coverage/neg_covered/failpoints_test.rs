@@ -1,0 +1,1 @@
+// manifest: alpha::one, beta::two

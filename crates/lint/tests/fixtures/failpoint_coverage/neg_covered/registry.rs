@@ -1,0 +1,1 @@
+pub const SITES: &[&str] = &["alpha::one", "beta::two"];

@@ -1,0 +1,24 @@
+fn run() {
+    if failpoint::should_fail("alpha::used") {
+        return;
+    }
+    if failpoint::should_fail("gamma::undoc_in_readme") {
+        return;
+    }
+    if failpoint::should_fail("delta::untested") {
+        return;
+    }
+    // a call site whose name was never registered:
+    if failpoint::should_fail("zeta::unregistered") {
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probes_are_exempt() {
+        // test-scope probes of unregistered names are fine
+        assert!(!failpoint::should_fail("tests::whatever"));
+    }
+}

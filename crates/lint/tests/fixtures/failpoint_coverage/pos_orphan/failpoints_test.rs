@@ -1,0 +1,2 @@
+// manifest covers: alpha::used, beta::orphan, gamma::undoc_in_readme
+// (the delta site is deliberately absent from this file)

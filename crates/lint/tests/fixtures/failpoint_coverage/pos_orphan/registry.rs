@@ -1,0 +1,11 @@
+/// Synthetic registry: `alpha::used` is fully covered; `beta::orphan`
+/// has no call site; `gamma::undoc_in_readme` is missing from the
+/// readme; `delta::untested` is missing from the test; `alpha::used`
+/// appears twice (duplicate).
+pub const SITES: &[&str] = &[
+    "alpha::used",
+    "beta::orphan",
+    "gamma::undoc_in_readme",
+    "delta::untested",
+    "alpha::used",
+];

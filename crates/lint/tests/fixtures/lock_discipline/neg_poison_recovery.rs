@@ -1,0 +1,25 @@
+// Negative: the PR 2 poison-recovery idiom, plus non-lock uses of the
+// method names.
+use std::sync::{Mutex, PoisonError, RwLock};
+
+fn recovered(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn recovered_short(l: &RwLock<u32>) -> u32 {
+    *l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn io_read_is_not_a_lock(buf: &[u8]) -> Option<u8> {
+    // `.read(…)` with arguments doesn't match the guard pattern
+    buf.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = std::sync::Mutex::new(1u32);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Positive: poisoning re-raised as a panic, in all three guard flavors.
+use std::sync::{Mutex, RwLock};
+
+fn mutex_unwrap(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+fn rwlock_read_expect(l: &RwLock<u32>) -> u32 {
+    *l.read().expect("poisoned")
+}
+
+fn rwlock_write_unwrap(l: &RwLock<u32>) {
+    *l.write().unwrap() += 1;
+}

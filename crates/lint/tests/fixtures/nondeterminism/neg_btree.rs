@@ -1,0 +1,15 @@
+// Negative: ordered containers iterate freely — that is the fix the
+// rule demands.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn sums(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+fn ordered(s: BTreeSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in s {
+        out.push(v);
+    }
+    out.iter().copied().collect()
+}

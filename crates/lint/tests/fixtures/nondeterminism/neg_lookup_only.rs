@@ -1,0 +1,16 @@
+// Negative: point lookups and inserts on hash containers are fine —
+// only *iteration* leaks hash order into results.
+use std::collections::HashMap;
+
+fn memoized(memo: &mut HashMap<u32, f64>, k: u32) -> f64 {
+    if let Some(v) = memo.get(&k) {
+        return *v;
+    }
+    let v = k as f64 * 1.5;
+    memo.insert(k, v);
+    *memo.entry(k).or_insert(v)
+}
+
+fn membership(m: &HashMap<String, u32>, key: &str) -> bool {
+    m.contains_key(key) && !m.is_empty() && m.len() > 0
+}

@@ -1,0 +1,38 @@
+// Positive: hash-ordered iteration feeding results, in every shape the
+// rule tracks — annotated lets, struct fields, fn params, type aliases,
+// constructor bindings, `for` loops, and method chains.
+use std::collections::{HashMap, HashSet};
+
+type Memo = HashMap<u32, f64>;
+
+struct State {
+    cache: HashMap<String, u32>,
+}
+
+fn from_annotation(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+fn from_alias(memo: Memo) -> Vec<f64> {
+    memo.into_values().collect()
+}
+
+fn from_constructor() -> Vec<u32> {
+    let mut set = HashSet::new();
+    set.insert(1u32);
+    set.iter().copied().collect()
+}
+
+fn for_loop_direct(scores: HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in scores {
+        total += v;
+    }
+    total
+}
+
+impl State {
+    fn ordered(&self) -> Vec<u32> {
+        self.cache.values().copied().collect()
+    }
+}

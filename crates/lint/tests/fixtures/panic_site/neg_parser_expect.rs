@@ -1,0 +1,21 @@
+// Negative: the SQL parser's `self.expect(TokenKind::…)` combinator is
+// a Result-returning method, not Option/Result::expect — must not flag.
+struct Parser {
+    pos: usize,
+}
+enum TokenKind {
+    LParen,
+    RParen,
+}
+impl Parser {
+    fn expect(&mut self, kind: TokenKind) -> Result<(), String> {
+        self.pos += 1;
+        let _ = kind;
+        Ok(())
+    }
+    fn parse(&mut self) -> Result<(), String> {
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        Ok(())
+    }
+}

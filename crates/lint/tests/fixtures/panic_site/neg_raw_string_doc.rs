@@ -1,0 +1,20 @@
+// Negative: panic-shaped text inside literals and comments must not
+// trip the lexer-backed rules (the awk lint's other failure mode).
+
+/// Doc comment showing the banned call: `x.unwrap()` and `panic!("…")`.
+/// ```
+/// let v = Some(1).unwrap(); // doc example, not production code
+/// ```
+pub fn documented() -> &'static str {
+    // line comment mentioning .unwrap() and unreachable!()
+    let plain = "call .unwrap() then panic!(\"nested \\\" quote\")";
+    let raw = r#"contains x.unwrap() and .expect("msg")"#;
+    let fenced = r##"raw with fence: panic!("inner "# hash-quote") still a string"##;
+    let ch = '!';
+    let lifetime_user: &'static str = "lifetimes don't start char literals";
+    /* block comment: todo!() and unimplemented!()
+       /* nested block: .expect("deep") */
+       still comment */
+    let _ = (plain, raw, fenced, ch);
+    lifetime_user
+}

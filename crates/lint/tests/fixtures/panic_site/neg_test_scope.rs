@@ -1,0 +1,28 @@
+// Negative: unwraps confined to test scope in all its forms.
+fn prod(x: Option<u32>) -> Option<u32> {
+    x.map(|v| v + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::prod(Some(1)).unwrap();
+        panic!("fine in tests");
+    }
+}
+
+#[cfg(all(test, feature = "slow"))]
+mod slow_tests {
+    #[test]
+    fn t() {
+        Option::<u32>::None.expect("fine in cfg(all(test, …))");
+    }
+}
+
+mod integration_tests {
+    // un-attributed *_tests module still counts as test scope
+    pub fn helper() {
+        Option::<u32>::Some(3).unwrap();
+    }
+}

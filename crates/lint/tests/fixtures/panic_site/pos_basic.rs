@@ -1,0 +1,27 @@
+// Positive: every banned construct in plain production code.
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn expects(x: Option<u32>) -> u32 {
+    x.expect("must be set")
+}
+fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+fn unreachable_arm(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+fn not_done() {
+    todo!()
+}
+fn also_not_done() {
+    unimplemented!()
+}
+fn expect_on_nonself_with_ident_arg(r: Result<u32, String>, msg: &str) -> u32 {
+    r.expect(msg)
+}

@@ -1,0 +1,21 @@
+// Regression for the awk lint's latch bug: its `in_tests` flag set on
+// the first `#[cfg(test)]` and never reset, so the unwrap in `after()`
+// below was invisible to it. The token-accurate scope tracker must exit
+// the test module at its closing brace and flag it.
+fn before(x: Option<u32>) -> u32 {
+    x.map(|v| v + 1).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        super::before(Some(1));
+        Option::<u32>::None.unwrap_or_default();
+        let _ = Some(2).unwrap(); // tests may unwrap
+    }
+}
+
+fn after(x: Option<u32>) -> u32 {
+    x.unwrap() // the awk blind spot
+}

@@ -1,0 +1,10 @@
+// Negative: a justified allow silences the finding — same line or the
+// line above both work.
+fn covered_above(x: Option<u32>) -> u32 {
+    // parinda-lint: allow(panic-site): invariant — caller checked is_some() one line up
+    x.unwrap()
+}
+
+fn covered_same_line(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect() // parinda-lint: allow(nondeterminism): collected into a set by the caller, order irrelevant
+}

@@ -1,0 +1,11 @@
+// Positive: a reason-less allow is itself a finding AND fails to
+// suppress, and an unknown rule name is flagged.
+fn bad_allow(x: Option<u32>) -> u32 {
+    // parinda-lint: allow(panic-site)
+    x.unwrap()
+}
+
+fn unknown_rule(y: Option<u32>) -> u32 {
+    // parinda-lint: allow(no-such-rule): reasons don't save unknown rules
+    y.unwrap_or(0)
+}

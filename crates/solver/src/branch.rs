@@ -60,6 +60,7 @@ impl SolveLimits {
             }
         }
         match self.deadline {
+            // parinda-lint: allow(nondeterminism): deadline-expiry check mirrors Budget::expired — results under a deadline are explicitly marked degraded
             Some(d) => Instant::now() >= d,
             None => false,
         }

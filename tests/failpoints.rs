@@ -49,6 +49,34 @@ fn run_script(threads: usize, wl: &str) -> Vec<String> {
         .collect()
 }
 
+/// Literal manifest of every registered site. The matrix below iterates
+/// `failpoint::SITES` programmatically, so without this pin a site could
+/// be added (or renamed) without anyone checking that [`SCRIPT`] still
+/// reaches it. Renaming a site must consciously touch this list, the
+/// README table, and the call site — the `failpoint-coverage` lint
+/// cross-checks all three.
+#[test]
+fn site_manifest_is_exhaustive() {
+    let manifest = [
+        "parallel::item",
+        "inum::bind",
+        "inum::plan_case",
+        "inum::access_cost",
+        "advisor::benefit_cell",
+        "advisor::autopart_eval",
+        "advisor::rewrite",
+        "solver::relax",
+        "solver::simplex",
+        "storage::load",
+        "core::dispatch",
+    ];
+    assert_eq!(
+        failpoint::SITES,
+        &manifest,
+        "SITES changed: update this manifest, the README site table, and make sure SCRIPT reaches the new site"
+    );
+}
+
 #[test]
 fn every_site_is_contained_and_thread_deterministic() {
     // contained panics still run the hook; keep the log readable
