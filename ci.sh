@@ -31,7 +31,7 @@ PROPTEST_SEED="${PARINDA_CI_SEED}" cargo test -q --test no_panic
 echo "==> failpoint matrix (every site x err/panic/delay x 1/2/8 threads)"
 cargo test -q --features failpoints --test failpoints
 
-echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage)"
+echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage, trace-coverage)"
 cargo run -q -p parinda-lint --release -- --workspace
 
 echo "==> lint fixture corpus (the lints are themselves tested)"
@@ -39,5 +39,13 @@ cargo run -q -p parinda-lint --release -- --fixtures
 
 echo "==> e8 parallel-scaling bench (smoke)"
 cargo bench -p parinda-bench --bench e8_parallel_scaling -- --test
+
+echo "==> e9 trace-overhead bench (smoke)"
+cargo bench -p parinda-bench --bench e9_trace_overhead -- --test
+
+echo "==> E3/E4 machine-readable artifact (BENCH_e3_e4.json, schema parinda-bench/e3e4/v1)"
+cargo run -q --release -p parinda-bench --bin experiments -- json BENCH_e3_e4.json
+python3 -m json.tool BENCH_e3_e4.json > /dev/null 2>&1 || \
+    { echo "BENCH_e3_e4.json is not valid JSON"; exit 1; }
 
 echo "==> ci green"

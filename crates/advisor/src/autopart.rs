@@ -12,6 +12,7 @@ use parinda_catalog::{Catalog, MetadataProvider, TableId};
 use parinda_optimizer::{bind, plan_query, CostParams, PlannerFlags};
 use parinda_parallel::{par_map, par_map_indexed, Budget, BudgetReport, Parallelism};
 use parinda_sql::Select;
+use parinda_trace::{Counter, Trace};
 use parinda_whatif::{HypotheticalCatalog, WhatIfPartition};
 
 use crate::fragments::{atomic_fragments, replication_overhead, Fragment};
@@ -130,6 +131,22 @@ pub fn suggest_partitions_budgeted(
     par: Parallelism,
     budget: &Budget,
 ) -> Result<PartitionSuggestion, AdvisorError> {
+    suggest_partitions_traced(catalog, workload, config, par, budget, &Trace::disabled())
+}
+
+/// [`suggest_partitions_budgeted`] with an observability handle: the run
+/// records an `autopart_rounds` span (plus one `autopart_rounds/round`
+/// span per improvement round) and counts candidate designs evaluated.
+/// Tracing never influences the suggested design.
+pub fn suggest_partitions_traced(
+    catalog: &Catalog,
+    workload: &[Select],
+    config: AutoPartConfig,
+    par: Parallelism,
+    budget: &Budget,
+    trace: &Trace,
+) -> Result<PartitionSuggestion, AdvisorError> {
+    let _span = trace.span("autopart_rounds");
     let params = CostParams::default();
     let flags = PlannerFlags::default();
 
@@ -202,6 +219,7 @@ pub fn suggest_partitions_budgeted(
             break;
         }
         iterations += 1;
+        let _round = trace.span("autopart_rounds/round");
         let mut improved = false;
         let mut round_best: Option<(Vec<Fragment>, f64)> = None;
         let cur_overhead = replication_overhead(&selected, catalog);
@@ -270,6 +288,7 @@ pub fn suggest_partitions_budgeted(
             })
             .collect();
         let memo_ref = &memo;
+        trace.count(Counter::CandidatesEvaluated, viable.len() as u64);
         let evaluated: Vec<(f64, Vec<MemoEntry>)> = par_map(par, &viable, |cand| {
             design_cost_snapshot(
                 catalog, workload, cand, &params, &flags, &base_costs, &qtables, memo_ref,

@@ -31,6 +31,8 @@ pub fn select_indexes_greedy_budgeted(
     budget_bytes: u64,
     budget: &Budget,
 ) -> IndexSelection {
+    let trace = model.trace().clone();
+    let _span = trace.span("greedy_rounds");
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
@@ -62,9 +64,11 @@ pub fn select_indexes_greedy_budgeted(
             return vec![0.0; eligible.len()];
         }
         rounds.set(rounds.get() + 1);
+        let _round = trace.span("greedy_rounds/round");
         let current: Configuration =
             Configuration::from_ids(selected.iter().map(|&p| cand_ids[p]));
         let current_cost = model_ref.workload_cost(&current);
+        trace.count(parinda_trace::Counter::CandidatesEvaluated, eligible.len() as u64);
         par_map(par, eligible, |&pos| {
             current_cost - model_ref.workload_cost(&current.with(cand_ids[pos]))
         })

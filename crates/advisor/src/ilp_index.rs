@@ -23,8 +23,9 @@ use std::collections::HashMap;
 
 use parinda_catalog::{MetadataProvider, TableId};
 use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
-use parinda_parallel::{par_map_indexed, par_try_map_budgeted, Budget, BudgetReport};
+use parinda_parallel::{par_map_indexed, par_try_map_budgeted_traced, Budget, BudgetReport};
 use parinda_solver::{solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits};
+use parinda_trace::Counter;
 
 /// User-supplied constraints beyond the storage budget (paper §3.4: "other
 /// user-supplied constraints, such as constraints on the total size of the
@@ -126,6 +127,8 @@ pub fn select_indexes_ilp_budgeted(
     options: &IlpOptions,
     budget: &Budget,
 ) -> IndexSelection {
+    let trace = model.trace().clone();
+    let _span = trace.span("ilp_rounds");
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
@@ -146,14 +149,21 @@ pub fn select_indexes_ilp_budgeted(
         par_map_indexed(par, nq, |q| model_ref.cost(q, &empty) * weight(q));
     let n_cand = cand_ids.len();
     let scored_cap = budget.max_rounds().map_or(n_cand, |r| r.min(n_cand));
-    let cells = match par_try_map_budgeted(par, scored_cap * nq, budget, |k| {
-        if parinda_failpoint::should_fail("advisor::benefit_cell") {
-            return 0.0; // injected error: the cell degrades to "no benefit"
-        }
-        let (ci, q) = (k / nq.max(1), k % nq.max(1));
-        let with = model_ref.cost(q, &Configuration::from_ids([cand_ids[ci]])) * weight(q);
-        (base_costs[q] - with).max(0.0)
-    }) {
+    let cells = match par_try_map_budgeted_traced(
+        par,
+        scored_cap * nq,
+        budget,
+        &trace,
+        "ilp_rounds/benefit_matrix",
+        |k| {
+            if parinda_failpoint::should_fail("advisor::benefit_cell") {
+                return 0.0; // injected error: the cell degrades to "no benefit"
+            }
+            let (ci, q) = (k / nq.max(1), k % nq.max(1));
+            let with = model_ref.cost(q, &Configuration::from_ids([cand_ids[ci]])) * weight(q);
+            (base_costs[q] - with).max(0.0)
+        },
+    ) {
         Ok(partial) => partial,
         // Re-raise the contained worker panic for the session guard()
         // backstop; resume_unwind skips the panic hook (already ran).
@@ -168,6 +178,8 @@ pub fn select_indexes_ilp_budgeted(
         }
     }
     let candidates_skipped = n_cand - scored;
+    trace.count(Counter::CandidatesEvaluated, scored as u64);
+    trace.count(Counter::CandidatesSkipped, candidates_skipped as u64);
     let sizes: Vec<u64> = cand_ids.iter().map(|&id| model.candidate_size(id)).collect();
 
     // Build the ILP.
@@ -233,6 +245,7 @@ pub fn select_indexes_ilp_budgeted(
     let limits = SolveLimits {
         deadline: budget.deadline(),
         cancel: Some(budget.cancel_token().clone()),
+        trace: trace.clone(),
         ..SolveLimits::default()
     };
     let (chosen_pos, proven) = match solve_ilp(&ip, limits) {

@@ -19,8 +19,8 @@ pub mod ilp_index;
 pub mod rewrite;
 
 pub use autopart::{
-    suggest_partitions, suggest_partitions_budgeted, suggest_partitions_par, AdvisorError,
-    AutoPartConfig, PartitionSuggestion,
+    suggest_partitions, suggest_partitions_budgeted, suggest_partitions_par,
+    suggest_partitions_traced, AdvisorError, AutoPartConfig, PartitionSuggestion,
 };
 pub use candidates::{generate_candidates, CandidateLimits};
 pub use fragments::{atomic_fragments, replication_overhead, Fragment};

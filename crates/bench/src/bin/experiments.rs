@@ -9,9 +9,8 @@
 
 use std::time::Instant;
 
-use parinda::{
-    verify_whatif_index, AutoPartConfig, Design, SelectionMethod, WhatIfIndex, WhatIfPartition,
-};
+use parinda::{verify_whatif_index, AutoPartConfig, SelectionMethod, WhatIfIndex};
+use parinda_bench::experiments;
 use parinda_bench::{execute_workload, laptop_session, paper_session, workload, Table};
 use parinda_catalog::MetadataProvider;
 use parinda_inum::{CandidateIndex, Configuration, InumModel};
@@ -31,6 +30,11 @@ fn main() {
         "e7" => e7_interactive(),
         "e8" => e8_parallel_scaling(),
         "a1" => a1_inum_ablation(),
+        "json" => {
+            let path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_e3_e4.json".into());
+            std::fs::write(&path, experiments::e3_e4_json()).expect("write json artifact");
+            println!("wrote {path}");
+        }
         "all" => {
             e1_workload_speedup();
             e2_whatif_vs_materialize();
@@ -43,7 +47,7 @@ fn main() {
             a1_inum_ablation();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1..e8, a1, or all");
+            eprintln!("unknown experiment `{other}`; use e1..e8, a1, json [path], or all");
             std::process::exit(1);
         }
     }
@@ -77,41 +81,9 @@ fn degraded_footnote(any: bool) {
 /// ranging from 2x to 10x" (§1). Suggested partitions + indexes, estimated
 /// at paper scale and *measured by execution* at laptop scale.
 fn e1_workload_speedup() {
-    banner("E1  workload speedup from suggested design features", "2x to 10x");
-
-    // --- estimated, paper scale, per budget ---
-    let session = paper_session();
-    let wl = workload();
-    let base_bytes = session.catalog().total_size_bytes();
-    let mut t = Table::new(&["budget (frac of db)", "indexes", "partitions", "est. speedup"]);
-    let mut any_degraded = false;
-    for frac in [0.05f64, 0.1, 0.2, 0.4] {
-        let budget = (base_bytes as f64 * frac) as u64;
-        let idx = session.suggest_indexes(&wl, budget, SelectionMethod::Ilp).expect("advisor");
-        let parts = session
-            .suggest_partitions(&wl, AutoPartConfig::default())
-            .expect("autopart");
-        // combined: apply partitions via interactive design + chosen indexes
-        let mut design = Design::new();
-        for p in &parts.partitions {
-            let cols: Vec<&str> = p.columns.iter().map(|s| s.as_str()).collect();
-            design = design.with_partition(WhatIfPartition::new(&p.name, &p.table, &cols));
-        }
-        for i in &idx.indexes {
-            let cols: Vec<&str> = i.columns.iter().map(|s| s.as_str()).collect();
-            design = design.with_index(WhatIfIndex::new(&i.name, &i.table, &cols));
-        }
-        let (report, _) = session.evaluate_design(&wl, &design).expect("evaluation");
-        any_degraded |= idx.degraded || parts.degraded;
-        t.row(&[
-            format!("{:.0}%", frac * 100.0),
-            format!("{}{}", idx.indexes.len(), star(idx.degraded)),
-            format!("{}{}", parts.partitions.len(), star(parts.degraded)),
-            format!("{:.2}x", report.speedup()),
-        ]);
-    }
-    println!("\nestimated (optimizer cost, paper-scale statistics):\n{}", t.render());
-    degraded_footnote(any_degraded);
+    // --- estimated, paper scale, per budget (shared with the golden
+    // tests via the library; banner included) ---
+    print!("{}", experiments::e1_report(false));
 
     // --- measured, laptop scale ---
     let (mut session, _) = laptop_session(20_000, 1);
@@ -197,80 +169,7 @@ fn e2_whatif_vs_materialize() {
 /// E3 — INUM estimates "costs of millions of physical designs in the order
 /// of minutes instead of days" (§3.4).
 fn e3_inum_speedup() {
-    banner(
-        "E3  INUM cached cost model vs full re-optimization",
-        "millions of estimations in minutes instead of days",
-    );
-    let session = paper_session();
-    let wl = workload();
-
-    let t0 = Instant::now();
-    let mut model = InumModel::build(session.catalog(), &wl, CostParams::default()).unwrap();
-    let build_time = t0.elapsed();
-
-    // register a candidate pool and pre-warm memos
-    let photo = session.catalog().table_by_name("photoobj").unwrap().id;
-    let spec = session.catalog().table_by_name("specobj").unwrap().id;
-    let cands: Vec<_> = [
-        (photo, vec![0]),
-        (photo, vec![14]),
-        (photo, vec![9]),
-        (photo, vec![27]),
-        (spec, vec![1]),
-        (spec, vec![5]),
-    ]
-    .into_iter()
-    .map(|(t, c)| model.register_candidate(CandidateIndex::new(t, c)))
-    .collect();
-    let configs: Vec<Configuration> = (0..64u32)
-        .map(|mask| {
-            Configuration::from_ids(
-                cands
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| mask & (1 << i) != 0)
-                    .map(|(_, &id)| id),
-            )
-        })
-        .collect();
-    for cfg in &configs {
-        model.workload_cost(cfg); // warm memoization
-    }
-
-    const N_CACHED: usize = 100_000;
-    let t0 = Instant::now();
-    let mut guard = 0.0f64;
-    for i in 0..N_CACHED {
-        let cfg = &configs[i % configs.len()];
-        guard += model.cost(i % wl.len(), cfg);
-    }
-    let cached = t0.elapsed();
-    assert!(guard.is_finite());
-
-    const N_FULL: usize = 200;
-    let t0 = Instant::now();
-    for i in 0..N_FULL {
-        let cfg = &configs[i % configs.len()];
-        model.exact_cost(i % wl.len(), cfg);
-    }
-    let full = t0.elapsed();
-
-    let per_cached = cached.as_secs_f64() / N_CACHED as f64;
-    let per_full = full.as_secs_f64() / N_FULL as f64;
-    let mut t = Table::new(&["metric", "value"]);
-    t.row(&["cache build (30 queries)".into(), format!("{build_time:?}")]);
-    t.row(&["per-estimate, INUM cached".into(), format!("{:.2} µs", per_cached * 1e6)]);
-    t.row(&["per-estimate, full optimizer".into(), format!("{:.2} µs", per_full * 1e6)]);
-    t.row(&["speedup per estimate".into(), format!("{:.0}x", per_full / per_cached)]);
-    t.row(&[
-        "1M estimations, INUM".into(),
-        format!("{:.1} s", per_cached * 1e6),
-    ]);
-    t.row(&[
-        "1M estimations, full optimizer".into(),
-        format!("{:.1} min", per_full * 1e6 / 60.0),
-    ]);
-    println!("\n{}", t.render());
+    print!("{}", experiments::e3_report(false));
 }
 
 /// E4 — "Typically ILP outperforms the greedy algorithms on workloads

@@ -7,6 +7,8 @@
 
 #![allow(missing_docs)]
 
+pub mod experiments;
+
 use parinda::{Database, Parinda};
 use parinda_workload::{
     generate_and_load, sdss_catalog, sdss_workload, synthesize_stats, SdssScale, SdssTables,

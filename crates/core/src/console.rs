@@ -17,6 +17,7 @@ use parinda_workload::{
 
 use crate::session::{guard, Parinda, ParindaError, SelectionMethod};
 use parinda_parallel::{CancelToken, Parallelism};
+use parinda_trace::Trace;
 
 /// Largest `load laptop` row count the console accepts: beyond this the
 /// generated PhotoObj data stops fitting in laptop-class memory.
@@ -54,6 +55,12 @@ pub enum Command {
     ShowBudget,
     /// Request cooperative cancellation of the next advisor run.
     Cancel,
+    /// `profile on` — start recording phase timings and counters.
+    ProfileOn,
+    /// `profile off` — stop recording and discard what was recorded.
+    ProfileOff,
+    /// `profile show` — render the recorded per-phase profile.
+    ProfileShow,
     Help,
     Quit,
     Empty,
@@ -183,6 +190,12 @@ pub fn parse_command(line: &str) -> Result<Command, ParindaError> {
                 .ok_or_else(|| usage("usage: budget <ms> | budget rounds <n> | budget off")),
         },
         "cancel" => Ok(Command::Cancel),
+        "profile" => match lower.get(1).map(|s| s.as_str()) {
+            Some("on") => Ok(Command::ProfileOn),
+            Some("off") => Ok(Command::ProfileOff),
+            Some("show") | None => Ok(Command::ProfileShow),
+            _ => Err(usage("usage: profile on | profile off | profile show")),
+        },
         "suggest" => match lower.get(1).map(|s| s.as_str()) {
             Some("indexes") => {
                 let budget_mb = lower
@@ -222,7 +235,8 @@ commands:
   workload file <path>       statements from a file (';'-separated)
   show tables|indexes|workload|design
   describe <table>           columns, statistics, indexes
-  explain <sql>              EXPLAIN under the current design
+  explain <sql>              EXPLAIN + per-node cost breakdown (and what-if
+                             deltas when a design is staged)
   analyze <sql>              EXPLAIN ANALYZE (needs loaded data)
   whatif index <name> <table> <col[,col...]>
   whatif partition <name> <table> <col[,col...]>
@@ -237,6 +251,8 @@ commands:
   budget rounds <n>          deterministic round-cap budget
   budget off                 remove the budget (exact, exhaustive runs)
   cancel                     stop the next advisor run at its first checkpoint
+  profile on|off             record phase timings and pipeline counters
+  profile show               per-phase time table (% of run) and counters
   quit";
 
 /// Outcome of feeding one line to [`Console::run_line`].
@@ -265,6 +281,10 @@ pub struct Console {
     /// Cancellation flag shared with every session (and the CLI's
     /// Ctrl-C handler), so it survives `load`.
     cancel: CancelToken,
+    /// Observability handle chosen with `profile on|off` (or attached by
+    /// the CLI's `--trace-json`); applied to every session, so it
+    /// survives `load` like the thread policy and budget.
+    trace: Trace,
 }
 
 impl Default for Console {
@@ -284,6 +304,7 @@ impl Console {
             budget_ms: None,
             budget_rounds: None,
             cancel: CancelToken::new(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -318,7 +339,22 @@ impl Console {
         session.set_budget_ms(self.budget_ms);
         session.set_budget_rounds(self.budget_rounds);
         session.set_cancel_token(self.cancel.clone());
+        session.set_trace(self.trace.clone());
         self.session = Some(session);
+    }
+
+    /// The console's observability handle (shared with the session).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Attach an observability handle (the CLI's `--trace-json` uses this
+    /// to record the whole run); carried into every installed session.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+        if let Some(s) = self.session.as_mut() {
+            s.set_trace(self.trace.clone());
+        }
     }
 
     /// Render the current budget setting.
@@ -502,7 +538,25 @@ impl Console {
                 Ok("cancellation requested: the next advisor checkpoint returns best-so-far"
                     .into())
             }
-            Command::Explain(sql) => self.require_session()?.explain_sql(&sql),
+            Command::ProfileOn => {
+                if !self.trace.is_enabled() {
+                    self.set_trace(Trace::recording());
+                }
+                Ok("profiling on (see `profile show`)".into())
+            }
+            Command::ProfileOff => {
+                self.set_trace(Trace::disabled());
+                Ok("profiling off; recorded profile discarded".into())
+            }
+            Command::ProfileShow => {
+                if !self.trace.is_enabled() {
+                    return Ok("profiling is off (try `profile on`)".into());
+                }
+                Ok(self.trace.snapshot().render_profile())
+            }
+            Command::Explain(sql) => {
+                self.require_session()?.explain_sql_breakdown(&sql, Some(&self.design))
+            }
             Command::Analyze(sql) => {
                 let s = self.require_session()?;
                 let sel = parinda_sql::parse_select(&sql)?;

@@ -58,6 +58,7 @@ pub use verify::{verify_whatif_index, Verification};
 // Re-export the vocabulary types users need at the API surface.
 pub use parinda_advisor::{AutoPartConfig, IlpOptions};
 pub use parinda_parallel::{Budget, BudgetReport, CancelToken, Parallelism, THREADS_ENV};
+pub use parinda_trace::{Counter, Trace, TraceReport};
 pub use parinda_catalog::{Catalog, Column, Datum, SqlType};
 pub use parinda_sql::{parse_select, Select};
 pub use parinda_storage::Database;

@@ -3,7 +3,7 @@
 
 use parinda_advisor::{
     generate_candidates, select_indexes_greedy_budgeted, select_indexes_ilp_budgeted,
-    suggest_partitions_budgeted, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
+    suggest_partitions_traced, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
 };
 use parinda_catalog::{Catalog, IndexId, MetadataProvider};
 use parinda_inum::{Configuration, InumModel, InumOptions};
@@ -11,6 +11,7 @@ use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
 use parinda_parallel::{Budget, BudgetReport, CancelToken, Parallelism};
 use parinda_sql::Select;
 use parinda_storage::Database;
+use parinda_trace::{Counter, Trace};
 use parinda_whatif::Design;
 
 use crate::interactive::evaluate_design;
@@ -256,6 +257,10 @@ pub struct Parinda {
     budget_rounds: Option<usize>,
     /// Cooperative cancellation flag shared with the frontend (Ctrl-C).
     cancel: CancelToken,
+    /// Observability handle; disabled by default. Every phase of the
+    /// pipeline records spans/counters through this. Tracing is strictly
+    /// write-only for the pipeline: no result ever depends on it.
+    trace: Trace,
 }
 
 impl Parinda {
@@ -271,6 +276,7 @@ impl Parinda {
             budget_ms: None,
             budget_rounds: None,
             cancel: CancelToken::new(),
+            trace: Trace::disabled(),
         }
     }
 
@@ -337,6 +343,19 @@ impl Parinda {
     /// one, if none is running).
     pub fn request_cancel(&self) {
         self.cancel.cancel();
+    }
+
+    /// The session's observability handle (disabled unless a frontend
+    /// attached one with [`Parinda::set_trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Attach (or detach, with [`Trace::disabled`]) an observability
+    /// handle. The console's `profile on|off` commands call this; the
+    /// CLI's `--trace-json` attaches one for the whole run.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// Anchor a [`Budget`] for one advisor call: deadline measured from
@@ -463,23 +482,67 @@ impl Parinda {
 
     /// EXPLAIN a statement under the current design.
     pub fn explain_sql(&self, sql: &str) -> Result<String, ParindaError> {
-        let sel = parinda_sql::parse_select(sql)?;
+        let sel = {
+            let _s = self.trace.span("parse");
+            parinda_sql::parse_select(sql)?
+        };
         self.explain_query(&sel)
     }
 
     /// EXPLAIN a parsed statement.
     pub fn explain_query(&self, sel: &Select) -> Result<String, ParindaError> {
+        let (q, p) = self.plan_one(sel)?;
+        Ok(explain(&p, &q, &self.catalog))
+    }
+
+    /// EXPLAIN a statement with a per-node cost breakdown and, when
+    /// `design` is non-empty, the what-if deltas under that hypothetical
+    /// design (the console's enriched `explain <query>`).
+    pub fn explain_sql_breakdown(
+        &self,
+        sql: &str,
+        design: Option<&Design>,
+    ) -> Result<String, ParindaError> {
+        let sel = {
+            let _s = self.trace.span("parse");
+            parinda_sql::parse_select(sql)?
+        };
+        let (q, p) = self.plan_one(&sel)?;
+        let base_rows = parinda_optimizer::breakdown(&p, &q, &self.catalog);
+        let whatif_rows = match design {
+            Some(d) if !d.is_empty() => {
+                let _s = self.trace.span("whatif");
+                let overlay = d.apply(&self.catalog)?;
+                let qh = bind(&sel, &overlay)?;
+                let ph = plan_query(&qh, &overlay, &self.params, &self.flags)?;
+                self.trace.count(Counter::OptimizerInvocations, 1);
+                Some(parinda_optimizer::breakdown(&ph, &qh, &overlay))
+            }
+            _ => None,
+        };
+        let mut out = explain(&p, &q, &self.catalog);
+        out.push('\n');
+        out.push_str(&parinda_optimizer::render_breakdown(&base_rows, whatif_rows.as_deref()));
+        Ok(out)
+    }
+
+    /// Bind and plan one statement, recording the `plan` phase.
+    fn plan_one(
+        &self,
+        sel: &Select,
+    ) -> Result<(parinda_optimizer::BoundQuery, parinda_optimizer::PlanNode), ParindaError> {
+        let _s = self.trace.span("plan");
         let q = bind(sel, &self.catalog)?;
         let p = plan_query(&q, &self.catalog, &self.params, &self.flags)?;
-        Ok(explain(&p, &q, &self.catalog))
+        self.trace.count(Counter::OptimizerInvocations, 1);
+        Ok((q, p))
     }
 
     /// Workload cost under the current design.
     pub fn workload_cost(&self, workload: &[Select]) -> Result<f64, ParindaError> {
         let mut total = 0.0;
         for sel in workload {
-            let q = bind(sel, &self.catalog)?;
-            let p = plan_query(&q, &self.catalog, &self.params, &self.flags)?;
+            let (_, p) = self.plan_one(sel)?;
             total += p.cost.total;
         }
         Ok(total)
@@ -495,7 +558,11 @@ impl Parinda {
         workload: &[Select],
         design: &Design,
     ) -> Result<(BenefitReport, Vec<Select>), ParindaError> {
-        evaluate_design(&self.catalog, &self.params, &self.flags, workload, design)
+        let _s = self.trace.span("whatif");
+        let r = evaluate_design(&self.catalog, &self.params, &self.flags, workload, design)?;
+        self.trace
+            .count(Counter::OptimizerInvocations, 2 * workload.len() as u64);
+        Ok(r)
     }
 
     // ---------- scenario 3: automatic index suggestion ----------
@@ -522,14 +589,18 @@ impl Parinda {
         options: &IlpOptions,
     ) -> Result<IndexSuggestion, ParindaError> {
         let budget = self.start_budget();
-        let mut model = InumModel::build_budgeted(
-            &self.catalog,
-            workload,
-            self.params.clone(),
-            InumOptions::default(),
-            self.par,
-            &budget,
-        )?;
+        let mut model = {
+            let _s = self.trace.span("inum_build");
+            InumModel::build_budgeted_traced(
+                &self.catalog,
+                workload,
+                self.params.clone(),
+                InumOptions::default(),
+                self.par,
+                &budget,
+                self.trace.clone(),
+            )?
+        };
         let inum_skipped = model.degraded_queries();
         let queries = model.queries().to_vec();
         let cands = generate_candidates(&queries, CandidateLimits::default());
@@ -591,6 +662,9 @@ impl Parinda {
         let _ = cfg;
 
         let degraded = sel.degraded || inum_skipped > 0;
+        if degraded {
+            self.trace.count(Counter::BudgetDegradations, 1);
+        }
         let budget_report = degraded
             .then(|| sel.budget.clone().unwrap_or_else(|| budget.report(0, inum_skipped)));
         Ok(IndexSuggestion {
@@ -715,8 +789,17 @@ impl Parinda {
         config: AutoPartConfig,
     ) -> Result<PartitionSuggestionReport, ParindaError> {
         let budget = self.start_budget();
-        let sugg =
-            suggest_partitions_budgeted(&self.catalog, workload, config, self.par, &budget)?;
+        let sugg = suggest_partitions_traced(
+            &self.catalog,
+            workload,
+            config,
+            self.par,
+            &budget,
+            &self.trace,
+        )?;
+        if sugg.degraded {
+            self.trace.count(Counter::BudgetDegradations, 1);
+        }
 
         let mut partitions = Vec::with_capacity(sugg.design.fragments.len());
         for nf in &sugg.design.fragments {

@@ -26,8 +26,11 @@ use parinda_optimizer::planner::{base_rel_rows, base_scan_paths};
 use parinda_optimizer::{
     bind, plan_query, BoundQuery, CostParams, PlanKind, PlanNode, PlannerFlags,
 };
-use parinda_parallel::{par_try_map, par_try_map_budgeted, Budget, Parallelism};
+use parinda_parallel::{
+    par_try_map_budgeted_traced, par_try_map_indexed_traced, Budget, Parallelism,
+};
 use parinda_sql::Select;
+use parinda_trace::{Counter, Trace};
 use parinda_whatif::{HypotheticalCatalog, JoinScenario};
 
 use crate::config::{CandId, CandidateIndex, Configuration};
@@ -109,6 +112,10 @@ pub struct InumModel<'a> {
     probe_memo: Mutex<HashMap<(usize, usize, usize), Option<f64>>>,
     estimations: AtomicU64,
     full_optimizations: AtomicU64,
+    /// Observability handle (disabled by default): cache hits/misses and
+    /// optimizer invocations are counted here; build phases record spans.
+    /// Tracing never feeds back into any cost or ordering decision.
+    trace: Trace,
 }
 
 /// Errors building the model.
@@ -187,11 +194,28 @@ impl<'a> InumModel<'a> {
         par: Parallelism,
         budget: &Budget,
     ) -> Result<Self, InumError> {
-        let bound = par_try_map(par, workload, |sel| {
+        Self::build_budgeted_traced(catalog, workload, params, options, par, budget, Trace::disabled())
+    }
+
+    /// [`InumModel::build_budgeted`] with an observability handle: the
+    /// bind and cache-population sweeps record `inum_build/*` spans, and
+    /// the model keeps the handle to count cache hits/misses and
+    /// optimizer invocations for the rest of its life.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_budgeted_traced(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        params: CostParams,
+        options: InumOptions,
+        par: Parallelism,
+        budget: &Budget,
+        trace: Trace,
+    ) -> Result<Self, InumError> {
+        let bound = par_try_map_indexed_traced(par, workload.len(), &trace, "inum_build/bind", |i| {
             if parinda_failpoint::should_fail("inum::bind") {
                 return Err("failpoint inum::bind: injected error".to_string());
             }
-            bind(sel, catalog).map_err(|e| e.to_string())
+            bind(&workload[i], catalog).map_err(|e| e.to_string())
         })
         .map_err(|p| InumError::Worker(p.to_string()))?;
         let mut queries = Vec::with_capacity(workload.len());
@@ -210,13 +234,21 @@ impl<'a> InumModel<'a> {
             probe_memo: Mutex::new(HashMap::new()),
             estimations: AtomicU64::new(0),
             full_optimizations: AtomicU64::new(0),
+            trace,
         };
         let nq = model.queries.len();
         // A round cap caps how many query caches are populated; the
         // deadline/cancel check rides inside the budgeted sweep.
         let cap = budget.max_rounds().map_or(nq, |r| r.min(nq));
-        let built = par_try_map_budgeted(par, cap, budget, |qi| model.build_cases(qi))
-            .map_err(|p| InumError::Worker(p.to_string()))?;
+        let built = par_try_map_budgeted_traced(
+            par,
+            cap,
+            budget,
+            &model.trace,
+            "inum_build/populate",
+            |qi| model.build_cases(qi),
+        )
+        .map_err(|p| InumError::Worker(p.to_string()))?;
         let populated = built.done.len();
         for (qi, cases) in built.done.into_iter().enumerate() {
             model.cases.push(Some(cases.map_err(|e| InumError::Plan(qi, e))?));
@@ -287,6 +319,13 @@ impl<'a> InumModel<'a> {
     /// The catalog the model was built over.
     pub fn catalog(&self) -> &Catalog {
         self.catalog
+    }
+
+    /// The observability handle the model was built with (disabled unless
+    /// [`InumModel::build_budgeted_traced`] attached one). Advisors that
+    /// work off this model record their spans/counters through it.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Number of cached-model cost estimations served so far.
@@ -385,6 +424,7 @@ impl<'a> InumModel<'a> {
         let flags = scenario.flags(PlannerFlags::default());
         let plan = plan_query(q, &overlay, &self.params, &flags).map_err(|e| e.to_string())?;
         self.full_optimizations.fetch_add(1, Ordering::Relaxed);
+        self.trace.count(Counter::OptimizerInvocations, 1);
 
         // Extract leaf access charges.
         let mut accesses: Vec<RelAccess> = Vec::new();
@@ -528,11 +568,13 @@ impl<'a> InumModel<'a> {
     /// `cand = None` = sequential scan.
     fn access_cost(&self, qi: usize, rel: usize, cand: Option<usize>) -> Option<AccessCost> {
         if let Some(v) = self.access_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&(qi, rel, cand)) {
+            self.trace.count(Counter::InumCacheHits, 1);
             return *v;
         }
         // Computed outside the lock: concurrent sweeps may duplicate the
         // work, but the value is a pure function of the key, so whichever
         // insert lands last writes the same bits.
+        self.trace.count(Counter::InumCacheMisses, 1);
         let computed = self.compute_access_cost(qi, rel, cand);
         self.access_memo
             .lock()
@@ -652,6 +694,7 @@ impl<'a> InumModel<'a> {
             }
         }
         self.full_optimizations.fetch_add(1, Ordering::Relaxed);
+        self.trace.count(Counter::OptimizerInvocations, 1);
         match plan_query(q, &overlay, &self.params, &PlannerFlags::default()) {
             Ok(p) => p.cost.total,
             Err(_) => f64::INFINITY,

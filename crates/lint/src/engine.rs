@@ -4,7 +4,8 @@
 use crate::findings::{apply_suppressions, collect_suppressions, Finding};
 use crate::lexer::lex;
 use crate::rules::{
-    check_failpoints, check_file, collect_should_fail_sites, FailpointInputs, FileInput, RuleSet,
+    check_failpoints, check_file, check_trace_coverage, collect_should_fail_sites,
+    collect_span_sites, FailpointInputs, FileInput, RuleSet, TraceCoverageInputs,
 };
 use crate::scope::test_scope_mask;
 use std::io;
@@ -27,15 +28,19 @@ const PANIC_SCOPE: &[&str] = &[
 /// hash-ordered iteration is banned here.
 const ITER_SCOPE: &[&str] = &["crates/advisor/src/", "crates/inum/src/", "crates/solver/src/"];
 
-/// The one file allowed to read the wall clock (deadlines are *defined*
-/// there), and path prefixes exempt because measuring time is their job.
-const WALLCLOCK_EXEMPT_FILE: &str = "crates/parallel/src/budget.rs";
+/// The files allowed to read the wall clock (deadlines are *defined* in
+/// budget.rs; span timestamps are *taken* in clock.rs — the trace
+/// contract confines every clock read to that one module), and path
+/// prefixes exempt because measuring time is their job.
+const WALLCLOCK_EXEMPT_FILES: &[&str] =
+    &["crates/parallel/src/budget.rs", "crates/trace/src/clock.rs"];
 const WALLCLOCK_EXEMPT_PREFIXES: &[&str] = &["crates/bench/"];
 
 /// Cross-file rule anchors.
 const FAILPOINT_REGISTRY: &str = "crates/failpoint/src/lib.rs";
 const FAILPOINT_TEST: &str = "tests/failpoints.rs";
 const FAILPOINT_README: &str = "README.md";
+const TRACE_DESIGN_DOC: &str = "DESIGN.md";
 
 /// Result of a workspace lint.
 #[derive(Debug)]
@@ -54,7 +59,8 @@ pub fn rules_for(rel: &str) -> RuleSet {
     RuleSet {
         panic_site: starts(PANIC_SCOPE),
         nondet_iter: starts(ITER_SCOPE),
-        nondet_wallclock: rel != WALLCLOCK_EXEMPT_FILE && !starts(WALLCLOCK_EXEMPT_PREFIXES),
+        nondet_wallclock: !WALLCLOCK_EXEMPT_FILES.contains(&rel)
+            && !starts(WALLCLOCK_EXEMPT_PREFIXES),
         lock_discipline: true,
     }
 }
@@ -89,6 +95,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut suppressed = 0usize;
     let mut call_sites: Vec<(String, u32, String)> = Vec::new();
+    let mut span_sites: Vec<(String, u32, String)> = Vec::new();
     let mut registry_sups = Vec::new();
 
     for path in &files {
@@ -97,6 +104,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         let toks = lex(&src);
         let mask = test_scope_mask(&toks);
         call_sites.extend(collect_should_fail_sites(&rel, &toks, &mask));
+        span_sites.extend(collect_span_sites(&rel, &toks, &mask));
         let input = FileInput { rel: &rel, toks: &toks, in_test: &mask };
         let raw = check_file(&input, &rules_for(&rel));
         let sups = collect_suppressions(&toks);
@@ -125,6 +133,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let (fp_kept, fp_suppressed) = apply_suppressions(FAILPOINT_REGISTRY, fp, &registry_sups);
     findings.extend(fp_kept);
     suppressed += fp_suppressed;
+
+    // Cross-file: trace coverage. The pipeline-phase marker in DESIGN.md
+    // is reconciled against the production `.span("…")` call sites.
+    let design_src = std::fs::read_to_string(root.join(TRACE_DESIGN_DOC)).unwrap_or_default();
+    findings.extend(check_trace_coverage(&TraceCoverageInputs {
+        design_rel: TRACE_DESIGN_DOC,
+        design_src: &design_src,
+        span_sites: &span_sites,
+    }));
 
     findings.sort();
     Ok(Report { findings, suppressed, files: files.len() })
@@ -197,10 +214,14 @@ impl FixtureResult {
 
 /// Run the fixture corpus under `dir` (`crates/lint/tests/fixtures`).
 ///
-/// Layout: `<rule>/<case>.rs` single-file fixtures run every per-file
-/// rule with the full [`RuleSet`]; `failpoint_coverage/<case>/` dirs
-/// hold a synthetic `registry.rs`, `code.rs`, `failpoints_test.rs`, and
-/// `readme.md`. Each case has a sidecar (`<case>.expected` / the dir's
+/// Layout: `<rule>/<case>.rs` single-file fixtures run the rule their
+/// directory names (a `//@path: <workspace-rel>` first line instead
+/// lints the case *as if it sat at that path*, exercising the engine's
+/// path-based rule scoping — exemption narrowness is fixture-testable);
+/// `failpoint_coverage/<case>/` dirs hold a synthetic `registry.rs`,
+/// `code.rs`, `failpoints_test.rs`, and `readme.md`;
+/// `trace_coverage/<case>/` dirs hold a synthetic `design.md` and
+/// `code.rs`. Each case has a sidecar (`<case>.expected` / the dir's
 /// `expected` file) listing `file:line: rule` per expected finding —
 /// missing or empty sidecar means the case must be clean.
 pub fn run_fixtures(dir: &Path) -> io::Result<Vec<FixtureResult>> {
@@ -227,6 +248,21 @@ pub fn run_fixtures(dir: &Path) -> io::Result<Vec<FixtureResult>> {
 fn run_file_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
     let fname = file_name(case);
     let src = std::fs::read_to_string(case)?;
+    // `//@path: <rel>` on the first line lints the fixture as if it sat
+    // at that workspace-relative path, with the rule set the engine
+    // would really choose — this is how exemption *narrowness* is
+    // pinned (the same clock read is clean at the exempt path and a
+    // finding one file over).
+    if let Some(rel) = src.lines().next().and_then(|l| l.strip_prefix("//@path:")) {
+        let rel = rel.trim().to_string();
+        let (findings, _) = lint_source(&rel, &src, &rules_for(&rel));
+        let expected = read_expected(&case.with_extension("expected"))?;
+        return Ok(FixtureResult {
+            name: format!("{rule_dir}/{fname}"),
+            expected,
+            actual: render(&findings),
+        });
+    }
     // The fixture's directory selects which rule is under test, so a
     // `lock-discipline` case isn't polluted by `panic-site` findings on
     // the same `.unwrap()`. Unknown dirs (and `suppression`, which
@@ -251,6 +287,24 @@ fn run_file_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
 
 fn run_dir_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
     let read = |n: &str| std::fs::read_to_string(case.join(n)).unwrap_or_default();
+    if rule_dir == "trace_coverage" {
+        let code_src = read("code.rs");
+        let toks = lex(&code_src);
+        let mask = test_scope_mask(&toks);
+        let span_sites = collect_span_sites("code.rs", &toks, &mask);
+        let design_src = read("design.md");
+        let findings = check_trace_coverage(&TraceCoverageInputs {
+            design_rel: "design.md",
+            design_src: &design_src,
+            span_sites: &span_sites,
+        });
+        let expected = read_expected(&case.join("expected"))?;
+        return Ok(FixtureResult {
+            name: format!("{rule_dir}/{}", file_name(case)),
+            expected,
+            actual: render(&findings),
+        });
+    }
     let registry_src = read("registry.rs");
     let code_src = read("code.rs");
     let toks = lex(&code_src);

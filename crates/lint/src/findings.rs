@@ -21,8 +21,14 @@ use std::fmt;
 pub const ALLOW_PREFIX: &str = "parinda-lint: allow(";
 
 /// Names of all rules an `allow(…)` may reference.
-pub const RULE_NAMES: &[&str] =
-    &["panic-site", "nondeterminism", "lock-discipline", "failpoint-coverage", "suppression"];
+pub const RULE_NAMES: &[&str] = &[
+    "panic-site",
+    "nondeterminism",
+    "lock-discipline",
+    "failpoint-coverage",
+    "trace-coverage",
+    "suppression",
+];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]

@@ -35,7 +35,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "parinda-lint: PARINDA contract lints (panic-site, nondeterminism, \
-                     lock-discipline, failpoint-coverage)\n\
+                     lock-discipline, failpoint-coverage, trace-coverage)\n\
                      usage: parinda-lint [--workspace] [--fixtures] [--root <dir>] [--list-rules]"
                 );
                 return ExitCode::SUCCESS;

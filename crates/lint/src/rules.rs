@@ -1,10 +1,13 @@
-//! The four repo-specific rules.
+//! The five repo-specific rules.
 //!
 //! Three are per-file token rules ([`check_file`]): `panic-site`,
-//! `nondeterminism`, `lock-discipline`. The fourth,
-//! `failpoint-coverage` ([`check_failpoints`]), is cross-file: it
-//! reconciles the site registry in `crates/failpoint` against the call
-//! sites, the failpoint test, and the README site table.
+//! `nondeterminism`, `lock-discipline`. Two are cross-file:
+//! `failpoint-coverage` ([`check_failpoints`]) reconciles the site
+//! registry in `crates/failpoint` against the call sites, the failpoint
+//! test, and the README site table; `trace-coverage`
+//! ([`check_trace_coverage`]) reconciles the pipeline-phase marker in
+//! DESIGN.md against the `.span("…")` call sites, so the observability
+//! layer cannot silently lose a phase the docs promise is traced.
 //!
 //! All per-file rules skip tokens inside test scope (see
 //! [`crate::scope`]) — tests may unwrap, time, and iterate hash maps
@@ -22,7 +25,8 @@ pub struct RuleSet {
     /// `nondeterminism` hash-iteration check: advisor / inum / solver.
     pub nondet_iter: bool,
     /// `nondeterminism` wall-clock + thread-id checks: everywhere
-    /// except `crates/parallel/src/budget.rs` and the bench crate.
+    /// except `crates/parallel/src/budget.rs`,
+    /// `crates/trace/src/clock.rs`, and the bench crate.
     pub nondet_wallclock: bool,
     /// `lock-discipline`: everywhere.
     pub lock_discipline: bool,
@@ -170,7 +174,7 @@ fn wallclock_and_thread_id(input: &FileInput<'_>, sig: &[usize], out: &mut Vec<F
                 t.line,
                 "nondeterminism",
                 format!(
-                    "`{}::now()` outside crates/parallel/src/budget.rs — route deadlines through Budget so results don't depend on the scheduler",
+                    "`{}::now()` outside the exempt clock modules (crates/parallel/src/budget.rs, crates/trace/src/clock.rs) — route deadlines through Budget and timestamps through parinda_trace::clock so results don't depend on the scheduler",
                     t.text
                 ),
             ));
@@ -548,6 +552,142 @@ fn parse_sites(src: &str) -> Vec<(String, u32)> {
             break;
         }
         k += 1;
+    }
+    out
+}
+
+// --------------------------------------------------------- trace-coverage
+
+/// Marker text the `trace-coverage` rule looks for in DESIGN.md. The
+/// full marker is an HTML comment (invisible when rendered):
+///
+/// ```text
+/// <!-- parinda-trace: phases: parse plan whatif … -->
+/// ```
+pub const TRACE_PHASE_MARKER: &str = "parinda-trace: phases:";
+
+/// Inputs for the cross-file trace rule, gathered by the engine.
+pub struct TraceCoverageInputs<'a> {
+    /// Path of the design doc holding the phase marker (`DESIGN.md`).
+    pub design_rel: &'a str,
+    /// Its text (empty string = file missing).
+    pub design_src: &'a str,
+    /// Every `.span("…")` call site found in the workspace:
+    /// `(file, line, span-path)`.
+    pub span_sites: &'a [(String, u32, String)],
+}
+
+/// Reconcile the DESIGN.md pipeline-phase marker against the span call
+/// sites:
+///
+/// * marker missing or empty,
+/// * duplicate phases in the marker,
+/// * **untraced** — a declared phase with no `.span("…")` call site
+///   whose path starts with it,
+/// * **undeclared** — a span path whose top-level phase the marker does
+///   not list (the docs and the instrumentation drifted apart).
+pub fn check_trace_coverage(inp: &TraceCoverageInputs<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some((marker_line, phases)) = parse_phase_marker(inp.design_src) else {
+        out.push(Finding {
+            file: inp.design_rel.to_string(),
+            line: 1,
+            rule: "trace-coverage",
+            message: format!(
+                "could not find a non-empty `<!-- {TRACE_PHASE_MARKER} … -->` pipeline marker in this file"
+            ),
+        });
+        return out;
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for phase in &phases {
+        if seen.contains(&phase.as_str()) {
+            out.push(Finding {
+                file: inp.design_rel.to_string(),
+                line: marker_line,
+                rule: "trace-coverage",
+                message: format!("duplicate phase `{phase}` in the pipeline marker"),
+            });
+            continue;
+        }
+        seen.push(phase);
+        let covered =
+            inp.span_sites.iter().any(|(_, _, p)| phase_of(p) == phase.as_str());
+        if !covered {
+            out.push(Finding {
+                file: inp.design_rel.to_string(),
+                line: marker_line,
+                rule: "trace-coverage",
+                message: format!(
+                    "phase `{phase}` has no `.span(\"{phase}…\")` call site — the pipeline diagram promises it is traced"
+                ),
+            });
+        }
+    }
+    for (file, line, path) in inp.span_sites {
+        let head = phase_of(path);
+        if !phases.iter().any(|p| p == head) {
+            out.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "trace-coverage",
+                message: format!(
+                    "span path `{path}` starts with phase `{head}` which is not declared in the {} pipeline marker",
+                    inp.design_rel
+                ),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Top-level phase of a span path: `ilp_rounds/bnb` → `ilp_rounds`.
+fn phase_of(path: &str) -> &str {
+    path.split('/').next().unwrap_or(path)
+}
+
+/// Find the phase marker: `(1-based line, phase names)`. The phase list
+/// runs from the marker text to the closing `-->` (or end of line).
+fn parse_phase_marker(src: &str) -> Option<(u32, Vec<String>)> {
+    for (i, line) in src.lines().enumerate() {
+        let Some(at) = line.find(TRACE_PHASE_MARKER) else { continue };
+        let rest = &line[at + TRACE_PHASE_MARKER.len()..];
+        let rest = rest.split("-->").next().unwrap_or(rest);
+        let phases: Vec<String> = rest.split_whitespace().map(String::from).collect();
+        if !phases.is_empty() {
+            return Some((i as u32 + 1, phases));
+        }
+    }
+    None
+}
+
+/// Collect `.span("…")` call sites from a lexed file (used by the
+/// engine while it has the tokens in hand). Test-scope calls are
+/// skipped — tests may open arbitrary spans; only production
+/// instrumentation counts toward phase coverage.
+pub fn collect_span_sites(
+    rel: &str,
+    toks: &[Tok<'_>],
+    in_test: &[bool],
+) -> Vec<(String, u32, String)> {
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_trivia()).collect();
+    let mut out = Vec::new();
+    for k in 0..sig.len() {
+        if in_test[sig[k]] {
+            continue;
+        }
+        if toks[sig[k]].is_punct('.')
+            && sig.get(k + 1).map(|&i| toks[i].is_ident("span")).unwrap_or(false)
+            && sig.get(k + 2).map(|&i| toks[i].is_punct('(')).unwrap_or(false)
+        {
+            if let Some(&i) = sig.get(k + 3) {
+                let t = &toks[i];
+                if t.kind == TokKind::Str {
+                    out.push((rel.to_string(), t.line, t.text.trim_matches('"').to_string()));
+                }
+            }
+        }
     }
     out
 }

@@ -12,7 +12,7 @@ fn fixture_corpus_is_green() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let results = run_fixtures(&dir).expect("fixture corpus readable");
     // Guard against an empty/misplaced corpus silently passing.
-    assert!(results.len() >= 14, "expected the full corpus, found {} cases", results.len());
+    assert!(results.len() >= 21, "expected the full corpus, found {} cases", results.len());
 
     let mut failures = Vec::new();
     for r in &results {
@@ -30,7 +30,14 @@ fn fixture_corpus_is_green() {
 fn corpus_has_positive_and_negative_cases_per_rule() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let results = run_fixtures(&dir).expect("fixture corpus readable");
-    for rule in ["panic_site", "nondeterminism", "lock_discipline", "suppression", "failpoint_coverage"] {
+    for rule in [
+        "panic_site",
+        "nondeterminism",
+        "lock_discipline",
+        "suppression",
+        "failpoint_coverage",
+        "trace_coverage",
+    ] {
         let of_rule: Vec<_> = results.iter().filter(|r| r.name.starts_with(rule)).collect();
         assert!(
             of_rule.iter().any(|r| !r.expected.is_empty()),

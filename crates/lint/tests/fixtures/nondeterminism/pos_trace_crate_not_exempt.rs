@@ -1,0 +1,8 @@
+//@path: crates/trace/src/lib.rs
+// The clock exemption is one file wide: the same read anywhere else in
+// the trace crate (here, lib.rs) must still be a finding.
+use std::time::Instant;
+
+pub fn sneaky_stamp() -> Instant {
+    Instant::now()
+}

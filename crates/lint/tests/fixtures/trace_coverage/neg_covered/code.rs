@@ -1,0 +1,17 @@
+// Both declared phases have a span call site; nested paths count
+// toward their top-level phase.
+pub fn run(trace: &Trace) {
+    let _p = trace.span("parse");
+    let _q = trace.span("plan/join_search");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-scope spans never count toward coverage (or against the
+    // declared-phase check).
+    #[test]
+    fn probe() {
+        let t = Trace::recording();
+        let _x = t.span("not_a_real_phase");
+    }
+}

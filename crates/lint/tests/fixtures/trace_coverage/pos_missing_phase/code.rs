@@ -1,0 +1,5 @@
+// Only `parse` is instrumented — `plan` and `whatif` are promised by
+// the marker but have no span call site.
+pub fn run(trace: &Trace) {
+    let _p = trace.span("parse");
+}

@@ -1,0 +1,3 @@
+pub fn run(trace: &Trace) {
+    let _p = trace.span("parse");
+}

@@ -1,0 +1,6 @@
+// `mystery/step` starts with a phase the design doc never declared —
+// the docs and the instrumentation drifted apart.
+pub fn run(trace: &Trace) {
+    let _p = trace.span("parse");
+    let _m = trace.span("mystery/step");
+}

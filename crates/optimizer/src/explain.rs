@@ -47,6 +47,127 @@ fn render(
     }
 }
 
+/// One row of a per-node cost breakdown (pre-order plan walk).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Nesting depth in the plan tree (root = 0).
+    pub depth: usize,
+    /// The node's EXPLAIN label.
+    pub label: String,
+    /// Startup cost.
+    pub startup: f64,
+    /// Total cost (children included).
+    pub total: f64,
+    /// Cost attributable to this node alone: total minus the children's
+    /// totals, clamped at zero (a parameterized nested-loop inner charges
+    /// its repeats to the join, so the naive difference can go negative).
+    pub self_cost: f64,
+}
+
+/// Walk the plan in pre-order and compute the per-node cost breakdown.
+pub fn breakdown(plan: &PlanNode, query: &BoundQuery, meta: &dyn MetadataProvider) -> Vec<BreakdownRow> {
+    let mut rows = Vec::new();
+    collect_breakdown(plan, query, meta, 0, &mut rows);
+    rows
+}
+
+fn collect_breakdown(
+    node: &PlanNode,
+    query: &BoundQuery,
+    meta: &dyn MetadataProvider,
+    depth: usize,
+    rows: &mut Vec<BreakdownRow>,
+) {
+    let children_total: f64 = node.children().into_iter().map(|c| c.cost.total).sum();
+    rows.push(BreakdownRow {
+        depth,
+        label: node_label(node, query, meta),
+        startup: node.cost.startup,
+        total: node.cost.total,
+        self_cost: (node.cost.total - children_total).max(0.0),
+    });
+    for c in node.children() {
+        collect_breakdown(c, query, meta, depth + 1, rows);
+    }
+}
+
+/// Render a breakdown as a fixed-width table: per node, total cost, self
+/// cost, and self cost as % of the plan total. When `whatif` rows from a
+/// hypothetical-design plan are given and the two plans have the same
+/// shape (same labels in the same order), a `what-if` column plus a `Δ`
+/// column appear inline; when the shapes differ (the design changed the
+/// plan), the what-if plan is appended as its own table.
+pub fn render_breakdown(rows: &[BreakdownRow], whatif: Option<&[BreakdownRow]>) -> String {
+    let aligned = whatif
+        .filter(|w| {
+            w.len() == rows.len()
+                && w.iter().zip(rows).all(|(a, b)| a.label == b.label && a.depth == b.depth)
+        });
+    let mut out = render_breakdown_table(rows, aligned);
+    if let (Some(w), None) = (whatif, aligned) {
+        out.push_str("\nwhat-if plan (different shape under the hypothetical design):\n");
+        out.push_str(&render_breakdown_table(w, None));
+    }
+    if let Some(w) = whatif {
+        let base: f64 = rows.first().map(|r| r.total).unwrap_or(0.0);
+        let hypo: f64 = w.first().map(|r| r.total).unwrap_or(0.0);
+        let pct = if base > 0.0 { (hypo - base) * 100.0 / base } else { 0.0 };
+        out.push_str(&format!("\nwhat-if total: {base:.2} -> {hypo:.2} ({pct:+.1}%)\n"));
+    }
+    out
+}
+
+fn render_breakdown_table(rows: &[BreakdownRow], aligned: Option<&[BreakdownRow]>) -> String {
+    let plan_total = rows.first().map(|r| r.total).unwrap_or(0.0).max(f64::MIN_POSITIVE);
+    let mut headers = vec!["node", "total", "self", "% of plan"];
+    if aligned.is_some() {
+        headers.push("what-if");
+        headers.push("delta");
+    }
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        let mut row = vec![
+            format!("{}{}", "  ".repeat(r.depth), r.label),
+            format!("{:.2}", r.total),
+            format!("{:.2}", r.self_cost),
+            format!("{:.1}%", r.self_cost * 100.0 / plan_total),
+        ];
+        if let Some(w) = aligned {
+            let d = w[i].total - r.total;
+            row.push(format!("{:.2}", w[i].total));
+            row.push(format!("{d:+.2}"));
+        }
+        cells.push(row);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |row: &[String], out: &mut String| {
+        for (i, c) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                let _ = write!(out, "{c:<w$}", w = widths[i]);
+            } else {
+                let _ = write!(out, "{c:>w$}", w = widths[i]);
+            }
+        }
+        out.push('\n');
+    };
+    fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &mut out);
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &cells {
+        fmt_row(row, &mut out);
+    }
+    out
+}
+
 fn node_label(node: &PlanNode, query: &BoundQuery, meta: &dyn MetadataProvider) -> String {
     match &node.kind {
         PlanKind::SeqScan { rel, table, .. } => {

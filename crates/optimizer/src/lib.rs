@@ -24,7 +24,7 @@ pub mod query;
 pub mod selectivity;
 
 pub use bind::{bind, BindError};
-pub use explain::explain;
+pub use explain::{breakdown, explain, render_breakdown, BreakdownRow};
 pub use params::{CostParams, PlannerFlags, DISABLE_COST};
 pub use plan::{Cost, IndexRange, JoinKey, PlanKind, PlanNode, PosKey};
 pub use planner::{plan_query, PlanError};

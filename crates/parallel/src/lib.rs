@@ -409,6 +409,62 @@ where
     }
 }
 
+/// Traced variant of [`par_try_map_indexed`]: one span at `path` covers
+/// the whole sweep, and a surfaced [`WorkerPanic`] bumps the
+/// `worker_panics_recovered` counter.
+///
+/// Span hand-off across workers needs no thread-local state: spans are
+/// identified by stable paths, and the `Trace` handle is `Sync`, so a
+/// worker closure that wants sub-spans simply captures `&Trace` and
+/// records under a child path (`"<path>/…"`) — the sink aggregates the
+/// same totals the sequential run would. Tracing never perturbs results:
+/// the output vector (and any error) is exactly that of
+/// [`par_try_map_indexed`].
+pub fn par_try_map_indexed_traced<R, F>(
+    par: Parallelism,
+    n: usize,
+    trace: &parinda_trace::Trace,
+    path: &'static str,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let _span = trace.span(path);
+    let out = par_try_map_indexed(par, n, f);
+    if out.is_err() {
+        trace.count(parinda_trace::Counter::WorkerPanicsRecovered, 1);
+    }
+    out
+}
+
+/// Traced variant of [`par_try_map_budgeted`]: one span at `path` covers
+/// the sweep and a surfaced [`WorkerPanic`] bumps
+/// `worker_panics_recovered`. Results are exactly those of
+/// [`par_try_map_budgeted`]; what a skipped item *means* (a query, a
+/// candidate) is context the caller has, so skip counters stay at the
+/// call sites.
+pub fn par_try_map_budgeted_traced<R, F>(
+    par: Parallelism,
+    n: usize,
+    budget: &Budget,
+    trace: &parinda_trace::Trace,
+    path: &'static str,
+    f: F,
+) -> Result<Partial<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let _span = trace.span(path);
+    let out = par_try_map_budgeted(par, n, budget, f);
+    if out.is_err() {
+        trace.count(parinda_trace::Counter::WorkerPanicsRecovered, 1);
+    }
+    out
+}
+
 /// Budgeted variant of [`par_map`]: map `f` over a slice under a
 /// [`Budget`], returning a contiguous-prefix [`Partial`]. A worker panic
 /// inside the prefix is re-raised on the caller's thread (deterministic
@@ -631,6 +687,66 @@ mod tests {
                 "threads={threads}"
             );
         }
+        std::panic::set_hook(quiet);
+    }
+
+    /// The traced wrappers return exactly what the plain maps return and
+    /// record one span per sweep, at any thread count.
+    #[test]
+    fn traced_maps_match_untraced_and_record_spans() {
+        let trace = parinda_trace::Trace::recording();
+        for threads in [1, 2, 8] {
+            let out =
+                par_try_map_indexed_traced(Parallelism::fixed(threads), 100, &trace, "sweep", |i| {
+                    i * 2
+                })
+                .unwrap();
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "threads={threads}");
+            let partial = par_try_map_budgeted_traced(
+                Parallelism::fixed(threads),
+                100,
+                &Budget::unlimited(),
+                &trace,
+                "sweep/budgeted",
+                |i| i,
+            )
+            .unwrap();
+            assert!(partial.is_complete(), "threads={threads}");
+        }
+        let r = trace.snapshot();
+        assert_eq!(r.spans["sweep"].count, 3);
+        assert_eq!(r.spans["sweep/budgeted"].count, 3);
+    }
+
+    /// A disabled trace changes nothing and records nothing.
+    #[test]
+    fn traced_maps_with_disabled_trace_are_transparent() {
+        let trace = parinda_trace::Trace::disabled();
+        let out =
+            par_try_map_indexed_traced(Parallelism::fixed(3), 50, &trace, "sweep", |i| i + 1)
+                .unwrap();
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+        assert!(trace.snapshot().spans.is_empty());
+    }
+
+    /// A contained worker panic bumps the recovery counter while the
+    /// error stays identical to the untraced variant.
+    #[test]
+    fn traced_map_counts_recovered_panics() {
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let trace = parinda_trace::Trace::recording();
+        let r = par_try_map_indexed_traced(Parallelism::fixed(4), 20, &trace, "sweep", |i| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+        assert_eq!(r, Err(WorkerPanic { index: 5, message: "boom at 5".into() }));
+        assert_eq!(
+            trace.snapshot().counter(parinda_trace::Counter::WorkerPanicsRecovered),
+            1
+        );
         std::panic::set_hook(quiet);
     }
 

@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use parinda_parallel::CancelToken;
+use parinda_trace::{Counter, Trace};
 
 use crate::lp::{LinearProgram, LpOutcome, Sense};
 use crate::simplex;
@@ -35,6 +36,10 @@ pub struct SolveLimits {
     pub deadline: Option<Instant>,
     /// Cooperative cancellation, polled once per node.
     pub cancel: Option<CancelToken>,
+    /// Observability handle (disabled by default): the search records an
+    /// `ilp_rounds/bnb` span and the `solver_nodes` counter. Tracing
+    /// never influences the search itself.
+    pub trace: Trace,
 }
 
 impl Default for SolveLimits {
@@ -49,7 +54,7 @@ impl SolveLimits {
 
     /// The advisors' default: node cap only.
     pub fn nodes(max_nodes: usize) -> Self {
-        SolveLimits { max_nodes: Some(max_nodes), deadline: None, cancel: None }
+        SolveLimits { max_nodes: Some(max_nodes), deadline: None, cancel: None, trace: Trace::disabled() }
     }
 
     /// Has any limit (other than the node cap) tripped?
@@ -126,6 +131,7 @@ impl Ord for Node {
 
 /// Solve a 0/1 integer program by branch-and-bound (maximization).
 pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
+    let _span = limits.trace.span("ilp_rounds/bnb");
     // Root relaxation.
     let root = match relax(ip, &[]) {
         RelaxResult::Solved(bound, x) => (bound, x),
@@ -206,6 +212,7 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
         }
     }
 
+    limits.trace.count(Counter::SolverNodes, nodes as u64);
     match incumbent {
         Some((objective, x)) => IlpOutcome::Solved(IlpSolution {
             x,

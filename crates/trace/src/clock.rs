@@ -1,0 +1,26 @@
+//! The **only** place in `parinda-trace` that reads the monotonic clock.
+//!
+//! `parinda-lint`'s `nondeterminism` rule bans wall-clock reads across the
+//! workspace (they are the classic source of run-to-run variation) with a
+//! whitelist of exactly three locations: `crates/parallel/src/budget.rs`
+//! (deadline checks), `crates/bench/` (measurement is its job), and this
+//! file. Everything else in the trace crate works with opaque [`Stamp`]s
+//! and pre-measured nanosecond payloads, so the whitelist stays as narrow
+//! as the contract demands — a clock read in `crates/trace/src/lib.rs`
+//! *is* a lint finding (see the lint fixture corpus).
+
+use std::time::Instant;
+
+/// An opaque monotonic timestamp taken at span entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Stamp(Instant);
+
+/// Read the monotonic clock once, at span entry.
+pub fn start() -> Stamp {
+    Stamp(Instant::now())
+}
+
+/// Nanoseconds elapsed since `stamp`, saturating at `u64::MAX`.
+pub fn elapsed_ns(stamp: &Stamp) -> u64 {
+    u64::try_from(stamp.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

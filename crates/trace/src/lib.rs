@@ -1,0 +1,595 @@
+//! # parinda-trace
+//!
+//! A std-only, zero-dependency structured observability layer for the
+//! PARINDA pipeline: span-based phase timing (parse → plan → what-if →
+//! INUM memo build → ILP/greedy rounds → AutoPart rounds) plus monotonic
+//! counters (optimizer invocations, INUM cache hits/misses, candidates
+//! evaluated/skipped, budget degradations, worker panics recovered),
+//! aggregated per session.
+//!
+//! ## Design rules
+//!
+//! * **Tracing never influences results.** Timings live only in span
+//!   payloads; no code path may branch on a recorded duration, and the
+//!   determinism suite runs bit-identity checks with tracing on *and*
+//!   off. The only clock reads live in [`mod@clock`] (`clock.rs`), the
+//!   single file whitelisted by `parinda-lint`'s `nondeterminism` rule.
+//! * **The disabled path is free.** A [`Trace`] is `Option<Arc<dyn
+//!   Recorder>>` inside; when disabled, [`Trace::span`] is a null check —
+//!   no clock read, no allocation, no virtual call — so instrumentation
+//!   can stay in hot loops unconditionally.
+//! * **Sinks merge deterministically.** Spans are aggregated by their
+//!   stable *path* (a `/`-separated static string like
+//!   `ilp_rounds/benefit_matrix`) into a `BTreeMap`, never by wall-clock
+//!   or completion order; counters are relaxed atomics whose totals are
+//!   exact under races. A [`TraceReport`]'s *shape* (paths, span counts,
+//!   scheduling-independent counters) is therefore identical at any
+//!   thread count — only the nanosecond payloads vary.
+//!
+//! ## Recording across a parallel sweep
+//!
+//! There is no thread-local "current span": a span is identified by its
+//! full path, so handing tracing across `par_map` workers is just cloning
+//! the `Trace` handle (it is `Send + Sync + Clone`) — every worker
+//! records under the same stable path and the sink aggregates exactly as
+//! the sequential run would.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic event counters aggregated per session.
+///
+/// The set is closed and order is stable: reports and JSON exports list
+/// every counter (zeros included) so downstream schemas never shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Full optimizer invocations (query planning, INUM case planning,
+    /// exact-cost fallbacks).
+    OptimizerInvocations,
+    /// INUM access-cost memo hits (an estimate served from cache).
+    InumCacheHits,
+    /// INUM access-cost memo misses (a fresh access-path costing).
+    InumCacheMisses,
+    /// Index/partition candidates fully evaluated by an advisor.
+    CandidatesEvaluated,
+    /// Candidates skipped because a budget expired first.
+    CandidatesSkipped,
+    /// Advisor runs that returned a degraded (best-so-far) result.
+    BudgetDegradations,
+    /// Worker panics contained at a parallel boundary.
+    WorkerPanicsRecovered,
+    /// Branch-and-bound nodes expanded by the ILP solver.
+    SolverNodes,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 8] = [
+        Counter::OptimizerInvocations,
+        Counter::InumCacheHits,
+        Counter::InumCacheMisses,
+        Counter::CandidatesEvaluated,
+        Counter::CandidatesSkipped,
+        Counter::BudgetDegradations,
+        Counter::WorkerPanicsRecovered,
+        Counter::SolverNodes,
+    ];
+
+    /// Stable snake_case name used in reports and JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OptimizerInvocations => "optimizer_invocations",
+            Counter::InumCacheHits => "inum_cache_hits",
+            Counter::InumCacheMisses => "inum_cache_misses",
+            Counter::CandidatesEvaluated => "candidates_evaluated",
+            Counter::CandidatesSkipped => "candidates_skipped",
+            Counter::BudgetDegradations => "budget_degradations",
+            Counter::WorkerPanicsRecovered => "worker_panics_recovered",
+            Counter::SolverNodes => "solver_nodes",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::OptimizerInvocations => 0,
+            Counter::InumCacheHits => 1,
+            Counter::InumCacheMisses => 2,
+            Counter::CandidatesEvaluated => 3,
+            Counter::CandidatesSkipped => 4,
+            Counter::BudgetDegradations => 5,
+            Counter::WorkerPanicsRecovered => 6,
+            Counter::SolverNodes => 7,
+        }
+    }
+}
+
+/// Where completed spans and counter increments go.
+///
+/// Every method has a no-op default, so the disabled/null recorder is the
+/// trait itself: `struct NoopRecorder; impl Recorder for NoopRecorder {}`.
+/// Implementations must be internally synchronized (`Send + Sync`) — they
+/// are shared across `par_map` workers — and must aggregate
+/// deterministically: by span path and counter identity, never by arrival
+/// order.
+pub trait Recorder: Send + Sync {
+    /// Record one completed span at `path` lasting `nanos`.
+    fn record_span(&self, path: &str, nanos: u64) {
+        let _ = (path, nanos);
+    }
+
+    /// Add `n` to `counter`.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// A deterministic snapshot of everything recorded so far.
+    fn snapshot(&self) -> TraceReport {
+        TraceReport::default()
+    }
+}
+
+/// The null recorder: accepts everything, stores nothing.
+///
+/// Used by the overhead regression bench to separate "dynamic dispatch
+/// plus a clock read" from the truly free disabled path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The standard aggregating sink: span totals keyed by path in a
+/// `BTreeMap`, counters as relaxed atomics.
+///
+/// Counter totals are exact under races (atomic read-modify-write); span
+/// aggregation takes a short mutex with poison recovery (aggregation is
+/// commutative, so a panicking worker mid-insert cannot corrupt more than
+/// its own increment).
+#[derive(Debug, Default)]
+pub struct Sink {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: [AtomicU64; Counter::ALL.len()],
+}
+
+impl Sink {
+    /// A fresh, empty sink.
+    pub fn new() -> Sink {
+        Sink::default()
+    }
+}
+
+impl Recorder for Sink {
+    fn record_span(&self, path: &str, nanos: u64) {
+        let mut spans = self.spans.lock().unwrap_or_else(|p| p.into_inner());
+        let stat = spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(nanos);
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TraceReport {
+        let spans = self.spans.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let mut counters = BTreeMap::new();
+        for c in Counter::ALL {
+            counters.insert(c.name(), self.counters[c.index()].load(Ordering::Relaxed));
+        }
+        TraceReport { spans, counters }
+    }
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans completed at this path.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+}
+
+/// A cheap, cloneable handle to a session's recorder — or to nothing.
+///
+/// `Trace::disabled()` (the default) carries no recorder: every
+/// instrumentation call is a branch-predictable null check. Enable
+/// recording with [`Trace::recording`] and read back with
+/// [`Trace::snapshot`].
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Trace {
+    /// The free null handle: records nothing, reads no clocks.
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    /// A handle backed by the standard aggregating [`Sink`].
+    pub fn recording() -> Trace {
+        Trace { inner: Some(Arc::new(Sink::new())) }
+    }
+
+    /// A handle backed by a caller-supplied recorder.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Trace {
+        Trace { inner: Some(recorder) }
+    }
+
+    /// Is a recorder attached?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span at `path`; the span is recorded when the returned
+    /// guard drops. When disabled this reads no clock and allocates
+    /// nothing.
+    ///
+    /// Paths are `/`-separated stable identifiers (`"inum_build"`,
+    /// `"ilp_rounds/benefit_matrix"`); aggregation is keyed by the full
+    /// path, so nesting is expressed in the path itself and survives
+    /// hand-off across parallel workers.
+    pub fn span(&self, path: &'static str) -> Span<'_> {
+        match &self.inner {
+            None => Span { recorder: None, path, start: None },
+            Some(rec) => Span { recorder: Some(rec.as_ref()), path, start: Some(clock::start()) },
+        }
+    }
+
+    /// Add `n` to `counter` (no-op when disabled).
+    pub fn count(&self, counter: Counter, n: u64) {
+        if let Some(rec) = &self.inner {
+            rec.add(counter, n);
+        }
+    }
+
+    /// Snapshot the attached recorder (empty report when disabled).
+    pub fn snapshot(&self) -> TraceReport {
+        match &self.inner {
+            None => TraceReport::default(),
+            Some(rec) => rec.snapshot(),
+        }
+    }
+}
+
+/// RAII guard for an open span; records `elapsed` at drop.
+pub struct Span<'a> {
+    recorder: Option<&'a dyn Recorder>,
+    path: &'static str,
+    start: Option<clock::Stamp>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let (Some(rec), Some(start)) = (self.recorder, &self.start) {
+            rec.record_span(self.path, clock::elapsed_ns(start));
+        }
+    }
+}
+
+/// A deterministic snapshot of a recorder: span totals keyed by path,
+/// counter totals keyed by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Per-path span statistics, ordered by path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Every [`Counter`], zeros included, ordered by name.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl TraceReport {
+    /// The scheduling-independent part of the report: every span path
+    /// with its count, timings stripped. Two runs of the same workload
+    /// at different thread counts produce equal shapes.
+    pub fn shape(&self) -> Vec<(String, u64)> {
+        self.spans.iter().map(|(p, s)| (p.clone(), s.count)).collect()
+    }
+
+    /// The total for one counter (0 if the report is empty).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.get(counter.name()).copied().unwrap_or(0)
+    }
+
+    /// Merge another report into this one (span-path-keyed, commutative
+    /// and deterministic regardless of merge order).
+    pub fn merge(&mut self, other: &TraceReport) {
+        for (path, stat) in &other.spans {
+            let mine = self.spans.entry(path.clone()).or_default();
+            mine.count += stat.count;
+            mine.total_ns = mine.total_ns.saturating_add(stat.total_ns);
+        }
+        for (name, n) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Render the `profile show` table: per-phase rows (top-level span
+    /// paths and their nested children) with total time and % of the
+    /// top-level total, followed by the counter block.
+    pub fn render_profile(&self) -> String {
+        if self.spans.is_empty() && self.counters.values().all(|&n| n == 0) {
+            return "profile: nothing recorded yet (run a command with profiling on)".to_string();
+        }
+        let grand: u64 = self
+            .spans
+            .iter()
+            .filter(|(p, _)| !p.contains('/'))
+            .map(|(_, s)| s.total_ns)
+            .sum();
+        let mut rows: Vec<[String; 4]> = Vec::new();
+        for (path, stat) in &self.spans {
+            let pct = if grand == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", stat.total_ns as f64 * 100.0 / grand as f64)
+            };
+            let indent = path.matches('/').count() * 2;
+            rows.push([
+                format!("{}{}", " ".repeat(indent), path),
+                stat.count.to_string(),
+                format_ns(stat.total_ns),
+                pct,
+            ]);
+        }
+        let headers = ["phase", "count", "total", "% of run"];
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for r in &rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt = |cells: &[String], out: &mut String, widths: &[usize]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{c:<w$}", w = widths[i]));
+                } else {
+                    out.push_str(&format!("{c:>w$}", w = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        fmt(&headers.map(str::to_string), &mut out, &widths);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &rows {
+            fmt(r, &mut out, &widths);
+        }
+        out.push_str("\ncounters\n--------\n");
+        for (name, n) in &self.counters {
+            out.push_str(&format!("{name:<26} {n}\n"));
+        }
+        out
+    }
+
+    /// Serialize as the documented `parinda-trace/v1` JSON schema (see
+    /// EXPERIMENTS.md): `{"schema", "spans": {path: {count, total_ns}},
+    /// "counters": {name: total}}`. Hand-rolled — the workspace has no
+    /// serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"parinda-trace/v1\",\n  \"spans\": {");
+        let mut first = true;
+        for (path, stat) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"total_ns\": {}}}",
+                json_string(path),
+                stat.count,
+                stat.total_ns
+            ));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"counters\": {");
+        first = true;
+        for (name, n) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {}", json_string(name), n));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Human-readable duration: ns under 10 µs, µs under 10 ms, else ms.
+fn format_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        {
+            let _s = t.span("parse");
+        }
+        t.count(Counter::OptimizerInvocations, 5);
+        assert!(!t.is_enabled());
+        assert_eq!(t.snapshot(), TraceReport::default());
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let t = Trace::recording();
+        for _ in 0..3 {
+            let _s = t.span("inum_build");
+        }
+        {
+            let _outer = t.span("ilp_rounds");
+            let _inner = t.span("ilp_rounds/benefit_matrix");
+        }
+        let r = t.snapshot();
+        assert_eq!(r.spans["inum_build"].count, 3);
+        assert_eq!(r.spans["ilp_rounds"].count, 1);
+        assert_eq!(r.spans["ilp_rounds/benefit_matrix"].count, 1);
+        assert_eq!(
+            r.shape(),
+            vec![
+                ("ilp_rounds".to_string(), 1),
+                ("ilp_rounds/benefit_matrix".to_string(), 1),
+                ("inum_build".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn counter_totals_exact_under_races() {
+        let t = Trace::recording();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        t.count(Counter::InumCacheHits, 1);
+                        let _s = t.span("whatif");
+                    }
+                });
+            }
+        });
+        let r = t.snapshot();
+        assert_eq!(r.counter(Counter::InumCacheHits), 80_000);
+        assert_eq!(r.spans["whatif"].count, 80_000);
+    }
+
+    #[test]
+    fn snapshot_lists_every_counter_including_zeros() {
+        let t = Trace::recording();
+        t.count(Counter::SolverNodes, 7);
+        let r = t.snapshot();
+        assert_eq!(r.counters.len(), Counter::ALL.len());
+        assert_eq!(r.counter(Counter::SolverNodes), 7);
+        assert_eq!(r.counter(Counter::CandidatesSkipped), 0);
+    }
+
+    #[test]
+    fn noop_recorder_discards_everything() {
+        let t = Trace::with_recorder(Arc::new(NoopRecorder));
+        assert!(t.is_enabled());
+        {
+            let _s = t.span("plan");
+        }
+        t.count(Counter::OptimizerInvocations, 1);
+        assert_eq!(t.snapshot(), TraceReport::default());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = {
+            let t = Trace::recording();
+            let _ = t.span("parse");
+            t.count(Counter::InumCacheMisses, 2);
+            t.snapshot()
+        };
+        let b = {
+            let t = Trace::recording();
+            let _ = t.span("parse");
+            let _ = t.span("plan");
+            t.count(Counter::InumCacheMisses, 3);
+            t.snapshot()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.spans["parse"].count, 2);
+        assert_eq!(ab.counter(Counter::InumCacheMisses), 5);
+    }
+
+    #[test]
+    fn json_has_schema_and_all_counters() {
+        let t = Trace::recording();
+        let _ = t.span("autopart_rounds");
+        drop(t.span("autopart_rounds"));
+        let json = t.snapshot().to_json();
+        assert!(json.contains("\"schema\": \"parinda-trace/v1\""));
+        assert!(json.contains("\"autopart_rounds\": {\"count\": 2"));
+        for c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\"", c.name())), "missing {}", c.name());
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn profile_render_has_percentages_and_counters() {
+        let t = Trace::recording();
+        {
+            let _s = t.span("inum_build");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        t.count(Counter::OptimizerInvocations, 4);
+        let table = t.snapshot().render_profile();
+        assert!(table.contains("inum_build"));
+        assert!(table.contains("% of run"));
+        assert!(table.contains("optimizer_invocations"));
+        assert!(table.contains('%'));
+    }
+
+    #[test]
+    fn empty_profile_renders_hint() {
+        assert!(Trace::recording().snapshot().render_profile().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn format_ns_tiers() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(25_000), "25.0us");
+        assert_eq!(format_ns(12_000_000), "12.0ms");
+    }
+}

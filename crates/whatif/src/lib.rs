@@ -56,6 +56,12 @@ impl Design {
         Design::default()
     }
 
+    /// Does the design change nothing (no hypothetical features, no
+    /// simulated drops)?
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty() && self.partitions.is_empty() && self.drop_indexes.is_empty()
+    }
+
     /// Builder: add a what-if index.
     pub fn with_index(mut self, idx: WhatIfIndex) -> Self {
         self.indexes.push(idx);

@@ -20,10 +20,14 @@
 //! parinda> budget 500
 //! parinda> suggest indexes 2048 ilp
 //! ```
+//!
+//! With `--trace-json <path>`, the whole run is recorded (as if
+//! `profile on` were the first command) and a machine-readable
+//! `parinda-trace/v1` profile is written to `<path>` on exit.
 
 use std::io::{self, BufRead, Write};
 
-use parinda::{Console, ConsoleReply};
+use parinda::{Console, ConsoleReply, Trace};
 
 /// SIGINT → cooperative cancellation, unix only. Uses the libc `signal`
 /// symbol directly (declared here — no libc crate dependency); the
@@ -55,9 +59,40 @@ mod sigint {
     }
 }
 
+/// Parse the CLI arguments; only `--trace-json <path>` is recognized.
+fn parse_args() -> Result<Option<String>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut trace_json = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-json" => match args.next() {
+                Some(p) => trace_json = Some(p),
+                None => return Err("--trace-json requires a path".into()),
+            },
+            other => return Err(format!("unknown argument `{other}` (usage: parinda-cli [--trace-json <path>])")),
+        }
+    }
+    Ok(trace_json)
+}
+
 fn main() {
+    let trace_json = match parse_args() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!("PARINDA interactive physical designer (type `help`)");
     let mut console = Console::new();
+    // Keep our own handle: even if the user later types `profile off`
+    // (which detaches the console's trace), everything recorded up to
+    // that point is still exported.
+    let run_trace = trace_json.as_ref().map(|_| {
+        let t = Trace::recording();
+        console.set_trace(t.clone());
+        t
+    });
     #[cfg(unix)]
     sigint::install(console.cancel_token().clone());
     let stdin = io::stdin();
@@ -87,6 +122,12 @@ fn main() {
                 }
             }
             ConsoleReply::Error(e) => eprintln!("error [{}]: {e}", e.kind()),
+        }
+    }
+    if let (Some(path), Some(trace)) = (trace_json, run_trace) {
+        match std::fs::write(&path, trace.snapshot().to_json()) {
+            Ok(()) => eprintln!("trace profile written to {path}"),
+            Err(e) => eprintln!("error [io]: cannot write trace profile to {path}: {e}"),
         }
     }
 }

@@ -267,6 +267,42 @@ fn round_capped_autopart_degrades_identically_at_any_thread_count() {
     }
 }
 
+/// The observability layer is write-only: with a live recording trace
+/// attached, the ILP selection and its bit-exact per-query costs are
+/// still identical at every thread count (and identical to the
+/// untraced reference the other tests pin).
+#[test]
+fn index_suggestions_identical_with_tracing_on() {
+    let workload = sdss_workload();
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        let mut session = sdss_session();
+        session.set_parallelism(Parallelism::fixed(threads));
+        session.set_trace(parinda::Trace::recording());
+        let sugg = session.suggest_indexes(&workload, 2_u64 << 30, SelectionMethod::Ilp).unwrap();
+        let fingerprint: Vec<(String, String, Vec<String>, u64)> = sugg
+            .indexes
+            .iter()
+            .map(|i| (i.name.clone(), i.table.clone(), i.columns.clone(), i.size_bytes))
+            .collect();
+        let costs: Vec<(u64, u64)> = sugg
+            .report
+            .per_query
+            .iter()
+            .map(|q| (q.cost_before.to_bits(), q.cost_after.to_bits()))
+            .collect();
+        // the trace actually recorded this run
+        assert!(session.trace().snapshot().counter(parinda::Counter::OptimizerInvocations) > 0);
+        match &reference {
+            None => reference = Some((fingerprint, costs)),
+            Some((rf, rc)) => {
+                assert_eq!(rf, &fingerprint, "traced selection differs at {threads} threads");
+                assert_eq!(rc, &costs, "traced costs differ at {threads} threads");
+            }
+        }
+    }
+}
+
 #[test]
 fn sdss_workload_cost_bit_identical() {
     check_workload_costs(sdss_session, &sdss_workload(), "sdss");

@@ -1,0 +1,158 @@
+//! Golden pinning of the user-facing surfaces: the deterministic-mode
+//! E1/E3 experiment tables and a scripted console transcript (including
+//! a `DEGRADED:` budget line and a typed `error [kind]:` line).
+//!
+//! Timing-derived text (durations, percentages) is scrubbed to stable
+//! placeholders before diffing; everything else — costs, counts, table
+//! structure, error text — must match byte for byte.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! PARINDA_BLESS=1 cargo test --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use parinda::{Console, ConsoleReply};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("PARINDA_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "golden {} missing; regenerate with PARINDA_BLESS=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "\noutput drifted from tests/goldens/{name}; if the change is intentional, \
+         rebless with PARINDA_BLESS=1 cargo test --test golden"
+    );
+}
+
+/// Is `tok` a duration token like `13.6us`, `4.78ms`, `321ns`, `2.1s`?
+fn is_time_token(tok: &str) -> bool {
+    for unit in ["ns", "µs", "us", "ms", "s"] {
+        if let Some(num) = tok.strip_suffix(unit) {
+            if !num.is_empty() && num.parse::<f64>().is_ok() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Scrub nondeterministic tokens: durations -> `<time>`, percentages ->
+/// `<pct>`, `12.3 ms` two-token durations -> `<time>`, and table rules
+/// to a fixed width. Whitespace is collapsed because column widths
+/// follow the (scrubbed) cell contents.
+fn scrub(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let mut scrubbed: Vec<String> = Vec::with_capacity(toks.len());
+        let mut i = 0;
+        while i < toks.len() {
+            let t = toks[i];
+            let bare = t.trim_end_matches([':', ',', ';']);
+            if bare.chars().all(|c| c == '-') && bare.len() >= 3 {
+                scrubbed.push("---".into());
+            } else if is_time_token(bare) {
+                scrubbed.push("<time>".into());
+            } else if bare.ends_with('%')
+                && bare.trim_end_matches('%').trim_start_matches(['+', '-']).parse::<f64>().is_ok()
+            {
+                scrubbed.push("<pct>".into());
+            } else if bare.parse::<f64>().is_ok()
+                && toks
+                    .get(i + 1)
+                    .map(|n| {
+                        let u = n.trim_end_matches([':', ',', ';']);
+                        u == "ms" || u == "s" || u == "us" || u == "ns"
+                    })
+                    .unwrap_or(false)
+            {
+                scrubbed.push("<time>".into());
+                i += 2; // consumed the unit token too
+                continue;
+            } else {
+                scrubbed.push(t.to_string());
+            }
+            i += 1;
+        }
+        out.push_str(&scrubbed.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// E1's estimated table in deterministic mode: advisor-chosen feature
+/// counts and estimated speedups per storage budget.
+#[test]
+fn golden_e1_estimated_table() {
+    check_golden("e1.txt", &parinda_bench::experiments::e1_report(true));
+}
+
+/// E3 in deterministic mode: timing cells are `-` placeholders; the
+/// traced pipeline counters (optimizer invocations, cache hits/misses)
+/// are exact and pinned.
+#[test]
+fn golden_e3_report() {
+    check_golden("e3.txt", &parinda_bench::experiments::e3_report(true));
+}
+
+/// A scripted interactive session, end to end: loading, what-if design,
+/// profiling, a budget-degraded advisor run (`DEGRADED:`), and a typed
+/// error line — exactly what a DBA sees at the prompt.
+#[test]
+fn golden_console_transcript() {
+    let script = [
+        "load paper",
+        "workload sdss",
+        "threads 1",
+        "profile on",
+        "whatif index w_objid photoobj objid",
+        "show design",
+        "explain SELECT ra, dec FROM photoobj WHERE objid = 42",
+        "budget rounds 1",
+        "suggest partitions",
+        "budget off",
+        "explain SELECT nope FROM nowhere",
+        "profile show",
+        "profile off",
+        "quit",
+    ];
+    let mut console = Console::new();
+    let mut transcript = String::new();
+    for cmd in script {
+        let _ = writeln!(transcript, "parinda> {cmd}");
+        match console.run_line(cmd) {
+            ConsoleReply::Quit => {
+                transcript.push_str("bye\n");
+            }
+            ConsoleReply::Output(out) => {
+                if !out.is_empty() {
+                    let _ = writeln!(transcript, "{}", out.trim_end());
+                }
+            }
+            ConsoleReply::Error(e) => {
+                let _ = writeln!(transcript, "error [{}]: {e}", e.kind());
+            }
+        }
+    }
+    let scrubbed = scrub(&transcript);
+    assert!(scrubbed.contains("DEGRADED:"), "transcript exercises a degraded run:\n{scrubbed}");
+    assert!(scrubbed.contains("error ["), "transcript exercises a typed error:\n{scrubbed}");
+    check_golden("console.txt", &scrubbed);
+}
