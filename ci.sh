@@ -44,8 +44,23 @@ echo "==> e9 trace-overhead bench (smoke)"
 cargo bench -p parinda-bench --bench e9_trace_overhead -- --test
 
 echo "==> E3/E4 machine-readable artifact (BENCH_e3_e4.json, schema parinda-bench/e3e4/v1)"
-cargo run -q --release -p parinda-bench --bin experiments -- json BENCH_e3_e4.json
+cargo run -q --release -p parinda-bench --bin experiments -- json e3e4 BENCH_e3_e4.json
 python3 -m json.tool BENCH_e3_e4.json > /dev/null 2>&1 || \
     { echo "BENCH_e3_e4.json is not valid JSON"; exit 1; }
+
+echo "==> E10 scaling artifact (BENCH_e10.json, schema parinda-bench/e10/v1)"
+cargo run -q --release -p parinda-bench --bin experiments -- json e10 BENCH_e10.json
+python3 - <<'PYEOF' || { echo "BENCH_e10.json failed validation"; exit 1; }
+import json
+with open("BENCH_e10.json") as f:
+    d = json.load(f)
+assert d["schema"] == "parinda-bench/e10/v1", d["schema"]
+assert d["statements"] == 100000, d["statements"]
+assert 0 < d["templates"] < d["statements"]
+# the sparse matrix must stay well under the dense size
+assert d["matrix_nnz"] < 0.2 * d["dense_cells"], (d["matrix_nnz"], d["dense_cells"])
+# the greedy incumbent never makes the search do more work
+assert d["solver_nodes_warm"] <= d["solver_nodes_cold"]
+PYEOF
 
 echo "==> ci green"

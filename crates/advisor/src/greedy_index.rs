@@ -39,8 +39,10 @@ pub fn select_indexes_greedy_budgeted(
     let par = model.parallelism();
     let empty = Configuration::empty();
     let model_ref = &*model;
+    // Weighted models (compressed workloads) scale everything by the
+    // template weight; ×1.0 on unweighted models is bit-identical.
     let base_costs: Vec<f64> =
-        par_map_indexed(par, nq, |q| model_ref.cost(q, &empty));
+        par_map_indexed(par, nq, |q| model_ref.cost(q, &empty) * model_ref.weight(q));
 
     let items: Vec<GreedyItem> = cand_ids
         .iter()
@@ -96,7 +98,8 @@ pub fn select_indexes_greedy_static(
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
     let empty = Configuration::empty();
-    let base_costs: Vec<f64> = (0..nq).map(|q| model.cost(q, &empty)).collect();
+    let base_costs: Vec<f64> =
+        (0..nq).map(|q| model.cost(q, &empty) * model.weight(q)).collect();
     let base_total: f64 = base_costs.iter().sum();
 
     // one-shot benefits

@@ -24,13 +24,19 @@ use std::collections::HashMap;
 use parinda_catalog::{MetadataProvider, TableId};
 use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
 use parinda_parallel::{par_map_indexed, par_try_map_budgeted_traced, Budget, BudgetReport};
-use parinda_solver::{solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits};
+use parinda_solver::{
+    solve_ilp, IlpOutcome, IntegerProgram, LinearProgram, Sense, SolveLimits, SparseMatrix,
+};
 use parinda_trace::Counter;
+
+/// Cells at or below this benefit are never materialized: they would get
+/// no `x` variable anyway, so dropping them changes nothing downstream.
+const BENEFIT_EPS: f64 = 1e-9;
 
 /// User-supplied constraints beyond the storage budget (paper §3.4: "other
 /// user-supplied constraints, such as constraints on the total size of the
 /// design features, and their update costs").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IlpOptions {
     /// Per-query workload weights (frequencies); `None` = all 1.0.
     pub weights: Option<Vec<f64>>,
@@ -38,6 +44,28 @@ pub struct IlpOptions {
     pub update_limit: Option<f64>,
     /// Writes per unit time per table, for the update-cost constraint.
     pub update_rates: HashMap<TableId, f64>,
+    /// Materialize the full dense benefit matrix before scanning it into
+    /// the program — the pre-sparse reference path. The determinism
+    /// suite pins sparse-vs-dense bit-identity through this flag; it
+    /// exists for that comparison, not for production use.
+    pub dense_reference: bool,
+    /// Seed the branch-and-bound with a greedy incumbent computed from
+    /// the benefit matrix (default `true`) so the first bound check can
+    /// already prune. Never changes the selected design — only the work
+    /// to prove it.
+    pub warm_start: bool,
+}
+
+impl Default for IlpOptions {
+    fn default() -> Self {
+        IlpOptions {
+            weights: None,
+            update_limit: None,
+            update_rates: HashMap::new(),
+            dense_reference: false,
+            warm_start: true,
+        }
+    }
 }
 
 /// Estimated maintenance cost of one index per unit time: each write to
@@ -132,8 +160,10 @@ pub fn select_indexes_ilp_budgeted(
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
+    // Explicit option weights win; a weighted model (compressed workload)
+    // supplies them otherwise; 1.0 on plain models — bit-identical.
     let weight = |q: usize| -> f64 {
-        options.weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or(1.0)
+        options.weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or_else(|| model.weight(q))
     };
 
     // Benefits (weighted) and sizes. The (query, candidate) cells are
@@ -171,27 +201,56 @@ pub fn select_indexes_ilp_budgeted(
     };
     // Only fully scored candidates enter the program.
     let scored = if nq == 0 { scored_cap } else { cells.done.len() / nq };
-    let mut benefits: Vec<Vec<f64>> = vec![vec![0.0; n_cand]; nq];
-    for (ci, col) in cells.done.chunks(nq.max(1)).take(scored).enumerate() {
-        for (q, &b) in col.iter().enumerate() {
-            benefits[q][ci] = b;
-        }
-    }
     let candidates_skipped = n_cand - scored;
     trace.count(Counter::CandidatesEvaluated, scored as u64);
     trace.count(Counter::CandidatesSkipped, candidates_skipped as u64);
     let sizes: Vec<u64> = cand_ids.iter().map(|&id| model.candidate_size(id)).collect();
 
-    // Build the ILP.
-    // variable layout: y_0..y_{n-1}, then x_{q,i} for pairs with benefit>0
-    let mut x_vars: Vec<(usize, usize)> = Vec::new(); // (q, cand position)
-    for (q, row) in benefits.iter().enumerate() {
-        for (ci, &b) in row.iter().enumerate() {
-            if b > 1e-9 {
-                x_vars.push((q, ci));
+    // CSR benefit matrix (query-major, candidate columns): at workload
+    // scale almost every cell is below epsilon — an index only helps the
+    // statements that touch its table and columns — so memory and LP
+    // size follow the nonzero count, not `nq × n_cand`. The cell buffer
+    // is candidate-major (budget prefixes cover whole candidates), so
+    // the scan transposes; cell enumeration order and the epsilon are
+    // exactly the dense path's, keeping the program bit-identical.
+    let benefits: SparseMatrix = if options.dense_reference {
+        // Reference path: materialize the full dense matrix first, then
+        // scan it — what the advisor did before compression landed. The
+        // determinism suite pins both paths to the same bits.
+        let mut dense: Vec<Vec<f64>> = vec![vec![0.0; n_cand]; nq];
+        for (ci, col) in cells.done.chunks(nq.max(1)).take(scored).enumerate() {
+            for (q, &b) in col.iter().enumerate() {
+                dense[q][ci] = b;
             }
         }
-    }
+        SparseMatrix::from_row_major(
+            nq,
+            n_cand,
+            dense.iter().enumerate().flat_map(|(q, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b > BENEFIT_EPS)
+                    .map(move |(ci, &b)| (q, ci, b))
+            }),
+        )
+    } else {
+        SparseMatrix::from_row_major(
+            nq,
+            n_cand,
+            (0..nq).flat_map(|q| {
+                let cells = &cells.done;
+                (0..scored).filter_map(move |ci| {
+                    let b = cells[ci * nq + q];
+                    (b > BENEFIT_EPS).then_some((q, ci, b))
+                })
+            }),
+        )
+    };
+    trace.count(Counter::MatrixNnz, benefits.nnz() as u64);
+
+    // Build the ILP.
+    // variable layout: y_0..y_{n-1}, then x_{q,i} for materialized cells
+    let x_vars: Vec<(usize, usize, f64)> = benefits.iter().collect();
     let n_vars = n_cand + x_vars.len();
     let mut lp = LinearProgram::new(n_vars);
     for j in 0..n_vars {
@@ -201,8 +260,8 @@ pub fn select_indexes_ilp_budgeted(
     for (ci, &s) in sizes.iter().enumerate() {
         lp.set_objective(ci, -1e-9 * s as f64);
     }
-    for (k, &(q, ci)) in x_vars.iter().enumerate() {
-        lp.set_objective(n_cand + k, benefits[q][ci]);
+    for (k, &(_, ci, b)) in x_vars.iter().enumerate() {
+        lp.set_objective(n_cand + k, b);
         // x <= y
         lp.add_constraint(vec![(n_cand + k, 1.0), (ci, -1.0)], Sense::Le, 0.0);
     }
@@ -212,7 +271,7 @@ pub fn select_indexes_ilp_budgeted(
         // hash iteration here would make tied solutions vary run-to-run.
         use std::collections::BTreeMap;
         let mut per_qt: BTreeMap<(usize, u32), Vec<usize>> = BTreeMap::new();
-        for (k, &(q, ci)) in x_vars.iter().enumerate() {
+        for (k, &(q, ci, _)) in x_vars.iter().enumerate() {
             let t = model.candidate(cand_ids[ci]).table.0;
             per_qt.entry((q, t)).or_default().push(n_cand + k);
         }
@@ -241,11 +300,61 @@ pub fn select_indexes_ilp_budgeted(
         }
     }
 
+    // Warm start: a greedy incumbent computed from the already-built
+    // matrix — benefit-per-byte over the candidate columns under the
+    // storage budget, then each (query, table)'s single best x among the
+    // picked candidates. No model probes, no extra counters; the solver
+    // re-checks feasibility and falls back to a cold start if e.g. an
+    // update-cost constraint rejects the seed.
+    let warm_start = (options.warm_start && n_vars > 0).then(|| {
+        let mut col_benefit = vec![0.0f64; n_cand];
+        for &(_, ci, b) in &x_vars {
+            col_benefit[ci] += b;
+        }
+        let mut order: Vec<usize> = (0..n_cand).collect();
+        order.sort_by(|&a, &b| {
+            let da = col_benefit[a] / sizes[a].max(1) as f64;
+            let db = col_benefit[b] / sizes[b].max(1) as f64;
+            db.total_cmp(&da).then(a.cmp(&b))
+        });
+        let mut picked = vec![false; n_cand];
+        let mut left = budget_bytes;
+        for ci in order {
+            if col_benefit[ci] > 0.0 && sizes[ci] <= left {
+                left -= sizes[ci];
+                picked[ci] = true;
+            }
+        }
+        let mut x = vec![0.0f64; n_vars];
+        for (ci, &p) in picked.iter().enumerate() {
+            if p {
+                x[ci] = 1.0;
+            }
+        }
+        use std::collections::BTreeMap;
+        let mut best_per_qt: BTreeMap<(usize, u32), (usize, f64)> = BTreeMap::new();
+        for (k, &(q, ci, b)) in x_vars.iter().enumerate() {
+            if !picked[ci] {
+                continue;
+            }
+            let t = model.candidate(cand_ids[ci]).table.0;
+            let e = best_per_qt.entry((q, t)).or_insert((k, b));
+            if b > e.1 {
+                *e = (k, b);
+            }
+        }
+        for &(k, _) in best_per_qt.values() {
+            x[n_cand + k] = 1.0;
+        }
+        x
+    });
+
     let ip = IntegerProgram { lp, binary: (0..n_vars).collect() };
     let limits = SolveLimits {
         deadline: budget.deadline(),
         cancel: Some(budget.cancel_token().clone()),
         trace: trace.clone(),
+        warm_start,
         ..SolveLimits::default()
     };
     let (chosen_pos, proven) = match solve_ilp(&ip, limits) {
@@ -291,7 +400,7 @@ pub(crate) fn finish_selection_weighted(
     weights: &Option<Vec<f64>>,
 ) -> IndexSelection {
     let weight = |q: usize| -> f64 {
-        weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or(1.0)
+        weights.as_ref().and_then(|w| w.get(q)).copied().unwrap_or_else(|| model.weight(q))
     };
     let cfg = Configuration::from_ids(chosen.iter().copied());
     let per_query: Vec<(f64, f64)> = base_costs

@@ -29,11 +29,32 @@ fn main() {
         "e6" => e6_autopart(),
         "e7" => e7_interactive(),
         "e8" => e8_parallel_scaling(),
+        "e10" => e10_scaling(),
         "a1" => a1_inum_ablation(),
         "json" => {
-            let path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_e3_e4.json".into());
-            std::fs::write(&path, experiments::e3_e4_json()).expect("write json artifact");
-            println!("wrote {path}");
+            // Registry-driven: every machine-readable artifact lives in
+            // experiments::JSON_BENCHES; `json` / `json all` emits them
+            // all, `json <name> [path]` emits one.
+            let which = std::env::args().nth(2).unwrap_or_else(|| "all".into());
+            let selected: Vec<&experiments::JsonBench> = if which == "all" {
+                experiments::JSON_BENCHES.iter().collect()
+            } else if let Some(b) = experiments::JSON_BENCHES.iter().find(|b| b.name == which) {
+                vec![b]
+            } else {
+                let names: Vec<&str> =
+                    experiments::JSON_BENCHES.iter().map(|b| b.name).collect();
+                eprintln!("unknown json bench `{which}`; use {}, or all", names.join(", "));
+                std::process::exit(1);
+            };
+            let path_override = std::env::args().nth(3);
+            for b in &selected {
+                let path = match (&path_override, selected.len()) {
+                    (Some(p), 1) => p.clone(),
+                    _ => b.artifact.to_string(),
+                };
+                std::fs::write(&path, (b.generate)()).expect("write json artifact");
+                println!("wrote {path}");
+            }
         }
         "all" => {
             e1_workload_speedup();
@@ -44,10 +65,13 @@ fn main() {
             e6_autopart();
             e7_interactive();
             e8_parallel_scaling();
+            e10_scaling();
             a1_inum_ablation();
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use e1..e8, a1, json [path], or all");
+            eprintln!(
+                "unknown experiment `{other}`; use e1..e8, e10, a1, json [name|all] [path], or all"
+            );
             std::process::exit(1);
         }
     }
@@ -440,6 +464,12 @@ fn e8_parallel_scaling() {
         assert_eq!(names, reference, "parallel advising changed the design");
     }
     println!("\n{}", t.render());
+}
+
+/// E10 — 100k-statement scaling: template clustering + sparse benefit
+/// matrix + warm-started branch-and-bound, end to end on one core.
+fn e10_scaling() {
+    print!("{}", experiments::e10_report(false));
 }
 
 /// A1 — ablation: how much of INUM's accuracy comes from caching multiple

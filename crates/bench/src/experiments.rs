@@ -12,7 +12,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use parinda::{
-    AutoPartConfig, Design, Parallelism, SelectionMethod, Trace, WhatIfIndex, WhatIfPartition,
+    AutoPartConfig, Design, IlpOptions, Parallelism, SelectionMethod, Trace, WhatIfIndex,
+    WhatIfPartition,
 };
 use parinda_catalog::MetadataProvider;
 use parinda_inum::{CandidateIndex, Configuration, InumModel, InumOptions};
@@ -312,6 +313,143 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Measurements behind E10: the 100k-statement scaling path — template
+/// clustering, weighted INUM over the templates, the sparse benefit
+/// matrix, and the warm-started branch-and-bound — end to end on one
+/// core, plus a warm-start-off rerun for the node-count comparison.
+pub struct E10Run {
+    /// Raw statements in the generated stream.
+    pub statements: usize,
+    /// Templates surviving clustering.
+    pub templates: usize,
+    /// Statements that folded into an already-seen template.
+    pub templates_merged: u64,
+    /// `statements / templates`.
+    pub compression_ratio: f64,
+    /// Wall-clock of the whole advised run (cluster + INUM + ILP), one
+    /// core.
+    pub advise_seconds: f64,
+    /// Materialized benefit-matrix nonzeros.
+    pub matrix_nnz: u64,
+    /// `templates × scored candidates` — what the dense matrix held.
+    pub dense_cells: u64,
+    /// Branch-and-bound nodes with the greedy incumbent seeded.
+    pub solver_nodes_warm: u64,
+    /// Branch-and-bound nodes with warm start disabled.
+    pub solver_nodes_cold: u64,
+    /// Nodes pruned against the incumbent in the warm run.
+    pub pruned_by_incumbent: u64,
+    /// Suggested indexes (identical in both runs — warm start never
+    /// changes the design).
+    pub indexes: usize,
+    pub proven_optimal: bool,
+    /// The `parinda-trace/v1` report of the warm (primary) run.
+    pub report: parinda::TraceReport,
+}
+
+/// Run E10 once: a 100k-statement SDSS stream (seed 42), advised at
+/// paper scale on one core, with and without the solver warm start.
+pub fn e10_run() -> E10Run {
+    e10_run_sized(100_000)
+}
+
+/// [`e10_run`] at an explicit stream size (the smoke tests use a smaller
+/// stream; the artifact uses the full 100k).
+pub fn e10_run_sized(statements: usize) -> E10Run {
+    use parinda::Counter;
+    let stream = parinda_workload::generate_sdss_stream(statements, 42);
+    let mut session = paper_session();
+    session.set_parallelism(Parallelism::fixed(1));
+    let budget_bytes = session.catalog().total_size_bytes() / 5;
+
+    let warm_trace = Trace::recording();
+    session.set_trace(warm_trace.clone());
+    let t0 = Instant::now();
+    let (warm, compressed) = session
+        .suggest_indexes_compressed(
+            &stream,
+            budget_bytes,
+            SelectionMethod::Ilp,
+            &IlpOptions::default(),
+        )
+        .expect("e10 advise (warm)");
+    let advise_seconds = t0.elapsed().as_secs_f64();
+    let warm_report = warm_trace.snapshot();
+
+    let cold_trace = Trace::recording();
+    session.set_trace(cold_trace.clone());
+    let (cold, _) = session
+        .suggest_indexes_compressed(
+            &stream,
+            budget_bytes,
+            SelectionMethod::Ilp,
+            &IlpOptions { warm_start: false, ..Default::default() },
+        )
+        .expect("e10 advise (cold)");
+    let cold_report = cold_trace.snapshot();
+
+    // The warm start only changes the work to prove the optimum, never
+    // the optimum itself.
+    let names = |s: &parinda::IndexSuggestion| -> Vec<String> {
+        s.indexes.iter().map(|i| i.name.clone()).collect()
+    };
+    assert_eq!(names(&warm), names(&cold), "warm start changed the selected design");
+
+    E10Run {
+        statements,
+        templates: compressed.len(),
+        templates_merged: warm_report.counter(Counter::TemplatesMerged),
+        compression_ratio: compressed.compression_ratio(),
+        advise_seconds,
+        matrix_nnz: warm_report.counter(Counter::MatrixNnz),
+        dense_cells: compressed.len() as u64
+            * warm_report.counter(Counter::CandidatesEvaluated),
+        solver_nodes_warm: warm_report.counter(Counter::SolverNodes),
+        solver_nodes_cold: cold_report.counter(Counter::SolverNodes),
+        pruned_by_incumbent: warm_report.counter(Counter::BnbPrunedByIncumbent),
+        indexes: warm.indexes.len(),
+        proven_optimal: warm.proven_optimal,
+        report: warm_report,
+    }
+}
+
+/// E10 — scale: 100k statements advised within an interactive budget on
+/// one core. In deterministic mode the timing cell renders `-`; every
+/// other cell is a deterministic count.
+pub fn e10_report(deterministic: bool) -> String {
+    let mut out = banner(
+        "E10  100k-statement workload: clustering + sparse ILP + warm start",
+        "(scaling addition: interactive advising at production workload sizes)",
+    );
+    let run = e10_run();
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["statements".into(), run.statements.to_string()]);
+    t.row(&[
+        "templates after clustering".into(),
+        format!("{} ({:.0}x compression)", run.templates, run.compression_ratio),
+    ]);
+    t.row(&["benefit matrix nnz / dense".into(), {
+        let pct = run.matrix_nnz as f64 / run.dense_cells.max(1) as f64 * 100.0;
+        format!("{} / {} ({pct:.1}%)", run.matrix_nnz, run.dense_cells)
+    }]);
+    t.row(&[
+        "B&B nodes warm / cold".into(),
+        format!("{} / {}", run.solver_nodes_warm, run.solver_nodes_cold),
+    ]);
+    t.row(&["nodes pruned by incumbent".into(), run.pruned_by_incumbent.to_string()]);
+    t.row(&["suggested indexes".into(), run.indexes.to_string()]);
+    t.row(&[
+        "proven optimal".into(),
+        if run.proven_optimal { "yes".into() } else { "no".into() },
+    ]);
+    t.row(&[
+        "end-to-end advise (1 core)".into(),
+        if deterministic { "-".into() } else { format!("{:.2} s", run.advise_seconds) },
+    ]);
+    let _ = writeln!(out, "\n{}", t.render());
+    out
+}
+
 /// Build the `BENCH_e3_e4.json` artifact: E3 + E4 timings, the
 /// deterministic counter totals, and the embedded `parinda-trace/v1`
 /// profile of the whole measurement run. Schema: `parinda-bench/e3e4/v1`
@@ -371,3 +509,68 @@ pub fn e3_e4_json() -> String {
     out.push_str("\n}\n");
     out
 }
+
+/// Build the `BENCH_e10.json` artifact: the 100k-statement scaling run
+/// with the counter totals and the embedded `parinda-trace/v1` profile.
+/// Schema: `parinda-bench/e10/v1` (documented in EXPERIMENTS.md).
+pub fn e10_json() -> String {
+    let r = e10_run();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"parinda-bench/e10/v1\",\n");
+    let _ = write!(
+        out,
+        "  \"statements\": {},\n  \"templates\": {},\n  \"templates_merged\": {},\n  \"compression_ratio\": {:.4},\n  \"advise_seconds\": {:.6},\n  \"matrix_nnz\": {},\n  \"dense_cells\": {},\n  \"nnz_fraction\": {:.6},\n  \"solver_nodes_warm\": {},\n  \"solver_nodes_cold\": {},\n  \"bnb_pruned_by_incumbent\": {},\n  \"indexes\": {},\n  \"proven_optimal\": {},\n",
+        r.statements,
+        r.templates,
+        r.templates_merged,
+        r.compression_ratio,
+        r.advise_seconds,
+        r.matrix_nnz,
+        r.dense_cells,
+        r.matrix_nnz as f64 / r.dense_cells.max(1) as f64,
+        r.solver_nodes_warm,
+        r.solver_nodes_cold,
+        r.pruned_by_incumbent,
+        r.indexes,
+        r.proven_optimal,
+    );
+    out.push_str("  \"counters\": {\n");
+    let n = r.report.counters.len();
+    for (i, (name, v)) in r.report.counters.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    \"{}\": {}{}\n",
+            json_escape(name),
+            v,
+            if i + 1 < n { "," } else { "" }
+        );
+    }
+    out.push_str("  },\n");
+    let profile = r.report.to_json();
+    let indented: String = profile
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 0 { format!("  \"trace\": {l}\n") } else { format!("  {l}\n") })
+        .collect();
+    out.push_str(indented.trim_end_matches('\n'));
+    out.push_str("\n}\n");
+    out
+}
+
+/// One machine-readable experiment artifact.
+pub struct JsonBench {
+    /// Subcommand name (`experiments json <name>`).
+    pub name: &'static str,
+    /// Default artifact filename.
+    pub artifact: &'static str,
+    /// Generator producing the artifact's JSON text.
+    pub generate: fn() -> String,
+}
+
+/// Every experiment with a machine-readable artifact. The binary's
+/// `json` subcommand walks this registry — a new bench slots in here
+/// without another special case.
+pub const JSON_BENCHES: &[JsonBench] = &[
+    JsonBench { name: "e3e4", artifact: "BENCH_e3_e4.json", generate: e3_e4_json },
+    JsonBench { name: "e10", artifact: "BENCH_e10.json", generate: e10_json },
+];

@@ -31,6 +31,9 @@ pub enum Command {
     LoadDdl(String),
     WorkloadSdss,
     WorkloadFile(String),
+    /// `workload stats` — template clustering summary of the loaded
+    /// workload (templates, statements, total weight, compression ratio).
+    WorkloadStats,
     ShowTables,
     ShowIndexes,
     Describe(String),
@@ -108,7 +111,8 @@ pub fn parse_command(line: &str) -> Result<Command, ParindaError> {
                 .get(2)
                 .map(|p| Command::WorkloadFile(p.to_string()))
                 .ok_or_else(|| usage("usage: workload file <path>")),
-            _ => Err(usage("usage: workload sdss | workload file <path>")),
+            Some("stats") => Ok(Command::WorkloadStats),
+            _ => Err(usage("usage: workload sdss | workload file <path> | workload stats")),
         },
         "describe" | "d" => lower
             .get(1)
@@ -233,6 +237,7 @@ commands:
   load ddl <path>            schema from a CREATE TABLE/INDEX script
   workload sdss              the 30 prototypical SDSS queries
   workload file <path>       statements from a file (';'-separated)
+  workload stats             template clustering summary of the workload
   show tables|indexes|workload|design
   describe <table>           columns, statistics, indexes
   explain <sql>              EXPLAIN + per-node cost breakdown (and what-if
@@ -271,6 +276,10 @@ pub enum ConsoleReply {
 pub struct Console {
     session: Option<Parinda>,
     workload: Vec<parinda_sql::Select>,
+    /// Per-statement weights parallel to `workload` (workload files may
+    /// carry frequencies; `workload sdss` is uniform). Retained so the
+    /// compression statistics and weighted advising see them.
+    workload_weights: Vec<f64>,
     design: Design,
     /// Thread policy chosen with `threads`; applied to every session,
     /// including ones loaded later.
@@ -299,6 +308,7 @@ impl Console {
         Console {
             session: None,
             workload: Vec::new(),
+            workload_weights: Vec::new(),
             design: Design::new(),
             par: Parallelism::auto(),
             budget_ms: None,
@@ -424,13 +434,41 @@ impl Console {
             }
             Command::WorkloadSdss => {
                 self.workload = sdss_workload();
+                self.workload_weights = vec![1.0; self.workload.len()];
                 Ok(format!("workload: {} queries", self.workload.len()))
             }
             Command::WorkloadFile(path) => {
                 let text = std::fs::read_to_string(&path)?;
                 let wl = parse_workload(&text)?;
                 self.workload = wl.queries();
+                self.workload_weights = wl.weights();
                 Ok(format!("workload: {} queries from {path}", self.workload.len()))
+            }
+            Command::WorkloadStats => {
+                if self.workload.is_empty() {
+                    return Ok("no workload loaded".into());
+                }
+                let wl = parinda_workload::Workload {
+                    entries: self
+                        .workload
+                        .iter()
+                        .zip(&self.workload_weights)
+                        .map(|(q, &w)| parinda_workload::WorkloadEntry {
+                            query: q.clone(),
+                            weight: w,
+                        })
+                        .collect(),
+                };
+                let compressed =
+                    parinda_workload::compress_workload_traced(&wl, &self.trace);
+                Ok(format!(
+                    "workload: {} statements, {} templates ({} merged), total weight {:.0}, compression {:.1}x",
+                    compressed.raw_statements,
+                    compressed.len(),
+                    compressed.merged(),
+                    compressed.raw_weight,
+                    compressed.compression_ratio(),
+                ))
             }
             Command::ShowTables => {
                 let s = self.require_session()?;
@@ -725,6 +763,7 @@ mod tests {
         assert_eq!(parse_command("load laptop 5000").unwrap(), Command::LoadLaptop(5000));
         assert_eq!(parse_command("load laptop").unwrap(), Command::LoadLaptop(20_000));
         assert_eq!(parse_command("workload sdss").unwrap(), Command::WorkloadSdss);
+        assert_eq!(parse_command("workload stats").unwrap(), Command::WorkloadStats);
         assert_eq!(parse_command("  quit ").unwrap(), Command::Quit);
         assert_eq!(parse_command("").unwrap(), Command::Empty);
         assert_eq!(
@@ -757,6 +796,19 @@ mod tests {
         let reply = c.run_line("load laptop 99999999999999999999");
         assert!(matches!(reply, ConsoleReply::Error(ParindaError::Parse(_))), "{reply:?}");
         assert!(c.session().is_none());
+    }
+
+    /// `workload stats` clusters the loaded statements; the 30 SDSS
+    /// prototypes are distinct shapes, so nothing merges.
+    #[test]
+    fn workload_stats_reports_clustering() {
+        let mut c = Console::new();
+        assert_eq!(c.run_command(Command::WorkloadStats).unwrap(), "no workload loaded");
+        c.run_command(Command::WorkloadSdss).unwrap();
+        let out = c.run_command(Command::WorkloadStats).unwrap();
+        assert!(out.contains("30 statements"), "{out}");
+        assert!(out.contains("30 templates"), "{out}");
+        assert!(out.contains("compression 1.0x"), "{out}");
     }
 
     #[test]

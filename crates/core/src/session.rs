@@ -588,18 +588,80 @@ impl Parinda {
         method: SelectionMethod,
         options: &IlpOptions,
     ) -> Result<IndexSuggestion, ParindaError> {
+        self.suggest_indexes_inner(workload, None, budget_bytes, method, options)
+    }
+
+    /// [`Parinda::suggest_indexes_with`] over weighted statements: each
+    /// query carries a multiplicity (template weights from workload
+    /// compression). The INUM model is built weighted — budgeted cache
+    /// population covers the heaviest templates first — and every
+    /// reported cost is the weighted sum. With all weights 1.0 this is
+    /// exactly [`Parinda::suggest_indexes_with`].
+    pub fn suggest_indexes_weighted(
+        &self,
+        workload: &[Select],
+        weights: &[f64],
+        budget_bytes: u64,
+        method: SelectionMethod,
+        options: &IlpOptions,
+    ) -> Result<IndexSuggestion, ParindaError> {
+        self.suggest_indexes_inner(workload, Some(weights), budget_bytes, method, options)
+    }
+
+    /// The 100k-statement path (scenario 3 at scale): cluster the raw
+    /// statement stream into weighted templates, then advise over the
+    /// templates. Advising work scales with the number of *templates*,
+    /// not statements; the selection equals advising over the raw stream
+    /// because the weighted template cost is exactly the stream's total.
+    /// Returns the suggestion plus the compression itself (for the
+    /// console's `workload stats`).
+    pub fn suggest_indexes_compressed(
+        &self,
+        workload: &parinda_workload::Workload,
+        budget_bytes: u64,
+        method: SelectionMethod,
+        options: &IlpOptions,
+    ) -> Result<(IndexSuggestion, parinda_workload::CompressedWorkload), ParindaError> {
+        let compressed = parinda_workload::compress_workload_traced(workload, &self.trace);
+        let queries = compressed.queries();
+        let weights = compressed.weights();
+        let suggestion =
+            self.suggest_indexes_inner(&queries, Some(&weights), budget_bytes, method, options)?;
+        Ok((suggestion, compressed))
+    }
+
+    fn suggest_indexes_inner(
+        &self,
+        workload: &[Select],
+        weights: Option<&[f64]>,
+        budget_bytes: u64,
+        method: SelectionMethod,
+        options: &IlpOptions,
+    ) -> Result<IndexSuggestion, ParindaError> {
         let budget = self.start_budget();
         let mut model = {
             let _s = self.trace.span("inum_build");
-            InumModel::build_budgeted_traced(
-                &self.catalog,
-                workload,
-                self.params.clone(),
-                InumOptions::default(),
-                self.par,
-                &budget,
-                self.trace.clone(),
-            )?
+            match weights {
+                Some(w) => InumModel::build_weighted_traced(
+                    &self.catalog,
+                    workload,
+                    w,
+                    self.params.clone(),
+                    InumOptions::default(),
+                    self.par,
+                    &budget,
+                    self.trace.clone(),
+                )?,
+                None => InumModel::build_budgeted_traced(
+                    &self.catalog,
+                    workload,
+                    self.params.clone(),
+                    InumOptions::default(),
+                    self.par,
+                    &budget,
+                    self.trace.clone(),
+                )?,
+            }
         };
         let inum_skipped = model.degraded_queries();
         let queries = model.queries().to_vec();

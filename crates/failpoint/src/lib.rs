@@ -45,6 +45,8 @@ pub const SITES: &[&str] = &[
     "solver::simplex",         // one simplex solve
     "storage::load",           // heap loading in the storage engine
     "core::dispatch",          // console command dispatch (exercises the guard() backstop)
+    "workload::cluster",       // template clustering in workload compression
+    "solver::warmstart",       // greedy-incumbent seeding of the branch-and-bound search
 ];
 
 /// What an activated failpoint does when execution reaches it.

@@ -99,6 +99,13 @@ pub struct InumModel<'a> {
     options: InumOptions,
     par: Parallelism,
     queries: Vec<BoundQuery>,
+    /// Per-query workload weights (statement multiplicities from template
+    /// clustering); `None` = every query counts once. Weights scale
+    /// [`workload_cost`] and steer budgeted cache population toward the
+    /// heaviest templates first — they never change a single query's cost.
+    ///
+    /// [`workload_cost`]: InumModel::workload_cost
+    weights: Option<Vec<f64>>,
     /// Cached internal-plan cases per query; `None` when a build budget
     /// expired before this query's cache was populated — [`cost`] then
     /// falls back to a live optimizer call ([`exact_cost`]).
@@ -211,6 +218,53 @@ impl<'a> InumModel<'a> {
         budget: &Budget,
         trace: Trace,
     ) -> Result<Self, InumError> {
+        Self::build_inner(catalog, workload, None, params, options, par, budget, trace)
+    }
+
+    /// Weighted build for compressed workloads: each query carries a
+    /// statement multiplicity. [`workload_cost`] becomes the weighted sum,
+    /// and when a build [`Budget`] caps cache population, queries are
+    /// populated in weight-descending order (stable on index), so the
+    /// caches that serve the most statements are built first. With all
+    /// weights 1.0 this is exactly [`InumModel::build_budgeted_traced`] —
+    /// bit-identical.
+    ///
+    /// [`workload_cost`]: InumModel::workload_cost
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_weighted_traced(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        weights: &[f64],
+        params: CostParams,
+        options: InumOptions,
+        par: Parallelism,
+        budget: &Budget,
+        trace: Trace,
+    ) -> Result<Self, InumError> {
+        assert_eq!(weights.len(), workload.len(), "one weight per query");
+        Self::build_inner(
+            catalog,
+            workload,
+            Some(weights.to_vec()),
+            params,
+            options,
+            par,
+            budget,
+            trace,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_inner(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        weights: Option<Vec<f64>>,
+        params: CostParams,
+        options: InumOptions,
+        par: Parallelism,
+        budget: &Budget,
+        trace: Trace,
+    ) -> Result<Self, InumError> {
         let bound = par_try_map_indexed_traced(par, workload.len(), &trace, "inum_build/bind", |i| {
             if parinda_failpoint::should_fail("inum::bind") {
                 return Err("failpoint inum::bind: injected error".to_string());
@@ -228,6 +282,7 @@ impl<'a> InumModel<'a> {
             options,
             par,
             queries,
+            weights,
             cases: Vec::new(),
             candidates: Vec::new(),
             access_memo: Mutex::new(HashMap::new()),
@@ -237,6 +292,13 @@ impl<'a> InumModel<'a> {
             trace,
         };
         let nq = model.queries.len();
+        // Population order: identity for uniform workloads; weight-
+        // descending (stable on index) when weights are present, so a
+        // budget cap lands on the caches serving the most statements.
+        let mut order: Vec<usize> = (0..nq).collect();
+        if let Some(w) = &model.weights {
+            order.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(a.cmp(&b)));
+        }
         // A round cap caps how many query caches are populated; the
         // deadline/cancel check rides inside the budgeted sweep.
         let cap = budget.max_rounds().map_or(nq, |r| r.min(nq));
@@ -246,14 +308,15 @@ impl<'a> InumModel<'a> {
             budget,
             &model.trace,
             "inum_build/populate",
-            |qi| model.build_cases(qi),
+            |k| model.build_cases(order[k]),
         )
         .map_err(|p| InumError::Worker(p.to_string()))?;
         let populated = built.done.len();
-        for (qi, cases) in built.done.into_iter().enumerate() {
-            model.cases.push(Some(cases.map_err(|e| InumError::Plan(qi, e))?));
-        }
         model.cases.resize_with(nq, || None);
+        for (k, cases) in built.done.into_iter().enumerate() {
+            let qi = order[k];
+            model.cases[qi] = Some(cases.map_err(|e| InumError::Plan(qi, e))?);
+        }
         debug_assert_eq!(model.cases.len(), nq);
         debug_assert!(populated <= nq);
         Ok(model)
@@ -280,6 +343,16 @@ impl<'a> InumModel<'a> {
     /// The bound queries (for advisors that need workload structure).
     pub fn queries(&self) -> &[BoundQuery] {
         &self.queries
+    }
+
+    /// The per-query weights the model was built with, if any.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Weight of query `qi` (1.0 for an unweighted model).
+    pub fn weight(&self, qi: usize) -> f64 {
+        self.weights.as_ref().map_or(1.0, |w| w[qi])
     }
 
     /// Cost parameters in use.
@@ -481,9 +554,11 @@ impl<'a> InumModel<'a> {
         best
     }
 
-    /// Total workload cost under `config`.
+    /// Total workload cost under `config`, weighted by the per-query
+    /// weights when the model was built with them (`cost × 1.0` otherwise,
+    /// which is bit-identical to the plain sum).
     pub fn workload_cost(&self, config: &Configuration) -> f64 {
-        (0..self.queries.len()).map(|qi| self.cost(qi, config)).sum()
+        (0..self.queries.len()).map(|qi| self.cost(qi, config) * self.weight(qi)).sum()
     }
 
     fn case_cost(&self, qi: usize, case: &CachedCase, config: &Configuration) -> Option<f64> {

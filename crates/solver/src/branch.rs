@@ -37,9 +37,16 @@ pub struct SolveLimits {
     /// Cooperative cancellation, polled once per node.
     pub cancel: Option<CancelToken>,
     /// Observability handle (disabled by default): the search records an
-    /// `ilp_rounds/bnb` span and the `solver_nodes` counter. Tracing
-    /// never influences the search itself.
+    /// `ilp_rounds/bnb` span and the `solver_nodes` /
+    /// `bnb_pruned_by_incumbent` counters. Tracing never influences the
+    /// search itself.
     pub trace: Trace,
+    /// Warm-start point (e.g. the greedy advisor's selection): rounded on
+    /// the binaries and, when feasible, installed as the initial
+    /// incumbent so the very first bound check can prune. An infeasible
+    /// or mis-sized seed is silently ignored — a warm start may only
+    /// accelerate the search, never change its answer.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for SolveLimits {
@@ -54,7 +61,13 @@ impl SolveLimits {
 
     /// The advisors' default: node cap only.
     pub fn nodes(max_nodes: usize) -> Self {
-        SolveLimits { max_nodes: Some(max_nodes), deadline: None, cancel: None, trace: Trace::disabled() }
+        SolveLimits {
+            max_nodes: Some(max_nodes),
+            deadline: None,
+            cancel: None,
+            trace: Trace::disabled(),
+            warm_start: None,
+        }
     }
 
     /// Has any limit (other than the node cap) tripped?
@@ -134,16 +147,32 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
     let _span = limits.trace.span("ilp_rounds/bnb");
     // Root relaxation.
     let root = match relax(ip, &[]) {
-        RelaxResult::Solved(bound, x) => (bound, x),
+        RelaxResult::Solved(s) => s,
         RelaxResult::Infeasible => return IlpOutcome::Infeasible,
         RelaxResult::Unbounded => return IlpOutcome::Unbounded,
         RelaxResult::Limit => return IlpOutcome::Limit,
     };
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    // Warm start: round the seed on the binaries and install it as the
+    // initial incumbent iff it is genuinely feasible. The failpoint
+    // degrades to a cold start — same answer, just more nodes.
+    if let Some(seed) = &limits.warm_start {
+        if !parinda_failpoint::should_fail("solver::warmstart") && seed.len() == ip.lp.num_vars() {
+            let mut xi = seed.clone();
+            for &j in &ip.binary {
+                xi[j] = xi[j].round();
+            }
+            if ip.lp.is_feasible(&xi, 1e-6) {
+                let obj = ip.lp.objective_value(&xi);
+                incumbent = Some((obj, xi));
+            }
+        }
+    }
     let mut heap = BinaryHeap::new();
-    heap.push(Node { bound: root.0, fixings: Vec::new() });
+    heap.push(Node { bound: root.objective, fixings: Vec::new() });
     let mut nodes = 0usize;
+    let mut pruned_by_incumbent = 0u64;
     let mut proven = true;
 
     while let Some(node) = heap.pop() {
@@ -156,12 +185,13 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
         // Bound check against the incumbent.
         if let Some((best, _)) = &incumbent {
             if node.bound <= *best + INT_EPS {
+                pruned_by_incumbent += 1;
                 continue;
             }
         }
 
-        let (bound, x) = match relax(ip, &node.fixings) {
-            RelaxResult::Solved(b, x) => (b, x),
+        let sol = match relax(ip, &node.fixings) {
+            RelaxResult::Solved(s) => s,
             RelaxResult::Infeasible => continue,
             RelaxResult::Unbounded => return IlpOutcome::Unbounded,
             RelaxResult::Limit => {
@@ -173,20 +203,30 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
                 continue;
             }
         };
+        let (bound, x) = (sol.objective, &sol.x);
         if let Some((best, _)) = &incumbent {
             if bound <= *best + INT_EPS {
+                pruned_by_incumbent += 1;
                 continue;
             }
         }
 
-        // Find the most fractional binary variable.
+        // Branch on the fractional binary the LP prices highest
+        // (largest |reduced cost|); ties break toward the more
+        // fractional value, then the lower index — fully deterministic.
         let frac_var = ip
             .binary
             .iter()
             .copied()
             .map(|j| (j, (x[j] - x[j].round()).abs()))
             .filter(|&(_, f)| f > INT_EPS)
-            .max_by(|a, b| a.1.total_cmp(&b.1));
+            .max_by(|&(ja, fa), &(jb, fb)| {
+                sol.reduced_costs[ja]
+                    .abs()
+                    .total_cmp(&sol.reduced_costs[jb].abs())
+                    .then(fa.total_cmp(&fb))
+                    .then(jb.cmp(&ja))
+            });
 
         match frac_var {
             None => {
@@ -213,6 +253,7 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
     }
 
     limits.trace.count(Counter::SolverNodes, nodes as u64);
+    limits.trace.count(Counter::BnbPrunedByIncumbent, pruned_by_incumbent);
     match incumbent {
         Some((objective, x)) => IlpOutcome::Solved(IlpSolution {
             x,
@@ -233,7 +274,9 @@ pub fn solve_ilp(ip: &IntegerProgram, limits: SolveLimits) -> IlpOutcome {
 }
 
 enum RelaxResult {
-    Solved(f64, Vec<f64>),
+    /// Optimal relaxation: bound, point, and reduced costs (the
+    /// branching order) travel together.
+    Solved(crate::lp::LpSolution),
     Infeasible,
     Unbounded,
     /// The simplex iteration cap (or an injected fault) stopped the
@@ -258,7 +301,7 @@ fn relax(ip: &IntegerProgram, fixings: &[(usize, u8)]) -> RelaxResult {
         }
     }
     match simplex::solve(&lp) {
-        LpOutcome::Optimal(s) => RelaxResult::Solved(s.objective, s.x),
+        LpOutcome::Optimal(s) => RelaxResult::Solved(s),
         LpOutcome::Infeasible => RelaxResult::Infeasible,
         LpOutcome::Unbounded => RelaxResult::Unbounded,
         // The iteration cap is a *limit*, not an infeasibility proof;
@@ -414,6 +457,69 @@ mod tests {
         match solve_ilp(&ip, limits) {
             IlpOutcome::Limit => {}
             IlpOutcome::Solved(s) => assert!(!s.proven_optimal),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A feasible warm start never changes the proven optimum, only the
+    /// work needed to prove it (nodes expanded), and the prune counter
+    /// actually records the incumbent doing its job.
+    #[test]
+    fn warm_start_preserves_optimum_and_prunes() {
+        let values: Vec<f64> = (0..12).map(|i| 10.0 + (i % 5) as f64).collect();
+        let weights: Vec<f64> = (0..12).map(|i| 5.0 + (i % 3) as f64).collect();
+        let ip = knapsack(&values, &weights, 30.0);
+        let cold = solved(&ip);
+        assert!(cold.proven_optimal);
+
+        let trace = Trace::recording();
+        let limits = SolveLimits {
+            warm_start: Some(cold.x.clone()),
+            trace: trace.clone(),
+            ..SolveLimits::default()
+        };
+        let warm = match solve_ilp(&ip, limits) {
+            IlpOutcome::Solved(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert!(warm.proven_optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(warm.nodes <= cold.nodes, "warm {} > cold {}", warm.nodes, cold.nodes);
+        let r = trace.snapshot();
+        assert_eq!(r.counter(Counter::SolverNodes), warm.nodes as u64);
+        assert!(r.counter(Counter::BnbPrunedByIncumbent) > 0, "incumbent never pruned");
+    }
+
+    /// An infeasible or mis-sized seed must be ignored, not trusted.
+    #[test]
+    fn bad_warm_starts_are_ignored() {
+        let ip = knapsack(&[10.0, 6.0, 5.0], &[4.0, 3.0, 2.0], 5.0);
+        let cold = solved(&ip);
+        for seed in [vec![1.0, 1.0, 1.0], vec![1.0]] {
+            let limits = SolveLimits { warm_start: Some(seed), ..SolveLimits::default() };
+            match solve_ilp(&ip, limits) {
+                IlpOutcome::Solved(s) => {
+                    assert!(s.proven_optimal);
+                    assert!((s.objective - cold.objective).abs() < 1e-6);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    /// The all-zero point is feasible for a knapsack, so a zero warm
+    /// start yields an incumbent even under a 0-node cap: the solve
+    /// reports it (unproven) instead of `Limit`.
+    #[test]
+    fn zero_warm_start_survives_a_zero_node_cap() {
+        let ip = knapsack(&[10.0, 6.0, 5.0], &[4.0, 3.0, 2.0], 5.0);
+        let limits =
+            SolveLimits { warm_start: Some(vec![0.0; 3]), ..SolveLimits::nodes(0) };
+        match solve_ilp(&ip, limits) {
+            IlpOutcome::Solved(s) => {
+                assert!(!s.proven_optimal);
+                assert!(s.objective.abs() < 1e-9);
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -35,8 +35,10 @@ pub mod branch;
 pub mod greedy;
 pub mod lp;
 pub mod simplex;
+pub mod sparse;
 
 pub use branch::{solve_ilp, IlpOutcome, IlpSolution, IntegerProgram, SolveLimits};
 pub use greedy::{greedy_select, greedy_select_batch, GreedyItem};
 pub use lp::{Constraint, LinearProgram, LpOutcome, LpSolution, Sense};
 pub use simplex::solve as solve_lp;
+pub use sparse::SparseMatrix;

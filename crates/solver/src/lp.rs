@@ -121,6 +121,12 @@ pub struct LpSolution {
     pub x: Vec<f64>,
     /// Objective value at `x`.
     pub objective: f64,
+    /// Per-structural-variable reduced costs at the optimal basis (basic
+    /// variables report exactly 0.0). A large `|reduced_costs[j]|` means
+    /// the objective is most sensitive to forcing `x_j` — the
+    /// branch-and-bound uses this as its branching order (CoPhy's LP
+    /// pricing idea in miniature).
+    pub reduced_costs: Vec<f64>,
 }
 
 #[cfg(test)]

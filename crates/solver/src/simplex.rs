@@ -151,11 +151,35 @@ impl Tableau {
                         x[b] = self.rhs(i);
                     }
                 }
-                LpOutcome::Optimal(LpSolution { x, objective: v })
+                let reduced_costs = self.structural_reduced_costs(&obj);
+                LpOutcome::Optimal(LpSolution { x, objective: v, reduced_costs })
             }
             Phase::Unbounded => LpOutcome::Unbounded,
             Phase::IterationLimit => LpOutcome::IterationLimit,
         }
+    }
+
+    /// Reduced costs `r_j = c_j - c_B·a_j` of the structural columns at
+    /// the current (optimal) basis; basic columns report exactly 0.0.
+    /// Same pricing loop as [`Tableau::optimize_blocked`], same summation
+    /// order — a pure readout that performs no pivots, so exporting it
+    /// cannot perturb the solution.
+    fn structural_reduced_costs(&self, obj: &[f64]) -> Vec<f64> {
+        let cb: Vec<f64> = self.basis.iter().map(|&b| obj[b]).collect();
+        (0..self.n_struct)
+            .map(|j| {
+                if self.basis.contains(&j) {
+                    return 0.0;
+                }
+                let mut r = obj[j];
+                for (ci, row) in cb.iter().zip(&self.a) {
+                    if *ci != 0.0 {
+                        r -= ci * row[j];
+                    }
+                }
+                r
+            })
+            .collect()
     }
 
     fn n_slack_count(&self) -> usize {

@@ -1,0 +1,194 @@
+//! CSR-style sparse matrix for the advisor's benefit matrix.
+//!
+//! The (query/template × candidate) benefit matrix is overwhelmingly
+//! zero once below-epsilon cells are dropped — an index helps the few
+//! statements that touch its table and columns. Materializing the dense
+//! `Vec<Vec<f64>>` is quadratic waste at workload scale; this structure
+//! stores nonzeros only and hands the ILP construction row iterators, so
+//! memory and LP size follow `nnz`, not `rows × cols`.
+//!
+//! The layout is the classic compressed-sparse-row triple
+//! (`row_ptr` / `col_idx` / `values`); building from row-major entries
+//! is O(nnz) and iteration order is exactly the insertion order, which
+//! keeps every consumer bit-identical to an equivalent dense scan.
+
+/// Immutable CSR matrix over `f64` entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes row `r`'s entries.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Build from row-major entries: `(row, col, value)` triples sorted
+    /// by `(row, col)` with no duplicates (the natural order of a scan
+    /// that skips below-epsilon cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or an order violation — both are
+    /// construction bugs, not data conditions.
+    pub fn from_row_major(
+        rows: usize,
+        cols: usize,
+        entries: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> SparseMatrix {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let mut cur_row = 0usize;
+        let mut last_col: Option<usize> = None;
+        for (r, c, v) in entries {
+            assert!(r < rows && c < cols, "entry ({r}, {c}) outside {rows}x{cols}");
+            assert!(
+                r > cur_row || (r == cur_row && last_col.map_or(true, |lc| c > lc)),
+                "entries must be strictly row-major: ({r}, {c}) after ({cur_row}, {last_col:?})"
+            );
+            while cur_row < r {
+                row_ptr.push(col_idx.len());
+                cur_row += 1;
+            }
+            last_col = Some(c);
+            col_idx.push(c);
+            values.push(v);
+        }
+        while row_ptr.len() <= rows {
+            row_ptr.push(col_idx.len());
+        }
+        SparseMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Materialized nonzero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `rows × cols` — what a dense representation would materialize.
+    pub fn dense_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The entries of row `r`, as `(col, value)` in ascending column
+    /// order.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[span.clone()].iter().copied().zip(self.values[span].iter().copied())
+    }
+
+    /// The entries of column `c`, as `(row, value)` in ascending row
+    /// order (binary search per row; the matrices here are shallow).
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (0..self.rows).filter_map(move |r| {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            self.col_idx[span.clone()]
+                .binary_search(&c)
+                .ok()
+                .map(|k| (r, self.values[span.start + k]))
+        })
+    }
+
+    /// Every entry as `(row, col, value)`, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// The value at `(r, c)` (0.0 for an unmaterialized cell).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        match self.col_idx[span.clone()].binary_search(&c) {
+            Ok(k) => self.values[span.start + k],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        // 3x4:  [ .  1  .  2 ]
+        //       [ .  .  .  . ]
+        //       [ 3  .  4  . ]
+        SparseMatrix::from_row_major(
+            3,
+            4,
+            vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0), (2, 2, 4.0)],
+        )
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.dense_cells(), 12);
+    }
+
+    #[test]
+    fn row_iteration_matches_dense() {
+        let m = sample();
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 1.0), (3, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(0, 3.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn col_iteration_matches_dense() {
+        let m = sample();
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(2, 3.0)]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![(0, 1.0)]);
+        assert_eq!(m.col(3).collect::<Vec<_>>(), vec![(0, 2.0)]);
+        assert_eq!(m.col(2).collect::<Vec<_>>(), vec![(2, 4.0)]);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing_cells() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 3), 0.0);
+    }
+
+    #[test]
+    fn iter_is_row_major() {
+        let m = sample();
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0), (2, 2, 4.0)]
+        );
+    }
+
+    #[test]
+    fn empty_and_trailing_rows() {
+        let m = SparseMatrix::from_row_major(4, 2, vec![(1, 0, 5.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(3).count(), 0);
+        assert_eq!(m.get(1, 0), 5.0);
+        let e = SparseMatrix::from_row_major(0, 0, vec![]);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.dense_cells(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly row-major")]
+    fn order_violation_panics() {
+        SparseMatrix::from_row_major(2, 2, vec![(1, 0, 1.0), (0, 1, 1.0)]);
+    }
+}

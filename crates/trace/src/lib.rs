@@ -66,11 +66,20 @@ pub enum Counter {
     WorkerPanicsRecovered,
     /// Branch-and-bound nodes expanded by the ILP solver.
     SolverNodes,
+    /// Statements merged into an existing template by workload
+    /// compression (raw statements minus surviving templates).
+    TemplatesMerged,
+    /// Nonzero benefit-matrix cells materialized for the ILP (sparse and
+    /// dense paths count the same nonzeros).
+    MatrixNnz,
+    /// Branch-and-bound nodes discarded against the incumbent bound
+    /// (warm-started or discovered during the search).
+    BnbPrunedByIncumbent,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::OptimizerInvocations,
         Counter::InumCacheHits,
         Counter::InumCacheMisses,
@@ -79,6 +88,9 @@ impl Counter {
         Counter::BudgetDegradations,
         Counter::WorkerPanicsRecovered,
         Counter::SolverNodes,
+        Counter::TemplatesMerged,
+        Counter::MatrixNnz,
+        Counter::BnbPrunedByIncumbent,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -92,6 +104,9 @@ impl Counter {
             Counter::BudgetDegradations => "budget_degradations",
             Counter::WorkerPanicsRecovered => "worker_panics_recovered",
             Counter::SolverNodes => "solver_nodes",
+            Counter::TemplatesMerged => "templates_merged",
+            Counter::MatrixNnz => "matrix_nnz",
+            Counter::BnbPrunedByIncumbent => "bnb_pruned_by_incumbent",
         }
     }
 
@@ -105,6 +120,9 @@ impl Counter {
             Counter::BudgetDegradations => 5,
             Counter::WorkerPanicsRecovered => 6,
             Counter::SolverNodes => 7,
+            Counter::TemplatesMerged => 8,
+            Counter::MatrixNnz => 9,
+            Counter::BnbPrunedByIncumbent => 10,
         }
     }
 }

@@ -303,6 +303,61 @@ fn index_suggestions_identical_with_tracing_on() {
     }
 }
 
+/// The sparse benefit matrix is a storage layout, not a semantics
+/// change: the CSR path and the dense reference path
+/// (`IlpOptions::dense_reference`) must select the **same indexes with
+/// bit-identical per-query costs**, on both schemas, at every thread
+/// count. One reference pins all twelve runs (2 layouts × 3 thread
+/// counts × 2 schemas checked per schema), so this also re-proves
+/// thread determinism of the sparse path.
+fn check_sparse_dense_agreement(mk: fn() -> Parinda, workload: &[parinda::Select], schema: &str) {
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        for dense in [false, true] {
+            let mut session = mk();
+            session.set_parallelism(Parallelism::fixed(threads));
+            let options = parinda::IlpOptions { dense_reference: dense, ..Default::default() };
+            let sugg = session
+                .suggest_indexes_with(workload, 2_u64 << 30, SelectionMethod::Ilp, &options)
+                .unwrap();
+            let fingerprint: Vec<(String, String, Vec<String>, u64)> = sugg
+                .indexes
+                .iter()
+                .map(|i| (i.name.clone(), i.table.clone(), i.columns.clone(), i.size_bytes))
+                .collect();
+            let costs: Vec<(u64, u64)> = sugg
+                .report
+                .per_query
+                .iter()
+                .map(|q| (q.cost_before.to_bits(), q.cost_after.to_bits()))
+                .collect();
+            match &reference {
+                None => reference = Some((fingerprint, costs)),
+                Some((rf, rc)) => {
+                    assert_eq!(
+                        rf, &fingerprint,
+                        "{schema} selection differs (dense={dense}, {threads} threads)"
+                    );
+                    assert_eq!(
+                        rc, &costs,
+                        "{schema} per-query costs differ (dense={dense}, {threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sdss_sparse_and_dense_ilp_agree_bit_identically() {
+    check_sparse_dense_agreement(sdss_session, &sdss_workload(), "sdss");
+}
+
+#[test]
+fn retail_sparse_and_dense_ilp_agree_bit_identically() {
+    check_sparse_dense_agreement(retail_session, &retail_workload(), "retail");
+}
+
 #[test]
 fn sdss_workload_cost_bit_identical() {
     check_workload_costs(sdss_session, &sdss_workload(), "sdss");

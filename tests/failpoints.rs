@@ -23,10 +23,12 @@ fn tiny_session() -> Parinda {
 }
 
 /// A scripted session that reaches every failpoint site: workload
-/// loading, both index advisors, AutoPart, planning, and a physical
+/// loading, template clustering, both index advisors (the ILP path
+/// seeds the solver's warm start), AutoPart, planning, and a physical
 /// data load.
 const SCRIPT: &[&str] = &[
     "workload file {wl}",
+    "workload stats",
     "suggest indexes 64 ilp",
     "suggest indexes 64 greedy",
     "suggest partitions",
@@ -69,6 +71,8 @@ fn site_manifest_is_exhaustive() {
         "solver::simplex",
         "storage::load",
         "core::dispatch",
+        "workload::cluster",
+        "solver::warmstart",
     ];
     assert_eq!(
         failpoint::SITES,

@@ -112,14 +112,16 @@ fn golden_e3_report() {
     check_golden("e3.txt", &parinda_bench::experiments::e3_report(true));
 }
 
-/// A scripted interactive session, end to end: loading, what-if design,
-/// profiling, a budget-degraded advisor run (`DEGRADED:`), and a typed
-/// error line — exactly what a DBA sees at the prompt.
+/// A scripted interactive session, end to end: loading, the clustering
+/// summary (`workload stats`), what-if design, profiling, a
+/// budget-degraded advisor run (`DEGRADED:`), and a typed error line —
+/// exactly what a DBA sees at the prompt.
 #[test]
 fn golden_console_transcript() {
     let script = [
         "load paper",
         "workload sdss",
+        "workload stats",
         "threads 1",
         "profile on",
         "whatif index w_objid photoobj objid",
