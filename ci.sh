@@ -31,6 +31,83 @@ PROPTEST_SEED="${PARINDA_CI_SEED}" cargo test -q --test no_panic
 echo "==> failpoint matrix (every site x err/panic/delay x 1/2/8 threads)"
 cargo test -q --features failpoints --test failpoints
 
+echo "==> daemon leg (parinda-server: 10 concurrent wire clients against one live daemon)"
+daemon_log="$(mktemp)"
+client_dir="$(mktemp -d)"
+./target/release/parinda-cli serve --listen 127.0.0.1:0 --load paper > "$daemon_log" &
+daemon_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$daemon_log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "daemon never announced its port"; exit 1; }
+
+# Frame headers carry payload byte counts and DEGRADED lines carry wall
+# clock; scrub both so concurrent transcripts can be diffed bytewise.
+scrub() {
+    sed -e 's/^ok [0-9][0-9]*$/ok/' \
+        -e 's/^err \([a-z]*\) [0-9][0-9]*$/err \1/' \
+        -e 's/after [0-9.]* ms/after <time> ms/'
+}
+
+replay_client() {  # one scripted advisor session, transcript to stdout
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'show tables\nworkload sdss\nworkload stats\nwhatif index w_ra photoobj ra\nshow design\nsuggest indexes 512 greedy\nquit\n' >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+exhauster_client() {  # runs its advisor under a 1-round budget cap
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'workload sdss\nbudget rounds 1\nsuggest indexes 512 greedy\nquit\n' >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+canceller_client() {  # fires `cancel` while its own request is in flight
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'workload sdss\nsuggest indexes 2048 ilp\n' >&3
+    sleep 0.2
+    printf 'cancel\nquit\n' >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+client_pids=()
+for i in $(seq 1 8); do
+    replay_client > "$client_dir/replay.$i" & client_pids+=($!)
+done
+exhauster_client > "$client_dir/exhauster" & client_pids+=($!)
+canceller_client > "$client_dir/canceller" & client_pids+=($!)
+for pid in "${client_pids[@]}"; do
+    wait "$pid" || { echo "a wire client failed"; exit 1; }
+done
+
+# all eight identical sessions must produce byte-identical transcripts
+scrub < "$client_dir/replay.1" > "$client_dir/replay.expected"
+grep -q '^bye 0$' "$client_dir/replay.expected" || { echo "replay session did not end with bye"; exit 1; }
+if grep -q 'DEGRADED' "$client_dir/replay.expected"; then echo "unbudgeted replay must not degrade"; exit 1; fi
+for i in $(seq 2 8); do
+    scrub < "$client_dir/replay.$i" | diff -u "$client_dir/replay.expected" - \
+        || { echo "replay client $i diverged from client 1"; exit 1; }
+done
+grep -q 'DEGRADED' "$client_dir/exhauster" || { echo "budget-exhauster session never degraded"; exit 1; }
+grep -q '^bye 0$' "$client_dir/canceller" || { echo "canceller session did not end cleanly"; exit 1; }
+
+# admin session: the shared plan cache must show cross-session reuse and
+# no request may have recovered a worker panic; then shut the daemon down.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'server stats\nserver shutdown\n' >&3
+cat <&3 > "$client_dir/admin"
+exec 3<&- 3>&-
+grep -q '^worker_panics_recovered 0$' "$client_dir/admin" || { echo "daemon recovered a worker panic"; cat "$client_dir/admin"; exit 1; }
+if grep -q '^inum_plan_cache_hits 0$' "$client_dir/admin"; then echo "shared plan cache saw no cross-session hits"; exit 1; fi
+grep -q '^inum_plan_cache_hits ' "$client_dir/admin" || { echo "server stats missing cache counters"; exit 1; }
+
+wait "$daemon_pid" || { echo "daemon did not exit cleanly after server shutdown"; exit 1; }
+rm -rf "$daemon_log" "$client_dir"
+echo "    daemon leg ok: 8 identical transcripts, exhauster degraded, canceller clean, zero recovered panics"
+
 echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage, trace-coverage)"
 cargo run -q -p parinda-lint --release -- --workspace
 

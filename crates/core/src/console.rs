@@ -325,6 +325,15 @@ impl Console {
         c
     }
 
+    /// A console over a shared engine: the session shares the engine's
+    /// catalog, data, and INUM plan cache with every other console on the
+    /// same engine, while this console's workload, staged design, thread
+    /// policy, budgets, cancellation token, and trace stay private. This
+    /// is what the server opens per connection.
+    pub fn with_engine(engine: &crate::session::SharedEngine) -> Self {
+        Console::with_session(engine.session())
+    }
+
     /// The loaded session, if any.
     pub fn session(&self) -> Option<&Parinda> {
         self.session.as_ref()
@@ -340,6 +349,17 @@ impl Console {
     /// checkpoint. It is shared with every installed session.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// Replace the console's cancellation token (and the installed
+    /// session's). The REPL wires every console to one process-global
+    /// token behind its Ctrl-C handler; the server gives each connection
+    /// its own token, so cancelling one session never degrades another.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+        if let Some(s) = self.session.as_mut() {
+            s.set_cancel_token(self.cancel.clone());
+        }
     }
 
     /// Install a freshly loaded session, carrying over the thread

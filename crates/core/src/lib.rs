@@ -51,7 +51,7 @@ pub use console::{parse_command, Command, Console, ConsoleReply, HELP};
 pub use report::{BenefitReport, QueryBenefit};
 pub use session::{
     guard, DropSuggestion, IndexSuggestion, Parinda, ParindaError, PartitionSuggestionReport,
-    SelectionMethod, SuggestedIndex, SuggestedPartition,
+    SelectionMethod, SessionState, SharedEngine, SuggestedIndex, SuggestedPartition,
 };
 pub use verify::{verify_whatif_index, Verification};
 

@@ -1,12 +1,30 @@
 //! The PARINDA tool session: catalog + (optionally) materialized data,
 //! exposing the three components of Figure 1.
+//!
+//! Since the server refactor the session is split in two layers:
+//!
+//! * [`EngineCore`] (private) — catalog, storage, cost parameters and the
+//!   engine-wide INUM plan cache, held behind an `Arc` and treated as
+//!   immutable while shared. [`SharedEngine`] is the public handle that
+//!   mints sessions over one core.
+//! * [`SessionState`] — everything one session may change without another
+//!   session noticing: thread policy, budgets, cancellation token, trace.
+//!
+//! A session that mutates metadata (DDL, materialization, `params_mut`)
+//! transparently *privatizes* its core: copy-on-write via
+//! [`Arc::make_mut`], a fresh plan cache (cached plans are functions of
+//! the metadata being changed), and a new generation id. Other sessions
+//! keep the old core untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parinda_advisor::{
     generate_candidates, select_indexes_greedy_budgeted, select_indexes_ilp_budgeted,
     suggest_partitions_traced, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
 };
 use parinda_catalog::{Catalog, IndexId, MetadataProvider};
-use parinda_inum::{Configuration, InumModel, InumOptions};
+use parinda_inum::{Configuration, InumModel, InumOptions, SharedPlanCache};
 use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
 use parinda_parallel::{Budget, BudgetReport, CancelToken, Parallelism};
 use parinda_sql::Select;
@@ -242,12 +260,61 @@ pub struct DropSuggestion {
     pub cost_delta: f64,
 }
 
-/// A PARINDA session.
-pub struct Parinda {
+/// Process-global source of core generation ids: every metadata version
+/// of every engine core in the process gets a unique id. Soundness of the
+/// shared plan cache comes from the fresh cache swapped in alongside each
+/// bump (see [`Parinda::privatize`]); the id itself is observability —
+/// `server stats` reports it so operators can see metadata churn.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The shareable heart of an engine: catalog + storage + cost parameters
+/// + the engine-wide INUM plan cache. Immutable while shared; sessions
+/// copy-on-write it before any mutation.
+#[derive(Clone)]
+struct EngineCore {
     catalog: Catalog,
     db: Database,
     params: CostParams,
     flags: PlannerFlags,
+    /// Thread-count policy new sessions start with.
+    default_par: Parallelism,
+    /// Engine-wide admission-control cap on per-request wall-clock
+    /// budgets: each advisor call runs under
+    /// `min(session budget, this cap)`. `None` (the default) leaves
+    /// sessions exactly as budgeted as a standalone REPL — bit-identical.
+    max_budget_ms: Option<u64>,
+    /// Unique id of this core's metadata version (see [`GENERATION`]).
+    generation: u64,
+    /// Cross-session INUM plan cache; always replaced together with any
+    /// metadata change, so entries are pure functions of this core.
+    plan_cache: Arc<SharedPlanCache>,
+}
+
+impl EngineCore {
+    fn new(catalog: Catalog) -> EngineCore {
+        EngineCore {
+            catalog,
+            db: Database::new(),
+            params: CostParams::default(),
+            flags: PlannerFlags::default(),
+            default_par: Parallelism::auto(),
+            max_budget_ms: None,
+            generation: next_generation(),
+            plan_cache: Arc::new(SharedPlanCache::new()),
+        }
+    }
+}
+
+/// Everything one session may change without any other session sharing
+/// the same engine core noticing: thread policy, budgets, cancellation
+/// token, observability handle. Staged what-if designs live one layer up,
+/// in the console.
+#[derive(Clone)]
+pub struct SessionState {
     par: Parallelism,
     /// Wall-clock budget per advisor call (`None` = unlimited).
     budget_ms: Option<u64>,
@@ -255,7 +322,9 @@ pub struct Parinda {
     /// are scheduling-independent, so round-capped runs are
     /// deterministic at any thread count.
     budget_rounds: Option<usize>,
-    /// Cooperative cancellation flag shared with the frontend (Ctrl-C).
+    /// Cooperative cancellation flag shared with the frontend (Ctrl-C in
+    /// the REPL; the connection reader in the server). Per-session by
+    /// construction: cancelling one session never touches another.
     cancel: CancelToken,
     /// Observability handle; disabled by default. Every phase of the
     /// pipeline records spans/counters through this. Tracing is strictly
@@ -263,39 +332,159 @@ pub struct Parinda {
     trace: Trace,
 }
 
-impl Parinda {
-    /// Open a session over a catalog (statistics-only mode: everything
-    /// works except execution and physical materialization).
-    pub fn new(catalog: Catalog) -> Self {
-        Parinda {
-            catalog,
-            db: Database::new(),
-            params: CostParams::default(),
-            flags: PlannerFlags::default(),
-            par: Parallelism::auto(),
+impl SessionState {
+    fn fresh(par: Parallelism) -> SessionState {
+        SessionState {
+            par,
             budget_ms: None,
             budget_rounds: None,
             cancel: CancelToken::new(),
             trace: Trace::disabled(),
         }
     }
+}
 
-    /// Open a session with materialized data.
+/// A concurrently shareable PARINDA engine: one immutable core serving
+/// many simultaneous sessions.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone mints sessions over
+/// the *same* core: sessions share the catalog, storage, cost parameters
+/// and the INUM plan cache (so one session's advisor run warms the cache
+/// for everyone), but own their budgets, cancellation token, thread
+/// policy, trace, and staged what-if designs. A session that mutates
+/// metadata detaches onto a private copy-on-write core; the shared core
+/// — and every other session — is never affected.
+#[derive(Clone)]
+pub struct SharedEngine {
+    core: Arc<EngineCore>,
+}
+
+impl SharedEngine {
+    /// A shareable engine over a catalog (statistics-only mode).
+    pub fn new(catalog: Catalog) -> SharedEngine {
+        SharedEngine::from_session(Parinda::new(catalog))
+    }
+
+    /// A shareable engine with materialized data.
+    pub fn with_database(catalog: Catalog, db: Database) -> SharedEngine {
+        SharedEngine::from_session(Parinda::with_database(catalog, db))
+    }
+
+    /// A shareable engine from a DDL script (see [`Parinda::from_ddl`]).
+    pub fn from_ddl(script: &str) -> Result<SharedEngine, ParindaError> {
+        Ok(SharedEngine::from_session(Parinda::from_ddl(script)?))
+    }
+
+    /// Promote a fully built session into a shareable engine. The
+    /// session's core (catalog, data, params, warm plan cache) becomes
+    /// the shared core; its per-session state is dropped.
+    pub fn from_session(session: Parinda) -> SharedEngine {
+        SharedEngine { core: session.core }
+    }
+
+    /// Builder: thread-count policy handed to fresh sessions. Tuning
+    /// knobs never invalidate the plan cache — results are identical at
+    /// any thread count.
+    pub fn with_default_parallelism(mut self, par: Parallelism) -> SharedEngine {
+        Arc::make_mut(&mut self.core).default_par = par;
+        self
+    }
+
+    /// Builder: engine-wide wall-clock budget cap per advisor call
+    /// (admission control). Each request runs under
+    /// `min(session budget, cap)`; `None` removes the cap.
+    pub fn with_max_budget_ms(mut self, ms: Option<u64>) -> SharedEngine {
+        Arc::make_mut(&mut self.core).max_budget_ms = ms;
+        self
+    }
+
+    /// Open an independent session over the shared core.
+    pub fn session(&self) -> Parinda {
+        Parinda {
+            core: Arc::clone(&self.core),
+            state: SessionState::fresh(self.core.default_par),
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.core.catalog
+    }
+
+    /// The engine-wide wall-clock budget cap, if any.
+    pub fn max_budget_ms(&self) -> Option<u64> {
+        self.core.max_budget_ms
+    }
+
+    /// Generation id of the shared core's metadata version.
+    pub fn generation(&self) -> u64 {
+        self.core.generation
+    }
+
+    /// INUM plan-cache hits served engine-wide (whole-query cache
+    /// populations skipped because some session already built them).
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.core.plan_cache.hits()
+    }
+
+    /// INUM plan-cache misses engine-wide (case lists built fresh).
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.core.plan_cache.misses()
+    }
+
+    /// Distinct query case lists currently in the shared plan cache.
+    pub fn plan_cache_entries(&self) -> usize {
+        self.core.plan_cache.entries()
+    }
+}
+
+/// A PARINDA session: a handle on an engine core (possibly shared with
+/// other sessions — see [`SharedEngine`]) plus this session's own
+/// [`SessionState`].
+pub struct Parinda {
+    core: Arc<EngineCore>,
+    state: SessionState,
+}
+
+impl Parinda {
+    /// Open a standalone session over a catalog (statistics-only mode:
+    /// everything works except execution and physical materialization).
+    /// The session owns its core, so mutation never copies.
+    pub fn new(catalog: Catalog) -> Self {
+        let core = EngineCore::new(catalog);
+        let state = SessionState::fresh(core.default_par);
+        Parinda { core: Arc::new(core), state }
+    }
+
+    /// Open a standalone session with materialized data.
     pub fn with_database(catalog: Catalog, db: Database) -> Self {
         let mut s = Parinda::new(catalog);
-        s.db = db;
+        s.privatize().db = db;
         s
+    }
+
+    /// Copy-on-write escape hatch for every metadata mutation (DDL,
+    /// materialization, cost-parameter edits): if other sessions share
+    /// the core it is deep-copied first, so they keep the old metadata;
+    /// either way the (possibly new) core gets a fresh generation and an
+    /// empty INUM plan cache, because cached case lists are pure
+    /// functions of exactly the state being mutated.
+    fn privatize(&mut self) -> &mut EngineCore {
+        let core = Arc::make_mut(&mut self.core);
+        core.generation = next_generation();
+        core.plan_cache = Arc::new(SharedPlanCache::new());
+        core
     }
 
     /// The thread-count policy the session's advisors evaluate with.
     pub fn parallelism(&self) -> Parallelism {
-        self.par
+        self.state.par
     }
 
     /// Change the thread-count policy (the CLI's `threads` command).
     /// Advisor output is identical at any setting; only wall-clock changes.
     pub fn set_parallelism(&mut self, par: Parallelism) {
-        self.par = par;
+        self.state.par = par;
     }
 
     /// Wall-clock budget per advisor call, in milliseconds (`None` =
@@ -303,26 +492,26 @@ impl Parinda {
     /// expired deadline returns the best design found so far, flagged
     /// `degraded`, instead of running to completion.
     pub fn budget_ms(&self) -> Option<u64> {
-        self.budget_ms
+        self.state.budget_ms
     }
 
     /// Set (or clear, with `None`) the wall-clock advisor budget.
     /// `budget off` / unlimited produces bit-identical output to a
     /// session that never had a budget.
     pub fn set_budget_ms(&mut self, ms: Option<u64>) {
-        self.budget_ms = ms;
+        self.state.budget_ms = ms;
     }
 
     /// Round-cap advisor budget (`None` = unlimited). Unlike a deadline,
     /// a round cap is scheduling-independent: the same cap yields the
     /// same degraded design at any thread count.
     pub fn budget_rounds(&self) -> Option<usize> {
-        self.budget_rounds
+        self.state.budget_rounds
     }
 
     /// Set (or clear) the round-cap advisor budget.
     pub fn set_budget_rounds(&mut self, rounds: Option<usize>) {
-        self.budget_rounds = rounds;
+        self.state.budget_rounds = rounds;
     }
 
     /// The session's cooperative cancellation token. Cancelling it (from
@@ -330,45 +519,53 @@ impl Parinda {
     /// stop at its next checkpoint and return best-so-far. The token is
     /// *not* auto-reset; callers clear it between runs.
     pub fn cancel_token(&self) -> &CancelToken {
-        &self.cancel
+        &self.state.cancel
     }
 
-    /// Replace the cancellation token (frontends share one token across
-    /// sessions so a signal handler keeps working after `load`).
+    /// Replace the cancellation token (a frontend that owns several
+    /// sessions — the REPL across `load`s, the server per connection —
+    /// wires each session to the token its signal source flips).
     pub fn set_cancel_token(&mut self, token: CancelToken) {
-        self.cancel = token;
+        self.state.cancel = token;
     }
 
     /// Request cancellation of the advisor call in flight (or the next
     /// one, if none is running).
     pub fn request_cancel(&self) {
-        self.cancel.cancel();
+        self.state.cancel.cancel();
     }
 
     /// The session's observability handle (disabled unless a frontend
     /// attached one with [`Parinda::set_trace`]).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.state.trace
     }
 
     /// Attach (or detach, with [`Trace::disabled`]) an observability
     /// handle. The console's `profile on|off` commands call this; the
     /// CLI's `--trace-json` attaches one for the whole run.
     pub fn set_trace(&mut self, trace: Trace) {
-        self.trace = trace;
+        self.state.trace = trace;
     }
 
     /// Anchor a [`Budget`] for one advisor call: deadline measured from
-    /// *now*, round cap and cancel token attached.
+    /// *now* — the session's own wall-clock budget min'd against the
+    /// engine-wide admission cap — with the round cap and cancel token
+    /// attached. Without an engine cap this is exactly the standalone
+    /// REPL budget, bit for bit.
     fn start_budget(&self) -> Budget {
-        let mut b = match self.budget_ms {
+        let ms = match (self.state.budget_ms, self.core.max_budget_ms) {
+            (Some(own), Some(cap)) => Some(own.min(cap)),
+            (own, cap) => own.or(cap),
+        };
+        let mut b = match ms {
             Some(ms) => Budget::deadline_ms(ms),
             None => Budget::unlimited(),
         };
-        if let Some(r) = self.budget_rounds {
+        if let Some(r) = self.state.budget_rounds {
             b = b.with_rounds(r);
         }
-        b.with_cancel(self.cancel.clone())
+        b.with_cancel(self.state.cancel.clone())
     }
 
     /// Open a session from a DDL script (`CREATE TABLE … ROWS n;`,
@@ -388,11 +585,12 @@ impl Parinda {
         use parinda_sql::Statement;
         let stmts =
             parinda_sql::parse_ddl_script(script)?;
+        let core = self.privatize();
         let mut created = 0;
         for stmt in stmts {
             match stmt {
                 Statement::CreateTable(ct) => {
-                    if self.catalog.table_by_name(&ct.name).is_some() {
+                    if core.catalog.table_by_name(&ct.name).is_some() {
                         return Err(ParindaError::Catalog(format!(
                             "table {} already exists",
                             ct.name
@@ -410,9 +608,9 @@ impl Parinda {
                             }
                         })
                         .collect();
-                    let id = self.catalog.create_table(&ct.name, columns, ct.rows.unwrap_or(0));
+                    let id = core.catalog.create_table(&ct.name, columns, ct.rows.unwrap_or(0));
                     if !ct.primary_key.is_empty() {
-                        let table = self.catalog.table_mut(id).ok_or_else(|| {
+                        let table = core.catalog.table_mut(id).ok_or_else(|| {
                             ParindaError::Internal("freshly created table vanished".into())
                         })?;
                         let pk: Option<Vec<usize>> =
@@ -431,7 +629,7 @@ impl Parinda {
                 }
                 Statement::CreateIndex(ci) => {
                     let cols: Vec<&str> = ci.columns.iter().map(|s| s.as_str()).collect();
-                    self.catalog
+                    core.catalog
                         .create_index(&ci.name, &ci.table, &cols)
                         .ok_or_else(|| {
                             ParindaError::Catalog(format!(
@@ -451,39 +649,43 @@ impl Parinda {
 
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        &self.core.catalog
     }
 
-    /// Mutable catalog access (DDL).
+    /// Mutable catalog access (DDL). Copy-on-write: detaches from a
+    /// shared engine core and invalidates the plan cache.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        &mut self.privatize().catalog
     }
 
     /// The storage layer.
     pub fn database(&self) -> &Database {
-        &self.db
+        &self.core.db
     }
 
-    /// Mutable storage access.
+    /// Mutable storage access. Copy-on-write, like [`Parinda::catalog_mut`].
     pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+        &mut self.privatize().db
     }
 
     /// Split mutable access to catalog and storage (index builds need
-    /// both).
+    /// both). Copy-on-write, like [`Parinda::catalog_mut`].
     pub fn catalog_db_mut(&mut self) -> (&mut Catalog, &mut Database) {
-        (&mut self.catalog, &mut self.db)
+        let core = self.privatize();
+        (&mut core.catalog, &mut core.db)
     }
 
     /// Cost parameters (mutable, like editing `postgresql.conf`).
+    /// Copy-on-write: cached plans are functions of these parameters, so
+    /// the plan cache is invalidated even if no edit follows.
     pub fn params_mut(&mut self) -> &mut CostParams {
-        &mut self.params
+        &mut self.privatize().params
     }
 
     /// EXPLAIN a statement under the current design.
     pub fn explain_sql(&self, sql: &str) -> Result<String, ParindaError> {
         let sel = {
-            let _s = self.trace.span("parse");
+            let _s = self.state.trace.span("parse");
             parinda_sql::parse_select(sql)?
         };
         self.explain_query(&sel)
@@ -492,7 +694,7 @@ impl Parinda {
     /// EXPLAIN a parsed statement.
     pub fn explain_query(&self, sel: &Select) -> Result<String, ParindaError> {
         let (q, p) = self.plan_one(sel)?;
-        Ok(explain(&p, &q, &self.catalog))
+        Ok(explain(&p, &q, &self.core.catalog))
     }
 
     /// EXPLAIN a statement with a per-node cost breakdown and, when
@@ -504,23 +706,23 @@ impl Parinda {
         design: Option<&Design>,
     ) -> Result<String, ParindaError> {
         let sel = {
-            let _s = self.trace.span("parse");
+            let _s = self.state.trace.span("parse");
             parinda_sql::parse_select(sql)?
         };
         let (q, p) = self.plan_one(&sel)?;
-        let base_rows = parinda_optimizer::breakdown(&p, &q, &self.catalog);
+        let base_rows = parinda_optimizer::breakdown(&p, &q, &self.core.catalog);
         let whatif_rows = match design {
             Some(d) if !d.is_empty() => {
-                let _s = self.trace.span("whatif");
-                let overlay = d.apply(&self.catalog)?;
+                let _s = self.state.trace.span("whatif");
+                let overlay = d.apply(&self.core.catalog)?;
                 let qh = bind(&sel, &overlay)?;
-                let ph = plan_query(&qh, &overlay, &self.params, &self.flags)?;
-                self.trace.count(Counter::OptimizerInvocations, 1);
+                let ph = plan_query(&qh, &overlay, &self.core.params, &self.core.flags)?;
+                self.state.trace.count(Counter::OptimizerInvocations, 1);
                 Some(parinda_optimizer::breakdown(&ph, &qh, &overlay))
             }
             _ => None,
         };
-        let mut out = explain(&p, &q, &self.catalog);
+        let mut out = explain(&p, &q, &self.core.catalog);
         out.push('\n');
         out.push_str(&parinda_optimizer::render_breakdown(&base_rows, whatif_rows.as_deref()));
         Ok(out)
@@ -531,10 +733,10 @@ impl Parinda {
         &self,
         sel: &Select,
     ) -> Result<(parinda_optimizer::BoundQuery, parinda_optimizer::PlanNode), ParindaError> {
-        let _s = self.trace.span("plan");
-        let q = bind(sel, &self.catalog)?;
-        let p = plan_query(&q, &self.catalog, &self.params, &self.flags)?;
-        self.trace.count(Counter::OptimizerInvocations, 1);
+        let _s = self.state.trace.span("plan");
+        let q = bind(sel, &self.core.catalog)?;
+        let p = plan_query(&q, &self.core.catalog, &self.core.params, &self.core.flags)?;
+        self.state.trace.count(Counter::OptimizerInvocations, 1);
         Ok((q, p))
     }
 
@@ -558,9 +760,16 @@ impl Parinda {
         workload: &[Select],
         design: &Design,
     ) -> Result<(BenefitReport, Vec<Select>), ParindaError> {
-        let _s = self.trace.span("whatif");
-        let r = evaluate_design(&self.catalog, &self.params, &self.flags, workload, design)?;
-        self.trace
+        let _s = self.state.trace.span("whatif");
+        let r = evaluate_design(
+            &self.core.catalog,
+            &self.core.params,
+            &self.core.flags,
+            workload,
+            design,
+        )?;
+        self.state
+            .trace
             .count(Counter::OptimizerInvocations, 2 * workload.len() as u64);
         Ok(r)
     }
@@ -622,7 +831,7 @@ impl Parinda {
         method: SelectionMethod,
         options: &IlpOptions,
     ) -> Result<(IndexSuggestion, parinda_workload::CompressedWorkload), ParindaError> {
-        let compressed = parinda_workload::compress_workload_traced(workload, &self.trace);
+        let compressed = parinda_workload::compress_workload_traced(workload, &self.state.trace);
         let queries = compressed.queries();
         let weights = compressed.weights();
         let suggestion =
@@ -640,28 +849,18 @@ impl Parinda {
     ) -> Result<IndexSuggestion, ParindaError> {
         let budget = self.start_budget();
         let mut model = {
-            let _s = self.trace.span("inum_build");
-            match weights {
-                Some(w) => InumModel::build_weighted_traced(
-                    &self.catalog,
-                    workload,
-                    w,
-                    self.params.clone(),
-                    InumOptions::default(),
-                    self.par,
-                    &budget,
-                    self.trace.clone(),
-                )?,
-                None => InumModel::build_budgeted_traced(
-                    &self.catalog,
-                    workload,
-                    self.params.clone(),
-                    InumOptions::default(),
-                    self.par,
-                    &budget,
-                    self.trace.clone(),
-                )?,
-            }
+            let _s = self.state.trace.span("inum_build");
+            InumModel::build_shared_traced(
+                &self.core.catalog,
+                workload,
+                weights,
+                self.core.params.clone(),
+                InumOptions::default(),
+                self.state.par,
+                &budget,
+                self.state.trace.clone(),
+                &self.core.plan_cache,
+            )?
         };
         let inum_skipped = model.degraded_queries();
         let queries = model.queries().to_vec();
@@ -679,7 +878,7 @@ impl Parinda {
         let mut indexes = Vec::new();
         for &id in &sel.chosen {
             let c = model.candidate(id);
-            let table = self.catalog.table(c.table).ok_or_else(|| {
+            let table = self.core.catalog.table(c.table).ok_or_else(|| {
                 ParindaError::Internal("candidate references a vanished table".into())
             })?;
             indexes.push(SuggestedIndex {
@@ -725,7 +924,7 @@ impl Parinda {
 
         let degraded = sel.degraded || inum_skipped > 0;
         if degraded {
-            self.trace.count(Counter::BudgetDegradations, 1);
+            self.state.trace.count(Counter::BudgetDegradations, 1);
         }
         let budget_report = degraded
             .then(|| sel.budget.clone().unwrap_or_else(|| budget.report(0, inum_skipped)));
@@ -745,17 +944,18 @@ impl Parinda {
         &mut self,
         suggestion: &IndexSuggestion,
     ) -> Result<Vec<IndexId>, ParindaError> {
+        let core = self.privatize();
         let mut out = Vec::new();
         for idx in &suggestion.indexes {
-            if self.db.heap(self.catalog.table_by_name(&idx.table).ok_or(ParindaError::NoData)?.id).is_none() {
+            if core.db.heap(core.catalog.table_by_name(&idx.table).ok_or(ParindaError::NoData)?.id).is_none() {
                 return Err(ParindaError::NoData);
             }
             let cols: Vec<&str> = idx.columns.iter().map(|s| s.as_str()).collect();
-            let id = self
+            let id = core
                 .catalog
                 .create_index(&idx.name, &idx.table, &cols)
                 .ok_or_else(|| ParindaError::Advisor(format!("cannot create {}", idx.name)))?;
-            self.db.build_index(&mut self.catalog, id);
+            core.db.build_index(&mut core.catalog, id);
             out.push(id);
         }
         Ok(out)
@@ -768,14 +968,15 @@ impl Parinda {
         &mut self,
         suggestion: &PartitionSuggestionReport,
     ) -> Result<Vec<parinda_catalog::TableId>, ParindaError> {
+        let core = self.privatize();
         let mut out = Vec::new();
         for (sp, nf) in suggestion.partitions.iter().zip(&suggestion.design.fragments) {
-            let parent = self
+            let parent = core
                 .catalog
                 .table_by_name(&sp.table)
                 .ok_or_else(|| ParindaError::Advisor(format!("unknown table {}", sp.table)))?
                 .clone();
-            let heap_missing = self.db.heap(parent.id).is_none();
+            let heap_missing = core.db.heap(parent.id).is_none();
             if heap_missing {
                 return Err(ParindaError::NoData);
             }
@@ -789,21 +990,21 @@ impl Parinda {
             let col_defs: Vec<parinda_catalog::Column> =
                 cols.iter().map(|&i| parent.columns[i].clone()).collect();
             let rows: Vec<Vec<parinda_catalog::Datum>> = {
-                let heap = self.db.heap(parent.id).ok_or(ParindaError::NoData)?;
+                let heap = core.db.heap(parent.id).ok_or(ParindaError::NoData)?;
                 heap.scan()
                     .map(|(_, row)| cols.iter().map(|&i| row[i].clone()).collect())
                     .collect()
             };
-            let id = self.catalog.create_table(&sp.name, col_defs, 0);
-            let part = self.catalog.table_mut(id).ok_or_else(|| {
+            let id = core.catalog.create_table(&sp.name, col_defs, 0);
+            let part = core.catalog.table_mut(id).ok_or_else(|| {
                 ParindaError::Internal("freshly created partition vanished".into())
             })?;
             part.primary_key = (0..parent.primary_key.len()).collect();
             part.partition_of = Some(parent.id);
-            self.db
-                .load_table(&mut self.catalog, id, rows)
+            core.db
+                .load_table(&mut core.catalog, id, rows)
                 .map_err(|e| ParindaError::Advisor(e.to_string()))?;
-            self.db.analyze_table(&mut self.catalog, id);
+            core.db.analyze_table(&mut core.catalog, id);
             out.push(id);
         }
         Ok(out)
@@ -816,17 +1017,18 @@ impl Parinda {
     pub fn suggest_drops(&self, workload: &[Select]) -> Result<Vec<DropSuggestion>, ParindaError> {
         let base: f64 = self.workload_cost(workload)?;
         let mut out = Vec::new();
-        for idx in self.catalog.all_indexes().to_vec() {
+        for idx in self.core.catalog.all_indexes().to_vec() {
             let design = Design { drop_indexes: vec![idx.name.clone()], ..Default::default() };
-            let overlay = design.apply(&self.catalog)?;
+            let overlay = design.apply(&self.core.catalog)?;
             let mut without = 0.0;
             for sel in workload {
                 let q = bind(sel, &overlay)?;
-                let p = plan_query(&q, &overlay, &self.params, &self.flags)?;
+                let p = plan_query(&q, &overlay, &self.core.params, &self.core.flags)?;
                 without += p.cost.total;
             }
             if without <= base * 1.0001 {
                 let table = self
+                    .core
                     .catalog
                     .table(idx.table)
                     .map(|t| t.name.clone())
@@ -852,20 +1054,20 @@ impl Parinda {
     ) -> Result<PartitionSuggestionReport, ParindaError> {
         let budget = self.start_budget();
         let sugg = suggest_partitions_traced(
-            &self.catalog,
+            &self.core.catalog,
             workload,
             config,
-            self.par,
+            self.state.par,
             &budget,
-            &self.trace,
+            &self.state.trace,
         )?;
         if sugg.degraded {
-            self.trace.count(Counter::BudgetDegradations, 1);
+            self.state.trace.count(Counter::BudgetDegradations, 1);
         }
 
         let mut partitions = Vec::with_capacity(sugg.design.fragments.len());
         for nf in &sugg.design.fragments {
-            let parent = self.catalog.table(nf.fragment.table).ok_or_else(|| {
+            let parent = self.core.catalog.table(nf.fragment.table).ok_or_else(|| {
                 ParindaError::Internal("suggested fragment references a vanished table".into())
             })?;
             partitions.push(SuggestedPartition {

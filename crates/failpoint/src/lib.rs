@@ -47,6 +47,8 @@ pub const SITES: &[&str] = &[
     "core::dispatch",          // console command dispatch (exercises the guard() backstop)
     "workload::cluster",       // template clustering in workload compression
     "solver::warmstart",       // greedy-incumbent seeding of the branch-and-bound search
+    "server::accept",          // daemon connection admission (refuses the connection)
+    "server::session",         // daemon per-request dispatch (errs one request)
 ];
 
 /// What an activated failpoint does when execution reaches it.

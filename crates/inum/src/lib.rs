@@ -10,6 +10,8 @@
 
 pub mod config;
 pub mod model;
+pub mod shared;
 
 pub use config::{CandId, CandidateIndex, Configuration};
 pub use model::{InumError, InumModel, InumOptions};
+pub use shared::SharedPlanCache;

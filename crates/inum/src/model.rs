@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use parinda_catalog::{Catalog, Index, IndexId, MetadataProvider};
 use parinda_optimizer::cost::sort_cost;
@@ -34,6 +34,7 @@ use parinda_trace::{Counter, Trace};
 use parinda_whatif::{HypotheticalCatalog, JoinScenario};
 
 use crate::config::{CandId, CandidateIndex, Configuration};
+use crate::shared::{PlanKey, SharedPlanCache};
 
 /// Maximum interesting-order combinations cached per query.
 const MAX_CASES_PER_QUERY: usize = 24;
@@ -71,7 +72,7 @@ struct RelAccess {
 
 /// A cached internal plan for one (orders, join-scenario) case.
 #[derive(Debug, Clone, PartialEq)]
-struct CachedCase {
+pub(crate) struct CachedCase {
     internal_cost: f64,
     accesses: Vec<RelAccess>,
 }
@@ -108,11 +109,13 @@ pub struct InumModel<'a> {
     weights: Option<Vec<f64>>,
     /// Cached internal-plan cases per query; `None` when a build budget
     /// expired before this query's cache was populated — [`cost`] then
-    /// falls back to a live optimizer call ([`exact_cost`]).
+    /// falls back to a live optimizer call ([`exact_cost`]). Case lists
+    /// are `Arc`'d so an engine-wide [`SharedPlanCache`] can hand the
+    /// same list to many models without copying.
     ///
     /// [`cost`]: InumModel::cost
     /// [`exact_cost`]: InumModel::exact_cost
-    cases: Vec<Option<Vec<CachedCase>>>,
+    cases: Vec<Option<Arc<Vec<CachedCase>>>>,
     candidates: Vec<CandidateIndex>,
     access_memo: AccessMemo,
     /// memo: (query, rel, candidate) -> parameterized probe cost
@@ -218,7 +221,7 @@ impl<'a> InumModel<'a> {
         budget: &Budget,
         trace: Trace,
     ) -> Result<Self, InumError> {
-        Self::build_inner(catalog, workload, None, params, options, par, budget, trace)
+        Self::build_inner(catalog, workload, None, params, options, par, budget, trace, None)
     }
 
     /// Weighted build for compressed workloads: each query carries a
@@ -251,6 +254,46 @@ impl<'a> InumModel<'a> {
             par,
             budget,
             trace,
+            None,
+        )
+    }
+
+    /// Build against an engine-wide [`SharedPlanCache`]: each query's
+    /// case list is served from the cache when any earlier build over the
+    /// same catalog already populated it, and published on a miss. Hits
+    /// and misses are attributed to `trace` as
+    /// [`Counter::SharedPlanHits`] / [`Counter::SharedPlanMisses`] and to
+    /// the cache's own exact totals. Cached case lists are pure functions
+    /// of (catalog, query SQL, [`InumOptions`]), so a warm cache is
+    /// bit-identical to a cold build — only faster. With `weights` this
+    /// is the shared-cache variant of
+    /// [`InumModel::build_weighted_traced`]; without, of
+    /// [`InumModel::build_budgeted_traced`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_shared_traced(
+        catalog: &'a Catalog,
+        workload: &[Select],
+        weights: Option<&[f64]>,
+        params: CostParams,
+        options: InumOptions,
+        par: Parallelism,
+        budget: &Budget,
+        trace: Trace,
+        cache: &SharedPlanCache,
+    ) -> Result<Self, InumError> {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), workload.len(), "one weight per query");
+        }
+        Self::build_inner(
+            catalog,
+            workload,
+            weights.map(|w| w.to_vec()),
+            params,
+            options,
+            par,
+            budget,
+            trace,
+            Some(cache),
         )
     }
 
@@ -264,6 +307,7 @@ impl<'a> InumModel<'a> {
         par: Parallelism,
         budget: &Budget,
         trace: Trace,
+        shared: Option<&SharedPlanCache>,
     ) -> Result<Self, InumError> {
         let bound = par_try_map_indexed_traced(par, workload.len(), &trace, "inum_build/bind", |i| {
             if parinda_failpoint::should_fail("inum::bind") {
@@ -302,13 +346,37 @@ impl<'a> InumModel<'a> {
         // A round cap caps how many query caches are populated; the
         // deadline/cancel check rides inside the budgeted sweep.
         let cap = budget.max_rounds().map_or(nq, |r| r.min(nq));
+        // Shared-cache keys are the canonical SQL text plus the two
+        // cache-richness knobs; the catalog is pinned by the cache's
+        // attachment to one immutable engine core (see `shared.rs`).
+        let keys: Option<Vec<PlanKey>> = shared.map(|_| {
+            workload
+                .iter()
+                .map(|q| (q.to_string(), options.max_cases_per_query, options.join_scenario_pairs))
+                .collect()
+        });
         let built = par_try_map_budgeted_traced(
             par,
             cap,
             budget,
             &model.trace,
             "inum_build/populate",
-            |k| model.build_cases(order[k]),
+            |k| {
+                let qi = order[k];
+                match (shared, &keys) {
+                    (Some(cache), Some(keys)) => {
+                        if let Some(cases) = cache.lookup(&keys[qi]) {
+                            model.trace.count(Counter::SharedPlanHits, 1);
+                            return Ok(cases);
+                        }
+                        model.trace.count(Counter::SharedPlanMisses, 1);
+                        let cases = Arc::new(model.build_cases(qi)?);
+                        cache.insert(keys[qi].clone(), Arc::clone(&cases));
+                        Ok(cases)
+                    }
+                    _ => model.build_cases(qi).map(Arc::new),
+                }
+            },
         )
         .map_err(|p| InumError::Worker(p.to_string()))?;
         let populated = built.done.len();
@@ -546,7 +614,7 @@ impl<'a> InumModel<'a> {
             return self.exact_cost(qi, config);
         };
         let mut best = f64::INFINITY;
-        for case in cases {
+        for case in cases.iter() {
             if let Some(total) = self.case_cost(qi, case, config) {
                 best = best.min(total);
             }

@@ -1,0 +1,140 @@
+//! Engine-wide shared INUM plan cache.
+//!
+//! The expensive step of building an [`InumModel`] is populating each
+//! query's internal-plan case list — dozens of full optimizer calls per
+//! query. Those case lists are **pure functions of (catalog, query SQL,
+//! cache-richness options)**: nothing about the session (designs, budgets,
+//! thread policy, traces) feeds into them. A `SharedPlanCache` therefore
+//! lives on the shared engine core and lets every session — and every
+//! repeat advisor run within one session — reuse case lists that any
+//! session already built.
+//!
+//! ## Soundness
+//!
+//! A cache is only ever attached to one immutable engine core. Whenever a
+//! session mutates its catalog, statistics, or cost parameters, the core
+//! is copy-on-written (`Arc::make_mut`) *and handed a fresh, empty cache*,
+//! so stale case lists can never be served across a metadata change. The
+//! `generation` recorded next to the cache exists for observability
+//! (`server stats`), not correctness.
+//!
+//! ## Determinism
+//!
+//! Entries are `Arc<Vec<CachedCase>>` built by [`InumModel::build_cases`],
+//! which is deterministic; racing builders of the same key insert equal
+//! values, so whichever insert lands last leaves the same bits. Hit/miss
+//! totals are exact relaxed atomics.
+//!
+//! [`InumModel`]: crate::InumModel
+//! [`InumModel::build_cases`]: crate::InumModel
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::model::CachedCase;
+
+/// Everything a cached case list is a function of, besides the catalog
+/// (which is pinned by the cache's attachment to one immutable core):
+/// the query's SQL text plus the two cache-richness knobs.
+pub(crate) type PlanKey = (String, usize, bool);
+
+/// Upper bound on cached case lists; inserts beyond it are dropped (the
+/// builder keeps its locally built list, so correctness is unaffected —
+/// only reuse stops growing). Bounds memory for adversarial workloads
+/// that stream unbounded distinct SQL through one engine.
+const MAX_ENTRIES: usize = 65_536;
+
+/// A concurrent, read-mostly map from query SQL (plus cache-richness
+/// options) to that query's INUM internal-plan case list.
+///
+/// See the module docs for the sharing/invalidations contract.
+#[derive(Debug, Default)]
+pub struct SharedPlanCache {
+    entries: Mutex<HashMap<PlanKey, Arc<Vec<CachedCase>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedPlanCache {
+    /// A fresh, empty cache.
+    pub fn new() -> SharedPlanCache {
+        SharedPlanCache::default()
+    }
+
+    /// Case lists served from the cache so far (whole-query populations
+    /// skipped).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Case lists built fresh (and published) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct case lists currently cached.
+    pub fn entries(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<Vec<CachedCase>>>> {
+        // Poison recovery: the map is only ever extended with values that
+        // are pure functions of their key, so a panicking inserter cannot
+        // leave a half-truth behind.
+        self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Look up a case list; counts a hit or a miss.
+    pub(crate) fn lookup(&self, key: &PlanKey) -> Option<Arc<Vec<CachedCase>>> {
+        let found = self.lock().get(key).cloned();
+        match found {
+            Some(cases) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cases)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a freshly built case list (no-op at the entry cap).
+    pub(crate) fn insert(&self, key: PlanKey, cases: Arc<Vec<CachedCase>>) {
+        let mut map = self.lock();
+        if map.len() < MAX_ENTRIES || map.contains_key(&key) {
+            map.insert(key, cases);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sql: &str) -> PlanKey {
+        (sql.to_string(), 24, true)
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = SharedPlanCache::new();
+        assert!(cache.lookup(&key("SELECT 1")).is_none());
+        cache.insert(key("SELECT 1"), Arc::new(Vec::new()));
+        assert!(cache.lookup(&key("SELECT 1")).is_some());
+        assert!(cache.lookup(&key("SELECT 2")).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let cache = SharedPlanCache::new();
+        cache.insert(("q".into(), 24, true), Arc::new(Vec::new()));
+        assert!(cache.lookup(&("q".into(), 1, true)).is_none());
+        assert!(cache.lookup(&("q".into(), 24, false)).is_none());
+        assert!(cache.lookup(&("q".into(), 24, true)).is_some());
+    }
+}

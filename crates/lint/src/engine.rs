@@ -21,6 +21,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/solver/src/",
     "crates/inum/src/",
     "crates/whatif/src/",
+    "crates/server/src/",
     "src/bin/",
 ];
 

@@ -1,0 +1,631 @@
+//! # parinda-server
+//!
+//! The advisor as a service: a daemon that serves many simultaneous
+//! PARINDA sessions over one [`SharedEngine`]. Each connection gets its
+//! own console — private workload, staged what-if design, budgets,
+//! cancellation token, and trace — while the catalog, storage, and the
+//! INUM plan memo are shared copy-on-write, so one session's advisor run
+//! warms the plan cache for everyone.
+//!
+//! The wire protocol *is* the console grammar: clients send the same
+//! line-oriented commands the REPL accepts, terminated by `\n`, over a
+//! plain TCP stream (std-only; no TLS, bind to loopback). Replies are
+//! length-prefixed frames so clients never have to guess where output
+//! ends:
+//!
+//! ```text
+//! ok <nbytes>\n<payload>            command succeeded
+//! err <kind> <nbytes>\n<payload>    command failed (kind = error taxonomy)
+//! bye 0\n                           connection is closing
+//! ```
+//!
+//! `<payload>` is exactly `<nbytes>` bytes and (when non-empty) ends in
+//! a newline, so a shell client can also just stream the whole
+//! connection and read it as text. One greeting frame is sent on
+//! connect, then exactly one frame per request line, in order.
+//!
+//! Two meta-commands exist only on the wire, intercepted before console
+//! dispatch: `server stats` (a stable `key value` report of the daemon's
+//! counters and the shared engine's plan-cache attribution) and `server
+//! shutdown` (graceful stop: in-flight advisor runs are cancelled at
+//! their next checkpoint, every connection is drained, the listener
+//! exits).
+//!
+//! Cancellation is scoped per connection: `cancel` sent while that
+//! connection's advisor runs is delivered immediately to *its* token by
+//! the connection's reader thread (acknowledged in order, after the
+//! interrupted request's reply); it never degrades another session.
+//! Budget admission is two-layer: a connection's own `budget` settings
+//! compose with the server-wide [`ServerOptions::max_budget_ms`] cap
+//! (the engine enforces `min` of the two).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use parinda::{Console, ConsoleReply, SharedEngine};
+use parinda_parallel::CancelToken;
+use parinda_trace::Trace;
+
+/// How long the accept loop sleeps when no connection is pending before
+/// re-checking the shutdown token.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Socket read timeout: the interval at which an idle connection's
+/// reader re-checks the server shutdown token.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Hard cap on one request line; a longer line drops the connection
+/// (protects the daemon from an unbounded-buffer client).
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Reply sent when a reader-intercepted `cancel` was delivered to an
+/// in-flight request (distinct from the console's own pre-arm reply, so
+/// clients can tell which semantics they got).
+pub const CANCEL_ACK: &str =
+    "cancellation delivered to the request in flight; its reply precedes this one";
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Maximum simultaneously connected sessions; further connects are
+    /// refused with an `err resource` frame. `0` means unlimited.
+    pub max_sessions: usize,
+    /// Server-wide per-request wall-clock cap composed (by `min`) with
+    /// each session's own `budget` setting. `None` leaves sessions
+    /// entirely to their own budgets.
+    pub max_budget_ms: Option<u64>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { max_sessions: 64, max_budget_ms: None }
+    }
+}
+
+/// Frame a successful reply payload.
+pub fn frame_output(out: &str) -> Vec<u8> {
+    let mut payload = out.to_string();
+    if !payload.is_empty() && !payload.ends_with('\n') {
+        payload.push('\n');
+    }
+    let mut f = format!("ok {}\n", payload.len()).into_bytes();
+    f.extend_from_slice(payload.as_bytes());
+    f
+}
+
+/// Frame an error reply; the payload repeats the REPL's rendering so a
+/// streaming client sees exactly what the terminal user would.
+pub fn frame_error(kind: &str, message: &str) -> Vec<u8> {
+    let payload = format!("error [{kind}]: {message}\n");
+    let mut f = format!("err {kind} {}\n", payload.len()).into_bytes();
+    f.extend_from_slice(payload.as_bytes());
+    f
+}
+
+/// The closing frame.
+pub fn frame_bye() -> Vec<u8> {
+    b"bye 0\n".to_vec()
+}
+
+/// Frame one console reply exactly as the daemon would. Exposed so the
+/// tests can build the expected serial transcript through the same
+/// encoder the server uses — byte identity by construction.
+pub fn frame_reply(reply: &ConsoleReply) -> Vec<u8> {
+    match reply {
+        ConsoleReply::Output(out) => frame_output(out),
+        ConsoleReply::Error(e) => frame_error(e.kind(), &e.to_string()),
+        ConsoleReply::Quit => frame_bye(),
+    }
+}
+
+/// The greeting frame sent to every accepted connection.
+pub fn greeting() -> Vec<u8> {
+    frame_output(
+        "PARINDA advisor service ready: console grammar over the wire \
+         (also `server stats`, `server shutdown`)",
+    )
+}
+
+/// Evaluate a failpoint probe without letting an injected panic escape
+/// into the daemon's accept or request path: a panic counts as "fired".
+fn failpoint_fires(probe: impl Fn() -> bool + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(probe).unwrap_or(true)
+}
+
+/// Shared daemon state: the engine, the knobs, and the counters behind
+/// `server stats`.
+struct Inner {
+    engine: SharedEngine,
+    options: ServerOptions,
+    shutdown: CancelToken,
+    /// Server-level observability: one `server_request` span per request
+    /// across all sessions. Never attached to a session console, so
+    /// per-session `profile` output is byte-identical to the REPL.
+    trace: Trace,
+    sessions_accepted: AtomicU64,
+    sessions_rejected: AtomicU64,
+    sessions_active: AtomicU64,
+    requests: AtomicU64,
+    request_errors: AtomicU64,
+    cancelled_inflight: AtomicU64,
+    worker_panics_recovered: AtomicU64,
+    /// Per-connection cancellation tokens, for the shutdown fan-out.
+    tokens: Mutex<HashMap<u64, CancelToken>>,
+}
+
+impl Inner {
+    fn lock_tokens(&self) -> MutexGuard<'_, HashMap<u64, CancelToken>> {
+        self.tokens.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The `server stats` report: stable `key value` lines, one per
+    /// counter, grep-friendly for scripted clients.
+    fn render_stats(&self) -> String {
+        let spans = self
+            .trace
+            .snapshot()
+            .spans
+            .get("server_request")
+            .map(|s| s.count)
+            .unwrap_or(0);
+        format!(
+            "sessions_accepted {}\nsessions_rejected {}\nsessions_active {}\n\
+             requests {}\nrequest_errors {}\ncancelled_inflight {}\n\
+             worker_panics_recovered {}\nserver_request_spans {}\n\
+             inum_plan_cache_hits {}\ninum_plan_cache_misses {}\n\
+             inum_plan_cache_entries {}\nengine_generation {}",
+            self.sessions_accepted.load(Ordering::Relaxed),
+            self.sessions_rejected.load(Ordering::Relaxed),
+            self.sessions_active.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.request_errors.load(Ordering::Relaxed),
+            self.cancelled_inflight.load(Ordering::Relaxed),
+            self.worker_panics_recovered.load(Ordering::Relaxed),
+            spans,
+            self.engine.plan_cache_hits(),
+            self.engine.plan_cache_misses(),
+            self.engine.plan_cache_entries(),
+            self.engine.generation(),
+        )
+    }
+}
+
+/// One event from a connection's reader thread to its worker.
+enum Event {
+    /// A complete request line (without the trailing newline).
+    Line(String),
+    /// A `cancel` that was delivered straight to the in-flight request.
+    CancelAck,
+    /// The client hung up, sent an oversized line, or the server is
+    /// shutting down.
+    Eof,
+}
+
+/// Decrements `sessions_active` and unregisters the connection's cancel
+/// token on every exit path, including contained panics.
+struct ConnGuard {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.inner.lock_tokens().remove(&self.id);
+        self.inner.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] blocks the calling
+/// thread; [`Server::spawn`] runs it on its own thread and returns a
+/// [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// A running daemon: its address plus a shutdown handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: CancelToken,
+    join: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Where the daemon listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a graceful stop (same as a client's `server shutdown`)
+    /// and wait for the accept loop and every connection to drain.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.cancel();
+        match self.join.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::new(io::ErrorKind::Other, "server thread panicked")),
+        }
+    }
+}
+
+impl Server {
+    /// Bind the daemon to `addr` (use `127.0.0.1:0` for an ephemeral
+    /// port) over a shared engine. [`ServerOptions::max_budget_ms`] is
+    /// installed on the engine as the server-wide budget cap.
+    pub fn bind(engine: SharedEngine, addr: &str, options: ServerOptions) -> io::Result<Server> {
+        let engine = match options.max_budget_ms {
+            Some(ms) => engine.with_max_budget_ms(Some(ms)),
+            None => engine,
+        };
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                engine,
+                options,
+                shutdown: CancelToken::new(),
+                trace: Trace::recording(),
+                sessions_accepted: AtomicU64::new(0),
+                sessions_rejected: AtomicU64::new(0),
+                sessions_active: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                request_errors: AtomicU64::new(0),
+                cancelled_inflight: AtomicU64::new(0),
+                worker_panics_recovered: AtomicU64::new(0),
+                tokens: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `:0` binds).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The token that stops the daemon; cancel it from a signal handler
+    /// or another thread for the same effect as `server shutdown`.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.inner.shutdown.clone()
+    }
+
+    /// Run the accept loop on the current thread until shutdown, then
+    /// cancel every in-flight session and drain all connections.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut next_id: u64 = 0;
+        while !self.inner.shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    next_id += 1;
+                    self.accept_one(stream, next_id, &mut handles);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+            // Reap finished connections so the handle list stays small
+            // on long-lived daemons.
+            handles.retain(|h| !h.is_finished());
+        }
+        // Graceful shutdown: stop every in-flight advisor run at its
+        // next checkpoint, then wait for the connections to drain.
+        for token in self.inner.lock_tokens().values() {
+            token.cancel();
+        }
+        for h in handles {
+            h.join().ok();
+        }
+        Ok(())
+    }
+
+    /// Run the daemon on its own thread; returns once the listener is
+    /// live, so the address is immediately connectable.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown_token();
+        let join = thread::Builder::new()
+            .name("parinda-server".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, shutdown, join })
+    }
+
+    /// Admission control plus the handoff to a connection thread.
+    fn accept_one(
+        &self,
+        mut stream: TcpStream,
+        id: u64,
+        handles: &mut Vec<thread::JoinHandle<()>>,
+    ) {
+        if failpoint_fires(|| parinda_failpoint::should_fail("server::accept")) {
+            self.inner.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            stream.write_all(&frame_error("resource", "connection refused by failpoint server::accept")).ok();
+            stream.shutdown(Shutdown::Both).ok();
+            return;
+        }
+        let max = self.inner.options.max_sessions;
+        if max != 0 && self.inner.sessions_active.load(Ordering::Relaxed) >= max as u64 {
+            self.inner.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            stream
+                .write_all(&frame_error(
+                    "resource",
+                    &format!("session limit reached ({max} active); retry later"),
+                ))
+                .ok();
+            stream.shutdown(Shutdown::Both).ok();
+            return;
+        }
+        self.inner.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+        self.inner.sessions_active.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        self.inner.lock_tokens().insert(id, token.clone());
+        let inner = Arc::clone(&self.inner);
+        let spawned = thread::Builder::new()
+            .name(format!("parinda-conn-{id}"))
+            .spawn(move || serve_connection(inner, stream, id, token));
+        match spawned {
+            Ok(h) => handles.push(h),
+            Err(_) => {
+                // Thread spawn failed (resource exhaustion): undo the
+                // bookkeeping; the guard never ran.
+                self.inner.lock_tokens().remove(&id);
+                self.inner.sessions_active.fetch_sub(1, Ordering::Relaxed);
+                self.inner.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The per-connection worker: owns the console, replies in request
+/// order, and delegates socket reading to a companion reader thread so
+/// `cancel` can interrupt a request already running.
+fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream, id: u64, token: CancelToken) {
+    let _guard = ConnGuard { inner: Arc::clone(&inner), id };
+    if stream.write_all(&greeting()).is_err() {
+        return;
+    }
+    let busy = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Event>();
+    let reader = {
+        let Ok(read_half) = stream.try_clone() else { return };
+        let busy = Arc::clone(&busy);
+        let token = token.clone();
+        let shutdown = inner.shutdown.clone();
+        let counter = Arc::clone(&inner);
+        thread::Builder::new()
+            .name(format!("parinda-read-{id}"))
+            .spawn(move || read_lines(read_half, tx, busy, token, shutdown, counter))
+    };
+    let Ok(reader) = reader else { return };
+
+    let mut console = Console::with_engine(&inner.engine);
+    console.set_cancel_token(token);
+    loop {
+        let event = match rx.recv() {
+            Ok(e) => e,
+            Err(_) => break,
+        };
+        match event {
+            Event::Eof => {
+                // Client gone or server stopping: best-effort farewell.
+                stream.write_all(&frame_bye()).ok();
+                break;
+            }
+            Event::CancelAck => {
+                if stream.write_all(&frame_output(CANCEL_ACK)).is_err() {
+                    break;
+                }
+            }
+            Event::Line(line) => {
+                busy.store(true, Ordering::SeqCst);
+                let (bytes, done) = handle_request(&inner, &mut console, &line);
+                busy.store(false, Ordering::SeqCst);
+                if stream.write_all(&bytes).is_err() || done {
+                    break;
+                }
+            }
+        }
+    }
+    // Unblock the reader if it is still waiting on the socket.
+    stream.shutdown(Shutdown::Both).ok();
+    reader.join().ok();
+}
+
+/// Dispatch one request line; returns the reply frame and whether the
+/// connection should close afterwards.
+fn handle_request(inner: &Inner, console: &mut Console, line: &str) -> (Vec<u8>, bool) {
+    let _span = inner.trace.span("server_request");
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    if failpoint_fires(|| parinda_failpoint::should_fail("server::session")) {
+        inner.request_errors.fetch_add(1, Ordering::Relaxed);
+        return (frame_error("internal", "failpoint server::session"), false);
+    }
+    // Wire-only meta-commands, intercepted before console dispatch.
+    let meta = line.trim().to_ascii_lowercase();
+    if meta == "server stats" {
+        return (frame_output(&inner.render_stats()), false);
+    }
+    if meta == "server shutdown" {
+        inner.shutdown.cancel();
+        let mut bytes = frame_output("shutting down: draining sessions");
+        bytes.extend_from_slice(&frame_bye());
+        return (bytes, true);
+    }
+    let reply = console.run_line(line);
+    if let ConsoleReply::Error(e) = &reply {
+        inner.request_errors.fetch_add(1, Ordering::Relaxed);
+        if e.kind() == "internal" {
+            // guard() turned a worker panic into a typed reply; the
+            // session (and the daemon) lives on.
+            inner.worker_panics_recovered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let done = matches!(reply, ConsoleReply::Quit);
+    (frame_reply(&reply), done)
+}
+
+/// The reader half of a connection: assemble request lines, deliver
+/// `cancel` to an in-flight request immediately, and translate client
+/// hangup / server shutdown / oversized input into one `Eof` event.
+fn read_lines(
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Event>,
+    busy: Arc<AtomicBool>,
+    token: CancelToken,
+    shutdown: CancelToken,
+    counter: Arc<Inner>,
+) {
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if shutdown.is_cancelled() {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        pending.extend_from_slice(&buf[..n]);
+        if pending.len() > MAX_LINE_BYTES {
+            break;
+        }
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
+            if line.trim().eq_ignore_ascii_case("cancel") && busy.load(Ordering::SeqCst) {
+                // Deliver straight to the running request; the console
+                // will see the flag at its next checkpoint. The ack is
+                // queued so replies stay in request order.
+                token.cancel();
+                counter.cancelled_inflight.fetch_add(1, Ordering::Relaxed);
+                if tx.send(Event::CancelAck).is_err() {
+                    return;
+                }
+            } else if tx.send(Event::Line(line)).is_err() {
+                return;
+            }
+        }
+    }
+    tx.send(Event::Eof).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn tiny_engine() -> SharedEngine {
+        SharedEngine::from_ddl(
+            "CREATE TABLE obs (id BIGINT NOT NULL, ra DOUBLE PRECISION NOT NULL,
+                               PRIMARY KEY (id)) ROWS 5000;",
+        )
+        .expect("tiny DDL parses")
+    }
+
+    /// Read one `ok/err/bye` frame; returns (header, payload).
+    fn read_frame(r: &mut impl BufRead) -> (String, String) {
+        let mut header = String::new();
+        r.read_line(&mut header).expect("frame header");
+        let header = header.trim_end().to_string();
+        let n: usize = header
+            .rsplit(' ')
+            .next()
+            .and_then(|w| w.parse().ok())
+            .expect("sized frame header");
+        let mut payload = vec![0u8; n];
+        r.read_exact(&mut payload).expect("frame payload");
+        (header, String::from_utf8_lossy(&payload).into_owned())
+    }
+
+    #[test]
+    fn frames_are_length_prefixed() {
+        assert_eq!(frame_output("hi"), b"ok 3\nhi\n".to_vec());
+        assert_eq!(frame_output(""), b"ok 0\n".to_vec());
+        assert_eq!(frame_bye(), b"bye 0\n".to_vec());
+        let f = frame_error("parse", "nope");
+        let s = String::from_utf8_lossy(&f).into_owned();
+        assert!(s.starts_with("err parse "), "{s}");
+        assert!(s.ends_with("error [parse]: nope\n"), "{s}");
+    }
+
+    #[test]
+    fn roundtrip_one_session() {
+        let server = Server::bind(tiny_engine(), "127.0.0.1:0", ServerOptions::default())
+            .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let stream = TcpStream::connect(handle.addr())
+            .expect("connect");
+        let mut w = stream.try_clone().expect("clone");
+        let mut r = io::BufReader::new(stream);
+        let (h, _) = read_frame(&mut r); // greeting
+        assert!(h.starts_with("ok "), "{h}");
+        w.write_all(b"show tables\nfrobnicate\nserver stats\nquit\n")
+            .expect("write");
+        let (h, p) = read_frame(&mut r);
+        assert!(h.starts_with("ok "), "{h}");
+        assert!(p.contains("obs"), "{p}");
+        let (h, p) = read_frame(&mut r);
+        assert!(h.starts_with("err parse "), "{h}");
+        assert!(p.contains("unknown command"), "{p}");
+        let (h, p) = read_frame(&mut r);
+        assert!(h.starts_with("ok "), "{h}");
+        assert!(p.contains("requests 3"), "{p}");
+        assert!(p.contains("worker_panics_recovered 0"), "{p}");
+        assert!(p.contains("server_request_spans "), "{p}");
+        let (h, _) = read_frame(&mut r);
+        assert_eq!(h, "bye 0");
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn session_limit_refuses_with_resource_error() {
+        let server = Server::bind(
+            tiny_engine(),
+            "127.0.0.1:0",
+            ServerOptions { max_sessions: 1, ..ServerOptions::default() },
+        )
+        .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let first = TcpStream::connect(handle.addr())
+            .expect("connect");
+        let mut r1 = io::BufReader::new(first);
+        let (h, _) = read_frame(&mut r1);
+        assert!(h.starts_with("ok "), "{h}");
+        // Second connection must be refused while the first is active.
+        let second = TcpStream::connect(handle.addr())
+            .expect("connect");
+        let mut r2 = io::BufReader::new(second);
+        let (h, p) = read_frame(&mut r2);
+        assert!(h.starts_with("err resource "), "{h}");
+        assert!(p.contains("session limit"), "{p}");
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn shutdown_drains_idle_connections() {
+        let server = Server::bind(tiny_engine(), "127.0.0.1:0", ServerOptions::default())
+            .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let stream = TcpStream::connect(handle.addr())
+            .expect("connect");
+        let mut r = io::BufReader::new(stream);
+        let (h, _) = read_frame(&mut r);
+        assert!(h.starts_with("ok "), "{h}");
+        // No quit: the idle connection must be drained by shutdown.
+        handle.shutdown().expect("clean shutdown");
+        let (h, _) = read_frame(&mut r);
+        assert_eq!(h, "bye 0");
+    }
+}

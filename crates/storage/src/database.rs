@@ -12,7 +12,11 @@ use crate::btree::{BTree, Entry};
 use crate::heap::{HeapError, HeapFile, Tid};
 
 /// Heap + index storage for the tables of a [`Catalog`].
-#[derive(Debug, Default)]
+///
+/// `Clone` supports the shared engine's copy-on-write overlays: a session
+/// that materializes data privatizes its engine core, deep-copying the
+/// heaps and indexes it is about to mutate.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     heaps: HashMap<TableId, HeapFile>,
     indexes: HashMap<IndexId, BTree>,

@@ -75,11 +75,17 @@ pub enum Counter {
     /// Branch-and-bound nodes discarded against the incumbent bound
     /// (warm-started or discovered during the search).
     BnbPrunedByIncumbent,
+    /// INUM internal-plan sets served from the engine-wide shared plan
+    /// cache (a whole query's cache population skipped).
+    SharedPlanHits,
+    /// INUM internal-plan sets built fresh and published to the
+    /// engine-wide shared plan cache.
+    SharedPlanMisses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 13] = [
         Counter::OptimizerInvocations,
         Counter::InumCacheHits,
         Counter::InumCacheMisses,
@@ -91,6 +97,8 @@ impl Counter {
         Counter::TemplatesMerged,
         Counter::MatrixNnz,
         Counter::BnbPrunedByIncumbent,
+        Counter::SharedPlanHits,
+        Counter::SharedPlanMisses,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -107,6 +115,8 @@ impl Counter {
             Counter::TemplatesMerged => "templates_merged",
             Counter::MatrixNnz => "matrix_nnz",
             Counter::BnbPrunedByIncumbent => "bnb_pruned_by_incumbent",
+            Counter::SharedPlanHits => "shared_plan_hits",
+            Counter::SharedPlanMisses => "shared_plan_misses",
         }
     }
 
@@ -123,6 +133,8 @@ impl Counter {
             Counter::TemplatesMerged => 8,
             Counter::MatrixNnz => 9,
             Counter::BnbPrunedByIncumbent => 10,
+            Counter::SharedPlanHits => 11,
+            Counter::SharedPlanMisses => 12,
         }
     }
 }

@@ -114,12 +114,42 @@ pub fn fingerprint(sql: &str) -> String {
             }
             out.push('?');
             prev_ident = false;
-        } else if c.is_ascii_digit() && !prev_ident {
+        } else if !prev_ident
+            && (c.is_ascii_digit()
+                || (c == '.' && chars.peek().map_or(false, |c2| c2.is_ascii_digit())))
+        {
+            // numeric literal: digit/dot run (covers `19.5` and `.5`) ...
             while let Some(&c2) = chars.peek() {
                 if c2.is_ascii_digit() || c2 == '.' {
                     chars.next();
                 } else {
                     break;
+                }
+            }
+            // ... plus an optional exponent (`1e6`, `1.5e-3`, `2E+10`).
+            // Two-char lookahead so a bare trailing `e` (an identifier,
+            // as in `1 e`-adjacent aliases) is not swallowed.
+            let mut look = chars.clone();
+            if matches!(look.next(), Some('e') | Some('E')) {
+                let consume_exp = match look.next() {
+                    Some('+') | Some('-') => {
+                        let signed = look.next().map_or(false, |d| d.is_ascii_digit());
+                        if signed {
+                            chars.next(); // e/E
+                            chars.next(); // sign
+                        }
+                        signed
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        chars.next(); // e/E
+                        true
+                    }
+                    _ => false,
+                };
+                if consume_exp {
+                    while chars.peek().map_or(false, |d| d.is_ascii_digit()) {
+                        chars.next();
+                    }
                 }
             }
             out.push('?');
@@ -255,6 +285,40 @@ mod tests {
     fn fingerprint_strips_literals_not_identifier_digits() {
         let fp = fingerprint("SELECT modelmag_r FROM photoobj p1 WHERE modelmag_r < 19.5");
         assert_eq!(fp, "select modelmag_r from photoobj p1 where modelmag_r < ?");
+    }
+
+    #[test]
+    fn fingerprint_normalizes_leading_dot_decimals() {
+        // `.5` and `0.5` are the same literal and must key identically
+        let a = fingerprint("SELECT a FROM t WHERE r < .5");
+        let b = fingerprint("SELECT a FROM t WHERE r < 0.5");
+        assert_eq!(a, b);
+        assert_eq!(a, "select a from t where r < ?");
+    }
+
+    #[test]
+    fn fingerprint_normalizes_exponent_literals() {
+        for lit in ["1e6", "1.5e-3", "2E+10", ".25e2", "7"] {
+            let fp = fingerprint(&format!("SELECT a FROM t WHERE r < {lit}"));
+            assert_eq!(fp, "select a from t where r < ?", "literal {lit}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_leaves_non_exponent_suffixes_alone() {
+        // `1e` is a number followed by an identifier, not an exponent
+        let fp = fingerprint("SELECT a FROM t1e WHERE r < 1e");
+        assert_eq!(fp, "select a from t1e where r < ?e");
+        // `1e+` with no digits is arithmetic on an identifier, untouched
+        let fp = fingerprint("SELECT a FROM t WHERE r < 1e+ x");
+        assert_eq!(fp, "select a from t where r < ?e+ x");
+    }
+
+    #[test]
+    fn fingerprint_keeps_qualified_column_dots() {
+        // alias-qualified columns keep their dot; only literals collapse
+        let fp = fingerprint("SELECT t1.ra FROM photoobj t1 WHERE t1.ra < .5");
+        assert_eq!(fp, "select t1.ra from photoobj t1 where t1.ra < ?");
     }
 
     #[test]

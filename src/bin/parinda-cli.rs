@@ -24,10 +24,21 @@
 //! With `--trace-json <path>`, the whole run is recorded (as if
 //! `profile on` were the first command) and a machine-readable
 //! `parinda-trace/v1` profile is written to `<path>` on exit.
+//!
+//! `parinda-cli serve` runs the same console grammar as a daemon
+//! instead (see `parinda-server`): many concurrent sessions over one
+//! shared engine, each with its own budgets and cancellation scope.
+//! In serve mode Ctrl-C triggers a graceful `server shutdown` rather
+//! than cancelling a console run.
+//!
+//! ```text
+//! parinda-cli serve --listen 127.0.0.1:7144 --load paper
+//! ```
 
 use std::io::{self, BufRead, Write};
 
-use parinda::{Console, ConsoleReply, Trace};
+use parinda::{Console, ConsoleReply, SharedEngine, Trace};
+use parinda_server::{Server, ServerOptions};
 
 /// SIGINT → cooperative cancellation, unix only. Uses the libc `signal`
 /// symbol directly (declared here — no libc crate dependency); the
@@ -59,9 +70,48 @@ mod sigint {
     }
 }
 
-/// Parse the CLI arguments; only `--trace-json <path>` is recognized.
-fn parse_args() -> Result<Option<String>, String> {
-    let mut args = std::env::args().skip(1);
+/// How the binary was asked to run: the interactive REPL (default) or
+/// the multi-session daemon.
+enum Mode {
+    Repl { trace_json: Option<String> },
+    Serve { listen: String, load: Option<String>, options: ServerOptions },
+}
+
+const USAGE: &str = "usage: parinda-cli [--trace-json <path>]\n\
+       parinda-cli serve [--listen <addr>] [--load paper|laptop[:rows]|ddl:<path>]\n\
+                         [--max-sessions <n>] [--max-budget-ms <ms>]";
+
+/// Parse the CLI arguments into a [`Mode`].
+fn parse_args() -> Result<Mode, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(|a| a.as_str()) == Some("serve") {
+        args.next();
+        let mut listen = "127.0.0.1:0".to_string();
+        let mut load = None;
+        let mut options = ServerOptions::default();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--listen" => match args.next() {
+                    Some(v) => listen = v,
+                    None => return Err("--listen requires an address".into()),
+                },
+                "--load" => match args.next() {
+                    Some(v) => load = Some(v),
+                    None => return Err("--load requires a spec".into()),
+                },
+                "--max-sessions" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => options.max_sessions = n,
+                    None => return Err("--max-sessions requires a count".into()),
+                },
+                "--max-budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(ms) => options.max_budget_ms = Some(ms),
+                    None => return Err("--max-budget-ms requires milliseconds".into()),
+                },
+                other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            }
+        }
+        return Ok(Mode::Serve { listen, load, options });
+    }
     let mut trace_json = None;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -69,19 +119,74 @@ fn parse_args() -> Result<Option<String>, String> {
                 Some(p) => trace_json = Some(p),
                 None => return Err("--trace-json requires a path".into()),
             },
-            other => return Err(format!("unknown argument `{other}` (usage: parinda-cli [--trace-json <path>])")),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
-    Ok(trace_json)
+    Ok(Mode::Repl { trace_json })
+}
+
+/// Build the daemon's shared engine from a `--load` spec.
+fn build_engine(load: Option<&str>) -> Result<SharedEngine, String> {
+    use parinda_workload::{generate_and_load, sdss_catalog, synthesize_stats, SdssScale};
+    match load {
+        None => Ok(SharedEngine::new(parinda::Catalog::new())),
+        Some("paper") => {
+            let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+            synthesize_stats(&mut cat, &tables);
+            Ok(SharedEngine::new(cat))
+        }
+        Some(spec) if spec == "laptop" || spec.starts_with("laptop:") => {
+            let rows = match spec.strip_prefix("laptop:") {
+                None | Some("") => 20_000,
+                Some(n) => n.parse::<u64>().map_err(|_| format!("bad row count in `{spec}`"))?,
+            };
+            let (mut cat, tables) = sdss_catalog(SdssScale::laptop(rows));
+            let mut db = parinda::Database::new();
+            generate_and_load(&mut cat, &mut db, &tables, 42);
+            Ok(SharedEngine::with_database(cat, db))
+        }
+        Some(spec) => match spec.strip_prefix("ddl:") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                SharedEngine::from_ddl(&text).map_err(|e| e.to_string())
+            }
+            None => Err(format!("unknown --load spec `{spec}` (paper|laptop[:rows]|ddl:<path>)")),
+        },
+    }
+}
+
+/// Daemon mode: bind, announce the port, serve until shutdown. Ctrl-C
+/// cancels the *server's* shutdown token — per-connection advisor runs
+/// get their own tokens, so one session's cancel never touches another.
+fn serve_main(listen: &str, load: Option<&str>, options: ServerOptions) -> Result<(), String> {
+    let engine = build_engine(load)?;
+    let server = Server::bind(engine, listen, options).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    io::stdout().flush().ok();
+    #[cfg(unix)]
+    sigint::install(server.shutdown_token());
+    server.run().map_err(|e| e.to_string())
 }
 
 fn main() {
-    let trace_json = match parse_args() {
-        Ok(t) => t,
+    let mode = match parse_args() {
+        Ok(m) => m,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+    };
+    let trace_json = match mode {
+        Mode::Serve { listen, load, options } => {
+            if let Err(e) = serve_main(&listen, load.as_deref(), options) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Mode::Repl { trace_json } => trace_json,
     };
     println!("PARINDA interactive physical designer (type `help`)");
     let mut console = Console::new();

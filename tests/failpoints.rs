@@ -13,13 +13,13 @@
 use parinda::{Console, ConsoleReply, Parinda};
 use parinda_failpoint::{self as failpoint, Action};
 
+const TINY_DDL: &str =
+    "CREATE TABLE obs (id BIGINT NOT NULL, ra DOUBLE PRECISION, dec DOUBLE PRECISION,
+                       flags BIGINT, PRIMARY KEY (id)) ROWS 5000;
+     CREATE TABLE src (id BIGINT NOT NULL, mag DOUBLE PRECISION, PRIMARY KEY (id)) ROWS 800;";
+
 fn tiny_session() -> Parinda {
-    Parinda::from_ddl(
-        "CREATE TABLE obs (id BIGINT NOT NULL, ra DOUBLE PRECISION, dec DOUBLE PRECISION,
-                           flags BIGINT, PRIMARY KEY (id)) ROWS 5000;
-         CREATE TABLE src (id BIGINT NOT NULL, mag DOUBLE PRECISION, PRIMARY KEY (id)) ROWS 800;",
-    )
-    .expect("fixed DDL parses")
+    Parinda::from_ddl(TINY_DDL).expect("fixed DDL parses")
 }
 
 /// A scripted session that reaches every failpoint site: workload
@@ -51,6 +51,61 @@ fn run_script(threads: usize, wl: &str) -> Vec<String> {
         .collect()
 }
 
+/// Read one wire frame (`ok/err/bye` header + sized payload) as one
+/// string, or `None` on a broken connection.
+fn read_frame(r: &mut impl std::io::BufRead) -> Option<String> {
+    let mut header = String::new();
+    if r.read_line(&mut header).ok()? == 0 {
+        return None;
+    }
+    let n: usize = header.trim_end().rsplit(' ').next()?.parse().ok()?;
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload).ok()?;
+    Some(format!("{header}{}", String::from_utf8_lossy(&payload)))
+}
+
+/// [`run_script`] driven over the wire instead: a fresh daemon on an
+/// ephemeral port, one client connection replaying [`SCRIPT`], replies
+/// captured as raw frames. `server::accept` refusals surface as a
+/// single `err` frame in greeting position.
+fn run_wire_script(threads: usize, wl: &str) -> Vec<String> {
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+    let engine = parinda::SharedEngine::from_ddl(TINY_DDL).expect("fixed DDL parses");
+    let server = parinda_server::Server::bind(
+        engine,
+        "127.0.0.1:0",
+        parinda_server::ServerOptions::default(),
+    )
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let replies = (|| {
+        let stream = TcpStream::connect(handle.addr()).ok()?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(60))).ok();
+        let mut w = stream.try_clone().ok()?;
+        let mut r = BufReader::new(stream);
+        let greeting = read_frame(&mut r)?;
+        if greeting.starts_with("err") {
+            return Some(vec![greeting]);
+        }
+        let mut lines = vec![format!("threads {threads}")];
+        lines.extend(SCRIPT.iter().map(|l| l.replace("{wl}", wl)));
+        for l in &lines {
+            w.write_all(format!("{l}\n").as_bytes()).ok()?;
+        }
+        let mut out = Vec::new();
+        for _ in &lines {
+            out.push(read_frame(&mut r)?);
+        }
+        // drop the `threads` echo, like run_script (its text mentions
+        // the thread count, which legitimately differs per run)
+        Some(out.split_off(1))
+    })()
+    .unwrap_or_else(|| vec!["wire: connection failed".into()]);
+    handle.shutdown().expect("clean shutdown");
+    replies
+}
+
 /// Literal manifest of every registered site. The matrix below iterates
 /// `failpoint::SITES` programmatically, so without this pin a site could
 /// be added (or renamed) without anyone checking that [`SCRIPT`] still
@@ -73,6 +128,8 @@ fn site_manifest_is_exhaustive() {
         "core::dispatch",
         "workload::cluster",
         "solver::warmstart",
+        "server::accept",
+        "server::session",
     ];
     assert_eq!(
         failpoint::SITES,
@@ -105,8 +162,23 @@ fn every_site_is_contained_and_thread_deterministic() {
         clean.iter().all(|r| r.starts_with("ok: ")),
         "clean script should succeed everywhere: {clean:#?}"
     );
+    // Same sanity pass for the wire driver used by the server sites.
+    let clean_wire = run_wire_script(1, &wl);
+    assert_eq!(
+        clean_wire,
+        run_wire_script(8, &wl),
+        "clean wire script diverges across thread counts"
+    );
+    assert!(
+        clean_wire.iter().all(|r| r.starts_with("ok ")),
+        "clean wire script should succeed everywhere: {clean_wire:#?}"
+    );
 
     for &site in failpoint::SITES {
+        // Server sites live in the daemon's accept/request path, which a
+        // console cannot reach: drive those through a real socket.
+        let over_wire = site.starts_with("server::");
+        let baseline = if over_wire { &clean_wire } else { &clean };
         for action in [Action::Err, Action::Panic, Action::Delay(1)] {
             failpoint::clear_all();
             failpoint::reset_hits();
@@ -114,7 +186,11 @@ fn every_site_is_contained_and_thread_deterministic() {
 
             let mut reference: Option<Vec<String>> = None;
             for threads in [1usize, 2, 8] {
-                let replies = run_script(threads, &wl);
+                let replies = if over_wire {
+                    run_wire_script(threads, &wl)
+                } else {
+                    run_script(threads, &wl)
+                };
                 match &reference {
                     None => reference = Some(replies),
                     Some(r) => assert_eq!(
@@ -131,7 +207,7 @@ fn every_site_is_contained_and_thread_deterministic() {
             if action == Action::Delay(1) {
                 assert_eq!(
                     reference.as_deref(),
-                    Some(&clean[..]),
+                    Some(&baseline[..]),
                     "delay at {site} changed the replies"
                 );
             }

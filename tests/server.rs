@@ -1,0 +1,383 @@
+//! The daemon's contract (ROADMAP: the advisor as a service): many
+//! concurrent wire sessions over one shared engine must be
+//! **byte-identical** to a serial REPL session — shared INUM plan cache
+//! on, per-request budgets enforced, one session's cancel or budget
+//! never degrading another — and the daemon must never die, whatever
+//! bytes a client throws at it.
+//!
+//! Byte identity is checked through the server's own frame encoder
+//! ([`parinda_server::frame_reply`]): the expected transcript is a
+//! plain `Console` run encoded with the same function, so any drift
+//! between the wire path and the console path fails the diff. The only
+//! scrubbing is the wall-clock milliseconds inside `DEGRADED:` budget
+//! lines (and the frame byte-counts that shift with those digits).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use parinda::{Console, ConsoleReply, SharedEngine};
+use parinda_catalog::MetadataProvider;
+use parinda_server::{frame_reply, greeting, Server, ServerOptions};
+
+const TINY_DDL: &str =
+    "CREATE TABLE obs (id BIGINT NOT NULL, ra DOUBLE PRECISION, dec DOUBLE PRECISION,
+                       flags BIGINT, PRIMARY KEY (id)) ROWS 5000;
+     CREATE TABLE src (id BIGINT NOT NULL, mag DOUBLE PRECISION, PRIMARY KEY (id)) ROWS 800;";
+
+const WORKLOAD: &str = "SELECT id FROM obs WHERE ra BETWEEN 1 AND 2;
+SELECT id FROM obs WHERE dec > 0.5;
+SELECT id FROM src WHERE mag <= 3;";
+
+/// The replayed session: metadata, what-if staging, both advisors, a
+/// deterministically degraded (round-capped) run, and two error paths.
+const SCRIPT: &[&str] = &[
+    "show tables",
+    "workload file {wl}",
+    "workload stats",
+    "whatif index w_ra obs ra",
+    "show design",
+    "explain select id from obs where ra between 1 and 2",
+    "eval",
+    "suggest indexes 64 ilp",
+    "suggest indexes 64 greedy",
+    "suggest partitions",
+    "budget rounds 1",
+    "suggest indexes 64 greedy",
+    "budget off",
+    "suggest drops",
+    "explain selec id frm obs",
+    "describe no_such_table",
+];
+
+fn engine() -> SharedEngine {
+    SharedEngine::from_ddl(TINY_DDL).expect("fixed DDL parses")
+}
+
+fn workload_file(name: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, WORKLOAD).expect("temp workload file");
+    path.display().to_string()
+}
+
+/// Scrub the wall-clock number in a `… after 12.3 ms: …` budget line,
+/// byte-preserving everything else.
+fn scrub_ms(line: &str) -> String {
+    if let Some(pos) = line.find(" ms:") {
+        let head = &line[..pos];
+        if let Some(sp) = head.rfind(' ') {
+            if head[sp + 1..].parse::<f64>().is_ok() {
+                return format!("{}<time>{}", &line[..=sp], &line[pos..]);
+            }
+        }
+    }
+    line.to_string()
+}
+
+/// Canonicalize a wire byte stream: parse the frames, drop the payload
+/// byte-counts (they shift with scrubbed digits), scrub budget
+/// milliseconds. Everything else must match byte for byte.
+fn canonical(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let nl = bytes[i..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| i + p)
+            .expect("frame header is newline-terminated");
+        let header = String::from_utf8_lossy(&bytes[i..nl]).into_owned();
+        i = nl + 1;
+        let n: usize = header
+            .rsplit(' ')
+            .next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("unsized frame header {header:?}"));
+        assert!(i + n <= bytes.len(), "frame payload truncated at {header:?}");
+        let payload = String::from_utf8_lossy(&bytes[i..i + n]).into_owned();
+        i += n;
+        let kind = header.rsplit_once(' ').map(|(k, _)| k.to_string()).unwrap_or(header);
+        out.push_str(&kind);
+        out.push('\n');
+        for line in payload.split_inclusive('\n') {
+            out.push_str(&scrub_ms(line));
+        }
+    }
+    out
+}
+
+/// The expected transcript: a plain serial console run over a *private*
+/// engine, encoded through the server's own frame encoder.
+fn serial_transcript(wl: &str) -> Vec<u8> {
+    let mut console = Console::with_engine(&engine());
+    let mut out = greeting();
+    for line in SCRIPT {
+        out.extend(frame_reply(&console.run_line(&line.replace("{wl}", wl))));
+    }
+    out.extend(frame_reply(&console.run_line("quit")));
+    out
+}
+
+/// Connect, replay the script, return the connection's full byte stream.
+fn replay_client(addr: SocketAddr, wl: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    let mut script: String =
+        SCRIPT.iter().map(|l| format!("{}\n", l.replace("{wl}", wl))).collect();
+    script.push_str("quit\n");
+    stream.write_all(script.as_bytes()).expect("send script");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("drain connection");
+    buf
+}
+
+/// The tentpole acceptance check: 8 concurrent wire sessions, one
+/// shared engine (plan cache on), every transcript byte-identical to
+/// the serial console run.
+#[test]
+fn eight_concurrent_sessions_replay_byte_identical_to_serial() {
+    let wl = workload_file("parinda_server_replay_wl.sql");
+    let expected = canonical(&serial_transcript(&wl));
+    assert!(expected.contains("DEGRADED"), "script must exercise a degraded budget path");
+    assert!(expected.contains("error [parse]:"), "script must exercise a parse error");
+    assert!(expected.contains("error [catalog]:"), "script must exercise a catalog error");
+
+    // Keep a clone of the engine: it shares the server's core (and its
+    // plan-cache counters), so attribution is observable from outside.
+    let shared = engine();
+    let server =
+        Server::bind(shared.clone(), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let wl = wl.clone();
+            std::thread::spawn(move || replay_client(addr, &wl))
+        })
+        .collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        let stream = c.join().expect("client thread");
+        assert_eq!(
+            canonical(&stream),
+            expected,
+            "client {i}'s wire transcript diverged from the serial console"
+        );
+    }
+    // Cross-session cache reuse: 3 templates built once, shared by all 8
+    // sessions. Exactly 3 entries; every build after the first 3 is a hit.
+    assert_eq!(shared.plan_cache_entries(), 3, "one cache entry per workload template");
+    assert!(shared.plan_cache_misses() >= 3);
+    assert!(
+        shared.plan_cache_hits() >= shared.plan_cache_misses(),
+        "8 sessions × repeated builds should mostly hit: hits={} misses={}",
+        shared.plan_cache_hits(),
+        shared.plan_cache_misses()
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Satellite: two interleaved sessions on one engine can never observe
+/// each other's staged what-if designs, budgets, or cancellation.
+#[test]
+fn sessions_cannot_observe_each_others_state() {
+    let eng = engine();
+    let mut a = Console::with_engine(&eng);
+    let mut b = Console::with_engine(&eng);
+
+    // Interleaved what-if staging stays private.
+    assert!(matches!(a.run_line("whatif index w_ra obs ra"), ConsoleReply::Output(_)));
+    match b.run_line("show design") {
+        ConsoleReply::Output(s) => assert_eq!(s, "empty design", "b sees a's staged design"),
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(b.run_line("whatif index w_dec obs dec"), ConsoleReply::Output(_)));
+    match a.run_line("show design") {
+        ConsoleReply::Output(s) => {
+            assert!(s.contains("w_ra") && !s.contains("w_dec"), "a's design leaked: {s}")
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Budgets are per session.
+    a.run_line("budget rounds 1");
+    match b.run_line("budget") {
+        ConsoleReply::Output(s) => assert!(s.contains("off"), "a's budget leaked to b: {s}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Cancellation is per session: a pre-armed cancel on `a` must not
+    // degrade b's advisor run.
+    let wl = workload_file("parinda_server_isolation_wl.sql");
+    a.run_line("budget off");
+    for c in [&mut a, &mut b] {
+        assert!(matches!(
+            c.run_line(&format!("workload file {wl}")),
+            ConsoleReply::Output(_)
+        ));
+    }
+    a.run_line("cancel");
+    let b_reply = match b.run_line("suggest indexes 64 ilp") {
+        ConsoleReply::Output(s) => s,
+        other => panic!("{other:?}"),
+    };
+    assert!(!b_reply.contains("DEGRADED"), "a's cancel degraded b's run: {b_reply}");
+    let a_reply = match a.run_line("suggest indexes 64 ilp") {
+        ConsoleReply::Output(s) => s,
+        other => panic!("{other:?}"),
+    };
+    assert!(a_reply.contains("DEGRADED"), "a's own pre-armed cancel was lost: {a_reply}");
+
+    // Metadata mutation detaches onto a private copy-on-write core: the
+    // shared engine (and the other session) never see it.
+    let mut s = eng.session();
+    s.execute_ddl("CREATE TABLE private_overlay (x BIGINT NOT NULL, PRIMARY KEY (x)) ROWS 10;")
+        .expect("overlay ddl");
+    assert!(s.catalog().table_by_name("private_overlay").is_some());
+    assert!(eng.catalog().table_by_name("private_overlay").is_none());
+    assert!(eng.session().catalog().table_by_name("private_overlay").is_none());
+}
+
+/// Per-connection cancel scoping over the wire: an armed cancel on
+/// session A degrades A's next run and leaves session B byte-identical
+/// to the serial console.
+#[test]
+fn wire_cancel_is_scoped_to_its_connection() {
+    let wl = workload_file("parinda_server_cancel_wl.sql");
+    let server =
+        Server::bind(engine(), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let handle = server.spawn().expect("spawn");
+
+    let run = |lines: &str| -> Vec<u8> {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+        stream.write_all(lines.as_bytes()).expect("send");
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("drain");
+        buf
+    };
+
+    // A arms cancellation at the prompt, then runs the advisor.
+    let a = run(&format!("workload file {wl}\ncancel\nsuggest indexes 64 ilp\nquit\n"));
+    let a_text = canonical(&a);
+    assert!(a_text.contains("DEGRADED"), "armed cancel did not degrade A's run: {a_text}");
+
+    // B, on the same engine, must match a serial console run exactly.
+    let b = run(&format!("workload file {wl}\nsuggest indexes 64 ilp\nquit\n"));
+    let mut console = Console::with_engine(&engine());
+    let mut expected = greeting();
+    for line in [format!("workload file {wl}"), "suggest indexes 64 ilp".into(), "quit".into()]
+    {
+        expected.extend(frame_reply(&console.run_line(&line)));
+    }
+    assert_eq!(canonical(&b), canonical(&expected), "A's cancel leaked into B's session");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// The server-wide budget cap admits every request but bounds its work:
+/// a session that set no budget of its own still degrades under the cap,
+/// and the daemon survives to serve the next request.
+#[test]
+fn server_budget_cap_bounds_unbudgeted_sessions() {
+    let wl = workload_file("parinda_server_cap_wl.sql");
+    let server = Server::bind(
+        engine(),
+        "127.0.0.1:0",
+        ServerOptions { max_budget_ms: Some(0), ..ServerOptions::default() },
+    )
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream
+        .write_all(format!("workload file {wl}\nsuggest indexes 64 ilp\nshow tables\nquit\n").as_bytes())
+        .expect("send");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("drain");
+    let text = canonical(&buf);
+    assert!(text.contains("DEGRADED"), "server budget cap was not enforced: {text}");
+    assert!(text.contains("obs"), "daemon did not survive the capped request: {text}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Deterministic cache attribution: a second session replaying the same
+/// advisor run is served entirely from the shared plan cache — same
+/// bytes, zero fresh builds.
+#[test]
+fn shared_plan_cache_serves_repeat_builds() {
+    let wl = workload_file("parinda_server_cache_wl.sql");
+    let eng = engine();
+    let run = |eng: &SharedEngine| -> String {
+        let mut c = Console::with_engine(eng);
+        c.run_line(&format!("workload file {wl}"));
+        match c.run_line("suggest indexes 64 greedy") {
+            ConsoleReply::Output(s) => s,
+            other => panic!("{other:?}"),
+        }
+    };
+    let cold = run(&eng);
+    assert_eq!(eng.plan_cache_misses(), 3, "one miss per workload template");
+    assert_eq!(eng.plan_cache_hits(), 0);
+    assert_eq!(eng.plan_cache_entries(), 3);
+    let warm = run(&eng);
+    assert_eq!(cold, warm, "warm cache changed the advisor's answer");
+    assert_eq!(eng.plan_cache_misses(), 3, "warm run rebuilt a cached template");
+    assert_eq!(eng.plan_cache_hits(), 3, "warm run was not served from the cache");
+}
+
+/// No byte sequence a client sends may kill the daemon (the wire
+/// rendition of the console's no-panic contract).
+#[test]
+fn wire_fuzz_never_kills_the_daemon() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let server =
+        Server::bind(engine(), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let mut w = stream.try_clone().expect("clone");
+    let mut r = std::io::BufReader::new(stream);
+
+    // One frame per request line, whatever the line was.
+    let read_header = |r: &mut std::io::BufReader<TcpStream>| -> String {
+        use std::io::BufRead;
+        let mut header = String::new();
+        r.read_line(&mut header).expect("frame header");
+        let n: usize = header
+            .trim_end()
+            .rsplit(' ')
+            .next()
+            .and_then(|x| x.parse().ok())
+            .unwrap_or_else(|| panic!("unsized frame header {header:?}"));
+        let mut payload = vec![0u8; n];
+        r.read_exact(&mut payload).expect("frame payload");
+        header.trim_end().to_string()
+    };
+    assert!(read_header(&mut r).starts_with("ok "), "greeting");
+
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    const CHARS: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyz0123456789 \t!@#$%^&*()_+-=[]{};:'\",.<>/?\\|`~";
+    for _ in 0..200 {
+        let len = rng.gen::<usize>() % 80;
+        let mut line: String = (0..len)
+            .map(|_| CHARS[rng.gen::<usize>() % CHARS.len()] as char)
+            .collect();
+        // keep the connection (and daemon) alive for the whole fuzz run
+        let t = line.trim().to_ascii_lowercase();
+        if ["quit", "exit", "q", "server shutdown", "cancel"].contains(&t.as_str()) {
+            line = format!("fuzz-{line}");
+        }
+        w.write_all(format!("{line}\n").as_bytes()).expect("send fuzz line");
+        let header = read_header(&mut r);
+        assert!(
+            header.starts_with("ok ") || header.starts_with("err "),
+            "unexpected frame {header:?} for input {line:?}"
+        );
+    }
+    // The session (and daemon) must still be fully functional.
+    w.write_all(b"show tables\n").expect("send");
+    assert!(read_header(&mut r).starts_with("ok "));
+    w.write_all(b"quit\n").expect("send");
+    assert_eq!(read_header(&mut r), "bye 0");
+    handle.shutdown().expect("clean shutdown");
+}
