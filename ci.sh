@@ -108,6 +108,115 @@ wait "$daemon_pid" || { echo "daemon did not exit cleanly after server shutdown"
 rm -rf "$daemon_log" "$client_dir"
 echo "    daemon leg ok: 8 identical transcripts, exhauster degraded, canceller clean, zero recovered panics"
 
+echo "==> crash matrix (SIGKILL at mid-request / post-fsync / mid-snapshot; recovery vs uncrashed reference)"
+# The mid-snapshot point needs an injectable snapshot delay: a debug
+# build with the failpoint sites compiled in. Recovery is then probed
+# with the release binary — the data dir format is the contract.
+cargo build -q --features failpoints
+crash_dir="$(mktemp -d)"
+
+start_daemon() {  # <binary> <data-dir> <logfile>; sets $daemon_pid and $port
+    : > "$3"
+    "$1" serve --listen 127.0.0.1:0 --load paper --data-dir "$2" > "$3" &
+    daemon_pid=$!
+    port=""
+    for _ in $(seq 1 200); do
+        port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$3")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    [ -n "$port" ] || { echo "crash-matrix daemon never announced its port"; exit 1; }
+}
+
+read_frames() {  # read exactly $1 reply frames from fd 5 (header + sized payload)
+    local i hdr n
+    for ((i = 0; i < $1; i++)); do
+        IFS= read -r hdr <&5 || return 1
+        printf '%s\n' "$hdr"
+        n="${hdr##* }"
+        if [ "$n" -gt 0 ] 2>/dev/null; then
+            # dd bs=1 reads exactly n bytes from the socket (head -c may
+            # buffer past the frame and eat the next header)
+            dd bs=1 count="$n" <&5 2>/dev/null
+        fi
+    done
+}
+
+send_journaled() {  # greeting + three state-mutating commands, replies awaited
+    exec 5<>"/dev/tcp/127.0.0.1/$port"
+    read_frames 1 > /dev/null
+    printf 'workload sdss\nwhatif index w_ra photoobj ra\nthreads 3\n' >&5
+    # Once the replies are back, journal-before-apply guarantees all
+    # three commands are fsynced in the WAL: safe to crash.
+    read_frames 3 > /dev/null
+}
+
+sigkill_daemon() {
+    kill -9 "$daemon_pid"
+    wait "$daemon_pid" 2>/dev/null || true
+    exec 5<&- 5>&-
+}
+
+# Stable view of a recovered daemon: attach, transcript, session state,
+# stats reduced to run-invariant lines (counters like wal_records and
+# recovery_replayed_records legitimately differ between a crashed tail
+# replay and a reference that snapshotted on its graceful shutdown).
+probe_recovery() {  # <data-dir>
+    start_daemon ./target/release/parinda-cli "$1" "$crash_dir/probe.log"
+    exec 5<>"/dev/tcp/127.0.0.1/$port"
+    printf 'server attach 1\nserver transcript\nshow design\nserver stats\nserver shutdown\n' >&5
+    cat <&5 | scrub | grep -vE '^(sessions_|requests |request_errors |cancelled_inflight |server_request_spans |inum_plan_cache_|wal_records |wal_bytes |snapshots_taken |recovery_replayed_records |recovery_truncated_tail )'
+    exec 5<&- 5>&-
+    wait "$daemon_pid" || { echo "recovery probe daemon did not exit cleanly"; exit 1; }
+}
+
+# Uncrashed reference: same journaled commands, advisor run completed,
+# graceful shutdown (drain + final snapshot).
+start_daemon ./target/release/parinda-cli "$crash_dir/ref" "$crash_dir/ref.log"
+send_journaled
+printf 'suggest indexes 512 greedy\n' >&5
+read_frames 1 > /dev/null
+printf 'server shutdown\n' >&5
+read_frames 2 > /dev/null || true
+exec 5<&- 5>&-
+wait "$daemon_pid" || { echo "reference daemon did not exit cleanly"; exit 1; }
+
+# Kill point 1: mid-request — SIGKILL while an advisor run is in flight.
+start_daemon ./target/release/parinda-cli "$crash_dir/midreq" "$crash_dir/midreq.log"
+send_journaled
+printf 'suggest indexes 512 greedy\n' >&5
+sleep 0.3
+sigkill_daemon
+
+# Kill point 2: post-fsync — SIGKILL right after the journaled replies.
+start_daemon ./target/release/parinda-cli "$crash_dir/postfsync" "$crash_dir/postfsync.log"
+send_journaled
+sigkill_daemon
+
+# Kill point 3: mid-snapshot — the failpoints build stalls the shutdown
+# snapshot for 2 s; SIGKILL lands inside it.
+PARINDA_FAILPOINTS='wal::snapshot=delay:2000' \
+    start_daemon ./target/debug/parinda-cli "$crash_dir/midsnap" "$crash_dir/midsnap.log"
+send_journaled
+printf 'server shutdown\n' >&5
+sleep 0.5
+sigkill_daemon
+
+probe_recovery "$crash_dir/ref" > "$crash_dir/probe.ref"
+grep -q 'attached durable session 1: 3 journaled command(s) replayed' "$crash_dir/probe.ref" \
+    || { echo "reference recovery did not restore the session"; cat "$crash_dir/probe.ref"; exit 1; }
+grep -q '^durability on$' "$crash_dir/probe.ref" \
+    || { echo "reference restart is not durable"; cat "$crash_dir/probe.ref"; exit 1; }
+grep -q '^worker_panics_recovered 0$' "$crash_dir/probe.ref" \
+    || { echo "reference restart recovered a worker panic"; exit 1; }
+for point in midreq postfsync midsnap; do
+    probe_recovery "$crash_dir/$point" > "$crash_dir/probe.$point"
+    diff -u "$crash_dir/probe.ref" "$crash_dir/probe.$point" \
+        || { echo "crash point $point: recovered state diverged from the uncrashed reference"; exit 1; }
+done
+rm -rf "$crash_dir"
+echo "    crash matrix ok: 3 SIGKILL points recovered bit-identical to the uncrashed reference"
+
 echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage, trace-coverage)"
 cargo run -q -p parinda-lint --release -- --workspace
 

@@ -73,6 +73,36 @@ fn usage(msg: &str) -> ParindaError {
     ParindaError::Parse(msg.to_string())
 }
 
+/// Whether replaying this command is required to reconstruct a
+/// session's state. This is the daemon's journaling predicate: commands
+/// for which this returns `true` are written (and fsynced) to the
+/// metadata WAL *before* they are applied, so a crash-recovered session
+/// replays to the identical overlay.
+///
+/// Read-only commands (`show …`, `explain`, `eval`, the `suggest`
+/// advisors) leave no state behind and are not journaled. `cancel` is
+/// deliberately excluded: it arms a one-shot token consumed by the next
+/// advisor run, and replaying it would spuriously cancel the first
+/// post-recovery run.
+pub fn is_state_mutating(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::LoadPaper
+            | Command::LoadLaptop(_)
+            | Command::LoadDdl(_)
+            | Command::WorkloadSdss
+            | Command::WorkloadFile(_)
+            | Command::WhatIfIndex { .. }
+            | Command::WhatIfPartition { .. }
+            | Command::WhatIfDrop(_)
+            | Command::ClearDesign
+            | Command::Threads(_)
+            | Command::SetBudget { .. }
+            | Command::ProfileOn
+            | Command::ProfileOff
+    )
+}
+
 /// Parse one console line. Argument errors are reported as
 /// [`ParindaError::Parse`]; nothing here panics on any input.
 pub fn parse_command(line: &str) -> Result<Command, ParindaError> {

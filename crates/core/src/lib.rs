@@ -47,7 +47,7 @@ pub mod report;
 pub mod session;
 pub mod verify;
 
-pub use console::{parse_command, Command, Console, ConsoleReply, HELP};
+pub use console::{is_state_mutating, parse_command, Command, Console, ConsoleReply, HELP};
 pub use report::{BenefitReport, QueryBenefit};
 pub use session::{
     guard, DropSuggestion, IndexSuggestion, Parinda, ParindaError, PartitionSuggestionReport,

@@ -49,6 +49,10 @@ pub const SITES: &[&str] = &[
     "solver::warmstart",       // greedy-incumbent seeding of the branch-and-bound search
     "server::accept",          // daemon connection admission (refuses the connection)
     "server::session",         // daemon per-request dispatch (errs one request)
+    "wal::append",             // metadata-WAL record append (daemon degrades to ephemeral)
+    "wal::fsync",              // metadata-WAL group fsync (daemon degrades to ephemeral)
+    "wal::snapshot",           // snapshot write + log truncation (daemon degrades to ephemeral)
+    "recover::replay",         // startup snapshot+WAL replay (daemon starts ephemeral)
 ];
 
 /// What an activated failpoint does when execution reaches it.

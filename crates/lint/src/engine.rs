@@ -22,12 +22,18 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/inum/src/",
     "crates/whatif/src/",
     "crates/server/src/",
+    "crates/durability/src/",
     "src/bin/",
 ];
 
 /// Crates whose outputs must be bit-identical at any thread count —
 /// hash-ordered iteration is banned here.
-const ITER_SCOPE: &[&str] = &["crates/advisor/src/", "crates/inum/src/", "crates/solver/src/"];
+const ITER_SCOPE: &[&str] = &[
+    "crates/advisor/src/",
+    "crates/inum/src/",
+    "crates/solver/src/",
+    "crates/durability/src/",
+];
 
 /// The files allowed to read the wall clock (deadlines are *defined* in
 /// budget.rs; span timestamps are *taken* in clock.rs — the trace

@@ -38,8 +38,25 @@
 //! Budget admission is two-layer: a connection's own `budget` settings
 //! compose with the server-wide [`ServerOptions::max_budget_ms`] cap
 //! (the engine enforces `min` of the two).
+//!
+//! ## Durability
+//!
+//! With [`Server::bind_durable`] (the CLI's `serve --data-dir`), the
+//! daemon journals every state-mutating console command to a
+//! checksummed metadata WAL (`parinda-wal`) **before** applying it —
+//! journal-before-apply — and periodically compacts the log into a
+//! `parinda-snapshot/v1` snapshot. On startup the daemon replays
+//! snapshot + WAL tail and restores every session that did not `quit`
+//! cleanly; a reconnecting client adopts one with the wire-only
+//! `server attach <id>` meta-command and can render its journaled
+//! command list with `server transcript`. If the data dir misbehaves
+//! (full disk, I/O error, injected fault), the daemon degrades to
+//! ephemeral mode with a one-time `DEGRADED:` warning and a
+//! `wal_append_failures` counter instead of dying. Without a data dir
+//! every durability path is skipped and the daemon's output is
+//! byte-identical to the ephemeral server.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,7 +67,8 @@ use std::time::Duration;
 
 use parinda::{Console, ConsoleReply, SharedEngine};
 use parinda_parallel::CancelToken;
-use parinda_trace::Trace;
+use parinda_trace::{Counter, Trace};
+use parinda_wal::{DataDir, Record, Recovery, Wal};
 
 /// How long the accept loop sleeps when no connection is pending before
 /// re-checking the shutdown token.
@@ -85,6 +103,69 @@ pub struct ServerOptions {
 impl Default for ServerOptions {
     fn default() -> Self {
         ServerOptions { max_sessions: 64, max_budget_ms: None }
+    }
+}
+
+/// Everything [`Server::bind_durable`] needs to run with a durable
+/// data directory: the validated directory, what recovery found in it,
+/// the engine bootstrap spec, and the snapshot cadence.
+pub struct Durability {
+    /// The validated data directory (see [`DataDir::open`]).
+    pub data_dir: DataDir,
+    /// The state recovered from it (snapshot + surviving WAL tail).
+    pub recovery: Recovery,
+    /// How the shared engine was built: `paper`, `laptop:<rows>`,
+    /// `ddl\n<script>`, or `none`. Persisted so a restart can rebuild
+    /// the identical engine without the original `--load` flag.
+    pub bootstrap: String,
+    /// Take a compacting snapshot every this many WAL records
+    /// (clamped to at least 1). The daemon also snapshots at startup
+    /// (folding the recovered tail away) and after the shutdown drain.
+    pub snapshot_every: u64,
+}
+
+impl Durability {
+    /// Open `path`, recover whatever it holds, and pair it with a
+    /// bootstrap spec — the one recorded in the data dir wins over the
+    /// caller's (a restart must rebuild the identical engine).
+    pub fn open(path: &std::path::Path, bootstrap: &str) -> io::Result<Durability> {
+        let data_dir = DataDir::open(path)?;
+        let recovery = data_dir.recover()?;
+        let bootstrap =
+            recovery.bootstrap.clone().unwrap_or_else(|| bootstrap.to_string());
+        Ok(Durability { data_dir, recovery, bootstrap, snapshot_every: 256 })
+    }
+}
+
+/// Durable-mode state hanging off [`Inner`]: the open WAL, the
+/// in-memory mirror of the journal (what snapshots persist), and the
+/// consoles restored at startup awaiting `server attach`.
+struct Durable {
+    wal: Wal,
+    bootstrap: String,
+    snapshot_every: u64,
+    /// Set on the first WAL failure; from then on the daemon is
+    /// ephemeral (appends are skipped, snapshots suppressed).
+    degraded: AtomicBool,
+    /// Next durable session id to allocate.
+    next_session: AtomicU64,
+    /// Live durable sessions → their journaled command lines, in
+    /// order. Mirrors the log so snapshots never re-read it. Lock
+    /// order: `journal` before the WAL's internal lock — appends and
+    /// snapshots both follow it, which is what makes a snapshot's
+    /// `last_lsn` consistent with the session map it writes.
+    journal: Mutex<BTreeMap<u64, Vec<String>>>,
+    /// Sessions replayed at startup, waiting for a client to attach.
+    restored: Mutex<BTreeMap<u64, Console>>,
+}
+
+impl Durable {
+    fn lock_journal(&self) -> MutexGuard<'_, BTreeMap<u64, Vec<String>>> {
+        self.journal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_restored(&self) -> MutexGuard<'_, BTreeMap<u64, Console>> {
+        self.restored.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -157,6 +238,18 @@ struct Inner {
     worker_panics_recovered: AtomicU64,
     /// Per-connection cancellation tokens, for the shutdown fan-out.
     tokens: Mutex<HashMap<u64, CancelToken>>,
+    /// Durable-mode state; `None` runs the daemon fully ephemeral.
+    durable: Option<Durable>,
+}
+
+/// What one journaling attempt did (drives the one-time `DEGRADED:`
+/// warning on the reply whose command lost durability).
+enum JournalOutcome {
+    /// Journaled and fsynced (or durability is off / already degraded —
+    /// nothing to warn about).
+    Ok,
+    /// This very request's append failed: durability was just lost.
+    JustDegraded(String),
 }
 
 impl Inner {
@@ -165,21 +258,28 @@ impl Inner {
     }
 
     /// The `server stats` report: stable `key value` lines, one per
-    /// counter, grep-friendly for scripted clients.
+    /// counter, grep-friendly for scripted clients. The durability
+    /// block is always present (`durability off`, all zeros, when no
+    /// data dir is configured) so scripted greps never have to branch.
     fn render_stats(&self) -> String {
-        let spans = self
-            .trace
-            .snapshot()
-            .spans
-            .get("server_request")
-            .map(|s| s.count)
-            .unwrap_or(0);
+        let report = self.trace.snapshot();
+        let spans = report.spans.get("server_request").map(|s| s.count).unwrap_or(0);
+        let (dur_state, restorable) = match &self.durable {
+            None => ("off", 0),
+            Some(d) => (
+                if d.degraded.load(Ordering::Relaxed) { "degraded" } else { "on" },
+                d.lock_restored().len(),
+            ),
+        };
         format!(
             "sessions_accepted {}\nsessions_rejected {}\nsessions_active {}\n\
              requests {}\nrequest_errors {}\ncancelled_inflight {}\n\
              worker_panics_recovered {}\nserver_request_spans {}\n\
              inum_plan_cache_hits {}\ninum_plan_cache_misses {}\n\
-             inum_plan_cache_entries {}\nengine_generation {}",
+             inum_plan_cache_entries {}\nengine_generation {}\n\
+             durability {}\nwal_records {}\nwal_bytes {}\nsnapshots_taken {}\n\
+             recovery_replayed_records {}\nrecovery_truncated_tail {}\n\
+             wal_append_failures {}\nrestorable_sessions {}",
             self.sessions_accepted.load(Ordering::Relaxed),
             self.sessions_rejected.load(Ordering::Relaxed),
             self.sessions_active.load(Ordering::Relaxed),
@@ -192,7 +292,160 @@ impl Inner {
             self.engine.plan_cache_misses(),
             self.engine.plan_cache_entries(),
             self.engine.generation(),
+            dur_state,
+            report.counter(Counter::WalRecords),
+            report.counter(Counter::WalBytes),
+            report.counter(Counter::SnapshotsTaken),
+            report.counter(Counter::RecoveryReplayedRecords),
+            report.counter(Counter::RecoveryTruncatedTail),
+            report.counter(Counter::WalAppendFailures),
+            restorable,
         )
+    }
+
+    /// Append one record to the WAL and fsync it, containing injected
+    /// panics; any failure flips the daemon to degraded ephemeral mode.
+    fn durable_append(&self, d: &Durable, record: &Record) -> JournalOutcome {
+        if d.degraded.load(Ordering::Relaxed) {
+            return JournalOutcome::Ok; // already ephemeral; warned once
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> io::Result<u64> {
+                let appended = d.wal.append(record)?;
+                d.wal.sync(appended.lsn)?;
+                Ok(appended.bytes)
+            },
+        ));
+        match outcome {
+            Ok(Ok(bytes)) => {
+                self.trace.count(Counter::WalRecords, 1);
+                self.trace.count(Counter::WalBytes, bytes);
+                JournalOutcome::Ok
+            }
+            Ok(Err(e)) => self.degrade(d, &e.to_string()),
+            Err(_) => self.degrade(d, "panic inside the WAL append path"),
+        }
+    }
+
+    /// Flip to degraded ephemeral mode (idempotent) and produce the
+    /// one-time warning for the reply in flight.
+    fn degrade(&self, d: &Durable, reason: &str) -> JournalOutcome {
+        self.trace.count(Counter::WalAppendFailures, 1);
+        if d.degraded.swap(true, Ordering::SeqCst) {
+            return JournalOutcome::Ok; // someone else already warned
+        }
+        let msg = format!(
+            "durability lost ({reason}); daemon continues in ephemeral mode, \
+             commands after this point will not survive a restart"
+        );
+        eprintln!("DEGRADED: {msg}");
+        JournalOutcome::JustDegraded(msg)
+    }
+
+    /// Journal one state-mutating console line for a connection,
+    /// allocating its durable session id (and journaling the `open`)
+    /// on first use. Holds the journal lock across the WAL appends so
+    /// a concurrent snapshot can never cover an LSN whose command is
+    /// missing from the session map it persists.
+    fn journal_line(&self, sess: &mut ConnSession, line: &str) -> JournalOutcome {
+        let Some(d) = &self.durable else { return JournalOutcome::Ok };
+        if d.degraded.load(Ordering::Relaxed) {
+            return JournalOutcome::Ok;
+        }
+        let mut journal = d.lock_journal();
+        let id = match sess.durable_id {
+            Some(id) => id,
+            None => {
+                let id = d.next_session.fetch_add(1, Ordering::SeqCst);
+                match self.durable_append(d, &Record::Open(id)) {
+                    JournalOutcome::Ok => {}
+                    degraded => return degraded,
+                }
+                journal.insert(id, Vec::new());
+                sess.durable_id = Some(id);
+                id
+            }
+        };
+        let line = line.trim_end_matches(['\r', '\n']).to_string();
+        match self.durable_append(d, &Record::Cmd { session: id, line: line.clone() }) {
+            JournalOutcome::Ok => {}
+            degraded => return degraded,
+        }
+        journal.entry(id).or_default().push(line);
+        // Periodic compaction, while we still hold the journal lock.
+        if d.wal.since_snapshot() >= d.snapshot_every {
+            self.snapshot_locked(d, &journal);
+        }
+        JournalOutcome::Ok
+    }
+
+    /// Journal a clean `quit`: the session's state is dropped, not
+    /// restored on the next startup.
+    fn journal_close(&self, sess: &ConnSession) {
+        let (Some(d), Some(id)) = (&self.durable, sess.durable_id) else { return };
+        let mut journal = d.lock_journal();
+        // The close record's outcome doesn't reach a reply (the
+        // connection is saying goodbye); degradation is still recorded.
+        let _ = self.durable_append(d, &Record::Close(id));
+        journal.remove(&id);
+    }
+
+    /// Take a compacting snapshot now (startup, periodic, shutdown).
+    fn take_snapshot(&self) {
+        let Some(d) = &self.durable else { return };
+        let journal = d.lock_journal();
+        self.snapshot_locked(d, &journal);
+    }
+
+    /// Snapshot with the journal lock already held (see the lock-order
+    /// note on [`Durable::journal`]).
+    fn snapshot_locked(&self, d: &Durable, journal: &BTreeMap<u64, Vec<String>>) {
+        if d.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let next = d.next_session.load(Ordering::SeqCst);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.wal.snapshot(&d.bootstrap, next, journal)
+        }));
+        match outcome {
+            Ok(Ok(())) => {
+                self.trace.count(Counter::SnapshotsTaken, 1);
+            }
+            Ok(Err(e)) => {
+                self.degrade(d, &format!("snapshot failed: {e}"));
+            }
+            Err(_) => {
+                self.degrade(d, "panic inside the snapshot path");
+            }
+        }
+    }
+
+    /// Replay every recovered session into a live console (counted and
+    /// spanned), persist the bootstrap on a fresh data dir, and fold
+    /// snapshot + tail into one clean startup snapshot.
+    fn recover_sessions(&self, recovery: &Recovery) {
+        let Some(d) = &self.durable else { return };
+        self.trace.count(Counter::RecoveryReplayedRecords, recovery.replayed_records);
+        self.trace.count(Counter::RecoveryTruncatedTail, recovery.truncated_tail);
+        {
+            let _span = self.trace.span("recovery_replay");
+            let journal = d.lock_journal().clone();
+            let mut restored = d.lock_restored();
+            for (id, cmds) in &journal {
+                let mut console = Console::with_engine(&self.engine);
+                for line in cmds {
+                    // Replay is deterministic: even a command that
+                    // errors errors identically, so the overlay matches
+                    // the pre-crash session bit for bit.
+                    let _ = console.run_line(line);
+                }
+                restored.insert(*id, console);
+            }
+        }
+        if recovery.bootstrap.is_none() && !d.bootstrap.is_empty() {
+            let _ = self.durable_append(d, &Record::Bootstrap(d.bootstrap.clone()));
+        }
+        self.take_snapshot();
     }
 }
 
@@ -233,7 +486,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: CancelToken,
-    join: thread::JoinHandle<io::Result<()>>,
+    join: thread::JoinHandle<io::Result<String>>,
 }
 
 impl ServerHandle {
@@ -244,7 +497,11 @@ impl ServerHandle {
 
     /// Request a graceful stop (same as a client's `server shutdown`)
     /// and wait for the accept loop and every connection to drain.
-    pub fn shutdown(self) -> io::Result<()> {
+    /// Returns the post-drain `server stats` report — rendered *after*
+    /// every reader+worker pair was joined and the final snapshot
+    /// taken, so tests can assert clean-point invariants (e.g.
+    /// `worker_panics_recovered 0`) with no shutdown race.
+    pub fn shutdown(self) -> io::Result<String> {
         self.shutdown.cancel();
         match self.join.join() {
             Ok(r) => r,
@@ -258,6 +515,43 @@ impl Server {
     /// port) over a shared engine. [`ServerOptions::max_budget_ms`] is
     /// installed on the engine as the server-wide budget cap.
     pub fn bind(engine: SharedEngine, addr: &str, options: ServerOptions) -> io::Result<Server> {
+        Server::make(engine, addr, options, None)
+    }
+
+    /// Bind a *durable* daemon: every state-mutating console command is
+    /// journaled (fsynced) to `dur.data_dir` before it applies, the
+    /// sessions recovered from the directory are replayed and held for
+    /// `server attach`, and a startup snapshot folds the recovered WAL
+    /// tail away. The engine passed in must have been built from
+    /// `dur.bootstrap` (see [`Durability::open`]).
+    pub fn bind_durable(
+        engine: SharedEngine,
+        addr: &str,
+        options: ServerOptions,
+        dur: Durability,
+    ) -> io::Result<Server> {
+        let Durability { data_dir, recovery, bootstrap, snapshot_every } = dur;
+        let wal = data_dir.open_wal(&recovery)?;
+        let durable = Durable {
+            wal,
+            bootstrap,
+            snapshot_every: snapshot_every.max(1),
+            degraded: AtomicBool::new(false),
+            next_session: AtomicU64::new(recovery.next_session.max(1)),
+            journal: Mutex::new(recovery.sessions.clone()),
+            restored: Mutex::new(BTreeMap::new()),
+        };
+        let server = Server::make(engine, addr, options, Some(durable))?;
+        server.inner.recover_sessions(&recovery);
+        Ok(server)
+    }
+
+    fn make(
+        engine: SharedEngine,
+        addr: &str,
+        options: ServerOptions,
+        durable: Option<Durable>,
+    ) -> io::Result<Server> {
         let engine = match options.max_budget_ms {
             Some(ms) => engine.with_max_budget_ms(Some(ms)),
             None => engine,
@@ -278,6 +572,7 @@ impl Server {
                 cancelled_inflight: AtomicU64::new(0),
                 worker_panics_recovered: AtomicU64::new(0),
                 tokens: Mutex::new(HashMap::new()),
+                durable,
             }),
         })
     }
@@ -294,8 +589,10 @@ impl Server {
     }
 
     /// Run the accept loop on the current thread until shutdown, then
-    /// cancel every in-flight session and drain all connections.
-    pub fn run(self) -> io::Result<()> {
+    /// cancel every in-flight session, drain all connections (bounded
+    /// by the server budget cap), take the final snapshot, and return
+    /// the post-drain `server stats` report.
+    pub fn run(self) -> io::Result<String> {
         self.listener.set_nonblocking(true)?;
         let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
         let mut next_id: u64 = 0;
@@ -313,14 +610,35 @@ impl Server {
             handles.retain(|h| !h.is_finished());
         }
         // Graceful shutdown: stop every in-flight advisor run at its
-        // next checkpoint, then wait for the connections to drain.
+        // next checkpoint, then drain the reader+worker pairs *before*
+        // the final snapshot so shutdown is always a clean point. The
+        // drain is bounded (the server budget cap, with a floor) — a
+        // wedged client cannot hold the snapshot hostage; its journaled
+        // commands are already in the WAL, so recovery stays correct.
         for token in self.inner.lock_tokens().values() {
             token.cancel();
         }
-        for h in handles {
-            h.join().ok();
+        let drain_ms = self.inner.options.max_budget_ms.unwrap_or(0).max(5_000);
+        let poll_ms = ACCEPT_POLL.as_millis() as u64;
+        let mut waited: u64 = 0;
+        let mut remaining = handles;
+        loop {
+            let (done, rest): (Vec<_>, Vec<_>) =
+                remaining.into_iter().partition(|h| h.is_finished());
+            for h in done {
+                h.join().ok();
+            }
+            remaining = rest;
+            if remaining.is_empty() || waited >= drain_ms {
+                break;
+            }
+            thread::sleep(ACCEPT_POLL);
+            waited += poll_ms;
         }
-        Ok(())
+        // Clean point: no worker is (observably) mid-request; persist
+        // the compacted state and report what the drain left behind.
+        self.inner.take_snapshot();
+        Ok(self.inner.render_stats())
     }
 
     /// Run the daemon on its own thread; returns once the listener is
@@ -380,6 +698,17 @@ impl Server {
     }
 }
 
+/// A connection's console plus its durability identity: the durable
+/// session id is allocated lazily on the first journaled command (or
+/// adopted wholesale by `server attach`).
+struct ConnSession {
+    console: Console,
+    durable_id: Option<u64>,
+    /// The connection's cancel token; re-installed on an attached
+    /// console so the reader thread's `cancel` delivery keeps working.
+    token: CancelToken,
+}
+
 /// The per-connection worker: owns the console, replies in request
 /// order, and delegates socket reading to a companion reader thread so
 /// `cancel` can interrupt a request already running.
@@ -403,7 +732,8 @@ fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream, id: u64, token: Ca
     let Ok(reader) = reader else { return };
 
     let mut console = Console::with_engine(&inner.engine);
-    console.set_cancel_token(token);
+    console.set_cancel_token(token.clone());
+    let mut sess = ConnSession { console, durable_id: None, token };
     loop {
         let event = match rx.recv() {
             Ok(e) => e,
@@ -412,6 +742,8 @@ fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream, id: u64, token: Ca
         match event {
             Event::Eof => {
                 // Client gone or server stopping: best-effort farewell.
+                // No `close` is journaled — an abruptly dropped durable
+                // session stays restorable after a restart.
                 stream.write_all(&frame_bye()).ok();
                 break;
             }
@@ -422,7 +754,7 @@ fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream, id: u64, token: Ca
             }
             Event::Line(line) => {
                 busy.store(true, Ordering::SeqCst);
-                let (bytes, done) = handle_request(&inner, &mut console, &line);
+                let (bytes, done) = handle_request(&inner, &mut sess, &line);
                 busy.store(false, Ordering::SeqCst);
                 if stream.write_all(&bytes).is_err() || done {
                     break;
@@ -437,7 +769,7 @@ fn serve_connection(inner: Arc<Inner>, mut stream: TcpStream, id: u64, token: Ca
 
 /// Dispatch one request line; returns the reply frame and whether the
 /// connection should close afterwards.
-fn handle_request(inner: &Inner, console: &mut Console, line: &str) -> (Vec<u8>, bool) {
+fn handle_request(inner: &Inner, sess: &mut ConnSession, line: &str) -> (Vec<u8>, bool) {
     let _span = inner.trace.span("server_request");
     inner.requests.fetch_add(1, Ordering::Relaxed);
     if failpoint_fires(|| parinda_failpoint::should_fail("server::session")) {
@@ -455,7 +787,26 @@ fn handle_request(inner: &Inner, console: &mut Console, line: &str) -> (Vec<u8>,
         bytes.extend_from_slice(&frame_bye());
         return (bytes, true);
     }
-    let reply = console.run_line(line);
+    if meta == "server transcript" {
+        return (frame_output(&render_transcript(inner, sess)), false);
+    }
+    if let Some(arg) = meta.strip_prefix("server attach ") {
+        return (attach_session(inner, sess, arg.trim()), false);
+    }
+    // Journal-before-apply: a state-mutating command reaches the fsynced
+    // WAL before the console sees it, so the crash-recovered replay is
+    // never missing an applied mutation.
+    let mut degraded_note = None;
+    if inner.durable.is_some() {
+        if let Ok(cmd) = parinda::parse_command(line) {
+            if parinda::is_state_mutating(&cmd) {
+                if let JournalOutcome::JustDegraded(msg) = inner.journal_line(sess, line) {
+                    degraded_note = Some(msg);
+                }
+            }
+        }
+    }
+    let reply = sess.console.run_line(line);
     if let ConsoleReply::Error(e) = &reply {
         inner.request_errors.fetch_add(1, Ordering::Relaxed);
         if e.kind() == "internal" {
@@ -465,7 +816,71 @@ fn handle_request(inner: &Inner, console: &mut Console, line: &str) -> (Vec<u8>,
         }
     }
     let done = matches!(reply, ConsoleReply::Quit);
-    (frame_reply(&reply), done)
+    if done {
+        // A clean quit drops the durable session; only abrupt
+        // disconnects stay restorable.
+        inner.journal_close(sess);
+    }
+    let bytes = match (&reply, degraded_note) {
+        (ConsoleReply::Output(out), Some(note)) => {
+            // Surface the durability loss on the very reply whose
+            // command it affected.
+            let mut combined = String::new();
+            if !out.is_empty() {
+                combined.push_str(out);
+                if !combined.ends_with('\n') {
+                    combined.push('\n');
+                }
+            }
+            combined.push_str(&format!("DEGRADED: {note}"));
+            frame_output(&combined)
+        }
+        _ => frame_reply(&reply),
+    };
+    (bytes, done)
+}
+
+/// `server transcript`: the journaled command list of this connection's
+/// durable session, one line per replayable command.
+fn render_transcript(inner: &Inner, sess: &ConnSession) -> String {
+    let (Some(d), Some(id)) = (&inner.durable, sess.durable_id) else {
+        return "no durable session: nothing journaled".into();
+    };
+    let journal = d.lock_journal();
+    match journal.get(&id) {
+        Some(cmds) if !cmds.is_empty() => cmds.join("\n"),
+        _ => format!("session {id}: no journaled commands"),
+    }
+}
+
+/// `server attach <id>`: adopt a session restored at startup. Refused
+/// when durability is off, when this connection already has a durable
+/// identity, or when no restorable session has that id.
+fn attach_session(inner: &Inner, sess: &mut ConnSession, arg: &str) -> Vec<u8> {
+    let Some(d) = &inner.durable else {
+        return frame_error("io", "durability is off: no restorable sessions");
+    };
+    let Ok(id) = arg.parse::<u64>() else {
+        return frame_error("parse", &format!("usage: server attach <id> (got `{arg}`)"));
+    };
+    if sess.durable_id.is_some() {
+        return frame_error(
+            "resource",
+            "this connection already has a durable session; attach must come first",
+        );
+    }
+    let Some(console) = d.lock_restored().remove(&id) else {
+        return frame_error("io", &format!("no restorable session {id}"));
+    };
+    let replayed = d.lock_journal().get(&id).map(|c| c.len()).unwrap_or(0);
+    sess.console = console;
+    // The restored console carries its replay-time token; swap in this
+    // connection's so the reader's in-flight `cancel` delivery works.
+    sess.console.set_cancel_token(sess.token.clone());
+    sess.durable_id = Some(id);
+    frame_output(&format!(
+        "attached durable session {id}: {replayed} journaled command(s) replayed"
+    ))
 }
 
 /// The reader half of a connection: assemble request lines, deliver

@@ -81,11 +81,28 @@ pub enum Counter {
     /// INUM internal-plan sets built fresh and published to the
     /// engine-wide shared plan cache.
     SharedPlanMisses,
+    /// Records appended to the daemon's metadata WAL (session opens,
+    /// closes, and state-mutating console commands).
+    WalRecords,
+    /// On-disk bytes appended to the metadata WAL (frame headers
+    /// included).
+    WalBytes,
+    /// Snapshots persisted (startup compaction, periodic, and the
+    /// final post-drain snapshot at shutdown).
+    SnapshotsTaken,
+    /// WAL records replayed on top of the snapshot during recovery.
+    RecoveryReplayedRecords,
+    /// Torn/corrupt WAL tails discarded at a record boundary during
+    /// recovery (recovery itself still succeeds).
+    RecoveryTruncatedTail,
+    /// WAL appends, fsyncs, or snapshots that failed; the daemon
+    /// degrades to ephemeral mode instead of dying.
+    WalAppendFailures,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 19] = [
         Counter::OptimizerInvocations,
         Counter::InumCacheHits,
         Counter::InumCacheMisses,
@@ -99,6 +116,12 @@ impl Counter {
         Counter::BnbPrunedByIncumbent,
         Counter::SharedPlanHits,
         Counter::SharedPlanMisses,
+        Counter::WalRecords,
+        Counter::WalBytes,
+        Counter::SnapshotsTaken,
+        Counter::RecoveryReplayedRecords,
+        Counter::RecoveryTruncatedTail,
+        Counter::WalAppendFailures,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -117,6 +140,12 @@ impl Counter {
             Counter::BnbPrunedByIncumbent => "bnb_pruned_by_incumbent",
             Counter::SharedPlanHits => "shared_plan_hits",
             Counter::SharedPlanMisses => "shared_plan_misses",
+            Counter::WalRecords => "wal_records",
+            Counter::WalBytes => "wal_bytes",
+            Counter::SnapshotsTaken => "snapshots_taken",
+            Counter::RecoveryReplayedRecords => "recovery_replayed_records",
+            Counter::RecoveryTruncatedTail => "recovery_truncated_tail",
+            Counter::WalAppendFailures => "wal_append_failures",
         }
     }
 
@@ -135,6 +164,12 @@ impl Counter {
             Counter::BnbPrunedByIncumbent => 10,
             Counter::SharedPlanHits => 11,
             Counter::SharedPlanMisses => 12,
+            Counter::WalRecords => 13,
+            Counter::WalBytes => 14,
+            Counter::SnapshotsTaken => 15,
+            Counter::RecoveryReplayedRecords => 16,
+            Counter::RecoveryTruncatedTail => 17,
+            Counter::WalAppendFailures => 18,
         }
     }
 }

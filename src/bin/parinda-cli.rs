@@ -38,7 +38,7 @@
 use std::io::{self, BufRead, Write};
 
 use parinda::{Console, ConsoleReply, SharedEngine, Trace};
-use parinda_server::{Server, ServerOptions};
+use parinda_server::{Durability, Server, ServerOptions};
 
 /// SIGINT → cooperative cancellation, unix only. Uses the libc `signal`
 /// symbol directly (declared here — no libc crate dependency); the
@@ -74,12 +74,17 @@ mod sigint {
 /// the multi-session daemon.
 enum Mode {
     Repl { trace_json: Option<String> },
-    Serve { listen: String, load: Option<String>, options: ServerOptions },
+    Serve {
+        listen: String,
+        load: Option<String>,
+        data_dir: Option<String>,
+        options: ServerOptions,
+    },
 }
 
 const USAGE: &str = "usage: parinda-cli [--trace-json <path>]\n\
        parinda-cli serve [--listen <addr>] [--load paper|laptop[:rows]|ddl:<path>]\n\
-                         [--max-sessions <n>] [--max-budget-ms <ms>]";
+                         [--data-dir <dir>] [--max-sessions <n>] [--max-budget-ms <ms>]";
 
 /// Parse the CLI arguments into a [`Mode`].
 fn parse_args() -> Result<Mode, String> {
@@ -88,6 +93,7 @@ fn parse_args() -> Result<Mode, String> {
         args.next();
         let mut listen = "127.0.0.1:0".to_string();
         let mut load = None;
+        let mut data_dir = None;
         let mut options = ServerOptions::default();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -98,6 +104,10 @@ fn parse_args() -> Result<Mode, String> {
                 "--load" => match args.next() {
                     Some(v) => load = Some(v),
                     None => return Err("--load requires a spec".into()),
+                },
+                "--data-dir" => match args.next() {
+                    Some(v) => data_dir = Some(v),
+                    None => return Err("--data-dir requires a directory".into()),
                 },
                 "--max-sessions" => match args.next().and_then(|v| v.parse().ok()) {
                     Some(n) => options.max_sessions = n,
@@ -110,7 +120,7 @@ fn parse_args() -> Result<Mode, String> {
                 other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
             }
         }
-        return Ok(Mode::Serve { listen, load, options });
+        return Ok(Mode::Serve { listen, load, data_dir, options });
     }
     let mut trace_json = None;
     while let Some(a) = args.next() {
@@ -125,49 +135,145 @@ fn parse_args() -> Result<Mode, String> {
     Ok(Mode::Repl { trace_json })
 }
 
-/// Build the daemon's shared engine from a `--load` spec.
-fn build_engine(load: Option<&str>) -> Result<SharedEngine, String> {
-    use parinda_workload::{generate_and_load, sdss_catalog, synthesize_stats, SdssScale};
+/// A serve-mode failure, split by *when* it happened: preflight errors
+/// (bad flags, unreadable `ddl:` file, `--data-dir` naming a
+/// non-directory) abort before the listener starts and exit with status
+/// 2, like argument errors; runtime errors exit 1.
+enum ServeError {
+    Preflight(String),
+    Runtime(String),
+}
+
+/// Resolve a `--load` spec into the *bootstrap spec* recorded in the
+/// durability snapshot: `none`, `paper`, `laptop:<rows>`, or
+/// `ddl\n<text>`. Reading the `ddl:` file happens here — before the
+/// listener starts — so a missing or unreadable path aborts with a
+/// typed error naming it (and a recovered daemon never re-reads the
+/// file: the DDL text itself is the spec).
+fn bootstrap_spec(load: Option<&str>) -> Result<String, ServeError> {
     match load {
-        None => Ok(SharedEngine::new(parinda::Catalog::new())),
-        Some("paper") => {
-            let (mut cat, tables) = sdss_catalog(SdssScale::paper());
-            synthesize_stats(&mut cat, &tables);
-            Ok(SharedEngine::new(cat))
-        }
+        None => Ok("none".to_string()),
+        Some("paper") => Ok("paper".to_string()),
         Some(spec) if spec == "laptop" || spec.starts_with("laptop:") => {
             let rows = match spec.strip_prefix("laptop:") {
                 None | Some("") => 20_000,
-                Some(n) => n.parse::<u64>().map_err(|_| format!("bad row count in `{spec}`"))?,
+                Some(n) => n
+                    .parse::<u64>()
+                    .map_err(|_| ServeError::Preflight(format!("bad row count in `{spec}`")))?,
             };
-            let (mut cat, tables) = sdss_catalog(SdssScale::laptop(rows));
-            let mut db = parinda::Database::new();
-            generate_and_load(&mut cat, &mut db, &tables, 42);
-            Ok(SharedEngine::with_database(cat, db))
+            Ok(format!("laptop:{rows}"))
         }
         Some(spec) => match spec.strip_prefix("ddl:") {
             Some(path) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                SharedEngine::from_ddl(&text).map_err(|e| e.to_string())
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    ServeError::Preflight(format!("cannot read ddl file {path}: {e}"))
+                })?;
+                Ok(format!("ddl\n{text}"))
             }
-            None => Err(format!("unknown --load spec `{spec}` (paper|laptop[:rows]|ddl:<path>)")),
+            None => Err(ServeError::Preflight(format!(
+                "unknown --load spec `{spec}` (paper|laptop[:rows]|ddl:<path>)"
+            ))),
         },
     }
+}
+
+/// Build the daemon's shared engine from a bootstrap spec (see
+/// [`bootstrap_spec`] for the encoding).
+fn engine_from_spec(spec: &str) -> Result<SharedEngine, String> {
+    use parinda_workload::{generate_and_load, sdss_catalog, synthesize_stats, SdssScale};
+    if spec == "none" {
+        return Ok(SharedEngine::new(parinda::Catalog::new()));
+    }
+    if spec == "paper" {
+        let (mut cat, tables) = sdss_catalog(SdssScale::paper());
+        synthesize_stats(&mut cat, &tables);
+        return Ok(SharedEngine::new(cat));
+    }
+    if let Some(rows) = spec.strip_prefix("laptop:") {
+        let rows = rows.parse::<u64>().map_err(|_| format!("bad bootstrap spec `{spec}`"))?;
+        let (mut cat, tables) = sdss_catalog(SdssScale::laptop(rows));
+        let mut db = parinda::Database::new();
+        generate_and_load(&mut cat, &mut db, &tables, 42);
+        return Ok(SharedEngine::with_database(cat, db));
+    }
+    if let Some(text) = spec.strip_prefix("ddl\n") {
+        return SharedEngine::from_ddl(text).map_err(|e| e.to_string());
+    }
+    Err(format!("unknown bootstrap spec `{}`", spec.lines().next().unwrap_or("")))
 }
 
 /// Daemon mode: bind, announce the port, serve until shutdown. Ctrl-C
 /// cancels the *server's* shutdown token — per-connection advisor runs
 /// get their own tokens, so one session's cancel never touches another.
-fn serve_main(listen: &str, load: Option<&str>, options: ServerOptions) -> Result<(), String> {
-    let engine = build_engine(load)?;
-    let server = Server::bind(engine, listen, options).map_err(|e| e.to_string())?;
-    let addr = server.local_addr().map_err(|e| e.to_string())?;
+///
+/// With `--data-dir`, the daemon is durable: commands are journaled to a
+/// metadata WAL and replayed on restart. A data dir that exists but is
+/// not a directory is refused before the listener starts (exit 2); any
+/// *later* durability failure — a corrupt store, an unwritable disk —
+/// degrades the daemon to ephemeral with a warning instead of killing it.
+fn serve_main(
+    listen: &str,
+    load: Option<&str>,
+    data_dir: Option<&str>,
+    options: ServerOptions,
+) -> Result<(), ServeError> {
+    let spec = bootstrap_spec(load)?;
+    // Satellite preflight: refuse a non-directory data dir with the same
+    // typed error + exit code as an unreadable ddl file.
+    if let Some(dir) = data_dir {
+        let p = std::path::Path::new(dir);
+        if p.exists() && !p.is_dir() {
+            return Err(ServeError::Preflight(format!("--data-dir {dir} is not a directory")));
+        }
+    }
+    let durability = match data_dir {
+        None => None,
+        Some(dir) => {
+            let path = std::path::PathBuf::from(dir);
+            let spec_for_open = spec.clone();
+            let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                Durability::open(&path, &spec_for_open)
+            }));
+            match opened {
+                Ok(Ok(d)) => Some(d),
+                Ok(Err(e)) => {
+                    eprintln!("DEGRADED: cannot open data dir {dir}: {e}; running ephemeral");
+                    None
+                }
+                Err(_) => {
+                    eprintln!("DEGRADED: recovery panicked in {dir}; running ephemeral");
+                    None
+                }
+            }
+        }
+    };
+    // The recorded bootstrap wins over the command line: a durable store
+    // is a deterministic replay of *its own* history, not of new flags.
+    let effective_spec = match &durability {
+        Some(d) if d.bootstrap != spec => {
+            eprintln!(
+                "note: data dir records bootstrap `{}`; ignoring --load `{}`",
+                d.bootstrap.lines().next().unwrap_or(""),
+                spec.lines().next().unwrap_or("")
+            );
+            d.bootstrap.clone()
+        }
+        _ => spec,
+    };
+    let engine = engine_from_spec(&effective_spec).map_err(ServeError::Runtime)?;
+    let server = match durability {
+        Some(d) => Server::bind_durable(engine, listen, options, d)
+            .map_err(|e| ServeError::Runtime(e.to_string()))?,
+        None => {
+            Server::bind(engine, listen, options).map_err(|e| ServeError::Runtime(e.to_string()))?
+        }
+    };
+    let addr = server.local_addr().map_err(|e| ServeError::Runtime(e.to_string()))?;
     println!("listening on {addr}");
     io::stdout().flush().ok();
     #[cfg(unix)]
     sigint::install(server.shutdown_token());
-    server.run().map_err(|e| e.to_string())
+    server.run().map(|_stats| ()).map_err(|e| ServeError::Runtime(e.to_string()))
 }
 
 fn main() {
@@ -179,10 +285,17 @@ fn main() {
         }
     };
     let trace_json = match mode {
-        Mode::Serve { listen, load, options } => {
-            if let Err(e) = serve_main(&listen, load.as_deref(), options) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+        Mode::Serve { listen, load, data_dir, options } => {
+            match serve_main(&listen, load.as_deref(), data_dir.as_deref(), options) {
+                Ok(()) => {}
+                Err(ServeError::Preflight(e)) => {
+                    eprintln!("error [io]: {e}");
+                    std::process::exit(2);
+                }
+                Err(ServeError::Runtime(e)) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
             }
             return;
         }

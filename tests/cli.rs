@@ -1,0 +1,75 @@
+//! Serve-mode preflight contract (ISSUE 8 satellite): flag problems
+//! that doom the daemon must abort *before* the listener starts, with
+//! a typed `error [io]:` naming the offending path and exit code 2 —
+//! never a daemon that binds a port and limps along half-configured.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Run the binary with `args`; the process must exit on its own within
+/// 10 s (a preflight regression would leave a daemon running forever —
+/// kill it and fail rather than hanging the suite).
+fn run_expecting_exit(args: &[&str]) -> (i32, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_parinda-cli"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn parinda-cli");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                child.kill().ok();
+                child.wait().ok();
+                panic!("parinda-cli {args:?} did not exit: preflight failed to abort");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    let mut out = String::new();
+    let mut err = String::new();
+    use std::io::Read;
+    child.stdout.take().unwrap().read_to_string(&mut out).ok();
+    child.stderr.take().unwrap().read_to_string(&mut err).ok();
+    (status.code().unwrap_or(-1), out, err)
+}
+
+#[test]
+fn serve_aborts_on_unreadable_ddl_before_listening() {
+    let missing = std::env::temp_dir().join("parinda_cli_no_such_file.sql");
+    std::fs::remove_file(&missing).ok();
+    let spec = format!("ddl:{}", missing.display());
+    let (code, out, err) =
+        run_expecting_exit(&["serve", "--listen", "127.0.0.1:0", "--load", &spec]);
+    assert_eq!(code, 2, "unreadable ddl must exit 2\nstdout: {out}\nstderr: {err}");
+    assert!(err.contains("error [io]:"), "untyped error: {err}");
+    assert!(
+        err.contains(&missing.display().to_string()),
+        "error must name the offending path: {err}"
+    );
+    assert!(
+        !out.contains("listening on"),
+        "listener started despite a doomed --load: {out}"
+    );
+}
+
+#[test]
+fn serve_refuses_non_directory_data_dir_before_listening() {
+    let file = std::env::temp_dir().join("parinda_cli_not_a_dir");
+    std::fs::write(&file, b"plain file, not a data dir").expect("temp file");
+    let dir = file.display().to_string();
+    let (code, out, err) =
+        run_expecting_exit(&["serve", "--listen", "127.0.0.1:0", "--data-dir", &dir]);
+    assert_eq!(code, 2, "non-directory --data-dir must exit 2\nstdout: {out}\nstderr: {err}");
+    assert!(err.contains("error [io]:"), "untyped error: {err}");
+    assert!(err.contains(&dir), "error must name the offending path: {err}");
+    assert!(err.contains("not a directory"), "error must say why: {err}");
+    assert!(
+        !out.contains("listening on"),
+        "listener started despite a doomed --data-dir: {out}"
+    );
+    std::fs::remove_file(&file).ok();
+}

@@ -69,8 +69,6 @@ fn read_frame(r: &mut impl std::io::BufRead) -> Option<String> {
 /// captured as raw frames. `server::accept` refusals surface as a
 /// single `err` frame in greeting position.
 fn run_wire_script(threads: usize, wl: &str) -> Vec<String> {
-    use std::io::{BufReader, Write};
-    use std::net::TcpStream;
     let engine = parinda::SharedEngine::from_ddl(TINY_DDL).expect("fixed DDL parses");
     let server = parinda_server::Server::bind(
         engine,
@@ -78,6 +76,54 @@ fn run_wire_script(threads: usize, wl: &str) -> Vec<String> {
         parinda_server::ServerOptions::default(),
     )
     .expect("bind");
+    drive_wire(server, threads, wl)
+}
+
+/// [`run_wire_script`] against a *durable* daemon on a fresh data dir,
+/// following the CLI's fallback contract: if opening/recovering the
+/// data dir fails or panics (the `recover::replay` injections), the
+/// daemon starts ephemeral instead of dying. WAL-path injections
+/// (`wal::*`) degrade the daemon to ephemeral at startup or mid-run —
+/// either way the client-visible replies must stay thread-deterministic.
+fn run_durable_script(threads: usize, wl: &str) -> Vec<String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "parinda_fp_durable_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let engine = parinda::SharedEngine::from_ddl(TINY_DDL).expect("fixed DDL parses");
+    let bootstrap = format!("ddl\n{TINY_DDL}");
+    let opened = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        parinda_server::Durability::open(&dir, &bootstrap)
+    }));
+    let server = match opened {
+        Ok(Ok(dur)) => parinda_server::Server::bind_durable(
+            engine,
+            "127.0.0.1:0",
+            parinda_server::ServerOptions::default(),
+            dur,
+        )
+        .expect("bind durable"),
+        // Recovery failed or panicked: start ephemeral, like the CLI.
+        _ => parinda_server::Server::bind(
+            engine,
+            "127.0.0.1:0",
+            parinda_server::ServerOptions::default(),
+        )
+        .expect("bind"),
+    };
+    let replies = drive_wire(server, threads, wl);
+    std::fs::remove_dir_all(&dir).ok();
+    replies
+}
+
+/// Spawn a bound daemon, replay [`SCRIPT`] over one connection, shut
+/// down cleanly, and return the reply frames (minus the `threads` echo).
+fn drive_wire(server: parinda_server::Server, threads: usize, wl: &str) -> Vec<String> {
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
     let handle = server.spawn().expect("spawn");
     let replies = (|| {
         let stream = TcpStream::connect(handle.addr()).ok()?;
@@ -130,6 +176,10 @@ fn site_manifest_is_exhaustive() {
         "solver::warmstart",
         "server::accept",
         "server::session",
+        "wal::append",
+        "wal::fsync",
+        "wal::snapshot",
+        "recover::replay",
     ];
     assert_eq!(
         failpoint::SITES,
@@ -173,12 +223,33 @@ fn every_site_is_contained_and_thread_deterministic() {
         clean_wire.iter().all(|r| r.starts_with("ok ")),
         "clean wire script should succeed everywhere: {clean_wire:#?}"
     );
+    // And for the durable driver: a healthy WAL must be *invisible* —
+    // the durable daemon's replies are byte-identical to the ephemeral
+    // daemon's (the journal never changes what a client sees).
+    let clean_durable = run_durable_script(1, &wl);
+    assert_eq!(
+        clean_durable,
+        run_durable_script(8, &wl),
+        "clean durable script diverges across thread counts"
+    );
+    assert_eq!(
+        clean_durable, clean_wire,
+        "a healthy WAL changed client-visible replies"
+    );
 
     for &site in failpoint::SITES {
         // Server sites live in the daemon's accept/request path, which a
-        // console cannot reach: drive those through a real socket.
+        // console cannot reach: drive those through a real socket; the
+        // durability sites additionally need a daemon with a data dir.
         let over_wire = site.starts_with("server::");
-        let baseline = if over_wire { &clean_wire } else { &clean };
+        let durable = site.starts_with("wal::") || site.starts_with("recover::");
+        let baseline = if durable {
+            &clean_durable
+        } else if over_wire {
+            &clean_wire
+        } else {
+            &clean
+        };
         for action in [Action::Err, Action::Panic, Action::Delay(1)] {
             failpoint::clear_all();
             failpoint::reset_hits();
@@ -186,7 +257,9 @@ fn every_site_is_contained_and_thread_deterministic() {
 
             let mut reference: Option<Vec<String>> = None;
             for threads in [1usize, 2, 8] {
-                let replies = if over_wire {
+                let replies = if durable {
+                    run_durable_script(threads, &wl)
+                } else if over_wire {
                     run_wire_script(threads, &wl)
                 } else {
                     run_script(threads, &wl)

@@ -324,6 +324,54 @@ fn shared_plan_cache_serves_repeat_builds() {
     assert_eq!(eng.plan_cache_hits(), 3, "warm run was not served from the cache");
 }
 
+/// Satellite: shutdown must *drain* in-flight workers, not race them.
+/// [`parinda_server::ServerHandle::shutdown`] returns the stats report
+/// rendered only after every reader+worker pair was joined and the
+/// final snapshot taken — so asserting `worker_panics_recovered 0` and
+/// `sessions_active 0` on it proves no worker was abandoned mid-request
+/// by the shutdown path.
+#[test]
+fn shutdown_drains_inflight_workers_cleanly() {
+    let wl = workload_file("parinda_server_drain_wl.sql");
+    let server =
+        Server::bind(engine(), "127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+    // Three clients fire an advisor run each and hold the connection
+    // open (no `quit`), so shutdown lands with requests in flight.
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let wl = wl.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+                stream
+                    .write_all(
+                        format!("workload file {wl}\nsuggest indexes 64 ilp\n").as_bytes(),
+                    )
+                    .expect("send");
+                let mut buf = Vec::new();
+                stream.read_to_end(&mut buf).ok(); // server closes the stream on drain
+                buf
+            })
+        })
+        .collect();
+    // Let the requests reach the workers before pulling the plug.
+    std::thread::sleep(Duration::from_millis(150));
+    let stats = handle.shutdown().expect("clean shutdown");
+    assert!(
+        stats.contains("worker_panics_recovered 0"),
+        "shutdown raced an in-flight worker into a panic:\n{stats}"
+    );
+    assert!(
+        stats.contains("sessions_active 0"),
+        "shutdown returned before every session drained:\n{stats}"
+    );
+    for c in clients {
+        c.join().expect("client thread");
+    }
+}
+
 /// No byte sequence a client sends may kill the daemon (the wire
 /// rendition of the console's no-panic contract).
 #[test]
