@@ -217,8 +217,23 @@ done
 rm -rf "$crash_dir"
 echo "    crash matrix ok: 3 SIGKILL points recovered bit-identical to the uncrashed reference"
 
-echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage, trace-coverage)"
-cargo run -q -p parinda-lint --release -- --workspace
+echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage, trace-coverage, lock-order, blocking-while-locked, guard-across-unwind)"
+cargo run -q -p parinda-lint --release -- --workspace --json lint.json
+python3 - <<'PYEOF' || { echo "lint.json failed validation"; exit 1; }
+import json, sys
+with open("lint.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "parinda-lint/v1", f"bad schema {doc['schema']!r}"
+assert isinstance(doc["findings"], list)
+for fnd in doc["findings"]:
+    assert set(fnd) == {"file", "line", "rule", "message"}, f"bad finding keys {set(fnd)}"
+    assert isinstance(fnd["line"], int)
+stats = doc["stats"]
+assert set(stats) == {"files", "files_lexed", "findings", "suppressed"}, f"bad stats keys {set(stats)}"
+assert stats["findings"] == len(doc["findings"])
+assert stats["files_lexed"] == stats["files"], \
+    f"single-pass contract broken: {stats['files_lexed']} lexer passes over {stats['files']} files"
+PYEOF
 
 echo "==> lint fixture corpus (the lints are themselves tested)"
 cargo run -q -p parinda-lint --release -- --fixtures

@@ -134,6 +134,7 @@ mod active {
             Some(Action::Err) => true,
             Some(Action::Panic) => panic!("failpoint {site}: injected panic"),
             Some(Action::Delay(ms)) => {
+                // parinda-lint: allow(blocking-while-locked): the delay is the injected fault — tests schedule it deliberately to widen race windows, and the registry guard is already released; the feature-off build compiles this whole module away
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 false
             }

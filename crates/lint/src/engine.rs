@@ -1,13 +1,16 @@
 //! Workspace walking, per-path rule scoping, suppression application,
 //! and the fixture runner behind `--fixtures`.
 
-use crate::findings::{apply_suppressions, collect_suppressions, Finding};
-use crate::lexer::lex;
+use crate::findings::{apply_suppressions, collect_suppressions, Finding, Suppression};
+use crate::lexer::{lex, lex_count};
+use crate::lockgraph::{check_lock_graph, LockGraphInputs};
 use crate::rules::{
     check_failpoints, check_file, check_trace_coverage, collect_should_fail_sites,
-    collect_span_sites, FailpointInputs, FileInput, RuleSet, TraceCoverageInputs,
+    collect_span_sites, parse_sites, FailpointInputs, FileInput, RuleSet, TraceCoverageInputs,
 };
 use crate::scope::test_scope_mask;
+use crate::summary::{collect_summaries, FnSummary};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -49,6 +52,14 @@ const FAILPOINT_TEST: &str = "tests/failpoints.rs";
 const FAILPOINT_README: &str = "README.md";
 const TRACE_DESIGN_DOC: &str = "DESIGN.md";
 
+/// Crates whose direct lock acquisitions define *tracked* identities
+/// for the interprocedural lock rules (`lock-order`,
+/// `blocking-while-locked`, `guard-across-unwind`). Summaries are still
+/// built workspace-wide so call chains through other crates resolve,
+/// but only guards on these crates' mutexes generate findings.
+const LOCK_SCOPE: &[&str] =
+    &["crates/server/src/", "crates/durability/src/", "crates/inum/src/"];
+
 /// Result of a workspace lint.
 #[derive(Debug)]
 pub struct Report {
@@ -58,6 +69,10 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of `.rs` files scanned.
     pub files: usize,
+    /// Number of times the lexer ran during this lint — the
+    /// single-pass contract asserts this equals `files` (every rule
+    /// shares one token stream per file).
+    pub files_lexed: usize,
 }
 
 /// Which per-file rules apply at a workspace-relative path.
@@ -99,12 +114,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     }
     collect_rs(&root.join("src"), &mut files)?;
 
+    let lex_before = lex_count();
     let mut findings: Vec<Finding> = Vec::new();
     let mut suppressed = 0usize;
     let mut call_sites: Vec<(String, u32, String)> = Vec::new();
     let mut span_sites: Vec<(String, u32, String)> = Vec::new();
     let mut registry_sups = Vec::new();
+    let mut registry_sites: Vec<(String, u32)> = Vec::new();
+    let mut summaries: Vec<FnSummary> = Vec::new();
+    let mut sups_by_file: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
 
+    // One lex per file; every per-file rule and every cross-file
+    // collector shares the token stream.
     for path in &files {
         let rel = rel_path(root, path);
         let src = std::fs::read_to_string(path)?;
@@ -112,25 +133,27 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         let mask = test_scope_mask(&toks);
         call_sites.extend(collect_should_fail_sites(&rel, &toks, &mask));
         span_sites.extend(collect_span_sites(&rel, &toks, &mask));
+        summaries.extend(collect_summaries(&rel, &toks, &mask));
         let input = FileInput { rel: &rel, toks: &toks, in_test: &mask };
         let raw = check_file(&input, &rules_for(&rel));
         let sups = collect_suppressions(&toks);
         if rel == FAILPOINT_REGISTRY {
             registry_sups = sups.clone();
+            registry_sites = parse_sites(&toks);
         }
         let (kept, n) = apply_suppressions(&rel, raw, &sups);
         findings.extend(kept);
         suppressed += n;
+        sups_by_file.insert(rel, sups);
     }
 
     // Cross-file: failpoint coverage. Registry-file suppressions apply
     // (a site can be allow()ed while its call site is being landed).
-    let registry_src = std::fs::read_to_string(root.join(FAILPOINT_REGISTRY)).unwrap_or_default();
     let test_src = std::fs::read_to_string(root.join(FAILPOINT_TEST)).unwrap_or_default();
     let readme_src = std::fs::read_to_string(root.join(FAILPOINT_README)).unwrap_or_default();
     let fp = check_failpoints(&FailpointInputs {
         registry_rel: FAILPOINT_REGISTRY,
-        registry_src: &registry_src,
+        sites: &registry_sites,
         test_rel: FAILPOINT_TEST,
         test_src: &test_src,
         readme_rel: FAILPOINT_README,
@@ -150,8 +173,22 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         span_sites: &span_sites,
     }));
 
+    // Cross-file: the interprocedural lock analysis (lock-order,
+    // blocking-while-locked, guard-across-unwind) over the whole
+    // workspace's summaries, reconciled against DESIGN.md's marker.
+    let (lock_kept, lock_suppressed) = check_lock_graph(&LockGraphInputs {
+        summaries: &summaries,
+        design_rel: TRACE_DESIGN_DOC,
+        design_src: &design_src,
+        sups: &sups_by_file,
+        scope: Some(LOCK_SCOPE),
+    });
+    findings.extend(lock_kept);
+    suppressed += lock_suppressed;
+
     findings.sort();
-    Ok(Report { findings, suppressed, files: files.len() })
+    let files_lexed = lex_count() - lex_before;
+    Ok(Report { findings, suppressed, files: files.len(), files_lexed })
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -252,9 +289,71 @@ pub fn run_fixtures(dir: &Path) -> io::Result<Vec<FixtureResult>> {
     Ok(out)
 }
 
+/// Map a fixture rule-directory name to the lock-analysis rule it
+/// isolates, if any.
+fn lock_rule_of(rule_dir: &str) -> Option<&'static str> {
+    match rule_dir {
+        "lock_order" => Some("lock-order"),
+        "blocking_while_locked" => Some("blocking-while-locked"),
+        "guard_across_unwind" => Some("guard-across-unwind"),
+        _ => None,
+    }
+}
+
+/// Run the lock analysis over a set of fixture files and keep only the
+/// directory's rule (so a `blocking_while_locked` case without a
+/// `design.md` isn't polluted by the missing-marker `lock-order`
+/// finding).
+fn run_lock_fixture(
+    files: &[(String, String)],
+    design_rel: &str,
+    design_src: &str,
+    rule: &'static str,
+    scope: Option<&[&str]>,
+) -> Vec<Finding> {
+    let mut summaries: Vec<FnSummary> = Vec::new();
+    let mut sups_by_file: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
+    for (rel, src) in files {
+        let toks = lex(src);
+        let mask = test_scope_mask(&toks);
+        summaries.extend(collect_summaries(rel, &toks, &mask));
+        sups_by_file.insert(rel.clone(), collect_suppressions(&toks));
+    }
+    let (kept, _) = check_lock_graph(&LockGraphInputs {
+        summaries: &summaries,
+        design_rel,
+        design_src,
+        sups: &sups_by_file,
+        scope,
+    });
+    kept.into_iter().filter(|f| f.rule == rule).collect()
+}
+
 fn run_file_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
     let fname = file_name(case);
     let src = std::fs::read_to_string(case)?;
+    // The three lock rules are cross-file analyses: single-file cases
+    // run them in isolation. A `//@path:` directive applies the real
+    // workspace lock scope (pinning its narrowness); without one,
+    // every acquisition in the fixture is tracked.
+    if let Some(rule) = lock_rule_of(rule_dir) {
+        let (rel, scope): (String, Option<&[&str]>) =
+            match src.lines().next().and_then(|l| l.strip_prefix("//@path:")) {
+                Some(p) => (p.trim().to_string(), Some(LOCK_SCOPE)),
+                None => (fname.clone(), None),
+            };
+        // The fixture file doubles as its own "design doc": a
+        // `// <!-- parinda-lint: lock-order: … -->` comment line
+        // declares the order for the case.
+        let files = vec![(rel.clone(), src)];
+        let findings = run_lock_fixture(&files, &rel, &files[0].1, rule, scope);
+        let expected = read_expected(&case.with_extension("expected"))?;
+        return Ok(FixtureResult {
+            name: format!("{rule_dir}/{fname}"),
+            expected,
+            actual: render(&findings),
+        });
+    }
     // `//@path: <rel>` on the first line lints the fixture as if it sat
     // at that workspace-relative path, with the rule set the engine
     // would really choose — this is how exemption *narrowness* is
@@ -294,6 +393,29 @@ fn run_file_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
 
 fn run_dir_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
     let read = |n: &str| std::fs::read_to_string(case.join(n)).unwrap_or_default();
+    // Lock-rule dir cases: every `.rs` file in the dir (sorted) is one
+    // workspace file, plus an optional `design.md` with the marker —
+    // this is how cross-file inversions (A locks x→y, B locks y→x via
+    // a helper) are exercised.
+    if let Some(rule) = lock_rule_of(rule_dir) {
+        let mut rs_files: Vec<PathBuf> = std::fs::read_dir(case)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|e| e == "rs").unwrap_or(false))
+            .collect();
+        rs_files.sort();
+        let mut files: Vec<(String, String)> = Vec::new();
+        for p in &rs_files {
+            files.push((file_name(p), std::fs::read_to_string(p)?));
+        }
+        let design_src = read("design.md");
+        let findings = run_lock_fixture(&files, "design.md", &design_src, rule, None);
+        let expected = read_expected(&case.join("expected"))?;
+        return Ok(FixtureResult {
+            name: format!("{rule_dir}/{}", file_name(case)),
+            expected,
+            actual: render(&findings),
+        });
+    }
     if rule_dir == "trace_coverage" {
         let code_src = read("code.rs");
         let toks = lex(&code_src);
@@ -313,13 +435,15 @@ fn run_dir_fixture(rule_dir: &str, case: &Path) -> io::Result<FixtureResult> {
         });
     }
     let registry_src = read("registry.rs");
+    let registry_toks = lex(&registry_src);
+    let sites = parse_sites(&registry_toks);
     let code_src = read("code.rs");
     let toks = lex(&code_src);
     let mask = test_scope_mask(&toks);
     let call_sites = collect_should_fail_sites("code.rs", &toks, &mask);
     let findings = check_failpoints(&FailpointInputs {
         registry_rel: "registry.rs",
-        registry_src: &registry_src,
+        sites: &sites,
         test_rel: "failpoints_test.rs",
         test_src: &read("failpoints_test.rs"),
         readme_rel: "readme.md",

@@ -27,6 +27,9 @@ pub const RULE_NAMES: &[&str] = &[
     "lock-discipline",
     "failpoint-coverage",
     "trace-coverage",
+    "lock-order",
+    "blocking-while-locked",
+    "guard-across-unwind",
     "suppression",
 ];
 

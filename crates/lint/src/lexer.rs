@@ -66,10 +66,24 @@ impl<'a> Tok<'a> {
     }
 }
 
+std::thread_local! {
+    // How many times `lex` ran on this thread — the single-pass
+    // contract (`--workspace` lexes each file exactly once, all rules
+    // sharing the token stream) is asserted against this counter.
+    // Thread-local so parallel test binaries cannot race it.
+    static LEX_CALLS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`lex`] invocations on the current thread.
+pub fn lex_count() -> usize {
+    LEX_CALLS.with(|c| c.get())
+}
+
 /// Tokenize `src`. Never fails: unterminated literals/comments simply
 /// extend to end of input (the lint runs on code that already compiles,
 /// so this only matters for fixture robustness).
 pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    LEX_CALLS.with(|c| c.set(c.get() + 1));
     Lexer { src: src.as_bytes(), pos: 0, line: 1, full: src }.run()
 }
 

@@ -38,8 +38,10 @@
 pub mod engine;
 pub mod findings;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
 pub mod scope;
+pub mod summary;
 
 pub use engine::{find_workspace_root, lint_source, lint_workspace, run_fixtures, Report};
 pub use findings::Finding;

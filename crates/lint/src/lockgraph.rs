@@ -1,0 +1,628 @@
+//! The interprocedural lock analysis: call-graph resolution, transitive
+//! propagation, and the three concurrency rules.
+//!
+//! From the per-function summaries ([`crate::summary`]) this module:
+//!
+//! 1. resolves each call target to a unique function — exact
+//!    `Type::method` match for `self.method(…)`, otherwise by bare name
+//!    (disambiguated by a same-file preference for plain calls, then by
+//!    keeping only *relevant* candidates: functions that acquire locks,
+//!    block, or cross an unwind boundary),
+//! 2. resolves each acquisition to a stable lock identity — directly
+//!    for `self.FIELD.lock()`, through the callee's summary for
+//!    `lock`/`lock_*` poison-recovery wrappers,
+//! 3. propagates transitively: `TA(f)` (which identities running `f`
+//!    can acquire), `TB(f)` (a blocking site reachable from `f`), and
+//!    `TU(f)` (a `catch_unwind` reachable from `f`) via memoized DFS,
+//! 4. reconciles the acquired-while-holding edges against the declared
+//!    order in DESIGN.md's machine-readable marker:
+//!
+//!    ```text
+//!    <!-- parinda-lint: lock-order: Durable.journal < Wal.inner -->
+//!    ```
+//!
+//! Three rules come out of this graph: **`lock-order`** (cycles,
+//! order-violating edges, undeclared locks, stale declarations, a
+//! missing marker), **`blocking-while-locked`** (an fsync/`write_all`/
+//! socket-read/`sleep`/`recv`/thread-`join`/`par_*` fan-out reached —
+//! possibly through calls — while a guard is live), and
+//! **`guard-across-unwind`** (a guard live across a `catch_unwind`
+//! boundary).
+//!
+//! A blocking or unwind site carrying a valid inline
+//! `// parinda-lint: allow(<rule>): <reason>` is excluded from
+//! transitive propagation — the WAL's group-fsync-under-`inner` is
+//! *the design*, and its justified suppression must also silence the
+//! callers that reach it while holding the journal lock.
+
+use crate::findings::{Finding, Suppression};
+use crate::summary::{AcqKind, CallTarget, Event, FnSummary};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Marker text the `lock-order` rule looks for in DESIGN.md. The full
+/// marker is an HTML comment (invisible when rendered):
+///
+/// ```text
+/// <!-- parinda-lint: lock-order: A.x < B.y < C.z -->
+/// ```
+pub const LOCK_ORDER_MARKER: &str = "parinda-lint: lock-order:";
+
+/// Inputs for the lock analysis, gathered by the engine.
+pub struct LockGraphInputs<'a> {
+    /// Every production-function summary in the workspace (or fixture).
+    pub summaries: &'a [FnSummary],
+    /// Path of the design doc holding the lock-order marker.
+    pub design_rel: &'a str,
+    /// Its text (empty string = file missing).
+    pub design_src: &'a str,
+    /// Per-file inline suppressions (used both to absorb findings and
+    /// to stop propagation past justified sites).
+    pub sups: &'a BTreeMap<String, Vec<Suppression>>,
+    /// Path prefixes whose direct acquisitions define *tracked*
+    /// identities; `None` tracks everything (fixture mode).
+    pub scope: Option<&'a [&'a str]>,
+}
+
+/// Find the lock-order marker: `(1-based line, declared identities)`.
+/// The list runs from the marker text to the closing `-->`, identities
+/// separated by `<`.
+pub fn parse_lock_order_marker(src: &str) -> Option<(u32, Vec<String>)> {
+    for (i, line) in src.lines().enumerate() {
+        let Some(at) = line.find(LOCK_ORDER_MARKER) else { continue };
+        let rest = &line[at + LOCK_ORDER_MARKER.len()..];
+        let rest = rest.split("-->").next().unwrap_or(rest);
+        let ids: Vec<String> = rest
+            .split('<')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if !ids.is_empty() {
+            return Some((i as u32 + 1, ids));
+        }
+    }
+    None
+}
+
+/// A propagated witness: a rendered description of where the
+/// interesting site actually is (`\`what\` in \`fn\` (file:line)`).
+type Witness = String;
+
+/// One acquired-while-holding edge with its first witness site.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: Option<String>,
+}
+
+struct Analysis<'a> {
+    inp: &'a LockGraphInputs<'a>,
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    by_impl_name: BTreeMap<(&'a str, &'a str), usize>,
+    /// Resolved identity of every acquisition, per function.
+    acq_ids: Vec<Vec<Option<String>>>,
+    tracked: BTreeSet<String>,
+    // memo state: 0 white, 1 gray, 2 black
+    mark: Vec<u8>,
+    ta: Vec<BTreeMap<String, Witness>>,
+    tb: Vec<Option<Witness>>,
+    tu: Vec<Option<Witness>>,
+}
+
+/// Run the lock analysis. Returns `(kept_findings, n_suppressed)`;
+/// inline suppressions in `inp.sups` are already applied.
+pub fn check_lock_graph(inp: &LockGraphInputs<'_>) -> (Vec<Finding>, usize) {
+    let n = inp.summaries.len();
+    let mut a = Analysis {
+        inp,
+        by_name: BTreeMap::new(),
+        by_impl_name: BTreeMap::new(),
+        acq_ids: vec![Vec::new(); n],
+        tracked: BTreeSet::new(),
+        mark: vec![0; n],
+        ta: vec![BTreeMap::new(); n],
+        tb: vec![None; n],
+        tu: vec![None; n],
+    };
+    for (i, s) in inp.summaries.iter().enumerate() {
+        a.by_name.entry(s.name.as_str()).or_default().push(i);
+        if let Some(ty) = &s.impl_type {
+            a.by_impl_name.entry((ty.as_str(), s.name.as_str())).or_insert(i);
+        }
+    }
+    a.resolve_acquisitions();
+    a.collect_tracked();
+    for i in 0..n {
+        a.propagate(i);
+    }
+    a.findings()
+}
+
+impl<'a> Analysis<'a> {
+    fn qual(&self, i: usize) -> String {
+        let s = &self.inp.summaries[i];
+        match &s.impl_type {
+            Some(t) => format!("{t}::{}", s.name),
+            None => s.name.clone(),
+        }
+    }
+
+    /// Is a site covered by a valid inline `allow(rule)`?
+    fn covered(&self, file: &str, line: u32, rule: &str) -> bool {
+        self.inp
+            .sups
+            .get(file)
+            .map(|ss| {
+                ss.iter().any(|s| {
+                    s.rule == rule
+                        && !s.reason.is_empty()
+                        && (s.line == line || s.line + 1 == line)
+                })
+            })
+            .unwrap_or(false)
+    }
+
+    /// Resolve a call target from `caller` to a function index.
+    fn resolve(&self, caller: usize, target: &CallTarget) -> Option<usize> {
+        let name = target.name();
+        if let CallTarget::SelfMethod(_) = target {
+            if let Some(ty) = &self.inp.summaries[caller].impl_type {
+                if let Some(&i) = self.by_impl_name.get(&(ty.as_str(), name)) {
+                    return Some(i);
+                }
+            }
+        }
+        let cands = self.by_name.get(name)?;
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        // Same-file preference for plain calls (a module's private
+        // helpers shadow same-named functions elsewhere).
+        if matches!(target, CallTarget::Plain(_)) {
+            let caller_file = &self.inp.summaries[caller].file;
+            let same: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| &self.inp.summaries[i].file == caller_file)
+                .collect();
+            if same.len() == 1 {
+                return Some(same[0]);
+            }
+        }
+        // Relevance filter: keep only candidates the analysis cares
+        // about (they acquire, block, or unwind). An ambiguous name
+        // with exactly one relevant candidate resolves to it.
+        let relevant: Vec<usize> =
+            cands.iter().copied().filter(|&i| self.is_relevant(i)).collect();
+        if relevant.len() == 1 {
+            return Some(relevant[0]);
+        }
+        None
+    }
+
+    fn is_relevant(&self, i: usize) -> bool {
+        let s = &self.inp.summaries[i];
+        !s.acquisitions.is_empty()
+            || s.events.iter().any(|e| matches!(e, Event::Blocking { .. } | Event::Unwind { .. }))
+    }
+
+    /// Resolve every acquisition's identity (wrappers through their
+    /// callee's summary).
+    fn resolve_acquisitions(&mut self) {
+        for i in 0..self.inp.summaries.len() {
+            let mut ids = Vec::new();
+            for acq in &self.inp.summaries[i].acquisitions {
+                let id = match &acq.kind {
+                    AcqKind::Direct(id) => Some(id.clone()),
+                    AcqKind::Wrapper(target) => self.resolve(i, target).and_then(|c| {
+                        self.inp.summaries[c].wrapper_identity().map(String::from)
+                    }),
+                };
+                ids.push(id);
+            }
+            self.acq_ids[i] = ids;
+        }
+    }
+
+    /// An identity is tracked iff its *direct* acquisition site lives
+    /// under a scope prefix (or scope is `None`).
+    fn collect_tracked(&mut self) {
+        for s in self.inp.summaries.iter() {
+            let in_scope = match self.inp.scope {
+                None => true,
+                Some(prefixes) => prefixes.iter().any(|p| s.file.starts_with(p)),
+            };
+            if !in_scope {
+                continue;
+            }
+            for acq in &s.acquisitions {
+                if let AcqKind::Direct(id) = &acq.kind {
+                    self.tracked.insert(id.clone());
+                }
+            }
+        }
+    }
+
+    /// Memoized DFS computing TA/TB/TU for function `i`.
+    fn propagate(&mut self, i: usize) {
+        if self.mark[i] != 0 {
+            return;
+        }
+        self.mark[i] = 1;
+        let s = &self.inp.summaries[i];
+        let file = s.file.clone();
+        let qual = self.qual(i);
+        let events = s.events.clone();
+        for e in &events {
+            match e {
+                Event::Acquire { acq, .. } => {
+                    if let Some(id) = self.acq_ids[i][*acq].clone() {
+                        let line = self.inp.summaries[i].acquisitions[*acq].line;
+                        let _ = line;
+                        self.ta[i].entry(id).or_insert_with(|| format!("acquired in `{qual}`"));
+                    }
+                }
+                Event::Blocking { what, line, .. } => {
+                    if self.tb[i].is_none()
+                        && !self.covered(&file, *line, "blocking-while-locked")
+                    {
+                        self.tb[i] = Some(format!("`{what}` in `{qual}` ({file}:{line})"));
+                    }
+                }
+                Event::Unwind { line, .. } => {
+                    if self.tu[i].is_none() && !self.covered(&file, *line, "guard-across-unwind")
+                    {
+                        self.tu[i] = Some(format!("`catch_unwind` in `{qual}` ({file}:{line})"));
+                    }
+                }
+                Event::Call { target, .. } => {
+                    if let Some(c) = self.resolve(i, target) {
+                        if self.mark[c] == 1 {
+                            continue; // recursion cycle: fixpoint not needed for our rules
+                        }
+                        self.propagate(c);
+                        let callee_ta: Vec<(String, Witness)> = self.ta[c]
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect();
+                        for (id, w) in callee_ta {
+                            self.ta[i].entry(id).or_insert(w);
+                        }
+                        if self.tb[i].is_none() {
+                            self.tb[i] = self.tb[c].clone();
+                        }
+                        if self.tu[i].is_none() {
+                            self.tu[i] = self.tu[c].clone();
+                        }
+                    }
+                }
+            }
+        }
+        // Wrapper acquisitions also count toward TA even when the
+        // wrapper resolution already provided the identity above.
+        self.mark[i] = 2;
+    }
+
+    /// Identities the function's `held` set resolves to (tracked only).
+    fn held_ids(&self, i: usize, held: &[usize]) -> Vec<String> {
+        let mut out: Vec<String> = held
+            .iter()
+            .filter_map(|&a| self.acq_ids[i][a].clone())
+            .filter(|id| self.tracked.contains(id))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Generate all findings and absorb suppressions.
+    fn findings(&self) -> (Vec<Finding>, usize) {
+        let mut raw: Vec<Finding> = Vec::new();
+        let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
+        let push = |raw: &mut Vec<Finding>,
+                        seen: &mut BTreeSet<(String, u32, &'static str)>,
+                        file: &str,
+                        line: u32,
+                        rule: &'static str,
+                        message: String| {
+            if seen.insert((file.to_string(), line, rule)) {
+                raw.push(Finding { file: file.to_string(), line, rule, message });
+            }
+        };
+
+        // Pass 1: edges + per-site blocking/unwind findings.
+        let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+        let mut first_acq: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for (i, s) in self.inp.summaries.iter().enumerate() {
+            for e in &s.events {
+                match e {
+                    Event::Acquire { acq, held } => {
+                        let Some(id) = &self.acq_ids[i][*acq] else { continue };
+                        let line = s.acquisitions[*acq].line;
+                        if self.tracked.contains(id) {
+                            first_acq
+                                .entry(id.clone())
+                                .or_insert_with(|| (s.file.clone(), line));
+                            for h in self.held_ids(i, held) {
+                                edges.entry((h.clone(), id.clone())).or_insert(Edge {
+                                    from: h,
+                                    to: id.clone(),
+                                    file: s.file.clone(),
+                                    line,
+                                    via: None,
+                                });
+                            }
+                        }
+                    }
+                    Event::Call { target, line, held } => {
+                        let held_ids = self.held_ids(i, held);
+                        let Some(c) = self.resolve(i, target) else { continue };
+                        for h in &held_ids {
+                            for (id, _) in self.ta[c].iter() {
+                                if !self.tracked.contains(id) {
+                                    continue;
+                                }
+                                edges.entry((h.clone(), id.clone())).or_insert(Edge {
+                                    from: h.clone(),
+                                    to: id.clone(),
+                                    file: s.file.clone(),
+                                    line: *line,
+                                    via: Some(self.qual(c)),
+                                });
+                            }
+                        }
+                        if held_ids.is_empty() {
+                            continue;
+                        }
+                        let list = backtick_list(&held_ids);
+                        if let Some(w) = &self.tb[c] {
+                            push(
+                                &mut raw,
+                                &mut seen,
+                                &s.file,
+                                *line,
+                                "blocking-while-locked",
+                                format!(
+                                    "call to `{}` reaches blocking {} while holding {list} — narrow the guard or move the blocking work out of the critical section",
+                                    self.qual(c),
+                                    w
+                                ),
+                            );
+                        }
+                        if let Some(w) = &self.tu[c] {
+                            push(
+                                &mut raw,
+                                &mut seen,
+                                &s.file,
+                                *line,
+                                "guard-across-unwind",
+                                format!(
+                                    "call to `{}` reaches {} while holding {list} — a panic there poisons the held lock; if poison-by-design, say so with an inline allow",
+                                    self.qual(c),
+                                    w
+                                ),
+                            );
+                        }
+                    }
+                    Event::Blocking { what, line, held } => {
+                        let held_ids = self.held_ids(i, held);
+                        if held_ids.is_empty() {
+                            continue;
+                        }
+                        push(
+                            &mut raw,
+                            &mut seen,
+                            &s.file,
+                            *line,
+                            "blocking-while-locked",
+                            format!(
+                                "blocking `{what}` while holding {} — narrow the guard or move the blocking work out of the critical section",
+                                backtick_list(&held_ids)
+                            ),
+                        );
+                    }
+                    Event::Unwind { line, held } => {
+                        let held_ids = self.held_ids(i, held);
+                        if held_ids.is_empty() {
+                            continue;
+                        }
+                        push(
+                            &mut raw,
+                            &mut seen,
+                            &s.file,
+                            *line,
+                            "guard-across-unwind",
+                            format!(
+                                "guard on {} is live across this `catch_unwind` — a panic inside poisons the lock; if poison-by-design, say so with an inline allow",
+                                backtick_list(&held_ids)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Pass 2: reconcile against the declared order.
+        let acquired: BTreeSet<&String> = first_acq.keys().collect();
+        let marker = parse_lock_order_marker(self.inp.design_src);
+        match &marker {
+            None => {
+                if !acquired.is_empty() {
+                    push(
+                        &mut raw,
+                        &mut seen,
+                        self.inp.design_rel,
+                        1,
+                        "lock-order",
+                        format!(
+                            "no `<!-- {LOCK_ORDER_MARKER} … -->` marker found, but {} tracked lock(s) exist ({}) — declare the canonical order",
+                            acquired.len(),
+                            acquired.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+                        ),
+                    );
+                }
+            }
+            Some((mline, declared)) => {
+                let mut pos: BTreeMap<&str, usize> = BTreeMap::new();
+                for (p, id) in declared.iter().enumerate() {
+                    if pos.insert(id.as_str(), p).is_some() {
+                        push(
+                            &mut raw,
+                            &mut seen,
+                            self.inp.design_rel,
+                            *mline,
+                            "lock-order",
+                            format!("duplicate lock `{id}` in the lock-order marker"),
+                        );
+                    }
+                }
+                for id in &acquired {
+                    if !pos.contains_key(id.as_str()) {
+                        let (f, l) = &first_acq[id.as_str()];
+                        push(
+                            &mut raw,
+                            &mut seen,
+                            f,
+                            *l,
+                            "lock-order",
+                            format!(
+                                "lock `{id}` is acquired here but not declared in the {} lock-order marker",
+                                self.inp.design_rel
+                            ),
+                        );
+                    }
+                }
+                for id in declared {
+                    if !acquired.contains(id) {
+                        push(
+                            &mut raw,
+                            &mut seen,
+                            self.inp.design_rel,
+                            *mline,
+                            "lock-order",
+                            format!(
+                                "declared lock `{id}` is never acquired anywhere — stale declaration, remove it"
+                            ),
+                        );
+                    }
+                }
+                for e in edges.values() {
+                    let (Some(&pf), Some(&pt)) =
+                        (pos.get(e.from.as_str()), pos.get(e.to.as_str()))
+                    else {
+                        continue; // undeclared endpoints are reported above
+                    };
+                    if pf >= pt {
+                        let via = e
+                            .via
+                            .as_ref()
+                            .map(|v| format!(" (via `{v}`)"))
+                            .unwrap_or_default();
+                        let msg = if e.from == e.to {
+                            format!(
+                                "`{}` is re-acquired{via} while already held — self-deadlock",
+                                e.to
+                            )
+                        } else {
+                            format!(
+                                "`{}` is acquired{via} while `{}` is held, violating the declared order `{}` < `{}` ({} marker)",
+                                e.to, e.from, e.to, e.from, self.inp.design_rel
+                            )
+                        };
+                        push(&mut raw, &mut seen, &e.file, e.line, "lock-order", msg);
+                    }
+                }
+            }
+        }
+
+        // Cycles in the edge graph (reported even without a marker —
+        // a cycle deadlocks regardless of what the docs declare).
+        for cycle in find_cycles(&edges) {
+            let first = &edges[&(cycle[0].clone(), cycle[1 % cycle.len()].clone())];
+            let path = cycle
+                .iter()
+                .chain(cycle.first())
+                .map(|s| format!("`{s}`"))
+                .collect::<Vec<_>>()
+                .join(" → ");
+            push(
+                &mut raw,
+                &mut seen,
+                &first.file,
+                first.line,
+                "lock-order",
+                format!("lock-acquisition cycle {path} — two sessions can deadlock here"),
+            );
+        }
+
+        // Absorb inline suppressions.
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in raw {
+            if self.covered(&f.file, f.line, f.rule) {
+                suppressed += 1;
+            } else {
+                kept.push(f);
+            }
+        }
+        kept.sort();
+        (kept, suppressed)
+    }
+}
+
+fn backtick_list(ids: &[String]) -> String {
+    ids.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+}
+
+/// Find simple cycles in the edge graph. Each cycle is reported once,
+/// as the node list in DFS discovery order, deduplicated by node set.
+fn find_cycles(edges: &BTreeMap<(String, String), Edge>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_sets: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+
+    fn dfs<'g>(
+        node: &'g str,
+        adj: &BTreeMap<&'g str, Vec<&'g str>>,
+        color: &mut BTreeMap<&'g str, u8>,
+        stack: &mut Vec<&'g str>,
+        cycles: &mut Vec<Vec<String>>,
+        seen_sets: &mut BTreeSet<Vec<String>>,
+    ) {
+        color.insert(node, 1);
+        stack.push(node);
+        for &next in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            match color.get(next).copied().unwrap_or(0) {
+                0 => dfs(next, adj, color, stack, cycles, seen_sets),
+                1 => {
+                    let at = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let cyc: Vec<String> = stack[at..].iter().map(|s| s.to_string()).collect();
+                    let mut key = cyc.clone();
+                    key.sort();
+                    if seen_sets.insert(key) {
+                        cycles.push(cyc);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(node, 2);
+    }
+
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            dfs(n, &adj, &mut color, &mut stack, &mut cycles, &mut seen_sets);
+        }
+    }
+    cycles
+}

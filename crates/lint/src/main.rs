@@ -4,6 +4,8 @@
 //! parinda-lint --workspace            lint the whole workspace (default)
 //! parinda-lint --fixtures             run the fixture corpus
 //! parinda-lint --root <dir> …         explicit workspace root
+//! parinda-lint --json <path>          also write findings as JSON (parinda-lint/v1)
+//! parinda-lint --timing               print wall time and lex stats to stderr
 //! parinda-lint --list-rules           print rule names and scopes
 //! ```
 //!
@@ -17,11 +19,18 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut mode_fixtures = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => {}
             "--fixtures" => mode_fixtures = true,
+            "--timing" => timing = true,
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs an output path"),
+            },
             "--root" => match args.next() {
                 Some(r) => root = Some(PathBuf::from(r)),
                 None => return usage("--root needs a directory"),
@@ -35,8 +44,10 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "parinda-lint: PARINDA contract lints (panic-site, nondeterminism, \
-                     lock-discipline, failpoint-coverage, trace-coverage)\n\
-                     usage: parinda-lint [--workspace] [--fixtures] [--root <dir>] [--list-rules]"
+                     lock-discipline, failpoint-coverage, trace-coverage, lock-order, \
+                     blocking-while-locked, guard-across-unwind)\n\
+                     usage: parinda-lint [--workspace] [--fixtures] [--root <dir>] \
+                     [--json <path>] [--timing] [--list-rules]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -56,17 +67,35 @@ fn main() -> ExitCode {
         return run_fixtures(&root);
     }
 
+    // parinda-lint: allow(nondeterminism): --timing measures the lint's own wall clock; output goes to stderr only
+    let t0 = timing.then(std::time::Instant::now);
     match engine::lint_workspace(&root) {
         Ok(report) => {
             for f in &report.findings {
                 println!("{f}");
             }
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, report_json(&report)) {
+                    eprintln!("parinda-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             eprintln!(
-                "parinda-lint: {} finding(s), {} suppressed, {} file(s) scanned",
+                "parinda-lint: {} finding(s), {} suppressed, {} file(s) scanned, {} lexed",
                 report.findings.len(),
                 report.suppressed,
-                report.files
+                report.files,
+                report.files_lexed
             );
+            if let Some(t0) = t0 {
+                eprintln!(
+                    "parinda-lint: --timing: {:.1} ms total, {} lexer pass(es) over {} file(s) ({} pass per file)",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    report.files_lexed,
+                    report.files,
+                    if report.files_lexed == report.files { "exactly one" } else { "MORE THAN one" }
+                );
+            }
             if report.findings.is_empty() {
                 ExitCode::SUCCESS
             } else {
@@ -78,6 +107,53 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Render a report as `parinda-lint/v1` JSON (hand-rolled — the lint
+/// is std-only by design).
+fn report_json(report: &engine::Report) -> String {
+    let mut out = String::from("{\n  \"schema\": \"parinda-lint/v1\",\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"stats\": {{\"files\": {}, \"files_lexed\": {}, \"findings\": {}, \"suppressed\": {}}}\n}}\n",
+        report.files,
+        report.files_lexed,
+        report.findings.len(),
+        report.suppressed
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn run_fixtures(root: &std::path::Path) -> ExitCode {

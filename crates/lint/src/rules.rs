@@ -421,10 +421,12 @@ fn lock_discipline(input: &FileInput<'_>, sig: &[usize], out: &mut Vec<Finding>)
 
 /// Inputs for the cross-file failpoint rule, gathered by the engine.
 pub struct FailpointInputs<'a> {
-    /// Path + source of the registry (`crates/failpoint/src/lib.rs`).
+    /// Path of the registry (`crates/failpoint/src/lib.rs`).
     pub registry_rel: &'a str,
-    /// Registry source text.
-    pub registry_src: &'a str,
+    /// `(site, line)` pairs from the registry's `SITES` const, parsed
+    /// by [`parse_sites`] from the registry's token stream (the engine
+    /// lexes every file exactly once and shares the tokens).
+    pub sites: &'a [(String, u32)],
     /// Path of the failpoint matrix test (`tests/failpoints.rs`).
     pub test_rel: &'a str,
     /// Its source text (empty string = file missing).
@@ -448,7 +450,7 @@ pub struct FailpointInputs<'a> {
 /// * sites absent from the README site table.
 pub fn check_failpoints(inp: &FailpointInputs<'_>) -> Vec<Finding> {
     let mut out = Vec::new();
-    let sites = parse_sites(inp.registry_src);
+    let sites = inp.sites;
     if sites.is_empty() {
         out.push(Finding {
             file: inp.registry_rel.to_string(),
@@ -459,7 +461,7 @@ pub fn check_failpoints(inp: &FailpointInputs<'_>) -> Vec<Finding> {
         return out;
     }
     let mut seen: Vec<&str> = Vec::new();
-    for (name, line) in &sites {
+    for (name, line) in sites {
         if seen.contains(&name.as_str()) {
             out.push(Finding {
                 file: inp.registry_rel.to_string(),
@@ -514,11 +516,10 @@ pub fn check_failpoints(inp: &FailpointInputs<'_>) -> Vec<Finding> {
     out
 }
 
-/// Extract `(site, line)` pairs from the `SITES` const in the registry
-/// source: every string literal between `SITES` and the `]` closing its
-/// slice initializer.
-fn parse_sites(src: &str) -> Vec<(String, u32)> {
-    let toks = crate::lexer::lex(src);
+/// Extract `(site, line)` pairs from the `SITES` const in the lexed
+/// registry: every string literal between `SITES` and the `]` closing
+/// its slice initializer.
+pub fn parse_sites(toks: &[Tok<'_>]) -> Vec<(String, u32)> {
     let sig: Vec<&Tok<'_>> = toks.iter().filter(|t| !t.is_trivia()).collect();
     let mut out = Vec::new();
     let mut k = 0;

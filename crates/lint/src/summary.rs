@@ -1,0 +1,672 @@
+//! Per-function summaries: the intraprocedural half of the lock
+//! analysis.
+//!
+//! [`collect_summaries`] walks one lexed file and produces a
+//! [`FnSummary`] per production function: which lock guards it
+//! acquires, which calls it makes, and which blocking / `catch_unwind`
+//! sites it contains — each event annotated with the set of guards
+//! *live* at that point. Liveness is tracked syntactically:
+//!
+//! * a guard bound by `let [mut] NAME = <acquisition>;` lives until an
+//!   explicit `drop(NAME)` or the closing brace of its block,
+//! * a temporary guard in an `if`/`while` condition dies at the `{`
+//!   opening the body (the condition is evaluated to a `bool` first),
+//! * a temporary guard in a `for` header, `match` scrutinee, or
+//!   `if let`/`while let` scrutinee lives through the body (Rust
+//!   extends those temporaries to the end of the expression),
+//! * any other temporary guard dies at the end of its statement.
+//!
+//! An *acquisition* is either direct — `self.FIELD.lock()` inside
+//! `impl Type` yields the stable identity `Type.FIELD` (a bare
+//! `NAME.lock()` receiver yields `NAME`) — or a call to a
+//! poison-recovery wrapper (`fn lock` / `fn lock_*`), whose identity is
+//! resolved interprocedurally by [`crate::lockgraph`]. The poison
+//! suffix (`.unwrap_or_else(…)` / `.unwrap()` / `.expect(…)`) is part
+//! of the acquisition unit, not a separate call.
+//!
+//! Method calls whose receiver *is* a live guard are not recorded as
+//! calls (a `BTreeMap` guard's `.insert(…)` is not a call into our
+//! code), but blocking method names on a guard receiver still count —
+//! `g.file.write_all(…)` under the WAL guard is exactly the site the
+//! `blocking-while-locked` rule exists for.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a guard came to exist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `self.FIELD.lock()` (or bare `NAME.lock()`): identity known
+    /// immediately.
+    Direct(String),
+    /// A call to a `lock`/`lock_*`-named function; the identity comes
+    /// from the callee's summary once the call graph is resolved.
+    Wrapper(CallTarget),
+}
+
+/// One lock acquisition inside a function.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+    /// Direct identity or wrapper callee.
+    pub kind: AcqKind,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `self.name(…)` — resolved against the enclosing impl type
+    /// first, then by bare name.
+    SelfMethod(String),
+    /// `name(…)` or `path::name(…)` — resolved by bare name.
+    Plain(String),
+    /// `expr.name(…)` with a non-self, non-guard receiver — resolved
+    /// by bare name.
+    Method(String),
+}
+
+impl CallTarget {
+    /// The bare callee name.
+    pub fn name(&self) -> &str {
+        match self {
+            CallTarget::SelfMethod(n) | CallTarget::Plain(n) | CallTarget::Method(n) => n,
+        }
+    }
+}
+
+/// One event inside a function body, in source order. `held` lists the
+/// indices (into [`FnSummary::acquisitions`]) of guards live at the
+/// event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A lock acquisition (`acq` indexes [`FnSummary::acquisitions`]).
+    Acquire {
+        /// Index into the function's acquisition list.
+        acq: usize,
+        /// Guards live when this one was taken.
+        held: Vec<usize>,
+    },
+    /// A call into possibly-our code.
+    Call {
+        /// Callee reference for resolution.
+        target: CallTarget,
+        /// 1-based line of the call.
+        line: u32,
+        /// Guards live at the call.
+        held: Vec<usize>,
+    },
+    /// A direct blocking operation (fsync/write_all/sleep/recv/…).
+    Blocking {
+        /// The blocking method/function name.
+        what: String,
+        /// 1-based line.
+        line: u32,
+        /// Guards live at the site.
+        held: Vec<usize>,
+    },
+    /// A `catch_unwind(` boundary.
+    Unwind {
+        /// 1-based line.
+        line: u32,
+        /// Guards live at the boundary.
+        held: Vec<usize>,
+    },
+}
+
+/// Summary of one production function.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    /// Workspace-relative file the function lives in.
+    pub file: String,
+    /// Enclosing `impl` type, if any.
+    pub impl_type: Option<String>,
+    /// Bare function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Every acquisition, in source order.
+    pub acquisitions: Vec<Acquisition>,
+    /// Every event, in source order.
+    pub events: Vec<Event>,
+}
+
+impl FnSummary {
+    /// Is this a poison-recovery wrapper candidate (`fn lock` /
+    /// `fn lock_*` containing a *direct* acquisition)? Returns the
+    /// wrapped identity.
+    pub fn wrapper_identity(&self) -> Option<&str> {
+        if self.name != "lock" && !self.name.starts_with("lock_") {
+            return None;
+        }
+        self.acquisitions.iter().find_map(|a| match &a.kind {
+            AcqKind::Direct(id) => Some(id.as_str()),
+            AcqKind::Wrapper(_) => None,
+        })
+    }
+}
+
+/// Function/method names that block the calling thread.
+const BLOCKING_NAMES: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "fsync",
+    "write_all",
+    "sleep",
+    "recv",
+    "recv_timeout",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+];
+
+/// Is `name` a blocking operation? `join` only counts with empty
+/// argument parens (thread-handle join; `strs.join("\n")` is not
+/// blocking), which the caller checks separately.
+fn is_blocking_name(name: &str) -> bool {
+    BLOCKING_NAMES.contains(&name) || name.starts_with("par_")
+}
+
+/// Keywords that can precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "let", "in", "as", "move", "loop", "else", "fn",
+    "impl", "pub", "use", "mod", "where", "unsafe", "dyn", "ref", "mut", "break", "continue",
+];
+
+/// How a temporary (unbound) guard dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuardLife {
+    /// `let`-bound: dies at `drop(name)` or when its block closes.
+    Bound,
+    /// Plain-statement temporary: dies at the next `;` (or block
+    /// close).
+    Stmt,
+    /// `if`/`while` condition temporary: dies at the `{` opening the
+    /// body.
+    CondHeader,
+    /// `for`/`match`/`if let`/`while let` header temporary: lives
+    /// through the body (armed at the `{`, dies when that block
+    /// closes).
+    ExtendedPending,
+    /// An `ExtendedPending` guard after its body `{` opened.
+    Extended,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    acq: usize,
+    name: Option<String>,
+    birth_depth: i32,
+    life: GuardLife,
+}
+
+struct FnFrame {
+    summary: FnSummary,
+    body_depth: i32,
+    guards: Vec<Guard>,
+    // `let [mut] NAME =` seen in the current statement.
+    pending_let: Option<String>,
+    // control keyword opened the current statement (`if`, `while`,
+    // `for`, `match`), and whether a `let` followed it (`if let`).
+    ctrl: Option<(&'static str, bool)>,
+}
+
+impl FnFrame {
+    fn held(&self) -> Vec<usize> {
+        self.guards.iter().map(|g| g.acq).collect()
+    }
+
+    fn stmt_end(&mut self, depth: i32) {
+        self.pending_let = None;
+        self.ctrl = None;
+        self.guards.retain(|g| g.life != GuardLife::Stmt || g.birth_depth < depth);
+    }
+
+    fn block_open(&mut self, new_depth: i32) {
+        // `if`/`while` condition temporaries die at the body brace;
+        // extended-header temporaries become block-scoped to the body.
+        self.guards.retain(|g| g.life != GuardLife::CondHeader);
+        for g in &mut self.guards {
+            if g.life == GuardLife::ExtendedPending {
+                g.life = GuardLife::Extended;
+                g.birth_depth = new_depth;
+            }
+        }
+        self.pending_let = None;
+        self.ctrl = None;
+    }
+
+    fn block_close(&mut self, new_depth: i32) {
+        self.guards.retain(|g| g.birth_depth <= new_depth);
+        self.pending_let = None;
+        self.ctrl = None;
+    }
+}
+
+/// Walk one lexed file and summarize every production function.
+/// Test-scope functions (per `in_test`) are skipped entirely.
+pub fn collect_summaries(rel: &str, toks: &[Tok<'_>], in_test: &[bool]) -> Vec<FnSummary> {
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_trivia()).collect();
+    let t = |k: usize| -> Option<&Tok<'_>> { sig.get(k).map(|&i| &toks[i]) };
+    let ident = |k: usize| -> Option<&str> {
+        t(k).and_then(|tk| (tk.kind == TokKind::Ident).then_some(tk.text))
+    };
+    let punct = |k: usize, c: char| -> bool { t(k).map(|tk| tk.is_punct(c)).unwrap_or(false) };
+
+    let mut out: Vec<FnSummary> = Vec::new();
+    // (impl type name, brace depth its body opened at)
+    let mut impl_stack: Vec<(String, i32)> = Vec::new();
+    // `impl` seen; capture the type at the next body `{`.
+    let mut pending_impl: Option<String> = None;
+    // `fn NAME` seen; push a frame at the next body `{` (a `;` first
+    // means a trait method declaration — discard).
+    let mut pending_fn: Option<(String, u32)> = None;
+    let mut fn_stack: Vec<FnFrame> = Vec::new();
+    let mut depth: i32 = 0;
+
+    let mut k = 0usize;
+    while k < sig.len() {
+        let tk = &toks[sig[k]];
+        let test = in_test[sig[k]];
+
+        if tk.is_punct('{') {
+            depth += 1;
+            if let Some(ty) = pending_impl.take() {
+                impl_stack.push((ty, depth));
+            } else if let Some((name, line)) = pending_fn.take() {
+                fn_stack.push(FnFrame {
+                    summary: FnSummary {
+                        file: rel.to_string(),
+                        impl_type: impl_stack.last().map(|(t, _)| t.clone()),
+                        name,
+                        line,
+                        acquisitions: Vec::new(),
+                        events: Vec::new(),
+                    },
+                    body_depth: depth,
+                    guards: Vec::new(),
+                    pending_let: None,
+                    ctrl: None,
+                });
+            } else if let Some(f) = fn_stack.last_mut() {
+                f.block_open(depth);
+            }
+            k += 1;
+            continue;
+        }
+        if tk.is_punct('}') {
+            depth -= 1;
+            while fn_stack.last().map(|f| f.body_depth > depth).unwrap_or(false) {
+                let f = fn_stack.pop().expect("guarded by last()");
+                out.push(f.summary);
+            }
+            if let Some(f) = fn_stack.last_mut() {
+                f.block_close(depth);
+            }
+            while impl_stack.last().map(|(_, d)| *d > depth).unwrap_or(false) {
+                impl_stack.pop();
+            }
+            k += 1;
+            continue;
+        }
+        if tk.is_punct(';') {
+            pending_fn = None; // trait method declaration without a body
+            if let Some(f) = fn_stack.last_mut() {
+                f.stmt_end(depth);
+            }
+            k += 1;
+            continue;
+        }
+
+        if tk.is_ident("impl") && !test {
+            pending_impl = impl_type_name(toks, &sig, k);
+            k += 1;
+            continue;
+        }
+        if tk.is_ident("fn") {
+            if test {
+                // A test-scope fn: skip its signature; its body tokens
+                // are all masked anyway and never produce events.
+                k += 1;
+                continue;
+            }
+            if let Some(name) = ident(k + 1) {
+                pending_fn = Some((name.to_string(), tk.line));
+            }
+            k += 2;
+            continue;
+        }
+
+        // Everything below is only meaningful inside a production fn.
+        let in_fn = fn_stack.last().is_some();
+        if !in_fn || test {
+            k += 1;
+            continue;
+        }
+
+        // Statement-shape bookkeeping.
+        if tk.kind == TokKind::Ident {
+            match tk.text {
+                "if" | "while" | "for" | "match" => {
+                    let kw: &'static str = match tk.text {
+                        "if" => "if",
+                        "while" => "while",
+                        "for" => "for",
+                        _ => "match",
+                    };
+                    let has_let = ident(k + 1) == Some("let");
+                    if let Some(f) = fn_stack.last_mut() {
+                        f.ctrl = Some((kw, has_let));
+                    }
+                    k += 1;
+                    continue;
+                }
+                "let" => {
+                    // `let [mut] NAME =` — remember the binding name so
+                    // an acquisition ending exactly at `;` binds to it.
+                    let mut j = k + 1;
+                    if ident(j) == Some("mut") {
+                        j += 1;
+                    }
+                    if let (Some(name), true) = (ident(j), punct(j + 1, '=')) {
+                        if let Some(f) = fn_stack.last_mut() {
+                            if f.ctrl.is_none() {
+                                f.pending_let = Some(name.to_string());
+                            }
+                        }
+                    }
+                    k += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // `drop(NAME)` kills a bound guard.
+        if tk.is_ident("drop") && punct(k + 1, '(') {
+            if let (Some(name), true) = (ident(k + 2), punct(k + 3, ')')) {
+                if let Some(f) = fn_stack.last_mut() {
+                    f.guards.retain(|g| g.name.as_deref() != Some(name));
+                }
+                k += 4;
+                continue;
+            }
+        }
+
+        // `catch_unwind(`.
+        if tk.is_ident("catch_unwind") && punct(k + 1, '(') {
+            let f = fn_stack.last_mut().expect("in_fn checked");
+            let held = f.held();
+            f.summary.events.push(Event::Unwind { line: tk.line, held });
+            k += 2;
+            continue;
+        }
+
+        // Acquisitions — anchored on an ident followed by `(`.
+        if let Some(next_k) = try_acquisition(toks, &sig, k, depth, &mut fn_stack) {
+            k = next_k;
+            continue;
+        }
+
+        // Calls and blocking operations: `NAME(` shapes.
+        if tk.kind == TokKind::Ident && punct(k + 1, '(') && !NON_CALL_KEYWORDS.contains(&tk.text)
+        {
+            let name = tk.text;
+            let prev_dot = k > 0 && punct(k - 1, '.');
+            let empty_args = punct(k + 2, ')');
+            let f = fn_stack.last_mut().expect("in_fn checked");
+            let held = f.held();
+
+            // Blocking check first: applies to every receiver shape,
+            // including guard receivers (`g.file.write_all(…)`).
+            if is_blocking_name(name) || (name == "join" && empty_args) {
+                f.summary.events.push(Event::Blocking {
+                    what: name.to_string(),
+                    line: tk.line,
+                    held: held.clone(),
+                });
+            }
+
+            // Call-graph edge (skip type/variant constructors and
+            // guard-receiver methods; `name!(…)` macros never reach
+            // here — their `!` sits before the paren).
+            let uppercase = name.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false);
+            if !uppercase {
+                let target = if prev_dot {
+                    receiver_target(toks, &sig, k, f)
+                } else {
+                    Some(CallTarget::Plain(name.to_string()))
+                };
+                if let Some(target) = target {
+                    f.summary.events.push(Event::Call { target, line: tk.line, held });
+                }
+            }
+            k += 2;
+            continue;
+        }
+
+        k += 1;
+    }
+
+    // Unclosed functions (malformed fixture input): flush what we have.
+    while let Some(f) = fn_stack.pop() {
+        out.push(f.summary);
+    }
+    out
+}
+
+/// At sig index `k` (ident followed by `(`): is this an acquisition?
+/// Handles both direct `.lock()` receivers and `lock`/`lock_*` wrapper
+/// calls, consumes the poison suffix, classifies the guard's lifetime,
+/// and returns the sig index to resume at.
+fn try_acquisition(
+    toks: &[Tok<'_>],
+    sig: &[usize],
+    k: usize,
+    depth: i32,
+    fn_stack: &mut [FnFrame],
+) -> Option<usize> {
+    let t = |j: usize| -> Option<&Tok<'_>> { sig.get(j).map(|&i| &toks[i]) };
+    let ident = |j: usize| -> Option<&str> {
+        t(j).and_then(|tk| (tk.kind == TokKind::Ident).then_some(tk.text))
+    };
+    let punct = |j: usize, c: char| -> bool { t(j).map(|tk| tk.is_punct(c)).unwrap_or(false) };
+
+    let tk = t(k)?;
+    if tk.kind != TokKind::Ident || !punct(k + 1, '(') {
+        return None;
+    }
+    let name = tk.text;
+    let line = tk.line;
+    let prev_dot = k > 0 && punct(k - 1, '.');
+
+    let frame_impl =
+        fn_stack.last().and_then(|f| f.summary.impl_type.clone());
+
+    // Direct: `X.lock()` / `self.FIELD.lock()`.
+    let kind: AcqKind = if name == "lock" && prev_dot && punct(k + 2, ')') {
+        let recv = ident(k.wrapping_sub(2));
+        let recv_prev_dot = k >= 3 && punct(k - 3, '.');
+        let recv_prev_prev_self = k >= 4 && ident(k - 4) == Some("self");
+        match recv {
+            // `self.FIELD.lock()` → `ImplType.FIELD`
+            Some(field) if recv_prev_dot && recv_prev_prev_self => {
+                let ty = frame_impl.clone().unwrap_or_else(|| "self".to_string());
+                AcqKind::Direct(format!("{ty}.{field}"))
+            }
+            // `self.lock()` → wrapper call on the impl type
+            Some("self") if !recv_prev_dot => {
+                AcqKind::Wrapper(CallTarget::SelfMethod("lock".to_string()))
+            }
+            // bare `NAME.lock()` (fixture convenience) → identity NAME
+            Some(recv_name) if !recv_prev_dot => AcqKind::Direct(recv_name.to_string()),
+            // expression receiver (`state().lock()`, `self.a.b.lock()`
+            // deeper than one field) — not modeled.
+            _ => return None,
+        }
+    } else if name.starts_with("lock_") {
+        // `lock_*` wrapper calls, any receiver shape. (A bare `lock(`
+        // free function or a `lock(…)` with arguments is not an
+        // acquisition we can attribute — the failpoint crate's
+        // internal helper stays invisible by design.)
+        let recv = if prev_dot { ident(k.wrapping_sub(2)) } else { None };
+        let recv_prev_dot = k >= 3 && punct(k - 3, '.');
+        let target = if prev_dot {
+            match recv {
+                Some("self") if !recv_prev_dot => CallTarget::SelfMethod(name.to_string()),
+                _ => CallTarget::Method(name.to_string()),
+            }
+        } else {
+            CallTarget::Plain(name.to_string())
+        };
+        AcqKind::Wrapper(target)
+    } else {
+        return None;
+    };
+
+    // Find the end of the call: matching `)` of the argument list.
+    let mut j = k + 1;
+    let mut paren = 0i32;
+    while let Some(tj) = t(j) {
+        if tj.is_punct('(') {
+            paren += 1;
+        } else if tj.is_punct(')') {
+            paren -= 1;
+            if paren == 0 {
+                j += 1;
+                break;
+            }
+        }
+        j += 1;
+    }
+    // Poison suffix: `.unwrap_or_else(…)` / `.unwrap()` / `.expect(…)`.
+    loop {
+        if punct(j, '.')
+            && matches!(ident(j + 1), Some("unwrap_or_else" | "unwrap" | "expect"))
+            && punct(j + 2, '(')
+        {
+            let mut p = 0i32;
+            let mut m = j + 2;
+            while let Some(tm) = t(m) {
+                if tm.is_punct('(') {
+                    p += 1;
+                } else if tm.is_punct(')') {
+                    p -= 1;
+                    if p == 0 {
+                        m += 1;
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            j = m;
+        } else {
+            break;
+        }
+    }
+
+    let f = fn_stack.last_mut()?;
+    let held = f.held();
+    let acq_idx = f.summary.acquisitions.len();
+    f.summary.acquisitions.push(Acquisition { line, kind });
+    f.summary.events.push(Event::Acquire { acq: acq_idx, held });
+
+    // Classify the guard's lifetime.
+    let ends_at_semicolon = punct(j, ';');
+    let life = if f.pending_let.is_some() && ends_at_semicolon {
+        GuardLife::Bound
+    } else {
+        match f.ctrl {
+            Some(("for", _)) | Some(("match", _)) => GuardLife::ExtendedPending,
+            Some((_, true)) => GuardLife::ExtendedPending, // if let / while let
+            Some(("if", false)) | Some(("while", false)) => GuardLife::CondHeader,
+            _ => GuardLife::Stmt,
+        }
+    };
+    let name = if life == GuardLife::Bound { f.pending_let.take() } else { None };
+    f.guards.push(Guard { acq: acq_idx, name, birth_depth: depth, life });
+    Some(j)
+}
+
+/// Resolve the receiver of `.name(` at sig index `k` into a call
+/// target, or `None` when the receiver chain is rooted in a live guard
+/// binding or is an opaque expression.
+fn receiver_target(
+    toks: &[Tok<'_>],
+    sig: &[usize],
+    k: usize,
+    f: &FnFrame,
+) -> Option<CallTarget> {
+    let t = |j: usize| -> Option<&Tok<'_>> { sig.get(j).map(|&i| &toks[i]) };
+    let name = t(k)?.text.to_string();
+    // Walk the receiver chain leftwards: `root.a.b.name(` → root.
+    let mut j = k - 1; // the `.`
+    loop {
+        if j == 0 {
+            return Some(CallTarget::Method(name));
+        }
+        let prev = t(j - 1)?;
+        if prev.kind == TokKind::Ident {
+            // continue if another `.` precedes the ident
+            if j >= 2 && t(j - 2).map(|p| p.is_punct('.')).unwrap_or(false) {
+                j -= 2;
+                continue;
+            }
+            // root ident found
+            let root = prev.text;
+            if root == "self" {
+                // `self.name(` (j == k-1) is a self-method; deeper
+                // chains (`self.field.name(`) resolve by bare name.
+                return if j == k - 1 {
+                    Some(CallTarget::SelfMethod(name))
+                } else {
+                    Some(CallTarget::Method(name))
+                };
+            }
+            if f.guards.iter().any(|g| g.name.as_deref() == Some(root)) {
+                return None; // guard-receiver: not a call into our code
+            }
+            return Some(CallTarget::Method(name));
+        }
+        // `)`-rooted or other expression receivers: opaque.
+        return None;
+    }
+}
+
+/// After `impl`, find the implemented type's name: the last path
+/// segment before the body `{` (after `for` if present), skipping
+/// generic parameter lists.
+fn impl_type_name(toks: &[Tok<'_>], sig: &[usize], k: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut last: Option<&str> = None;
+    let mut last_after_for: Option<&str> = None;
+    let mut j = k + 1;
+    while let Some(&i) = sig.get(j) {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_punct('{') || t.is_ident("where") {
+                break;
+            }
+            if t.is_ident("for") {
+                after_for = true;
+            } else if t.kind == TokKind::Ident {
+                if after_for {
+                    last_after_for = Some(t.text);
+                } else {
+                    last = Some(t.text);
+                }
+            }
+        }
+        j += 1;
+        if j > k + 64 {
+            break;
+        }
+    }
+    last_after_for.or(last).map(String::from)
+}

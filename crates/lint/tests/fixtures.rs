@@ -12,7 +12,7 @@ fn fixture_corpus_is_green() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let results = run_fixtures(&dir).expect("fixture corpus readable");
     // Guard against an empty/misplaced corpus silently passing.
-    assert!(results.len() >= 21, "expected the full corpus, found {} cases", results.len());
+    assert!(results.len() >= 37, "expected the full corpus, found {} cases", results.len());
 
     let mut failures = Vec::new();
     for r in &results {
@@ -48,6 +48,41 @@ fn corpus_has_positive_and_negative_cases_per_rule() {
             "rule {rule} has no negative fixture"
         );
     }
+    // The interprocedural lock rules carry a deeper corpus: at least
+    // two positive and two negative cases each (cross-file inversion,
+    // wrapper resolution, guard-dropped false-positive, scope
+    // narrowness, …).
+    for rule in ["lock_order", "blocking_while_locked", "guard_across_unwind"] {
+        let of_rule: Vec<_> = results.iter().filter(|r| r.name.starts_with(rule)).collect();
+        assert!(
+            of_rule.iter().filter(|r| !r.expected.is_empty()).count() >= 2,
+            "rule {rule} needs at least two positive fixtures"
+        );
+        assert!(
+            of_rule.iter().filter(|r| r.expected.is_empty()).count() >= 2,
+            "rule {rule} needs at least two negative fixtures"
+        );
+    }
+}
+
+#[test]
+fn workspace_pass_lexes_each_file_exactly_once() {
+    // All eight rules plus the interprocedural summary extraction
+    // share one token stream per file: a full `--workspace` run must
+    // invoke the lexer exactly `files` times. A second lex of any file
+    // (e.g. a rule re-reading the failpoint registry) breaks this.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint")
+        .to_path_buf();
+    let report = parinda_lint::engine::lint_workspace(&root).expect("workspace lintable");
+    assert!(report.files > 0, "workspace walk found no files");
+    assert_eq!(
+        report.files_lexed, report.files,
+        "expected exactly one lexer pass per file ({} files, {} lexer calls)",
+        report.files, report.files_lexed
+    );
 }
 
 #[test]

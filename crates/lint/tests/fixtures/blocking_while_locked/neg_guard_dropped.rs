@@ -1,0 +1,15 @@
+// The guard is explicitly dropped before the call that blocks: the
+// classic false positive a flow-insensitive checker would report.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn outer(&self) {
+        let g = self.a.lock().unwrap();
+        drop(g);
+        self.pause();
+    }
+    fn pause(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

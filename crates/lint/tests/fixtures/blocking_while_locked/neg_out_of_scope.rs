@@ -1,0 +1,14 @@
+//@path: crates/trace/src/sink.rs
+// Same shape as pos_in_scope.rs, but the file sits outside the
+// concurrent core (server/durability/inum): the workspace scope does
+// not track this mutex, so the analysis stays silent here.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn f(&self) {
+        let g = self.a.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+}

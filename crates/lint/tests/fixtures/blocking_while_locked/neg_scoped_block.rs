@@ -1,0 +1,15 @@
+// The guard dies at its block's closing brace; the sleep after the
+// block is clean.
+struct S {
+    a: std::sync::Mutex<u64>,
+}
+impl S {
+    fn outer(&self) {
+        let v;
+        {
+            let g = self.a.lock().unwrap();
+            v = *g;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(v));
+    }
+}

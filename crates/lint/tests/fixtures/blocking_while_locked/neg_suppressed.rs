@@ -1,0 +1,19 @@
+// A reasoned allow at the blocking site absorbs the direct finding
+// AND stops transitive propagation: `outer` holds `S.b` across a call
+// that reaches the suppressed fsync and must stay clean too.
+struct S {
+    a: std::sync::Mutex<std::fs::File>,
+    b: std::sync::Mutex<u32>,
+}
+impl S {
+    fn outer(&self) {
+        let gb = self.b.lock().unwrap();
+        self.flush();
+        drop(gb);
+    }
+    fn flush(&self) {
+        let g = self.a.lock().unwrap();
+        // parinda-lint: allow(blocking-while-locked): fsync under the lock is the group-commit protocol
+        g.sync_all().ok();
+    }
+}

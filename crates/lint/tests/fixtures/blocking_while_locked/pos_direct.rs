@@ -1,0 +1,11 @@
+// fsync with the guard live — the blocking call happens on the guard
+// itself, which must still be caught.
+struct S {
+    a: std::sync::Mutex<std::fs::File>,
+}
+impl S {
+    fn flush(&self) {
+        let g = self.a.lock().unwrap();
+        g.sync_all().ok();
+    }
+}

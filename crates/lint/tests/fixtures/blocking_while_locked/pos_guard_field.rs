@@ -1,0 +1,13 @@
+// The WAL shape: a blocking write on a field of the guard.
+struct Inner {
+    file: std::fs::File,
+}
+struct W {
+    inner: std::sync::Mutex<Inner>,
+}
+impl W {
+    fn append(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.file.write_all(b"frame").ok();
+    }
+}

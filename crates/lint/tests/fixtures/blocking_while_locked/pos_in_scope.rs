@@ -1,0 +1,13 @@
+//@path: crates/durability/src/extra.rs
+// Same shape as neg_out_of_scope.rs, but at a path inside the
+// concurrent core: the mutex is tracked and the sleep is a finding.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn f(&self) {
+        let g = self.a.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+}

@@ -1,0 +1,15 @@
+// The guard is live across a call whose callee sleeps: the finding
+// fires at the call site, with the sleep as the witness.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn outer(&self) {
+        let g = self.a.lock().unwrap();
+        self.pause();
+        drop(g);
+    }
+    fn pause(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,12 @@
+// The guard is dropped before the unwind boundary: clean.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn careful(&self) {
+        let g = self.a.lock().unwrap();
+        let v = *g;
+        drop(g);
+        let _ = std::panic::catch_unwind(move || v + 1);
+    }
+}

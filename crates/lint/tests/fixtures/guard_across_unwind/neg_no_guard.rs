@@ -1,0 +1,16 @@
+// catch_unwind with no lock held anywhere on the path: clean, even
+// though the same type does take locks elsewhere.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn read(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let v = *g;
+        drop(g);
+        v
+    }
+    fn contained(&self) {
+        let _ = std::panic::catch_unwind(|| 1);
+    }
+}

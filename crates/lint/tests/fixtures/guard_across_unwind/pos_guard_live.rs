@@ -1,0 +1,12 @@
+// A guard live across catch_unwind: a contained panic would poison
+// the lock for every later acquirer.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn risky(&self) {
+        let g = self.a.lock().unwrap();
+        let _ = std::panic::catch_unwind(|| 1);
+        drop(g);
+    }
+}

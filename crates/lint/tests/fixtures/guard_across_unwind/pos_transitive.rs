@@ -1,0 +1,15 @@
+// The guard is live across a call whose callee catches unwinds; the
+// finding fires at the call site with the catch_unwind as witness.
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn outer(&self) {
+        let g = self.a.lock().unwrap();
+        self.contained();
+        drop(g);
+    }
+    fn contained(&self) {
+        let _ = std::panic::catch_unwind(|| 1);
+    }
+}

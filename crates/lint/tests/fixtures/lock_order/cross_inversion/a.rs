@@ -1,0 +1,17 @@
+// Task A nests LOG -> STATE through a helper, matching the declared
+// order. The helpers live here; the inversion lives in b.rs.
+fn task_a() {
+    let gl = LOG.lock().unwrap();
+    touch_state();
+    drop(gl);
+}
+
+fn touch_state() {
+    let gs = STATE.lock().unwrap();
+    drop(gs);
+}
+
+fn touch_log() {
+    let gl = LOG.lock().unwrap();
+    drop(gl);
+}

@@ -1,0 +1,8 @@
+// Task B holds STATE and reaches LOG through the helper defined in
+// a.rs — a cross-file lock-order inversion (and, together with
+// task_a, a cycle).
+fn task_b() {
+    let gs = STATE.lock().unwrap();
+    touch_log();
+    drop(gs);
+}

@@ -1,0 +1,22 @@
+// Two locks that are never held together: any declared order is
+// fine, and guards that die at `drop` or at a `;` (momentary
+// temporaries) never create edges.
+// <!-- parinda-lint: lock-order: S.b < S.a -->
+struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+impl S {
+    fn first(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let va = *ga;
+        drop(ga);
+        let gb = self.b.lock().unwrap();
+        va + *gb
+    }
+    fn momentary(&self) {
+        self.a.lock().unwrap().checked_add(1);
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+    }
+}

@@ -1,0 +1,14 @@
+// Nesting matches the declared order exactly: clean.
+// <!-- parinda-lint: lock-order: S.a < S.b -->
+struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+impl S {
+    fn nested(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+}

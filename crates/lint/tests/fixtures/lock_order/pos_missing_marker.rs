@@ -1,0 +1,12 @@
+// No lock-order declaration anywhere in this file, but a lock is
+// acquired: deleting the marker from the design doc must fail the
+// lint (the acceptance demo for the contract's tamper-resistance).
+struct S {
+    a: std::sync::Mutex<u32>,
+}
+impl S {
+    fn get(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        *g
+    }
+}

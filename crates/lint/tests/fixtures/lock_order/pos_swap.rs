@@ -1,0 +1,15 @@
+// The declared order says `S.b` before `S.a`, but the code nests
+// a -> b. The acquisition of `S.b` under `S.a` is the finding.
+// <!-- parinda-lint: lock-order: S.b < S.a -->
+struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+impl S {
+    fn nested(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+}

@@ -1,0 +1,15 @@
+// The marker declares `S.gone` (which no code acquires — stale) and
+// omits `S.b` (which is acquired — undeclared). Two findings.
+// <!-- parinda-lint: lock-order: S.a < S.gone -->
+struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+impl S {
+    fn both(&self) {
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+    }
+}

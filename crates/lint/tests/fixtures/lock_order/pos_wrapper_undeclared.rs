@@ -1,0 +1,19 @@
+// `S.b` is only ever acquired through the `lock_b` wrapper; the
+// marker omits it. The wrapper must be resolved to its underlying
+// identity for the undeclared-lock finding to fire.
+// <!-- parinda-lint: lock-order: S.a -->
+struct S {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+impl S {
+    fn lock_b(&self) -> std::sync::MutexGuard<'_, u32> {
+        self.b.lock().unwrap_or_else(|p| p.into_inner())
+    }
+    fn use_both(&self) {
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        let gb = self.lock_b();
+        drop(gb);
+    }
+}

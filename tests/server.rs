@@ -429,3 +429,115 @@ fn wire_fuzz_never_kills_the_daemon() {
     assert_eq!(read_header(&mut r), "bye 0");
     handle.shutdown().expect("clean shutdown");
 }
+
+/// Deadlock canary: the runtime counterpart of the `lock-order`
+/// static analysis (DESIGN.md, "Lock discipline & the lock-order
+/// contract"). A durable daemon with per-record snapshots walks the
+/// longest lock chain in the workspace (`Durable.journal` →
+/// `Wal.inner`, plus the session/cache locks) on *every* journaled
+/// command; concurrent clients hammer that chain from every angle —
+/// journaled writes, advisor runs, cancels, transcript reads, refused
+/// attaches — while a failpoint widens the snapshot window (a no-op
+/// stub unless the `failpoints` feature is on). If any lock-order
+/// regression ever deadlocks the daemon, the watchdog turns the hang
+/// into a failure with per-client progress, instead of a wedged CI
+/// job. (std can't capture another thread's backtrace, so the step
+/// counters are the diagnosis we can give.)
+#[test]
+fn deadlock_canary_under_snapshot_pressure() {
+    use parinda_server::Durability;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    parinda_failpoint::set("wal::snapshot", parinda_failpoint::Action::Delay(10));
+    let wl = workload_file("parinda_server_canary_wl.sql");
+    let dir = std::env::temp_dir().join(format!("parinda_canary_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("canary data dir");
+    let mut dur =
+        Durability::open(&dir, &format!("ddl\n{TINY_DDL}")).expect("open durability");
+    dur.snapshot_every = 1; // snapshot on every journaled record
+    let server = Server::bind_durable(engine(), "127.0.0.1:0", ServerOptions::default(), dur)
+        .expect("bind durable");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 8;
+    let progress: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..CLIENTS).map(|_| AtomicUsize::new(0)).collect());
+    let (tx, rx) = std::sync::mpsc::channel::<usize>();
+    for id in 0..CLIENTS {
+        let tx = tx.clone();
+        let wl = wl.clone();
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+            let mut w = stream.try_clone().expect("clone");
+            let mut r = std::io::BufReader::new(stream);
+            let read_frame = |r: &mut std::io::BufReader<TcpStream>| {
+                use std::io::BufRead;
+                let mut header = String::new();
+                r.read_line(&mut header).expect("frame header");
+                let n: usize = header
+                    .trim_end()
+                    .rsplit(' ')
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .unwrap_or_else(|| panic!("unsized frame header {header:?}"));
+                let mut payload = vec![0u8; n];
+                r.read_exact(&mut payload).expect("frame payload");
+            };
+            read_frame(&mut r); // greeting
+            w.write_all(format!("workload file {wl}\n").as_bytes()).expect("send");
+            read_frame(&mut r);
+            for round in 0..ROUNDS {
+                // Each line is one journaled write (snapshot pressure),
+                // one advisor run, or one meta-command — every lock in
+                // the declared order gets exercised concurrently.
+                let lines = [
+                    format!("whatif index c{id}_{round} obs ra"),
+                    "server transcript".to_string(),
+                    "cancel".to_string(),
+                    "suggest indexes 4 greedy".to_string(),
+                    "server attach 9999".to_string(),
+                ];
+                for (step, line) in lines.iter().enumerate() {
+                    w.write_all(format!("{line}\n").as_bytes()).expect("send");
+                    read_frame(&mut r);
+                    progress[id].store(round * lines.len() + step + 1, Ordering::Relaxed);
+                }
+            }
+            w.write_all(b"quit\n").expect("send");
+            read_frame(&mut r);
+            tx.send(id).expect("report completion");
+        });
+    }
+    drop(tx);
+
+    let mut done = [false; CLIENTS];
+    for _ in 0..CLIENTS {
+        match rx.recv_timeout(Duration::from_secs(180)) {
+            Ok(id) => done[id] = true,
+            Err(_) => {
+                let status: Vec<String> = (0..CLIENTS)
+                    .map(|i| {
+                        format!(
+                            "  client {i}: {} step(s) done, finished={}",
+                            progress[i].load(Ordering::Relaxed),
+                            done[i]
+                        )
+                    })
+                    .collect();
+                panic!(
+                    "deadlock canary tripped: a client made no progress within 180s \
+                     (daemon likely deadlocked on the journal/WAL/session locks)\n{}",
+                    status.join("\n")
+                );
+            }
+        }
+    }
+    handle.shutdown().expect("clean shutdown");
+    parinda_failpoint::clear("wal::snapshot");
+    std::fs::remove_dir_all(&dir).ok();
+}
