@@ -217,6 +217,63 @@ done
 rm -rf "$crash_dir"
 echo "    crash matrix ok: 3 SIGKILL points recovered bit-identical to the uncrashed reference"
 
+echo "==> stream leg (live durable daemon: drift-triggered re-advice, pin/ban honored, SIGKILL mid-epoch)"
+stream_dir="$(mktemp -d)"
+
+# One epoch committed (drift maximal -> auto re-advise), two feeds left
+# pending: the SIGKILL lands mid-epoch. Every reply is awaited, so all
+# nine commands are journaled before the crash.
+send_stream() {  # replies to $1
+    exec 5<>"/dev/tcp/127.0.0.1/$port"
+    read_frames 1 > /dev/null
+    printf 'advise auto on\nadvise budget 64\npin photoobj(objid)\nban photoobj(dec)\n' >&5
+    printf 'feed SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 20\n' >&5
+    printf 'feed SELECT objid FROM photoobj WHERE ra BETWEEN 30 AND 40\n' >&5
+    printf 'epoch\n' >&5
+    printf 'feed SELECT objid FROM photoobj WHERE dec > 5\n' >&5
+    printf 'feed SELECT objid FROM photoobj WHERE dec > 7\n' >&5
+    read_frames 9 > "$1"
+}
+
+probe_stream() {  # <data-dir>: attach, inspect the stream, close the epoch
+    start_daemon ./target/release/parinda-cli "$1" "$stream_dir/probe.log"
+    exec 5<>"/dev/tcp/127.0.0.1/$port"
+    printf 'server attach 1\nserver transcript\ndrift\nepoch\nserver stats\nserver shutdown\n' >&5
+    cat <&5 | scrub | grep -vE '^(sessions_|requests |request_errors |cancelled_inflight |server_request_spans |inum_plan_cache_|wal_records |wal_bytes |snapshots_taken |recovery_replayed_records |recovery_truncated_tail )'
+    exec 5<&- 5>&-
+    wait "$daemon_pid" || { echo "stream probe daemon did not exit cleanly"; exit 1; }
+}
+
+start_daemon ./target/release/parinda-cli "$stream_dir/ref" "$stream_dir/ref.log"
+send_stream "$stream_dir/ref.replies"
+printf 'server shutdown\n' >&5
+read_frames 2 > /dev/null || true
+exec 5<&- 5>&-
+wait "$daemon_pid" || { echo "stream reference daemon did not exit cleanly"; exit 1; }
+
+start_daemon ./target/release/parinda-cli "$stream_dir/crash" "$stream_dir/crash.log"
+send_stream "$stream_dir/crash.replies"
+sigkill_daemon
+
+# The live epoch already enforced the constraints and re-advised on drift.
+grep -q 're-advising' "$stream_dir/crash.replies" || { echo "drift did not trigger a re-advise"; exit 1; }
+grep -q 'idx_photoobj_objid' "$stream_dir/crash.replies" || { echo "pinned index missing from the advised design"; exit 1; }
+if grep -q 'idx_photoobj_dec ON' "$stream_dir/crash.replies"; then echo "banned index advised"; exit 1; fi
+
+probe_stream "$stream_dir/ref" > "$stream_dir/probe.ref"
+probe_stream "$stream_dir/crash" > "$stream_dir/probe.crash"
+diff -u "$stream_dir/probe.ref" "$stream_dir/probe.crash" \
+    || { echo "mid-epoch SIGKILL recovery diverged from the uncrashed reference"; exit 1; }
+grep -q 'attached durable session 1: 9 journaled command(s) replayed' "$stream_dir/probe.crash" \
+    || { echo "stream recovery did not replay all journaled commands"; cat "$stream_dir/probe.crash"; exit 1; }
+grep -q '2 pending statement(s)' "$stream_dir/probe.crash" \
+    || { echo "pending feeds lost in recovery"; cat "$stream_dir/probe.crash"; exit 1; }
+grep -q 're-advising' "$stream_dir/probe.crash" || { echo "post-recovery epoch did not re-advise"; exit 1; }
+grep -q 'idx_photoobj_objid' "$stream_dir/probe.crash" || { echo "pin lost in recovery"; exit 1; }
+if grep -q 'idx_photoobj_dec ON' "$stream_dir/probe.crash"; then echo "ban lost in recovery"; exit 1; fi
+rm -rf "$stream_dir"
+echo "    stream leg ok: drift re-advised, pin/ban honored, mid-epoch SIGKILL recovered bit-identical"
+
 echo "==> static analysis (parinda-lint: panic-site, nondeterminism, lock-discipline, failpoint-coverage, trace-coverage, lock-order, blocking-while-locked, guard-across-unwind)"
 cargo run -q -p parinda-lint --release -- --workspace --json lint.json
 python3 - <<'PYEOF' || { echo "lint.json failed validation"; exit 1; }

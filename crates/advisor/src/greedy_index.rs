@@ -9,7 +9,7 @@ use parinda_inum::{CandId, CandidateIndex, Configuration, InumModel};
 use parinda_parallel::{par_map, par_map_indexed, Budget};
 use parinda_solver::{greedy_select_batch, GreedyItem};
 
-use crate::ilp_index::{finish_selection, IndexSelection};
+use crate::ilp_index::{finish_selection, IndexSelection, SolverConstraints};
 
 /// Select indexes greedily under a storage budget (bytes).
 pub fn select_indexes_greedy(
@@ -31,18 +31,52 @@ pub fn select_indexes_greedy_budgeted(
     budget_bytes: u64,
     budget: &Budget,
 ) -> IndexSelection {
+    greedy_budgeted_base(model, candidates, budget_bytes, budget, &[])
+}
+
+/// [`select_indexes_greedy_budgeted`] under [`SolverConstraints`]:
+/// pinned indexes seed the current configuration (and are charged
+/// against `budget_bytes` first), banned ones never enter the candidate
+/// pool, so every marginal benefit the loop prices is *relative to the
+/// pins*. With empty constraints this is exactly
+/// [`select_indexes_greedy_budgeted`].
+pub fn select_indexes_greedy_constrained(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    budget: &Budget,
+    constraints: &SolverConstraints,
+) -> IndexSelection {
+    let pinned: Vec<CandId> =
+        constraints.pinned.iter().map(|c| model.register_candidate(c.clone())).collect();
+    let pool = constraints.filter_pool(candidates);
+    let pinned_size: u64 = pinned.iter().map(|&id| model.candidate_size(id)).sum();
+    let search_budget = budget_bytes.saturating_sub(pinned_size);
+    greedy_budgeted_base(model, &pool, search_budget, budget, &pinned)
+}
+
+/// The greedy body. `base` is the pinned configuration: the selection
+/// loop starts from it and it is prepended to the picks. Empty `base`
+/// reproduces the historical unconstrained path bit-for-bit.
+fn greedy_budgeted_base(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    budget: &Budget,
+    base: &[CandId],
+) -> IndexSelection {
     let trace = model.trace().clone();
     let _span = trace.span("greedy_rounds");
     let cand_ids: Vec<CandId> =
         candidates.iter().map(|c| model.register_candidate(c.clone())).collect();
     let nq = model.queries().len();
     let par = model.parallelism();
-    let empty = Configuration::empty();
+    let base_cfg = Configuration::from_ids(base.iter().copied());
     let model_ref = &*model;
     // Weighted models (compressed workloads) scale everything by the
     // template weight; ×1.0 on unweighted models is bit-identical.
     let base_costs: Vec<f64> =
-        par_map_indexed(par, nq, |q| model_ref.cost(q, &empty) * model_ref.weight(q));
+        par_map_indexed(par, nq, |q| model_ref.cost(q, &base_cfg) * model_ref.weight(q));
 
     let items: Vec<GreedyItem> = cand_ids
         .iter()
@@ -67,8 +101,9 @@ pub fn select_indexes_greedy_budgeted(
         }
         rounds.set(rounds.get() + 1);
         let _round = trace.span("greedy_rounds/round");
-        let current: Configuration =
-            Configuration::from_ids(selected.iter().map(|&p| cand_ids[p]));
+        let current: Configuration = Configuration::from_ids(
+            base.iter().copied().chain(selected.iter().map(|&p| cand_ids[p])),
+        );
         let current_cost = model_ref.workload_cost(&current);
         trace.count(parinda_trace::Counter::CandidatesEvaluated, eligible.len() as u64);
         par_map(par, eligible, |&pos| {
@@ -76,7 +111,8 @@ pub fn select_indexes_greedy_budgeted(
         })
     });
 
-    let chosen: Vec<CandId> = picked_pos.iter().map(|&p| cand_ids[p]).collect();
+    let mut chosen: Vec<CandId> = base.to_vec();
+    chosen.extend(picked_pos.iter().map(|&p| cand_ids[p]));
     let degraded = stopped.get();
     let mut selection = finish_selection(model, chosen, &base_costs, !degraded);
     selection.degraded = degraded;

@@ -68,6 +68,44 @@ impl Default for IlpOptions {
     }
 }
 
+/// Standing DBA constraints threaded in from the streaming console
+/// (after *Semi-Automatic Index Tuning*'s pin/ban feedback): `pinned`
+/// candidates are forced into the design — registered up front, charged
+/// against the storage budget *first*, never entering the search — and
+/// `banned` candidates are removed from the candidate pool before any
+/// benefit cell is scored, so their `y`/`x` variables simply never exist
+/// in the program (and the greedy loop never prices them).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverConstraints {
+    /// Indexes forced into every design, budget-first.
+    pub pinned: Vec<CandidateIndex>,
+    /// Indexes excluded from the search space.
+    pub banned: Vec<CandidateIndex>,
+}
+
+impl SolverConstraints {
+    /// No pins, no bans: the constrained entry points become exactly
+    /// their unconstrained counterparts, bit-identically.
+    pub fn none() -> SolverConstraints {
+        SolverConstraints::default()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty() && self.banned.is_empty()
+    }
+
+    /// The search pool: `candidates` minus banned entries minus pinned
+    /// entries (pins are forced, not searched).
+    pub fn filter_pool(&self, candidates: &[CandidateIndex]) -> Vec<CandidateIndex> {
+        candidates
+            .iter()
+            .filter(|c| !self.banned.contains(c) && !self.pinned.contains(c))
+            .cloned()
+            .collect()
+    }
+}
+
 /// Estimated maintenance cost of one index per unit time: each write to
 /// its table inserts one entry (B-tree descent + leaf write).
 pub fn index_update_cost(
@@ -155,6 +193,44 @@ pub fn select_indexes_ilp_budgeted(
     options: &IlpOptions,
     budget: &Budget,
 ) -> IndexSelection {
+    ilp_budgeted_base(model, candidates, budget_bytes, options, budget, &[])
+}
+
+/// [`select_indexes_ilp_budgeted`] under [`SolverConstraints`]: pinned
+/// indexes are charged against `budget_bytes` first and prepended to the
+/// chosen set unconditionally (even if they alone exceed the budget —
+/// the DBA's pin outranks the budget), banned ones never enter the
+/// program. Benefits are scored *relative to the pinned base*, so the
+/// solver only pays for what pins don't already cover. With empty
+/// constraints this is exactly [`select_indexes_ilp_budgeted`].
+pub fn select_indexes_ilp_constrained(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    options: &IlpOptions,
+    budget: &Budget,
+    constraints: &SolverConstraints,
+) -> IndexSelection {
+    let pinned: Vec<CandId> =
+        constraints.pinned.iter().map(|c| model.register_candidate(c.clone())).collect();
+    let pool = constraints.filter_pool(candidates);
+    let pinned_size: u64 = pinned.iter().map(|&id| model.candidate_size(id)).sum();
+    let search_budget = budget_bytes.saturating_sub(pinned_size);
+    ilp_budgeted_base(model, &pool, search_budget, options, budget, &pinned)
+}
+
+/// The ILP body. `base` is the pinned configuration: benefits and base
+/// costs are relative to it, and it is prepended to whatever the solver
+/// picks. Empty `base` reproduces the historical unconstrained path
+/// bit-for-bit (`Configuration::from_ids([])` is the empty config).
+fn ilp_budgeted_base(
+    model: &mut InumModel<'_>,
+    candidates: &[CandidateIndex],
+    budget_bytes: u64,
+    options: &IlpOptions,
+    budget: &Budget,
+    base: &[CandId],
+) -> IndexSelection {
     let trace = model.trace().clone();
     let _span = trace.span("ilp_rounds");
     let cand_ids: Vec<CandId> =
@@ -174,9 +250,9 @@ pub fn select_indexes_ilp_budgeted(
     // either fully scored or not considered at all.
     let par = model.parallelism();
     let model_ref: &InumModel<'_> = model;
-    let empty = Configuration::empty();
+    let base_cfg = Configuration::from_ids(base.iter().copied());
     let base_costs: Vec<f64> =
-        par_map_indexed(par, nq, |q| model_ref.cost(q, &empty) * weight(q));
+        par_map_indexed(par, nq, |q| model_ref.cost(q, &base_cfg) * weight(q));
     let n_cand = cand_ids.len();
     let scored_cap = budget.max_rounds().map_or(n_cand, |r| r.min(n_cand));
     let cells = match par_try_map_budgeted_traced(
@@ -190,7 +266,7 @@ pub fn select_indexes_ilp_budgeted(
                 return 0.0; // injected error: the cell degrades to "no benefit"
             }
             let (ci, q) = (k / nq.max(1), k % nq.max(1));
-            let with = model_ref.cost(q, &Configuration::from_ids([cand_ids[ci]])) * weight(q);
+            let with = model_ref.cost(q, &base_cfg.with(cand_ids[ci])) * weight(q);
             (base_costs[q] - with).max(0.0)
         },
     ) {
@@ -371,7 +447,8 @@ pub fn select_indexes_ilp_budgeted(
         IlpOutcome::Limit => (Vec::new(), false),
     };
 
-    let chosen: Vec<CandId> = chosen_pos.iter().map(|&ci| cand_ids[ci]).collect();
+    let mut chosen: Vec<CandId> = base.to_vec();
+    chosen.extend(chosen_pos.iter().map(|&ci| cand_ids[ci]));
     let degraded = candidates_skipped > 0 || budget.interrupted();
     let mut selection =
         finish_selection_weighted(model, chosen, &base_costs, proven, &options.weights);

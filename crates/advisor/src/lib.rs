@@ -25,10 +25,12 @@ pub use autopart::{
 pub use candidates::{generate_candidates, CandidateLimits};
 pub use fragments::{atomic_fragments, replication_overhead, Fragment};
 pub use greedy_index::{
-    select_indexes_greedy, select_indexes_greedy_budgeted, select_indexes_greedy_static,
+    select_indexes_greedy, select_indexes_greedy_budgeted, select_indexes_greedy_constrained,
+    select_indexes_greedy_static,
 };
 pub use ilp_index::{
-    index_update_cost, select_indexes_ilp, select_indexes_ilp_budgeted, select_indexes_ilp_with,
-    IlpOptions, IndexSelection,
+    index_update_cost, select_indexes_ilp, select_indexes_ilp_budgeted,
+    select_indexes_ilp_constrained, select_indexes_ilp_with, IlpOptions, IndexSelection,
+    SolverConstraints,
 };
 pub use rewrite::{rewrite_select, NamedFragment, PartitionDesign, RewriteError};

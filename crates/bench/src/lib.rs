@@ -50,6 +50,93 @@ pub fn execute_workload(session: &Parinda, workload: &[parinda::Select]) -> usiz
     rows
 }
 
+/// Schema for the streaming drift scenario: an astronomy pair of tables
+/// (the SDSS-flavored opening workload) and a retail pair (what the
+/// workload drifts into). One union schema, because a stream session
+/// keeps a single catalog while its workload changes underneath it.
+pub const DRIFT_DDL: &str = "
+CREATE TABLE photoobj (objid BIGINT NOT NULL, ra DOUBLE PRECISION, dec DOUBLE PRECISION,
+                       flags BIGINT, magr DOUBLE PRECISION, PRIMARY KEY (objid)) ROWS 200000;
+CREATE TABLE specobj (specid BIGINT NOT NULL, objid BIGINT, z DOUBLE PRECISION,
+                      class BIGINT, PRIMARY KEY (specid)) ROWS 50000;
+CREATE TABLE orders (o_id BIGINT NOT NULL, o_custkey BIGINT, o_total DOUBLE PRECISION,
+                     o_date BIGINT, PRIMARY KEY (o_id)) ROWS 150000;
+CREATE TABLE lineitem (l_id BIGINT NOT NULL, l_orderkey BIGINT, l_qty BIGINT,
+                       l_price DOUBLE PRECISION, PRIMARY KEY (l_id)) ROWS 600000;";
+
+/// One phase of the drift scenario: a name and the statements to feed,
+/// in order, before closing the epoch.
+pub struct DriftPhase {
+    pub name: &'static str,
+    pub statements: Vec<String>,
+}
+
+/// The seeded multi-phase drift scenario the stream tests and `ci.sh`
+/// replay statement-by-statement: an SDSS-style phase, a transition
+/// epoch mixing both workloads, and a retail phase. Literals vary per
+/// statement (same seed → same statements, bit for bit), but literals
+/// are normalized away by template fingerprinting, so each phase is a
+/// stable template mix and the phase boundaries are where drift spikes.
+pub fn drift_scenario(seed: u64, per_phase: usize) -> Vec<DriftPhase> {
+    let mut state = seed;
+    let mut next = move || splitmix64(&mut state);
+    let sdss = |r: u64, s: u64| -> String {
+        match r % 4 {
+            0 => format!(
+                "SELECT objid FROM photoobj WHERE ra BETWEEN {} AND {}",
+                s % 180,
+                s % 180 + 30
+            ),
+            1 => format!("SELECT objid FROM photoobj WHERE dec > {}", s % 90),
+            2 => format!("SELECT objid, ra FROM photoobj WHERE magr < {}", s % 25),
+            _ => format!("SELECT specid FROM specobj WHERE z > {}", s % 7),
+        }
+    };
+    let retail = |r: u64, s: u64| -> String {
+        match r % 4 {
+            0 => format!("SELECT o_id FROM orders WHERE o_custkey = {}", s % 10_000),
+            1 => format!(
+                "SELECT o_id FROM orders WHERE o_date BETWEEN {} AND {}",
+                s % 3650,
+                s % 3650 + 30
+            ),
+            2 => format!("SELECT l_id FROM lineitem WHERE l_orderkey = {}", s % 150_000),
+            _ => format!("SELECT l_id FROM lineitem WHERE l_price > {}", s % 1000),
+        }
+    };
+    let phase = |name: &'static str,
+                 next: &mut dyn FnMut() -> u64,
+                 pick: &dyn Fn(u64, u64, usize) -> String| {
+        DriftPhase {
+            name,
+            statements: (0..per_phase).map(|i| pick(next(), next(), i)).collect(),
+        }
+    };
+    vec![
+        phase("sdss", &mut next, &|r, s, _| sdss(r, s)),
+        // the transition interleaves deterministically: even positions
+        // keep the old workload alive, odd ones introduce the new one
+        phase("transition", &mut next, &|r, s, i| {
+            if i % 2 == 0 {
+                sdss(r, s)
+            } else {
+                retail(r, s)
+            }
+        }),
+        phase("retail", &mut next, &|r, s, _| retail(r, s)),
+    ]
+}
+
+/// SplitMix64 — the scenario's only entropy source, so a seed pins the
+/// whole stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Simple fixed-width table printer for the experiment harness.
 pub struct Table {
     headers: Vec<String>,

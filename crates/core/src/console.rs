@@ -15,13 +15,24 @@ use parinda_workload::{
     generate_and_load, parse_workload, sdss_catalog, sdss_workload, synthesize_stats, SdssScale,
 };
 
-use crate::session::{guard, Parinda, ParindaError, SelectionMethod};
+use crate::session::{guard, IndexSuggestion, Parinda, ParindaError, SelectionMethod};
+use parinda_advisor::IlpOptions;
 use parinda_parallel::{CancelToken, Parallelism};
-use parinda_trace::Trace;
+use parinda_stream::{ConstraintStore, StreamAccumulator, WEIGHT_SCALE};
+use parinda_trace::{Counter, Trace};
 
 /// Largest `load laptop` row count the console accepts: beyond this the
 /// generated PhotoObj data stops fitting in laptop-class memory.
 pub const MAX_LAPTOP_ROWS: u64 = 10_000_000;
+
+/// Drift (parts-per-million total variation between consecutive epoch
+/// distributions) at or above which `advise auto on` re-runs the index
+/// advisor after `epoch`. 100_000 ppm = 10% of the template mass moved.
+pub const DRIFT_THRESHOLD_PPM: u64 = 100_000;
+
+/// Default storage budget (MB) for streaming advice; changed with
+/// `advise budget <mb>`.
+pub const DEFAULT_STREAM_BUDGET_MB: u64 = 512;
 
 /// One parsed console command.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +75,27 @@ pub enum Command {
     ProfileOff,
     /// `profile show` — render the recorded per-phase profile.
     ProfileShow,
+    /// `feed <sql>` — stream one statement into the open epoch.
+    Feed(String),
+    /// `epoch` — close the epoch: decay, merge, evict, score drift (and
+    /// re-advise when `advise auto on` and the drift threshold is hit).
+    Epoch,
+    /// `advise auto on|off` — toggle drift-triggered re-advising.
+    AdviseAuto(bool),
+    /// `advise budget <mb>` — storage budget for streaming advice.
+    AdviseBudget(u64),
+    /// `pin <index>` (alias `accept`) — force an index into every
+    /// advised design; charged against the storage budget first.
+    Pin(String),
+    /// `ban <index>` (alias `reject`) — exclude an index from every
+    /// advised design's search space.
+    Ban(String),
+    /// `unpin <index>` — lift a pin.
+    Unpin(String),
+    /// `unban <index>` — lift a ban.
+    Unban(String),
+    /// `drift` — last epoch-over-epoch drift vs. the re-advise threshold.
+    Drift,
     Help,
     Quit,
     Empty,
@@ -79,8 +111,13 @@ fn usage(msg: &str) -> ParindaError {
 /// metadata WAL *before* they are applied, so a crash-recovered session
 /// replays to the identical overlay.
 ///
+/// The streaming verbs (`feed`, `epoch`, `advise auto`, `advise
+/// budget`, `pin`/`ban` and their inverses) are all journaled: the
+/// accumulator's epoch counters, decayed weights, and the constraint
+/// store are reconstructed exactly by replaying them in feed order.
+///
 /// Read-only commands (`show …`, `explain`, `eval`, the `suggest`
-/// advisors) leave no state behind and are not journaled. `cancel` is
+/// advisors, `drift`) leave no state behind and are not journaled. `cancel` is
 /// deliberately excluded: it arms a one-shot token consumed by the next
 /// advisor run, and replaying it would spuriously cancel the first
 /// post-recovery run.
@@ -100,6 +137,14 @@ pub fn is_state_mutating(cmd: &Command) -> bool {
             | Command::SetBudget { .. }
             | Command::ProfileOn
             | Command::ProfileOff
+            | Command::Feed(_)
+            | Command::Epoch
+            | Command::AdviseAuto(_)
+            | Command::AdviseBudget(_)
+            | Command::Pin(_)
+            | Command::Ban(_)
+            | Command::Unpin(_)
+            | Command::Unban(_)
     )
 }
 
@@ -224,6 +269,46 @@ pub fn parse_command(line: &str) -> Result<Command, ParindaError> {
                 .ok_or_else(|| usage("usage: budget <ms> | budget rounds <n> | budget off")),
         },
         "cancel" => Ok(Command::Cancel),
+        "feed" => {
+            let sql = trimmed[4..].trim();
+            if sql.is_empty() {
+                Err(usage("usage: feed <sql>"))
+            } else {
+                Ok(Command::Feed(sql.to_string()))
+            }
+        }
+        "epoch" => Ok(Command::Epoch),
+        "drift" => Ok(Command::Drift),
+        "advise" => match lower.get(1).map(|s| s.as_str()) {
+            Some("auto") => match lower.get(2).map(|s| s.as_str()) {
+                Some("on") => Ok(Command::AdviseAuto(true)),
+                Some("off") => Ok(Command::AdviseAuto(false)),
+                _ => Err(usage("usage: advise auto on|off")),
+            },
+            Some("budget") => lower
+                .get(2)
+                .and_then(|n| n.parse::<u64>().ok())
+                .filter(|&mb| mb > 0)
+                .map(Command::AdviseBudget)
+                .ok_or_else(|| usage("usage: advise budget <mb>")),
+            _ => Err(usage("usage: advise auto on|off | advise budget <mb>")),
+        },
+        // Constraint names may be `table(col, col)` specs with spaces, so
+        // take the raw remainder of the line, not a whitespace token.
+        "pin" | "accept" | "ban" | "reject" | "unpin" | "unban" => {
+            let verb = lower[0].as_str();
+            let name = trimmed[words[0].len()..].trim();
+            if name.is_empty() {
+                return Err(usage(&format!("usage: {verb} <index>")));
+            }
+            let name = name.to_string();
+            Ok(match verb {
+                "pin" | "accept" => Command::Pin(name),
+                "ban" | "reject" => Command::Ban(name),
+                "unpin" => Command::Unpin(name),
+                _ => Command::Unban(name),
+            })
+        }
         "profile" => match lower.get(1).map(|s| s.as_str()) {
             Some("on") => Ok(Command::ProfileOn),
             Some("off") => Ok(Command::ProfileOff),
@@ -281,6 +366,14 @@ commands:
   suggest indexes <mb> [ilp|greedy]
   suggest partitions [replication-mb]
   suggest drops              real indexes the workload would not miss
+  feed <sql>                 stream one statement into the open epoch
+  epoch                      close the epoch: decay, merge, evict, score drift
+  drift                      last drift score vs. the re-advise threshold
+  advise auto on|off         re-advise when an epoch's drift crosses the threshold
+  advise budget <mb>         storage budget for streaming advice (default 512)
+  pin <index>                force an index into every advised design (alias: accept)
+  ban <index>                keep an index out of every advised design (alias: reject)
+  unpin|unban <index>        lift a pin / a ban
   threads [<n>|auto]         advisor thread count (also: PARINDA_THREADS)
   budget <ms>                advisor wall-clock budget (anytime best-so-far)
   budget rounds <n>          deterministic round-cap budget
@@ -324,6 +417,21 @@ pub struct Console {
     /// the CLI's `--trace-json`); applied to every session, so it
     /// survives `load` like the thread policy and budget.
     trace: Trace,
+    /// Streaming workload accumulator fed with `feed`, advanced with
+    /// `epoch`. Console-owned and single-writer: the daemon's WAL
+    /// serializes the mutating verbs, so no locking happens here.
+    stream: StreamAccumulator,
+    /// The DBA's standing pin/ban constraints, honored by every advised
+    /// design (streaming and `suggest indexes`).
+    constraints: ConstraintStore,
+    /// `advise auto on|off`: when on, `epoch` re-advises whenever the
+    /// epoch's drift reaches [`DRIFT_THRESHOLD_PPM`].
+    advise_auto: bool,
+    /// Storage budget for streaming advice, MB (`advise budget <mb>`).
+    stream_budget_mb: u64,
+    /// Templates and weights of the last streaming advise: the baseline
+    /// the next advise delta-maintains its INUM model from.
+    advised_templates: Option<(Vec<parinda_sql::Select>, Vec<f64>)>,
 }
 
 impl Default for Console {
@@ -345,6 +453,11 @@ impl Console {
             budget_rounds: None,
             cancel: CancelToken::new(),
             trace: Trace::disabled(),
+            stream: StreamAccumulator::new(),
+            constraints: ConstraintStore::new(),
+            advise_auto: false,
+            stream_budget_mb: DEFAULT_STREAM_BUDGET_MB,
+            advised_templates: None,
         }
     }
 
@@ -723,28 +836,31 @@ impl Console {
                 if self.workload.is_empty() {
                     return Err(ParindaError::Advisor("no workload loaded".into()));
                 }
-                let result = s.suggest_indexes(&self.workload, budget_mb << 20, method);
+                // With pins/bans standing, route through the constrained
+                // solver; the unconstrained path is kept bit-identical.
+                let result = if self.constraints.is_empty() {
+                    s.suggest_indexes(&self.workload, budget_mb << 20, method)
+                } else {
+                    let weights = vec![1.0; self.workload.len()];
+                    let pinned: Vec<String> =
+                        self.constraints.pinned().map(str::to_string).collect();
+                    let banned: Vec<String> =
+                        self.constraints.banned().map(str::to_string).collect();
+                    s.suggest_indexes_stream(
+                        &self.workload,
+                        &weights,
+                        None,
+                        budget_mb << 20,
+                        method,
+                        &IlpOptions::default(),
+                        &pinned,
+                        &banned,
+                    )
+                };
                 // the cancel flag is consumed by one advisor run
                 self.cancel.reset();
                 let sugg = result?;
-                let mut out = String::new();
-                for i in &sugg.indexes {
-                    out.push_str(&format!(
-                        "CREATE INDEX {} ON {} ({});  -- {:.1} MB\n",
-                        i.name,
-                        i.table,
-                        i.columns.join(", "),
-                        i.size_bytes as f64 / (1 << 20) as f64
-                    ));
-                }
-                out.push('\n');
-                out.push_str(&sugg.report.render());
-                if let Some(b) = &sugg.budget {
-                    out.push_str(&format!(
-                        "\nDEGRADED: {b}; best-so-far design, rerun with `budget off` for the full search\n"
-                    ));
-                }
-                Ok(out)
+                Ok(render_index_suggestion(&sugg))
             }
             Command::SuggestDrops => {
                 let s = self.require_session()?;
@@ -799,8 +915,144 @@ impl Console {
                 }
                 Ok(out)
             }
+            Command::Feed(sql) => {
+                self.stream.feed(&sql)?;
+                self.trace.count(Counter::StreamStatementsFed, 1);
+                Ok(format!(
+                    "fed: {} pending statement(s) for epoch {}",
+                    self.stream.pending_statements(),
+                    self.stream.epoch() + 1
+                ))
+            }
+            Command::Epoch => {
+                // clone the handle: the span guard must not hold a borrow
+                // of `self` across the `&mut self` auto-advise below
+                let trace = self.trace.clone();
+                let _span = trace.span("epoch_advance");
+                let summary = self.stream.advance_epoch(&trace)?;
+                trace.count(Counter::EpochsAdvanced, 1);
+                let mut out = format!(
+                    "epoch {}: {} template(s) ({} arrived, {} evicted), total weight {:.2}, drift {} ppm",
+                    summary.epoch,
+                    summary.templates,
+                    summary.arrived,
+                    summary.evicted,
+                    summary.total_weight_fp as f64 / WEIGHT_SCALE as f64,
+                    summary.drift_ppm,
+                );
+                if self.advise_auto && summary.drift_ppm >= DRIFT_THRESHOLD_PPM {
+                    trace.count(Counter::DriftEvents, 1);
+                    out.push_str(&format!(
+                        "\ndrift {} ppm >= {} ppm: re-advising\n",
+                        summary.drift_ppm, DRIFT_THRESHOLD_PPM
+                    ));
+                    out.push_str(&self.advise_stream()?);
+                }
+                Ok(out)
+            }
+            Command::Drift => Ok(format!(
+                "drift: {} ppm (re-advise threshold {} ppm, auto-advise {})\nepoch {}, {} template(s), {} pending statement(s)",
+                self.stream.last_drift_ppm(),
+                DRIFT_THRESHOLD_PPM,
+                if self.advise_auto { "on" } else { "off" },
+                self.stream.epoch(),
+                self.stream.templates().len(),
+                self.stream.pending_statements(),
+            )),
+            Command::AdviseAuto(on) => {
+                self.advise_auto = on;
+                Ok(if on {
+                    format!(
+                        "auto-advise on: `epoch` re-advises when drift >= {DRIFT_THRESHOLD_PPM} ppm"
+                    )
+                } else {
+                    "auto-advise off".into()
+                })
+            }
+            Command::AdviseBudget(mb) => {
+                self.stream_budget_mb = mb;
+                Ok(format!("streaming advisor storage budget: {mb} MB"))
+            }
+            Command::Pin(name) => {
+                self.constraints.pin(&name)?;
+                Ok(format!("pinned `{}`: forced into every advised design", name.trim()))
+            }
+            Command::Ban(name) => {
+                self.constraints.ban(&name)?;
+                Ok(format!("banned `{}`: excluded from every advised design", name.trim()))
+            }
+            Command::Unpin(name) => Ok(if self.constraints.unpin(&name) {
+                format!("unpinned `{}`", name.trim())
+            } else {
+                format!("`{}` was not pinned", name.trim())
+            }),
+            Command::Unban(name) => Ok(if self.constraints.unban(&name) {
+                format!("unbanned `{}`", name.trim())
+            } else {
+                format!("`{}` was not banned", name.trim())
+            }),
         }
     }
+
+    /// Advise over the stream accumulator's current templates under the
+    /// standing constraints, delta-maintaining the INUM model from the
+    /// previous advised epoch's templates when there is one.
+    fn advise_stream(&mut self) -> Result<String, ParindaError> {
+        let s = self
+            .session
+            .as_ref()
+            .ok_or_else(|| ParindaError::Catalog("no database loaded (try `load paper`)".into()))?;
+        if self.stream.templates().is_empty() {
+            return Err(ParindaError::Advisor(
+                "no streamed templates to advise over (feed statements, then `epoch`)".into(),
+            ));
+        }
+        let queries = self.stream.queries();
+        let weights = self.stream.weights();
+        let pinned: Vec<String> = self.constraints.pinned().map(str::to_string).collect();
+        let banned: Vec<String> = self.constraints.banned().map(str::to_string).collect();
+        let previous =
+            self.advised_templates.as_ref().map(|(q, w)| (q.as_slice(), w.as_slice()));
+        let result = s.suggest_indexes_stream(
+            &queries,
+            &weights,
+            previous,
+            self.stream_budget_mb << 20,
+            SelectionMethod::Ilp,
+            &IlpOptions::default(),
+            &pinned,
+            &banned,
+        );
+        // the cancel flag is consumed by one advisor run
+        self.cancel.reset();
+        let sugg = result?;
+        self.advised_templates = Some((queries, weights));
+        Ok(render_index_suggestion(&sugg))
+    }
+}
+
+/// Render an index suggestion the way the console prints it: CREATE
+/// INDEX lines, the benefit report, and the `DEGRADED:` trailer when a
+/// budget interrupted the run.
+fn render_index_suggestion(sugg: &IndexSuggestion) -> String {
+    let mut out = String::new();
+    for i in &sugg.indexes {
+        out.push_str(&format!(
+            "CREATE INDEX {} ON {} ({});  -- {:.1} MB\n",
+            i.name,
+            i.table,
+            i.columns.join(", "),
+            i.size_bytes as f64 / (1 << 20) as f64
+        ));
+    }
+    out.push('\n');
+    out.push_str(&sugg.report.render());
+    if let Some(b) = &sugg.budget {
+        out.push_str(&format!(
+            "\nDEGRADED: {b}; best-so-far design, rerun with `budget off` for the full search\n"
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

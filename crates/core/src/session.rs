@@ -20,11 +20,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parinda_advisor::{
-    generate_candidates, select_indexes_greedy_budgeted, select_indexes_ilp_budgeted,
+    generate_candidates, select_indexes_greedy_constrained, select_indexes_ilp_constrained,
     suggest_partitions_traced, AutoPartConfig, CandidateLimits, IlpOptions, PartitionDesign,
+    SolverConstraints,
 };
 use parinda_catalog::{Catalog, IndexId, MetadataProvider};
-use parinda_inum::{Configuration, InumModel, InumOptions, SharedPlanCache};
+use parinda_inum::{CandidateIndex, Configuration, InumModel, InumOptions, SharedPlanCache};
 use parinda_optimizer::{bind, explain, plan_query, CostParams, PlannerFlags};
 use parinda_parallel::{Budget, BudgetReport, CancelToken, Parallelism};
 use parinda_sql::Select;
@@ -144,6 +145,15 @@ impl From<parinda_inum::InumError> for ParindaError {
     fn from(e: parinda_inum::InumError) -> Self {
         match e {
             parinda_inum::InumError::Worker(ref w) => ParindaError::Internal(w.clone()),
+            other => ParindaError::Advisor(other.to_string()),
+        }
+    }
+}
+
+impl From<parinda_stream::StreamError> for ParindaError {
+    fn from(e: parinda_stream::StreamError) -> Self {
+        match e {
+            parinda_stream::StreamError::Parse(ref m) => ParindaError::Parse(m.clone()),
             other => ParindaError::Advisor(other.to_string()),
         }
     }
@@ -847,31 +857,186 @@ impl Parinda {
         method: SelectionMethod,
         options: &IlpOptions,
     ) -> Result<IndexSuggestion, ParindaError> {
+        self.suggest_indexes_core(workload, weights, None, budget_bytes, method, options, &[], &[])
+    }
+
+    /// The streaming advisor entry point (continuous tuning): advise over
+    /// the epoch's templates `workload`/`weights`, incrementally
+    /// maintaining the INUM model from the `previous` epoch's templates
+    /// via [`InumModel::apply_delta`] when given — only new-or-vanished
+    /// templates are re-bound/re-populated; everything carried over is
+    /// bit-identical to a from-scratch weighted build. `pinned` /
+    /// `banned` are index names (the `idx_<table>_<cols>` display form, a
+    /// real catalog index name, or an explicit `table(col, col)` spec):
+    /// pins are forced into the design budget-first, bans never enter the
+    /// solver's search space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn suggest_indexes_stream(
+        &self,
+        workload: &[Select],
+        weights: &[f64],
+        previous: Option<(&[Select], &[f64])>,
+        budget_bytes: u64,
+        method: SelectionMethod,
+        options: &IlpOptions,
+        pinned: &[String],
+        banned: &[String],
+    ) -> Result<IndexSuggestion, ParindaError> {
+        self.suggest_indexes_core(
+            workload,
+            Some(weights),
+            previous,
+            budget_bytes,
+            method,
+            options,
+            pinned,
+            banned,
+        )
+    }
+
+    /// Resolve a DBA-supplied index name into a [`CandidateIndex`]:
+    /// first a generated candidate whose display name matches, then a
+    /// real catalog index with that name, then an explicit
+    /// `table(col, col)` spec. Anything else is a typed advisor error.
+    fn resolve_candidate(
+        &self,
+        cands: &[CandidateIndex],
+        name: &str,
+    ) -> Result<CandidateIndex, ParindaError> {
+        let name = name.trim();
+        for c in cands {
+            if let Some(table) = self.core.catalog.table(c.table) {
+                if c.display_name(table) == name {
+                    return Ok(c.clone());
+                }
+            }
+        }
+        if let Some(idx) = self.core.catalog.index_by_name(name) {
+            return Ok(CandidateIndex::new(idx.table, idx.key_columns.clone()));
+        }
+        if let Some((table_name, rest)) = name.split_once('(') {
+            let table = self
+                .core
+                .catalog
+                .table_by_name(table_name.trim())
+                .ok_or_else(|| {
+                    ParindaError::Advisor(format!("unknown table in index spec `{name}`"))
+                })?;
+            let cols: Option<Vec<usize>> = rest
+                .trim_end_matches(')')
+                .split(',')
+                .map(|c| table.column_index(c.trim()))
+                .collect();
+            match cols {
+                Some(cols) if !cols.is_empty() => {
+                    return Ok(CandidateIndex::new(table.id, cols));
+                }
+                _ => {
+                    return Err(ParindaError::Advisor(format!(
+                        "unknown column in index spec `{name}`"
+                    )))
+                }
+            }
+        }
+        Err(ParindaError::Advisor(format!(
+            "unknown index `{name}`: not a suggested candidate, a catalog index, \
+             or a `table(col, col)` spec"
+        )))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn suggest_indexes_core(
+        &self,
+        workload: &[Select],
+        weights: Option<&[f64]>,
+        previous: Option<(&[Select], &[f64])>,
+        budget_bytes: u64,
+        method: SelectionMethod,
+        options: &IlpOptions,
+        pinned: &[String],
+        banned: &[String],
+    ) -> Result<IndexSuggestion, ParindaError> {
         let budget = self.start_budget();
-        let mut model = {
-            let _s = self.state.trace.span("inum_build");
-            InumModel::build_shared_traced(
-                &self.core.catalog,
-                workload,
-                weights,
-                self.core.params.clone(),
-                InumOptions::default(),
-                self.state.par,
-                &budget,
-                self.state.trace.clone(),
-                &self.core.plan_cache,
-            )?
+        let mut model = match previous {
+            // Incremental path: rebuild the previous epoch's model (its
+            // case lists come straight out of the shared plan cache —
+            // warm, no planning) and delta it onto the new templates.
+            Some((prev_workload, prev_weights)) if !prev_workload.is_empty() => {
+                let mut model = {
+                    let _s = self.state.trace.span("inum_build");
+                    InumModel::build_shared_traced(
+                        &self.core.catalog,
+                        prev_workload,
+                        Some(prev_weights),
+                        self.core.params.clone(),
+                        InumOptions::default(),
+                        self.state.par,
+                        &Budget::unlimited().with_cancel(self.state.cancel.clone()),
+                        self.state.trace.clone(),
+                        &self.core.plan_cache,
+                    )?
+                };
+                let weights_vec: Vec<f64> =
+                    weights.map(|w| w.to_vec()).unwrap_or_else(|| vec![1.0; workload.len()]);
+                model.apply_delta(workload, &weights_vec)?;
+                model
+            }
+            _ => {
+                let _s = self.state.trace.span("inum_build");
+                InumModel::build_shared_traced(
+                    &self.core.catalog,
+                    workload,
+                    weights,
+                    self.core.params.clone(),
+                    InumOptions::default(),
+                    self.state.par,
+                    &budget,
+                    self.state.trace.clone(),
+                    &self.core.plan_cache,
+                )?
+            }
         };
         let inum_skipped = model.degraded_queries();
         let queries = model.queries().to_vec();
         let cands = generate_candidates(&queries, CandidateLimits::default());
+        let constraints = if pinned.is_empty() && banned.is_empty() {
+            SolverConstraints::none()
+        } else {
+            let pinned_c: Vec<CandidateIndex> = pinned
+                .iter()
+                .map(|n| self.resolve_candidate(&cands, n))
+                .collect::<Result<_, _>>()?;
+            let banned_c: Vec<CandidateIndex> = banned
+                .iter()
+                .map(|n| self.resolve_candidate(&cands, n))
+                .collect::<Result<_, _>>()?;
+            // Conflicts are detected on the *resolved* candidates, not
+            // the spellings: `orders(o_custkey)` and its generated
+            // `idx_orders_o_custkey` display name are the same index.
+            if let Some(i) = pinned_c.iter().position(|p| banned_c.contains(p)) {
+                return Err(ParindaError::Advisor(format!(
+                    "index `{}` is both pinned and banned",
+                    pinned[i]
+                )));
+            }
+            SolverConstraints { pinned: pinned_c, banned: banned_c }
+        };
         let sel = match method {
-            SelectionMethod::Ilp => {
-                select_indexes_ilp_budgeted(&mut model, &cands, budget_bytes, options, &budget)
-            }
-            SelectionMethod::Greedy => {
-                select_indexes_greedy_budgeted(&mut model, &cands, budget_bytes, &budget)
-            }
+            SelectionMethod::Ilp => select_indexes_ilp_constrained(
+                &mut model,
+                &cands,
+                budget_bytes,
+                options,
+                &budget,
+                &constraints,
+            ),
+            SelectionMethod::Greedy => select_indexes_greedy_constrained(
+                &mut model,
+                &cands,
+                budget_bytes,
+                &budget,
+                &constraints,
+            ),
         };
 
         let cfg = Configuration::from_ids(sel.chosen.iter().copied());

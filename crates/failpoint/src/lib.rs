@@ -53,6 +53,10 @@ pub const SITES: &[&str] = &[
     "wal::fsync",              // metadata-WAL group fsync (daemon degrades to ephemeral)
     "wal::snapshot",           // snapshot write + log truncation (daemon degrades to ephemeral)
     "recover::replay",         // startup snapshot+WAL replay (daemon starts ephemeral)
+    "stream::feed",            // one streamed statement's parse/accumulate step
+    "stream::epoch",           // epoch advance (decay + merge + evict), before any commit
+    "stream::drift",           // drift scoring between epoch distributions
+    "inum::delta",             // incremental INUM maintenance (apply_delta)
 ];
 
 /// What an activated failpoint does when execution reaches it.

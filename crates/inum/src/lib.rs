@@ -13,5 +13,5 @@ pub mod model;
 pub mod shared;
 
 pub use config::{CandId, CandidateIndex, Configuration};
-pub use model::{InumError, InumModel, InumOptions};
+pub use model::{DeltaReport, InumError, InumModel, InumOptions};
 pub use shared::SharedPlanCache;

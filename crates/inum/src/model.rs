@@ -100,6 +100,13 @@ pub struct InumModel<'a> {
     options: InumOptions,
     par: Parallelism,
     queries: Vec<BoundQuery>,
+    /// Canonical SQL text per query, parallel to `queries`. This is the
+    /// identity [`apply_delta`] matches templates by when an epoch
+    /// advances: unchanged text ⇒ the bound query, its cached cases, and
+    /// its memo entries all carry over.
+    ///
+    /// [`apply_delta`]: InumModel::apply_delta
+    sql: Vec<String>,
     /// Per-query workload weights (statement multiplicities from template
     /// clustering); `None` = every query counts once. Weights scale
     /// [`workload_cost`] and steer budgeted cache population toward the
@@ -150,6 +157,19 @@ impl std::fmt::Display for InumError {
 }
 
 impl std::error::Error for InumError {}
+
+/// What one [`InumModel::apply_delta`] reused versus rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Templates whose bound query and cached cases carried over.
+    pub reused: usize,
+    /// Templates bound and/or populated from scratch (new arrivals plus
+    /// any the original build's budget had skipped).
+    pub rebuilt: usize,
+    /// Old templates dropped, with their memo entries, because they no
+    /// longer appear in the workload.
+    pub evicted: usize,
+}
 
 impl<'a> InumModel<'a> {
     /// Build the model: bind every query and populate the internal-plan
@@ -320,12 +340,14 @@ impl<'a> InumModel<'a> {
         for (i, q) in bound.into_iter().enumerate() {
             queries.push(q.map_err(|e| InumError::Bind(i, e))?);
         }
+        let sql: Vec<String> = workload.iter().map(|q| q.to_string()).collect();
         let mut model = InumModel {
             catalog,
             params,
             options,
             par,
             queries,
+            sql,
             weights,
             cases: Vec::new(),
             candidates: Vec::new(),
@@ -388,6 +410,162 @@ impl<'a> InumModel<'a> {
         debug_assert_eq!(model.cases.len(), nq);
         debug_assert!(populated <= nq);
         Ok(model)
+    }
+
+    /// Re-target the model at a new compressed workload *incrementally*:
+    /// templates whose canonical SQL is unchanged keep their bound query,
+    /// cached cases, and memo entries (re-keyed to their new positions);
+    /// new templates are bound and populated from scratch; vanished
+    /// templates are evicted together with their memo entries. Weights
+    /// are replaced wholesale (decay re-prices every template, but a
+    /// weight is a multiplier outside the cached plans, so reweighting
+    /// costs nothing).
+    ///
+    /// **Invariant**: the resulting model is bit-identical — same costs,
+    /// same degraded set, same candidate ids — to a from-scratch
+    /// [`InumModel::build_weighted_traced`] over the same workload with
+    /// an unlimited budget, at any thread count. Cached cases and memo
+    /// entries are pure functions of (query, catalog, params, options,
+    /// candidate), so reuse can never change a value, only skip its
+    /// recomputation. Queries a *budgeted* original build left degraded
+    /// are populated here, so the delta never carries degradation
+    /// forward.
+    ///
+    /// Everything is computed before anything is committed: an injected
+    /// fault (`inum::delta`, `inum::bind`, `inum::plan_case`) or a bind
+    /// error leaves the model exactly as it was.
+    pub fn apply_delta(
+        &mut self,
+        workload: &[Select],
+        weights: &[f64],
+    ) -> Result<DeltaReport, InumError> {
+        assert_eq!(weights.len(), workload.len(), "one weight per query");
+        let trace = self.trace.clone();
+        let _span = trace.span("inum_delta");
+        if parinda_failpoint::should_fail("inum::delta") {
+            return Err(InumError::Worker("failpoint inum::delta: injected error".to_string()));
+        }
+        // Match new templates to old positions by canonical SQL text
+        // (duplicate texts pair up first-come, like a from-scratch build
+        // binds them independently to identical results).
+        let mut by_sql: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (qi, s) in self.sql.iter().enumerate().rev() {
+            by_sql.entry(s.as_str()).or_default().push(qi);
+        }
+        let new_sql: Vec<String> = workload.iter().map(|q| q.to_string()).collect();
+        let nq = workload.len();
+        let mut source: Vec<Option<usize>> = Vec::with_capacity(nq);
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, s) in new_sql.iter().enumerate() {
+            let old = by_sql.get_mut(s.as_str()).and_then(Vec::pop);
+            if old.is_none() {
+                missing.push(i);
+            }
+            source.push(old);
+        }
+        let reused = nq - missing.len();
+        let evicted = self.queries.len() - reused;
+        // Bind the genuinely new templates (same sweep + failpoint as a
+        // full build, so fault behavior matches).
+        let bound = par_try_map_indexed_traced(
+            self.par,
+            missing.len(),
+            &trace,
+            "inum_delta/bind",
+            |k| {
+                if parinda_failpoint::should_fail("inum::bind") {
+                    return Err("failpoint inum::bind: injected error".to_string());
+                }
+                bind(&workload[missing[k]], self.catalog).map_err(|e| e.to_string())
+            },
+        )
+        .map_err(|p| InumError::Worker(p.to_string()))?;
+        let mut fresh: Vec<BoundQuery> = Vec::with_capacity(missing.len());
+        for (k, q) in bound.into_iter().enumerate() {
+            fresh.push(q.map_err(|e| InumError::Bind(missing[k], e))?);
+        }
+        // Assemble the new query/case vectors (still uncommitted). One
+        // fresh binding exists per missing slot by construction.
+        let mut fresh = fresh.into_iter();
+        let mut queries: Vec<BoundQuery> = Vec::with_capacity(nq);
+        let mut cases: Vec<Option<Arc<Vec<CachedCase>>>> = Vec::with_capacity(nq);
+        for &src in &source {
+            match src {
+                Some(old) => {
+                    queries.push(self.queries[old].clone());
+                    cases.push(self.cases[old].clone());
+                }
+                None => match fresh.next() {
+                    Some(q) => {
+                        queries.push(q);
+                        cases.push(None);
+                    }
+                    None => {
+                        return Err(InumError::Worker(
+                            "delta bind produced fewer queries than templates".to_string(),
+                        ))
+                    }
+                },
+            }
+        }
+        // Populate every unpopulated cache: new templates plus any the
+        // original build's budget skipped (a from-scratch unlimited
+        // rebuild would populate them, and the invariant is equality
+        // with exactly that).
+        let targets: Vec<usize> = (0..nq).filter(|&i| cases[i].is_none()).collect();
+        let built = par_try_map_indexed_traced(
+            self.par,
+            targets.len(),
+            &trace,
+            "inum_delta/populate",
+            |k| {
+                let qi = targets[k];
+                self.build_cases_for(qi, &queries[qi])
+            },
+        )
+        .map_err(|p| InumError::Worker(p.to_string()))?;
+        let mut populated: Vec<Arc<Vec<CachedCase>>> = Vec::with_capacity(targets.len());
+        for (k, r) in built.into_iter().enumerate() {
+            populated.push(Arc::new(r.map_err(|e| InumError::Plan(targets[k], e))?));
+        }
+        for (k, cs) in populated.into_iter().enumerate() {
+            cases[targets[k]] = Some(cs);
+        }
+        // Commit: re-key surviving memo entries old→new, drop the rest.
+        let mut old_to_new: HashMap<usize, usize> = HashMap::new();
+        for (i, src) in source.iter().enumerate() {
+            if let Some(old) = src {
+                old_to_new.insert(*old, i);
+            }
+        }
+        {
+            let mut memo =
+                self.access_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let entries: Vec<_> = memo.drain().collect();
+            for ((qi, rel, cand), v) in entries {
+                if let Some(&ni) = old_to_new.get(&qi) {
+                    memo.insert((ni, rel, cand), v);
+                }
+            }
+        }
+        {
+            let mut memo =
+                self.probe_memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let entries: Vec<_> = memo.drain().collect();
+            for ((qi, rel, cid), v) in entries {
+                if let Some(&ni) = old_to_new.get(&qi) {
+                    memo.insert((ni, rel, cid), v);
+                }
+            }
+        }
+        self.queries = queries;
+        self.cases = cases;
+        self.sql = new_sql;
+        self.weights = Some(weights.to_vec());
+        let rebuilt = targets.len();
+        trace.count(Counter::InumDeltaReused, reused as u64);
+        trace.count(Counter::InumDeltaRebuilt, rebuilt as u64);
+        Ok(DeltaReport { reused, rebuilt, evicted })
     }
 
     /// Queries whose plan cache was skipped by a build budget; their
@@ -483,7 +661,14 @@ impl<'a> InumModel<'a> {
     // ---------- cache construction ----------
 
     fn build_cases(&self, qi: usize) -> Result<Vec<CachedCase>, String> {
-        let q = &self.queries[qi];
+        self.build_cases_for(qi, &self.queries[qi])
+    }
+
+    /// [`build_cases`](Self::build_cases) against an explicit bound query
+    /// (not yet committed to `self.queries`) — the delta path plans new
+    /// templates *before* committing anything, so an injected fault
+    /// leaves the model untouched.
+    fn build_cases_for(&self, qi: usize, q: &BoundQuery) -> Result<Vec<CachedCase>, String> {
         let nrels = q.rels.len();
 
         // Interesting orders per rel: None + each join column on the rel.
@@ -522,7 +707,7 @@ impl<'a> InumModel<'a> {
         let mut cases = Vec::new();
         for combo in &combos {
             for &scenario in scenarios {
-                let case = self.plan_case(qi, combo, scenario)?;
+                let case = self.plan_case(qi, q, combo, scenario)?;
                 if !cases.contains(&case) {
                     cases.push(case);
                 }
@@ -536,13 +721,13 @@ impl<'a> InumModel<'a> {
     fn plan_case(
         &self,
         qi: usize,
+        q: &BoundQuery,
         combo: &[Option<usize>],
         scenario: JoinScenario,
     ) -> Result<CachedCase, String> {
         if parinda_failpoint::should_fail("inum::plan_case") {
             return Err("failpoint inum::plan_case: injected error".to_string());
         }
-        let q = &self.queries[qi];
         let mut overlay = HypotheticalCatalog::new(self.catalog);
         let mut hypo_ids: Vec<Option<IndexId>> = vec![None; combo.len()];
         for (rel, order) in combo.iter().enumerate() {

@@ -26,6 +26,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/whatif/src/",
     "crates/server/src/",
     "crates/durability/src/",
+    "crates/stream/src/",
     "src/bin/",
 ];
 
@@ -36,6 +37,7 @@ const ITER_SCOPE: &[&str] = &[
     "crates/inum/src/",
     "crates/solver/src/",
     "crates/durability/src/",
+    "crates/stream/src/",
 ];
 
 /// The files allowed to read the wall clock (deadlines are *defined* in

@@ -98,11 +98,23 @@ pub enum Counter {
     /// WAL appends, fsyncs, or snapshots that failed; the daemon
     /// degrades to ephemeral mode instead of dying.
     WalAppendFailures,
+    /// Statements fed into a streaming accumulator.
+    StreamStatementsFed,
+    /// Stream epochs advanced (decay + merge + drift score).
+    EpochsAdvanced,
+    /// Epoch advances whose drift score crossed the re-advise threshold.
+    DriftEvents,
+    /// Templates whose INUM state an `apply_delta` reused from the
+    /// existing model (no re-bind, no re-population).
+    InumDeltaReused,
+    /// Templates an `apply_delta` had to bind/populate from scratch
+    /// (new or previously unpopulated).
+    InumDeltaRebuilt,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 24] = [
         Counter::OptimizerInvocations,
         Counter::InumCacheHits,
         Counter::InumCacheMisses,
@@ -122,6 +134,11 @@ impl Counter {
         Counter::RecoveryReplayedRecords,
         Counter::RecoveryTruncatedTail,
         Counter::WalAppendFailures,
+        Counter::StreamStatementsFed,
+        Counter::EpochsAdvanced,
+        Counter::DriftEvents,
+        Counter::InumDeltaReused,
+        Counter::InumDeltaRebuilt,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -146,6 +163,11 @@ impl Counter {
             Counter::RecoveryReplayedRecords => "recovery_replayed_records",
             Counter::RecoveryTruncatedTail => "recovery_truncated_tail",
             Counter::WalAppendFailures => "wal_append_failures",
+            Counter::StreamStatementsFed => "stream_statements_fed",
+            Counter::EpochsAdvanced => "epochs_advanced",
+            Counter::DriftEvents => "drift_events",
+            Counter::InumDeltaReused => "inum_delta_reused",
+            Counter::InumDeltaRebuilt => "inum_delta_rebuilt",
         }
     }
 
@@ -170,6 +192,11 @@ impl Counter {
             Counter::RecoveryReplayedRecords => 16,
             Counter::RecoveryTruncatedTail => 17,
             Counter::WalAppendFailures => 18,
+            Counter::StreamStatementsFed => 19,
+            Counter::EpochsAdvanced => 20,
+            Counter::DriftEvents => 21,
+            Counter::InumDeltaReused => 22,
+            Counter::InumDeltaRebuilt => 23,
         }
     }
 }

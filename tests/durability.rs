@@ -350,3 +350,124 @@ fn sigkill_recovery_is_bit_identical_to_uncrashed_reference() {
     std::fs::remove_dir_all(&ref_dir).ok();
     std::fs::remove_file(&ddl_path).ok();
 }
+
+/// Scrub advisor wall times (`… after 0.4 ms …`) from a reply so the
+/// crashed and uncrashed daemons can be compared byte for byte —
+/// everything else in an epoch reply is deterministic.
+fn scrub_times(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let mut scrubbed: Vec<&str> = Vec::with_capacity(toks.len());
+        let mut i = 0;
+        while i < toks.len() {
+            let bare = toks[i].trim_end_matches([':', ',', ';']);
+            let unit = toks.get(i + 1).map(|u| u.trim_end_matches([':', ',', ';']));
+            if bare.parse::<f64>().is_ok() && matches!(unit, Some("ms" | "s" | "us" | "ns")) {
+                scrubbed.push("<time>");
+                i += 2;
+            } else {
+                scrubbed.push(toks[i]);
+                i += 1;
+            }
+        }
+        out.push_str(&scrubbed.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Streaming continuation of the SIGKILL contract (the continuous-tuning
+/// tentpole): kill the daemon *mid-epoch* — one epoch committed and
+/// re-advised, two feeds acknowledged but not yet folded in — and the
+/// recovered stream must be indistinguishable from an uncrashed
+/// reference: same constraint store, same pending statements, same
+/// drift, and the epoch closed *after* recovery produces the same
+/// design, still honoring the pin and the ban journaled before the
+/// crash.
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_epoch_recovers_streaming_state_and_constraints() {
+    let ddl_path = std::env::temp_dir().join("parinda_durability_stream.sql");
+    std::fs::write(&ddl_path, TINY_DDL).expect("ddl file");
+    const SCRIPT: &[&str] = &[
+        "advise auto on",
+        "advise budget 64",
+        "pin obs(ra)",
+        "ban src(mag)",
+        "feed select id from obs where ra between 1 and 2",
+        "feed select id from obs where ra between 30 and 40",
+        "epoch", // drift maximal on the first epoch → auto re-advise
+        "feed select id from obs where dec > 0.5",
+        "feed select id from obs where dec > 0.7", // pending at the crash
+    ];
+    const PROBE: &[&str] =
+        &["server attach 1", "server transcript", "drift", "epoch", "server stats"];
+
+    let crash_dir = tmpdir("stream_crash");
+    let mut daemon = spawn_daemon(&crash_dir, &ddl_path);
+    let crash_replies = wire(&daemon.addr, SCRIPT);
+    daemon.child.kill().expect("SIGKILL");
+    daemon.child.wait().expect("reap");
+
+    let ref_dir = tmpdir("stream_ref");
+    let mut reference = spawn_daemon(&ref_dir, &ddl_path);
+    let ref_replies = wire(&reference.addr, SCRIPT);
+    assert_eq!(
+        crash_replies.iter().map(|r| scrub_times(r)).collect::<Vec<_>>(),
+        ref_replies.iter().map(|r| scrub_times(r)).collect::<Vec<_>>(),
+        "pre-crash replies already diverged"
+    );
+    // The pre-crash epoch already enforced the constraints.
+    let epoch_reply = &crash_replies[6];
+    assert!(epoch_reply.contains("re-advising"), "{epoch_reply}");
+    assert!(epoch_reply.contains("CREATE INDEX idx_obs_ra ON obs (ra)"), "{epoch_reply}");
+    assert!(!epoch_reply.contains("idx_src_mag"), "banned index advised: {epoch_reply}");
+    wire(&reference.addr, &["server shutdown"]);
+    reference.child.wait().expect("reference daemon exits");
+
+    let probe = |dir: &Path| -> Vec<String> {
+        let daemon = spawn_daemon(dir, &ddl_path);
+        let mut replies = wire(&daemon.addr, PROBE);
+        wire(&daemon.addr, &["server shutdown"]);
+        let mut child = daemon.child;
+        child.wait().expect("probed daemon exits");
+        let stats = replies.pop().expect("stats reply");
+        assert!(stats.contains("durability on"), "recovered daemon not durable: {stats}");
+        replies.push(format!("{:?}", stable_stats(&stats)));
+        replies.iter().map(|r| scrub_times(r)).collect()
+    };
+    let crashed = probe(&crash_dir);
+    let uncrashed = probe(&ref_dir);
+    assert_eq!(
+        crashed, uncrashed,
+        "mid-epoch SIGKILL recovery diverged from the uncrashed reference"
+    );
+
+    // Attach replayed every journaled command, auto-advise included.
+    assert!(
+        crashed[0].contains(&format!(
+            "attached durable session 1: {} journaled command(s) replayed",
+            SCRIPT.len()
+        )),
+        "wrong replay count: {}",
+        crashed[0]
+    );
+    assert!(crashed[1].contains("pin obs(ra)"), "constraints missing: {}", crashed[1]);
+    assert!(
+        crashed[1].contains("feed select id from obs where dec > 0.7"),
+        "pending feed lost: {}",
+        crashed[1]
+    );
+    // The two unfolded feeds survived the crash as pending statements.
+    assert!(crashed[2].contains("2 pending statement(s)"), "{}", crashed[2]);
+    // Closing the epoch after recovery drifts (new template takes most
+    // of the mass), re-advises, and still honors both constraints.
+    assert!(crashed[3].contains("re-advising"), "{}", crashed[3]);
+    assert!(crashed[3].contains("CREATE INDEX idx_obs_ra ON obs (ra)"), "{}", crashed[3]);
+    assert!(!crashed[3].contains("idx_src_mag"), "ban lost in recovery: {}", crashed[3]);
+
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_file(&ddl_path).ok();
+}

@@ -33,6 +33,21 @@ const SCRIPT: &[&str] = &[
     "suggest indexes 64 greedy",
     "suggest partitions",
     "explain select id from obs where ra between 1 and 2",
+    // Streaming verbs: two epochs with drifting templates. Epoch 1's
+    // drift is maximal by convention, so auto-advise fires (a fresh
+    // model build); epoch 2 re-advises through `InumModel::apply_delta`,
+    // reaching the `stream::*` and `inum::delta` sites.
+    "advise auto on",
+    "advise budget 64",
+    "feed select id from obs where ra between 1 and 2",
+    "feed select id from obs where ra between 1 and 2",
+    "feed select id from src where mag <= 3",
+    "epoch",
+    "feed select id from obs where dec > 0.5",
+    "feed select id from obs where dec > 0.5",
+    "feed select id from src where mag <= 3",
+    "epoch",
+    "drift",
     "load laptop 10",
 ];
 
@@ -180,6 +195,10 @@ fn site_manifest_is_exhaustive() {
         "wal::fsync",
         "wal::snapshot",
         "recover::replay",
+        "stream::feed",
+        "stream::epoch",
+        "stream::drift",
+        "inum::delta",
     ];
     assert_eq!(
         failpoint::SITES,

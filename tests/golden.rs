@@ -114,8 +114,10 @@ fn golden_e3_report() {
 
 /// A scripted interactive session, end to end: loading, the clustering
 /// summary (`workload stats`), what-if design, profiling, a
-/// budget-degraded advisor run (`DEGRADED:`), and a typed error line —
-/// exactly what a DBA sees at the prompt.
+/// budget-degraded advisor run (`DEGRADED:`), a typed error line, and
+/// the continuous-tuning verbs (feed/epoch/drift, pin/ban, a degraded
+/// auto re-advise, and a pin∧ban constraint error) — exactly what a DBA
+/// sees at the prompt.
 #[test]
 fn golden_console_transcript() {
     let script = [
@@ -131,6 +133,20 @@ fn golden_console_transcript() {
         "suggest partitions",
         "budget off",
         "explain SELECT nope FROM nowhere",
+        "advise auto on",
+        "advise budget 64",
+        "pin photoobj(objid)",
+        "ban photoobj(dec)",
+        "feed SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 20",
+        "feed SELECT objid FROM photoobj WHERE ra BETWEEN 30 AND 40",
+        "feed SELECT objid FROM photoobj WHERE dec > 5",
+        "budget rounds 1",
+        "epoch",
+        "budget off",
+        "drift",
+        "ban photoobj(objid)",
+        "unpin photoobj(objid)",
+        "unban photoobj(dec)",
         "profile show",
         "profile off",
         "quit",

@@ -56,6 +56,16 @@ fn command_line() -> BoxedStrategy<String> {
         Just("eval".to_string()),
         Just("clear".to_string()),
         Just("help".to_string()),
+        Just("feed".to_string()),
+        Just("epoch".to_string()),
+        Just("drift".to_string()),
+        Just("advise".to_string()),
+        Just("pin".to_string()),
+        Just("ban".to_string()),
+        Just("accept".to_string()),
+        Just("reject".to_string()),
+        Just("unpin".to_string()),
+        Just("unban".to_string()),
     ];
     let word = prop_oneof![
         "[a-z_]{1,10}",

@@ -1,0 +1,171 @@
+//! Property suite for the streaming layer: the decay/merge/evict
+//! arithmetic and the drift metric are pure integer functions, so their
+//! algebraic contracts hold for *every* input, not just the scenarios
+//! the simulation harness replays.
+//!
+//! Generation is deterministic (vendored proptest, fixed seed,
+//! `PROPTEST_SEED` to override), so a failure reproduces exactly.
+
+use proptest::prelude::*;
+
+use parinda::{Console, ConsoleReply, Trace};
+use parinda_stream::{drift_ppm, ConstraintStore, StreamAccumulator, DRIFT_SCALE, WEIGHT_SCALE};
+
+/// A small pool of parseable statement templates over distinct shapes
+/// (literals are normalized away by fingerprinting, so each entry is
+/// one template no matter the constant).
+const TEMPLATES: [&str; 5] = [
+    "SELECT id FROM obs WHERE ra BETWEEN 1 AND 2",
+    "SELECT id FROM obs WHERE dec > 0.5",
+    "SELECT id, ra FROM obs WHERE flags = 3",
+    "SELECT id FROM src WHERE mag <= 3",
+    "SELECT mag FROM src WHERE id = 7",
+];
+
+/// An epoch's worth of feeds: indexes into [`TEMPLATES`].
+fn feeds() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..TEMPLATES.len(), 0..24)
+}
+
+/// Distributions for the drift metric, normalized to ppm shares of the
+/// total mass exactly as the accumulator's `distribution()` does — the
+/// DRIFT_SCALE bound is a contract over *normalized* inputs.
+fn dist() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec(("[a-d]{1,2}", 1u64..2_000_000), 0..6).prop_map(|pairs| {
+        let mut m = std::collections::BTreeMap::new();
+        for (k, v) in pairs {
+            *m.entry(k).or_insert(0u64) += v;
+        }
+        let total: u64 = m.values().sum();
+        m.into_iter().map(|(k, v)| (k, v * parinda_stream::DRIFT_SCALE / total.max(1))).collect()
+    })
+}
+
+/// Snapshot of the live template state that must be feed-order-free.
+fn state(acc: &StreamAccumulator) -> Vec<(String, u64, u64)> {
+    let mut s: Vec<(String, u64, u64)> =
+        acc.templates().iter().map(|t| (t.fingerprint.clone(), t.weight_fp, t.members)).collect();
+    s.sort();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Feeding order within an epoch is irrelevant: any permutation of
+    /// the same multiset of statements lands on identical fingerprints,
+    /// decayed weights, member counts, and epoch summary.
+    #[test]
+    fn decayed_weights_are_feed_order_independent(idx in feeds(), seed in any::<u64>()) {
+        let mut shuffled = idx.clone();
+        // deterministic Fisher–Yates driven by the generated seed
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let trace = Trace::disabled();
+        let mut a = StreamAccumulator::new();
+        let mut b = StreamAccumulator::new();
+        for &i in &idx { a.feed(TEMPLATES[i]).unwrap(); }
+        for &i in &shuffled { b.feed(TEMPLATES[i]).unwrap(); }
+        let sa = a.advance_epoch(&trace).unwrap();
+        let sb = b.advance_epoch(&trace).unwrap();
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(state(&a), state(&b));
+    }
+
+    /// A template that goes silent decays strictly monotonically and is
+    /// eventually evicted — stale workload shapes cannot pin the design
+    /// forever.
+    #[test]
+    fn silent_templates_shrink_monotonically_and_vanish(idx in feeds()) {
+        let trace = Trace::disabled();
+        let mut acc = StreamAccumulator::new();
+        for &i in &idx { acc.feed(TEMPLATES[i]).unwrap(); }
+        acc.advance_epoch(&trace).unwrap();
+        let mut prev: Vec<(String, u64, u64)> = state(&acc);
+        // weight halves each silent epoch; the heaviest possible
+        // template (23 feeds = 23·WEIGHT_SCALE) falls below the 1%
+        // eviction threshold within 12 halvings (23e6 >> 12 < 1e4)
+        for _ in 0..12 {
+            acc.advance_epoch(&trace).unwrap();
+            let cur = state(&acc);
+            for (fp, w, _) in &cur {
+                let old = prev.iter().find(|(pfp, ..)| pfp == fp);
+                prop_assert!(old.is_some(), "template {} appeared from nowhere", fp);
+                let &(_, old_w, _) = old.unwrap();
+                prop_assert!(*w < old_w, "silent template {} did not shrink: {} -> {}", fp, old_w, w);
+            }
+            prev = cur;
+        }
+        prop_assert!(acc.templates().is_empty(), "silent templates survived 12 decay epochs");
+        prop_assert_eq!(acc.epoch(), 13);
+    }
+
+    /// The drift metric is symmetric, zero on identical distributions,
+    /// and bounded by [`DRIFT_SCALE`].
+    #[test]
+    fn drift_is_symmetric_bounded_and_zero_on_identity(a in dist(), b in dist()) {
+        prop_assert_eq!(drift_ppm(&a, &b), drift_ppm(&b, &a));
+        prop_assert_eq!(drift_ppm(&a, &a), 0);
+        prop_assert_eq!(drift_ppm(&b, &b), 0);
+        prop_assert!(drift_ppm(&a, &b) <= DRIFT_SCALE);
+    }
+
+    /// Pinning and banning the same name (in either order) is a typed
+    /// constraint error, never a panic, and leaves the store unchanged.
+    #[test]
+    fn pin_ban_same_name_is_a_typed_error(name in "[a-z_]{1,12}(\\([a-z_, ]{1,16}\\))?") {
+        let mut store = ConstraintStore::new();
+        store.pin(&name).unwrap();
+        let err = store.ban(&name).expect_err("ban of a pinned name must error");
+        prop_assert!(err.to_string().contains("pinned"), "{}", err);
+        prop_assert_eq!(store.pinned().count(), 1);
+        prop_assert_eq!(store.banned().count(), 0);
+
+        let mut store = ConstraintStore::new();
+        store.ban(&name).unwrap();
+        let err = store.pin(&name).expect_err("pin of a banned name must error");
+        prop_assert!(err.to_string().contains("banned"), "{}", err);
+
+        // and through the console: `error [advisor]:`, session usable after
+        let mut c = Console::new();
+        match c.run_line(&format!("pin {name}")) {
+            ConsoleReply::Output(_) => {}
+            other => panic!("pin rejected a valid name: {other:?}"),
+        }
+        match c.run_line(&format!("ban {name}")) {
+            ConsoleReply::Error(e) => prop_assert_eq!(e.kind(), "advisor"),
+            other => panic!("conflicting ban accepted: {other:?}"),
+        }
+        match c.run_line("drift") {
+            ConsoleReply::Output(out) => prop_assert!(out.contains("drift:")),
+            other => panic!("console unusable after constraint error: {other:?}"),
+        }
+    }
+
+    /// Epoch summaries stay internally consistent under arbitrary feed
+    /// sequences split across two epochs: total weight is the sum of
+    /// live template weights, members never exceed statements fed, and
+    /// the first epoch's drift is maximal by convention whenever
+    /// anything arrived.
+    #[test]
+    fn epoch_summaries_are_internally_consistent(e1 in feeds(), e2 in feeds()) {
+        let trace = Trace::disabled();
+        let mut acc = StreamAccumulator::new();
+        for &i in &e1 { acc.feed(TEMPLATES[i]).unwrap(); }
+        let s1 = acc.advance_epoch(&trace).unwrap();
+        if !e1.is_empty() {
+            prop_assert_eq!(s1.drift_ppm, DRIFT_SCALE, "first epoch drift is maximal");
+        }
+        for &i in &e2 { acc.feed(TEMPLATES[i]).unwrap(); }
+        let s2 = acc.advance_epoch(&trace).unwrap();
+        prop_assert_eq!(acc.statements_fed(), (e1.len() + e2.len()) as u64);
+        let live_weight: u64 = acc.templates().iter().map(|t| t.weight_fp).sum();
+        prop_assert_eq!(s2.total_weight_fp, live_weight);
+        let members: u64 = acc.templates().iter().map(|t| t.members).sum();
+        prop_assert!(members <= acc.statements_fed());
+        prop_assert!(s2.total_weight_fp <= acc.statements_fed() * WEIGHT_SCALE);
+    }
+}

@@ -153,6 +153,70 @@ fn trace_json_obeys_documented_schema() {
     assert!(json.contains("\"inum_build\""), "inum phase exported: {json}");
 }
 
+/// The streaming verbs record their own phases (`epoch_advance`,
+/// `drift_check`, `inum_delta`) and counters, and like everything else
+/// in the pipeline both are identical at any thread count.
+#[test]
+fn streaming_counters_and_spans_are_recorded() {
+    use parinda::{Console, ConsoleReply};
+    let mut reference: Option<(Vec<(String, u64)>, Vec<(&'static str, u64)>)> = None;
+    for threads in THREAD_COUNTS {
+        let trace = Trace::recording();
+        let mut c = Console::with_session(session(threads, Trace::disabled()));
+        c.set_trace(trace.clone());
+        c.run_line(&format!("threads {threads}"));
+        for line in [
+            "advise auto on",
+            "advise budget 64",
+            "feed SELECT objid FROM photoobj WHERE ra > 100",
+            "feed SELECT objid FROM photoobj WHERE ra > 150",
+            "feed SELECT objid FROM photoobj WHERE dec < 5",
+            "epoch", // first epoch: drift maximal by convention, advises fresh
+            "feed SELECT objid FROM photoobj WHERE dec < 30",
+            "feed SELECT ra FROM photoobj WHERE objid = 1",
+            "feed SELECT ra FROM photoobj WHERE objid = 2",
+            "epoch", // drifted: re-advises through apply_delta
+        ] {
+            match c.run_line(line) {
+                ConsoleReply::Output(_) => {}
+                other => panic!("`{line}` failed: {other:?}"),
+            }
+        }
+        let r = trace.snapshot();
+        assert_eq!(r.counter(Counter::StreamStatementsFed), 6);
+        assert_eq!(r.counter(Counter::EpochsAdvanced), 2);
+        assert_eq!(r.counter(Counter::DriftEvents), 2);
+        assert!(
+            r.counter(Counter::InumDeltaReused) > 0,
+            "the second advise must reuse surviving templates"
+        );
+        assert!(
+            r.counter(Counter::InumDeltaRebuilt) > 0,
+            "the second advise must rebuild the arrived template"
+        );
+        let shape = r.shape();
+        for phase in ["epoch_advance", "drift_check", "inum_delta"] {
+            assert!(
+                shape.iter().any(|(p, _)| p == phase || p.starts_with(&format!("{phase}/"))),
+                "phase {phase} missing from span tree: {shape:?}"
+            );
+        }
+        let stable: Vec<(&'static str, u64)> = Counter::ALL
+            .iter()
+            .filter(|c| !matches!(c, Counter::InumCacheHits | Counter::InumCacheMisses))
+            .map(|&c| (c.name(), r.counter(c)))
+            .collect();
+        match &reference {
+            None => reference = Some((shape, stable)),
+            Some(prev) => assert_eq!(
+                prev,
+                &(shape, stable),
+                "streaming spans/counters differ at {threads} threads"
+            ),
+        }
+    }
+}
+
 /// The disabled trace is inert end to end: no spans, no counters, and
 /// `snapshot()` returns the canonical empty report (all counters zero).
 #[test]
